@@ -1,0 +1,79 @@
+//! Flow constants and the far-field state.
+
+/// Physical and numerical constants of the Airfoil solver, and the far-field
+/// (free-stream) state vector `qinf = (ρ, ρu, ρv, ρE)`.
+///
+/// Defaults match the original benchmark: γ = 1.4, CFL = 0.9, smoothing
+/// coefficient ε = 0.05, free-stream Mach 0.4 at zero incidence (the original
+/// uses ~3° incidence onto the airfoil; in the channel configuration zero
+/// incidence keeps the walls exact stream surfaces).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlowConstants {
+    /// Ratio of specific heats γ.
+    pub gam: f64,
+    /// γ − 1.
+    pub gm1: f64,
+    /// CFL number for the local time step.
+    pub cfl: f64,
+    /// Numerical dissipation coefficient ε.
+    pub eps: f64,
+    /// Free-stream Mach number.
+    pub mach: f64,
+    /// Far-field state `(ρ, ρu, ρv, ρE)`.
+    pub qinf: [f64; 4],
+}
+
+impl FlowConstants {
+    /// Constants for free-stream Mach `mach` at incidence `alpha_deg`
+    /// degrees, with unit far-field density and pressure.
+    pub fn new(mach: f64, alpha_deg: f64) -> Self {
+        let gam = 1.4;
+        let gm1 = gam - 1.0;
+        let alpha = alpha_deg.to_radians();
+        let p = 1.0f64;
+        let r = 1.0f64;
+        let u = (gam * p / r).sqrt() * mach;
+        let e = p / (r * gm1) + 0.5 * u * u;
+        FlowConstants {
+            gam,
+            gm1,
+            cfl: 0.9,
+            eps: 0.05,
+            mach,
+            qinf: [r, r * u * alpha.cos(), r * u * alpha.sin(), r * e],
+        }
+    }
+}
+
+impl Default for FlowConstants {
+    fn default() -> Self {
+        FlowConstants::new(0.4, 0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn free_stream_state_is_consistent() {
+        let c = FlowConstants::default();
+        let [r, ru, rv, re] = c.qinf;
+        assert_eq!(r, 1.0);
+        assert_eq!(rv, 0.0);
+        // Recover pressure: p = gm1 (ρE − ½ρ(u²+v²)); must equal 1.
+        let p = c.gm1 * (re - 0.5 * (ru * ru + rv * rv) / r);
+        assert!((p - 1.0).abs() < 1e-12);
+        // Mach: u / c where c = sqrt(γp/ρ).
+        let u = ru / r;
+        let sound = (c.gam * p / r).sqrt();
+        assert!((u / sound - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn incidence_rotates_velocity() {
+        let c = FlowConstants::new(0.4, 90.0);
+        assert!(c.qinf[1].abs() < 1e-12);
+        assert!(c.qinf[2] > 0.0);
+    }
+}

@@ -1,0 +1,196 @@
+//! The five Airfoil parallel loops, wired exactly as in Fig. 2/4 of the
+//! paper: every data access the kernels perform is declared as an `ArgSpec`,
+//! which is what the planner (coloring) and the dataflow dependency analysis
+//! consume.
+
+use op2_core::{arg_direct, arg_indirect, Access, Dat, ParLoop};
+
+use crate::constants::FlowConstants;
+use crate::kernels;
+use crate::mesh::Mesh;
+
+/// The five loops of one Airfoil stage, ready to hand to any executor.
+pub struct AirfoilLoops {
+    /// `qold ← q` (direct).
+    pub save_soln: ParLoop,
+    /// Local time step (indirect reads of node coordinates).
+    pub adt_calc: ParLoop,
+    /// Interior fluxes (indirect, `OP_INC` on residuals).
+    pub res_calc: ParLoop,
+    /// Boundary fluxes (indirect, `OP_INC`).
+    pub bres_calc: ParLoop,
+    /// Explicit update + RMS reduction (direct).
+    pub update: ParLoop,
+    /// Keep-alive handles: the kernels capture raw `DatView`s into these
+    /// dats' storage, so the loops must co-own the dats (the mesh may be
+    /// dropped independently).
+    _dats: (Dat<f64>, Dat<f64>, Dat<f64>, Dat<f64>, Dat<f64>, Dat<i32>),
+}
+
+impl AirfoilLoops {
+    /// Build the loops against `mesh` with flow constants `consts`.
+    pub fn new(mesh: &Mesh, consts: &FlowConstants) -> AirfoilLoops {
+        let c = *consts;
+
+        // save_soln -------------------------------------------------------
+        let qv = mesh.p_q.view();
+        let qoldv = mesh.p_qold.view();
+        let save_soln = ParLoop::build("save_soln", &mesh.cells)
+            .arg(arg_direct(&mesh.p_q, Access::Read))
+            .arg(arg_direct(&mesh.p_qold, Access::Write))
+            .kernel(move |e, _| unsafe {
+                kernels::save_soln(qv.slice(e), qoldv.slice_mut(e));
+            });
+
+        // adt_calc ---------------------------------------------------------
+        let xv = mesh.p_x.view();
+        let adtv = mesh.p_adt.view();
+        let pcell = mesh.pcell.clone();
+        let adt_calc = ParLoop::build("adt_calc", &mesh.cells)
+            .arg(arg_indirect(&mesh.p_x, 0, &mesh.pcell, Access::Read))
+            .arg(arg_indirect(&mesh.p_x, 1, &mesh.pcell, Access::Read))
+            .arg(arg_indirect(&mesh.p_x, 2, &mesh.pcell, Access::Read))
+            .arg(arg_indirect(&mesh.p_x, 3, &mesh.pcell, Access::Read))
+            .arg(arg_direct(&mesh.p_q, Access::Read))
+            .arg(arg_direct(&mesh.p_adt, Access::Write))
+            .kernel(move |e, _| unsafe {
+                kernels::adt_calc(
+                    xv.slice(pcell.at(e, 0)),
+                    xv.slice(pcell.at(e, 1)),
+                    xv.slice(pcell.at(e, 2)),
+                    xv.slice(pcell.at(e, 3)),
+                    qv.slice(e),
+                    adtv.slice_mut(e),
+                    &c,
+                );
+            });
+
+        // res_calc ---------------------------------------------------------
+        let resv = mesh.p_res.view();
+        let pedge = mesh.pedge.clone();
+        let pecell = mesh.pecell.clone();
+        let res_calc = ParLoop::build("res_calc", &mesh.edges)
+            .arg(arg_indirect(&mesh.p_x, 0, &mesh.pedge, Access::Read))
+            .arg(arg_indirect(&mesh.p_x, 1, &mesh.pedge, Access::Read))
+            .arg(arg_indirect(&mesh.p_q, 0, &mesh.pecell, Access::Read))
+            .arg(arg_indirect(&mesh.p_q, 1, &mesh.pecell, Access::Read))
+            .arg(arg_indirect(&mesh.p_adt, 0, &mesh.pecell, Access::Read))
+            .arg(arg_indirect(&mesh.p_adt, 1, &mesh.pecell, Access::Read))
+            .arg(arg_indirect(&mesh.p_res, 0, &mesh.pecell, Access::Inc))
+            .arg(arg_indirect(&mesh.p_res, 1, &mesh.pecell, Access::Inc))
+            .kernel(move |e, _| unsafe {
+                let c1 = pecell.at(e, 0);
+                let c2 = pecell.at(e, 1);
+                kernels::res_calc(
+                    xv.slice(pedge.at(e, 0)),
+                    xv.slice(pedge.at(e, 1)),
+                    qv.slice(c1),
+                    qv.slice(c2),
+                    adtv.get(c1, 0),
+                    adtv.get(c2, 0),
+                    resv.slice_mut(c1),
+                    resv.slice_mut(c2),
+                    &c,
+                );
+            });
+
+        // bres_calc --------------------------------------------------------
+        let boundv = mesh.p_bound.view();
+        let pbedge = mesh.pbedge.clone();
+        let pbecell = mesh.pbecell.clone();
+        let bres_calc = ParLoop::build("bres_calc", &mesh.bedges)
+            .arg(arg_indirect(&mesh.p_x, 0, &mesh.pbedge, Access::Read))
+            .arg(arg_indirect(&mesh.p_x, 1, &mesh.pbedge, Access::Read))
+            .arg(arg_indirect(&mesh.p_q, 0, &mesh.pbecell, Access::Read))
+            .arg(arg_indirect(&mesh.p_adt, 0, &mesh.pbecell, Access::Read))
+            .arg(arg_indirect(&mesh.p_res, 0, &mesh.pbecell, Access::Inc))
+            .arg(arg_direct(&mesh.p_bound, Access::Read))
+            .kernel(move |e, _| unsafe {
+                let c1 = pbecell.at(e, 0);
+                kernels::bres_calc(
+                    xv.slice(pbedge.at(e, 0)),
+                    xv.slice(pbedge.at(e, 1)),
+                    qv.slice(c1),
+                    adtv.get(c1, 0),
+                    resv.slice_mut(c1),
+                    boundv.get(e, 0),
+                    &c,
+                );
+            });
+
+        // update -----------------------------------------------------------
+        let update = ParLoop::build("update", &mesh.cells)
+            .arg(arg_direct(&mesh.p_qold, Access::Read))
+            .arg(arg_direct(&mesh.p_q, Access::Write))
+            .arg(arg_direct(&mesh.p_res, Access::ReadWrite))
+            .arg(arg_direct(&mesh.p_adt, Access::Read))
+            .gbl_inc(1)
+            .kernel(move |e, gbl| unsafe {
+                kernels::update(
+                    qoldv.slice(e),
+                    qv.slice_mut(e),
+                    resv.slice_mut(e),
+                    adtv.get(e, 0),
+                    &mut gbl[0],
+                );
+            });
+
+        AirfoilLoops {
+            save_soln,
+            adt_calc,
+            res_calc,
+            bres_calc,
+            update,
+            _dats: (
+                mesh.p_x.clone(),
+                mesh.p_q.clone(),
+                mesh.p_qold.clone(),
+                mesh.p_adt.clone(),
+                mesh.p_res.clone(),
+                mesh.p_bound.clone(),
+            ),
+        }
+    }
+
+    /// The loops in issue order of one stage (without `save_soln`, which runs
+    /// once per iteration, not per stage).
+    pub fn stage_loops(&self) -> [&ParLoop; 4] {
+        [&self.adt_calc, &self.res_calc, &self.bres_calc, &self.update]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mesh::MeshBuilder;
+
+    #[test]
+    fn loops_have_expected_shapes() {
+        let consts = FlowConstants::default();
+        let mesh = MeshBuilder::channel(8, 4).build(&consts);
+        let loops = AirfoilLoops::new(&mesh, &consts);
+        assert!(loops.save_soln.is_direct());
+        assert!(!loops.adt_calc.is_direct());
+        assert!(!loops.adt_calc.has_indirect_writes(), "adt only reads via map");
+        assert!(loops.res_calc.has_indirect_writes());
+        assert!(loops.bres_calc.has_indirect_writes());
+        assert!(loops.update.is_direct());
+        assert_eq!(loops.update.gbl_dim(), 1);
+    }
+
+    #[test]
+    fn res_calc_plan_coloring_is_valid() {
+        let consts = FlowConstants::default();
+        let mesh = MeshBuilder::channel(16, 8).build(&consts);
+        let loops = AirfoilLoops::new(&mesh, &consts);
+        for part in [1, 8, 64] {
+            let plan =
+                op2_core::Plan::build(loops.res_calc.set(), loops.res_calc.args(), part);
+            plan.validate(loops.res_calc.args())
+                .unwrap_or_else(|e| panic!("part={part}: {e}"));
+            if part <= 8 {
+                assert!(plan.ncolors > 1, "shared cells must force multiple colors");
+            }
+        }
+    }
+}

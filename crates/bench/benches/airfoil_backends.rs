@@ -1,0 +1,53 @@
+//! Criterion bench of the *real* Airfoil backends on host threads — the
+//! physical counterpart of Fig. 15 (on a many-core machine, sweep
+//! `OP2_BENCH_THREADS`; defaults to the host's parallelism).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::Arc;
+
+use op2_airfoil::{AirfoilLoops, FlowConstants, MeshBuilder};
+use op2_hpx::{make_executor, BackendKind, Op2Runtime};
+
+fn threads() -> usize {
+    std::env::var("OP2_BENCH_THREADS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+}
+
+/// One full Airfoil iteration (save + 2 stages) per measurement.
+fn bench_backends(c: &mut Criterion) {
+    let consts = FlowConstants::default();
+    let t = threads();
+    let mut g = c.benchmark_group(format!("airfoil_iter_{t}threads"));
+    g.sample_size(10);
+    for kind in [
+        BackendKind::Serial,
+        BackendKind::ForkJoin,
+        BackendKind::ForEachAuto,
+        BackendKind::ForEachStatic(4),
+        BackendKind::Async,
+        BackendKind::Dataflow,
+    ] {
+        let mesh = MeshBuilder::channel(96, 48).build(&consts);
+        mesh.add_pulse(1.0, 0.5, 0.25, 0.1, &consts);
+        let loops = AirfoilLoops::new(&mesh, &consts);
+        let rt = Arc::new(Op2Runtime::new(t, 128));
+        let exec = make_executor(kind, rt);
+        g.bench_with_input(BenchmarkId::from_parameter(kind), &kind, |b, _| {
+            b.iter(|| {
+                exec.execute(&loops.save_soln).wait();
+                for _ in 0..2 {
+                    for l in loops.stage_loops() {
+                        exec.execute(l).wait();
+                    }
+                }
+                exec.fence();
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_backends);
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! Criterion benches of two hardening-phase features:
+//!
+//! * **direct-loop fusion** (`op2_hpx::fuse_direct`) — one pass and one sync
+//!   instead of two, on the real runtime;
+//! * the **message fabric** (`op2_dist::Fabric`) — point-to-point round-trip
+//!   and rank-ordered allreduce latency.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::Arc;
+
+use op2_core::{arg_direct, Access, Dat, ParLoop, Set};
+use op2_dist::Fabric;
+use op2_hpx::{fuse_direct, make_executor, BackendKind, Op2Runtime};
+
+/// Returns both dats: the kernels hold raw views into them, so both must
+/// stay alive as long as the loops run.
+fn direct_pair(n: usize) -> (Dat<f64>, Dat<f64>, ParLoop, ParLoop) {
+    let cells = Set::new("cells", n);
+    let a = Dat::new("a", &cells, 1, (0..n).map(|i| i as f64).collect());
+    let b = Dat::filled("b", &cells, 1, 0.0);
+    let av = a.view();
+    let bv = b.view();
+    let l1 = ParLoop::build("scale", &cells)
+        .arg(arg_direct(&a, Access::Read))
+        .arg(arg_direct(&b, Access::Write))
+        .kernel(move |e, _| unsafe { bv.set(e, 0, 1.0001 * av.get(e, 0)) });
+    let l2 = ParLoop::build("accum", &cells)
+        .arg(arg_direct(&b, Access::Read))
+        .arg(arg_direct(&a, Access::ReadWrite))
+        .kernel(move |e, _| unsafe { av.add(e, 0, bv.get(e, 0)) });
+    (a, b, l1, l2)
+}
+
+fn bench_fusion(c: &mut Criterion) {
+    let mut g = c.benchmark_group("direct_loop_fusion");
+    g.sample_size(20);
+    for n in [10_000usize, 100_000] {
+        let rt = Arc::new(Op2Runtime::new(
+            std::thread::available_parallelism().map_or(1, |p| p.get()),
+            256,
+        ));
+        let exec = make_executor(BackendKind::ForkJoin, Arc::clone(&rt));
+        let (_a, _b, l1, l2) = direct_pair(n);
+        let fused = fuse_direct(&l1, &l2).expect("fusible");
+        g.bench_with_input(BenchmarkId::new("unfused", n), &n, |bch, _| {
+            bch.iter(|| {
+                exec.execute(&l1).wait();
+                exec.execute(&l2).wait();
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("fused", n), &n, |bch, _| {
+            bch.iter(|| exec.execute(&fused).wait())
+        });
+    }
+    g.finish();
+}
+
+fn bench_fabric(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fabric");
+    g.sample_size(10);
+    g.bench_function("spawn_2_ranks", |b| {
+        b.iter(|| Fabric::run(2, |comm| comm.rank()))
+    });
+    g.bench_function("pingpong_1000x", |b| {
+        b.iter(|| {
+            Fabric::run(2, |comm| {
+                for i in 0..1000u64 {
+                    if comm.rank() == 0 {
+                        comm.send(1, i, vec![i as f64]);
+                        let _ = comm.recv(1, i);
+                    } else {
+                        let v = comm.recv(0, i);
+                        comm.send(0, i, v);
+                    }
+                }
+            })
+        })
+    });
+    g.bench_function("allreduce_4ranks_64doubles", |b| {
+        b.iter(|| {
+            Fabric::run(4, |comm| {
+                let local = vec![comm.rank() as f64; 64];
+                for _ in 0..100 {
+                    let _ = comm.allreduce_sum(&local);
+                }
+            })
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fusion, bench_fabric);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion bench of execution-plan construction (partitioning + greedy
+//! coloring) and its memoized reuse — OP2 amortizes plans across thousands
+//! of loop invocations, so both costs matter.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use op2_airfoil::{AirfoilLoops, FlowConstants, MeshBuilder};
+use op2_core::{Plan, PlanCache};
+
+fn bench_plan_build(c: &mut Criterion) {
+    let consts = FlowConstants::default();
+    let mut g = c.benchmark_group("plan_build_res_calc");
+    g.sample_size(10);
+    for (dim, part) in [(64usize, 128usize), (128, 128), (200, 256)] {
+        let mesh = MeshBuilder::channel(dim, dim).build(&consts);
+        let loops = AirfoilLoops::new(&mesh, &consts);
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{dim}x{dim}/part{part}")),
+            &part,
+            |b, &part| {
+                b.iter(|| Plan::build(loops.res_calc.set(), loops.res_calc.args(), part))
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_plan_cache_hit(c: &mut Criterion) {
+    let consts = FlowConstants::default();
+    let mesh = MeshBuilder::channel(64, 64).build(&consts);
+    let loops = AirfoilLoops::new(&mesh, &consts);
+    let cache = PlanCache::new();
+    // Warm the cache once.
+    let _ = cache.get(loops.res_calc.set(), loops.res_calc.args(), 128);
+    c.bench_function("plan_cache_hit", |b| {
+        b.iter(|| cache.get(loops.res_calc.set(), loops.res_calc.args(), 128))
+    });
+}
+
+criterion_group!(benches, bench_plan_build, bench_plan_cache_hit);
+criterion_main!(benches);

@@ -1,0 +1,132 @@
+//! Criterion microbenches of the hpx-rt primitives: the real (non-simulated)
+//! costs behind the machine model's knobs — task spawn, future round-trip,
+//! dataflow node, latch, and the `for_each` policies at several grain sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use hpx_rt::{
+    async_spawn, dataflow2, for_each_index, for_each_index_task, make_ready_future, par, par_task,
+    when_all_unit, ChunkSize, CountdownLatch, ThreadPool,
+};
+
+fn pool() -> ThreadPool {
+    ThreadPool::new(std::thread::available_parallelism().map_or(1, |n| n.get()))
+}
+
+fn bench_spawn_get(c: &mut Criterion) {
+    let pool = pool();
+    c.bench_function("async_spawn+get", |b| {
+        b.iter(|| async_spawn(&pool, || black_box(42u64)).get())
+    });
+}
+
+fn bench_ready_future(c: &mut Criterion) {
+    c.bench_function("make_ready_future+get", |b| {
+        b.iter(|| make_ready_future(black_box(7u64)).get())
+    });
+}
+
+fn bench_then_chain(c: &mut Criterion) {
+    let pool = pool();
+    c.bench_function("then_chain_depth4", |b| {
+        b.iter(|| {
+            async_spawn(&pool, || 1u64)
+                .then(&pool, |x| x + 1)
+                .then(&pool, |x| x + 1)
+                .then(&pool, |x| x + 1)
+                .get()
+        })
+    });
+}
+
+fn bench_dataflow_node(c: &mut Criterion) {
+    let pool = pool();
+    c.bench_function("dataflow2_node", |b| {
+        b.iter(|| {
+            dataflow2(
+                &pool,
+                |x: u64, y: u64| x + y,
+                make_ready_future(1),
+                make_ready_future(2),
+            )
+            .get()
+        })
+    });
+}
+
+fn bench_when_all(c: &mut Criterion) {
+    let pool = pool();
+    let mut g = c.benchmark_group("when_all_unit");
+    for n in [4usize, 16, 64] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let futs = (0..n).map(|_| async_spawn(&pool, || ())).collect();
+                when_all_unit(&pool, futs).get()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_latch(c: &mut Criterion) {
+    let pool = pool();
+    c.bench_function("latch_16_tasks", |b| {
+        b.iter(|| {
+            let latch = CountdownLatch::with_pool(&pool, 16);
+            for _ in 0..16 {
+                let counter = latch.counter();
+                let _ = async_spawn(&pool, move || counter.count_down());
+            }
+            latch.wait_helping();
+        })
+    });
+}
+
+fn bench_for_each_policies(c: &mut Criterion) {
+    let pool = pool();
+    let data: Arc<Vec<AtomicU64>> = Arc::new((0..4096).map(|_| AtomicU64::new(0)).collect());
+    let mut g = c.benchmark_group("for_each_4096");
+    g.bench_function("par_default", |b| {
+        b.iter(|| {
+            for_each_index(&pool, par(), 0..4096, |i| {
+                data[i].fetch_add(1, Ordering::Relaxed);
+            })
+        })
+    });
+    g.bench_function("par_static64", |b| {
+        b.iter(|| {
+            for_each_index(&pool, par().with_chunk(ChunkSize::Static(64)), 0..4096, |i| {
+                data[i].fetch_add(1, Ordering::Relaxed);
+            })
+        })
+    });
+    g.bench_function("par_auto", |b| {
+        b.iter(|| {
+            for_each_index(&pool, par().with_chunk(ChunkSize::auto()), 0..4096, |i| {
+                data[i].fetch_add(1, Ordering::Relaxed);
+            })
+        })
+    });
+    g.bench_function("par_task", |b| {
+        let d = Arc::clone(&data);
+        b.iter(|| {
+            let d = Arc::clone(&d);
+            for_each_index_task(&pool, par_task(), 0..4096, move |i| {
+                d[i].fetch_add(1, Ordering::Relaxed);
+            })
+            .get()
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_spawn_get, bench_ready_future, bench_then_chain, bench_dataflow_node,
+              bench_when_all, bench_latch, bench_for_each_policies
+}
+criterion_main!(benches);

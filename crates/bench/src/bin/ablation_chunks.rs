@@ -1,0 +1,40 @@
+//! Ablation: HT throughput factor and sync-cost sensitivity of the headline
+//! 32-thread gains — DESIGN.md §5.1/§5.5.
+use op2_bench::*;
+use op2_simsched::methods::build_graph;
+use op2_simsched::{airfoil_workload, simulate, MachineParams, SimMethod};
+
+fn gains(m: &MachineParams, imax: usize, jmax: usize) -> (f64, f64) {
+    let spec = airfoil_workload(imax, jmax, FIGURE_PART_SIZE);
+    let run = |meth| {
+        simulate(&build_graph(meth, &spec, FIGURE_ITERS, 32, m), 32, m).makespan_ns as f64
+    };
+    let omp = run(SimMethod::OmpForkJoin);
+    (
+        (omp / run(SimMethod::AsyncFutures) - 1.0) * 100.0,
+        (omp / run(SimMethod::Dataflow) - 1.0) * 100.0,
+    )
+}
+
+fn main() {
+    let (imax, jmax) = figure_mesh();
+    println!("# Ablation — sensitivity of 32T gains to machine-model knobs");
+    println!("{:<34} {:>12} {:>14}", "configuration", "async gain%", "dataflow gain%");
+    let base = machine();
+    let (a, d) = gains(&base, imax, jmax);
+    println!("{:<34} {a:>12.1} {d:>14.1}", "default");
+    for ht in [0.6, 0.75, 0.9, 1.0] {
+        let m = MachineParams { ht_factor: ht, ..base };
+        let (a, d) = gains(&m, imax, jmax);
+        println!("{:<34} {a:>12.1} {d:>14.1}", format!("ht_factor={ht}"));
+    }
+    for mult in [0u64, 1, 2, 4] {
+        let m = MachineParams {
+            barrier_per_thread_ns: base.barrier_per_thread_ns * mult,
+            barrier_base_ns: base.barrier_base_ns * mult.max(1),
+            ..base
+        };
+        let (a, d) = gains(&m, imax, jmax);
+        println!("{:<34} {a:>12.1} {d:>14.1}", format!("barrier x{mult}"));
+    }
+}

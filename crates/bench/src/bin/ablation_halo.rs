@@ -1,0 +1,28 @@
+//! Ablation: partitioner quality — strip vs RCB halo (communication) volume
+//! on meshes of different aspect ratios.
+use op2_airfoil::MeshBuilder;
+use op2_dist::{cell_centroids, total_halo_cells, Partition};
+
+fn main() {
+    println!("# Ablation — partitioner halo volume (total imported cells)");
+    println!(
+        "{:<18} {:>7} {:>12} {:>10} {:>8}",
+        "mesh", "ranks", "strips", "rcb", "ratio"
+    );
+    for (imax, jmax) in [(128usize, 8usize), (64, 16), (32, 32)] {
+        let data = MeshBuilder::channel(imax, jmax).data();
+        let centroids = cell_centroids(&data);
+        for nranks in [4usize, 8] {
+            let strips = total_halo_cells(&data, &Partition::strips(imax * jmax, nranks));
+            let rcb = total_halo_cells(&data, &Partition::rcb(&centroids, nranks));
+            println!(
+                "{:<18} {:>7} {:>12} {:>10} {:>8.2}",
+                format!("{imax}x{jmax}"),
+                nranks,
+                strips,
+                rcb,
+                strips as f64 / rcb as f64
+            );
+        }
+    }
+}

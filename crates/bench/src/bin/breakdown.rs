@@ -1,0 +1,33 @@
+//! Time breakdown at 32 workers: where does each method's makespan go?
+//! (kernel work, synchronization, probe, driver waits, and idle).
+use op2_bench::*;
+use op2_simsched::methods::build_graph;
+use op2_simsched::{airfoil_workload, simulate_traced, SimMethod};
+
+fn main() {
+    let (imax, jmax) = figure_mesh();
+    let spec = airfoil_workload(imax, jmax, FIGURE_PART_SIZE);
+    let m = machine();
+    let workers = 32usize;
+    println!("# Time breakdown at {workers} workers ({imax}x{jmax}, 1 iteration), µs");
+    println!(
+        "{:<16} {:>9} {:>8} {:>8} {:>8} {:>8} {:>10}",
+        "method", "makespan", "work", "sync", "probe", "driver", "idle/worker"
+    );
+    for meth in SimMethod::all() {
+        let g = build_graph(meth, &spec, 1, workers, &m);
+        let t = simulate_traced(&g, workers, &m);
+        let [work, sync, probe, driver] = g.time_by_kind_ns();
+        println!(
+            "{:<16} {:>9} {:>8} {:>8} {:>8} {:>8} {:>10}",
+            meth.label(),
+            t.result.makespan_ns / 1000,
+            work / 1000,
+            sync / 1000,
+            probe / 1000,
+            driver / 1000,
+            t.total_idle_ns() / 1000 / workers as u64,
+        );
+    }
+    println!("\n(work/sync/probe/driver are total task time across workers; idle is per-worker average)");
+}

@@ -1,0 +1,23 @@
+//! Fig. 15: Airfoil execution time under the four parallelization methods.
+use op2_bench::*;
+use op2_simsched::strong_scaling;
+
+fn main() {
+    let (imax, jmax) = figure_mesh();
+    let pts = strong_scaling(
+        &fig15_methods(),
+        &threads(),
+        imax,
+        jmax,
+        FIGURE_PART_SIZE,
+        FIGURE_ITERS,
+        &machine(),
+    );
+    print_table(
+        &format!("Fig 15 — execution time (ms), Airfoil {imax}x{jmax}, {FIGURE_ITERS} iters"),
+        "ms",
+        &pts,
+        |p| p.time_ns as f64 / 1e6,
+    );
+    print_csv(&pts);
+}

@@ -1,0 +1,27 @@
+//! Fig. 16: strong scaling — omp vs for_each(par) with auto vs static chunk.
+use op2_bench::*;
+use op2_simsched::{strong_scaling, SimMethod};
+
+fn main() {
+    let (imax, jmax) = figure_mesh();
+    let pts = strong_scaling(
+        &[
+            SimMethod::OmpForkJoin,
+            SimMethod::ForEachAuto,
+            SimMethod::ForEachStatic,
+        ],
+        &threads(),
+        imax,
+        jmax,
+        FIGURE_PART_SIZE,
+        FIGURE_ITERS,
+        &machine(),
+    );
+    print_table(
+        &format!("Fig 16 — strong-scaling speedup, omp vs for_each auto/static chunk ({imax}x{jmax})"),
+        "speedup",
+        &pts,
+        |p| p.speedup,
+    );
+    print_csv(&pts);
+}

@@ -1,0 +1,23 @@
+//! Fig. 17: strong scaling — omp vs async + for_each(par(task)).
+use op2_bench::*;
+use op2_simsched::{strong_scaling, SimMethod};
+
+fn main() {
+    let (imax, jmax) = figure_mesh();
+    let pts = strong_scaling(
+        &[SimMethod::OmpForkJoin, SimMethod::AsyncFutures],
+        &threads(),
+        imax,
+        jmax,
+        FIGURE_PART_SIZE,
+        FIGURE_ITERS,
+        &machine(),
+    );
+    print_table(
+        &format!("Fig 17 — strong-scaling speedup, omp vs async ({imax}x{jmax})"),
+        "speedup",
+        &pts,
+        |p| p.speedup,
+    );
+    print_csv(&pts);
+}

@@ -1,0 +1,23 @@
+//! Fig. 18: strong scaling — omp vs dataflow with the modified OP2 API.
+use op2_bench::*;
+use op2_simsched::{strong_scaling, SimMethod};
+
+fn main() {
+    let (imax, jmax) = figure_mesh();
+    let pts = strong_scaling(
+        &[SimMethod::OmpForkJoin, SimMethod::Dataflow],
+        &threads(),
+        imax,
+        jmax,
+        FIGURE_PART_SIZE,
+        FIGURE_ITERS,
+        &machine(),
+    );
+    print_table(
+        &format!("Fig 18 — strong-scaling speedup, omp vs dataflow ({imax}x{jmax})"),
+        "speedup",
+        &pts,
+        |p| p.speedup,
+    );
+    print_csv(&pts);
+}

@@ -1,0 +1,21 @@
+//! Fig. 19: weak scaling — efficiency relative to one core, all methods.
+use op2_bench::*;
+use op2_simsched::weak_scaling;
+
+fn main() {
+    let pts = weak_scaling(
+        &fig15_methods(),
+        &threads(),
+        10_000, // cells per thread
+        FIGURE_PART_SIZE,
+        FIGURE_ITERS,
+        &machine(),
+    );
+    print_table(
+        "Fig 19 — weak-scaling efficiency (10000 cells/thread)",
+        "eff",
+        &pts,
+        |p| p.efficiency,
+    );
+    print_csv(&pts);
+}

@@ -1,0 +1,98 @@
+//! Render Figs. 15–19 as SVG line charts under `results/` (visual
+//! counterparts of the paper's plots, from the same simulated data the
+//! `figNN` binaries print).
+//!
+//! Usage: `figures_svg [OUT_DIR]` (default `results/`)
+use op2_bench::svg::{Chart, Series};
+use op2_bench::*;
+use op2_simsched::{strong_scaling, weak_scaling, ScalePoint, SimMethod};
+
+fn to_series(points: &[ScalePoint], value: impl Fn(&ScalePoint) -> f64) -> Vec<Series> {
+    let mut series: Vec<Series> = Vec::new();
+    for p in points {
+        match series.iter_mut().find(|s| s.label == p.method) {
+            Some(s) => s.points.push((p.threads as f64, value(p))),
+            None => series.push(Series {
+                label: p.method.clone(),
+                points: vec![(p.threads as f64, value(p))],
+            }),
+        }
+    }
+    for s in &mut series {
+        s.points.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+    }
+    series
+}
+
+fn main() {
+    let out = std::env::args().nth(1).unwrap_or_else(|| "results".into());
+    std::fs::create_dir_all(&out).expect("create output dir");
+    let (imax, jmax) = figure_mesh();
+    let m = machine();
+    let t = threads();
+
+    let save = |name: &str, chart: Chart| {
+        let path = format!("{out}/{name}.svg");
+        std::fs::write(&path, chart.render()).expect("write svg");
+        println!("wrote {path}");
+    };
+
+    // Fig 15 — execution time.
+    let pts = strong_scaling(&fig15_methods(), &t, imax, jmax, FIGURE_PART_SIZE, FIGURE_ITERS, &m);
+    save("fig15", Chart {
+        title: format!("Fig 15 — Airfoil execution time ({imax}x{jmax})"),
+        x_label: "threads".into(),
+        y_label: "time (ms)".into(),
+        y_from_zero: true,
+        series: to_series(&pts, |p| p.time_ns as f64 / 1e6),
+    });
+
+    // Fig 16 — omp vs for_each chunking.
+    let pts = strong_scaling(
+        &[SimMethod::OmpForkJoin, SimMethod::ForEachAuto, SimMethod::ForEachStatic],
+        &t, imax, jmax, FIGURE_PART_SIZE, FIGURE_ITERS, &m,
+    );
+    save("fig16", Chart {
+        title: "Fig 16 — strong scaling: omp vs for_each auto/static".into(),
+        x_label: "threads".into(),
+        y_label: "speedup".into(),
+        y_from_zero: true,
+        series: to_series(&pts, |p| p.speedup),
+    });
+
+    // Fig 17 — omp vs async.
+    let pts = strong_scaling(
+        &[SimMethod::OmpForkJoin, SimMethod::AsyncFutures],
+        &t, imax, jmax, FIGURE_PART_SIZE, FIGURE_ITERS, &m,
+    );
+    save("fig17", Chart {
+        title: "Fig 17 — strong scaling: omp vs async".into(),
+        x_label: "threads".into(),
+        y_label: "speedup".into(),
+        y_from_zero: true,
+        series: to_series(&pts, |p| p.speedup),
+    });
+
+    // Fig 18 — omp vs dataflow.
+    let pts = strong_scaling(
+        &[SimMethod::OmpForkJoin, SimMethod::Dataflow],
+        &t, imax, jmax, FIGURE_PART_SIZE, FIGURE_ITERS, &m,
+    );
+    save("fig18", Chart {
+        title: "Fig 18 — strong scaling: omp vs dataflow".into(),
+        x_label: "threads".into(),
+        y_label: "speedup".into(),
+        y_from_zero: true,
+        series: to_series(&pts, |p| p.speedup),
+    });
+
+    // Fig 19 — weak scaling efficiency.
+    let pts = weak_scaling(&fig15_methods(), &t, 10_000, FIGURE_PART_SIZE, FIGURE_ITERS, &m);
+    save("fig19", Chart {
+        title: "Fig 19 — weak scaling efficiency (10k cells/thread)".into(),
+        x_label: "threads".into(),
+        y_label: "efficiency vs 1 thread".into(),
+        y_from_zero: true,
+        series: to_series(&pts, |p| p.efficiency),
+    });
+}

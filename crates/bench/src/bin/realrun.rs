@@ -1,0 +1,42 @@
+//! Run the *real* Airfoil backends on host threads and report wall-clock
+//! times — the physical (non-simulated) check. On a 1-core host this mainly
+//! validates the 1-thread-parity claim; on a many-core machine it produces a
+//! genuine strong-scaling measurement.
+//!
+//! Usage: realrun [THREADS ...]   (default: 1)
+use std::sync::Arc;
+use std::time::Instant;
+
+use op2_airfoil::{FlowConstants, MeshBuilder, Simulation, SyncStrategy};
+use op2_hpx::{make_executor, BackendKind, Op2Runtime};
+
+fn main() {
+    let threads: Vec<usize> = std::env::args()
+        .skip(1)
+        .map(|a| a.parse().expect("thread count"))
+        .collect();
+    let threads = if threads.is_empty() { vec![1] } else { threads };
+    let iters = 20;
+    let consts = FlowConstants::default();
+
+    println!("backend,threads,seconds,final_rms");
+    for &t in &threads {
+        for kind in [
+            BackendKind::ForkJoin,
+            BackendKind::ForEachAuto,
+            BackendKind::ForEachStatic(4),
+            BackendKind::Async,
+            BackendKind::Dataflow,
+        ] {
+            let mesh = MeshBuilder::channel(120, 60).build(&consts);
+            mesh.add_pulse(1.0, 0.5, 0.25, 0.2, &consts);
+            let rt = Arc::new(Op2Runtime::new(t, 128));
+            let exec = make_executor(kind, rt);
+            let sim = Simulation::new(mesh, &consts, exec, SyncStrategy::for_backend(kind));
+            let start = Instant::now();
+            let reports = sim.run(iters, iters);
+            let secs = start.elapsed().as_secs_f64();
+            println!("{kind},{t},{secs:.4},{:.6e}", reports.last().unwrap().1);
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! The paper's headline numbers: 1-thread parity and 32-thread improvements
+//! (async ≈ +5 %, dataflow ≈ +21 % over OpenMP).
+use op2_bench::*;
+use op2_simsched::methods::build_graph;
+use op2_simsched::{airfoil_workload, simulate, SimMethod};
+
+fn main() {
+    let (imax, jmax) = figure_mesh();
+    let spec = airfoil_workload(imax, jmax, FIGURE_PART_SIZE);
+    let m = machine();
+    let run = |meth, t: usize| {
+        simulate(&build_graph(meth, &spec, FIGURE_ITERS, t, &m), t, &m).makespan_ns as f64
+    };
+    println!("# Summary — Airfoil {imax}x{jmax}, part {FIGURE_PART_SIZE}");
+    println!("## 1-thread parity (paper: 'same performance on 1 thread')");
+    let omp1 = run(SimMethod::OmpForkJoin, 1);
+    for meth in [
+        SimMethod::ForEachStatic,
+        SimMethod::AsyncFutures,
+        SimMethod::Dataflow,
+    ] {
+        let r = run(meth, 1) / omp1;
+        println!("  {:<16} 1T time ratio vs omp: {r:.4}", meth.label());
+    }
+    println!("## 32-thread improvement over omp (paper: async +5%, dataflow +21%)");
+    let omp32 = run(SimMethod::OmpForkJoin, 32);
+    for meth in [SimMethod::AsyncFutures, SimMethod::Dataflow] {
+        let gain = (omp32 / run(meth, 32) - 1.0) * 100.0;
+        println!("  {:<16} 32T gain: {gain:+.1}%", meth.label());
+    }
+}

@@ -1,0 +1,29 @@
+//! Export Chrome-tracing schedules of one Airfoil iteration at 32 workers
+//! under each method — open the JSON in Perfetto / chrome://tracing to see
+//! the fork-join barrier bubbles disappear under dataflow.
+//!
+//! Usage: `trace_export [OUT_DIR]` (default: `results/`)
+use op2_bench::*;
+use op2_simsched::methods::build_graph;
+use op2_simsched::{airfoil_workload, simulate_traced, SimMethod};
+
+fn main() {
+    let out_dir = std::env::args().nth(1).unwrap_or_else(|| "results".into());
+    std::fs::create_dir_all(&out_dir).expect("create output dir");
+    let spec = airfoil_workload(120, 120, FIGURE_PART_SIZE);
+    let m = machine();
+    println!("{:<16} {:>12} {:>10} {:>8}", "method", "makespan(us)", "idle(us)", "tasks");
+    for meth in SimMethod::all() {
+        let g = build_graph(meth, &spec, 1, 32, &m);
+        let t = simulate_traced(&g, 32, &m);
+        let path = format!("{out_dir}/trace_{}.json", meth.label());
+        std::fs::write(&path, t.to_chrome_json(meth.label())).expect("write trace");
+        println!(
+            "{:<16} {:>12} {:>10} {:>8}   -> {path}",
+            meth.label(),
+            t.result.makespan_ns / 1000,
+            t.total_idle_ns() / 1000 / 32,
+            t.events.len()
+        );
+    }
+}

@@ -1,0 +1,271 @@
+//! A small dependency-free SVG line-chart renderer for the figure binaries.
+//!
+//! Produces clean, self-contained SVG files (axes, ticks, grid, legend, one
+//! polyline + markers per series) so `figures_svg` can emit visual
+//! counterparts of the paper's Figs. 15–19 under `results/`.
+
+use std::fmt::Write as _;
+
+/// One plotted series.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// `(x, y)` samples, ascending x.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Chart-level configuration.
+#[derive(Debug, Clone)]
+pub struct Chart {
+    /// Title above the plot area.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// Series to draw.
+    pub series: Vec<Series>,
+    /// Force the y-axis to start at zero.
+    pub y_from_zero: bool,
+}
+
+const WIDTH: f64 = 760.0;
+const HEIGHT: f64 = 480.0;
+const MARGIN_L: f64 = 70.0;
+const MARGIN_R: f64 = 160.0;
+const MARGIN_T: f64 = 48.0;
+const MARGIN_B: f64 = 56.0;
+
+/// Color-blind-safe categorical palette.
+const PALETTE: [&str; 6] = [
+    "#0072B2", "#D55E00", "#009E73", "#CC79A7", "#E69F00", "#56B4E9",
+];
+
+impl Chart {
+    /// Render to an SVG document string.
+    ///
+    /// # Panics
+    /// Panics if no series contains any point.
+    pub fn render(&self) -> String {
+        let (mut xmin, mut xmax) = (f64::INFINITY, f64::NEG_INFINITY);
+        let (mut ymin, mut ymax) = (f64::INFINITY, f64::NEG_INFINITY);
+        for s in &self.series {
+            for &(x, y) in &s.points {
+                xmin = xmin.min(x);
+                xmax = xmax.max(x);
+                ymin = ymin.min(y);
+                ymax = ymax.max(y);
+            }
+        }
+        assert!(xmin.is_finite() && ymin.is_finite(), "empty chart");
+        if self.y_from_zero {
+            ymin = ymin.min(0.0);
+        }
+        if (ymax - ymin).abs() < 1e-12 {
+            ymax = ymin + 1.0;
+        }
+        if (xmax - xmin).abs() < 1e-12 {
+            xmax = xmin + 1.0;
+        }
+        // A little headroom at the top.
+        ymax += (ymax - ymin) * 0.06;
+
+        let pw = WIDTH - MARGIN_L - MARGIN_R;
+        let ph = HEIGHT - MARGIN_T - MARGIN_B;
+        let sx = move |x: f64| MARGIN_L + (x - xmin) / (xmax - xmin) * pw;
+        let sy = move |y: f64| MARGIN_T + ph - (y - ymin) / (ymax - ymin) * ph;
+
+        let mut svg = String::new();
+        let _ = write!(
+            svg,
+            r#"<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" height="{HEIGHT}" viewBox="0 0 {WIDTH} {HEIGHT}" font-family="Helvetica, Arial, sans-serif">
+<rect width="{WIDTH}" height="{HEIGHT}" fill="white"/>
+<text x="{tx}" y="26" font-size="16" text-anchor="middle" font-weight="bold">{title}</text>
+"#,
+            tx = MARGIN_L + pw / 2.0,
+            title = xml_escape(&self.title),
+        );
+
+        // Gridlines + ticks.
+        for i in 0..=5 {
+            let t = i as f64 / 5.0;
+            let yv = ymin + t * (ymax - ymin);
+            let y = sy(yv);
+            let _ = write!(
+                svg,
+                "<line x1=\"{MARGIN_L}\" y1=\"{y:.1}\" x2=\"{x2}\" y2=\"{y:.1}\" stroke=\"#ddd\"/>\n\
+                 <text x=\"{lx}\" y=\"{ty:.1}\" font-size=\"11\" text-anchor=\"end\">{lab}</text>\n",
+                x2 = MARGIN_L + pw,
+                lx = MARGIN_L - 8.0,
+                ty = y + 4.0,
+                lab = format_tick(yv),
+            );
+        }
+        // X ticks at the actual sample positions of the first series.
+        let xticks: Vec<f64> = self
+            .series
+            .first()
+            .map(|s| s.points.iter().map(|p| p.0).collect())
+            .unwrap_or_default();
+        for &xv in &xticks {
+            let x = sx(xv);
+            let _ = write!(
+                svg,
+                "<line x1=\"{x:.1}\" y1=\"{y1}\" x2=\"{x:.1}\" y2=\"{y2}\" stroke=\"#bbb\"/>\n\
+                 <text x=\"{x:.1}\" y=\"{ty}\" font-size=\"11\" text-anchor=\"middle\">{lab}</text>\n",
+                y1 = MARGIN_T + ph,
+                y2 = MARGIN_T + ph + 5.0,
+                ty = MARGIN_T + ph + 20.0,
+                lab = format_tick(xv),
+            );
+        }
+
+        // Axes.
+        let _ = write!(
+            svg,
+            "<line x1=\"{MARGIN_L}\" y1=\"{MARGIN_T}\" x2=\"{MARGIN_L}\" y2=\"{yb}\" stroke=\"black\"/>\n\
+             <line x1=\"{MARGIN_L}\" y1=\"{yb}\" x2=\"{xr}\" y2=\"{yb}\" stroke=\"black\"/>\n\
+             <text x=\"{xc}\" y=\"{HEIGHT}\" font-size=\"13\" text-anchor=\"middle\" dy=\"-8\">{xl}</text>\n\
+             <text x=\"16\" y=\"{yc}\" font-size=\"13\" text-anchor=\"middle\" transform=\"rotate(-90 16 {yc})\">{yl}</text>\n",
+            yb = MARGIN_T + ph,
+            xr = MARGIN_L + pw,
+            xc = MARGIN_L + pw / 2.0,
+            yc = MARGIN_T + ph / 2.0,
+            xl = xml_escape(&self.x_label),
+            yl = xml_escape(&self.y_label),
+        );
+
+        // Series.
+        for (i, s) in self.series.iter().enumerate() {
+            let color = PALETTE[i % PALETTE.len()];
+            let mut path = String::new();
+            for (j, &(x, y)) in s.points.iter().enumerate() {
+                let _ = write!(
+                    path,
+                    "{}{:.1},{:.1} ",
+                    if j == 0 { "" } else { "" },
+                    sx(x),
+                    sy(y)
+                );
+            }
+            let _ = write!(
+                svg,
+                "<polyline points=\"{path}\" fill=\"none\" stroke=\"{color}\" stroke-width=\"2\"/>\n"
+            );
+            for &(x, y) in &s.points {
+                let _ = write!(
+                    svg,
+                    "<circle cx=\"{:.1}\" cy=\"{:.1}\" r=\"3.2\" fill=\"{color}\"/>\n",
+                    sx(x),
+                    sy(y)
+                );
+            }
+            // Legend entry.
+            let ly = MARGIN_T + 16.0 + i as f64 * 20.0;
+            let lx = MARGIN_L + pw + 14.0;
+            let _ = write!(
+                svg,
+                "<line x1=\"{lx}\" y1=\"{ly}\" x2=\"{x2}\" y2=\"{ly}\" stroke=\"{color}\" stroke-width=\"2\"/>\n\
+                 <circle cx=\"{cx}\" cy=\"{ly}\" r=\"3.2\" fill=\"{color}\"/>\n\
+                 <text x=\"{tx}\" y=\"{ty}\" font-size=\"12\">{lab}</text>\n",
+                x2 = lx + 26.0,
+                cx = lx + 13.0,
+                tx = lx + 32.0,
+                ty = ly + 4.0,
+                lab = xml_escape(&s.label),
+            );
+        }
+        svg.push_str("</svg>\n");
+        svg
+    }
+}
+
+fn format_tick(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_owned()
+    } else if v.abs() >= 1000.0 || v.abs() < 0.01 {
+        format!("{v:.1e}")
+    } else if (v - v.round()).abs() < 1e-9 {
+        format!("{}", v.round() as i64)
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+fn xml_escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chart() -> Chart {
+        Chart {
+            title: "Test <chart>".into(),
+            x_label: "threads".into(),
+            y_label: "speedup".into(),
+            y_from_zero: true,
+            series: vec![
+                Series {
+                    label: "omp".into(),
+                    points: vec![(1.0, 1.0), (2.0, 1.9), (4.0, 3.7)],
+                },
+                Series {
+                    label: "dataflow".into(),
+                    points: vec![(1.0, 1.0), (2.0, 1.95), (4.0, 3.9)],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn renders_well_formed_svg() {
+        let svg = chart().render();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert_eq!(svg.matches("<polyline").count(), 2);
+        assert_eq!(svg.matches("<circle").count(), 6 + 2); // markers + legend dots
+        assert!(svg.contains("Test &lt;chart&gt;"), "title escaped");
+        // Balanced text elements.
+        assert_eq!(svg.matches("<text").count(), svg.matches("</text>").count());
+    }
+
+    #[test]
+    fn flat_series_does_not_collapse() {
+        let c = Chart {
+            title: "flat".into(),
+            x_label: "x".into(),
+            y_label: "y".into(),
+            y_from_zero: false,
+            series: vec![Series {
+                label: "s".into(),
+                points: vec![(1.0, 5.0), (2.0, 5.0)],
+            }],
+        };
+        let svg = c.render();
+        assert!(svg.contains("<polyline"));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty chart")]
+    fn empty_chart_panics() {
+        let c = Chart {
+            title: String::new(),
+            x_label: String::new(),
+            y_label: String::new(),
+            y_from_zero: false,
+            series: vec![],
+        };
+        let _ = c.render();
+    }
+
+    #[test]
+    fn tick_formatting() {
+        assert_eq!(format_tick(0.0), "0");
+        assert_eq!(format_tick(16.0), "16");
+        assert_eq!(format_tick(0.75), "0.75");
+        assert!(format_tick(12345.0).contains('e'));
+    }
+}

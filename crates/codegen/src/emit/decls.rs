@@ -1,0 +1,145 @@
+//! Emission of the target-independent declarations: inputs struct,
+//! `op_decl_*` wrappers, and the loop shells.
+
+use crate::ast::App;
+
+use super::type_prefix;
+
+/// The `<App>Inputs` struct: raw sizes, map tables, and initial dat data.
+pub(super) fn emit_inputs(app: &App) -> String {
+    let prefix = type_prefix(&app.name);
+    let mut out = format!(
+        "/// Raw mesh tables and initial data for app `{}`.\npub struct {prefix}Inputs {{\n",
+        app.name
+    );
+    for s in &app.sets {
+        out.push_str(&format!("    pub {s}_size: usize,\n"));
+    }
+    for m in &app.maps {
+        out.push_str(&format!(
+            "    /// {} -> {} table, {} entries per element.\n    pub {}: Vec<u32>,\n",
+            m.from, m.to, m.dim, m.name
+        ));
+    }
+    for d in &app.dats {
+        out.push_str(&format!(
+            "    /// On `{}`, dim {}.\n    pub {}: Vec<{}>,\n",
+            d.set, d.dim, d.name, d.ty
+        ));
+    }
+    out.push_str("}\n\n");
+    out
+}
+
+/// The `<App>Decls` struct and `declare()` (op_decl_set/map/dat).
+pub(super) fn emit_decls(app: &App) -> String {
+    let prefix = type_prefix(&app.name);
+    let mut out = format!("/// Declared OP2 sets, maps, and dats.\npub struct {prefix}Decls {{\n");
+    for s in &app.sets {
+        out.push_str(&format!("    pub {s}: Set,\n"));
+    }
+    for m in &app.maps {
+        out.push_str(&format!("    pub {}: Map,\n", m.name));
+    }
+    for d in &app.dats {
+        out.push_str(&format!("    pub {}: Dat<{}>,\n", d.name, d.ty));
+    }
+    out.push_str("}\n\n");
+
+    out.push_str(&format!(
+        "/// Declare the OP2 objects from the raw inputs.\n\
+         pub fn declare(inputs: {prefix}Inputs) -> {prefix}Decls {{\n"
+    ));
+    for s in &app.sets {
+        out.push_str(&format!(
+            "    let {s} = Set::new(\"{s}\", inputs.{s}_size);\n"
+        ));
+    }
+    for m in &app.maps {
+        out.push_str(&format!(
+            "    let {0} = Map::new(\"{0}\", &{1}, &{2}, {3}, inputs.{0});\n",
+            m.name, m.from, m.to, m.dim
+        ));
+    }
+    for d in &app.dats {
+        out.push_str(&format!(
+            "    let {0} = Dat::new(\"{0}\", &{1}, {2}, inputs.{0});\n",
+            d.name, d.set, d.dim
+        ));
+    }
+    out.push_str(&format!("    {prefix}Decls {{\n"));
+    for s in &app.sets {
+        out.push_str(&format!("        {s},\n"));
+    }
+    for m in &app.maps {
+        out.push_str(&format!("        {},\n", m.name));
+    }
+    for d in &app.dats {
+        out.push_str(&format!("        {},\n", d.name));
+    }
+    out.push_str("    }\n}\n\n");
+    out
+}
+
+/// The `<App>Loops` struct and its constructor taking the user kernels.
+pub(super) fn emit_loops(app: &App) -> String {
+    let prefix = type_prefix(&app.name);
+    let mut out = format!(
+        "/// The parallel loops of `{}`; kernel bodies are supplied by the\n\
+         /// application (they receive the element index and the global-\n\
+         /// reduction scratch, and reach dats through captured `DatView`s).\n\
+         pub struct {prefix}Loops {{\n",
+        app.name
+    );
+    for l in &app.loops {
+        out.push_str(&format!("    pub {}: ParLoop,\n", l.name));
+    }
+    out.push_str("}\n\n");
+
+    out.push_str(&format!("impl {prefix}Loops {{\n"));
+    out.push_str("    /// Build every loop shell against the declarations.\n");
+    out.push_str("    pub fn new(\n        d: &");
+    out.push_str(&prefix);
+    out.push_str("Decls,\n");
+    for l in &app.loops {
+        out.push_str(&format!(
+            "        {}_kernel: impl Fn(usize, &mut [f64]) + Send + Sync + 'static,\n",
+            l.name
+        ));
+    }
+    out.push_str(&format!("    ) -> {prefix}Loops {{\n"));
+    for l in &app.loops {
+        out.push_str(&format!(
+            "        let {0} = ParLoop::build(\"{0}\", &d.{1})\n",
+            l.name, l.set
+        ));
+        for a in &l.args {
+            match &a.via {
+                None => out.push_str(&format!(
+                    "            .arg(arg_direct(&d.{}, {}))\n",
+                    a.dat,
+                    a.access.rust_name()
+                )),
+                Some((map, idx)) => out.push_str(&format!(
+                    "            .arg(arg_indirect(&d.{}, {idx}, &d.{map}, {}))\n",
+                    a.dat,
+                    a.access.rust_name()
+                )),
+            }
+        }
+        if l.gbl_dim > 0 {
+            out.push_str(&format!(
+                "            .{}({})\n",
+                l.gbl_op.rust_builder(),
+                l.gbl_dim
+            ));
+        }
+        out.push_str(&format!("            .kernel({}_kernel);\n", l.name));
+    }
+    out.push_str(&format!("        {prefix}Loops {{\n"));
+    for l in &app.loops {
+        out.push_str(&format!("            {},\n", l.name));
+    }
+    out.push_str("        }\n    }\n}\n\n");
+    out
+}

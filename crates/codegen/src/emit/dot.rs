@@ -1,0 +1,126 @@
+//! Graphviz (DOT) emission of the inter-loop dependency DAG — the "execution
+//! tree representing the algorithmic data dependencies" the paper's dataflow
+//! model builds implicitly (its Fig. 14 narrative), made visible.
+//!
+//! Nodes are loop *invocations* (program order); edges are the
+//! read-after-write / write-after-read / write-after-write dependencies
+//! derived from the declared access modes, labelled with the dats that
+//! induce them. Transitively implied edges are pruned for readability.
+
+use crate::ast::App;
+
+use super::flat_program;
+
+/// Render the dependency DAG of `app`'s program as a DOT digraph.
+pub fn emit_dot(app: &App) -> String {
+    let program = flat_program(app);
+    let n = program.len();
+
+    // Direct dependency edges with their inducing dats.
+    let mut edges: Vec<Vec<(usize, Vec<String>)>> = vec![Vec::new(); n]; // edges[to] = [(from, dats)]
+    for (j, name_j) in program.iter().enumerate() {
+        let lj = app.loop_by_name(name_j).expect("validated");
+        // The *latest* conflicting access per dat wins (older ones are
+        // transitively covered through it or a later reader).
+        let mut blocked: Vec<(usize, Vec<String>)> = Vec::new();
+        for i in (0..j).rev() {
+            let li = app.loop_by_name(&program[i]).expect("validated");
+            let mut dats: Vec<String> = Vec::new();
+            for d in li.writes() {
+                if (lj.reads().contains(&d) || lj.writes().contains(&d))
+                    && !already_covered(&blocked, d)
+                {
+                    dats.push(d.to_owned());
+                }
+            }
+            for d in li.reads() {
+                if lj.writes().contains(&d)
+                    && !li.writes().contains(&d)
+                    && !already_covered(&blocked, d)
+                {
+                    dats.push(d.to_owned());
+                }
+            }
+            dats.sort();
+            dats.dedup();
+            if !dats.is_empty() {
+                blocked.push((i, dats));
+            }
+        }
+        edges[j] = blocked;
+    }
+
+    let mut out = String::from("digraph dependencies {\n  rankdir=TB;\n  node [shape=box, fontname=\"Helvetica\"];\n");
+    for (i, name) in program.iter().enumerate() {
+        out.push_str(&format!("  n{i} [label=\"{i}: {name}\"];\n"));
+    }
+    for (j, deps) in edges.iter().enumerate() {
+        for (i, dats) in deps {
+            out.push_str(&format!(
+                "  n{i} -> n{j} [label=\"{}\"];\n",
+                dats.join(", ")
+            ));
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn already_covered(blocked: &[(usize, Vec<String>)], dat: &str) -> bool {
+    blocked.iter().any(|(_, dats)| dats.iter().any(|d| d == dat))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    const SMALL: &str = r#"
+app demo;
+set cells;
+dat q on cells dim 1 type f64;
+dat r on cells dim 1 type f64;
+loop produce over cells { arg q direct write; }
+loop consume over cells { arg q direct read; arg r direct write; }
+loop finish  over cells { arg r direct rw; }
+program { produce; consume; finish; }
+"#;
+
+    #[test]
+    fn chain_produces_chain_edges() {
+        let app = parse(SMALL).unwrap();
+        let dot = emit_dot(&app);
+        assert!(dot.contains("n0 -> n1 [label=\"q\"]"), "{dot}");
+        assert!(dot.contains("n1 -> n2 [label=\"r\"]"), "{dot}");
+        // produce and finish share no dat: no direct edge.
+        assert!(!dot.contains("n0 -> n2"), "{dot}");
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn independent_loops_have_no_edges() {
+        let app = parse(
+            "app a; set s; dat x on s dim 1 type f64; dat y on s dim 1 type f64;\
+             loop lx over s { arg x direct rw; } loop ly over s { arg y direct rw; }\
+             program { lx; ly; }",
+        )
+        .unwrap();
+        let dot = emit_dot(&app);
+        assert!(!dot.contains("->"), "{dot}");
+    }
+
+    #[test]
+    fn latest_writer_shadows_older_dependencies() {
+        let app = parse(
+            "app a; set s; dat x on s dim 1 type f64;\
+             loop w over s { arg x direct write; } program { w; w; w; }",
+        )
+        .unwrap();
+        let dot = emit_dot(&app);
+        // Only chain edges 0->1 and 1->2, not 0->2 (shadowed).
+        assert!(dot.contains("n0 -> n1"));
+        assert!(dot.contains("n1 -> n2"));
+        assert!(!dot.contains("n0 -> n2"), "{dot}");
+    }
+}

@@ -1,0 +1,174 @@
+//! Tokenizer for `.op2rs` sources.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Unsigned integer literal.
+    Int(usize),
+    /// `;`
+    Semi,
+    /// `:`
+    Colon,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `->`
+    Arrow,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "`{s}`"),
+            Tok::Int(n) => write!(f, "`{n}`"),
+            Tok::Semi => write!(f, "`;`"),
+            Tok::Colon => write!(f, "`:`"),
+            Tok::LBrace => write!(f, "`{{`"),
+            Tok::RBrace => write!(f, "`}}`"),
+            Tok::LBracket => write!(f, "`[`"),
+            Tok::RBracket => write!(f, "`]`"),
+            Tok::Arrow => write!(f, "`->`"),
+        }
+    }
+}
+
+/// A token plus its source line (1-based) for diagnostics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Spanned {
+    /// The token.
+    pub tok: Tok,
+    /// Source line it starts on.
+    pub line: usize,
+}
+
+/// Tokenize; `#` starts a comment to end of line.
+pub fn lex(src: &str) -> Result<Vec<Spanned>, String> {
+    let mut out = Vec::new();
+    let mut chars = src.chars().peekable();
+    let mut line = 1usize;
+    while let Some(&c) = chars.peek() {
+        match c {
+            '\n' => {
+                line += 1;
+                chars.next();
+            }
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '#' => {
+                for c in chars.by_ref() {
+                    if c == '\n' {
+                        line += 1;
+                        break;
+                    }
+                }
+            }
+            ';' => {
+                out.push(Spanned { tok: Tok::Semi, line });
+                chars.next();
+            }
+            ':' => {
+                out.push(Spanned { tok: Tok::Colon, line });
+                chars.next();
+            }
+            '{' => {
+                out.push(Spanned { tok: Tok::LBrace, line });
+                chars.next();
+            }
+            '}' => {
+                out.push(Spanned { tok: Tok::RBrace, line });
+                chars.next();
+            }
+            '[' => {
+                out.push(Spanned { tok: Tok::LBracket, line });
+                chars.next();
+            }
+            ']' => {
+                out.push(Spanned { tok: Tok::RBracket, line });
+                chars.next();
+            }
+            '-' => {
+                chars.next();
+                if chars.peek() == Some(&'>') {
+                    chars.next();
+                    out.push(Spanned { tok: Tok::Arrow, line });
+                } else {
+                    return Err(format!("line {line}: expected `->`, found lone `-`"));
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let mut n = 0usize;
+                while let Some(&d) = chars.peek() {
+                    if let Some(v) = d.to_digit(10) {
+                        n = n
+                            .checked_mul(10)
+                            .and_then(|n| n.checked_add(v as usize))
+                            .ok_or_else(|| format!("line {line}: integer literal overflows"))?;
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Spanned { tok: Tok::Int(n), line });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut s = String::new();
+                while let Some(&d) = chars.peek() {
+                    if d.is_ascii_alphanumeric() || d == '_' {
+                        s.push(d);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Spanned { tok: Tok::Ident(s), line });
+            }
+            other => {
+                return Err(format!("line {line}: unexpected character {other:?}"));
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_declarations() {
+        let toks = lex("map pecell : edges -> cells dim 2;").unwrap();
+        let kinds: Vec<&Tok> = toks.iter().map(|s| &s.tok).collect();
+        assert_eq!(kinds.len(), 9);
+        assert_eq!(*kinds[2], Tok::Colon);
+        assert_eq!(*kinds[4], Tok::Arrow);
+        assert_eq!(*kinds[8], Tok::Semi);
+    }
+
+    #[test]
+    fn comments_and_lines() {
+        let toks = lex("a; # comment ; ignored\nb;").unwrap();
+        assert_eq!(toks.len(), 4);
+        assert_eq!(toks[2].line, 2);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(lex("loop @").is_err());
+        assert!(lex("a - b").is_err());
+    }
+
+    #[test]
+    fn integer_overflow_is_error() {
+        assert!(lex("99999999999999999999999999").is_err());
+    }
+}

@@ -1,0 +1,103 @@
+//! `op2rs-gen` — the source-to-source translator CLI.
+//!
+//! ```text
+//! op2rs-gen --target dataflow app.op2rs [-o generated.rs]
+//! ```
+
+use std::io::Write;
+use std::process::ExitCode;
+
+use op2_codegen::{emit_dot, parse, translate, Target};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut target = None;
+    let mut input = None;
+    let mut output = None;
+    let mut dot = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--target" | "-t" => {
+                let Some(name) = it.next() else {
+                    eprintln!("--target needs a value (omp|foreach|async|dataflow)");
+                    return ExitCode::FAILURE;
+                };
+                match Target::parse(name) {
+                    Some(t) => target = Some(t),
+                    None => {
+                        eprintln!("unknown target `{name}` (omp|foreach|async|dataflow)");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "-o" | "--output" => {
+                output = it.next().cloned();
+                if output.is_none() {
+                    eprintln!("-o needs a path");
+                    return ExitCode::FAILURE;
+                }
+            }
+            "--emit-dot" => {
+                dot = true;
+            }
+            "-h" | "--help" => {
+                println!(
+                    "usage: op2rs-gen --target omp|foreach|async|dataflow INPUT.op2rs [-o OUT.rs]\n\
+                     \x20      op2rs-gen --emit-dot INPUT.op2rs [-o OUT.dot]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                if input.is_some() {
+                    eprintln!("unexpected argument `{other}`");
+                    return ExitCode::FAILURE;
+                }
+                input = Some(other.to_owned());
+            }
+        }
+    }
+    let Some(input) = input else {
+        eprintln!("usage: op2rs-gen --target omp|foreach|async|dataflow INPUT.op2rs [-o OUT.rs]");
+        return ExitCode::FAILURE;
+    };
+    let source = match std::fs::read_to_string(&input) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot read {input}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = if dot {
+        parse(&source)
+            .and_then(|app| op2_codegen::validate::validate(&app).map(|()| app))
+            .map(|app| emit_dot(&app))
+    } else {
+        let Some(target) = target else {
+            eprintln!("--target required (or use --emit-dot)");
+            return ExitCode::FAILURE;
+        };
+        translate(&source, target)
+    };
+    match result {
+        Ok(code) => {
+            match output {
+                Some(path) => {
+                    if let Err(e) = std::fs::write(&path, code) {
+                        eprintln!("cannot write {path}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+                None => {
+                    let mut stdout = std::io::stdout().lock();
+                    let _ = stdout.write_all(code.as_bytes());
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{input}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

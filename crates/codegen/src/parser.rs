@@ -1,0 +1,302 @@
+//! Recursive-descent parser for `.op2rs` sources.
+
+use crate::ast::{Access, App, ArgDecl, DatDecl, GblOp, LoopDecl, MapDecl, ProgramItem};
+use crate::lexer::{lex, Spanned, Tok};
+
+struct Parser {
+    toks: Vec<Spanned>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|s| &s.tok)
+    }
+
+    fn line(&self) -> usize {
+        self.toks
+            .get(self.pos.min(self.toks.len().saturating_sub(1)))
+            .map_or(0, |s| s.line)
+    }
+
+    fn next(&mut self) -> Result<Tok, String> {
+        let t = self
+            .toks
+            .get(self.pos)
+            .ok_or_else(|| "unexpected end of input".to_owned())?;
+        self.pos += 1;
+        Ok(t.tok.clone())
+    }
+
+    fn expect(&mut self, want: &Tok) -> Result<(), String> {
+        let line = self.line();
+        let got = self.next()?;
+        if &got == want {
+            Ok(())
+        } else {
+            Err(format!("line {line}: expected {want}, found {got}"))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, String> {
+        let line = self.line();
+        match self.next()? {
+            Tok::Ident(s) => Ok(s),
+            other => Err(format!("line {line}: expected identifier, found {other}")),
+        }
+    }
+
+    fn keyword(&mut self, kw: &str) -> Result<(), String> {
+        let line = self.line();
+        let got = self.ident()?;
+        if got == kw {
+            Ok(())
+        } else {
+            Err(format!("line {line}: expected `{kw}`, found `{got}`"))
+        }
+    }
+
+    fn int(&mut self) -> Result<usize, String> {
+        let line = self.line();
+        match self.next()? {
+            Tok::Int(n) => Ok(n),
+            other => Err(format!("line {line}: expected integer, found {other}")),
+        }
+    }
+
+    fn access(&mut self) -> Result<Access, String> {
+        let line = self.line();
+        let s = self.ident()?;
+        match s.as_str() {
+            "read" => Ok(Access::Read),
+            "write" => Ok(Access::Write),
+            "rw" => Ok(Access::ReadWrite),
+            "inc" => Ok(Access::Inc),
+            other => Err(format!(
+                "line {line}: expected access mode (read/write/rw/inc), found `{other}`"
+            )),
+        }
+    }
+
+    fn loop_body(&mut self, name: String, set: String) -> Result<LoopDecl, String> {
+        self.expect(&Tok::LBrace)?;
+        let mut args = Vec::new();
+        let mut gbl_dim = 0;
+        let mut gbl_op = GblOp::Inc;
+        loop {
+            match self.peek() {
+                Some(Tok::RBrace) => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(Tok::Ident(kw)) if kw == "arg" => {
+                    self.pos += 1;
+                    let dat = self.ident()?;
+                    let via = if matches!(self.peek(), Some(Tok::Ident(k)) if k == "via") {
+                        self.pos += 1;
+                        let map = self.ident()?;
+                        self.expect(&Tok::LBracket)?;
+                        let idx = self.int()?;
+                        self.expect(&Tok::RBracket)?;
+                        Some((map, idx))
+                    } else {
+                        self.keyword("direct")?;
+                        None
+                    };
+                    let access = self.access()?;
+                    self.expect(&Tok::Semi)?;
+                    args.push(ArgDecl { dat, via, access });
+                }
+                Some(Tok::Ident(kw)) if kw == "gbl" => {
+                    self.pos += 1;
+                    let line = self.line();
+                    gbl_op = match self.ident()?.as_str() {
+                        "inc" => GblOp::Inc,
+                        "min" => GblOp::Min,
+                        "max" => GblOp::Max,
+                        other => {
+                            return Err(format!(
+                                "line {line}: expected gbl operator (inc/min/max), found `{other}`"
+                            ))
+                        }
+                    };
+                    self.keyword("dim")?;
+                    gbl_dim = self.int()?;
+                    self.expect(&Tok::Semi)?;
+                }
+                _ => {
+                    return Err(format!(
+                        "line {}: expected `arg`, `gbl`, or `}}` in loop body",
+                        self.line()
+                    ))
+                }
+            }
+        }
+        Ok(LoopDecl {
+            name,
+            set,
+            args,
+            gbl_dim,
+            gbl_op,
+        })
+    }
+
+    fn program_items(&mut self) -> Result<Vec<ProgramItem>, String> {
+        self.expect(&Tok::LBrace)?;
+        let mut items = Vec::new();
+        loop {
+            match self.peek() {
+                Some(Tok::RBrace) => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(Tok::Ident(kw)) if kw == "repeat" => {
+                    self.pos += 1;
+                    let n = self.int()?;
+                    let body = self.program_items()?;
+                    items.push(ProgramItem::Repeat(n, body));
+                }
+                Some(Tok::Ident(_)) => {
+                    let name = self.ident()?;
+                    self.expect(&Tok::Semi)?;
+                    items.push(ProgramItem::Invoke(name));
+                }
+                _ => {
+                    return Err(format!(
+                        "line {}: expected loop name, `repeat`, or `}}` in program",
+                        self.line()
+                    ))
+                }
+            }
+        }
+        Ok(items)
+    }
+}
+
+/// Parse an `.op2rs` source into an [`App`].
+pub fn parse(src: &str) -> Result<App, String> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, pos: 0 };
+    let mut app = App::default();
+    while p.peek().is_some() {
+        let line = p.line();
+        let kw = p.ident()?;
+        match kw.as_str() {
+            "app" => {
+                app.name = p.ident()?;
+                p.expect(&Tok::Semi)?;
+            }
+            "set" => {
+                app.sets.push(p.ident()?);
+                p.expect(&Tok::Semi)?;
+            }
+            "map" => {
+                let name = p.ident()?;
+                p.expect(&Tok::Colon)?;
+                let from = p.ident()?;
+                p.expect(&Tok::Arrow)?;
+                let to = p.ident()?;
+                p.keyword("dim")?;
+                let dim = p.int()?;
+                p.expect(&Tok::Semi)?;
+                app.maps.push(MapDecl {
+                    name,
+                    from,
+                    to,
+                    dim,
+                });
+            }
+            "dat" => {
+                let name = p.ident()?;
+                p.keyword("on")?;
+                let set = p.ident()?;
+                p.keyword("dim")?;
+                let dim = p.int()?;
+                p.keyword("type")?;
+                let ty = p.ident()?;
+                p.expect(&Tok::Semi)?;
+                app.dats.push(DatDecl { name, set, dim, ty });
+            }
+            "loop" => {
+                let name = p.ident()?;
+                p.keyword("over")?;
+                let set = p.ident()?;
+                let l = p.loop_body(name, set)?;
+                app.loops.push(l);
+            }
+            "program" => {
+                app.program = p.program_items()?;
+            }
+            other => {
+                return Err(format!(
+                    "line {line}: unknown top-level declaration `{other}`"
+                ))
+            }
+        }
+    }
+    Ok(app)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SMALL: &str = r#"
+app demo;
+set cells;
+set edges;
+map pecell : edges -> cells dim 2;
+dat q on cells dim 4 type f64;
+dat res on cells dim 4 type f64;
+
+loop flux over edges {
+    arg q via pecell[0] read;
+    arg q via pecell[1] read;
+    arg res via pecell[0] inc;
+    arg res via pecell[1] inc;
+    gbl inc dim 1;
+}
+loop update over cells {
+    arg res direct rw;
+    arg q direct write;
+}
+program {
+    repeat 3 { flux; update; }
+}
+"#;
+
+    #[test]
+    fn parses_small_app() {
+        let app = parse(SMALL).unwrap();
+        assert_eq!(app.name, "demo");
+        assert_eq!(app.sets, vec!["cells", "edges"]);
+        assert_eq!(app.maps.len(), 1);
+        assert_eq!(app.dats.len(), 2);
+        assert_eq!(app.loops.len(), 2);
+        let flux = app.loop_by_name("flux").unwrap();
+        assert_eq!(flux.args.len(), 4);
+        assert_eq!(flux.gbl_dim, 1);
+        assert_eq!(flux.args[2].via, Some(("pecell".to_owned(), 0)));
+        assert_eq!(
+            crate::ast::ProgramItem::flatten(&app.program),
+            vec!["flux", "update", "flux", "update", "flux", "update"]
+        );
+    }
+
+    #[test]
+    fn error_mentions_line() {
+        let err = parse("app demo;\nset ;").unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn rejects_bad_access() {
+        let err = parse("loop l over s { arg d direct sideways; }").unwrap_err();
+        assert!(err.contains("access mode"), "{err}");
+    }
+
+    #[test]
+    fn rejects_unknown_toplevel() {
+        assert!(parse("banana split;").is_err());
+    }
+}

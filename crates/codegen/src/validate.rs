@@ -1,0 +1,178 @@
+//! Semantic validation of a parsed application.
+
+use std::collections::HashSet;
+
+use crate::ast::App;
+
+/// Check referential integrity and dimensional sanity:
+///
+/// * set/map/dat/loop names unique and declared before use,
+/// * maps connect declared sets; dats live on declared sets,
+/// * indirect args use a map whose domain is the loop's iteration set and
+///   whose target is the dat's set, with the index in range,
+/// * direct args name dats on the loop's iteration set,
+/// * the program only invokes declared loops.
+pub fn validate(app: &App) -> Result<(), String> {
+    let mut seen = HashSet::new();
+    for s in &app.sets {
+        if !seen.insert(s.as_str()) {
+            return Err(format!("set `{s}` declared twice"));
+        }
+    }
+    let sets: HashSet<&str> = app.sets.iter().map(String::as_str).collect();
+
+    let mut names = HashSet::new();
+    for m in &app.maps {
+        if !names.insert(m.name.as_str()) {
+            return Err(format!("map `{}` declared twice", m.name));
+        }
+        if !sets.contains(m.from.as_str()) {
+            return Err(format!("map `{}`: unknown domain set `{}`", m.name, m.from));
+        }
+        if !sets.contains(m.to.as_str()) {
+            return Err(format!("map `{}`: unknown target set `{}`", m.name, m.to));
+        }
+        if m.dim == 0 {
+            return Err(format!("map `{}`: dimension must be positive", m.name));
+        }
+    }
+
+    let mut dat_names = HashSet::new();
+    for d in &app.dats {
+        if !dat_names.insert(d.name.as_str()) {
+            return Err(format!("dat `{}` declared twice", d.name));
+        }
+        if !sets.contains(d.set.as_str()) {
+            return Err(format!("dat `{}`: unknown set `{}`", d.name, d.set));
+        }
+        if d.dim == 0 {
+            return Err(format!("dat `{}`: dimension must be positive", d.name));
+        }
+        if !matches!(d.ty.as_str(), "f64" | "f32" | "i32" | "i64" | "u32" | "u64") {
+            return Err(format!("dat `{}`: unsupported element type `{}`", d.name, d.ty));
+        }
+    }
+
+    let mut loop_names = HashSet::new();
+    for l in &app.loops {
+        if !loop_names.insert(l.name.as_str()) {
+            return Err(format!("loop `{}` declared twice", l.name));
+        }
+        if !sets.contains(l.set.as_str()) {
+            return Err(format!("loop `{}`: unknown set `{}`", l.name, l.set));
+        }
+        for (i, a) in l.args.iter().enumerate() {
+            let dat = app
+                .dat_by_name(&a.dat)
+                .ok_or_else(|| format!("loop `{}` arg {i}: unknown dat `{}`", l.name, a.dat))?;
+            match &a.via {
+                None => {
+                    if dat.set != l.set {
+                        return Err(format!(
+                            "loop `{}` arg {i}: direct dat `{}` lives on `{}`, loop iterates `{}`",
+                            l.name, a.dat, dat.set, l.set
+                        ));
+                    }
+                }
+                Some((map_name, idx)) => {
+                    let map = app.map_by_name(map_name).ok_or_else(|| {
+                        format!("loop `{}` arg {i}: unknown map `{map_name}`", l.name)
+                    })?;
+                    if map.from != l.set {
+                        return Err(format!(
+                            "loop `{}` arg {i}: map `{map_name}` maps from `{}`, loop iterates `{}`",
+                            l.name, map.from, l.set
+                        ));
+                    }
+                    if map.to != dat.set {
+                        return Err(format!(
+                            "loop `{}` arg {i}: map `{map_name}` targets `{}`, dat `{}` lives on `{}`",
+                            l.name, map.to, a.dat, dat.set
+                        ));
+                    }
+                    if *idx >= map.dim {
+                        return Err(format!(
+                            "loop `{}` arg {i}: index {idx} out of range for map `{map_name}` (dim {})",
+                            l.name, map.dim
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    for name in crate::ast::ProgramItem::flatten(&app.program) {
+        if !loop_names.contains(name.as_str()) {
+            return Err(format!("program invokes unknown loop `{name}`"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn check(src: &str) -> Result<(), String> {
+        validate(&parse(src).unwrap())
+    }
+
+    #[test]
+    fn accepts_valid() {
+        check(
+            "app a; set s; dat d on s dim 1 type f64;\
+             loop l over s { arg d direct rw; } program { l; }",
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn rejects_unknown_dat() {
+        let e = check("app a; set s; loop l over s { arg ghost direct read; } program { l; }")
+            .unwrap_err();
+        assert!(e.contains("unknown dat"), "{e}");
+    }
+
+    #[test]
+    fn rejects_wrong_map_domain() {
+        let e = check(
+            "app a; set s; set t; map m : t -> s dim 2; dat d on s dim 1 type f64;\
+             loop l over s { arg d via m[0] read; } program { l; }",
+        )
+        .unwrap_err();
+        assert!(e.contains("maps from"), "{e}");
+    }
+
+    #[test]
+    fn rejects_index_out_of_range() {
+        let e = check(
+            "app a; set s; set t; map m : s -> t dim 2; dat d on t dim 1 type f64;\
+             loop l over s { arg d via m[2] read; } program { l; }",
+        )
+        .unwrap_err();
+        assert!(e.contains("out of range"), "{e}");
+    }
+
+    #[test]
+    fn rejects_unknown_program_loop() {
+        let e = check("app a; set s; program { nonexistent; }").unwrap_err();
+        assert!(e.contains("unknown loop"), "{e}");
+    }
+
+    #[test]
+    fn rejects_bad_type() {
+        let e = check("app a; set s; dat d on s dim 1 type string; program { }").unwrap_err();
+        assert!(e.contains("unsupported element type"), "{e}");
+    }
+
+    #[test]
+    fn rejects_direct_arg_on_wrong_set() {
+        let e = check(
+            "app a; set s; set t; dat d on t dim 1 type f64;\
+             loop l over s { arg d direct read; } program { l; }",
+        )
+        .unwrap_err();
+        assert!(e.contains("lives on"), "{e}");
+    }
+}

@@ -1,0 +1,78 @@
+//! Robustness of the translator front end: arbitrary input must never panic
+//! — it either parses or returns a diagnostic — and valid programs survive a
+//! parse → emit → reparse-compatible round trip.
+
+use op2_codegen::{parse, translate, Target};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Any string: parse returns Ok or Err, never panics.
+    #[test]
+    fn parser_total_on_arbitrary_bytes(src in ".{0,200}") {
+        let _ = parse(&src);
+    }
+
+    /// Arbitrary sequences of plausible tokens: still total.
+    #[test]
+    fn parser_total_on_token_soup(
+        words in prop::collection::vec(
+            prop_oneof![
+                Just("app"), Just("set"), Just("map"), Just("dat"), Just("loop"),
+                Just("over"), Just("arg"), Just("direct"), Just("via"), Just("gbl"),
+                Just("inc"), Just("min"), Just("max"), Just("dim"), Just("type"),
+                Just("program"), Just("repeat"), Just("on"), Just("read"), Just("write"),
+                Just(";"), Just(":"), Just("{"), Just("}"), Just("["), Just("]"),
+                Just("->"), Just("7"), Just("x"), Just("f64"),
+            ],
+            0..40,
+        )
+    ) {
+        let src = words.join(" ");
+        let _ = parse(&src);
+    }
+
+    /// Generated programs with random loop graphs translate under every
+    /// target without panicking, and the async driver issues every loop.
+    #[test]
+    fn translate_random_valid_programs(
+        nloops in 1usize..6,
+        accesses in prop::collection::vec(0u8..4, 1..6),
+        repeats in 1usize..4,
+    ) {
+        let mut src = String::from("app fuzz;\nset cells;\n");
+        // One dat per access slot so loops share some dats.
+        for d in 0..accesses.len() {
+            src.push_str(&format!("dat d{d} on cells dim 1 type f64;\n"));
+        }
+        for l in 0..nloops {
+            src.push_str(&format!("loop l{l} over cells {{\n"));
+            for (d, a) in accesses.iter().enumerate() {
+                // Vary access by loop and slot.
+                let mode = match (a + l as u8 + d as u8) % 4 {
+                    0 => "read",
+                    1 => "write",
+                    2 => "rw",
+                    _ => "inc",
+                };
+                src.push_str(&format!("    arg d{d} direct {mode};\n"));
+            }
+            src.push_str("}\n");
+        }
+        src.push_str(&format!("program {{ repeat {repeats} {{"));
+        for l in 0..nloops {
+            src.push_str(&format!(" l{l};"));
+        }
+        src.push_str(" } }\n");
+
+        for target in [Target::Omp, Target::ForEach, Target::Async, Target::Dataflow] {
+            let code = translate(&src, target).expect("valid program must translate");
+            prop_assert_eq!(
+                code.matches("exec.execute(").count(),
+                nloops * repeats,
+                "issue count under {:?}", target
+            );
+        }
+    }
+}

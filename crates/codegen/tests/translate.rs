@@ -1,0 +1,165 @@
+//! End-to-end translator tests on the Airfoil description: all four targets,
+//! structural assertions on the emitted drivers (wait placement is the
+//! paper's §III-A2 correctness crux), and error propagation.
+
+use op2_codegen::{parse, translate, Target};
+
+const AIRFOIL: &str = include_str!("data/airfoil.op2rs");
+
+#[test]
+fn parses_airfoil_description() {
+    let app = parse(AIRFOIL).unwrap();
+    assert_eq!(app.name, "airfoil");
+    assert_eq!(app.sets.len(), 4);
+    assert_eq!(app.maps.len(), 5);
+    assert_eq!(app.dats.len(), 6);
+    assert_eq!(app.loops.len(), 5);
+    let flat = op2_codegen::ProgramItem::flatten(&app.program);
+    assert_eq!(flat.len(), 1 + 2 * 4);
+    assert_eq!(flat[0], "save_soln");
+    assert_eq!(flat[4], "update");
+}
+
+#[test]
+fn emits_all_targets() {
+    for target in [Target::Omp, Target::ForEach, Target::Async, Target::Dataflow] {
+        let code = translate(AIRFOIL, target).unwrap();
+        // Common structure.
+        assert!(code.contains("pub struct AirfoilInputs"), "{target:?}");
+        assert!(code.contains("pub fn declare(inputs: AirfoilInputs) -> AirfoilDecls"));
+        assert!(code.contains("ParLoop::build(\"res_calc\", &d.edges)"));
+        assert!(code.contains(".arg(arg_indirect(&d.p_res, 1, &d.pecell, Access::Inc))"));
+        assert!(code.contains(".gbl_inc(1)"));
+        assert!(code.contains("pub fn run_program"));
+        // 9 invocations per pass.
+        assert_eq!(code.matches("exec.execute(").count(), 9, "{target:?}");
+    }
+}
+
+#[test]
+fn blocking_targets_wait_after_every_loop() {
+    for target in [Target::Omp, Target::ForEach] {
+        let code = translate(AIRFOIL, target).unwrap();
+        assert_eq!(code.matches(".wait();").count(), 9, "{target:?}");
+    }
+}
+
+#[test]
+fn dataflow_target_emits_no_waits() {
+    let code = translate(AIRFOIL, Target::Dataflow).unwrap();
+    assert_eq!(code.matches(".wait()").count(), 0);
+}
+
+#[test]
+fn async_target_derives_dependency_waits() {
+    let code = translate(AIRFOIL, Target::Async).unwrap();
+    let waits = code.matches(".wait();").count();
+    // Fewer waits than the blocking driver (some loops overlap), but more
+    // than none: the derived placement.
+    assert!(waits > 0 && waits < 9, "derived {waits} waits");
+    // save_soln must be waited before the first update (qold dependency) —
+    // it is handle 0.
+    assert!(
+        code.contains("handles[0].wait()"),
+        "save_soln wait missing:\n{code}"
+    );
+    // adt_calc (handle 1) must be waited before res_calc (reads p_adt).
+    assert!(code.contains("handles[1].wait(); // `adt_calc` conflicts with `res_calc`"));
+}
+
+#[test]
+fn async_waits_respect_program_order_semantics() {
+    // Every pair of conflicting invocations must have a wait on the earlier
+    // one at or before the later one's issue point.
+    let app = parse(AIRFOIL).unwrap();
+    let code = translate(AIRFOIL, Target::Async).unwrap();
+    let flat = op2_codegen::ProgramItem::flatten(&app.program);
+    // Replay the emitted driver line by line.
+    let mut issued: Vec<(usize, &str)> = Vec::new(); // (handle idx, loop)
+    let mut waited: Vec<usize> = Vec::new();
+    for line in code.lines() {
+        let line = line.trim();
+        if let Some(rest) = line.strip_prefix("handles[") {
+            if line.contains(".wait()") {
+                let idx: usize = rest.split(']').next().unwrap().parse().unwrap();
+                waited.push(idx);
+            }
+        } else if line.starts_with("handles.push(exec.execute(&l.") {
+            let name = line
+                .trim_start_matches("handles.push(exec.execute(&l.")
+                .trim_end_matches("));");
+            // Check conflicts against all unwaited issued handles.
+            let decl = app.loop_by_name(name).unwrap();
+            for (idx, prev_name) in &issued {
+                let prev = app.loop_by_name(prev_name).unwrap();
+                if prev.conflicts_with(decl) {
+                    assert!(
+                        waited.contains(idx),
+                        "`{prev_name}` (handle {idx}) conflicts with `{name}` but was not waited"
+                    );
+                }
+            }
+            issued.push((issued.len(), name));
+        }
+    }
+    assert_eq!(issued.len(), flat.len());
+}
+
+#[test]
+fn translate_propagates_parse_errors() {
+    let err = translate("app broken;\nloop l over missing {", Target::Omp).unwrap_err();
+    assert!(err.contains("line"), "{err}");
+}
+
+#[test]
+fn translate_propagates_validation_errors() {
+    let err = translate(
+        "app a; set s; loop l over s { arg ghost direct read; } program { l; }",
+        Target::Dataflow,
+    )
+    .unwrap_err();
+    assert!(err.contains("unknown dat"), "{err}");
+}
+
+#[test]
+fn generated_code_is_deterministic() {
+    let a = translate(AIRFOIL, Target::Async).unwrap();
+    let b = translate(AIRFOIL, Target::Async).unwrap();
+    assert_eq!(a, b);
+}
+
+const SWE: &str = include_str!("data/shallow_water.op2rs");
+
+#[test]
+fn shallow_water_description_translates() {
+    let app = parse(SWE).unwrap();
+    assert_eq!(app.loops.len(), 5);
+    assert_eq!(
+        app.loop_by_name("swe_dt").unwrap().gbl_op,
+        op2_codegen::GblOp::Max
+    );
+    for target in [Target::Omp, Target::Async, Target::Dataflow] {
+        let code = translate(SWE, target).unwrap();
+        assert!(code.contains(".gbl_max(1)"), "{target:?}");
+        assert!(code.contains(".gbl_inc(1)"), "{target:?}");
+    }
+    // Async: dt reads w; flux reads w; no write between them — the wait on
+    // swe_save (writes wold read later) must exist before swe_update.
+    let code = translate(SWE, Target::Async).unwrap();
+    assert!(
+        code.contains("// `swe_save` conflicts with `swe_update`")
+            || code.contains("// `swe_save` conflicts with"),
+        "{code}"
+    );
+}
+
+#[test]
+fn shallow_water_dot_graph() {
+    let app = parse(SWE).unwrap();
+    let dot = op2_codegen::emit_dot(&app);
+    // flux -> update through res; save -> update through wold.
+    assert!(dot.contains("n2 -> n4") || dot.contains("n3 -> n4"), "{dot}");
+    assert!(dot.contains("n0 -> n4"), "{dot}");
+    // dt (n1) and flux (n2) both only read w: no edge between them.
+    assert!(!dot.contains("n1 -> n2"), "{dot}");
+}

@@ -1,0 +1,165 @@
+//! §III-A2 — `async` + `for_each(par(task))`: loops return futures.
+//!
+//! Direct loops are wrapped in `hpx::async` (one task running the parallel
+//! loop, Fig. 8); indirect loops use `for_each(par(task))` with colors chained
+//! by continuations (Fig. 9). Either way `execute` returns **immediately**
+//! with a future — the global end-of-loop barrier is gone.
+//!
+//! ⚠ Exactly as in the paper (Fig. 10), this backend does **not** order
+//! loops automatically: "the placement of `new_data.get()` depends on the
+//! application and the programmer should put them manually in the correct
+//! place by considering the data dependency between loops." Callers must
+//! `wait()`/`get()` a loop's handle before issuing a conflicting loop —
+//! the dataflow backend (§III-B) is the cure for that burden.
+
+use std::sync::Arc;
+
+use hpx_rt::{async_spawn, ChunkSize, SharedFuture};
+use op2_core::ParLoop;
+use parking_lot::Mutex;
+
+use crate::colored::{run_colored, run_colored_task};
+use crate::handle::LoopHandle;
+use crate::runtime::Op2Runtime;
+use crate::Executor;
+
+/// Future-returning executor (`async` for direct loops,
+/// `for_each(par(task))` for indirect ones).
+pub struct AsyncExecutor {
+    rt: Arc<Op2Runtime>,
+    chunk: ChunkSize,
+    outstanding: Mutex<Vec<SharedFuture<Vec<f64>>>>,
+}
+
+impl AsyncExecutor {
+    /// Async executor with the default chunk policy.
+    pub fn new(rt: Arc<Op2Runtime>) -> Self {
+        Self::with_chunk(rt, ChunkSize::Default)
+    }
+
+    /// Async executor with an explicit chunk policy.
+    pub fn with_chunk(rt: Arc<Op2Runtime>, chunk: ChunkSize) -> Self {
+        AsyncExecutor {
+            rt,
+            chunk,
+            outstanding: Mutex::new(Vec::new()),
+        }
+    }
+}
+
+impl Executor for AsyncExecutor {
+    fn name(&self) -> &'static str {
+        "async-foreach"
+    }
+
+    fn execute(&self, loop_: &ParLoop) -> LoopHandle {
+        let plan = self.rt.plan_for(loop_);
+        let pool = Arc::clone(self.rt.pool());
+        let chunk = self.chunk;
+        let fut = if loop_.is_direct() {
+            // Fig. 8: return async(launch::async, [=]{ for_each(par, …) }).
+            let loop_ = loop_.clone();
+            let pool2 = Arc::clone(&pool);
+            async_spawn(&pool, move || {
+                run_colored(&pool2, &loop_, &plan, chunk)
+            })
+        } else {
+            // Fig. 9: for_each(par(task)) — continuation-chained colors.
+            run_colored_task(&pool, loop_, &plan, chunk)
+        };
+        let shared = fut.share();
+        self.outstanding.lock().push(shared.clone());
+        LoopHandle::pending(shared)
+    }
+
+    fn fence(&self) {
+        let pending = std::mem::take(&mut *self.outstanding.lock());
+        for f in pending {
+            let _ = f.get();
+        }
+    }
+
+    fn is_asynchronous(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use op2_core::{arg_direct, arg_indirect, Access, Dat, Map, Set};
+
+    #[test]
+    fn direct_loop_returns_future() {
+        let rt = Arc::new(Op2Runtime::new(2, 16));
+        let cells = Set::new("cells", 300);
+        let q = Dat::filled("q", &cells, 1, 1.0f64);
+        let qv = q.view();
+        let l = ParLoop::build("inc", &cells)
+            .arg(arg_direct(&q, Access::ReadWrite))
+            .gbl_inc(1)
+            .kernel(move |e, gbl| unsafe {
+                qv.slice_mut(e)[0] += 1.0;
+                gbl[0] += 1.0;
+            });
+        let exec = AsyncExecutor::new(rt);
+        let h = exec.execute(&l);
+        assert_eq!(h.get(), vec![300.0]);
+        assert!(q.to_vec().iter().all(|&v| v == 2.0));
+    }
+
+    #[test]
+    fn indirect_loop_returns_future() {
+        let rt = Arc::new(Op2Runtime::new(2, 8));
+        let nedges = 100;
+        let edges = Set::new("edges", nedges);
+        let cells = Set::new("cells", nedges + 1);
+        let mut table = Vec::new();
+        for e in 0..nedges as u32 {
+            table.push(e);
+            table.push(e + 1);
+        }
+        let m = Map::new("pecell", &edges, &cells, 2, table);
+        let res = Dat::filled("res", &cells, 1, 0.0f64);
+        let rv = res.view();
+        let mv = m.clone();
+        let l = ParLoop::build("inc", &edges)
+            .arg(arg_indirect(&res, 0, &m, Access::Inc))
+            .arg(arg_indirect(&res, 1, &m, Access::Inc))
+            .kernel(move |e, _| unsafe {
+                rv.add(mv.at(e, 0), 0, 1.0);
+                rv.add(mv.at(e, 1), 0, 1.0);
+            });
+        let exec = AsyncExecutor::new(rt);
+        let h = exec.execute(&l);
+        h.wait();
+        let data = res.to_vec();
+        assert_eq!(data[0], 1.0);
+        assert!(data[1..nedges].iter().all(|&v| v == 2.0));
+    }
+
+    #[test]
+    fn fence_drains_outstanding() {
+        let rt = Arc::new(Op2Runtime::new(1, 16));
+        let cells = Set::new("cells", 100);
+        let q = Dat::filled("q", &cells, 1, 0.0f64);
+        let qv = q.view();
+        let exec = AsyncExecutor::new(rt);
+        // Issue several *independent* loops on disjoint dats — the async
+        // backend does not order conflicting loops.
+        let mut loops = Vec::new();
+        for _ in 0..4 {
+            let l = ParLoop::build("inc", &cells)
+                .arg(arg_direct(&q, Access::ReadWrite))
+                .kernel(move |e, _| unsafe {
+                    qv.add(e, 0, 0.0); // no-op increment keeps them commutative
+                });
+            loops.push(l);
+        }
+        for l in &loops {
+            let _ = exec.execute(l);
+        }
+        exec.fence();
+        assert!(exec.outstanding.lock().is_empty());
+    }
+}

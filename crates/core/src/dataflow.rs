@@ -1,0 +1,299 @@
+//! §III-B — the dataflow backend with the modified OP2 API.
+//!
+//! In the paper's modified API, `op_arg_dat` produces *futures* and every
+//! `op_par_loop` becomes a dataflow object (Fig. 12/13): it is invoked only
+//! once all of its input futures are ready, and itself fulfils the futures of
+//! its outputs. Chained over a whole application, this builds an execution
+//! tree mirroring the algorithmic data dependencies (Fig. 14's
+//! `data[t]`/`data[t-1]` chains), interleaving direct and indirect loops at
+//! runtime with no global barriers and no manual `get()` placement.
+//!
+//! Implementation: the executor keeps a **dependency table** mapping each dat
+//! id to its *last-writer* future and the *readers since that write*. A new
+//! loop depends on:
+//!
+//! * the last writer of every dat it reads (read-after-write),
+//! * the last writer of every dat it writes (write-after-write), and
+//! * all readers-since-write of every dat it writes (write-after-read).
+//!
+//! The loop body is scheduled with `dataflow` semantics
+//! ([`hpx_rt::when_all_shared_unit`] + a continuation) and its completion
+//! future replaces / extends the table entries. `execute` never blocks.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use hpx_rt::{when_all_shared_unit, ChunkSize, SharedFuture};
+use op2_core::ParLoop;
+use parking_lot::Mutex;
+
+use crate::colored::run_colored;
+use crate::handle::LoopHandle;
+use crate::runtime::Op2Runtime;
+use crate::Executor;
+
+/// Readers-since-write lists longer than this are merged into one future.
+const READER_COMPACT_THRESHOLD: usize = 64;
+
+#[derive(Default)]
+struct DatDeps {
+    last_writer: Option<SharedFuture<()>>,
+    readers_since_write: Vec<SharedFuture<()>>,
+}
+
+/// Dataflow executor: automatic inter-loop dependency DAG from the declared
+/// access modes (the paper's modified OP2 API).
+pub struct DataflowExecutor {
+    rt: Arc<Op2Runtime>,
+    chunk: ChunkSize,
+    table: Mutex<HashMap<u64, DatDeps>>,
+}
+
+impl DataflowExecutor {
+    /// Dataflow executor with the default chunk policy.
+    pub fn new(rt: Arc<Op2Runtime>) -> Self {
+        Self::with_chunk(rt, ChunkSize::Default)
+    }
+
+    /// Dataflow executor with an explicit chunk policy.
+    pub fn with_chunk(rt: Arc<Op2Runtime>, chunk: ChunkSize) -> Self {
+        DataflowExecutor {
+            rt,
+            chunk,
+            table: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Number of dats currently tracked in the dependency table.
+    pub fn tracked_dats(&self) -> usize {
+        self.table.lock().len()
+    }
+}
+
+impl Executor for DataflowExecutor {
+    fn name(&self) -> &'static str {
+        "dataflow"
+    }
+
+    fn execute(&self, loop_: &ParLoop) -> LoopHandle {
+        let plan = self.rt.plan_for(loop_);
+        let pool = Arc::clone(self.rt.pool());
+        let chunk = self.chunk;
+        let reads = loop_.dat_reads();
+        let writes = loop_.dat_writes();
+
+        // Gather dependency futures. Loops are issued in program order from
+        // one thread; the table lock makes the read-modify-write atomic.
+        let mut table = self.table.lock();
+        let mut deps: Vec<SharedFuture<()>> = Vec::new();
+        for id in &reads {
+            if let Some(d) = table.get(id) {
+                if let Some(w) = &d.last_writer {
+                    deps.push(w.clone());
+                }
+            }
+        }
+        for id in &writes {
+            if let Some(d) = table.get(id) {
+                if let Some(w) = &d.last_writer {
+                    deps.push(w.clone());
+                }
+                deps.extend(d.readers_since_write.iter().cloned());
+            }
+        }
+
+        // Fig. 13: dataflow(unwrapped([&]{ for_each(par, …); return out; }),
+        // arg0 … argN) — the body fires when the last dependency resolves.
+        let join = when_all_shared_unit(&pool, deps);
+        let body_loop = loop_.clone();
+        let body_pool = Arc::clone(&pool);
+        let body = join.then(&pool, move |_| {
+            run_colored(&body_pool, &body_loop, &plan, chunk)
+        });
+        let rms = body.share();
+        let done: SharedFuture<()> = rms.then(&pool, |_| ()).share();
+
+        for id in &writes {
+            let entry = table.entry(*id).or_default();
+            entry.last_writer = Some(done.clone());
+            entry.readers_since_write.clear();
+        }
+        for id in &reads {
+            if !writes.contains(id) {
+                let entry = table.entry(*id).or_default();
+                entry.readers_since_write.push(done.clone());
+                // A dat that is read every iteration but (almost) never
+                // written — e.g. mesh coordinates — would accumulate one
+                // reader per loop forever. Compact the list by merging it
+                // into a single joined future once it grows.
+                if entry.readers_since_write.len() > READER_COMPACT_THRESHOLD {
+                    let merged = when_all_shared_unit(
+                        &pool,
+                        std::mem::take(&mut entry.readers_since_write),
+                    )
+                    .share();
+                    entry.readers_since_write.push(merged);
+                }
+            }
+        }
+        drop(table);
+
+        LoopHandle::pending(rms)
+    }
+
+    fn fence(&self) {
+        // Snapshot, then wait outside the lock (waiters work-help and might
+        // execute loop bodies that themselves never take this lock — but a
+        // concurrent execute() from another thread must not deadlock on us).
+        let pending: Vec<SharedFuture<()>> = {
+            let table = self.table.lock();
+            table
+                .values()
+                .flat_map(|d| {
+                    d.last_writer
+                        .iter()
+                        .cloned()
+                        .chain(d.readers_since_write.iter().cloned())
+                })
+                .collect()
+        };
+        for f in pending {
+            f.get();
+        }
+    }
+
+    fn is_asynchronous(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use op2_core::{arg_direct, arg_indirect, Access, Dat, Map, Set};
+
+    /// save → compute → update chain on the same dats must execute in
+    /// program order purely from the dependency table.
+    #[test]
+    fn dependent_loops_execute_in_order() {
+        let rt = Arc::new(Op2Runtime::new(2, 16));
+        let cells = Set::new("cells", 200);
+        let q = Dat::filled("q", &cells, 1, 1.0f64);
+        let qold = Dat::filled("qold", &cells, 1, 0.0f64);
+        let exec = DataflowExecutor::new(rt);
+
+        let qv = q.view();
+        let qoldv = qold.view();
+
+        // qold = q
+        let save = ParLoop::build("save", &cells)
+            .arg(arg_direct(&q, Access::Read))
+            .arg(arg_direct(&qold, Access::Write))
+            .kernel(move |e, _| unsafe {
+                qoldv.set(e, 0, qv.get(e, 0));
+            });
+        // q = q * 3
+        let triple = ParLoop::build("triple", &cells)
+            .arg(arg_direct(&q, Access::ReadWrite))
+            .kernel(move |e, _| unsafe {
+                qv.set(e, 0, qv.get(e, 0) * 3.0);
+            });
+        // q = q + qold
+        let add = ParLoop::build("add", &cells)
+            .arg(arg_direct(&qold, Access::Read))
+            .arg(arg_direct(&q, Access::ReadWrite))
+            .kernel(move |e, _| unsafe {
+                qv.set(e, 0, qv.get(e, 0) + qoldv.get(e, 0));
+            });
+
+        let _ = exec.execute(&save); // qold = 1
+        let _ = exec.execute(&triple); // q = 3   (must wait for save: WAR on q)
+        let _ = exec.execute(&add); // q = 4
+        exec.fence();
+        assert!(q.to_vec().iter().all(|&v| v == 4.0), "got {:?}", &q.to_vec()[..4]);
+        assert!(qold.to_vec().iter().all(|&v| v == 1.0));
+    }
+
+    /// Independent loops (disjoint dats) may overlap; the fence still waits
+    /// for both.
+    #[test]
+    fn independent_loops_both_complete() {
+        let rt = Arc::new(Op2Runtime::new(2, 16));
+        let cells = Set::new("cells", 500);
+        let a = Dat::filled("a", &cells, 1, 0.0f64);
+        let b = Dat::filled("b", &cells, 1, 0.0f64);
+        let av = a.view();
+        let bv = b.view();
+        let la = ParLoop::build("la", &cells)
+            .arg(arg_direct(&a, Access::Write))
+            .kernel(move |e, _| unsafe { av.set(e, 0, 1.0) });
+        let lb = ParLoop::build("lb", &cells)
+            .arg(arg_direct(&b, Access::Write))
+            .kernel(move |e, _| unsafe { bv.set(e, 0, 2.0) });
+        let exec = DataflowExecutor::new(rt);
+        let ha = exec.execute(&la);
+        let hb = exec.execute(&lb);
+        ha.wait();
+        hb.wait();
+        assert!(a.to_vec().iter().all(|&v| v == 1.0));
+        assert!(b.to_vec().iter().all(|&v| v == 2.0));
+    }
+
+    /// Indirect increment chain after a producer write: RAW through a map.
+    #[test]
+    fn indirect_dependency_chain() {
+        let rt = Arc::new(Op2Runtime::new(2, 4));
+        let nedges = 64;
+        let edges = Set::new("edges", nedges);
+        let cells = Set::new("cells", nedges + 1);
+        let mut table = Vec::new();
+        for e in 0..nedges as u32 {
+            table.push(e);
+            table.push(e + 1);
+        }
+        let m = Map::new("pecell", &edges, &cells, 2, table);
+        let w = Dat::filled("w", &cells, 1, 0.0f64);
+        let res = Dat::filled("res", &cells, 1, 0.0f64);
+        let wv = w.view();
+        let rv = res.view();
+        let mv = m.clone();
+
+        // w = 1 everywhere (direct), then res[c] += w[c0] + w[c1] per edge.
+        let init = ParLoop::build("init", &cells)
+            .arg(arg_direct(&w, Access::Write))
+            .kernel(move |e, _| unsafe { wv.set(e, 0, 1.0) });
+        let gather = ParLoop::build("gather", &edges)
+            .arg(arg_indirect(&w, 0, &m, Access::Read))
+            .arg(arg_indirect(&w, 1, &m, Access::Read))
+            .arg(arg_indirect(&res, 0, &m, Access::Inc))
+            .arg(arg_indirect(&res, 1, &m, Access::Inc))
+            .kernel(move |e, _| unsafe {
+                let s = wv.get(mv.at(e, 0), 0) + wv.get(mv.at(e, 1), 0);
+                rv.add(mv.at(e, 0), 0, s);
+                rv.add(mv.at(e, 1), 0, s);
+            });
+        let exec = DataflowExecutor::new(rt);
+        let _ = exec.execute(&init);
+        let _ = exec.execute(&gather);
+        exec.fence();
+        let data = res.to_vec();
+        assert_eq!(data[0], 2.0);
+        assert!(data[1..nedges].iter().all(|&v| v == 4.0));
+    }
+
+    #[test]
+    fn fence_idempotent_and_table_tracks_dats() {
+        let rt = Arc::new(Op2Runtime::new(1, 16));
+        let cells = Set::new("cells", 10);
+        let a = Dat::filled("a", &cells, 1, 0.0f64);
+        let av = a.view();
+        let l = ParLoop::build("w", &cells)
+            .arg(arg_direct(&a, Access::Write))
+            .kernel(move |e, _| unsafe { av.set(e, 0, 1.0) });
+        let exec = DataflowExecutor::new(rt);
+        let _ = exec.execute(&l);
+        exec.fence();
+        exec.fence();
+        assert_eq!(exec.tracked_dats(), 1);
+    }
+}

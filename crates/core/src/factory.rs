@@ -1,0 +1,114 @@
+//! Backend selection by name — used by drivers, examples, and benches.
+
+use std::sync::Arc;
+
+use hpx_rt::ChunkSize;
+
+use crate::async_fe::AsyncExecutor;
+use crate::dataflow::DataflowExecutor;
+use crate::foreach::ForEachExecutor;
+use crate::forkjoin::ForkJoinExecutor;
+use crate::runtime::Op2Runtime;
+use crate::serial::SerialExecutor;
+use crate::Executor;
+
+/// The five execution strategies of the study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackendKind {
+    /// Serial reference (plan order).
+    Serial,
+    /// `#pragma omp parallel for` equivalent (the paper's baseline).
+    ForkJoin,
+    /// §III-A1 `for_each(par)` with the auto-partitioner.
+    ForEachAuto,
+    /// §III-A1 `for_each(par)` with a static chunk size.
+    ForEachStatic(usize),
+    /// §III-A2 `async` + `for_each(par(task))`.
+    Async,
+    /// §III-B `dataflow` with the modified OP2 API.
+    Dataflow,
+}
+
+impl BackendKind {
+    /// All comparable kinds, in the order the paper presents them.
+    pub fn all() -> Vec<BackendKind> {
+        vec![
+            BackendKind::Serial,
+            BackendKind::ForkJoin,
+            BackendKind::ForEachAuto,
+            BackendKind::ForEachStatic(4),
+            BackendKind::Async,
+            BackendKind::Dataflow,
+        ]
+    }
+
+    /// Parse a CLI-style name (`serial`, `omp`, `foreach`, `foreach-static`,
+    /// `async`, `dataflow`).
+    pub fn parse(s: &str) -> Option<BackendKind> {
+        Some(match s {
+            "serial" => BackendKind::Serial,
+            "omp" | "forkjoin" | "openmp" => BackendKind::ForkJoin,
+            "foreach" | "foreach-auto" => BackendKind::ForEachAuto,
+            "foreach-static" => BackendKind::ForEachStatic(4),
+            "async" => BackendKind::Async,
+            "dataflow" => BackendKind::Dataflow,
+            _ => return None,
+        })
+    }
+}
+
+impl std::fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BackendKind::Serial => write!(f, "serial"),
+            BackendKind::ForkJoin => write!(f, "omp"),
+            BackendKind::ForEachAuto => write!(f, "foreach-auto"),
+            BackendKind::ForEachStatic(n) => write!(f, "foreach-static({n})"),
+            BackendKind::Async => write!(f, "async"),
+            BackendKind::Dataflow => write!(f, "dataflow"),
+        }
+    }
+}
+
+/// Instantiate an executor of the given kind on `rt`.
+pub fn make_executor(kind: BackendKind, rt: Arc<Op2Runtime>) -> Box<dyn Executor> {
+    match kind {
+        BackendKind::Serial => Box::new(SerialExecutor::new(rt)),
+        BackendKind::ForkJoin => Box::new(ForkJoinExecutor::new(rt)),
+        BackendKind::ForEachAuto => Box::new(ForEachExecutor::auto(rt)),
+        BackendKind::ForEachStatic(n) => Box::new(ForEachExecutor::static_chunk(rt, n)),
+        BackendKind::Async => Box::new(AsyncExecutor::with_chunk(rt, ChunkSize::Default)),
+        BackendKind::Dataflow => Box::new(DataflowExecutor::with_chunk(rt, ChunkSize::Default)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_roundtrip() {
+        for kind in BackendKind::all() {
+            let shown = kind.to_string();
+            let base = shown.split('(').next().unwrap();
+            let parsed = BackendKind::parse(base).unwrap();
+            // ForEachStatic loses its parameter through Display; kinds match
+            // up to parameters.
+            assert_eq!(
+                std::mem::discriminant(&parsed),
+                std::mem::discriminant(&kind)
+            );
+        }
+        assert!(BackendKind::parse("nonsense").is_none());
+    }
+
+    #[test]
+    fn factory_builds_each_kind() {
+        let rt = Arc::new(Op2Runtime::new(1, 32));
+        for kind in BackendKind::all() {
+            let exec = make_executor(kind, Arc::clone(&rt));
+            assert!(!exec.name().is_empty());
+            exec.fence();
+        }
+    }
+}

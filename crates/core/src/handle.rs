@@ -1,0 +1,87 @@
+//! The result of issuing a parallel loop: ready now, or a future.
+
+use hpx_rt::SharedFuture;
+
+/// Handle to an issued loop.
+///
+/// Synchronous backends return a handle that is already complete;
+/// asynchronous ones (async / dataflow) return a pending handle — the
+/// analogue of the `new_data` futures in Fig. 10 of the paper. The payload is
+/// the loop's global reduction (empty when none was declared).
+pub struct LoopHandle {
+    inner: HandleInner,
+}
+
+enum HandleInner {
+    Ready(Vec<f64>),
+    Pending(SharedFuture<Vec<f64>>),
+}
+
+impl LoopHandle {
+    /// A handle that is already complete.
+    pub fn ready(gbl: Vec<f64>) -> Self {
+        LoopHandle {
+            inner: HandleInner::Ready(gbl),
+        }
+    }
+
+    /// A handle backed by a future.
+    pub fn pending(fut: SharedFuture<Vec<f64>>) -> Self {
+        LoopHandle {
+            inner: HandleInner::Pending(fut),
+        }
+    }
+
+    /// Has the loop finished?
+    pub fn is_ready(&self) -> bool {
+        match &self.inner {
+            HandleInner::Ready(_) => true,
+            HandleInner::Pending(f) => f.is_ready(),
+        }
+    }
+
+    /// Wait for completion without consuming the handle (the paper's
+    /// `new_data.get()` used purely for synchronization).
+    pub fn wait(&self) {
+        if let HandleInner::Pending(f) = &self.inner {
+            let _ = f.get();
+        }
+    }
+
+    /// Wait for completion and return the global reduction.
+    pub fn get(self) -> Vec<f64> {
+        match self.inner {
+            HandleInner::Ready(gbl) => gbl,
+            HandleInner::Pending(f) => f.get(),
+        }
+    }
+
+    /// The completion future, if this handle is asynchronous.
+    pub fn future(&self) -> Option<&SharedFuture<Vec<f64>>> {
+        match &self.inner {
+            HandleInner::Ready(_) => None,
+            HandleInner::Pending(f) => Some(f),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ready_handle() {
+        let h = LoopHandle::ready(vec![1.5]);
+        assert!(h.is_ready());
+        h.wait();
+        assert_eq!(h.get(), vec![1.5]);
+    }
+
+    #[test]
+    fn pending_handle() {
+        let h = LoopHandle::pending(SharedFuture::ready(vec![2.0]));
+        assert!(h.is_ready());
+        assert!(h.future().is_some());
+        assert_eq!(h.get(), vec![2.0]);
+    }
+}

@@ -1,0 +1,85 @@
+//! # op2-hpx — HPX-style execution backends for OP2 parallel loops
+//!
+//! This crate is the paper's contribution: it takes OP2-style parallel loops
+//! ([`op2_core::ParLoop`]) and executes them on the [`hpx_rt`] runtime under
+//! the four parallelization strategies compared in the ICPP 2016 study:
+//!
+//! | backend | paper section | synchronization |
+//! |---|---|---|
+//! | [`ForkJoinExecutor`] | baseline | `#pragma omp parallel for` equivalent: static block schedule, **global barrier after every loop** (and between plan colors) |
+//! | [`ForEachExecutor`] | §III-A1 | `hpx::parallel::for_each(par)`: still fork-join, but HPX controls the grain size (auto-partitioner or static chunk) |
+//! | [`AsyncExecutor`] | §III-A2 | `async` + `for_each(par(task))`: every loop returns a **future**; the *caller* places `.get()` according to data dependencies |
+//! | [`DataflowExecutor`] | §III-B | modified OP2 API: arguments carry futures; each loop becomes a **dataflow node** and the dependency DAG is built automatically from the declared access modes |
+//!
+//! A [`SerialExecutor`] provides the reference semantics; every parallel
+//! backend is tested to produce **bitwise-identical** dat contents and global
+//! reductions (plan-ordered accumulation + block-ordered reduction combine
+//! make this possible even for floating point).
+//!
+//! ```
+//! use op2_core::{Access, Dat, ParLoop, Set, arg_direct};
+//! use op2_hpx::{Op2Runtime, Executor, DataflowExecutor};
+//! use std::sync::Arc;
+//!
+//! let rt = Arc::new(Op2Runtime::new(4, 64));
+//! let cells = Set::new("cells", 1000);
+//! let q = Dat::filled("q", &cells, 1, 2.0f64);
+//! let qv = q.view();
+//! let square = ParLoop::build("square", &cells)
+//!     .arg(arg_direct(&q, Access::ReadWrite))
+//!     .kernel(move |e, _| unsafe {
+//!         let s = qv.slice_mut(e);
+//!         s[0] *= s[0];
+//!     });
+//!
+//! let exec = DataflowExecutor::new(Arc::clone(&rt));
+//! let _handle = exec.execute(&square);  // returns immediately
+//! exec.fence();                         // wait for the DAG to drain
+//! assert!(q.to_vec().iter().all(|&v| v == 4.0));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod async_fe;
+pub mod colored;
+pub mod dataflow;
+pub mod factory;
+pub mod foreach;
+pub mod forkjoin;
+pub mod fusion;
+pub mod handle;
+pub mod runtime;
+pub mod serial;
+
+pub use async_fe::AsyncExecutor;
+pub use dataflow::DataflowExecutor;
+pub use factory::{make_executor, BackendKind};
+pub use foreach::ForEachExecutor;
+pub use fusion::{fuse_direct, split_gbl};
+pub use forkjoin::ForkJoinExecutor;
+pub use handle::LoopHandle;
+pub use runtime::Op2Runtime;
+pub use serial::SerialExecutor;
+
+/// A strategy for executing OP2 parallel loops.
+///
+/// `execute` may return before the loop has run (asynchronous backends);
+/// [`LoopHandle::get`] waits for (and returns) the loop's global reduction,
+/// and [`Executor::fence`] waits for *all* outstanding loops.
+pub trait Executor: Send + Sync {
+    /// Stable, human-readable backend name (used in benches/reports).
+    fn name(&self) -> &'static str;
+
+    /// Execute or schedule `loop_`.
+    fn execute(&self, loop_: &op2_core::ParLoop) -> LoopHandle;
+
+    /// Block until every loop issued so far has completed.
+    fn fence(&self);
+
+    /// Does `execute` return before the loop finished? (Asynchronous
+    /// backends require either explicit `get()` placement or automatic
+    /// dependency tracking.)
+    fn is_asynchronous(&self) -> bool {
+        false
+    }
+}

@@ -1,0 +1,91 @@
+//! Shared runtime context for all backends: the HPX pool and the plan cache.
+
+use std::sync::Arc;
+
+use hpx_rt::{PoolBuilder, ThreadPool};
+use op2_core::{ParLoop, Plan, PlanCache};
+
+/// Default mini-partition (block) size, matching OP2's common setting.
+pub use op2_core::plan::DEFAULT_PART_SIZE;
+
+/// The execution context shared by every backend: an [`hpx_rt::ThreadPool`]
+/// and a memoized [`PlanCache`] (plans are reused across the thousands of
+/// identical loop invocations of a time-march, exactly as OP2 caches
+/// `op_plan`s).
+pub struct Op2Runtime {
+    pool: Arc<ThreadPool>,
+    plans: PlanCache,
+    part_size: usize,
+}
+
+impl Op2Runtime {
+    /// Create a runtime with `num_threads` workers and the given block size.
+    pub fn new(num_threads: usize, part_size: usize) -> Self {
+        Op2Runtime {
+            pool: Arc::new(
+                PoolBuilder::new()
+                    .num_threads(num_threads)
+                    .thread_name("op2-hpx")
+                    .build(),
+            ),
+            plans: PlanCache::new(),
+            part_size: part_size.max(1),
+        }
+    }
+
+    /// Runtime with the default block size ([`DEFAULT_PART_SIZE`]).
+    pub fn with_threads(num_threads: usize) -> Self {
+        Self::new(num_threads, DEFAULT_PART_SIZE)
+    }
+
+    /// The underlying thread pool.
+    pub fn pool(&self) -> &Arc<ThreadPool> {
+        &self.pool
+    }
+
+    /// Worker count.
+    pub fn num_threads(&self) -> usize {
+        self.pool.num_threads()
+    }
+
+    /// Mini-partition size used for plans.
+    pub fn part_size(&self) -> usize {
+        self.part_size
+    }
+
+    /// The memoized plan for `loop_`'s shape.
+    pub fn plan_for(&self, loop_: &ParLoop) -> Arc<Plan> {
+        self.plans.get(loop_.set(), loop_.args(), self.part_size)
+    }
+
+    /// Number of distinct plans built so far (observability/tests).
+    pub fn plans_built(&self) -> usize {
+        self.plans.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use op2_core::{arg_direct, Access, Dat, Set};
+
+    #[test]
+    fn plans_are_cached_across_invocations() {
+        let rt = Op2Runtime::new(1, 32);
+        let cells = Set::new("cells", 100);
+        let q = Dat::filled("q", &cells, 1, 0.0f64);
+        let l = ParLoop::build("noop", &cells)
+            .arg(arg_direct(&q, Access::Read))
+            .kernel(|_, _| {});
+        let p1 = rt.plan_for(&l);
+        let p2 = rt.plan_for(&l);
+        assert!(Arc::ptr_eq(&p1, &p2));
+        assert_eq!(rt.plans_built(), 1);
+    }
+
+    #[test]
+    fn part_size_clamped() {
+        let rt = Op2Runtime::new(1, 0);
+        assert_eq!(rt.part_size(), 1);
+    }
+}

@@ -1,0 +1,62 @@
+//! Serial reference backend.
+
+use std::sync::Arc;
+
+use op2_core::ParLoop;
+
+use crate::handle::LoopHandle;
+use crate::runtime::Op2Runtime;
+use crate::Executor;
+
+/// Executes loops sequentially in plan order — the oracle every parallel
+/// backend must match bitwise (see [`op2_core::serial`]).
+pub struct SerialExecutor {
+    rt: Arc<Op2Runtime>,
+}
+
+impl SerialExecutor {
+    /// Serial executor sharing `rt`'s plan cache.
+    pub fn new(rt: Arc<Op2Runtime>) -> Self {
+        SerialExecutor { rt }
+    }
+}
+
+impl Executor for SerialExecutor {
+    fn name(&self) -> &'static str {
+        "serial"
+    }
+
+    fn execute(&self, loop_: &ParLoop) -> LoopHandle {
+        let plan = self.rt.plan_for(loop_);
+        LoopHandle::ready(op2_core::serial::execute_plan_order(loop_, &plan))
+    }
+
+    fn fence(&self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use op2_core::{arg_direct, Access, Dat, Set};
+
+    #[test]
+    fn serial_executes_immediately() {
+        let rt = Arc::new(Op2Runtime::new(1, 16));
+        let cells = Set::new("cells", 64);
+        let q = Dat::filled("q", &cells, 1, 1.0f64);
+        let qv = q.view();
+        let l = ParLoop::build("inc", &cells)
+            .arg(arg_direct(&q, Access::ReadWrite))
+            .gbl_inc(1)
+            .kernel(move |e, gbl| unsafe {
+                qv.slice_mut(e)[0] += 1.0;
+                gbl[0] += 1.0;
+            });
+        let exec = SerialExecutor::new(rt);
+        let h = exec.execute(&l);
+        assert!(h.is_ready());
+        assert_eq!(h.get(), vec![64.0]);
+        assert!(q.to_vec().iter().all(|&v| v == 2.0));
+        exec.fence();
+    }
+}

@@ -1,0 +1,138 @@
+//! Failure injection: kernels that panic must not poison the runtime —
+//! panics surface at well-defined points (handle `get`/`wait`, `fence`),
+//! the pool survives, and subsequent loops run normally.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use op2_core::{arg_direct, Access, Dat, ParLoop, Set};
+use op2_hpx::{make_executor, BackendKind, DataflowExecutor, Executor, Op2Runtime};
+
+fn poison_loop(cells: &Set, q: &Dat<f64>, arm: Arc<AtomicBool>) -> ParLoop {
+    let qv = q.view();
+    ParLoop::build("maybe_panic", cells)
+        .arg(arg_direct(q, Access::ReadWrite))
+        .kernel(move |e, _| unsafe {
+            if arm.load(Ordering::Relaxed) && e == 7 {
+                panic!("injected kernel failure at element {e}");
+            }
+            qv.add(e, 0, 1.0);
+        })
+}
+
+#[test]
+fn synchronous_backends_rethrow_and_recover() {
+    for kind in [
+        BackendKind::ForkJoin,
+        BackendKind::ForEachAuto,
+        BackendKind::ForEachStatic(2),
+    ] {
+        let rt = Arc::new(Op2Runtime::new(2, 8));
+        let exec = make_executor(kind, rt);
+        let cells = Set::new("cells", 64);
+        let q = Dat::filled("q", &cells, 1, 0.0f64);
+        let arm = Arc::new(AtomicBool::new(true));
+        let l = poison_loop(&cells, &q, Arc::clone(&arm));
+
+        let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = exec.execute(&l);
+        }));
+        assert!(panicked.is_err(), "{kind}: kernel panic must surface");
+
+        // Disarm and run again: the executor and pool must still work.
+        arm.store(false, Ordering::Relaxed);
+        let h = exec.execute(&l);
+        h.wait();
+        exec.fence();
+        // Element 7 may or may not have been incremented during the failed
+        // run (other elements of its chunk raced the panic), but the second
+        // run must have incremented everything once more and be finite.
+        assert!(q.to_vec().iter().all(|v| v.is_finite()));
+    }
+}
+
+#[test]
+fn async_backend_defers_panic_to_wait() {
+    let rt = Arc::new(Op2Runtime::new(2, 8));
+    let exec = make_executor(BackendKind::Async, rt);
+    let cells = Set::new("cells", 64);
+    let q = Dat::filled("q", &cells, 1, 0.0f64);
+    let arm = Arc::new(AtomicBool::new(true));
+    let l = poison_loop(&cells, &q, Arc::clone(&arm));
+
+    // Issue succeeds; the panic surfaces at wait().
+    let h = exec.execute(&l);
+    let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| h.wait()));
+    assert!(panicked.is_err(), "panic must surface at wait()");
+
+    arm.store(false, Ordering::Relaxed);
+    let h = exec.execute(&l);
+    h.wait();
+    // Fence still usable even though an earlier loop panicked: it must not
+    // hang, and it rethrows nothing new for the healthy loop.
+    let fence_result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| exec.fence()));
+    // The failed loop is still in the outstanding list → fence may rethrow.
+    let _ = fence_result;
+}
+
+#[test]
+fn dataflow_poisons_dependents_but_not_independents() {
+    let rt = Arc::new(Op2Runtime::new(2, 8));
+    let exec = DataflowExecutor::new(rt);
+    let cells = Set::new("cells", 32);
+    let poisoned = Dat::filled("poisoned", &cells, 1, 0.0f64);
+    let healthy = Dat::filled("healthy", &cells, 1, 0.0f64);
+
+    let arm = Arc::new(AtomicBool::new(true));
+    let bad = poison_loop(&cells, &poisoned, Arc::clone(&arm));
+    // Dependent: reads the poisoned dat.
+    let pv = poisoned.view();
+    let dependent = ParLoop::build("dependent", &cells)
+        .arg(arg_direct(&poisoned, Access::Read))
+        .gbl_inc(1)
+        .kernel(move |e, gbl| unsafe { gbl[0] += pv.get(e, 0) });
+    // Independent: disjoint dat.
+    let hv = healthy.view();
+    let independent = ParLoop::build("independent", &cells)
+        .arg(arg_direct(&healthy, Access::Write))
+        .kernel(move |e, _| unsafe { hv.set(e, 0, 1.0) });
+
+    let h_bad = exec.execute(&bad);
+    let h_dep = exec.execute(&dependent);
+    let h_ind = exec.execute(&independent);
+
+    // Independent loop completes fine.
+    h_ind.wait();
+    assert!(healthy.to_vec().iter().all(|&v| v == 1.0));
+
+    // The failed loop's handle rethrows.
+    assert!(std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| h_bad.wait())).is_err());
+    // The dependent is poisoned transitively (panic, not hang).
+    assert!(std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| h_dep.wait())).is_err());
+}
+
+#[test]
+fn broken_loop_then_fresh_executor_is_clean() {
+    // After a poisoned dataflow run, a *fresh* executor on the same runtime
+    // must work (the pool itself holds no poisoned state).
+    let rt = Arc::new(Op2Runtime::new(2, 8));
+    {
+        let exec = DataflowExecutor::new(Arc::clone(&rt));
+        let cells = Set::new("cells", 16);
+        let q = Dat::filled("q", &cells, 1, 0.0f64);
+        let arm = Arc::new(AtomicBool::new(true));
+        let bad = poison_loop(&cells, &q, arm);
+        let h = exec.execute(&bad);
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| h.wait()));
+    }
+    let exec = DataflowExecutor::new(rt);
+    let cells = Set::new("cells", 16);
+    let q = Dat::filled("q", &cells, 1, 3.0f64);
+    let qv = q.view();
+    let ok = ParLoop::build("ok", &cells)
+        .arg(arg_direct(&q, Access::ReadWrite))
+        .kernel(move |e, _| unsafe { qv.add(e, 0, 1.0) });
+    exec.execute(&ok).wait();
+    exec.fence();
+    assert!(q.to_vec().iter().all(|&v| v == 4.0));
+}

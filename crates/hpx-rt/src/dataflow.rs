@@ -1,0 +1,232 @@
+//! Dataflow — delayed function invocation on futures (Fig. 11 of the paper).
+//!
+//! A *dataflow object* encapsulates a function `F(in_1, …, in_n)`: as soon as
+//! the **last** input future becomes ready, `F` is scheduled for execution as
+//! a new pool task. Non-future arguments are simply captured by the closure.
+//! Chaining dataflow calls builds an execution tree that mirrors the
+//! algorithmic data dependencies of the application — the property the
+//! paper's modified OP2 API exploits to interleave direct and indirect loops
+//! at runtime.
+//!
+//! This module provides fixed-arity [`dataflow1`]–[`dataflow4`] plus the
+//! variadic [`when_all`] / [`when_all_unit`] / [`when_all_shared_unit`]
+//! combinators the OP2 backend uses for arbitrary argument counts.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::future::{Future, PanicPayload, SharedFuture};
+use crate::ThreadPool;
+
+/// Combine a vector of futures into one future of all their values, in input
+/// order (the analogue of `hpx::when_all`).
+///
+/// If any input's producer panicked, the first captured panic is re-thrown by
+/// `get()` on the combined future.
+pub fn when_all<T: Send + 'static>(pool: &ThreadPool, futures: Vec<Future<T>>) -> Future<Vec<T>> {
+    let n = futures.len();
+    let (out_shared, out) = Future::<Vec<T>>::new_pair(Some(pool.spawner()));
+    if n == 0 {
+        out_shared.complete(Ok(Vec::new()));
+        return out;
+    }
+    let slots: Arc<Mutex<Vec<Option<T>>>> = Arc::new(Mutex::new((0..n).map(|_| None).collect()));
+    let first_panic: Arc<Mutex<Option<PanicPayload>>> = Arc::new(Mutex::new(None));
+    let remaining = Arc::new(AtomicUsize::new(n));
+    let out_shared = Arc::new(Mutex::new(Some(out_shared)));
+    for (i, fut) in futures.into_iter().enumerate() {
+        let slots = Arc::clone(&slots);
+        let first_panic = Arc::clone(&first_panic);
+        let remaining = Arc::clone(&remaining);
+        let out_shared = Arc::clone(&out_shared);
+        fut.on_ready(move |res| {
+            match res {
+                Ok(v) => slots.lock()[i] = Some(v),
+                Err(p) => {
+                    let mut guard = first_panic.lock();
+                    if guard.is_none() {
+                        *guard = Some(p);
+                    }
+                }
+            }
+            if remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+                let shared = out_shared.lock().take().expect("when_all completed twice");
+                if let Some(p) = first_panic.lock().take() {
+                    shared.complete(Err(p));
+                } else {
+                    let values = slots
+                        .lock()
+                        .iter_mut()
+                        .map(|s| s.take().expect("when_all slot unfilled"))
+                        .collect();
+                    shared.complete(Ok(values));
+                }
+            }
+        });
+    }
+    out
+}
+
+/// [`when_all`] specialised for `Future<()>`: no value storage, just a
+/// countdown. Used for pure dependency edges.
+pub fn when_all_unit(pool: &ThreadPool, futures: Vec<Future<()>>) -> Future<()> {
+    let n = futures.len();
+    let (out_shared, out) = Future::<()>::new_pair(Some(pool.spawner()));
+    if n == 0 {
+        out_shared.complete(Ok(()));
+        return out;
+    }
+    let first_panic: Arc<Mutex<Option<PanicPayload>>> = Arc::new(Mutex::new(None));
+    let remaining = Arc::new(AtomicUsize::new(n));
+    let out_shared = Arc::new(Mutex::new(Some(out_shared)));
+    for fut in futures {
+        let first_panic = Arc::clone(&first_panic);
+        let remaining = Arc::clone(&remaining);
+        let out_shared = Arc::clone(&out_shared);
+        fut.on_ready(move |res| {
+            if let Err(p) = res {
+                let mut guard = first_panic.lock();
+                if guard.is_none() {
+                    *guard = Some(p);
+                }
+            }
+            if remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+                let shared = out_shared
+                    .lock()
+                    .take()
+                    .expect("when_all_unit completed twice");
+                match first_panic.lock().take() {
+                    Some(p) => shared.complete(Err(p)),
+                    None => shared.complete(Ok(())),
+                }
+            }
+        });
+    }
+    out
+}
+
+/// Dependency-join over *shared* futures: ready when every input is ready.
+///
+/// This is the combinator behind the dataflow OP2 backend, where one dat
+/// version may be awaited by several subsequent loops.
+pub fn when_all_shared_unit(pool: &ThreadPool, deps: Vec<SharedFuture<()>>) -> Future<()> {
+    let n = deps.len();
+    let (out_shared, out) = Future::<()>::new_pair(Some(pool.spawner()));
+    if n == 0 {
+        out_shared.complete(Ok(()));
+        return out;
+    }
+    let first_err: Arc<Mutex<Option<String>>> = Arc::new(Mutex::new(None));
+    let remaining = Arc::new(AtomicUsize::new(n));
+    let out_shared = Arc::new(Mutex::new(Some(out_shared)));
+    for dep in deps {
+        let first_err = Arc::clone(&first_err);
+        let remaining = Arc::clone(&remaining);
+        let out_shared = Arc::clone(&out_shared);
+        dep.on_ready(move |res| {
+            if let Err(msg) = res {
+                let mut guard = first_err.lock();
+                if guard.is_none() {
+                    *guard = Some(msg);
+                }
+            }
+            if remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+                let shared = out_shared
+                    .lock()
+                    .take()
+                    .expect("when_all_shared_unit completed twice");
+                match first_err.lock().take() {
+                    Some(msg) => shared.complete(Err(Box::new(msg))),
+                    None => shared.complete(Ok(())),
+                }
+            }
+        });
+    }
+    out
+}
+
+/// Run `f(a)` as a new task once `a` is ready (`hpx::dataflow` arity 1).
+pub fn dataflow1<A, R, F>(pool: &ThreadPool, f: F, a: Future<A>) -> Future<R>
+where
+    A: Send + 'static,
+    R: Send + 'static,
+    F: FnOnce(A) -> R + Send + 'static,
+{
+    // `then` already has exactly these semantics (continuation scheduled as a
+    // task when the input becomes ready).
+    a.then(pool, f)
+}
+
+/// Run `f(a, b)` as a new task once **both** inputs are ready.
+pub fn dataflow2<A, B, R, F>(pool: &ThreadPool, f: F, a: Future<A>, b: Future<B>) -> Future<R>
+where
+    A: Send + 'static,
+    B: Send + 'static,
+    R: Send + 'static,
+    F: FnOnce(A, B) -> R + Send + 'static,
+{
+    let (out_shared, out) = Future::<R>::new_pair(Some(pool.spawner()));
+    let spawner = pool.spawner();
+    // Chain registrations: the inner continuation is registered once `a` is
+    // ready, and fires immediately if `b` already completed — so `f` runs
+    // after the *last* input, as Fig. 11 specifies.
+    a.on_ready(move |ra| {
+        b.on_ready(move |rb| {
+            let run = move || match (ra, rb) {
+                (Ok(va), Ok(vb)) => {
+                    catch_unwind(AssertUnwindSafe(move || f(va, vb))).map_err(|p| p as PanicPayload)
+                }
+                (Err(p), _) | (_, Err(p)) => Err(p),
+            };
+            let task: crate::pool::Task = Box::new(move || out_shared.complete(run()));
+            if let Err(task) = spawner.spawn(task) {
+                task();
+            }
+        });
+    });
+    out
+}
+
+/// Run `f(a, b, c)` as a new task once all three inputs are ready.
+pub fn dataflow3<A, B, C, R, F>(
+    pool: &ThreadPool,
+    f: F,
+    a: Future<A>,
+    b: Future<B>,
+    c: Future<C>,
+) -> Future<R>
+where
+    A: Send + 'static,
+    B: Send + 'static,
+    C: Send + 'static,
+    R: Send + 'static,
+    F: FnOnce(A, B, C) -> R + Send + 'static,
+{
+    let ab = dataflow2(pool, |a, b| (a, b), a, b);
+    dataflow2(pool, move |(a, b), c| f(a, b, c), ab, c)
+}
+
+/// Run `f(a, b, c, d)` as a new task once all four inputs are ready.
+pub fn dataflow4<A, B, C, D, R, F>(
+    pool: &ThreadPool,
+    f: F,
+    a: Future<A>,
+    b: Future<B>,
+    c: Future<C>,
+    d: Future<D>,
+) -> Future<R>
+where
+    A: Send + 'static,
+    B: Send + 'static,
+    C: Send + 'static,
+    D: Send + 'static,
+    R: Send + 'static,
+    F: FnOnce(A, B, C, D) -> R + Send + 'static,
+{
+    let ab = dataflow2(pool, |a, b| (a, b), a, b);
+    let cd = dataflow2(pool, |c, d| (c, d), c, d);
+    dataflow2(pool, move |(a, b), (c, d)| f(a, b, c, d), ab, cd)
+}

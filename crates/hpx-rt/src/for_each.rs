@@ -1,0 +1,431 @@
+//! Parallel algorithms with execution policies.
+//!
+//! Mirrors `hpx::parallel::for_each` as used by the paper:
+//!
+//! * [`par`] — fork-join: chunks run on the pool, the caller **blocks** on an
+//!   end-of-loop latch (work-helping, so the caller is a worker too). This is
+//!   the semantic equivalent of `#pragma omp parallel for` / `for_each(par)`.
+//! * [`par_task`] — asynchronous: [`for_each_index_task`] returns a
+//!   `Future<()>` immediately (`for_each(par(task))`), eliminating the global
+//!   barrier; the caller decides when (or whether) to wait.
+//! * grain-size control — [`ChunkSize::Auto`] reproduces HPX's
+//!   *auto-partitioner*, which sequentially executes ~1% of the iterations to
+//!   estimate the per-iteration cost and derives a chunk size targeting a
+//!   fixed task duration; [`ChunkSize::Static`] pins the chunk size
+//!   (`hpx::parallel::static_chunk_size`), which the paper shows is superior
+//!   for large loops (Fig. 16).
+
+use std::ops::Range;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use crate::future::{Future, PanicPayload};
+use crate::latch::CountdownLatch;
+use crate::ThreadPool;
+
+/// Grain-size selection strategy for parallel loops.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ChunkSize {
+    /// `n / (4 × workers)` — a simple balanced default.
+    Default,
+    /// HPX auto-partitioner: sequentially execute `probe_fraction` of the
+    /// iterations (at least one), derive the per-iteration time, and size
+    /// chunks to take about `target_chunk_micros` each.
+    Auto {
+        /// Fraction of the iteration space executed sequentially as a probe
+        /// (the paper: "sequentially executing 1% of the loop").
+        probe_fraction: f64,
+        /// Target wall-clock duration of one chunk, in microseconds.
+        target_chunk_micros: u64,
+    },
+    /// Fixed number of iterations per chunk (`static_chunk_size scs(size)`).
+    Static(usize),
+    /// Guided scheduling: successive chunks shrink from `remaining/workers`
+    /// down to `min`.
+    Guided {
+        /// Smallest chunk the schedule will emit.
+        min: usize,
+    },
+}
+
+impl ChunkSize {
+    /// The auto-partitioner with the paper's parameters (1% probe, 200 µs
+    /// target chunks).
+    pub fn auto() -> Self {
+        ChunkSize::Auto {
+            probe_fraction: 0.01,
+            target_chunk_micros: 200,
+        }
+    }
+}
+
+/// How a parallel algorithm executes and synchronizes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExecutionPolicy {
+    pub(crate) kind: PolicyKind,
+    pub(crate) chunk: ChunkSize,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum PolicyKind {
+    Seq,
+    Par,
+    ParTask,
+}
+
+/// Sequential execution policy (`hpx::execution::seq`).
+pub fn seq() -> ExecutionPolicy {
+    ExecutionPolicy {
+        kind: PolicyKind::Seq,
+        chunk: ChunkSize::Default,
+    }
+}
+
+/// Parallel, blocking execution policy (`hpx::execution::par`).
+pub fn par() -> ExecutionPolicy {
+    ExecutionPolicy {
+        kind: PolicyKind::Par,
+        chunk: ChunkSize::Default,
+    }
+}
+
+/// Parallel, asynchronous execution policy (`par(task)`): the algorithm
+/// returns a future instead of blocking.
+pub fn par_task() -> ExecutionPolicy {
+    ExecutionPolicy {
+        kind: PolicyKind::ParTask,
+        chunk: ChunkSize::Default,
+    }
+}
+
+impl ExecutionPolicy {
+    /// Override the grain-size strategy (`par.with(scs)` in HPX).
+    pub fn with_chunk(mut self, chunk: ChunkSize) -> Self {
+        self.chunk = chunk;
+        self
+    }
+
+    /// The configured grain-size strategy.
+    pub fn chunk(&self) -> ChunkSize {
+        self.chunk
+    }
+}
+
+/// Crate-internal re-export of the chunk planner for other algorithms
+/// (`scan`): no probe support, `None` per-iteration estimate.
+pub(crate) fn plan_chunks_pub(
+    range: Range<usize>,
+    workers: usize,
+    chunk: ChunkSize,
+) -> Vec<Range<usize>> {
+    plan_chunks(range, workers, chunk, None)
+}
+
+/// Split `range` into chunks according to `chunk`, after `probed` iterations
+/// have already been executed by the auto-partitioner probe.
+fn plan_chunks(
+    range: Range<usize>,
+    workers: usize,
+    chunk: ChunkSize,
+    per_iter: Option<Duration>,
+) -> Vec<Range<usize>> {
+    let n = range.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut chunks = Vec::new();
+    match chunk {
+        ChunkSize::Default => {
+            let size = (n / (4 * workers).max(1)).max(1);
+            push_fixed(&mut chunks, range, size);
+        }
+        ChunkSize::Auto {
+            target_chunk_micros,
+            ..
+        } => {
+            let per_iter = per_iter.unwrap_or(Duration::from_nanos(100));
+            let target = Duration::from_micros(target_chunk_micros.max(1));
+            let mut size = if per_iter.is_zero() {
+                n.div_ceil(4 * workers.max(1))
+            } else {
+                (target.as_nanos() / per_iter.as_nanos().max(1)) as usize
+            };
+            size = size.clamp(1, n.div_ceil(workers.max(1)).max(1));
+            push_fixed(&mut chunks, range, size);
+        }
+        ChunkSize::Static(size) => {
+            push_fixed(&mut chunks, range, size.max(1));
+        }
+        ChunkSize::Guided { min } => {
+            let min = min.max(1);
+            let mut lo = range.start;
+            while lo < range.end {
+                let remaining = range.end - lo;
+                let size = (remaining / (2 * workers).max(1)).max(min).min(remaining);
+                chunks.push(lo..lo + size);
+                lo += size;
+            }
+        }
+    }
+    chunks
+}
+
+fn push_fixed(chunks: &mut Vec<Range<usize>>, range: Range<usize>, size: usize) {
+    let mut lo = range.start;
+    while lo < range.end {
+        let hi = (lo + size).min(range.end);
+        chunks.push(lo..hi);
+        lo = hi;
+    }
+}
+
+/// Run the auto-partitioner probe: execute the first `probe_fraction × n`
+/// iterations sequentially and return (next unprocessed index, per-iteration
+/// time).
+fn auto_probe<F: Fn(usize) + ?Sized>(
+    range: &Range<usize>,
+    probe_fraction: f64,
+    f: &F,
+) -> (usize, Duration) {
+    let n = range.len();
+    let probe = (((n as f64) * probe_fraction) as usize).clamp(1, n);
+    let start = Instant::now();
+    for i in range.start..range.start + probe {
+        f(i);
+    }
+    let elapsed = start.elapsed();
+    (range.start + probe, elapsed / probe as u32)
+}
+
+/// Apply `f` to every index in `range` under `policy`, blocking until done.
+///
+/// With [`par`], chunks execute on the pool and the calling thread
+/// participates via work-helping until the end-of-loop latch opens — the
+/// fork-join model with its implicit barrier. Panics from `f` are re-thrown
+/// after all chunks finish.
+///
+/// The closure only needs `Fn(usize) + Sync` (it may borrow locals): all
+/// tasks are guaranteed to finish before this function returns.
+pub fn for_each_index<F>(pool: &ThreadPool, policy: ExecutionPolicy, range: Range<usize>, f: F)
+where
+    F: Fn(usize) + Sync,
+{
+    if range.is_empty() {
+        return;
+    }
+    match policy.kind {
+        PolicyKind::Seq => {
+            for i in range {
+                f(i);
+            }
+        }
+        PolicyKind::Par | PolicyKind::ParTask => {
+            // Blocking call: ParTask without a future degenerates to Par.
+            let (start, per_iter) = match policy.chunk {
+                ChunkSize::Auto { probe_fraction, .. } => {
+                    let (next, t) = auto_probe(&range, probe_fraction, &f);
+                    (next, Some(t))
+                }
+                _ => (range.start, None),
+            };
+            let rest = start..range.end;
+            if rest.is_empty() {
+                return;
+            }
+            let chunks = plan_chunks(rest, pool.num_threads(), policy.chunk, per_iter);
+            run_chunks_blocking(pool, &chunks, &f);
+        }
+    }
+}
+
+/// Execute `chunks` of `f` on the pool and wait on a latch (work-helping).
+fn run_chunks_blocking<F>(pool: &ThreadPool, chunks: &[Range<usize>], f: &F)
+where
+    F: Fn(usize) + Sync,
+{
+    let latch = CountdownLatch::with_pool(pool, chunks.len());
+    let panic_slot: Mutex<Option<PanicPayload>> = Mutex::new(None);
+
+    // SAFETY: every spawned task counts the latch down exactly once (even on
+    // panic, via the catch_unwind below), and we do not return before
+    // `wait_helping` observes all count-downs — so the borrows of `f` and
+    // `panic_slot` outlive every task that uses them.
+    let f_obj: &(dyn Fn(usize) + Sync) = f;
+    let f_static: &'static (dyn Fn(usize) + Sync) = unsafe {
+        std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(f_obj)
+    };
+    let panic_raw: *const Mutex<Option<PanicPayload>> = &panic_slot;
+    let panic_ptr: &'static Mutex<Option<PanicPayload>> = unsafe { &*panic_raw };
+
+    for chunk in chunks {
+        let chunk = chunk.clone();
+        let counter = latch.counter();
+        pool.spawn_task(Box::new(move || {
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                for i in chunk {
+                    f_static(i);
+                }
+            }));
+            if let Err(p) = result {
+                let mut guard = panic_ptr.lock();
+                if guard.is_none() {
+                    *guard = Some(p);
+                }
+            }
+            counter.count_down();
+        }));
+    }
+    latch.wait_helping();
+    let panicked = panic_slot.lock().take();
+    if let Some(p) = panicked {
+        std::panic::resume_unwind(p);
+    }
+}
+
+/// Apply `f` to every index in `range` asynchronously: returns a future that
+/// becomes ready when the last chunk finishes (`for_each(par(task))`).
+///
+/// No barrier is executed on the calling thread — this is what lets loops
+/// overlap. The closure must be `'static` (shared by reference-count with the
+/// spawned chunks). Chunk planning (including the auto-partitioner probe)
+/// runs inside the first pool task, so the call itself never blocks.
+pub fn for_each_index_task<F>(
+    pool: &ThreadPool,
+    policy: ExecutionPolicy,
+    range: Range<usize>,
+    f: F,
+) -> Future<()>
+where
+    F: Fn(usize) + Send + Sync + 'static,
+{
+    let (out_shared, out) = Future::<()>::new_pair(Some(pool.spawner()));
+    if range.is_empty() {
+        out_shared.complete(Ok(()));
+        return out;
+    }
+    let f = Arc::new(f);
+    let workers = pool.num_threads();
+    let spawner = pool.spawner();
+    let chunk_policy = policy.chunk;
+    // Everything (probe + chunk fan-out) happens inside this task so the
+    // caller returns immediately.
+    pool.spawn_task(Box::new(move || {
+        let (start, per_iter) = match chunk_policy {
+            ChunkSize::Auto { probe_fraction, .. } => {
+                let probe = catch_unwind(AssertUnwindSafe(|| {
+                    auto_probe(&range, probe_fraction, f.as_ref())
+                }));
+                match probe {
+                    Ok((next, t)) => (next, Some(t)),
+                    Err(p) => {
+                        out_shared.complete(Err(p));
+                        return;
+                    }
+                }
+            }
+            _ => (range.start, None),
+        };
+        let rest = start..range.end;
+        if rest.is_empty() {
+            out_shared.complete(Ok(()));
+            return;
+        }
+        let chunks = plan_chunks(rest, workers, chunk_policy, per_iter);
+        let remaining = Arc::new(AtomicUsize::new(chunks.len()));
+        let panic_slot: Arc<Mutex<Option<PanicPayload>>> = Arc::new(Mutex::new(None));
+        let out_shared = Arc::new(Mutex::new(Some(out_shared)));
+        for chunk in chunks {
+            let f = Arc::clone(&f);
+            let remaining = Arc::clone(&remaining);
+            let panic_slot = Arc::clone(&panic_slot);
+            let out_shared = Arc::clone(&out_shared);
+            let task: crate::pool::Task = Box::new(move || {
+                let result = catch_unwind(AssertUnwindSafe(|| {
+                    for i in chunk {
+                        f(i);
+                    }
+                }));
+                if let Err(p) = result {
+                    let mut guard = panic_slot.lock();
+                    if guard.is_none() {
+                        *guard = Some(p);
+                    }
+                }
+                if remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+                    let shared = out_shared
+                        .lock()
+                        .take()
+                        .expect("for_each_index_task completed twice");
+                    match panic_slot.lock().take() {
+                        Some(p) => shared.complete(Err(p)),
+                        None => shared.complete(Ok(())),
+                    }
+                }
+            });
+            if let Err(task) = spawner.spawn(task) {
+                task();
+            }
+        }
+    }));
+    out
+}
+
+/// Parallel map-reduce over an index range, blocking, with **deterministic**
+/// combine order (chunk partials are reduced left-to-right in index order,
+/// regardless of which worker finished first).
+///
+/// `map` produces a value per index; `fold` combines a chunk-local
+/// accumulator with a mapped value; `combine` merges chunk partials.
+pub fn reduce_index<T, M, C>(
+    pool: &ThreadPool,
+    policy: ExecutionPolicy,
+    range: Range<usize>,
+    identity: T,
+    map: M,
+    combine: C,
+) -> T
+where
+    T: Clone + Send + Sync,
+    M: Fn(usize) -> T + Sync,
+    C: Fn(T, T) -> T + Sync,
+{
+    if range.is_empty() {
+        return identity;
+    }
+    if matches!(policy.kind, PolicyKind::Seq) {
+        let mut acc = identity;
+        for i in range {
+            acc = combine(acc, map(i));
+        }
+        return acc;
+    }
+    let chunks = plan_chunks(range, pool.num_threads(), policy.chunk, None);
+    let partials: Vec<Mutex<Option<T>>> = (0..chunks.len()).map(|_| Mutex::new(None)).collect();
+    {
+        let partials = &partials;
+        let map = &map;
+        let combine = &combine;
+        let identity = &identity;
+        let chunk_of = |idx: usize| chunks[idx].clone();
+        run_chunks_blocking(pool, &(0..chunks.len()).map(|i| i..i + 1).collect::<Vec<_>>(), &{
+            move |ci: usize| {
+                let mut acc = identity.clone();
+                for i in chunk_of(ci) {
+                    acc = combine(acc, map(i));
+                }
+                *partials[ci].lock() = Some(acc);
+            }
+        });
+    }
+    let mut acc = identity;
+    for p in partials {
+        if let Some(v) = p.into_inner() {
+            acc = combine(acc, v);
+        }
+    }
+    acc
+}

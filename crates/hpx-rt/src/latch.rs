@@ -1,0 +1,103 @@
+//! Countdown latch with a work-helping wait.
+//!
+//! The blocking `for_each(par, …)` algorithm uses a latch as its end-of-loop
+//! barrier: the caller waits until every chunk task has counted down. The wait
+//! is *work-helping* — exactly like [`crate::Future::get`] — so the barrier
+//! never idles the waiting thread while chunks remain queued. This is the
+//! cooperative equivalent of the implicit barrier at the end of an
+//! `#pragma omp parallel for`.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use crate::pool::Spawner;
+use crate::ThreadPool;
+
+/// A single-use countdown latch.
+///
+/// Created with a count `n`; [`LatchCounter::count_down`] decrements it and
+/// waiters return once it reaches zero.
+pub struct CountdownLatch {
+    inner: Arc<LatchInner>,
+    spawner: Option<Spawner>,
+}
+
+struct LatchInner {
+    remaining: AtomicUsize,
+}
+
+impl CountdownLatch {
+    /// Latch bound to `pool` (waiters work-help on that pool).
+    pub fn with_pool(pool: &ThreadPool, count: usize) -> Self {
+        CountdownLatch {
+            inner: Arc::new(LatchInner {
+                remaining: AtomicUsize::new(count),
+            }),
+            spawner: Some(pool.spawner()),
+        }
+    }
+
+    /// Pool-less latch; waiters spin-yield.
+    pub fn new(count: usize) -> Self {
+        CountdownLatch {
+            inner: Arc::new(LatchInner {
+                remaining: AtomicUsize::new(count),
+            }),
+            spawner: None,
+        }
+    }
+
+    /// A cloneable counter handle to hand to tasks.
+    pub fn counter(&self) -> LatchCounter {
+        LatchCounter {
+            inner: Arc::clone(&self.inner),
+            spawner: self.spawner.clone(),
+        }
+    }
+
+    /// True once the count has reached zero.
+    pub fn is_open(&self) -> bool {
+        self.inner.remaining.load(Ordering::Acquire) == 0
+    }
+
+    /// Wait until the count reaches zero, executing pool tasks while waiting.
+    pub fn wait_helping(&self) {
+        if self.is_open() {
+            return;
+        }
+        match &self.spawner {
+            Some(sp) => {
+                let inner = Arc::clone(&self.inner);
+                sp.help_until(move || inner.remaining.load(Ordering::Acquire) == 0);
+            }
+            None => {
+                while !self.is_open() {
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+}
+
+/// Cloneable decrement handle for a [`CountdownLatch`].
+#[derive(Clone)]
+pub struct LatchCounter {
+    inner: Arc<LatchInner>,
+    spawner: Option<Spawner>,
+}
+
+impl LatchCounter {
+    /// Decrement the latch by one.
+    ///
+    /// # Panics
+    /// Panics on underflow (more count-downs than the initial count).
+    pub fn count_down(&self) {
+        let prev = self.inner.remaining.fetch_sub(1, Ordering::AcqRel);
+        assert!(prev > 0, "latch counted down below zero");
+        if prev == 1 {
+            if let Some(sp) = &self.spawner {
+                sp.notify();
+            }
+        }
+    }
+}

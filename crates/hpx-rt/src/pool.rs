@@ -1,0 +1,358 @@
+//! Work-stealing thread pool.
+//!
+//! This is the analogue of the HPX thread scheduler: a fixed set of OS worker
+//! threads, each owning a local work-stealing deque, plus a global injector
+//! queue for tasks submitted from outside the pool. Tasks are plain
+//! `FnOnce()` closures ("HPX lightweight threads"); suspension is modelled by
+//! *work-helping* — a thread that must wait for an event keeps executing other
+//! pool tasks instead of blocking (see [`ThreadPool::try_execute_one`]), which
+//! is what makes `future.get()` deadlock-free even on a single-worker pool.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam_deque::{Injector, Steal, Stealer, Worker};
+use parking_lot::{Condvar, Mutex};
+
+use crate::metrics::PoolMetrics;
+
+/// A unit of work scheduled on the pool ("HPX lightweight thread").
+pub(crate) type Task = Box<dyn FnOnce() + Send + 'static>;
+
+struct Inner {
+    injector: Injector<Task>,
+    stealers: Vec<Stealer<Task>>,
+    num_threads: usize,
+    shutdown: AtomicBool,
+    /// Number of workers currently parked, guarded by `sleep_lock`.
+    sleepers: Mutex<usize>,
+    wakeup: Condvar,
+    metrics: PoolMetrics,
+    /// Rotating start index so helpers don't always steal from worker 0.
+    steal_seed: AtomicUsize,
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<WorkerCtx>> = const { RefCell::new(None) };
+}
+
+struct WorkerCtx {
+    inner: Arc<Inner>,
+    local: Worker<Task>,
+}
+
+/// A fixed-size work-stealing thread pool.
+///
+/// Dropping the pool signals shutdown and joins all worker threads.
+pub struct ThreadPool {
+    inner: Arc<Inner>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+/// Builder for a [`ThreadPool`] with non-default configuration.
+pub struct PoolBuilder {
+    num_threads: usize,
+    thread_name: String,
+}
+
+impl Default for PoolBuilder {
+    fn default() -> Self {
+        PoolBuilder {
+            num_threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            thread_name: "hpx-worker".to_owned(),
+        }
+    }
+}
+
+impl PoolBuilder {
+    /// Create a builder with defaults (one worker per available core).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the number of worker threads (clamped to at least 1).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n.max(1);
+        self
+    }
+
+    /// Set the base name for worker threads.
+    pub fn thread_name(mut self, name: impl Into<String>) -> Self {
+        self.thread_name = name.into();
+        self
+    }
+
+    /// Spawn the workers and return the pool.
+    pub fn build(self) -> ThreadPool {
+        let n = self.num_threads;
+        let workers: Vec<Worker<Task>> = (0..n).map(|_| Worker::new_fifo()).collect();
+        let stealers = workers.iter().map(Worker::stealer).collect();
+        let inner = Arc::new(Inner {
+            injector: Injector::new(),
+            stealers,
+            num_threads: n,
+            shutdown: AtomicBool::new(false),
+            sleepers: Mutex::new(0),
+            wakeup: Condvar::new(),
+            metrics: PoolMetrics::default(),
+            steal_seed: AtomicUsize::new(0),
+        });
+        let handles = workers
+            .into_iter()
+            .enumerate()
+            .map(|(index, local)| {
+                let inner = Arc::clone(&inner);
+                let name = format!("{}-{index}", self.thread_name);
+                std::thread::Builder::new()
+                    .name(name)
+                    .spawn(move || worker_main(inner, local))
+                    .expect("failed to spawn hpx-rt worker thread")
+            })
+            .collect();
+        ThreadPool { inner, handles }
+    }
+}
+
+impl ThreadPool {
+    /// Create a pool with `num_threads` workers (at least 1).
+    pub fn new(num_threads: usize) -> Self {
+        PoolBuilder::new().num_threads(num_threads).build()
+    }
+
+    /// Number of worker threads in the pool.
+    pub fn num_threads(&self) -> usize {
+        self.inner.num_threads
+    }
+
+    /// Execution counters for this pool (tasks spawned/executed, steals, parks).
+    pub fn metrics(&self) -> &PoolMetrics {
+        &self.inner.metrics
+    }
+
+    /// Schedule a task for execution.
+    ///
+    /// From a worker thread of this pool the task goes to the worker's local
+    /// deque; from any other thread it goes to the global injector.
+    pub(crate) fn spawn_task(&self, task: Task) {
+        self.inner.metrics.tasks_spawned.fetch_add(1, Ordering::Relaxed);
+        let mut task = Some(task);
+        CURRENT.with(|c| {
+            if let Some(ctx) = c.borrow().as_ref() {
+                if std::ptr::eq(Arc::as_ptr(&ctx.inner), Arc::as_ptr(&self.inner)) {
+                    ctx.local.push(task.take().expect("task consumed twice"));
+                }
+            }
+        });
+        if let Some(task) = task {
+            self.inner.injector.push(task);
+        }
+        self.inner.notify_one();
+    }
+
+    /// True if the calling thread is a worker of this pool.
+    pub fn is_worker_thread(&self) -> bool {
+        CURRENT.with(|c| {
+            c.borrow()
+                .as_ref()
+                .is_some_and(|ctx| std::ptr::eq(Arc::as_ptr(&ctx.inner), Arc::as_ptr(&self.inner)))
+        })
+    }
+
+    /// Try to execute one pending task on the calling thread.
+    ///
+    /// Returns `true` if a task was run. This is the *work-helping* primitive:
+    /// blocking operations ([`crate::Future::get`],
+    /// [`crate::CountdownLatch::wait_helping`]) call it in their wait loops so
+    /// that waiting threads contribute to progress instead of deadlocking the
+    /// pool.
+    pub fn try_execute_one(&self) -> bool {
+        self.inner.try_execute_one()
+    }
+
+    /// Block the calling thread until `pred` returns true, running pool tasks
+    /// while waiting.
+    ///
+    /// When no task is available the thread parks on the pool's wakeup condvar
+    /// with a short timeout, bounding the latency of events signalled from
+    /// outside the pool (e.g. an external [`crate::Promise`]).
+    pub fn help_until(&self, pred: impl FnMut() -> bool) {
+        self.inner.help_until(pred);
+    }
+
+    /// A cheap cloneable handle that futures and latches embed so they can
+    /// schedule continuations and work-help without borrowing the pool.
+    pub(crate) fn spawner(&self) -> Spawner {
+        Spawner {
+            inner: Arc::downgrade(&self.inner),
+        }
+    }
+}
+
+/// Cloneable weak handle to a pool, embedded in futures/latches.
+///
+/// If the pool has been dropped, `spawn` reports failure (callers then run the
+/// work inline) and `help_until` degrades to a spin/park wait.
+#[derive(Clone)]
+pub(crate) struct Spawner {
+    inner: std::sync::Weak<Inner>,
+}
+
+impl Spawner {
+    /// Schedule `task` on the pool; hands the task back if the pool is gone
+    /// so the caller can run it inline.
+    pub(crate) fn spawn(&self, task: Task) -> Result<(), Task> {
+        if let Some(inner) = self.inner.upgrade() {
+            inner.metrics.tasks_spawned.fetch_add(1, Ordering::Relaxed);
+            let mut task = Some(task);
+            CURRENT.with(|c| {
+                if let Some(ctx) = c.borrow().as_ref() {
+                    if std::ptr::eq(Arc::as_ptr(&ctx.inner), Arc::as_ptr(&inner)) {
+                        ctx.local.push(task.take().expect("task consumed twice"));
+                    }
+                }
+            });
+            if let Some(task) = task {
+                inner.injector.push(task);
+            }
+            inner.notify_one();
+            Ok(())
+        } else {
+            Err(task)
+        }
+    }
+
+    /// Work-helping wait; falls back to yielding if the pool is gone.
+    pub(crate) fn help_until(&self, mut pred: impl FnMut() -> bool) {
+        if let Some(inner) = self.inner.upgrade() {
+            inner.help_until(pred);
+        } else {
+            while !pred() {
+                std::thread::yield_now();
+            }
+        }
+    }
+
+    /// Wake parked waiters after an event (promise fulfilled, latch opened).
+    pub(crate) fn notify(&self) {
+        if let Some(inner) = self.inner.upgrade() {
+            inner.notify_all();
+        }
+    }
+}
+
+impl Inner {
+    fn notify_one(&self) {
+        // Only take the lock when somebody might be asleep.
+        let sleepers = self.sleepers.lock();
+        if *sleepers > 0 {
+            self.wakeup.notify_one();
+        }
+    }
+
+    fn notify_all(&self) {
+        let _guard = self.sleepers.lock();
+        self.wakeup.notify_all();
+    }
+
+    /// Find a runnable task: local deque first (on a worker of this pool),
+    /// then the global injector, then stealing from sibling workers.
+    fn find_task(&self) -> Option<Task> {
+        let local = CURRENT.with(|c| {
+            c.borrow().as_ref().and_then(|ctx| {
+                if std::ptr::eq(Arc::as_ptr(&ctx.inner), self as *const Inner) {
+                    ctx.local.pop()
+                } else {
+                    None
+                }
+            })
+        });
+        if local.is_some() {
+            return local;
+        }
+        loop {
+            match self.injector.steal() {
+                Steal::Success(t) => return Some(t),
+                Steal::Empty => break,
+                Steal::Retry => continue,
+            }
+        }
+        let n = self.stealers.len();
+        let start = self.steal_seed.fetch_add(1, Ordering::Relaxed) % n;
+        for off in 0..n {
+            let s = &self.stealers[(start + off) % n];
+            loop {
+                match s.steal() {
+                    Steal::Success(t) => {
+                        self.metrics.steals.fetch_add(1, Ordering::Relaxed);
+                        return Some(t);
+                    }
+                    Steal::Empty => break,
+                    Steal::Retry => continue,
+                }
+            }
+        }
+        None
+    }
+
+    fn try_execute_one(&self) -> bool {
+        if let Some(task) = self.find_task() {
+            self.metrics.tasks_executed.fetch_add(1, Ordering::Relaxed);
+            task();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn help_until(&self, mut pred: impl FnMut() -> bool) {
+        while !pred() {
+            if !self.try_execute_one() {
+                let mut sleepers = self.sleepers.lock();
+                if pred() {
+                    return;
+                }
+                *sleepers += 1;
+                self.wakeup
+                    .wait_for(&mut sleepers, Duration::from_micros(200));
+                *sleepers -= 1;
+            }
+        }
+    }
+}
+
+fn worker_main(inner: Arc<Inner>, local: Worker<Task>) {
+    CURRENT.with(|c| {
+        *c.borrow_mut() = Some(WorkerCtx {
+            inner: Arc::clone(&inner),
+            local,
+        });
+    });
+    loop {
+        if inner.try_execute_one() {
+            continue;
+        }
+        if inner.shutdown.load(Ordering::Acquire) {
+            break;
+        }
+        inner.metrics.parks.fetch_add(1, Ordering::Relaxed);
+        let mut sleepers = inner.sleepers.lock();
+        *sleepers += 1;
+        inner.wakeup.wait_for(&mut sleepers, Duration::from_millis(5));
+        *sleepers -= 1;
+    }
+    CURRENT.with(|c| {
+        *c.borrow_mut() = None;
+    });
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.inner.shutdown.store(true, Ordering::Release);
+        self.inner.notify_all();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! Parallel prefix sums (`hpx::inclusive_scan` / `hpx::exclusive_scan`).
+//!
+//! Classic two-pass blocked algorithm: chunks are scanned locally in
+//! parallel, chunk totals are combined sequentially into offsets, and a
+//! second parallel pass applies the offsets. For an associative `op` the
+//! result equals the sequential scan; for floating point the grouping is
+//! fixed by the chunking, so results are deterministic for a given
+//! `(input length, chunk size, identity)`.
+
+use crate::for_each::{plan_chunks_pub, ChunkSize, ExecutionPolicy, PolicyKind};
+use crate::{for_each_index, par, ThreadPool};
+
+/// Inclusive prefix scan: `out[i] = op(init, x0 ⊕ … ⊕ xi)`.
+pub fn inclusive_scan<T, F>(
+    pool: &ThreadPool,
+    policy: ExecutionPolicy,
+    input: &[T],
+    init: T,
+    op: F,
+) -> Vec<T>
+where
+    T: Clone + Send + Sync,
+    F: Fn(&T, &T) -> T + Sync,
+{
+    scan_impl(pool, policy, input, init, op, true)
+}
+
+/// Exclusive prefix scan: `out[i] = op(init, x0 ⊕ … ⊕ x(i−1))`;
+/// `out[0] = init`.
+pub fn exclusive_scan<T, F>(
+    pool: &ThreadPool,
+    policy: ExecutionPolicy,
+    input: &[T],
+    init: T,
+    op: F,
+) -> Vec<T>
+where
+    T: Clone + Send + Sync,
+    F: Fn(&T, &T) -> T + Sync,
+{
+    scan_impl(pool, policy, input, init, op, false)
+}
+
+fn scan_impl<T, F>(
+    pool: &ThreadPool,
+    policy: ExecutionPolicy,
+    input: &[T],
+    init: T,
+    op: F,
+    inclusive: bool,
+) -> Vec<T>
+where
+    T: Clone + Send + Sync,
+    F: Fn(&T, &T) -> T + Sync,
+{
+    let n = input.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    if matches!(policy.kind, PolicyKind::Seq) || n < 2 {
+        return scan_serial(input, init, &op, inclusive);
+    }
+
+    let chunks = plan_chunks_pub(0..n, pool.num_threads(), policy.chunk);
+    // Phase 1: local inclusive scans per chunk.
+    let mut partial: Vec<Vec<T>> = chunks.iter().map(|c| Vec::with_capacity(c.len())).collect();
+    {
+        let partial_slices: Vec<parking_lot::Mutex<&mut Vec<T>>> =
+            partial.iter_mut().map(parking_lot::Mutex::new).collect();
+        let chunks_ref = &chunks;
+        let op_ref = &op;
+        for_each_index(pool, par().with_chunk(ChunkSize::Static(1)), 0..chunks.len(), |ci| {
+            let mut guard = partial_slices[ci].lock();
+            let range = chunks_ref[ci].clone();
+            let mut acc: Option<T> = None;
+            for i in range {
+                let next = match &acc {
+                    Some(a) => op_ref(a, &input[i]),
+                    None => input[i].clone(),
+                };
+                guard.push(next.clone());
+                acc = Some(next);
+            }
+        });
+    }
+    // Phase 2 (sequential): exclusive offsets over chunk totals.
+    let mut offsets: Vec<T> = Vec::with_capacity(chunks.len());
+    let mut running = init.clone();
+    for p in &partial {
+        offsets.push(running.clone());
+        if let Some(last) = p.last() {
+            running = op(&running, last);
+        }
+    }
+    // Phase 3: apply offsets in parallel, with the inclusive/exclusive shift.
+    let mut out: Vec<T> = vec![init.clone(); n];
+    {
+        let out_cells: Vec<parking_lot::Mutex<()>> = Vec::new(); // no per-slot locks needed
+        let _ = out_cells;
+        // SAFETY-free approach: compute each chunk's output into its own
+        // sub-vector, then stitch (keeps everything in safe code).
+        let pieces: Vec<parking_lot::Mutex<Vec<T>>> =
+            (0..chunks.len()).map(|_| parking_lot::Mutex::new(Vec::new())).collect();
+        let partial_ref = &partial;
+        let offsets_ref = &offsets;
+        let chunks_ref = &chunks;
+        let op_ref = &op;
+        for_each_index(pool, par().with_chunk(ChunkSize::Static(1)), 0..chunks.len(), |ci| {
+            let range = chunks_ref[ci].clone();
+            let mut piece = Vec::with_capacity(range.len());
+            for (k, _i) in range.clone().enumerate() {
+                if inclusive {
+                    piece.push(op_ref(&offsets_ref[ci], &partial_ref[ci][k]));
+                } else if k == 0 {
+                    piece.push(offsets_ref[ci].clone());
+                } else {
+                    piece.push(op_ref(&offsets_ref[ci], &partial_ref[ci][k - 1]));
+                }
+            }
+            *pieces[ci].lock() = piece;
+        });
+        let mut pos = 0;
+        for p in pieces {
+            let piece = p.into_inner();
+            out[pos..pos + piece.len()].clone_from_slice(&piece);
+            pos += piece.len();
+        }
+    }
+    out
+}
+
+fn scan_serial<T, F>(input: &[T], init: T, op: &F, inclusive: bool) -> Vec<T>
+where
+    T: Clone,
+    F: Fn(&T, &T) -> T,
+{
+    let mut out = Vec::with_capacity(input.len());
+    let mut acc = init;
+    for x in input {
+        if inclusive {
+            acc = op(&acc, x);
+            out.push(acc.clone());
+        } else {
+            out.push(acc.clone());
+            acc = op(&acc, x);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seq;
+
+    #[test]
+    fn inclusive_matches_sequential() {
+        let pool = ThreadPool::new(3);
+        let input: Vec<u64> = (1..=100).collect();
+        let par_out = inclusive_scan(&pool, par().with_chunk(ChunkSize::Static(7)), &input, 0, |a, b| a + b);
+        let seq_out = inclusive_scan(&pool, seq(), &input, 0, |a, b| a + b);
+        assert_eq!(par_out, seq_out);
+        assert_eq!(par_out[99], 5050);
+        assert_eq!(par_out[0], 1);
+    }
+
+    #[test]
+    fn exclusive_matches_sequential() {
+        let pool = ThreadPool::new(2);
+        let input: Vec<u64> = (1..=50).collect();
+        let par_out = exclusive_scan(&pool, par().with_chunk(ChunkSize::Static(9)), &input, 0, |a, b| a + b);
+        let seq_out = exclusive_scan(&pool, seq(), &input, 0, |a, b| a + b);
+        assert_eq!(par_out, seq_out);
+        assert_eq!(par_out[0], 0);
+        assert_eq!(par_out[49], (1..=49).sum::<u64>());
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let pool = ThreadPool::new(2);
+        let empty: Vec<u64> = Vec::new();
+        assert!(inclusive_scan(&pool, par(), &empty, 0, |a, b| a + b).is_empty());
+        assert_eq!(inclusive_scan(&pool, par(), &[7u64], 1, |a, b| a + b), vec![8]);
+        assert_eq!(exclusive_scan(&pool, par(), &[7u64], 1, |a, b| a + b), vec![1]);
+    }
+
+    #[test]
+    fn init_is_applied() {
+        let pool = ThreadPool::new(2);
+        let out = inclusive_scan(&pool, par().with_chunk(ChunkSize::Static(2)), &[1u64, 1, 1], 100, |a, b| a + b);
+        assert_eq!(out, vec![101, 102, 103]);
+    }
+
+    #[test]
+    fn csr_offsets_use_case() {
+        // Degrees → CSR row offsets (the framework-adjacent use case).
+        let pool = ThreadPool::new(2);
+        let degrees = [2usize, 0, 3, 1];
+        let offsets = exclusive_scan(&pool, par().with_chunk(ChunkSize::Static(2)), &degrees, 0, |a, b| a + b);
+        assert_eq!(offsets, vec![0, 2, 2, 5]);
+    }
+}

@@ -1,0 +1,31 @@
+//! Asynchronous function execution — the analogue of `hpx::async`.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use crate::future::{Future, PanicPayload};
+use crate::ThreadPool;
+
+/// Schedule `f` for asynchronous execution on `pool` and immediately return a
+/// [`Future`] for its result (the paper's
+/// `hpx::async(hpx::launch::async, f)`).
+///
+/// Panics inside `f` are captured and re-thrown by [`Future::get`].
+///
+/// ```
+/// use hpx_rt::{ThreadPool, async_spawn};
+/// let pool = ThreadPool::new(2);
+/// let f = async_spawn(&pool, || (1..=10).sum::<u32>());
+/// assert_eq!(f.get(), 55);
+/// ```
+pub fn async_spawn<T, F>(pool: &ThreadPool, f: F) -> Future<T>
+where
+    T: Send + 'static,
+    F: FnOnce() -> T + Send + 'static,
+{
+    let (shared, future) = Future::<T>::new_pair(Some(pool.spawner()));
+    pool.spawn_task(Box::new(move || {
+        let result = catch_unwind(AssertUnwindSafe(f));
+        shared.complete(result.map_err(|p| p as PanicPayload));
+    }));
+    future
+}

@@ -1,0 +1,142 @@
+//! Stress and robustness tests: large task counts, deep dependency chains,
+//! many pools, contention on shared futures, and teardown under load.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use hpx_rt::{
+    async_spawn, for_each_index, make_ready_future, par, when_all, when_all_unit, ChunkSize,
+    ThreadPool,
+};
+
+#[test]
+fn ten_thousand_tasks_complete() {
+    let pool = ThreadPool::new(4);
+    let counter = Arc::new(AtomicU64::new(0));
+    let futures: Vec<_> = (0..10_000)
+        .map(|_| {
+            let c = Arc::clone(&counter);
+            async_spawn(&pool, move || {
+                c.fetch_add(1, Ordering::Relaxed);
+            })
+        })
+        .collect();
+    when_all_unit(&pool, futures).get();
+    assert_eq!(counter.load(Ordering::Relaxed), 10_000);
+}
+
+#[test]
+fn deep_then_chain() {
+    let pool = ThreadPool::new(2);
+    let mut f = make_ready_future(0u64);
+    for _ in 0..2_000 {
+        f = f.then(&pool, |x| x + 1);
+    }
+    assert_eq!(f.get(), 2_000);
+}
+
+#[test]
+fn wide_when_all() {
+    let pool = ThreadPool::new(3);
+    let futures: Vec<_> = (0..5_000).map(|i| async_spawn(&pool, move || i as u64)).collect();
+    let sum: u64 = when_all(&pool, futures).get().into_iter().sum();
+    assert_eq!(sum, (0..5_000u64).sum());
+}
+
+#[test]
+fn tasks_spawning_tasks_recursively() {
+    // Binary fan-out: each task spawns two children until depth 10
+    // (2^11 - 1 tasks), counted exactly once each.
+    let pool = Arc::new(ThreadPool::new(3));
+    let counter = Arc::new(AtomicU64::new(0));
+    fn spawn_tree(pool: &Arc<ThreadPool>, counter: &Arc<AtomicU64>, depth: u32) -> hpx_rt::Future<()> {
+        let pool2 = Arc::clone(pool);
+        let counter2 = Arc::clone(counter);
+        async_spawn(pool, move || {
+            counter2.fetch_add(1, Ordering::Relaxed);
+            if depth > 0 {
+                let l = spawn_tree(&pool2, &counter2, depth - 1);
+                let r = spawn_tree(&pool2, &counter2, depth - 1);
+                l.get();
+                r.get();
+            }
+        })
+    }
+    spawn_tree(&pool, &counter, 10).get();
+    assert_eq!(counter.load(Ordering::Relaxed), 2u64.pow(11) - 1);
+}
+
+#[test]
+fn many_pools_coexist_and_tear_down() {
+    for round in 0..10 {
+        let pools: Vec<ThreadPool> = (0..4).map(|_| ThreadPool::new(2)).collect();
+        let futures: Vec<_> = pools
+            .iter()
+            .enumerate()
+            .map(|(i, p)| async_spawn(p, move || i as u64 + round))
+            .collect();
+        let total: u64 = futures.into_iter().map(|f| f.get()).sum();
+        assert_eq!(total, 6 + 4 * round);
+        // All four pools drop (join) here, every round.
+    }
+}
+
+#[test]
+fn shared_future_contended_getters() {
+    let pool = Arc::new(ThreadPool::new(2));
+    let sf = async_spawn(&pool, || {
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        42u64
+    })
+    .share();
+    // 8 OS threads all get() the same shared future concurrently.
+    std::thread::scope(|s| {
+        for _ in 0..8 {
+            let sf = sf.clone();
+            s.spawn(move || assert_eq!(sf.get(), 42));
+        }
+    });
+}
+
+#[test]
+fn nested_blocking_for_each() {
+    // A blocking parallel loop inside a blocking parallel loop (work-helping
+    // must nest without deadlock, even on one worker).
+    let pool = ThreadPool::new(1);
+    let hits = AtomicU64::new(0);
+    for_each_index(&pool, par().with_chunk(ChunkSize::Static(4)), 0..16, |_| {
+        for_each_index(&pool, par().with_chunk(ChunkSize::Static(8)), 0..32, |_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+    });
+    assert_eq!(hits.load(Ordering::Relaxed), 16 * 32);
+}
+
+#[test]
+fn pool_drop_with_unconsumed_futures() {
+    // Dropping futures (never calling get) and then the pool must not hang
+    // or leak panics.
+    let pool = ThreadPool::new(2);
+    for i in 0..100 {
+        let _ = async_spawn(&pool, move || i * 2);
+    }
+    drop(pool); // joins workers; pending tasks drain
+}
+
+#[test]
+fn interleaved_pools_work_helping_does_not_cross() {
+    // get() on pool A must not execute pool B's tasks (helping is pool-local).
+    let a = ThreadPool::new(1);
+    let b = ThreadPool::new(1);
+    let before_b = b.metrics().snapshot();
+    // Stack up work on A and wait for it while B is idle.
+    let futures: Vec<_> = (0..64).map(|i| async_spawn(&a, move || i)).collect();
+    let sum: i32 = futures.into_iter().map(|f| f.get()).sum();
+    assert_eq!(sum, (0..64).sum());
+    let after_b = b.metrics().snapshot();
+    assert_eq!(
+        before_b.delta(&after_b).tasks_executed,
+        0,
+        "pool B executed foreign work"
+    );
+}

@@ -1,0 +1,291 @@
+//! Dats — data attached to the elements of a set.
+
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::{RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+use crate::ids::next_id;
+use crate::set::Set;
+
+struct DatInner<T> {
+    id: u64,
+    name: String,
+    set: Set,
+    dim: usize,
+    /// Element-major storage: slot `e * dim + j`. The box is never resized,
+    /// so the payload address is stable and raw views stay valid for the
+    /// lifetime of the dat.
+    data: RwLock<Box<[T]>>,
+}
+
+/// Data on a set (the paper's `op_decl_dat`): `dim` values of type `T` per
+/// element.
+///
+/// Cheap to clone (shared handle). Two access paths:
+///
+/// * **safe, locked** — [`Dat::data`] / [`Dat::data_mut`] for setup,
+///   verification, and I/O;
+/// * **raw, unlocked** — [`Dat::view`] for kernels running inside a parallel
+///   loop, where the framework (plan coloring + declared access modes) —
+///   not the borrow checker — guarantees race freedom, exactly as in OP2.
+pub struct Dat<T> {
+    inner: Arc<DatInner<T>>,
+}
+
+impl<T> Clone for Dat<T> {
+    fn clone(&self) -> Self {
+        Dat {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T: Copy + Send + Sync + 'static> Dat<T> {
+    /// Declare a dat over `set` with `dim` values per element, initialized
+    /// from `data` (length must be `set.size() * dim`).
+    ///
+    /// # Panics
+    /// Panics on a length mismatch or `dim == 0`.
+    pub fn new(name: impl Into<String>, set: &Set, dim: usize, data: Vec<T>) -> Self {
+        let name = name.into();
+        assert!(dim > 0, "dat {name}: dimension must be positive");
+        assert_eq!(
+            data.len(),
+            set.size() * dim,
+            "dat {name}: data length {} != set.size {} * dim {dim}",
+            data.len(),
+            set.size()
+        );
+        Dat {
+            inner: Arc::new(DatInner {
+                id: next_id(),
+                name,
+                set: set.clone(),
+                dim,
+                data: RwLock::new(data.into_boxed_slice()),
+            }),
+        }
+    }
+
+    /// Declare a dat filled with `value`.
+    pub fn filled(name: impl Into<String>, set: &Set, dim: usize, value: T) -> Self {
+        Dat::new(name, set, dim, vec![value; set.size() * dim])
+    }
+
+    /// Locked read access to the raw storage (setup/verification only —
+    /// do not call from inside a kernel).
+    pub fn data(&self) -> RwLockReadGuard<'_, Box<[T]>> {
+        self.inner.data.read()
+    }
+
+    /// Locked write access to the raw storage (setup only).
+    pub fn data_mut(&self) -> RwLockWriteGuard<'_, Box<[T]>> {
+        self.inner.data.write()
+    }
+
+    /// Snapshot the contents (tests, checkpointing).
+    pub fn to_vec(&self) -> Vec<T> {
+        self.data().to_vec()
+    }
+
+    /// A raw, unlocked view for use inside parallel-loop kernels.
+    ///
+    /// The view's accessors are `unsafe fn`: the caller must be executing
+    /// inside a [`crate::ParLoop`] whose declared arguments cover the access
+    /// (the executor's plan then guarantees exclusivity). See module docs.
+    ///
+    /// ⚠ A view holds a raw pointer into this dat's storage and does **not**
+    /// keep the dat alive: any kernel capturing a view must (transitively)
+    /// also own a clone of the `Dat` — e.g. keep it in the struct that owns
+    /// the [`crate::ParLoop`] — or the view dangles once the last handle
+    /// drops.
+    pub fn view(&self) -> DatView<T> {
+        let guard = self.inner.data.read();
+        let ptr = guard.as_ptr() as *mut T;
+        let len = guard.len();
+        DatView {
+            ptr,
+            len,
+            dim: self.inner.dim,
+        }
+    }
+
+    /// Values per element.
+    pub fn dim(&self) -> usize {
+        self.inner.dim
+    }
+
+    /// The set this dat lives on.
+    pub fn set(&self) -> &Set {
+        &self.inner.set
+    }
+
+    /// Declared name (diagnostics only).
+    pub fn name(&self) -> &str {
+        &self.inner.name
+    }
+
+    /// Process-unique identity (used by the dataflow backend's dependency
+    /// table).
+    pub fn id(&self) -> u64 {
+        self.inner.id
+    }
+}
+
+impl<T> fmt::Debug for Dat<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Dat({} #{} on {}, dim={})",
+            self.inner.name,
+            self.inner.id,
+            self.inner.set.name(),
+            self.inner.dim
+        )
+    }
+}
+
+/// Raw per-element view of a dat's storage, for kernels.
+///
+/// `Copy` and sendable across threads; all accessors are `unsafe` because the
+/// framework, not the compiler, proves exclusivity (see [`Dat::view`]).
+pub struct DatView<T> {
+    ptr: *mut T,
+    len: usize,
+    dim: usize,
+}
+
+impl<T> Clone for DatView<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for DatView<T> {}
+
+// SAFETY: the view is a typed pointer into storage owned by a `Dat` whose
+// executors guarantee disjoint access per the declared access modes.
+unsafe impl<T: Send + Sync> Send for DatView<T> {}
+unsafe impl<T: Send + Sync> Sync for DatView<T> {}
+
+impl<T: Copy> DatView<T> {
+    /// Values per element.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Read element `e`'s values.
+    ///
+    /// # Safety
+    /// Must be called from a kernel whose loop declared (at least) read
+    /// access to this dat at this element; no concurrent writer may exist
+    /// (guaranteed by the plan when declarations are correct).
+    #[inline]
+    pub unsafe fn slice(&self, e: usize) -> &[T] {
+        debug_assert!((e + 1) * self.dim <= self.len);
+        std::slice::from_raw_parts(self.ptr.add(e * self.dim), self.dim)
+    }
+
+    /// Mutably access element `e`'s values.
+    ///
+    /// # Safety
+    /// Must be called from a kernel whose loop declared write/rw/inc access
+    /// to this dat at this element; the plan guarantees no other thread
+    /// touches element `e` concurrently.
+    #[inline]
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn slice_mut(&self, e: usize) -> &mut [T] {
+        debug_assert!((e + 1) * self.dim <= self.len);
+        std::slice::from_raw_parts_mut(self.ptr.add(e * self.dim), self.dim)
+    }
+
+    /// Read a single value.
+    ///
+    /// # Safety
+    /// As [`DatView::slice`].
+    #[inline]
+    pub unsafe fn get(&self, e: usize, j: usize) -> T {
+        debug_assert!(j < self.dim);
+        *self.ptr.add(e * self.dim + j)
+    }
+
+    /// Write a single value.
+    ///
+    /// # Safety
+    /// As [`DatView::slice_mut`].
+    #[inline]
+    pub unsafe fn set(&self, e: usize, j: usize, v: T) {
+        debug_assert!(j < self.dim);
+        *self.ptr.add(e * self.dim + j) = v;
+    }
+}
+
+impl<T: Copy + std::ops::AddAssign> DatView<T> {
+    /// Increment a single value (`OP_INC` access).
+    ///
+    /// # Safety
+    /// As [`DatView::slice_mut`]; coloring guarantees no concurrent increment
+    /// of the same element.
+    #[inline]
+    pub unsafe fn add(&self, e: usize, j: usize, v: T) {
+        debug_assert!(j < self.dim);
+        *self.ptr.add(e * self.dim + j) += v;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dat_roundtrip() {
+        let cells = Set::new("cells", 3);
+        let d = Dat::new("q", &cells, 2, vec![1.0f64, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(d.dim(), 2);
+        assert_eq!(d.to_vec(), vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        d.data_mut()[4] = 50.0;
+        assert_eq!(d.data()[4], 50.0);
+    }
+
+    #[test]
+    fn dat_filled() {
+        let cells = Set::new("cells", 4);
+        let d = Dat::filled("adt", &cells, 1, 0.5f64);
+        assert_eq!(d.to_vec(), vec![0.5; 4]);
+    }
+
+    #[test]
+    fn view_accesses_elements() {
+        let cells = Set::new("cells", 3);
+        let d = Dat::new("q", &cells, 2, vec![0i64; 6]);
+        let v = d.view();
+        unsafe {
+            v.set(1, 0, 10);
+            v.add(1, 0, 5);
+            v.slice_mut(2)[1] = 7;
+        }
+        assert_eq!(d.to_vec(), vec![0, 0, 15, 0, 0, 7]);
+        unsafe {
+            assert_eq!(v.get(1, 0), 15);
+            assert_eq!(v.slice(2), &[0, 7]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "data length")]
+    fn dat_rejects_bad_length() {
+        let cells = Set::new("cells", 3);
+        let _ = Dat::new("q", &cells, 2, vec![0.0f32; 5]);
+    }
+
+    #[test]
+    fn dat_clone_shares_storage() {
+        let cells = Set::new("cells", 2);
+        let a = Dat::new("x", &cells, 1, vec![1, 2]);
+        let b = a.clone();
+        a.data_mut()[0] = 9;
+        assert_eq!(b.to_vec(), vec![9, 2]);
+        assert_eq!(a.id(), b.id());
+    }
+}

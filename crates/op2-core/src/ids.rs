@@ -1,0 +1,15 @@
+//! Process-unique identifiers for sets, maps, and dats.
+//!
+//! Identity (not name equality) is what the framework validates against:
+//! a map's *from* set must be the loop's iteration set, a dat must live on
+//! the set the argument claims, and the dataflow backend keys its dependency
+//! table by dat id.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static NEXT: AtomicU64 = AtomicU64::new(1);
+
+/// Allocate a fresh process-unique id.
+pub(crate) fn next_id() -> u64 {
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}

@@ -1,0 +1,49 @@
+//! # op2-core — an OP2-style framework for unstructured-grid computations
+//!
+//! OP2 ("Oxford Parallel library for unstructured mesh computations, v2") is
+//! an *active library*: applications declare their mesh as **sets** of
+//! elements ([`Set`]: nodes, edges, cells, …), attach **data** to sets
+//! ([`Dat`]), describe connectivity between sets with **maps** ([`Map`]), and
+//! express *all* computation as **parallel loops** ([`ParLoop`]) applying a
+//! kernel to every element of a set, with per-argument access declarations
+//! ([`Access`]: read / write / read-write / increment).
+//!
+//! This crate rebuilds the OP2 core used by the ICPP 2016 HPX+OP2 paper:
+//!
+//! * the data model (`Set`/`Map`/`Dat`/[`ArgSpec`]),
+//! * **execution plans** ([`Plan`]): the iteration set is partitioned into
+//!   blocks (mini-partitions) and blocks are greedily **colored** so that two
+//!   blocks of the same color never touch the same indirectly-incremented
+//!   datum — same-color blocks can then run in parallel without atomics,
+//! * a **serial reference executor** ([`serial`]) defining the semantics every
+//!   parallel backend (crate `op2-hpx`) must reproduce bit-for-bit,
+//! * deterministic **global reductions** ([`reduction`]) with block-ordered
+//!   combining.
+//!
+//! Direct loops (no mapping, e.g. Airfoil's `save_soln`/`update`) parallelize
+//! trivially; indirect loops (data accessed through a map, e.g. `res_calc`
+//! incrementing cell residuals from edges) are where the plan machinery earns
+//! its keep.
+
+#![warn(missing_docs)]
+
+pub mod access;
+pub mod arg;
+pub mod dat;
+pub mod ids;
+pub mod loops;
+pub mod map;
+pub mod plan;
+pub mod reduction;
+pub mod renumber;
+pub mod serial;
+pub mod set;
+
+pub use access::Access;
+pub use arg::{arg_direct, arg_indirect, ArgSpec, MapRef};
+pub use dat::{Dat, DatView};
+pub use loops::{KernelFn, ParLoop, ParLoopBuilder};
+pub use map::Map;
+pub use plan::{Plan, PlanCache, PlanKey};
+pub use reduction::{GblOp, GlobalAcc};
+pub use set::Set;

@@ -1,0 +1,276 @@
+//! Parallel-loop descriptors — the analogue of `op_par_loop`.
+
+use std::fmt;
+use std::sync::Arc;
+
+
+use crate::arg::{ArgSpec, MapRef};
+use crate::reduction::GblOp;
+use crate::set::Set;
+
+/// The kernel body: called once per iteration-set element.
+///
+/// Arguments: the element index, and a per-block scratch slice for global
+/// (reduction) increments — empty when the loop declares no global argument.
+/// The kernel reaches its dats through captured [`crate::DatView`]s, which is
+/// what OP2's generated code does with raw pointers.
+pub type KernelFn = Arc<dyn Fn(usize, &mut [f64]) + Send + Sync>;
+
+/// A parallel loop over a set: name, iteration set, argument declarations,
+/// optional global reduction, and the kernel.
+///
+/// Construct with [`ParLoop::build`]; execute with one of the backends in the
+/// `op2-hpx` crate, or with [`crate::serial`] for reference semantics.
+#[derive(Clone)]
+pub struct ParLoop {
+    name: String,
+    set: Set,
+    args: Vec<ArgSpec>,
+    gbl_dim: usize,
+    gbl_op: GblOp,
+    kernel: KernelFn,
+}
+
+/// Builder for [`ParLoop`]; validates argument/set consistency.
+pub struct ParLoopBuilder {
+    name: String,
+    set: Set,
+    args: Vec<ArgSpec>,
+    gbl_dim: usize,
+    gbl_op: GblOp,
+}
+
+impl ParLoop {
+    /// Start building a loop named `name` over `set`.
+    pub fn build(name: impl Into<String>, set: &Set) -> ParLoopBuilder {
+        ParLoopBuilder {
+            name: name.into(),
+            set: set.clone(),
+            args: Vec::new(),
+            gbl_dim: 0,
+            gbl_op: GblOp::Sum,
+        }
+    }
+
+    /// Loop name (diagnostics, plan cache keys).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The iteration set.
+    pub fn set(&self) -> &Set {
+        &self.set
+    }
+
+    /// The declared arguments.
+    pub fn args(&self) -> &[ArgSpec] {
+        &self.args
+    }
+
+    /// Dimension of the global reduction (0 = none).
+    pub fn gbl_dim(&self) -> usize {
+        self.gbl_dim
+    }
+
+    /// Combining operator of the global reduction.
+    pub fn gbl_op(&self) -> GblOp {
+        self.gbl_op
+    }
+
+    /// The kernel body.
+    pub fn kernel(&self) -> &KernelFn {
+        &self.kernel
+    }
+
+    /// Does any argument write through a map? (If so, execution needs a
+    /// colored plan; otherwise the loop is a *direct* loop for scheduling
+    /// purposes.)
+    pub fn has_indirect_writes(&self) -> bool {
+        self.args
+            .iter()
+            .any(|a| a.is_indirect() && a.access.writes())
+    }
+
+    /// Is this a direct loop (no argument goes through a map)?
+    pub fn is_direct(&self) -> bool {
+        !self.args.iter().any(ArgSpec::is_indirect)
+    }
+
+    /// Ids of dats whose *existing* values the loop observes
+    /// (`OP_READ`, `OP_RW`, `OP_INC`).
+    pub fn dat_reads(&self) -> Vec<u64> {
+        let mut ids: Vec<u64> = self
+            .args
+            .iter()
+            .filter(|a| a.access.reads())
+            .map(|a| a.dat_id)
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
+    /// Ids of dats the loop modifies (`OP_WRITE`, `OP_RW`, `OP_INC`).
+    pub fn dat_writes(&self) -> Vec<u64> {
+        let mut ids: Vec<u64> = self
+            .args
+            .iter()
+            .filter(|a| a.access.writes())
+            .map(|a| a.dat_id)
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+}
+
+impl fmt::Debug for ParLoop {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ParLoop({} over {}, {} args{})",
+            self.name,
+            self.set.name(),
+            self.args.len(),
+            if self.gbl_dim > 0 { ", gbl" } else { "" }
+        )
+    }
+}
+
+impl ParLoopBuilder {
+    /// Add an argument declaration ([`crate::arg_direct`] /
+    /// [`crate::arg_indirect`]).
+    ///
+    /// # Panics
+    /// Panics if the argument is inconsistent with the iteration set:
+    /// a direct arg's dat must live on the loop's set; an indirect arg's map
+    /// must originate from the loop's set.
+    pub fn arg(mut self, arg: ArgSpec) -> Self {
+        match &arg.map_ref {
+            MapRef::Direct => assert!(
+                arg.dat_set.same(&self.set),
+                "loop {}: direct arg {} lives on set {}, loop iterates {}",
+                self.name,
+                arg.dat_name,
+                arg.dat_set.name(),
+                self.set.name()
+            ),
+            MapRef::Indirect { map, .. } => assert!(
+                map.from_set().same(&self.set),
+                "loop {}: indirect arg {} uses map {} from set {}, loop iterates {}",
+                self.name,
+                arg.dat_name,
+                map.name(),
+                map.from_set().name(),
+                self.set.name()
+            ),
+        }
+        self.args.push(arg);
+        self
+    }
+
+    /// Declare a global `f64` reduction of dimension `dim` (OP2's
+    /// `op_arg_gbl(…, OP_INC)`); the kernel receives a scratch slice of this
+    /// length and partial sums are combined deterministically in block order.
+    pub fn gbl_inc(mut self, dim: usize) -> Self {
+        self.gbl_dim = dim;
+        self.gbl_op = GblOp::Sum;
+        self
+    }
+
+    /// Declare a global minimum reduction (OP2's `op_arg_gbl(…, OP_MIN)`);
+    /// the kernel scratch starts at `+∞` and the kernel applies `min`.
+    pub fn gbl_min(mut self, dim: usize) -> Self {
+        self.gbl_dim = dim;
+        self.gbl_op = GblOp::Min;
+        self
+    }
+
+    /// Declare a global maximum reduction (OP2's `op_arg_gbl(…, OP_MAX)`).
+    pub fn gbl_max(mut self, dim: usize) -> Self {
+        self.gbl_dim = dim;
+        self.gbl_op = GblOp::Max;
+        self
+    }
+
+    /// Attach the kernel and finish.
+    pub fn kernel(self, kernel: impl Fn(usize, &mut [f64]) + Send + Sync + 'static) -> ParLoop {
+        ParLoop {
+            name: self.name,
+            set: self.set,
+            args: self.args,
+            gbl_dim: self.gbl_dim,
+            gbl_op: self.gbl_op,
+            kernel: Arc::new(kernel),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access::Access;
+    use crate::arg::{arg_direct, arg_indirect};
+    use crate::dat::Dat;
+    use crate::map::Map;
+
+    fn fixture() -> (Set, Set, Map, Dat<f64>, Dat<f64>) {
+        let edges = Set::new("edges", 4);
+        let cells = Set::new("cells", 5);
+        let m = Map::new("pecell", &edges, &cells, 2, vec![0, 1, 1, 2, 2, 3, 3, 4]);
+        let q = Dat::filled("q", &cells, 4, 1.0);
+        let res = Dat::filled("res", &cells, 4, 0.0);
+        (edges, cells, m, q, res)
+    }
+
+    #[test]
+    fn loop_classification() {
+        let (edges, cells, m, q, res) = fixture();
+        let direct = ParLoop::build("save", &cells)
+            .arg(arg_direct(&q, Access::Read))
+            .kernel(|_, _| {});
+        assert!(direct.is_direct());
+        assert!(!direct.has_indirect_writes());
+
+        let indirect = ParLoop::build("res_calc", &edges)
+            .arg(arg_indirect(&q, 0, &m, Access::Read))
+            .arg(arg_indirect(&res, 0, &m, Access::Inc))
+            .arg(arg_indirect(&res, 1, &m, Access::Inc))
+            .kernel(|_, _| {});
+        assert!(!indirect.is_direct());
+        assert!(indirect.has_indirect_writes());
+    }
+
+    #[test]
+    fn read_write_sets() {
+        let (edges, _cells, m, q, res) = fixture();
+        let l = ParLoop::build("res_calc", &edges)
+            .arg(arg_indirect(&q, 0, &m, Access::Read))
+            .arg(arg_indirect(&res, 0, &m, Access::Inc))
+            .kernel(|_, _| {});
+        assert_eq!(l.dat_reads(), {
+            let mut v = vec![q.id(), res.id()];
+            v.sort_unstable();
+            v
+        });
+        assert_eq!(l.dat_writes(), vec![res.id()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "direct arg")]
+    fn rejects_direct_arg_on_wrong_set() {
+        let (edges, _cells, _m, q, _res) = fixture();
+        let _ = ParLoop::build("bad", &edges)
+            .arg(arg_direct(&q, Access::Read))
+            .kernel(|_, _| {});
+    }
+
+    #[test]
+    #[should_panic(expected = "from set")]
+    fn rejects_indirect_arg_with_wrong_map_origin() {
+        let (_edges, cells, m, q, _res) = fixture();
+        let _ = ParLoop::build("bad", &cells)
+            .arg(arg_indirect(&q, 0, &m, Access::Read))
+            .kernel(|_, _| {});
+    }
+}

@@ -1,0 +1,162 @@
+//! Maps — connectivity between sets.
+//!
+//! A map of dimension `d` associates each element of its *from* set with `d`
+//! elements of its *to* set (e.g. `pecell`: each edge → its 2 adjacent cells,
+//! `pcell`: each cell → its 4 corner nodes). Indirect loop arguments access
+//! data through a map, which is what creates the race the execution plan's
+//! coloring resolves.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::ids::next_id;
+use crate::set::Set;
+
+struct MapInner {
+    id: u64,
+    name: String,
+    from: Set,
+    to: Set,
+    dim: usize,
+    table: Box<[u32]>,
+}
+
+/// Connectivity table from one set to another (the paper's `op_decl_map`).
+///
+/// Cheap to clone (shared handle).
+#[derive(Clone)]
+pub struct Map {
+    inner: Arc<MapInner>,
+}
+
+impl Map {
+    /// Declare a map.
+    ///
+    /// `table` is row-major: entry `e * dim + j` is the `j`-th target of
+    /// element `e`.
+    ///
+    /// # Panics
+    /// Panics if `table.len() != from.size() * dim`, if `dim == 0`, or if any
+    /// entry is out of range for `to`.
+    pub fn new(
+        name: impl Into<String>,
+        from: &Set,
+        to: &Set,
+        dim: usize,
+        table: Vec<u32>,
+    ) -> Self {
+        let name = name.into();
+        assert!(dim > 0, "map {name}: dimension must be positive");
+        assert_eq!(
+            table.len(),
+            from.size() * dim,
+            "map {name}: table length {} != from.size {} * dim {dim}",
+            table.len(),
+            from.size()
+        );
+        let to_size = to.size();
+        for (i, &t) in table.iter().enumerate() {
+            assert!(
+                (t as usize) < to_size,
+                "map {name}: entry {i} = {t} out of range for target set {} (size {to_size})",
+                to.name()
+            );
+        }
+        Map {
+            inner: Arc::new(MapInner {
+                id: next_id(),
+                name,
+                from: from.clone(),
+                to: to.clone(),
+                dim,
+                table: table.into_boxed_slice(),
+            }),
+        }
+    }
+
+    /// The `j`-th target of element `e`.
+    #[inline]
+    pub fn at(&self, e: usize, j: usize) -> usize {
+        debug_assert!(j < self.inner.dim);
+        self.inner.table[e * self.inner.dim + j] as usize
+    }
+
+    /// All targets of element `e` (a `dim`-long slice).
+    #[inline]
+    pub fn targets(&self, e: usize) -> &[u32] {
+        let d = self.inner.dim;
+        &self.inner.table[e * d..(e + 1) * d]
+    }
+
+    /// Arity of the map.
+    pub fn dim(&self) -> usize {
+        self.inner.dim
+    }
+
+    /// The set this map originates from.
+    pub fn from_set(&self) -> &Set {
+        &self.inner.from
+    }
+
+    /// The set this map points into.
+    pub fn to_set(&self) -> &Set {
+        &self.inner.to
+    }
+
+    /// Declared name (diagnostics only).
+    pub fn name(&self) -> &str {
+        &self.inner.name
+    }
+
+    /// Process-unique identity.
+    pub fn id(&self) -> u64 {
+        self.inner.id
+    }
+}
+
+impl fmt::Debug for Map {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Map({} #{}: {}[{}] -> {})",
+            self.name(),
+            self.id(),
+            self.from_set().name(),
+            self.dim(),
+            self.to_set().name()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sets() -> (Set, Set) {
+        (Set::new("edges", 3), Set::new("cells", 4))
+    }
+
+    #[test]
+    fn map_lookups() {
+        let (edges, cells) = sets();
+        let m = Map::new("pecell", &edges, &cells, 2, vec![0, 1, 1, 2, 2, 3]);
+        assert_eq!(m.at(0, 0), 0);
+        assert_eq!(m.at(2, 1), 3);
+        assert_eq!(m.targets(1), &[1, 2]);
+        assert_eq!(m.dim(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn map_rejects_out_of_range() {
+        let (edges, cells) = sets();
+        let _ = Map::new("bad", &edges, &cells, 2, vec![0, 1, 1, 2, 2, 9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "table length")]
+    fn map_rejects_wrong_length() {
+        let (edges, cells) = sets();
+        let _ = Map::new("bad", &edges, &cells, 2, vec![0, 1, 1]);
+    }
+}

@@ -1,0 +1,476 @@
+//! Execution plans — mini-partitioning and block coloring (OP2's `op_plan`).
+//!
+//! An indirect loop may have two iteration elements (say, two edges) that
+//! write/increment the *same* target element (a shared cell). OP2's strategy,
+//! reproduced here: split the iteration set into contiguous **blocks** of
+//! `part_size` elements, compute each block's indirect write footprint, and
+//! **greedily color** the blocks so that same-colored blocks have disjoint
+//! footprints. Execution then proceeds color by color; within a color every
+//! block can run on a different thread with *no atomics and no locks*.
+//!
+//! Direct loops (and loops with only indirect reads) get a single color.
+//!
+//! Plans are pure functions of `(set, args, part_size)` and relatively
+//! expensive to build, so they are memoized in a [`PlanCache`] keyed by
+//! [`PlanKey`] — OP2 does exactly the same across time-march iterations.
+
+use std::collections::HashMap;
+use std::ops::Range;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::arg::{ArgSpec, MapRef};
+use crate::set::Set;
+
+/// Default mini-partition size (elements per block). OP2's common default.
+pub const DEFAULT_PART_SIZE: usize = 256;
+
+/// A colored block execution plan for one loop shape.
+#[derive(Debug)]
+pub struct Plan {
+    /// Size of the iteration set the plan covers.
+    pub set_size: usize,
+    /// Mini-partition size used to build the blocks.
+    pub part_size: usize,
+    /// Contiguous element ranges, one per block, in ascending order.
+    pub blocks: Vec<Range<usize>>,
+    /// Color of each block.
+    pub block_colors: Vec<u32>,
+    /// Number of colors.
+    pub ncolors: u32,
+    /// Block indices grouped by color (ascending within each color).
+    pub color_blocks: Vec<Vec<u32>>,
+}
+
+impl Plan {
+    /// Build a plan for iterating `set` with the given argument declarations.
+    ///
+    /// Coloring considers every argument that *writes through a map*
+    /// (`OP_INC`, `OP_WRITE`, `OP_RW` with a map); if there are none, all
+    /// blocks share color 0.
+    ///
+    /// # Panics
+    /// Panics if more than 64 colors would be required (never the case for
+    /// meshes partitioned with sane block sizes).
+    pub fn build(set: &Set, args: &[ArgSpec], part_size: usize) -> Plan {
+        let n = set.size();
+        let part_size = part_size.max(1);
+        let nblocks = n.div_ceil(part_size);
+        let blocks: Vec<Range<usize>> = (0..nblocks)
+            .map(|b| b * part_size..((b + 1) * part_size).min(n))
+            .collect();
+
+        // Collect the indirect-write footprint sources: (map, slot index).
+        let write_refs: Vec<(&crate::map::Map, usize)> = args
+            .iter()
+            .filter(|a| a.access.writes())
+            .filter_map(|a| match &a.map_ref {
+                MapRef::Indirect { map, idx } => Some((map, *idx)),
+                MapRef::Direct => None,
+            })
+            .collect();
+
+        if write_refs.is_empty() || nblocks == 0 {
+            let block_colors = vec![0u32; nblocks];
+            let ncolors = u32::from(nblocks > 0);
+            let color_blocks = if nblocks > 0 {
+                vec![(0..nblocks as u32).collect()]
+            } else {
+                Vec::new()
+            };
+            return Plan {
+                set_size: n,
+                part_size,
+                blocks,
+                block_colors,
+                ncolors,
+                color_blocks,
+            };
+        }
+
+        // Per-map color-usage bitmask for every target element. Masks are
+        // multi-word and grow on demand, so highly irregular meshes that
+        // need more than 64 colors (e.g. random graphs) are handled.
+        let mut mask_words = 1usize;
+        let mut masks: HashMap<u64, Vec<u64>> = HashMap::new();
+        for (map, _) in &write_refs {
+            masks
+                .entry(map.id())
+                .or_insert_with(|| vec![0u64; map.to_set().size()]);
+        }
+
+        let mut block_colors = vec![0u32; nblocks];
+        let mut ncolors = 0u32;
+        let mut forbidden: Vec<u64> = Vec::new();
+        for (b, range) in blocks.iter().enumerate() {
+            forbidden.clear();
+            forbidden.resize(mask_words, 0);
+            for (map, idx) in &write_refs {
+                let mask = &masks[&map.id()];
+                for e in range.clone() {
+                    let base = map.at(e, *idx) * mask_words;
+                    for w in 0..mask_words {
+                        forbidden[w] |= mask[base + w];
+                    }
+                }
+            }
+            let color = match first_zero_bit(&forbidden) {
+                Some(c) => c,
+                None => {
+                    // All current words saturated: widen every mask by one
+                    // word and take the first bit of the new word.
+                    let new_color = (mask_words * 64) as u32;
+                    for mask in masks.values_mut() {
+                        *mask = widen(mask, mask_words);
+                    }
+                    mask_words += 1;
+                    new_color
+                }
+            };
+            block_colors[b] = color;
+            ncolors = ncolors.max(color + 1);
+            let (word, bit) = (color as usize / 64, color as usize % 64);
+            for (map, idx) in &write_refs {
+                let mask = masks.get_mut(&map.id()).expect("mask pre-inserted");
+                for e in range.clone() {
+                    mask[map.at(e, *idx) * mask_words + word] |= 1u64 << bit;
+                }
+            }
+        }
+
+        let mut color_blocks: Vec<Vec<u32>> = vec![Vec::new(); ncolors as usize];
+        for (b, &c) in block_colors.iter().enumerate() {
+            color_blocks[c as usize].push(b as u32);
+        }
+
+        Plan {
+            set_size: n,
+            part_size,
+            blocks,
+            block_colors,
+            ncolors,
+            color_blocks,
+        }
+    }
+
+    /// Number of blocks.
+    pub fn nblocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Validate the coloring invariant against `args`: no two blocks of the
+    /// same color may write the same target element. Used by tests and
+    /// property checks; O(total indirect references).
+    pub fn validate(&self, args: &[ArgSpec]) -> Result<(), String> {
+        let write_refs: Vec<(&crate::map::Map, usize)> = args
+            .iter()
+            .filter(|a| a.access.writes())
+            .filter_map(|a| match &a.map_ref {
+                MapRef::Indirect { map, idx } => Some((map, *idx)),
+                MapRef::Direct => None,
+            })
+            .collect();
+        // (map id, target, color) -> first block writing it under that color.
+        let mut writer: HashMap<(u64, usize, u32), usize> = HashMap::new();
+        for (b, range) in self.blocks.iter().enumerate() {
+            let color = self.block_colors[b];
+            for (map, idx) in &write_refs {
+                for e in range.clone() {
+                    let t = map.at(e, *idx);
+                    match writer.get(&(map.id(), t, color)) {
+                        Some(&b0) if b0 != b => {
+                            return Err(format!(
+                                "blocks {b0} and {b} share color {color} but both write \
+                                 target {t} of map {}",
+                                map.name()
+                            ));
+                        }
+                        _ => {
+                            writer.insert((map.id(), t, color), b);
+                        }
+                    }
+                }
+            }
+        }
+        // Also check every element is covered exactly once.
+        let mut covered = 0usize;
+        let mut expect_start = 0usize;
+        for r in &self.blocks {
+            if r.start != expect_start {
+                return Err(format!("block gap: expected start {expect_start}, got {}", r.start));
+            }
+            covered += r.len();
+            expect_start = r.end;
+        }
+        if covered != self.set_size {
+            return Err(format!(
+                "blocks cover {covered} elements, set has {}",
+                self.set_size
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Lowest clear bit across a little-endian word vector, if any.
+fn first_zero_bit(words: &[u64]) -> Option<u32> {
+    for (w, &word) in words.iter().enumerate() {
+        if word != u64::MAX {
+            return Some(w as u32 * 64 + (!word).trailing_zeros());
+        }
+    }
+    None
+}
+
+/// Re-layout per-target masks from `words` to `words + 1` words per target.
+fn widen(mask: &[u64], words: usize) -> Vec<u64> {
+    let targets = mask.len() / words;
+    let mut out = vec![0u64; targets * (words + 1)];
+    for t in 0..targets {
+        out[t * (words + 1)..t * (words + 1) + words]
+            .copy_from_slice(&mask[t * words..(t + 1) * words]);
+    }
+    out
+}
+
+/// Memoization key for a plan: loop name, set identity, block size, and the
+/// full argument shape.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PlanKey {
+    set_id: u64,
+    part_size: usize,
+    args: Vec<(u64, u64, usize, &'static str)>,
+}
+
+impl PlanKey {
+    /// Build the key for `(set, args, part_size)`.
+    pub fn new(set: &Set, args: &[ArgSpec], part_size: usize) -> Self {
+        PlanKey {
+            set_id: set.id(),
+            part_size,
+            args: args
+                .iter()
+                .map(|a| {
+                    let (map_id, idx) = match &a.map_ref {
+                        MapRef::Direct => (0, usize::MAX),
+                        MapRef::Indirect { map, idx } => (map.id(), *idx),
+                    };
+                    (a.dat_id, map_id, idx, a.access.op2_name())
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Thread-safe memoization of plans across loop invocations.
+#[derive(Default)]
+pub struct PlanCache {
+    plans: Mutex<HashMap<PlanKey, Arc<Plan>>>,
+}
+
+impl PlanCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Get or build the plan for `(set, args, part_size)`.
+    pub fn get(&self, set: &Set, args: &[ArgSpec], part_size: usize) -> Arc<Plan> {
+        let key = PlanKey::new(set, args, part_size);
+        if let Some(p) = self.plans.lock().get(&key) {
+            return Arc::clone(p);
+        }
+        // Build outside the lock (plans can be slow); racing builders agree
+        // on the result, last insert wins.
+        let plan = Arc::new(Plan::build(set, args, part_size));
+        self.plans.lock().insert(key, Arc::clone(&plan));
+        plan
+    }
+
+    /// Number of distinct plans built so far.
+    pub fn len(&self) -> usize {
+        self.plans.lock().len()
+    }
+
+    /// True if no plan has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.plans.lock().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access::Access;
+    use crate::arg::{arg_direct, arg_indirect};
+    use crate::dat::Dat;
+    use crate::map::Map;
+
+    /// A 1-D chain mesh: edge e connects cells e and e+1 — adjacent edges
+    /// conflict, so same-colored blocks must not be adjacent.
+    fn chain(nedges: usize, part: usize) -> (Set, Vec<ArgSpec>, Plan) {
+        let edges = Set::new("edges", nedges);
+        let cells = Set::new("cells", nedges + 1);
+        let mut table = Vec::with_capacity(nedges * 2);
+        for e in 0..nedges as u32 {
+            table.push(e);
+            table.push(e + 1);
+        }
+        let m = Map::new("pecell", &edges, &cells, 2, table);
+        let res = Dat::filled("res", &cells, 1, 0.0f64);
+        let args = vec![
+            arg_indirect(&res, 0, &m, Access::Inc),
+            arg_indirect(&res, 1, &m, Access::Inc),
+        ];
+        let plan = Plan::build(&edges, &args, part);
+        (edges, args, plan)
+    }
+
+    #[test]
+    fn direct_loop_single_color() {
+        let cells = Set::new("cells", 1000);
+        let q = Dat::filled("q", &cells, 4, 0.0f64);
+        let args = vec![arg_direct(&q, Access::Write)];
+        let plan = Plan::build(&cells, &args, 128);
+        assert_eq!(plan.ncolors, 1);
+        assert_eq!(plan.nblocks(), 8);
+        plan.validate(&args).unwrap();
+    }
+
+    #[test]
+    fn chain_needs_two_colors() {
+        let (_s, args, plan) = chain(1000, 100);
+        assert_eq!(plan.ncolors, 2, "adjacent chain blocks conflict pairwise");
+        plan.validate(&args).unwrap();
+    }
+
+    #[test]
+    fn chain_coloring_valid_for_many_part_sizes() {
+        for part in [1, 3, 7, 50, 999, 1000, 2000] {
+            let (_s, args, plan) = chain(1000, part);
+            plan.validate(&args)
+                .unwrap_or_else(|e| panic!("part={part}: {e}"));
+        }
+    }
+
+    #[test]
+    fn single_block_single_color() {
+        let (_s, args, plan) = chain(50, 1000);
+        assert_eq!(plan.nblocks(), 1);
+        assert_eq!(plan.ncolors, 1);
+        plan.validate(&args).unwrap();
+    }
+
+    #[test]
+    fn empty_set_plan() {
+        let empty = Set::new("none", 0);
+        let plan = Plan::build(&empty, &[], 64);
+        assert_eq!(plan.nblocks(), 0);
+        assert_eq!(plan.ncolors, 0);
+        plan.validate(&[]).unwrap();
+    }
+
+    #[test]
+    fn indirect_read_only_needs_one_color() {
+        let edges = Set::new("edges", 100);
+        let cells = Set::new("cells", 101);
+        let mut table = Vec::new();
+        for e in 0..100u32 {
+            table.push(e);
+            table.push(e + 1);
+        }
+        let m = Map::new("pecell", &edges, &cells, 2, table);
+        let q = Dat::filled("q", &cells, 1, 0.0f64);
+        let args = vec![
+            arg_indirect(&q, 0, &m, Access::Read),
+            arg_indirect(&q, 1, &m, Access::Read),
+        ];
+        let plan = Plan::build(&edges, &args, 10);
+        assert_eq!(plan.ncolors, 1, "reads never conflict");
+        plan.validate(&args).unwrap();
+    }
+
+    #[test]
+    fn color_blocks_partition_blocks() {
+        let (_s, _args, plan) = chain(977, 37);
+        let mut seen = vec![false; plan.nblocks()];
+        for (c, blocks) in plan.color_blocks.iter().enumerate() {
+            for &b in blocks {
+                assert_eq!(plan.block_colors[b as usize] as usize, c);
+                assert!(!seen[b as usize], "block {b} in two colors");
+                seen[b as usize] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn coloring_handles_multiple_write_maps() {
+        // One loop incrementing two different dats through two different
+        // maps: blocks must be colored against the union of both footprints.
+        let edges = Set::new("edges", 120);
+        let cells = Set::new("cells", 121);
+        let nodes = Set::new("nodes", 61);
+        let mut t1 = Vec::new();
+        let mut t2 = Vec::new();
+        for e in 0..120u32 {
+            t1.push(e);
+            t1.push(e + 1);
+            t2.push(e / 2); // every pair of edges shares a node
+        }
+        let m1 = Map::new("pecell", &edges, &cells, 2, t1);
+        let m2 = Map::new("penode", &edges, &nodes, 1, t2);
+        let res = Dat::filled("res", &cells, 1, 0.0f64);
+        let w = Dat::filled("w", &nodes, 1, 0.0f64);
+        let args = vec![
+            arg_indirect(&res, 0, &m1, Access::Inc),
+            arg_indirect(&res, 1, &m1, Access::Inc),
+            arg_indirect(&w, 0, &m2, Access::Inc),
+        ];
+        for part in [1, 2, 5, 16] {
+            let plan = Plan::build(&edges, &args, part);
+            plan.validate(&args)
+                .unwrap_or_else(|e| panic!("part={part}: {e}"));
+        }
+    }
+
+    #[test]
+    fn coloring_supports_more_than_64_colors() {
+        // Every "edge" of this pathological loop writes target 0, so every
+        // block conflicts with every other: colors == blocks.
+        let edges = Set::new("edges", 100);
+        let hub = Set::new("hub", 1);
+        let m = Map::new("all_to_hub", &edges, &hub, 1, vec![0; 100]);
+        let d = Dat::filled("d", &hub, 1, 0.0f64);
+        let args = vec![arg_indirect(&d, 0, &m, Access::Inc)];
+        let plan = Plan::build(&edges, &args, 1);
+        assert_eq!(plan.ncolors, 100);
+        plan.validate(&args).unwrap();
+    }
+
+    #[test]
+    fn plan_cache_memoizes() {
+        let (set, args, _plan) = chain(100, 10);
+        let cache = PlanCache::new();
+        let p1 = cache.get(&set, &args, 10);
+        let p2 = cache.get(&set, &args, 10);
+        assert!(Arc::ptr_eq(&p1, &p2));
+        assert_eq!(cache.len(), 1);
+        let p3 = cache.get(&set, &args, 20);
+        assert!(!Arc::ptr_eq(&p1, &p3));
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn validate_catches_bad_coloring() {
+        let (_s, args, mut plan) = chain(100, 10);
+        // Force all blocks to one color — must fail validation.
+        for c in plan.block_colors.iter_mut() {
+            *c = 0;
+        }
+        plan.color_blocks = vec![(0..plan.nblocks() as u32).collect()];
+        plan.ncolors = 1;
+        assert!(plan.validate(&args).is_err());
+    }
+}

@@ -1,0 +1,180 @@
+//! Deterministic global reductions.
+//!
+//! OP2 global arguments (`op_arg_gbl` with `OP_INC`) accumulate a value over
+//! the whole iteration set — Airfoil's `update` loop accumulates the RMS
+//! residual this way. Summing floating-point partials in a
+//! scheduling-dependent order would make results run-to-run nondeterministic;
+//! instead every executor accumulates per *plan block* and the partials are
+//! combined in ascending block order, so all backends (serial, fork-join,
+//! for_each, async, dataflow) produce bitwise-identical reductions.
+
+use parking_lot::Mutex;
+
+/// The combining operator of a global reduction (OP2's `OP_INC`, `OP_MIN`,
+/// `OP_MAX` on `op_arg_gbl`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum GblOp {
+    /// Sum of contributions (`OP_INC`).
+    #[default]
+    Sum,
+    /// Minimum of contributions (`OP_MIN`).
+    Min,
+    /// Maximum of contributions (`OP_MAX`).
+    Max,
+}
+
+impl GblOp {
+    /// The operator's identity element (the kernel scratch starts here).
+    pub fn identity(self) -> f64 {
+        match self {
+            GblOp::Sum => 0.0,
+            GblOp::Min => f64::INFINITY,
+            GblOp::Max => f64::NEG_INFINITY,
+        }
+    }
+
+    /// Combine two values.
+    pub fn combine(self, a: f64, b: f64) -> f64 {
+        match self {
+            GblOp::Sum => a + b,
+            GblOp::Min => a.min(b),
+            GblOp::Max => a.max(b),
+        }
+    }
+}
+
+/// Collects per-block partials of a global `f64[dim]` reduction and combines
+/// them deterministically in block order.
+pub struct GlobalAcc {
+    dim: usize,
+    op: GblOp,
+    partials: Vec<Mutex<Option<Vec<f64>>>>,
+}
+
+impl GlobalAcc {
+    /// Sum accumulator for `nblocks` blocks of a `dim`-dimensional reduction.
+    pub fn new(dim: usize, nblocks: usize) -> Self {
+        Self::with_op(dim, nblocks, GblOp::Sum)
+    }
+
+    /// Accumulator combining with `op`.
+    pub fn with_op(dim: usize, nblocks: usize, op: GblOp) -> Self {
+        GlobalAcc {
+            dim,
+            op,
+            partials: (0..nblocks).map(|_| Mutex::new(None)).collect(),
+        }
+    }
+
+    /// Dimension of the reduced value.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The combining operator.
+    pub fn op(&self) -> GblOp {
+        self.op
+    }
+
+    /// A scratch buffer for one block, initialized to the operator identity.
+    pub fn scratch(&self) -> Vec<f64> {
+        vec![self.op.identity(); self.dim]
+    }
+
+    /// Record block `block`'s partial (callable concurrently from different
+    /// blocks).
+    ///
+    /// # Panics
+    /// Panics if the block already stored a partial.
+    pub fn store(&self, block: usize, partial: Vec<f64>) {
+        assert_eq!(partial.len(), self.dim, "partial has wrong dimension");
+        let mut slot = self.partials[block].lock();
+        assert!(slot.is_none(), "block {block} stored its partial twice");
+        *slot = Some(partial);
+    }
+
+    /// Combine all partials in ascending block order (blocks that never
+    /// stored — e.g. when the loop has no global argument — contribute the
+    /// identity).
+    pub fn combine(&self) -> Vec<f64> {
+        let mut acc = vec![self.op.identity(); self.dim];
+        for slot in &self.partials {
+            if let Some(p) = slot.lock().as_ref() {
+                for (a, &v) in acc.iter_mut().zip(p) {
+                    *a = self.op.combine(*a, v);
+                }
+            }
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn combines_in_block_order() {
+        let acc = GlobalAcc::new(2, 3);
+        // Store out of order; result must not depend on store order.
+        acc.store(2, vec![1.0, 10.0]);
+        acc.store(0, vec![2.0, 20.0]);
+        acc.store(1, vec![3.0, 30.0]);
+        assert_eq!(acc.combine(), vec![6.0, 60.0]);
+    }
+
+    #[test]
+    fn missing_blocks_count_as_zero() {
+        let acc = GlobalAcc::new(1, 4);
+        acc.store(1, vec![5.0]);
+        assert_eq!(acc.combine(), vec![5.0]);
+    }
+
+    #[test]
+    fn deterministic_float_order() {
+        // Combining is in block order even when stores race conceptually.
+        let vals = [0.1, 0.2, 0.3, 0.4, 0.7];
+        let run = |order: &[usize]| {
+            let acc = GlobalAcc::new(1, vals.len());
+            for &b in order {
+                acc.store(b, vec![vals[b]]);
+            }
+            acc.combine()[0]
+        };
+        let a = run(&[0, 1, 2, 3, 4]);
+        let b = run(&[4, 2, 0, 3, 1]);
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+
+    #[test]
+    #[should_panic(expected = "twice")]
+    fn double_store_panics() {
+        let acc = GlobalAcc::new(1, 2);
+        acc.store(0, vec![1.0]);
+        acc.store(0, vec![2.0]);
+    }
+
+    #[test]
+    fn min_max_reductions() {
+        let acc = GlobalAcc::with_op(1, 3, GblOp::Min);
+        assert_eq!(acc.scratch(), vec![f64::INFINITY]);
+        acc.store(0, vec![3.0]);
+        acc.store(2, vec![-1.0]);
+        acc.store(1, vec![7.0]);
+        assert_eq!(acc.combine(), vec![-1.0]);
+
+        let acc = GlobalAcc::with_op(2, 2, GblOp::Max);
+        acc.store(0, vec![1.0, -5.0]);
+        acc.store(1, vec![0.5, -2.0]);
+        assert_eq!(acc.combine(), vec![1.0, -2.0]);
+    }
+
+    #[test]
+    fn op_identities() {
+        assert_eq!(GblOp::Sum.identity(), 0.0);
+        assert_eq!(GblOp::Min.identity(), f64::INFINITY);
+        assert_eq!(GblOp::Max.identity(), f64::NEG_INFINITY);
+        assert_eq!(GblOp::Min.combine(2.0, 3.0), 2.0);
+        assert_eq!(GblOp::Max.combine(2.0, 3.0), 3.0);
+    }
+}

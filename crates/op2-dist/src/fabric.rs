@@ -1,0 +1,262 @@
+//! In-process message-passing fabric — the MPI stand-in.
+//!
+//! Ranks run as OS threads and communicate through typed point-to-point
+//! FIFO channels. The collective operations are implemented on top of
+//! point-to-point exactly as a textbook MPI would: barrier via a shared
+//! [`std::sync::Barrier`], `allreduce` as a deterministic gather-to-root in
+//! ascending rank order followed by a broadcast (so floating-point results
+//! do not depend on message arrival order).
+
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{Arc, Barrier};
+
+use parking_lot::Mutex;
+
+/// A tagged message.
+#[derive(Debug)]
+struct Message {
+    tag: u64,
+    payload: Vec<f64>,
+}
+
+/// Per-rank communicator handle (the `MPI_COMM_WORLD` analogue).
+pub struct Comm {
+    rank: usize,
+    nranks: usize,
+    /// senders[to] — channel into rank `to` from this rank.
+    senders: Vec<Sender<Message>>,
+    /// receivers[from] — this rank's inbox from rank `from`.
+    receivers: Vec<Mutex<Receiver<Message>>>,
+    barrier: Arc<Barrier>,
+}
+
+impl Comm {
+    /// This rank's id (0-based).
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Total rank count.
+    pub fn nranks(&self) -> usize {
+        self.nranks
+    }
+
+    /// Send `payload` to rank `to` with `tag` (non-blocking, buffered).
+    ///
+    /// # Panics
+    /// Panics if `to` is out of range or the peer has exited.
+    pub fn send(&self, to: usize, tag: u64, payload: Vec<f64>) {
+        self.senders[to]
+            .send(Message { tag, payload })
+            .expect("peer rank exited with messages in flight");
+    }
+
+    /// Receive the next message from rank `from`; its tag must equal `tag`
+    /// (channels are FIFO per sender, so a mismatch is a protocol bug).
+    ///
+    /// # Panics
+    /// Panics on tag mismatch or if the peer disconnected.
+    pub fn recv(&self, from: usize, tag: u64) -> Vec<f64> {
+        let msg = self.receivers[from]
+            .lock()
+            .recv()
+            .expect("peer rank exited before sending");
+        assert_eq!(
+            msg.tag, tag,
+            "rank {}: expected tag {tag} from {from}, got {}",
+            self.rank, msg.tag
+        );
+        msg.payload
+    }
+
+    /// Block until every rank has reached the barrier.
+    pub fn barrier(&self) {
+        self.barrier.wait();
+    }
+
+    /// Element-wise sum across all ranks, identical result on every rank.
+    ///
+    /// Deterministic: rank 0 accumulates contributions in ascending rank
+    /// order, then broadcasts.
+    pub fn allreduce_sum(&self, local: &[f64]) -> Vec<f64> {
+        const TAG_GATHER: u64 = u64::MAX - 1;
+        const TAG_BCAST: u64 = u64::MAX - 2;
+        if self.rank == 0 {
+            let mut acc = local.to_vec();
+            for from in 1..self.nranks {
+                let part = self.recv(from, TAG_GATHER);
+                assert_eq!(part.len(), acc.len(), "allreduce length mismatch");
+                for (a, v) in acc.iter_mut().zip(part) {
+                    *a += v;
+                }
+            }
+            for to in 1..self.nranks {
+                self.send(to, TAG_BCAST, acc.clone());
+            }
+            acc
+        } else {
+            self.send(0, TAG_GATHER, local.to_vec());
+            self.recv(0, TAG_BCAST)
+        }
+    }
+}
+
+/// Launches a fixed-size group of ranks and runs a closure on each.
+pub struct Fabric;
+
+impl Fabric {
+    /// Run `f(comm)` on `nranks` ranks (threads); returns the per-rank
+    /// results in rank order.
+    ///
+    /// # Panics
+    /// Propagates the first rank panic after all ranks have been joined.
+    pub fn run<T, F>(nranks: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(Comm) -> T + Send + Sync,
+    {
+        let nranks = nranks.max(1);
+        // Build the full channel mesh: channel[from][to].
+        let mut senders: Vec<Vec<Option<Sender<Message>>>> = (0..nranks)
+            .map(|_| (0..nranks).map(|_| None).collect())
+            .collect();
+        let mut receivers: Vec<Vec<Option<Receiver<Message>>>> = (0..nranks)
+            .map(|_| (0..nranks).map(|_| None).collect())
+            .collect();
+        for from in 0..nranks {
+            for to in 0..nranks {
+                let (tx, rx) = std::sync::mpsc::channel();
+                senders[from][to] = Some(tx);
+                receivers[to][from] = Some(rx);
+            }
+        }
+        let barrier = Arc::new(Barrier::new(nranks));
+
+        let comms: Vec<Comm> = senders
+            .into_iter()
+            .zip(receivers)
+            .enumerate()
+            .map(|(rank, (stx, srx))| Comm {
+                rank,
+                nranks,
+                senders: stx.into_iter().map(|s| s.expect("built")).collect(),
+                receivers: srx
+                    .into_iter()
+                    .map(|r| Mutex::new(r.expect("built")))
+                    .collect(),
+                barrier: Arc::clone(&barrier),
+            })
+            .collect();
+
+        let f = &f;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = comms
+                .into_iter()
+                .map(|comm| scope.spawn(move || f(comm)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join())
+                .collect::<Result<Vec<_>, _>>()
+                .unwrap_or_else(|p| std::panic::resume_unwind(p))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_rank_runs() {
+        let out = Fabric::run(1, |comm| {
+            assert_eq!(comm.rank(), 0);
+            assert_eq!(comm.nranks(), 1);
+            comm.barrier();
+            comm.allreduce_sum(&[2.0, 3.0])
+        });
+        assert_eq!(out, vec![vec![2.0, 3.0]]);
+    }
+
+    #[test]
+    fn ping_pong() {
+        let out = Fabric::run(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 7, vec![1.0, 2.0]);
+                comm.recv(1, 8)
+            } else {
+                let got = comm.recv(0, 7);
+                comm.send(0, 8, got.iter().map(|v| v * 10.0).collect());
+                vec![]
+            }
+        });
+        assert_eq!(out[0], vec![10.0, 20.0]);
+    }
+
+    #[test]
+    fn allreduce_sums_across_ranks() {
+        let out = Fabric::run(4, |comm| comm.allreduce_sum(&[comm.rank() as f64, 1.0]));
+        for r in out {
+            assert_eq!(r, vec![6.0, 4.0]);
+        }
+    }
+
+    #[test]
+    fn allreduce_is_deterministic_in_rank_order() {
+        // Values chosen so different summation orders give different bits.
+        let vals = [0.1, 0.2, 0.3, 0.7, 1e-17, -0.3];
+        let run = || {
+            Fabric::run(vals.len(), |comm| comm.allreduce_sum(&[vals[comm.rank()]]))[0][0]
+        };
+        let expect = vals.iter().fold(0.0f64, |a, &v| a + v);
+        let got = run();
+        assert_eq!(got.to_bits(), expect.to_bits(), "rank-order accumulation");
+        assert_eq!(run().to_bits(), got.to_bits(), "repeatable");
+    }
+
+    #[test]
+    fn barriers_synchronize() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let counter = AtomicUsize::new(0);
+        Fabric::run(4, |comm| {
+            counter.fetch_add(1, Ordering::SeqCst);
+            comm.barrier();
+            // After the barrier every rank must observe all increments.
+            assert_eq!(counter.load(Ordering::SeqCst), 4);
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "expected tag")]
+    fn tag_mismatch_is_a_protocol_bug() {
+        Fabric::run(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 1, vec![]);
+            } else {
+                let _ = comm.recv(0, 2);
+            }
+        });
+    }
+
+    #[test]
+    fn many_ranks_mesh_traffic() {
+        // Every rank sends its rank id to every other rank.
+        let out = Fabric::run(5, |comm| {
+            for to in 0..comm.nranks() {
+                if to != comm.rank() {
+                    comm.send(to, 42, vec![comm.rank() as f64]);
+                }
+            }
+            let mut sum = 0.0;
+            for from in 0..comm.nranks() {
+                if from != comm.rank() {
+                    sum += comm.recv(from, 42)[0];
+                }
+            }
+            sum
+        });
+        for (rank, sum) in out.iter().enumerate() {
+            assert_eq!(*sum, (0..5).sum::<usize>() as f64 - rank as f64);
+        }
+    }
+}

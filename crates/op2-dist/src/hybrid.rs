@@ -1,0 +1,416 @@
+//! Hybrid execution: message passing *between* ranks, an OP2-HPX backend
+//! *within* each rank — the configuration the paper positions HPX for
+//! (replacing OpenMP inside each MPI process).
+//!
+//! Each rank wraps its local mesh slice (owned cells + halo) in real
+//! [`op2_core`] sets/maps/dats, builds the five Airfoil loops against them,
+//! and executes each loop with any [`op2_hpx`] backend (fork-join, async,
+//! dataflow, …) on the rank's own thread pool. Between loops, the forward
+//! and reverse halo exchanges of [`crate::exec`] run on the dats' safe
+//! accessors.
+//!
+//! Loops that must only touch *owned* cells (`save_soln`, `update`) iterate
+//! the full local set but early-return for halo ids — redundant-but-idempotent
+//! guards rather than sub-set iteration, mirroring how OP2 masks its
+//! exec-halo.
+
+use std::sync::Arc;
+
+use op2_airfoil::kernels;
+use op2_airfoil::mesh::MeshData;
+use op2_airfoil::FlowConstants;
+use op2_core::{arg_direct, arg_indirect, Access, Dat, Map, ParLoop, Set};
+use op2_hpx::{make_executor, BackendKind, Op2Runtime};
+
+use crate::exec::DistReport;
+use crate::fabric::{Comm, Fabric};
+use crate::partition::{build_local, LocalMesh, Partition};
+
+/// March `niter` iterations on `nranks` ranks, each executing its loops with
+/// `backend` on `threads_per_rank` workers.
+#[allow(clippy::too_many_arguments)]
+pub fn run_hybrid(
+    data: &MeshData,
+    consts: &FlowConstants,
+    q0: &[f64],
+    nranks: usize,
+    threads_per_rank: usize,
+    backend: BackendKind,
+    niter: usize,
+    report_every: usize,
+) -> DistReport {
+    let ncells = data.cell_nodes.len() / 4;
+    let part = Partition::strips(ncells, nranks);
+    run_hybrid_with(data, consts, q0, &part, threads_per_rank, backend, niter, report_every)
+}
+
+/// [`run_hybrid`] with an explicit partition (e.g. [`Partition::rcb`]).
+#[allow(clippy::too_many_arguments)]
+pub fn run_hybrid_with(
+    data: &MeshData,
+    consts: &FlowConstants,
+    q0: &[f64],
+    part: &Partition,
+    threads_per_rank: usize,
+    backend: BackendKind,
+    niter: usize,
+    report_every: usize,
+) -> DistReport {
+    let ncells = data.cell_nodes.len() / 4;
+    assert_eq!(q0.len(), 4 * ncells);
+
+    let results = Fabric::run(part.nranks, |comm| {
+        rank_main(
+            comm,
+            data,
+            consts,
+            q0,
+            part,
+            threads_per_rank,
+            backend,
+            niter,
+            report_every,
+        )
+    });
+
+    let mut final_q = vec![0.0; 4 * ncells];
+    let mut rms = Vec::new();
+    for (r, (owned_q, history)) in results.into_iter().enumerate() {
+        for (i, &g) in part.owned_cells(r).iter().enumerate() {
+            final_q[4 * g as usize..4 * g as usize + 4]
+                .copy_from_slice(&owned_q[4 * i..4 * i + 4]);
+        }
+        if r == 0 {
+            rms = history;
+        }
+    }
+    DistReport { rms, final_q }
+}
+
+/// The per-rank OP2 declarations over the local mesh slice.
+struct RankApp {
+    local: LocalMesh,
+    q: Dat<f64>,
+    res: Dat<f64>,
+    /// Keep-alive handles: the loop kernels capture raw `DatView`s into
+    /// these dats' storage, so the dats must live as long as the loops.
+    _qold: Dat<f64>,
+    _adt: Dat<f64>,
+    save_soln: ParLoop,
+    adt_calc: ParLoop,
+    res_calc: ParLoop,
+    bres_calc: ParLoop,
+    update: ParLoop,
+}
+
+fn build_rank_app(
+    data: &MeshData,
+    consts: &FlowConstants,
+    q0: &[f64],
+    part: &Partition,
+    rank: usize,
+) -> RankApp {
+    let local = build_local(data, part, rank);
+    let nlocal = local.ncells_local();
+    let nowned = local.nowned;
+
+    let cells = Set::new(format!("cells@{rank}"), nlocal);
+    let edges = Set::new(format!("edges@{rank}"), local.edge_cells.len());
+    let bedges = Set::new(format!("bedges@{rank}"), local.bedges.len());
+    let nodes = Set::new("nodes(replicated)", data.coords.len() / 2);
+
+    let pecell = Map::new(
+        "pecell",
+        &edges,
+        &cells,
+        2,
+        local
+            .edge_cells
+            .iter()
+            .flat_map(|&(a, b)| [a, b])
+            .collect(),
+    );
+    let pbecell = Map::new(
+        "pbecell",
+        &bedges,
+        &cells,
+        1,
+        local.bedges.iter().map(|&(_, _, c, _)| c).collect(),
+    );
+    let pcell = Map::new("pcell", &cells, &nodes, 4, local.cell_nodes.clone());
+
+    let mut q_init = vec![0.0f64; 4 * nlocal];
+    for (l, &g) in local.cell_l2g.iter().enumerate() {
+        q_init[4 * l..4 * l + 4].copy_from_slice(&q0[4 * g as usize..4 * g as usize + 4]);
+    }
+    let q = Dat::new("q", &cells, 4, q_init);
+    let qold = Dat::filled("qold", &cells, 4, 0.0);
+    let adt = Dat::filled("adt", &cells, 1, 0.0);
+    let res = Dat::filled("res", &cells, 4, 0.0);
+
+    let coords = Arc::new(data.coords.clone());
+    let c = *consts;
+
+    // save_soln over owned cells (halo guarded out).
+    let (qv, qoldv, adtv, resv) = (q.view(), qold.view(), adt.view(), res.view());
+    let save_soln = ParLoop::build("save_soln", &cells)
+        .arg(arg_direct(&q, Access::Read))
+        .arg(arg_direct(&qold, Access::Write))
+        .kernel(move |e, _| unsafe {
+            if e < nowned {
+                kernels::save_soln(qv.slice(e), qoldv.slice_mut(e));
+            }
+        });
+
+    // adt over ALL local cells (redundant halo execution).
+    let pc = pcell.clone();
+    let xs = Arc::clone(&coords);
+    // Note: node coordinates are replicated read-only data outside the dat
+    // system here, so the only declared accesses are the per-cell ones.
+    let adt_calc = ParLoop::build("adt_calc", &cells)
+        .arg(arg_direct(&q, Access::Read))
+        .arg(arg_direct(&adt, Access::Write))
+        .kernel(move |e, _| unsafe {
+            let n = [pc.at(e, 0), pc.at(e, 1), pc.at(e, 2), pc.at(e, 3)];
+            let x = |k: usize| &xs[2 * n[k]..2 * n[k] + 2];
+            kernels::adt_calc(x(0), x(1), x(2), x(3), qv.slice(e), adtv.slice_mut(e), &c);
+        });
+
+    // res over local edges.
+    let pe = pecell.clone();
+    let xs = Arc::clone(&coords);
+    let edge_nodes = Arc::new(local.edge_nodes.clone());
+    let res_calc = ParLoop::build("res_calc", &edges)
+        .arg(arg_indirect(&q, 0, &pecell, Access::Read))
+        .arg(arg_indirect(&q, 1, &pecell, Access::Read))
+        .arg(arg_indirect(&adt, 0, &pecell, Access::Read))
+        .arg(arg_indirect(&adt, 1, &pecell, Access::Read))
+        .arg(arg_indirect(&res, 0, &pecell, Access::Inc))
+        .arg(arg_indirect(&res, 1, &pecell, Access::Inc))
+        .kernel(move |e, _| unsafe {
+            let (c1, c2) = (pe.at(e, 0), pe.at(e, 1));
+            let (n1, n2) = edge_nodes[e];
+            kernels::res_calc(
+                &xs[2 * n1 as usize..2 * n1 as usize + 2],
+                &xs[2 * n2 as usize..2 * n2 as usize + 2],
+                qv.slice(c1),
+                qv.slice(c2),
+                adtv.get(c1, 0),
+                adtv.get(c2, 0),
+                resv.slice_mut(c1),
+                resv.slice_mut(c2),
+                &c,
+            );
+        });
+
+    // bres over local boundary edges.
+    let pb = pbecell.clone();
+    let xs = Arc::clone(&coords);
+    let bmeta = Arc::new(
+        local
+            .bedges
+            .iter()
+            .map(|&(n1, n2, _, bound)| (n1, n2, bound))
+            .collect::<Vec<_>>(),
+    );
+    let bres_calc = ParLoop::build("bres_calc", &bedges)
+        .arg(arg_indirect(&q, 0, &pbecell, Access::Read))
+        .arg(arg_indirect(&adt, 0, &pbecell, Access::Read))
+        .arg(arg_indirect(&res, 0, &pbecell, Access::Inc))
+        .kernel(move |e, _| unsafe {
+            let c1 = pb.at(e, 0);
+            let (n1, n2, bound) = bmeta[e];
+            kernels::bres_calc(
+                &xs[2 * n1 as usize..2 * n1 as usize + 2],
+                &xs[2 * n2 as usize..2 * n2 as usize + 2],
+                qv.slice(c1),
+                adtv.get(c1, 0),
+                resv.slice_mut(c1),
+                bound,
+                &c,
+            );
+        });
+
+    // update over owned cells (halo guarded out), RMS reduction.
+    let update = ParLoop::build("update", &cells)
+        .arg(arg_direct(&qold, Access::Read))
+        .arg(arg_direct(&q, Access::Write))
+        .arg(arg_direct(&res, Access::ReadWrite))
+        .arg(arg_direct(&adt, Access::Read))
+        .gbl_inc(1)
+        .kernel(move |e, gbl| unsafe {
+            if e < nowned {
+                kernels::update(
+                    qoldv.slice(e),
+                    qv.slice_mut(e),
+                    resv.slice_mut(e),
+                    adtv.get(e, 0),
+                    &mut gbl[0],
+                );
+            }
+        });
+
+    RankApp {
+        local,
+        q,
+        res,
+        _qold: qold,
+        _adt: adt,
+        save_soln,
+        adt_calc,
+        res_calc,
+        bres_calc,
+        update,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn rank_main(
+    comm: Comm,
+    data: &MeshData,
+    consts: &FlowConstants,
+    q0: &[f64],
+    part: &Partition,
+    threads: usize,
+    backend: BackendKind,
+    niter: usize,
+    report_every: usize,
+) -> (Vec<f64>, Vec<(usize, f64)>) {
+    let app = build_rank_app(data, consts, q0, part, comm.rank());
+    let rt = Arc::new(Op2Runtime::new(threads, 64));
+    let exec = make_executor(backend, rt);
+    let ncells_global = data.cell_nodes.len() / 4;
+
+    let mut reports = Vec::new();
+    for iter in 1..=niter {
+        // Exchanges touch the dats directly, so every issued loop must have
+        // completed first (wait per loop; the halo exchange is the natural
+        // synchronization point of the distributed configuration).
+        exec.execute(&app.save_soln).wait();
+        let mut rms_local = 0.0;
+        for _stage in 0..2 {
+            hybrid_forward_exchange(&comm, &app.local, &app.q);
+            exec.execute(&app.adt_calc).wait();
+            exec.execute(&app.res_calc).wait();
+            exec.execute(&app.bres_calc).wait();
+            hybrid_reverse_exchange(&comm, &app.local, &app.res);
+            let gbl = exec.execute(&app.update).get();
+            rms_local += gbl[0];
+        }
+        if iter % report_every.max(1) == 0 || iter == niter {
+            let total = comm.allreduce_sum(&[rms_local])[0];
+            reports.push((iter, (total / ncells_global as f64).sqrt()));
+        }
+    }
+    exec.fence();
+
+    let q = app.q.to_vec();
+    (q[..4 * app.local.nowned].to_vec(), reports)
+}
+
+fn hybrid_forward_exchange(comm: &Comm, local: &LocalMesh, q: &Dat<f64>) {
+    const TAG: u64 = 300;
+    {
+        let qd = q.data();
+        for (peer, owned_locals) in &local.exports {
+            let mut payload = Vec::with_capacity(owned_locals.len() * 4);
+            for &l in owned_locals {
+                payload.extend_from_slice(&qd[4 * l as usize..4 * l as usize + 4]);
+            }
+            comm.send(*peer, TAG, payload);
+        }
+    }
+    let mut qd = q.data_mut();
+    for (peer, halo_locals) in &local.imports {
+        let payload = comm.recv(*peer, TAG);
+        for (i, &l) in halo_locals.iter().enumerate() {
+            qd[4 * l as usize..4 * l as usize + 4].copy_from_slice(&payload[4 * i..4 * i + 4]);
+        }
+    }
+}
+
+fn hybrid_reverse_exchange(comm: &Comm, local: &LocalMesh, res: &Dat<f64>) {
+    const TAG: u64 = 400;
+    let mut rd = res.data_mut();
+    for (peer, halo_locals) in &local.imports {
+        let mut payload = Vec::with_capacity(halo_locals.len() * 4);
+        for &l in halo_locals {
+            payload.extend_from_slice(&rd[4 * l as usize..4 * l as usize + 4]);
+            rd[4 * l as usize..4 * l as usize + 4].fill(0.0);
+        }
+        comm.send(*peer, TAG, payload);
+    }
+    for (peer, owned_locals) in &local.exports {
+        let payload = comm.recv(*peer, TAG);
+        for (i, &l) in owned_locals.iter().enumerate() {
+            for k in 0..4 {
+                rd[4 * l as usize + k] += payload[4 * i + k];
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::run_distributed;
+    use op2_airfoil::MeshBuilder;
+
+    fn setup() -> (MeshData, FlowConstants, Vec<f64>) {
+        let consts = FlowConstants::default();
+        let builder = MeshBuilder::channel(20, 10);
+        let mesh = builder.build(&consts);
+        mesh.add_pulse(1.0, 0.5, 0.25, 0.2, &consts);
+        (builder.data(), consts, mesh.p_q.to_vec())
+    }
+
+    #[test]
+    fn hybrid_matches_flat_distributed_within_rounding() {
+        let (data, consts, q0) = setup();
+        let flat = run_distributed(&data, &consts, &q0, 3, 6, 2);
+        for backend in [BackendKind::ForkJoin, BackendKind::Dataflow] {
+            let hyb = run_hybrid(&data, &consts, &q0, 3, 2, backend, 6, 2);
+            for (a, b) in hyb.final_q.iter().zip(&flat.final_q) {
+                assert!(
+                    (a - b).abs() <= 1e-11 * b.abs().max(1.0),
+                    "{backend}: {a} vs {b}"
+                );
+            }
+            for ((_, ra), (_, rb)) in hyb.rms.iter().zip(&flat.rms) {
+                assert!((ra - rb).abs() <= 1e-11, "{backend} rms {ra} vs {rb}");
+            }
+        }
+    }
+
+    #[test]
+    fn hybrid_is_deterministic() {
+        let (data, consts, q0) = setup();
+        let a = run_hybrid(&data, &consts, &q0, 2, 2, BackendKind::Dataflow, 4, 4);
+        let b = run_hybrid(&data, &consts, &q0, 2, 2, BackendKind::Dataflow, 4, 4);
+        assert_eq!(
+            a.final_q.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            b.final_q.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn hybrid_free_stream_preserved() {
+        let consts = FlowConstants::default();
+        let builder = MeshBuilder::channel(16, 8);
+        let mesh = builder.build(&consts);
+        let q0 = mesh.p_q.to_vec();
+        let rep = run_hybrid(
+            &builder.data(),
+            &consts,
+            &q0,
+            2,
+            2,
+            BackendKind::ForkJoin,
+            4,
+            1,
+        );
+        for (_, rms) in rep.rms {
+            assert!(rms < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! # op2-dist — distributed-memory execution of the Airfoil benchmark
+//!
+//! OP2's production configuration runs MPI across nodes with OpenMP (or, in
+//! the paper's vision, HPX) within each node. This crate rebuilds the
+//! distributed layer for the Rust port:
+//!
+//! * [`fabric`] — an in-process message-passing fabric (ranks are OS
+//!   threads; typed point-to-point channels; barrier; deterministic
+//!   rank-ordered `allreduce`). It stands in for MPI per the reproduction's
+//!   substitution rules: same communication semantics, no network.
+//! * [`partition`] — strip partitioning of the Airfoil mesh into per-rank
+//!   local meshes with **import halos**: each rank owns a contiguous range
+//!   of cells, executes the edges anchored at its owned cells, and keeps
+//!   local copies of the neighbour cells those edges read
+//!   (OP2's import/export halo lists).
+//! * [`exec`] — the distributed time-march: per iteration a **forward
+//!   exchange** (owners push fresh `q` to the ranks importing it), redundant
+//!   `adt` computation over owned+halo cells, local flux accumulation, a
+//!   **reverse exchange** (halo `res` contributions flow back to owners and
+//!   are added in ascending-rank order, keeping runs deterministic), the
+//!   owned-cell update, and an `allreduce` of the RMS.
+//!
+//! Determinism: a given `(mesh, nranks)` always produces bit-identical
+//! results; with `nranks = 1` the execution order equals the single-node
+//! *natural* order, so results match `op2_core::serial::execute_natural`
+//! exactly. Across different rank counts, per-cell accumulation order
+//! changes, so agreement is to floating-point rounding — the same contract
+//! real OP2/MPI offers.
+
+#![warn(missing_docs)]
+
+pub mod exec;
+pub mod fabric;
+pub mod hybrid;
+pub mod partition;
+
+pub use exec::{run_distributed, run_distributed_with, DistReport};
+pub use hybrid::{run_hybrid, run_hybrid_with};
+pub use fabric::{Comm, Fabric};
+pub use partition::{cell_centroids, total_halo_cells, LocalMesh, Partition};

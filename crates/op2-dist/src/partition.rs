@@ -1,0 +1,409 @@
+//! Mesh partitioning and halo construction.
+//!
+//! Cells are divided into contiguous strips (OP2 ships block/strip
+//! partitioners; graph partitioners plug in the same way). Each rank:
+//!
+//! * **owns** its strip of cells — it alone updates their state;
+//! * **executes** every interior edge whose *first* endpoint it owns, and
+//!   every boundary edge whose cell it owns;
+//! * **imports** (keeps halo copies of) the cells referenced by its edges
+//!   but owned elsewhere.
+//!
+//! The import list from each neighbour is sorted by global cell id, and the
+//! matching export list is derived from the same global information, so the
+//! two sides of every exchange agree on order without negotiation.
+//!
+//! Node coordinates are read-only for the whole march and are replicated on
+//! every rank (a documented simplification of OP2's distributed sets).
+
+use std::collections::HashMap;
+
+use op2_airfoil::mesh::MeshData;
+
+/// Ownership of cells by rank (arbitrary assignments; strips and RCB
+/// constructors provided).
+#[derive(Debug, Clone)]
+pub struct Partition {
+    /// Rank count.
+    pub nranks: usize,
+    owner: Vec<u32>,
+    /// Owned global cells per rank, ascending.
+    owned: Vec<Vec<u32>>,
+}
+
+impl Partition {
+    /// Build from an explicit owner array.
+    pub fn from_owner(owner: Vec<u32>, nranks: usize) -> Partition {
+        let nranks = nranks.max(1);
+        let mut owned: Vec<Vec<u32>> = vec![Vec::new(); nranks];
+        for (c, &r) in owner.iter().enumerate() {
+            assert!((r as usize) < nranks, "cell {c} owned by missing rank {r}");
+            owned[r as usize].push(c as u32);
+        }
+        Partition {
+            nranks,
+            owner,
+            owned,
+        }
+    }
+
+    /// Contiguous strips of cell indices, as even as possible.
+    pub fn strips(ncells: usize, nranks: usize) -> Partition {
+        let nranks = nranks.max(1);
+        let base = ncells / nranks;
+        let extra = ncells % nranks;
+        let mut owner = Vec::with_capacity(ncells);
+        for r in 0..nranks {
+            let len = base + usize::from(r < extra);
+            owner.extend(std::iter::repeat_n(r as u32, len));
+        }
+        Partition::from_owner(owner, nranks)
+    }
+
+    /// Recursive coordinate bisection over cell centroids: repeatedly split
+    /// the largest-extent axis at the median. `nranks` need not be a power
+    /// of two (splits are weighted by the rank counts of each half).
+    pub fn rcb(centroids: &[(f64, f64)], nranks: usize) -> Partition {
+        let nranks = nranks.max(1);
+        let mut owner = vec![0u32; centroids.len()];
+        let mut ids: Vec<u32> = (0..centroids.len() as u32).collect();
+        rcb_split(centroids, &mut ids, 0, nranks, &mut owner);
+        Partition::from_owner(owner, nranks)
+    }
+
+    /// Owner rank of global cell `c`.
+    pub fn owner(&self, c: usize) -> usize {
+        self.owner[c] as usize
+    }
+
+    /// Global cells owned by `rank`, ascending.
+    pub fn owned_cells(&self, rank: usize) -> &[u32] {
+        &self.owned[rank]
+    }
+}
+
+/// Assign `ids` (a slice of cell ids) to ranks `base..base+nranks`.
+fn rcb_split(
+    centroids: &[(f64, f64)],
+    ids: &mut [u32],
+    base: usize,
+    nranks: usize,
+    owner: &mut [u32],
+) {
+    if nranks == 1 {
+        for &c in ids.iter() {
+            owner[c as usize] = base as u32;
+        }
+        return;
+    }
+    // Pick the axis with the larger extent.
+    let (mut lo_x, mut hi_x) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut lo_y, mut hi_y) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &c in ids.iter() {
+        let (x, y) = centroids[c as usize];
+        lo_x = lo_x.min(x);
+        hi_x = hi_x.max(x);
+        lo_y = lo_y.min(y);
+        hi_y = hi_y.max(y);
+    }
+    let use_x = (hi_x - lo_x) >= (hi_y - lo_y);
+    // Weighted split: left gets ⌈nranks/2⌉'s share of the cells.
+    let left_ranks = nranks.div_ceil(2);
+    let split = ids.len() * left_ranks / nranks;
+    ids.sort_by(|&a, &b| {
+        let ka = if use_x { centroids[a as usize].0 } else { centroids[a as usize].1 };
+        let kb = if use_x { centroids[b as usize].0 } else { centroids[b as usize].1 };
+        ka.partial_cmp(&kb).expect("finite coordinates").then(a.cmp(&b))
+    });
+    let (left, right) = ids.split_at_mut(split);
+    rcb_split(centroids, left, base, left_ranks, owner);
+    rcb_split(centroids, right, base + left_ranks, nranks - left_ranks, owner);
+}
+
+/// Total number of halo (imported) cells across all ranks — the
+/// communication-volume metric partitioners minimize.
+pub fn total_halo_cells(data: &MeshData, part: &Partition) -> usize {
+    (0..part.nranks)
+        .map(|r| {
+            let l = build_local(data, part, r);
+            l.ncells_local() - l.nowned
+        })
+        .sum()
+}
+
+/// Cell centroids of a mesh (for [`Partition::rcb`]).
+pub fn cell_centroids(data: &MeshData) -> Vec<(f64, f64)> {
+    let ncells = data.cell_nodes.len() / 4;
+    (0..ncells)
+        .map(|c| {
+            let mut x = 0.0;
+            let mut y = 0.0;
+            for k in 0..4 {
+                let n = data.cell_nodes[4 * c + k] as usize;
+                x += data.coords[2 * n] / 4.0;
+                y += data.coords[2 * n + 1] / 4.0;
+            }
+            (x, y)
+        })
+        .collect()
+}
+
+/// One rank's slice of the mesh, with halo metadata.
+#[derive(Debug)]
+pub struct LocalMesh {
+    /// This rank.
+    pub rank: usize,
+    /// Number of *owned* local cells; local ids `0..nowned` are owned (in
+    /// ascending global order), ids `nowned..` are halo copies.
+    pub nowned: usize,
+    /// Local → global cell id.
+    pub cell_l2g: Vec<u32>,
+    /// Corner nodes (4 per local cell, global node ids — coordinates are
+    /// replicated).
+    pub cell_nodes: Vec<u32>,
+    /// Assigned interior edges: global node pair per edge.
+    pub edge_nodes: Vec<(u32, u32)>,
+    /// Assigned interior edges: *local* cell pair per edge.
+    pub edge_cells: Vec<(u32, u32)>,
+    /// Assigned boundary edges: (global n1, global n2, local cell, bound).
+    pub bedges: Vec<(u32, u32, u32, i32)>,
+    /// For each peer rank (ascending, self excluded): local *halo* ids this
+    /// rank imports from that peer, in ascending global order.
+    pub imports: Vec<(usize, Vec<u32>)>,
+    /// For each peer rank (ascending): local *owned* ids this rank must send
+    /// to that peer, in the exact order of the peer's import list.
+    pub exports: Vec<(usize, Vec<u32>)>,
+}
+
+impl LocalMesh {
+    /// Total local cells (owned + halo).
+    pub fn ncells_local(&self) -> usize {
+        self.cell_l2g.len()
+    }
+}
+
+/// Build rank `rank`'s local mesh.
+pub fn build_local(data: &MeshData, part: &Partition, rank: usize) -> LocalMesh {
+    let ncells = data.cell_nodes.len() / 4;
+    let owned = part.owned_cells(rank);
+    let is_owned = |c: u32| part.owner(c as usize) == rank;
+
+    // Assigned interior edges: first endpoint owned here.
+    let nedges = data.edge_cells.len() / 2;
+    let mut my_edges: Vec<usize> = Vec::new();
+    for e in 0..nedges {
+        if part.owner(data.edge_cells[2 * e] as usize) == rank {
+            my_edges.push(e);
+        }
+    }
+    // Assigned boundary edges.
+    let nbedges = data.bedge_cells.len();
+    let my_bedges: Vec<usize> = (0..nbedges)
+        .filter(|&be| part.owner(data.bedge_cells[be] as usize) == rank)
+        .collect();
+
+    // Halo cells: referenced, not owned, ascending global order.
+    let mut halo: Vec<u32> = my_edges
+        .iter()
+        .flat_map(|&e| [data.edge_cells[2 * e], data.edge_cells[2 * e + 1]])
+        .filter(|&c| !is_owned(c))
+        .collect();
+    halo.sort_unstable();
+    halo.dedup();
+
+    // Local numbering: owned (ascending global), then halo (ascending).
+    let mut cell_l2g: Vec<u32> = owned.to_vec();
+    cell_l2g.extend_from_slice(&halo);
+    let g2l: HashMap<u32, u32> = cell_l2g
+        .iter()
+        .enumerate()
+        .map(|(l, &g)| (g, l as u32))
+        .collect();
+
+    let cell_nodes: Vec<u32> = cell_l2g
+        .iter()
+        .flat_map(|&g| {
+            let g = g as usize;
+            data.cell_nodes[4 * g..4 * g + 4].to_vec()
+        })
+        .collect();
+
+    let edge_nodes: Vec<(u32, u32)> = my_edges
+        .iter()
+        .map(|&e| (data.edge_nodes[2 * e], data.edge_nodes[2 * e + 1]))
+        .collect();
+    let edge_cells: Vec<(u32, u32)> = my_edges
+        .iter()
+        .map(|&e| (g2l[&data.edge_cells[2 * e]], g2l[&data.edge_cells[2 * e + 1]]))
+        .collect();
+    let bedges: Vec<(u32, u32, u32, i32)> = my_bedges
+        .iter()
+        .map(|&be| {
+            (
+                data.bedge_nodes[2 * be],
+                data.bedge_nodes[2 * be + 1],
+                g2l[&data.bedge_cells[be]],
+                data.bound[be],
+            )
+        })
+        .collect();
+
+    // Import lists grouped by owner rank (ascending) — halo is sorted by
+    // global id, so per-peer sublists are too.
+    let mut imports: Vec<(usize, Vec<u32>)> = Vec::new();
+    for &g in &halo {
+        let peer = part.owner(g as usize);
+        match imports.last_mut() {
+            Some((p, list)) if *p == peer => list.push(g2l[&g]),
+            _ => imports.push((peer, vec![g2l[&g]])),
+        }
+    }
+
+    // Export lists: recompute each peer's halo-from-me deterministically
+    // from global data (no negotiation needed).
+    let mut exports: Vec<(usize, Vec<u32>)> = Vec::new();
+    for peer in 0..part.nranks {
+        if peer == rank {
+            continue;
+        }
+        // Cells owned by me that appear as an endpoint of an edge assigned
+        // to `peer` — exactly the peer's import list from me.
+        let mut cells: Vec<u32> = (0..nedges)
+            .filter(|&e| part.owner(data.edge_cells[2 * e] as usize) == peer)
+            .flat_map(|e| [data.edge_cells[2 * e], data.edge_cells[2 * e + 1]])
+            .filter(|&c| is_owned(c))
+            .collect();
+        cells.sort_unstable();
+        cells.dedup();
+        if !cells.is_empty() {
+            exports.push((peer, cells.iter().map(|c| g2l[c]).collect()));
+        }
+    }
+
+    let _ = ncells;
+    LocalMesh {
+        rank,
+        nowned: owned.len(),
+        cell_l2g,
+        cell_nodes,
+        edge_nodes,
+        edge_cells,
+        bedges,
+        imports,
+        exports,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use op2_airfoil::MeshBuilder;
+
+    fn mesh_data() -> MeshData {
+        MeshBuilder::channel(12, 6).data()
+    }
+
+    #[test]
+    fn strips_cover_everything() {
+        for (ncells, nranks) in [(10, 3), (7, 7), (100, 1), (5, 8)] {
+            let p = Partition::strips(ncells, nranks);
+            let mut covered = 0;
+            for r in 0..nranks {
+                for &c in p.owned_cells(r) {
+                    assert_eq!(p.owner(c as usize), r);
+                    covered += 1;
+                }
+            }
+            assert_eq!(covered, ncells);
+        }
+    }
+
+    #[test]
+    fn every_edge_assigned_to_exactly_one_rank() {
+        let data = mesh_data();
+        let nedges = data.edge_cells.len() / 2;
+        let p = Partition::strips(72, 3);
+        let locals: Vec<LocalMesh> = (0..3).map(|r| build_local(&data, &p, r)).collect();
+        let total: usize = locals.iter().map(|l| l.edge_cells.len()).sum();
+        assert_eq!(total, nedges);
+        let btotal: usize = locals.iter().map(|l| l.bedges.len()).sum();
+        assert_eq!(btotal, data.bedge_cells.len());
+    }
+
+    #[test]
+    fn owned_cells_partition_cell_set() {
+        let data = mesh_data();
+        let p = Partition::strips(72, 4);
+        let mut seen = vec![false; 72];
+        for r in 0..4 {
+            let l = build_local(&data, &p, r);
+            for &g in &l.cell_l2g[..l.nowned] {
+                assert!(!seen[g as usize], "cell {g} owned twice");
+                seen[g as usize] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn import_export_lists_are_symmetric() {
+        let data = mesh_data();
+        let p = Partition::strips(72, 3);
+        let locals: Vec<LocalMesh> = (0..3).map(|r| build_local(&data, &p, r)).collect();
+        for l in &locals {
+            for (peer, my_halo_locals) in &l.imports {
+                let peer_mesh = &locals[*peer];
+                let (_, their_exports) = peer_mesh
+                    .exports
+                    .iter()
+                    .find(|(to, _)| *to == l.rank)
+                    .unwrap_or_else(|| panic!("rank {peer} has no export list to {}", l.rank));
+                // Same cells in the same order, in global ids.
+                let mine: Vec<u32> = my_halo_locals
+                    .iter()
+                    .map(|&loc| l.cell_l2g[loc as usize])
+                    .collect();
+                let theirs: Vec<u32> = their_exports
+                    .iter()
+                    .map(|&loc| peer_mesh.cell_l2g[loc as usize])
+                    .collect();
+                assert_eq!(mine, theirs, "halo order mismatch {} <- {peer}", l.rank);
+            }
+        }
+    }
+
+    #[test]
+    fn halo_cells_follow_owned_cells() {
+        let data = mesh_data();
+        let p = Partition::strips(72, 3);
+        let l = build_local(&data, &p, 1);
+        for (i, &g) in l.cell_l2g.iter().enumerate() {
+            if i < l.nowned {
+                assert_eq!(p.owner(g as usize), 1);
+            } else {
+                assert_ne!(p.owner(g as usize), 1);
+            }
+        }
+        // Edges are assigned by their *first* endpoint (the lower-indexed
+        // row for this channel numbering), so the middle strip executes the
+        // edges into the strip above it: it imports only from rank 2 and
+        // exports only to rank 0 (whose edges read rank 1's bottom row).
+        assert_eq!(l.imports.len(), 1);
+        assert_eq!(l.imports[0].0, 2);
+        assert_eq!(l.exports.len(), 1);
+        assert_eq!(l.exports[0].0, 0);
+    }
+
+    #[test]
+    fn single_rank_has_no_halo() {
+        let data = mesh_data();
+        let p = Partition::strips(72, 1);
+        let l = build_local(&data, &p, 0);
+        assert_eq!(l.nowned, 72);
+        assert_eq!(l.ncells_local(), 72);
+        assert!(l.imports.is_empty());
+        assert!(l.exports.is_empty());
+        // Local ids equal global ids.
+        assert!(l.cell_l2g.iter().enumerate().all(|(i, &g)| i == g as usize));
+    }
+}

@@ -1,0 +1,160 @@
+//! Task graphs — the input to the discrete-event simulator.
+
+/// Index of a task in a [`TaskGraph`].
+pub type TaskId = usize;
+
+/// What a task's time represents — used by the breakdown analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TaskKind {
+    /// Kernel computation (plan blocks).
+    #[default]
+    Work,
+    /// Synchronization (fork, barrier, latch, dataflow node).
+    Sync,
+    /// The auto-partitioner's sequential probe.
+    Probe,
+    /// Driver-side latency (`future.get()`).
+    Driver,
+}
+
+/// One schedulable task.
+#[derive(Debug, Clone)]
+pub struct SimTask {
+    /// Nominal duration at speed 1.0, ns.
+    pub duration_ns: u64,
+    /// Worker this task must run on (static schedules), or `None` for
+    /// work-stealing placement.
+    pub pinned: Option<usize>,
+    /// Number of direct predecessors (filled by the builder).
+    pub indegree: usize,
+    /// Time classification.
+    pub kind: TaskKind,
+}
+
+/// A dependency DAG of tasks.
+#[derive(Debug, Default, Clone)]
+pub struct TaskGraph {
+    tasks: Vec<SimTask>,
+    /// Successor adjacency: edges[t] lists tasks unblocked by t.
+    successors: Vec<Vec<TaskId>>,
+}
+
+impl TaskGraph {
+    /// An empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a task with the given nominal duration, optional pinning, and
+    /// dependencies. Dependencies must already exist (ids are topological by
+    /// construction).
+    pub fn add(&mut self, duration_ns: u64, pinned: Option<usize>, deps: &[TaskId]) -> TaskId {
+        self.add_kind(duration_ns, TaskKind::Work, pinned, deps)
+    }
+
+    /// [`TaskGraph::add`] with an explicit [`TaskKind`] classification.
+    pub fn add_kind(
+        &mut self,
+        duration_ns: u64,
+        kind: TaskKind,
+        pinned: Option<usize>,
+        deps: &[TaskId],
+    ) -> TaskId {
+        let id = self.tasks.len();
+        self.tasks.push(SimTask {
+            duration_ns,
+            pinned,
+            indegree: deps.len(),
+            kind,
+        });
+        self.successors.push(Vec::new());
+        for &d in deps {
+            assert!(d < id, "dependency {d} of task {id} does not exist yet");
+            self.successors[d].push(id);
+        }
+        id
+    }
+
+    /// Number of tasks.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// True when the graph has no tasks.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Total nominal work, ns.
+    pub fn total_work_ns(&self) -> u64 {
+        self.tasks.iter().map(|t| t.duration_ns).sum()
+    }
+
+    /// Total nominal time per [`TaskKind`], ns: `[work, sync, probe, driver]`.
+    pub fn time_by_kind_ns(&self) -> [u64; 4] {
+        let mut out = [0u64; 4];
+        for t in &self.tasks {
+            let slot = match t.kind {
+                TaskKind::Work => 0,
+                TaskKind::Sync => 1,
+                TaskKind::Probe => 2,
+                TaskKind::Driver => 3,
+            };
+            out[slot] += t.duration_ns;
+        }
+        out
+    }
+
+    /// Critical-path length (nominal durations), ns — the theoretical lower
+    /// bound on makespan at infinite parallelism and unit speed.
+    pub fn critical_path_ns(&self) -> u64 {
+        let mut finish = vec![0u64; self.tasks.len()];
+        let mut best = 0;
+        for id in 0..self.tasks.len() {
+            // ids are topological (add() enforces deps < id)
+            let f = finish[id] + self.tasks[id].duration_ns;
+            best = best.max(f);
+            for &s in &self.successors[id] {
+                finish[s] = finish[s].max(f);
+            }
+        }
+        best
+    }
+
+    pub(crate) fn task(&self, id: TaskId) -> &SimTask {
+        &self.tasks[id]
+    }
+
+    pub(crate) fn successors_of(&self, id: TaskId) -> &[TaskId] {
+        &self.successors[id]
+    }
+
+    pub(crate) fn indegrees(&self) -> Vec<usize> {
+        self.tasks.iter().map(|t| t.indegree).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_dag_and_computes_critical_path() {
+        let mut g = TaskGraph::new();
+        let a = g.add(10, None, &[]);
+        let b = g.add(20, None, &[a]);
+        let c = g.add(5, None, &[a]);
+        let d = g.add(1, None, &[b, c]);
+        assert_eq!(g.len(), 4);
+        assert_eq!(g.total_work_ns(), 36);
+        assert_eq!(g.critical_path_ns(), 10 + 20 + 1);
+        let _ = d;
+    }
+
+    #[test]
+    #[should_panic(expected = "does not exist")]
+    fn rejects_forward_dependency() {
+        let mut g = TaskGraph::new();
+        let _ = g.add(1, None, &[3]);
+    }
+}

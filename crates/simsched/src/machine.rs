@@ -1,0 +1,137 @@
+//! The machine and synchronization cost model.
+
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the simulated shared-memory node and of the per-backend
+/// synchronization primitives.
+///
+/// Defaults model the paper's testbed: 2× Xeon E5 with 8 cores each
+/// (16 physical cores) and hyper-threading enabled, so thread counts from 17
+/// to 32 run on shared cores at reduced per-worker throughput.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize, PartialEq)]
+pub struct MachineParams {
+    /// Physical cores; workers beyond this are hyper-threads.
+    pub physical_cores: usize,
+    /// Throughput factor of a hyper-thread worker (relative to 1.0 for a
+    /// worker on its own core).
+    pub ht_factor: f64,
+    /// Fixed cost to dispatch one task onto a worker, ns.
+    pub dispatch_ns: u64,
+    /// OpenMP parallel-region entry (fork) cost: `fork_base + fork_per_thread·T` ns.
+    pub fork_base_ns: u64,
+    /// Per-thread component of the fork cost, ns.
+    pub fork_per_thread_ns: u64,
+    /// OpenMP end-of-region barrier cost: `barrier_base + barrier_per_thread·T` ns.
+    pub barrier_base_ns: u64,
+    /// Per-thread component of the barrier cost, ns.
+    pub barrier_per_thread_ns: u64,
+    /// HPX end-of-loop latch cost (futures-based join):
+    /// `latch_base + latch_per_thread·T` ns — much flatter than a barrier.
+    pub latch_base_ns: u64,
+    /// Per-thread component of the latch cost, ns.
+    pub latch_per_thread_ns: u64,
+    /// Driver-side latency of one `future.get()` in the async program, ns.
+    pub get_latency_ns: u64,
+    /// Bookkeeping cost of creating one dataflow node, ns.
+    pub dataflow_node_ns: u64,
+    /// Extra per-task dispatch cost of HPX algorithms relative to the OpenMP
+    /// runtime (the paper: HPX ≈ OpenMP at 1 thread, slightly costlier per
+    /// task), ns.
+    pub hpx_task_extra_ns: u64,
+    /// Fraction of a loop the `for_each` auto-partitioner executes
+    /// sequentially to estimate the grain size (the paper: 1%).
+    pub auto_probe_fraction: f64,
+    /// Per-invocation overhead of the *blocking* `for_each(par)` algorithm
+    /// (HPX 0.9.11 partitioner/iterator machinery plus caller suspension),
+    /// ns. Calibrated so that, as the paper's Fig. 16 measures, plain
+    /// `for_each` stays slightly behind `#pragma omp parallel for` while the
+    /// future-based paths pull ahead.
+    pub foreach_entry_ns: u64,
+}
+
+impl Default for MachineParams {
+    fn default() -> Self {
+        MachineParams {
+            physical_cores: 16,
+            ht_factor: 0.75,
+            dispatch_ns: 400,
+            fork_base_ns: 1_000,
+            fork_per_thread_ns: 50,
+            barrier_base_ns: 800,
+            barrier_per_thread_ns: 60,
+            latch_base_ns: 600,
+            latch_per_thread_ns: 12,
+            get_latency_ns: 1_500,
+            dataflow_node_ns: 600,
+            hpx_task_extra_ns: 100,
+            auto_probe_fraction: 0.01,
+            foreach_entry_ns: 5_000,
+        }
+    }
+}
+
+impl MachineParams {
+    /// Relative speed of worker `w` (0-based) when `nworkers` are in use.
+    ///
+    /// The first `physical_cores` workers run at full speed; beyond that,
+    /// *pairs* share a core: both the hyper-thread worker and (a matching
+    /// share of) the first workers degrade. For simplicity the penalty is
+    /// applied to the workers with index ≥ `physical_cores`.
+    pub fn speed(&self, w: usize) -> f64 {
+        if w < self.physical_cores {
+            1.0
+        } else {
+            self.ht_factor
+        }
+    }
+
+    /// Sum of worker speeds — the machine's ideal throughput at `n` workers.
+    pub fn total_speed(&self, n: usize) -> f64 {
+        (0..n).map(|w| self.speed(w)).sum()
+    }
+
+    /// OpenMP fork cost at `t` threads, ns.
+    pub fn fork_cost(&self, t: usize) -> u64 {
+        self.fork_base_ns + self.fork_per_thread_ns * t as u64
+    }
+
+    /// OpenMP barrier cost at `t` threads, ns.
+    pub fn barrier_cost(&self, t: usize) -> u64 {
+        self.barrier_base_ns + self.barrier_per_thread_ns * t as u64
+    }
+
+    /// HPX latch (future join) cost at `t` threads, ns.
+    pub fn latch_cost(&self, t: usize) -> u64 {
+        self.latch_base_ns + self.latch_per_thread_ns * t as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hyperthreads_are_slower() {
+        let m = MachineParams::default();
+        assert_eq!(m.speed(0), 1.0);
+        assert_eq!(m.speed(15), 1.0);
+        assert!(m.speed(16) < 1.0);
+        assert_eq!(m.speed(31), m.ht_factor);
+    }
+
+    #[test]
+    fn total_speed_saturates_sublinearly_past_cores() {
+        let m = MachineParams::default();
+        assert_eq!(m.total_speed(16), 16.0);
+        let t32 = m.total_speed(32);
+        assert!(t32 > 16.0 && t32 < 32.0);
+    }
+
+    #[test]
+    fn barrier_grows_with_threads_faster_than_latch() {
+        let m = MachineParams::default();
+        let db = m.barrier_cost(32) - m.barrier_cost(1);
+        let dl = m.latch_cost(32) - m.latch_cost(1);
+        assert!(db > dl);
+    }
+}

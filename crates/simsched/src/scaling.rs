@@ -1,0 +1,189 @@
+//! Strong- and weak-scaling sweeps — the data behind Figs. 15–19.
+
+use serde::{Deserialize, Serialize};
+
+use crate::machine::MachineParams;
+use crate::methods::{build_graph, SimMethod};
+use crate::sim::simulate;
+use crate::workload::{airfoil_workload, IterationSpec};
+
+/// One point of a scaling curve.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScalePoint {
+    /// Method label.
+    pub method: String,
+    /// Worker count.
+    pub threads: usize,
+    /// Simulated execution time, ns.
+    pub time_ns: u64,
+    /// Speedup relative to the same method at 1 thread.
+    pub speedup: f64,
+    /// Parallel efficiency: strong = speedup/threads; weak = T(1)/T(N).
+    pub efficiency: f64,
+}
+
+/// The thread counts of the paper's plots (HT kicks in past 16).
+pub fn paper_thread_counts() -> Vec<usize> {
+    vec![1, 2, 4, 8, 16, 24, 32]
+}
+
+/// Strong scaling: fixed `imax × jmax` mesh, increasing thread counts.
+pub fn strong_scaling(
+    methods: &[SimMethod],
+    threads: &[usize],
+    imax: usize,
+    jmax: usize,
+    part: usize,
+    niter: usize,
+    m: &MachineParams,
+) -> Vec<ScalePoint> {
+    let spec = airfoil_workload(imax, jmax, part);
+    let mut out = Vec::new();
+    for &method in methods {
+        let t1 = run_one(method, &spec, niter, 1, m);
+        for &t in threads {
+            let tn = run_one(method, &spec, niter, t, m);
+            out.push(ScalePoint {
+                method: method.label().to_owned(),
+                threads: t,
+                time_ns: tn,
+                speedup: t1 as f64 / tn as f64,
+                efficiency: t1 as f64 / tn as f64 / t as f64,
+            });
+        }
+    }
+    out
+}
+
+/// Weak scaling: the mesh grows with the thread count (`cells_per_thread`
+/// cells per worker), efficiency relative to the 1-thread case.
+pub fn weak_scaling(
+    methods: &[SimMethod],
+    threads: &[usize],
+    cells_per_thread: usize,
+    part: usize,
+    niter: usize,
+    m: &MachineParams,
+) -> Vec<ScalePoint> {
+    let mut out = Vec::new();
+    for &method in methods {
+        let mut t1: Option<u64> = None;
+        for &t in threads {
+            // Grow the mesh ∝ threads, keeping a ~2:1 aspect ratio.
+            let cells = cells_per_thread * t;
+            let jmax = ((cells as f64 / 2.0).sqrt().round() as usize).max(2);
+            let imax = (cells / jmax).max(2);
+            let spec = airfoil_workload(imax, jmax, part);
+            let tn = run_one(method, &spec, niter, t, m);
+            let base = *t1.get_or_insert(tn);
+            out.push(ScalePoint {
+                method: method.label().to_owned(),
+                threads: t,
+                time_ns: tn,
+                speedup: base as f64 / tn as f64 * t as f64,
+                efficiency: base as f64 / tn as f64,
+            });
+        }
+    }
+    out
+}
+
+fn run_one(method: SimMethod, spec: &IterationSpec, niter: usize, threads: usize, m: &MachineParams) -> u64 {
+    let g = build_graph(method, spec, niter, threads, m);
+    simulate(&g, threads, m).makespan_ns
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The headline reproduction targets: at 32 threads, async ≈ +5% and
+    /// dataflow ≈ +21% over the OpenMP baseline (paper Figs. 17/18), with
+    /// tolerance bands.
+    #[test]
+    fn thirty_two_thread_improvements_in_paper_bands() {
+        let m = MachineParams::default();
+        let spec = airfoil_workload(200, 200, 256);
+        let omp = run_one(SimMethod::OmpForkJoin, &spec, 5, 32, &m);
+        let asy = run_one(SimMethod::AsyncFutures, &spec, 5, 32, &m);
+        let df = run_one(SimMethod::Dataflow, &spec, 5, 32, &m);
+        let async_gain = omp as f64 / asy as f64 - 1.0;
+        let df_gain = omp as f64 / df as f64 - 1.0;
+        assert!(
+            (0.02..=0.10).contains(&async_gain),
+            "async gain at 32T out of band: {async_gain:.3}"
+        );
+        assert!(
+            (0.15..=0.28).contains(&df_gain),
+            "dataflow gain at 32T out of band: {df_gain:.3}"
+        );
+    }
+
+    #[test]
+    fn ordering_matches_paper_at_32_threads() {
+        // dataflow < async < omp ≤ foreach-static < foreach-auto (time).
+        let m = MachineParams::default();
+        let spec = airfoil_workload(200, 200, 128);
+        let t = |meth| run_one(meth, &spec, 3, 32, &m);
+        let omp = t(SimMethod::OmpForkJoin);
+        let fa = t(SimMethod::ForEachAuto);
+        let fs = t(SimMethod::ForEachStatic);
+        let asy = t(SimMethod::AsyncFutures);
+        let df = t(SimMethod::Dataflow);
+        assert!(df < asy, "dataflow {df} !< async {asy}");
+        assert!(asy < omp, "async {asy} !< omp {omp}");
+        assert!(omp <= fs, "omp {omp} !<= foreach-static {fs}");
+        assert!(fs < fa, "foreach-static {fs} !< foreach-auto {fa}");
+    }
+
+    #[test]
+    fn strong_scaling_speedup_monotone_through_physical_cores() {
+        let m = MachineParams::default();
+        let pts = strong_scaling(
+            &[SimMethod::Dataflow],
+            &[1, 2, 4, 8, 16],
+            160,
+            160,
+            64,
+            2,
+            &m,
+        );
+        let mut prev = 0.0;
+        for p in &pts {
+            assert!(
+                p.speedup > prev,
+                "speedup not monotone at {} threads",
+                p.threads
+            );
+            prev = p.speedup;
+        }
+        // Decent scalability on physical cores.
+        assert!(pts.last().unwrap().speedup > 10.0);
+    }
+
+    #[test]
+    fn weak_scaling_efficiency_ranking() {
+        let m = MachineParams::default();
+        let pts = weak_scaling(
+            &SimMethod::all(),
+            &[1, 4, 16, 32],
+            2_500,
+            128,
+            2,
+            &m,
+        );
+        let eff = |label: &str, t: usize| {
+            pts.iter()
+                .find(|p| p.method == label && p.threads == t)
+                .unwrap()
+                .efficiency
+        };
+        // Fig. 19: dataflow has the best weak-scaling efficiency at 32.
+        assert!(eff("dataflow", 32) > eff("async", 32));
+        assert!(eff("async", 32) > eff("omp", 32));
+        // Efficiency at 1 thread is 1 by definition.
+        for meth in SimMethod::all() {
+            assert!((eff(meth.label(), 1) - 1.0).abs() < 1e-12);
+        }
+    }
+}

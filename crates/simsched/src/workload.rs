@@ -1,0 +1,138 @@
+//! Airfoil workload extraction: per-block task costs from the real mesh,
+//! plans, and coloring.
+//!
+//! The simulator's *structure* is not synthetic: block counts, block sizes,
+//! and the color partition come from [`op2_core::Plan`] built against the
+//! actual generated mesh — the same plans the real backends execute. Only
+//! the per-element kernel costs are model constants (calibrated relative
+//! weights of the five kernels).
+
+use op2_airfoil::{AirfoilLoops, FlowConstants, MeshBuilder};
+use op2_core::{ParLoop, Plan};
+
+/// Modeled per-element cost of each kernel, ns (relative weights matter more
+/// than absolute values; they roughly track the kernels' flop counts).
+pub mod kernel_cost {
+    /// `save_soln`: 4 copies.
+    pub const SAVE_NS: u64 = 25;
+    /// `adt_calc`: 4 faces, one sqrt each.
+    pub const ADT_NS: u64 = 90;
+    /// `res_calc`: full flux, two cells.
+    pub const RES_NS: u64 = 140;
+    /// `bres_calc`: flux against the far-field state.
+    pub const BRES_NS: u64 = 110;
+    /// `update`: 4 multiply-adds + reduction.
+    pub const UPDATE_NS: u64 = 55;
+}
+
+/// One loop's schedulable structure: block costs grouped by plan color.
+#[derive(Debug, Clone)]
+pub struct LoopSpec {
+    /// Loop name (diagnostics).
+    pub name: &'static str,
+    /// `colors[c]` lists the cost (ns) of every block of color `c`.
+    pub colors: Vec<Vec<u64>>,
+    /// Total nominal work, ns.
+    pub total_ns: u64,
+}
+
+impl LoopSpec {
+    fn from_plan(name: &'static str, loop_: &ParLoop, part: usize, per_elem_ns: u64) -> LoopSpec {
+        let plan = Plan::build(loop_.set(), loop_.args(), part);
+        let colors: Vec<Vec<u64>> = plan
+            .color_blocks
+            .iter()
+            .map(|blocks| {
+                blocks
+                    .iter()
+                    .map(|&b| plan.blocks[b as usize].len() as u64 * per_elem_ns)
+                    .collect()
+            })
+            .collect();
+        let total_ns = colors.iter().flatten().sum();
+        LoopSpec {
+            name,
+            colors,
+            total_ns,
+        }
+    }
+
+    /// Number of blocks across all colors.
+    pub fn nblocks(&self) -> usize {
+        self.colors.iter().map(Vec::len).sum()
+    }
+}
+
+/// The five-loop Airfoil iteration, ready for graph building.
+#[derive(Debug, Clone)]
+pub struct IterationSpec {
+    /// `save_soln`.
+    pub save: LoopSpec,
+    /// `adt_calc`.
+    pub adt: LoopSpec,
+    /// `res_calc`.
+    pub res: LoopSpec,
+    /// `bres_calc`.
+    pub bres: LoopSpec,
+    /// `update`.
+    pub update: LoopSpec,
+    /// Cell count of the underlying mesh.
+    pub ncells: usize,
+}
+
+impl IterationSpec {
+    /// Total nominal work of one iteration (save + 2 × the four stage
+    /// loops), ns.
+    pub fn iteration_work_ns(&self) -> u64 {
+        self.save.total_ns
+            + 2 * (self.adt.total_ns + self.res.total_ns + self.bres.total_ns
+                + self.update.total_ns)
+    }
+}
+
+/// Build the Airfoil workload for an `imax × jmax` channel mesh with
+/// mini-partition size `part`.
+pub fn airfoil_workload(imax: usize, jmax: usize, part: usize) -> IterationSpec {
+    let consts = FlowConstants::default();
+    let mesh = MeshBuilder::channel(imax, jmax).build(&consts);
+    let loops = AirfoilLoops::new(&mesh, &consts);
+    IterationSpec {
+        save: LoopSpec::from_plan("save_soln", &loops.save_soln, part, kernel_cost::SAVE_NS),
+        adt: LoopSpec::from_plan("adt_calc", &loops.adt_calc, part, kernel_cost::ADT_NS),
+        res: LoopSpec::from_plan("res_calc", &loops.res_calc, part, kernel_cost::RES_NS),
+        bres: LoopSpec::from_plan("bres_calc", &loops.bres_calc, part, kernel_cost::BRES_NS),
+        update: LoopSpec::from_plan("update", &loops.update, part, kernel_cost::UPDATE_NS),
+        ncells: mesh.ncells(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_structure_matches_mesh() {
+        let spec = airfoil_workload(40, 20, 64);
+        assert_eq!(spec.ncells, 800);
+        // Direct loops: one color.
+        assert_eq!(spec.save.colors.len(), 1);
+        assert_eq!(spec.update.colors.len(), 1);
+        assert_eq!(spec.adt.colors.len(), 1, "adt only reads indirectly");
+        // res_calc needs multiple colors (shared cells between edge blocks).
+        assert!(spec.res.colors.len() > 1);
+        // Work is positive and res dominates (most elements × highest cost).
+        assert!(spec.res.total_ns > spec.save.total_ns);
+        assert!(spec.iteration_work_ns() > 0);
+    }
+
+    #[test]
+    fn block_costs_sum_to_set_size_times_cost() {
+        let spec = airfoil_workload(32, 16, 50);
+        assert_eq!(
+            spec.save.total_ns,
+            (32 * 16) as u64 * kernel_cost::SAVE_NS
+        );
+        let nedges = (31 * 16 + 32 * 15) as u64;
+        assert_eq!(spec.res.total_ns, nedges * kernel_cost::RES_NS);
+    }
+}

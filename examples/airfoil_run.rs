@@ -1,0 +1,64 @@
+//! The full Airfoil CFD benchmark, runnable under every backend.
+//!
+//! ```text
+//! cargo run --release --example airfoil_run -- [BACKEND] [IMAXxJMAX] [ITERS] [THREADS]
+//! # e.g.
+//! cargo run --release --example airfoil_run -- dataflow 200x100 100 4
+//! ```
+//!
+//! BACKEND ∈ serial | omp | foreach | foreach-static | async | dataflow.
+//! Prints `sqrt(rms/ncells)` every 10% of the march, like the original
+//! `airfoil.cpp` prints every 100 iterations.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use op2_airfoil::{FlowConstants, MeshBuilder, Simulation, SyncStrategy};
+use op2_hpx::{make_executor, BackendKind, Op2Runtime};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let backend = args
+        .first()
+        .map(|s| BackendKind::parse(s).unwrap_or_else(|| panic!("unknown backend `{s}`")))
+        .unwrap_or(BackendKind::Dataflow);
+    let (imax, jmax) = args
+        .get(1)
+        .map(|s| {
+            let (a, b) = s.split_once('x').expect("mesh as IMAXxJMAX");
+            (a.parse().expect("imax"), b.parse().expect("jmax"))
+        })
+        .unwrap_or((120, 60));
+    let iters: usize = args.get(2).map_or(100, |s| s.parse().expect("iters"));
+    let threads: usize = args.get(3).map_or_else(
+        || std::thread::available_parallelism().map_or(1, |n| n.get()),
+        |s| s.parse().expect("threads"),
+    );
+
+    println!("airfoil: backend={backend} mesh={imax}x{jmax} iters={iters} threads={threads}");
+
+    let consts = FlowConstants::default();
+    let mesh = MeshBuilder::channel(imax, jmax).build(&consts);
+    // A pressure pulse makes the march do real work (the channel free
+    // stream alone is an exact steady state).
+    mesh.add_pulse(1.0, 0.5, 0.25, 0.2, &consts);
+
+    let rt = Arc::new(Op2Runtime::new(threads, 128));
+    let exec = make_executor(backend, rt);
+    let sim = Simulation::new(mesh, &consts, exec, SyncStrategy::for_backend(backend));
+
+    let start = Instant::now();
+    let reports = sim.run(iters, (iters / 10).max(1));
+    let elapsed = start.elapsed();
+
+    for (iter, rms) in &reports {
+        println!("  iter {iter:>6}  rms {rms:.6e}");
+    }
+    println!(
+        "done in {:.3}s ({:.2} ms/iter)",
+        elapsed.as_secs_f64(),
+        elapsed.as_secs_f64() * 1e3 / iters as f64
+    );
+    let final_rms = reports.last().expect("at least one report").1;
+    assert!(final_rms.is_finite(), "march diverged");
+}

@@ -1,0 +1,141 @@
+//! Property-based tests spanning the whole stack: random unstructured
+//! meshes, random loop shapes, random block sizes and thread counts — every
+//! parallel backend must reproduce the serial plan-order semantics exactly,
+//! and every plan must satisfy the coloring invariant.
+
+use std::sync::Arc;
+
+use op2_core::{arg_direct, arg_indirect, Access, Dat, Map, ParLoop, Plan, Set};
+use op2_hpx::{make_executor, BackendKind, Op2Runtime};
+use proptest::prelude::*;
+
+/// A random edge list over `ncells` cells (both endpoints distinct).
+fn edges_strategy(ncells: usize, max_edges: usize) -> impl Strategy<Value = Vec<(u32, u32)>> {
+    prop::collection::vec(
+        (0..ncells as u32, 0..ncells as u32).prop_filter("distinct endpoints", |(a, b)| a != b),
+        1..max_edges,
+    )
+}
+
+/// Build the shared fixture: an Inc-gather loop over random edges.
+struct Fixture {
+    edges: Set,
+    #[allow(dead_code)]
+    cells: Set,
+    loop_: ParLoop,
+    res: Dat<f64>,
+}
+
+fn fixture(edge_list: &[(u32, u32)], ncells: usize) -> Fixture {
+    let edges = Set::new("edges", edge_list.len());
+    let cells = Set::new("cells", ncells);
+    let mut table = Vec::with_capacity(edge_list.len() * 2);
+    for (a, b) in edge_list {
+        table.push(*a);
+        table.push(*b);
+    }
+    let m = Map::new("pecell", &edges, &cells, 2, table);
+    let res = Dat::filled("res", &cells, 1, 0.0f64);
+    let rv = res.view();
+    let mv = m.clone();
+    let loop_ = ParLoop::build("gather", &edges)
+        .arg(arg_indirect(&res, 0, &m, Access::Inc))
+        .arg(arg_indirect(&res, 1, &m, Access::Inc))
+        .gbl_inc(1)
+        .kernel(move |e, gbl| unsafe {
+            // Non-commutative-looking floating point so ordering bugs show.
+            let w = 1.0 / (e as f64 + 1.37);
+            rv.add(mv.at(e, 0), 0, w);
+            rv.add(mv.at(e, 1), 0, -w * 0.5);
+            gbl[0] += w * w;
+        });
+    Fixture {
+        edges,
+        cells,
+        loop_,
+        res,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Plan coloring invariant holds for arbitrary connectivity and block
+    /// size.
+    #[test]
+    fn plan_coloring_always_valid(
+        edge_list in edges_strategy(40, 200),
+        part in 1usize..64,
+    ) {
+        let f = fixture(&edge_list, 40);
+        let plan = Plan::build(f.loop_.set(), f.loop_.args(), part);
+        prop_assert!(plan.validate(f.loop_.args()).is_ok());
+        // Blocks cover the iteration space exactly.
+        let covered: usize = plan.blocks.iter().map(|r| r.len()).sum();
+        prop_assert_eq!(covered, f.edges.size());
+    }
+
+    /// Every backend reproduces serial plan-order results bitwise, for any
+    /// connectivity, block size, and worker count.
+    #[test]
+    fn backends_bitwise_equal_serial(
+        edge_list in edges_strategy(30, 120),
+        part in 1usize..40,
+        threads in 1usize..4,
+    ) {
+        let run = |kind: BackendKind| {
+            let f = fixture(&edge_list, 30);
+            let rt = Arc::new(Op2Runtime::new(threads, part));
+            let exec = make_executor(kind, rt);
+            let gbl = exec.execute(&f.loop_).get();
+            exec.fence();
+            let state: Vec<u64> = f.res.to_vec().into_iter().map(f64::to_bits).collect();
+            (state, gbl[0].to_bits())
+        };
+        let reference = run(BackendKind::Serial);
+        for kind in [
+            BackendKind::ForkJoin,
+            BackendKind::ForEachStatic(3),
+            BackendKind::Async,
+            BackendKind::Dataflow,
+        ] {
+            let got = run(kind);
+            prop_assert_eq!(&got.0, &reference.0, "state diverged under {}", kind);
+            prop_assert_eq!(got.1, reference.1, "reduction diverged under {}", kind);
+        }
+    }
+
+    /// A chain of dependent loops under the dataflow executor (no manual
+    /// waits) always matches the blocking fork-join execution.
+    #[test]
+    fn dataflow_chain_matches_forkjoin(
+        ncells in 5usize..50,
+        iterations in 1usize..6,
+        part in 1usize..16,
+    ) {
+        let build = |dat: &Dat<f64>, cells: &Set| {
+            let v = dat.view();
+            let double = ParLoop::build("double", cells)
+                .arg(arg_direct(dat, Access::ReadWrite))
+                .kernel(move |e, _| unsafe { v.set(e, 0, v.get(e, 0) * 2.0 + 1.0) });
+            let shrink = ParLoop::build("shrink", cells)
+                .arg(arg_direct(dat, Access::ReadWrite))
+                .kernel(move |e, _| unsafe { v.set(e, 0, v.get(e, 0) * 0.75) });
+            (double, shrink)
+        };
+        let run = |kind: BackendKind| {
+            let cells = Set::new("cells", ncells);
+            let dat = Dat::new("d", &cells, 1, (0..ncells).map(|i| i as f64).collect());
+            let (double, shrink) = build(&dat, &cells);
+            let rt = Arc::new(Op2Runtime::new(2, part));
+            let exec = make_executor(kind, rt);
+            for _ in 0..iterations {
+                let _ = exec.execute(&double);
+                let _ = exec.execute(&shrink);
+            }
+            exec.fence();
+            dat.to_vec().into_iter().map(f64::to_bits).collect::<Vec<_>>()
+        };
+        prop_assert_eq!(run(BackendKind::Dataflow), run(BackendKind::ForkJoin));
+    }
+}

@@ -15,29 +15,39 @@
 
 use std::sync::Arc;
 
-use hpx_rt::{for_each_index, for_each_index_task, par, par_task, ChunkSize, Promise, ThreadPool};
+use hpx_rt::{for_each_index, for_each_index_task, par, par_task, ChunkSize, Pool, Promise};
 use op2_core::{GlobalAcc, ParLoop, Plan};
 
 /// Execute `loop_` under `plan`, blocking until every color has completed.
 /// Returns the global reduction (empty when none declared).
-pub fn run_colored(
-    pool: &ThreadPool,
+pub fn run_colored<P: Pool + ?Sized>(
+    pool: &P,
     loop_: &ParLoop,
     plan: &Plan,
     chunk: ChunkSize,
 ) -> Vec<f64> {
     let kernel = loop_.kernel();
     let acc = GlobalAcc::with_op(loop_.gbl_dim(), plan.nblocks(), loop_.gbl_op());
+    #[cfg(feature = "det")]
+    op2_core::det::check_plan(plan, loop_.args(), loop_.name());
     for color in &plan.color_blocks {
+        // One exclusivity epoch per color: blocks of the same color are the
+        // concurrently-scheduled unit the detector checks against.
+        #[cfg(feature = "det")]
+        let epoch = op2_core::det::begin_epoch();
         // Implicit barrier here: for_each_index waits for all blocks of this
         // color before the next color starts.
         for_each_index(pool, par().with_chunk(chunk), 0..color.len(), |i| {
             let b = color[i] as usize;
+            #[cfg(feature = "det")]
+            op2_core::det::enter_block(epoch, b as u32);
             let mut scratch = acc.scratch();
             for e in plan.blocks[b].clone() {
                 kernel(e, &mut scratch);
             }
             acc.store(b, scratch);
+            #[cfg(feature = "det")]
+            op2_core::det::exit_block();
         });
     }
     acc.combine()
@@ -47,12 +57,14 @@ pub fn run_colored(
 /// continuations (no thread ever blocks) and the returned future is
 /// fulfilled with the global reduction after the last color.
 pub fn run_colored_task(
-    pool: &Arc<ThreadPool>,
+    pool: &Arc<dyn Pool>,
     loop_: &ParLoop,
     plan: &Arc<Plan>,
     chunk: ChunkSize,
 ) -> hpx_rt::Future<Vec<f64>> {
     let (promise, future) = Promise::<Vec<f64>>::with_pool(pool);
+    #[cfg(feature = "det")]
+    op2_core::det::check_plan(plan, loop_.args(), loop_.name());
     let ctx = Arc::new(ChainCtx {
         pool: Arc::clone(pool),
         plan: Arc::clone(plan),
@@ -65,7 +77,7 @@ pub fn run_colored_task(
 }
 
 struct ChainCtx {
-    pool: Arc<ThreadPool>,
+    pool: Arc<dyn Pool>,
     plan: Arc<Plan>,
     kernel: op2_core::KernelFn,
     acc: GlobalAcc,
@@ -77,6 +89,11 @@ fn launch_color(ctx: Arc<ChainCtx>, color_idx: usize, promise: Promise<Vec<f64>>
         promise.set_value(ctx.acc.combine());
         return;
     }
+    // A fresh epoch as each color launches: the previous color's continuation
+    // has already run by then, so blocks of different colors never share an
+    // epoch even though no thread ever blocks.
+    #[cfg(feature = "det")]
+    let epoch = op2_core::det::begin_epoch();
     let nblocks = ctx.plan.color_blocks[color_idx].len();
     let body_ctx = Arc::clone(&ctx);
     let fut = for_each_index_task(
@@ -85,11 +102,15 @@ fn launch_color(ctx: Arc<ChainCtx>, color_idx: usize, promise: Promise<Vec<f64>>
         0..nblocks,
         move |i| {
             let b = body_ctx.plan.color_blocks[color_idx][i] as usize;
+            #[cfg(feature = "det")]
+            op2_core::det::enter_block(epoch, b as u32);
             let mut scratch = body_ctx.acc.scratch();
             for e in body_ctx.plan.blocks[b].clone() {
                 (body_ctx.kernel)(e, &mut scratch);
             }
             body_ctx.acc.store(b, scratch);
+            #[cfg(feature = "det")]
+            op2_core::det::exit_block();
         },
     );
     fut.finally(move |res| match res {
@@ -101,6 +122,7 @@ fn launch_color(ctx: Arc<ChainCtx>, color_idx: usize, promise: Promise<Vec<f64>>
 #[cfg(test)]
 mod tests {
     use super::*;
+    use hpx_rt::ThreadPool;
     use op2_core::{arg_direct, arg_indirect, serial, Access, Dat, Map, Set};
 
     /// Chain mesh fixture: each edge increments its two endpoint cells.
@@ -150,7 +172,7 @@ mod tests {
     fn task_variant_matches_blocking() {
         let (l, res) = chain_loop(333);
         let plan = Arc::new(Plan::build(l.set(), l.args(), 8));
-        let pool = Arc::new(ThreadPool::new(2));
+        let pool: Arc<dyn Pool> = Arc::new(ThreadPool::new(2));
         let fut = run_colored_task(&pool, &l, &plan, ChunkSize::Default);
         let gbl = fut.get();
         assert_eq!(gbl, vec![333.0]);
@@ -187,7 +209,7 @@ mod tests {
             }
         });
         let plan = Arc::new(Plan::build(l.set(), l.args(), 2));
-        let pool = Arc::new(ThreadPool::new(1));
+        let pool: Arc<dyn Pool> = Arc::new(ThreadPool::new(1));
         let fut = run_colored_task(&pool, &l, &plan, ChunkSize::Default);
         assert!(std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| fut.get())).is_err());
     }

@@ -102,13 +102,26 @@ impl Executor for DataflowExecutor {
             }
         }
 
+        // Register with the dataflow-ordering checker inside the same
+        // critical section that builds the dependency edges, so the mirror
+        // table sees loops in exactly the executor's program order.
+        #[cfg(feature = "det")]
+        let df_token = op2_core::det::dataflow_register(loop_.name(), &reads, &writes);
+
         // Fig. 13: dataflow(unwrapped([&]{ for_each(par, …); return out; }),
         // arg0 … argN) — the body fires when the last dependency resolves.
         let join = when_all_shared_unit(&pool, deps);
         let body_loop = loop_.clone();
         let body_pool = Arc::clone(&pool);
         let body = join.then(&pool, move |_| {
-            run_colored(&body_pool, &body_loop, &plan, chunk)
+            #[cfg(feature = "det")]
+            op2_core::det::dataflow_begin(df_token);
+            let out = run_colored(&body_pool, &body_loop, &plan, chunk);
+            // Completion is recorded before the body's future resolves, so
+            // any dependent that begins afterwards observes it as done.
+            #[cfg(feature = "det")]
+            op2_core::det::dataflow_complete(df_token);
+            out
         });
         let rms = body.share();
         let done: SharedFuture<()> = rms.then(&pool, |_| ()).share();

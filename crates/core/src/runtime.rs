@@ -2,18 +2,19 @@
 
 use std::sync::Arc;
 
-use hpx_rt::{PoolBuilder, ThreadPool};
+use hpx_rt::{DetPool, Pool, PoolBuilder, SchedulePolicy};
 use op2_core::{ParLoop, Plan, PlanCache};
 
 /// Default mini-partition (block) size, matching OP2's common setting.
 pub use op2_core::plan::DEFAULT_PART_SIZE;
 
-/// The execution context shared by every backend: an [`hpx_rt::ThreadPool`]
-/// and a memoized [`PlanCache`] (plans are reused across the thousands of
-/// identical loop invocations of a time-march, exactly as OP2 caches
-/// `op_plan`s).
+/// The execution context shared by every backend: a task pool (normally an
+/// [`hpx_rt::ThreadPool`]; a deterministic [`hpx_rt::DetPool`] for schedule
+/// exploration) and a memoized [`PlanCache`] (plans are reused across the
+/// thousands of identical loop invocations of a time-march, exactly as OP2
+/// caches `op_plan`s).
 pub struct Op2Runtime {
-    pool: Arc<ThreadPool>,
+    pool: Arc<dyn Pool>,
     plans: PlanCache,
     part_size: usize,
 }
@@ -21,16 +22,15 @@ pub struct Op2Runtime {
 impl Op2Runtime {
     /// Create a runtime with `num_threads` workers and the given block size.
     pub fn new(num_threads: usize, part_size: usize) -> Self {
-        Op2Runtime {
-            pool: Arc::new(
+        Self::from_pool(
+            Arc::new(
                 PoolBuilder::new()
                     .num_threads(num_threads)
                     .thread_name("op2-hpx")
                     .build(),
             ),
-            plans: PlanCache::new(),
-            part_size: part_size.max(1),
-        }
+            part_size,
+        )
     }
 
     /// Runtime with the default block size ([`DEFAULT_PART_SIZE`]).
@@ -38,8 +38,35 @@ impl Op2Runtime {
         Self::new(num_threads, DEFAULT_PART_SIZE)
     }
 
-    /// The underlying thread pool.
-    pub fn pool(&self) -> &Arc<ThreadPool> {
+    /// Runtime over an explicit pool (e.g. a shared or custom-built one).
+    pub fn from_pool(pool: Arc<dyn Pool>, part_size: usize) -> Self {
+        Op2Runtime {
+            pool,
+            plans: PlanCache::new(),
+            part_size: part_size.max(1),
+        }
+    }
+
+    /// Runtime on a deterministic single-threaded scheduler
+    /// ([`hpx_rt::DetPool`]) whose task interleaving is a pure function of
+    /// `seed` — every backend then executes reproducibly, which is what the
+    /// schedule-exploration tests (`tests/det_schedules.rs`) and the race
+    /// detector (`op2_core::det`, `det` feature) build on.
+    pub fn deterministic(seed: u64, part_size: usize) -> Self {
+        Self::from_pool(Arc::new(DetPool::new(seed)), part_size)
+    }
+
+    /// [`Op2Runtime::deterministic`] with an explicit schedule policy.
+    pub fn deterministic_with_policy(
+        seed: u64,
+        policy: SchedulePolicy,
+        part_size: usize,
+    ) -> Self {
+        Self::from_pool(Arc::new(DetPool::with_policy(seed, policy)), part_size)
+    }
+
+    /// The underlying task pool.
+    pub fn pool(&self) -> &Arc<dyn Pool> {
         &self.pool
     }
 

@@ -19,14 +19,14 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use crate::future::{Future, PanicPayload, SharedFuture};
-use crate::ThreadPool;
+use crate::pool::Pool;
 
 /// Combine a vector of futures into one future of all their values, in input
 /// order (the analogue of `hpx::when_all`).
 ///
 /// If any input's producer panicked, the first captured panic is re-thrown by
 /// `get()` on the combined future.
-pub fn when_all<T: Send + 'static>(pool: &ThreadPool, futures: Vec<Future<T>>) -> Future<Vec<T>> {
+pub fn when_all<T: Send + 'static>(pool: &(impl Pool + ?Sized), futures: Vec<Future<T>>) -> Future<Vec<T>> {
     let n = futures.len();
     let (out_shared, out) = Future::<Vec<T>>::new_pair(Some(pool.spawner()));
     if n == 0 {
@@ -72,7 +72,7 @@ pub fn when_all<T: Send + 'static>(pool: &ThreadPool, futures: Vec<Future<T>>) -
 
 /// [`when_all`] specialised for `Future<()>`: no value storage, just a
 /// countdown. Used for pure dependency edges.
-pub fn when_all_unit(pool: &ThreadPool, futures: Vec<Future<()>>) -> Future<()> {
+pub fn when_all_unit(pool: &(impl Pool + ?Sized), futures: Vec<Future<()>>) -> Future<()> {
     let n = futures.len();
     let (out_shared, out) = Future::<()>::new_pair(Some(pool.spawner()));
     if n == 0 {
@@ -112,7 +112,7 @@ pub fn when_all_unit(pool: &ThreadPool, futures: Vec<Future<()>>) -> Future<()> 
 ///
 /// This is the combinator behind the dataflow OP2 backend, where one dat
 /// version may be awaited by several subsequent loops.
-pub fn when_all_shared_unit(pool: &ThreadPool, deps: Vec<SharedFuture<()>>) -> Future<()> {
+pub fn when_all_shared_unit(pool: &(impl Pool + ?Sized), deps: Vec<SharedFuture<()>>) -> Future<()> {
     let n = deps.len();
     let (out_shared, out) = Future::<()>::new_pair(Some(pool.spawner()));
     if n == 0 {
@@ -149,7 +149,7 @@ pub fn when_all_shared_unit(pool: &ThreadPool, deps: Vec<SharedFuture<()>>) -> F
 }
 
 /// Run `f(a)` as a new task once `a` is ready (`hpx::dataflow` arity 1).
-pub fn dataflow1<A, R, F>(pool: &ThreadPool, f: F, a: Future<A>) -> Future<R>
+pub fn dataflow1<A, R, F>(pool: &(impl Pool + ?Sized), f: F, a: Future<A>) -> Future<R>
 where
     A: Send + 'static,
     R: Send + 'static,
@@ -161,7 +161,7 @@ where
 }
 
 /// Run `f(a, b)` as a new task once **both** inputs are ready.
-pub fn dataflow2<A, B, R, F>(pool: &ThreadPool, f: F, a: Future<A>, b: Future<B>) -> Future<R>
+pub fn dataflow2<A, B, R, F>(pool: &(impl Pool + ?Sized), f: F, a: Future<A>, b: Future<B>) -> Future<R>
 where
     A: Send + 'static,
     B: Send + 'static,
@@ -192,7 +192,7 @@ where
 
 /// Run `f(a, b, c)` as a new task once all three inputs are ready.
 pub fn dataflow3<A, B, C, R, F>(
-    pool: &ThreadPool,
+    pool: &(impl Pool + ?Sized),
     f: F,
     a: Future<A>,
     b: Future<B>,
@@ -211,7 +211,7 @@ where
 
 /// Run `f(a, b, c, d)` as a new task once all four inputs are ready.
 pub fn dataflow4<A, B, C, D, R, F>(
-    pool: &ThreadPool,
+    pool: &(impl Pool + ?Sized),
     f: F,
     a: Future<A>,
     b: Future<B>,

@@ -25,7 +25,7 @@ use parking_lot::Mutex;
 
 use crate::future::{Future, PanicPayload};
 use crate::latch::CountdownLatch;
-use crate::ThreadPool;
+use crate::pool::Pool;
 
 /// Grain-size selection strategy for parallel loops.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -210,8 +210,9 @@ fn auto_probe<F: Fn(usize) + ?Sized>(
 ///
 /// The closure only needs `Fn(usize) + Sync` (it may borrow locals): all
 /// tasks are guaranteed to finish before this function returns.
-pub fn for_each_index<F>(pool: &ThreadPool, policy: ExecutionPolicy, range: Range<usize>, f: F)
+pub fn for_each_index<P, F>(pool: &P, policy: ExecutionPolicy, range: Range<usize>, f: F)
 where
+    P: Pool + ?Sized,
     F: Fn(usize) + Sync,
 {
     if range.is_empty() {
@@ -243,8 +244,9 @@ where
 }
 
 /// Execute `chunks` of `f` on the pool and wait on a latch (work-helping).
-fn run_chunks_blocking<F>(pool: &ThreadPool, chunks: &[Range<usize>], f: &F)
+fn run_chunks_blocking<P, F>(pool: &P, chunks: &[Range<usize>], f: &F)
 where
+    P: Pool + ?Sized,
     F: Fn(usize) + Sync,
 {
     let latch = CountdownLatch::with_pool(pool, chunks.len());
@@ -264,7 +266,7 @@ where
     for chunk in chunks {
         let chunk = chunk.clone();
         let counter = latch.counter();
-        pool.spawn_task(Box::new(move || {
+        pool.spawn_boxed(Box::new(move || {
             let result = catch_unwind(AssertUnwindSafe(|| {
                 for i in chunk {
                     f_static(i);
@@ -293,13 +295,14 @@ where
 /// overlap. The closure must be `'static` (shared by reference-count with the
 /// spawned chunks). Chunk planning (including the auto-partitioner probe)
 /// runs inside the first pool task, so the call itself never blocks.
-pub fn for_each_index_task<F>(
-    pool: &ThreadPool,
+pub fn for_each_index_task<P, F>(
+    pool: &P,
     policy: ExecutionPolicy,
     range: Range<usize>,
     f: F,
 ) -> Future<()>
 where
+    P: Pool + ?Sized,
     F: Fn(usize) + Send + Sync + 'static,
 {
     let (out_shared, out) = Future::<()>::new_pair(Some(pool.spawner()));
@@ -313,7 +316,7 @@ where
     let chunk_policy = policy.chunk;
     // Everything (probe + chunk fan-out) happens inside this task so the
     // caller returns immediately.
-    pool.spawn_task(Box::new(move || {
+    pool.spawn_boxed(Box::new(move || {
         let (start, per_iter) = match chunk_policy {
             ChunkSize::Auto { probe_fraction, .. } => {
                 let probe = catch_unwind(AssertUnwindSafe(|| {
@@ -380,8 +383,8 @@ where
 ///
 /// `map` produces a value per index; `fold` combines a chunk-local
 /// accumulator with a mapped value; `combine` merges chunk partials.
-pub fn reduce_index<T, M, C>(
-    pool: &ThreadPool,
+pub fn reduce_index<P, T, M, C>(
+    pool: &P,
     policy: ExecutionPolicy,
     range: Range<usize>,
     identity: T,
@@ -389,6 +392,7 @@ pub fn reduce_index<T, M, C>(
     combine: C,
 ) -> T
 where
+    P: Pool + ?Sized,
     T: Clone + Send + Sync,
     M: Fn(usize) -> T + Sync,
     C: Fn(T, T) -> T + Sync,
@@ -428,4 +432,91 @@ where
         }
     }
     acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn auto(target_chunk_micros: u64) -> ChunkSize {
+        ChunkSize::Auto {
+            probe_fraction: 0.01,
+            target_chunk_micros,
+        }
+    }
+
+    /// Chunks must partition the range exactly: cover every index once, in
+    /// order, with no empty chunks — for any policy.
+    fn assert_partitions(chunks: &[Range<usize>], range: Range<usize>) {
+        let mut next = range.start;
+        for c in chunks {
+            assert_eq!(c.start, next, "gap or overlap at {next}");
+            assert!(c.end > c.start, "empty chunk {c:?}");
+            next = c.end;
+        }
+        assert_eq!(next, range.end, "range not fully covered");
+    }
+
+    #[test]
+    fn auto_empty_range_plans_no_chunks() {
+        assert!(plan_chunks(0..0, 4, auto(200), None).is_empty());
+        assert!(plan_chunks(7..7, 4, auto(200), Some(Duration::from_nanos(50))).is_empty());
+    }
+
+    #[test]
+    fn auto_tiny_ranges_get_sane_chunks() {
+        // Tiny loops (< 100 iterations): whatever the measured per-iteration
+        // cost, every chunk must hold between 1 and ceil(n/workers) indices.
+        for n in [1usize, 2, 3, 7, 10, 99] {
+            for per_iter in [
+                None,
+                Some(Duration::ZERO),
+                Some(Duration::from_nanos(1)),
+                Some(Duration::from_micros(500)), // slower than the target chunk
+            ] {
+                let workers = 4;
+                let chunks = plan_chunks(0..n, workers, auto(200), per_iter);
+                assert_partitions(&chunks, 0..n);
+                let cap = n.div_ceil(workers).max(1);
+                for c in &chunks {
+                    assert!(
+                        c.len() <= cap,
+                        "n={n} per_iter={per_iter:?}: chunk {c:?} exceeds cap {cap}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn auto_slow_iterations_shrink_chunks() {
+        // 1 ms per iteration against a 200 µs chunk target → chunks of 1.
+        let chunks = plan_chunks(0..64, 4, auto(200), Some(Duration::from_millis(1)));
+        assert_partitions(&chunks, 0..64);
+        assert!(chunks.iter().all(|c| c.len() == 1), "{chunks:?}");
+    }
+
+    #[test]
+    fn auto_fast_iterations_cap_at_per_worker_share() {
+        // 1 ns per iteration → the raw estimate (200k iterations) must be
+        // clamped to one chunk per worker, never a single serial chunk.
+        let chunks = plan_chunks(0..1000, 4, auto(200), Some(Duration::from_nanos(1)));
+        assert_partitions(&chunks, 0..1000);
+        assert!(chunks.len() >= 4, "{} chunks", chunks.len());
+    }
+
+    #[test]
+    fn all_policies_partition_exactly() {
+        for chunk in [
+            ChunkSize::Default,
+            auto(200),
+            ChunkSize::Static(3),
+            ChunkSize::Guided { min: 2 },
+        ] {
+            for n in [0usize, 1, 5, 17, 100] {
+                let chunks = plan_chunks(0..n, 3, chunk, None);
+                assert_partitions(&chunks, 0..n);
+            }
+        }
+    }
 }

@@ -23,8 +23,7 @@ use std::sync::Arc;
 
 use parking_lot::{Condvar, Mutex};
 
-use crate::pool::Spawner;
-use crate::ThreadPool;
+use crate::pool::{Pool, Spawner};
 
 /// Result of a producing task: the value, or the payload of a panic.
 pub(crate) type FutureResult<T> = Result<T, PanicPayload>;
@@ -138,7 +137,7 @@ impl<T: Send + 'static> Promise<T> {
 
     /// Create a promise/future pair bound to `pool`: continuations are
     /// scheduled as pool tasks and `get()` work-helps on that pool.
-    pub fn with_pool(pool: &ThreadPool) -> (Promise<T>, Future<T>) {
+    pub fn with_pool(pool: &(impl Pool + ?Sized)) -> (Promise<T>, Future<T>) {
         let shared = Shared::new(Some(pool.spawner()));
         (
             Promise {
@@ -231,7 +230,7 @@ impl<T: Send + 'static> Future<T> {
     /// ready — so `then` never executes user code on the calling thread
     /// (`hpx::future::then` semantics; the dataflow backend relies on this to
     /// keep loop submission non-blocking).
-    pub fn then<R, F>(self, pool: &ThreadPool, f: F) -> Future<R>
+    pub fn then<R, F>(self, pool: &(impl Pool + ?Sized), f: F) -> Future<R>
     where
         R: Send + 'static,
         F: FnOnce(T) -> R + Send + 'static,
@@ -472,7 +471,7 @@ impl<T: Clone + Send + 'static> SharedFuture<T> {
     ///
     /// As with [`Future::then`], `f` always runs as a pool task, never on the
     /// calling thread.
-    pub fn then<R, F>(&self, pool: &ThreadPool, f: F) -> Future<R>
+    pub fn then<R, F>(&self, pool: &(impl Pool + ?Sized), f: F) -> Future<R>
     where
         R: Send + 'static,
         F: FnOnce(T) -> R + Send + 'static,

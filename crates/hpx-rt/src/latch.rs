@@ -10,8 +10,7 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use crate::pool::Spawner;
-use crate::ThreadPool;
+use crate::pool::{Pool, Spawner};
 
 /// A single-use countdown latch.
 ///
@@ -28,7 +27,7 @@ struct LatchInner {
 
 impl CountdownLatch {
     /// Latch bound to `pool` (waiters work-help on that pool).
-    pub fn with_pool(pool: &ThreadPool, count: usize) -> Self {
+    pub fn with_pool(pool: &(impl Pool + ?Sized), count: usize) -> Self {
         CountdownLatch {
             inner: Arc::new(LatchInner {
                 remaining: AtomicUsize::new(count),

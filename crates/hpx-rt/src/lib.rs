@@ -50,6 +50,7 @@
 #![warn(missing_docs)]
 
 pub mod dataflow;
+pub mod det;
 pub mod for_each;
 pub mod future;
 pub mod latch;
@@ -61,6 +62,7 @@ pub mod spawn;
 pub use dataflow::{
     dataflow1, dataflow2, dataflow3, dataflow4, when_all, when_all_shared_unit, when_all_unit,
 };
+pub use det::{DetPool, SchedulePolicy};
 pub use for_each::{
     for_each_index, for_each_index_task, par, par_task, reduce_index, seq, ChunkSize,
     ExecutionPolicy,
@@ -68,6 +70,6 @@ pub use for_each::{
 pub use future::{make_ready_future, Future, Promise, SharedFuture};
 pub use latch::CountdownLatch;
 pub use metrics::PoolMetrics;
-pub use pool::{PoolBuilder, ThreadPool};
+pub use pool::{Pool, PoolBuilder, Spawner, Task, ThreadPool};
 pub use scan::{exclusive_scan, inclusive_scan};
 pub use spawn::async_spawn;

@@ -18,8 +18,34 @@ use parking_lot::{Condvar, Mutex};
 
 use crate::metrics::PoolMetrics;
 
-/// A unit of work scheduled on the pool ("HPX lightweight thread").
-pub(crate) type Task = Box<dyn FnOnce() + Send + 'static>;
+/// A unit of work scheduled on a pool ("HPX lightweight thread").
+pub type Task = Box<dyn FnOnce() + Send + 'static>;
+
+/// The task-scheduling surface shared by [`ThreadPool`] and
+/// [`crate::DetPool`].
+///
+/// Every runtime primitive in this crate (futures, latches, `for_each`,
+/// dataflow, scans) is generic over `Pool`, so the same executor code can run
+/// either on the real work-stealing pool or under the deterministic
+/// single-threaded scheduler used for schedule exploration and race checking.
+///
+/// The trait is object-safe: `Arc<dyn Pool>` is how `op2-hpx`'s
+/// `Op2Runtime` holds its pool.
+pub trait Pool: Send + Sync {
+    /// Number of (possibly virtual) worker threads; used for chunk planning.
+    fn num_threads(&self) -> usize;
+
+    /// Schedule a task for execution.
+    fn spawn_boxed(&self, task: Task);
+
+    /// Try to execute one pending task on the calling thread; returns `true`
+    /// if a task ran (the work-helping primitive).
+    fn try_execute_one(&self) -> bool;
+
+    /// A cheap cloneable handle that futures and latches embed so they can
+    /// schedule continuations and work-help without borrowing the pool.
+    fn spawner(&self) -> Spawner;
+}
 
 struct Inner {
     injector: Injector<Task>,
@@ -183,10 +209,46 @@ impl ThreadPool {
 
     /// A cheap cloneable handle that futures and latches embed so they can
     /// schedule continuations and work-help without borrowing the pool.
-    pub(crate) fn spawner(&self) -> Spawner {
+    pub fn spawner(&self) -> Spawner {
         Spawner {
-            inner: Arc::downgrade(&self.inner),
+            kind: SpawnerKind::Threads(Arc::downgrade(&self.inner)),
         }
+    }
+}
+
+impl<P: Pool + ?Sized> Pool for Arc<P> {
+    fn num_threads(&self) -> usize {
+        (**self).num_threads()
+    }
+
+    fn spawn_boxed(&self, task: Task) {
+        (**self).spawn_boxed(task);
+    }
+
+    fn try_execute_one(&self) -> bool {
+        (**self).try_execute_one()
+    }
+
+    fn spawner(&self) -> Spawner {
+        (**self).spawner()
+    }
+}
+
+impl Pool for ThreadPool {
+    fn num_threads(&self) -> usize {
+        ThreadPool::num_threads(self)
+    }
+
+    fn spawn_boxed(&self, task: Task) {
+        self.spawn_task(task);
+    }
+
+    fn try_execute_one(&self) -> bool {
+        ThreadPool::try_execute_one(self)
+    }
+
+    fn spawner(&self) -> Spawner {
+        ThreadPool::spawner(self)
     }
 }
 
@@ -195,49 +257,94 @@ impl ThreadPool {
 /// If the pool has been dropped, `spawn` reports failure (callers then run the
 /// work inline) and `help_until` degrades to a spin/park wait.
 #[derive(Clone)]
-pub(crate) struct Spawner {
-    inner: std::sync::Weak<Inner>,
+pub struct Spawner {
+    kind: SpawnerKind,
+}
+
+#[derive(Clone)]
+enum SpawnerKind {
+    Threads(std::sync::Weak<Inner>),
+    Det(std::sync::Weak<crate::det::DetInner>),
 }
 
 impl Spawner {
+    pub(crate) fn det(inner: std::sync::Weak<crate::det::DetInner>) -> Spawner {
+        Spawner {
+            kind: SpawnerKind::Det(inner),
+        }
+    }
+
     /// Schedule `task` on the pool; hands the task back if the pool is gone
     /// so the caller can run it inline.
-    pub(crate) fn spawn(&self, task: Task) -> Result<(), Task> {
-        if let Some(inner) = self.inner.upgrade() {
-            inner.metrics.tasks_spawned.fetch_add(1, Ordering::Relaxed);
-            let mut task = Some(task);
-            CURRENT.with(|c| {
-                if let Some(ctx) = c.borrow().as_ref() {
-                    if std::ptr::eq(Arc::as_ptr(&ctx.inner), Arc::as_ptr(&inner)) {
-                        ctx.local.push(task.take().expect("task consumed twice"));
+    pub fn spawn(&self, task: Task) -> Result<(), Task> {
+        match &self.kind {
+            SpawnerKind::Threads(weak) => {
+                if let Some(inner) = weak.upgrade() {
+                    inner.metrics.tasks_spawned.fetch_add(1, Ordering::Relaxed);
+                    let mut task = Some(task);
+                    CURRENT.with(|c| {
+                        if let Some(ctx) = c.borrow().as_ref() {
+                            if std::ptr::eq(Arc::as_ptr(&ctx.inner), Arc::as_ptr(&inner)) {
+                                ctx.local.push(task.take().expect("task consumed twice"));
+                            }
+                        }
+                    });
+                    if let Some(task) = task {
+                        inner.injector.push(task);
                     }
+                    inner.notify_one();
+                    Ok(())
+                } else {
+                    Err(task)
                 }
-            });
-            if let Some(task) = task {
-                inner.injector.push(task);
             }
-            inner.notify_one();
-            Ok(())
-        } else {
-            Err(task)
+            SpawnerKind::Det(weak) => {
+                if let Some(inner) = weak.upgrade() {
+                    inner.enqueue(task);
+                    Ok(())
+                } else {
+                    Err(task)
+                }
+            }
         }
     }
 
     /// Work-helping wait; falls back to yielding if the pool is gone.
-    pub(crate) fn help_until(&self, mut pred: impl FnMut() -> bool) {
-        if let Some(inner) = self.inner.upgrade() {
-            inner.help_until(pred);
-        } else {
-            while !pred() {
-                std::thread::yield_now();
+    pub fn help_until(&self, mut pred: impl FnMut() -> bool) {
+        match &self.kind {
+            SpawnerKind::Threads(weak) => {
+                if let Some(inner) = weak.upgrade() {
+                    inner.help_until(pred);
+                } else {
+                    while !pred() {
+                        std::thread::yield_now();
+                    }
+                }
+            }
+            SpawnerKind::Det(weak) => {
+                if let Some(inner) = weak.upgrade() {
+                    inner.help_until(&mut pred);
+                } else {
+                    while !pred() {
+                        std::thread::yield_now();
+                    }
+                }
             }
         }
     }
 
     /// Wake parked waiters after an event (promise fulfilled, latch opened).
-    pub(crate) fn notify(&self) {
-        if let Some(inner) = self.inner.upgrade() {
-            inner.notify_all();
+    pub fn notify(&self) {
+        match &self.kind {
+            SpawnerKind::Threads(weak) => {
+                if let Some(inner) = weak.upgrade() {
+                    inner.notify_all();
+                }
+            }
+            // The deterministic pool is single-threaded and never parks:
+            // progress is driven entirely by help_until, so there is nobody
+            // to wake.
+            SpawnerKind::Det(_) => {}
         }
     }
 }

@@ -8,17 +8,19 @@
 //! `(input length, chunk size, identity)`.
 
 use crate::for_each::{plan_chunks_pub, ChunkSize, ExecutionPolicy, PolicyKind};
-use crate::{for_each_index, par, ThreadPool};
+use crate::pool::Pool;
+use crate::{for_each_index, par};
 
 /// Inclusive prefix scan: `out[i] = op(init, x0 ⊕ … ⊕ xi)`.
-pub fn inclusive_scan<T, F>(
-    pool: &ThreadPool,
+pub fn inclusive_scan<P, T, F>(
+    pool: &P,
     policy: ExecutionPolicy,
     input: &[T],
     init: T,
     op: F,
 ) -> Vec<T>
 where
+    P: Pool + ?Sized,
     T: Clone + Send + Sync,
     F: Fn(&T, &T) -> T + Sync,
 {
@@ -27,22 +29,23 @@ where
 
 /// Exclusive prefix scan: `out[i] = op(init, x0 ⊕ … ⊕ x(i−1))`;
 /// `out[0] = init`.
-pub fn exclusive_scan<T, F>(
-    pool: &ThreadPool,
+pub fn exclusive_scan<P, T, F>(
+    pool: &P,
     policy: ExecutionPolicy,
     input: &[T],
     init: T,
     op: F,
 ) -> Vec<T>
 where
+    P: Pool + ?Sized,
     T: Clone + Send + Sync,
     F: Fn(&T, &T) -> T + Sync,
 {
     scan_impl(pool, policy, input, init, op, false)
 }
 
-fn scan_impl<T, F>(
-    pool: &ThreadPool,
+fn scan_impl<P, T, F>(
+    pool: &P,
     policy: ExecutionPolicy,
     input: &[T],
     init: T,
@@ -50,6 +53,7 @@ fn scan_impl<T, F>(
     inclusive: bool,
 ) -> Vec<T>
 where
+    P: Pool + ?Sized,
     T: Clone + Send + Sync,
     F: Fn(&T, &T) -> T + Sync,
 {
@@ -151,7 +155,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::seq;
+    use crate::{seq, ThreadPool};
 
     #[test]
     fn inclusive_matches_sequential() {

@@ -3,7 +3,7 @@
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use crate::future::{Future, PanicPayload};
-use crate::ThreadPool;
+use crate::pool::Pool;
 
 /// Schedule `f` for asynchronous execution on `pool` and immediately return a
 /// [`Future`] for its result (the paper's
@@ -17,13 +17,13 @@ use crate::ThreadPool;
 /// let f = async_spawn(&pool, || (1..=10).sum::<u32>());
 /// assert_eq!(f.get(), 55);
 /// ```
-pub fn async_spawn<T, F>(pool: &ThreadPool, f: F) -> Future<T>
+pub fn async_spawn<T, F>(pool: &(impl Pool + ?Sized), f: F) -> Future<T>
 where
     T: Send + 'static,
     F: FnOnce() -> T + Send + 'static,
 {
     let (shared, future) = Future::<T>::new_pair(Some(pool.spawner()));
-    pool.spawn_task(Box::new(move || {
+    pool.spawn_boxed(Box::new(move || {
         let result = catch_unwind(AssertUnwindSafe(f));
         shared.complete(result.map_err(|p| p as PanicPayload));
     }));

@@ -108,6 +108,8 @@ impl<T: Copy + Send + Sync + 'static> Dat<T> {
             ptr,
             len,
             dim: self.inner.dim,
+            #[cfg(feature = "det")]
+            id: self.inner.id,
         }
     }
 
@@ -154,6 +156,10 @@ pub struct DatView<T> {
     ptr: *mut T,
     len: usize,
     dim: usize,
+    /// Identity of the owning dat, carried only when the race detector is
+    /// compiled in (`det` feature) so accesses can be attributed.
+    #[cfg(feature = "det")]
+    id: u64,
 }
 
 impl<T> Clone for DatView<T> {
@@ -184,6 +190,8 @@ impl<T: Copy> DatView<T> {
     #[inline]
     pub unsafe fn slice(&self, e: usize) -> &[T] {
         debug_assert!((e + 1) * self.dim <= self.len);
+        #[cfg(feature = "det")]
+        crate::det::record_access(self.id, e, crate::access::Access::Read);
         std::slice::from_raw_parts(self.ptr.add(e * self.dim), self.dim)
     }
 
@@ -197,6 +205,8 @@ impl<T: Copy> DatView<T> {
     #[allow(clippy::mut_from_ref)]
     pub unsafe fn slice_mut(&self, e: usize) -> &mut [T] {
         debug_assert!((e + 1) * self.dim <= self.len);
+        #[cfg(feature = "det")]
+        crate::det::record_access(self.id, e, crate::access::Access::ReadWrite);
         std::slice::from_raw_parts_mut(self.ptr.add(e * self.dim), self.dim)
     }
 
@@ -207,6 +217,8 @@ impl<T: Copy> DatView<T> {
     #[inline]
     pub unsafe fn get(&self, e: usize, j: usize) -> T {
         debug_assert!(j < self.dim);
+        #[cfg(feature = "det")]
+        crate::det::record_access(self.id, e, crate::access::Access::Read);
         *self.ptr.add(e * self.dim + j)
     }
 
@@ -217,6 +229,8 @@ impl<T: Copy> DatView<T> {
     #[inline]
     pub unsafe fn set(&self, e: usize, j: usize, v: T) {
         debug_assert!(j < self.dim);
+        #[cfg(feature = "det")]
+        crate::det::record_access(self.id, e, crate::access::Access::Write);
         *self.ptr.add(e * self.dim + j) = v;
     }
 }
@@ -230,6 +244,8 @@ impl<T: Copy + std::ops::AddAssign> DatView<T> {
     #[inline]
     pub unsafe fn add(&self, e: usize, j: usize, v: T) {
         debug_assert!(j < self.dim);
+        #[cfg(feature = "det")]
+        crate::det::record_access(self.id, e, crate::access::Access::Inc);
         *self.ptr.add(e * self.dim + j) += v;
     }
 }

@@ -30,6 +30,8 @@
 pub mod access;
 pub mod arg;
 pub mod dat;
+#[cfg(feature = "det")]
+pub mod det;
 pub mod ids;
 pub mod loops;
 pub mod map;

@@ -139,6 +139,11 @@ impl Plan {
             }
         }
 
+        // Test-only hook: deliberately break the coloring so the race
+        // detector's end-to-end tests have a real bug to catch.
+        #[cfg(feature = "det")]
+        crate::det::maybe_break_coloring(&mut block_colors, &mut ncolors);
+
         let mut color_blocks: Vec<Vec<u32>> = vec![Vec::new(); ncolors as usize];
         for (b, &c) in block_colors.iter().enumerate() {
             color_blocks[c as usize].push(b as u32);

@@ -1,0 +1,108 @@
+//! Deterministic execution demo: seeded schedules, replay, race detection.
+//!
+//! ```sh
+//! cargo run --example det_demo            # seed 42
+//! cargo run --example det_demo -- 7       # any seed: same seed → same run
+//! ```
+//!
+//! Runs a small edge→cell gather program on the dataflow backend over an
+//! [`hpx_rt::DetPool`], prints the schedule trace, replays it to show the
+//! trace and results are a pure function of the seed, and finally arms the
+//! race detector against a deliberately broken plan coloring.
+
+use std::sync::Arc;
+
+use hpx_rt::{DetPool, Pool, SchedulePolicy};
+use op2_core::{arg_direct, arg_indirect, det, Access, Dat, Map, ParLoop, Set};
+use op2_hpx::{make_executor, BackendKind, Op2Runtime};
+
+/// Chain mesh: edge `e` joins cells `e` and `e+1`.
+const NEDGES: usize = 24;
+const PART_SIZE: usize = 4;
+
+/// One deterministic dataflow run; returns (gather reduction, cell values,
+/// schedule trace).
+fn run(seed: u64) -> (Vec<f64>, Vec<f64>, String) {
+    let pool = Arc::new(DetPool::with_policy(seed, SchedulePolicy::RandomWalk));
+    let rt = Arc::new(Op2Runtime::from_pool(
+        Arc::clone(&pool) as Arc<dyn Pool>,
+        PART_SIZE,
+    ));
+    let exec = make_executor(BackendKind::Dataflow, rt);
+
+    let edges = Set::new("edges", NEDGES);
+    let cells = Set::new("cells", NEDGES + 1);
+    let mut table = Vec::new();
+    for e in 0..NEDGES as u32 {
+        table.push(e);
+        table.push(e + 1);
+    }
+    let m = Map::new("pecell", &edges, &cells, 2, table);
+    let w = Dat::filled("w", &cells, 1, 0.0f64);
+    let res = Dat::filled("res", &cells, 1, 0.0f64);
+
+    let wv = w.view();
+    let init = ParLoop::build("init", &cells)
+        .arg(arg_direct(&w, Access::Write))
+        .kernel(move |c, _| unsafe { wv.set(c, 0, c as f64) });
+
+    let wv = w.view();
+    let rv = res.view();
+    let mv = m.clone();
+    let gather = ParLoop::build("gather", &edges)
+        .arg(arg_indirect(&w, 0, &m, Access::Read))
+        .arg(arg_indirect(&w, 1, &m, Access::Read))
+        .arg(arg_indirect(&res, 0, &m, Access::Inc))
+        .arg(arg_indirect(&res, 1, &m, Access::Inc))
+        .gbl_inc(1)
+        .kernel(move |e, gbl| unsafe {
+            let s = wv.get(mv.at(e, 0), 0) + wv.get(mv.at(e, 1), 0);
+            rv.add(mv.at(e, 0), 0, s);
+            rv.add(mv.at(e, 1), 0, s);
+            gbl[0] += s;
+        });
+
+    let _ = exec.execute(&init);
+    let h = exec.execute(&gather);
+    exec.fence();
+    (h.get(), res.to_vec(), pool.schedule_string())
+}
+
+fn main() {
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().expect("seed must be an unsigned integer"))
+        .unwrap_or(42);
+
+    println!("== deterministic dataflow run, seed {seed} ==");
+    let (gbl_a, res_a, sched_a) = run(seed);
+    println!("gather reduction: {:?}", gbl_a);
+    println!("schedule trace:   {sched_a}");
+
+    let (gbl_b, res_b, sched_b) = run(seed);
+    assert_eq!(gbl_a, gbl_b);
+    assert_eq!(res_a, res_b);
+    assert_eq!(sched_a, sched_b);
+    println!("replay:           identical trace and bitwise-identical results");
+
+    println!("\n== race detector vs. a deliberately broken coloring ==");
+    det::inject_coloring_bug(true);
+    det::enable_with(false); // element-level detection only
+    let _ = run(seed);
+    let reports = det::disable();
+    det::inject_coloring_bug(false);
+    println!(
+        "detector reports: {} (showing first 2)",
+        reports.len()
+    );
+    for r in reports.iter().take(2) {
+        println!("  [{:?}] {}", r.kind, r.detail);
+    }
+    assert!(
+        reports
+            .iter()
+            .any(|r| r.kind == det::RaceKind::ElementConflict),
+        "the injected coloring bug must be detected"
+    );
+    println!("injected coloring bug caught, as required");
+}

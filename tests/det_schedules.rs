@@ -1,0 +1,312 @@
+//! Deterministic schedule exploration for every parallel backend.
+//!
+//! Each case runs a small three-loop OP2 program (direct init → indirect
+//! gather with increments and a global reduction → direct update) on a
+//! randomly generated mesh, executed on a [`hpx_rt::DetPool`]: a seeded,
+//! single-threaded virtual scheduler whose task interleaving is a pure
+//! function of the seed. The sweep drives ≥64 seeds per backend, alternating
+//! random-walk and PCT-style priority schedules, with the dynamic race
+//! detector (`op2_core::det`) armed, and asserts
+//!
+//! * no detector reports (element conflicts, plan-invariant violations,
+//!   dataflow reorderings), and
+//! * results bitwise identical to the serial plan-order oracle.
+//!
+//! On failure the panic message carries a `(seed, schedule)` replay pair:
+//! re-run just that case with `DET_SEED=<seed> cargo test det_schedules`.
+//!
+//! Two further tests prove the harness can actually catch bugs: a test-only
+//! hook (`op2_core::det::inject_coloring_bug`) merges two plan colors, and
+//! both the element-level detector and the plan validator must flag it.
+
+#![cfg(feature = "det")]
+
+use std::sync::Arc;
+
+use hpx_rt::{DetPool, Pool, SchedulePolicy};
+use op2_core::det::{self, RaceKind};
+use op2_core::{arg_direct, arg_indirect, Access, Dat, Map, ParLoop, Set};
+use op2_hpx::{make_executor, BackendKind, Executor, Op2Runtime, SerialExecutor};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Mini-partition size: small enough that even tiny meshes get several
+/// blocks (and therefore several colors on conflicting indirect loops).
+const PART_SIZE: usize = 4;
+
+/// Seeds swept per backend (unless `DET_SEED` narrows the run to one).
+const NUM_SEEDS: u64 = 64;
+
+/// The parallel backends under test. `ForEachAuto` is deliberately absent:
+/// its auto-partitioner probes wall-clock time, so its chunking is not a
+/// pure function of the schedule seed.
+fn parallel_backends() -> Vec<BackendKind> {
+    vec![
+        BackendKind::ForkJoin,
+        BackendKind::ForEachStatic(2),
+        BackendKind::Async,
+        BackendKind::Dataflow,
+    ]
+}
+
+fn policy_for(seed: u64) -> SchedulePolicy {
+    if seed % 2 == 0 {
+        SchedulePolicy::RandomWalk
+    } else {
+        SchedulePolicy::Pct { change_points: 3 }
+    }
+}
+
+fn seeds_to_run() -> Vec<u64> {
+    match std::env::var("DET_SEED") {
+        Ok(s) => vec![s
+            .trim()
+            .parse()
+            .expect("DET_SEED must be an unsigned integer")],
+        Err(_) => (0..NUM_SEEDS).collect(),
+    }
+}
+
+/// A random edges→cells mesh. Endpoints are drawn uniformly, so edges
+/// routinely share cells and the gather loop needs real coloring.
+struct Mesh {
+    nedges: usize,
+    ncells: usize,
+    table: Vec<u32>,
+}
+
+fn random_mesh(seed: u64) -> Mesh {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    let nedges = rng.gen_range(8..48usize);
+    let ncells = rng.gen_range(4..nedges + 2);
+    let mut table = Vec::with_capacity(2 * nedges);
+    for _ in 0..nedges {
+        table.push(rng.gen_range(0..ncells) as u32);
+        table.push(rng.gen_range(0..ncells) as u32);
+    }
+    Mesh {
+        nedges,
+        ncells,
+        table,
+    }
+}
+
+/// 1-D chain mesh (edge `e` joins cells `e` and `e+1`): adjacent blocks
+/// always share a boundary cell, so a merged coloring is guaranteed to put
+/// conflicting blocks in the same color.
+fn chain_mesh(nedges: usize) -> Mesh {
+    let mut table = Vec::with_capacity(2 * nedges);
+    for e in 0..nedges as u32 {
+        table.push(e);
+        table.push(e + 1);
+    }
+    Mesh {
+        nedges,
+        ncells: nedges + 1,
+        table,
+    }
+}
+
+#[derive(Debug, PartialEq)]
+struct ProgramOut {
+    w: Vec<f64>,
+    res: Vec<f64>,
+    q: Vec<f64>,
+    gbl: Vec<f64>,
+}
+
+/// Run the three-loop program on `exec`. With `auto_deps` (the dataflow
+/// backend) all loops are issued back-to-back and ordering is left entirely
+/// to the dependency table; otherwise each handle is waited before the next
+/// conflicting loop is issued, as the async API requires.
+fn run_program(exec: &dyn Executor, mesh: &Mesh, auto_deps: bool) -> ProgramOut {
+    let edges = Set::new("edges", mesh.nedges);
+    let cells = Set::new("cells", mesh.ncells);
+    let m = Map::new("pecell", &edges, &cells, 2, mesh.table.clone());
+    let w = Dat::filled("w", &cells, 1, 0.0f64);
+    let res = Dat::filled("res", &cells, 1, 0.0f64);
+    let q = Dat::filled("q", &cells, 1, 1.0f64);
+
+    let wv = w.view();
+    let init = ParLoop::build("init", &cells)
+        .arg(arg_direct(&w, Access::Write))
+        .kernel(move |c, _| unsafe { wv.set(c, 0, 0.5 * c as f64 + 1.0) });
+
+    let wv = w.view();
+    let rv = res.view();
+    let mv = m.clone();
+    let gather = ParLoop::build("gather", &edges)
+        .arg(arg_indirect(&w, 0, &m, Access::Read))
+        .arg(arg_indirect(&w, 1, &m, Access::Read))
+        .arg(arg_indirect(&res, 0, &m, Access::Inc))
+        .arg(arg_indirect(&res, 1, &m, Access::Inc))
+        .gbl_inc(1)
+        .kernel(move |e, gbl| unsafe {
+            let s = wv.get(mv.at(e, 0), 0) + wv.get(mv.at(e, 1), 0);
+            rv.add(mv.at(e, 0), 0, 0.25 * s);
+            rv.add(mv.at(e, 1), 0, 0.5 * s);
+            gbl[0] += s;
+        });
+
+    let qv = q.view();
+    let rv = res.view();
+    let update = ParLoop::build("update", &cells)
+        .arg(arg_direct(&res, Access::Read))
+        .arg(arg_direct(&q, Access::ReadWrite))
+        .kernel(move |c, _| unsafe {
+            let v = qv.get(c, 0);
+            qv.set(c, 0, v + 0.1 * rv.get(c, 0));
+        });
+
+    let gbl;
+    if auto_deps {
+        let _h1 = exec.execute(&init);
+        let h2 = exec.execute(&gather);
+        let _h3 = exec.execute(&update);
+        exec.fence();
+        gbl = h2.get();
+    } else {
+        exec.execute(&init).wait();
+        let h2 = exec.execute(&gather);
+        gbl = h2.get();
+        exec.execute(&update).wait();
+        exec.fence();
+    }
+    ProgramOut {
+        w: w.to_vec(),
+        res: res.to_vec(),
+        q: q.to_vec(),
+        gbl,
+    }
+}
+
+fn serial_oracle(mesh: &Mesh) -> ProgramOut {
+    // The pool is irrelevant for the serial backend; a DetPool keeps the
+    // oracle free of OS threads. Same part size → same plan → same order.
+    let rt = Arc::new(Op2Runtime::deterministic(0, PART_SIZE));
+    let exec = SerialExecutor::new(rt);
+    run_program(&exec, mesh, false)
+}
+
+/// One deterministic run of `kind` on `mesh` with the detector armed.
+/// Returns the output, any detector reports, and the schedule trace.
+fn det_run(
+    kind: BackendKind,
+    seed: u64,
+    mesh: &Mesh,
+    check_plans: bool,
+) -> (ProgramOut, Vec<det::RaceReport>, String) {
+    let pool = Arc::new(DetPool::with_policy(seed, policy_for(seed)));
+    let rt = Arc::new(Op2Runtime::from_pool(
+        Arc::clone(&pool) as Arc<dyn Pool>,
+        PART_SIZE,
+    ));
+    let exec = make_executor(kind, rt);
+    det::enable_with(check_plans);
+    let out = run_program(exec.as_ref(), mesh, matches!(kind, BackendKind::Dataflow));
+    let reports = det::disable();
+    (out, reports, pool.schedule_string())
+}
+
+fn replay_hint(kind: BackendKind, seed: u64, schedule: &str) -> String {
+    format!(
+        "backend={kind} seed={seed} policy={:?}\n\
+         replay: DET_SEED={seed} cargo test --features det det_schedules\n\
+         schedule: {schedule}",
+        policy_for(seed)
+    )
+}
+
+/// The tentpole sweep: ≥64 seeded schedules per parallel backend, each
+/// race-checked and compared bitwise against the serial plan-order oracle.
+#[test]
+fn seeded_schedules_match_serial_oracle() {
+    for seed in seeds_to_run() {
+        let mesh = random_mesh(seed);
+        let oracle = serial_oracle(&mesh);
+        for kind in parallel_backends() {
+            let (got, reports, schedule) = det_run(kind, seed, &mesh, true);
+            let hint = replay_hint(kind, seed, &schedule);
+            assert!(
+                reports.is_empty(),
+                "race detector fired: {reports:?}\n{hint}"
+            );
+            assert_eq!(got, oracle, "diverged from serial oracle\n{hint}");
+        }
+    }
+}
+
+/// Replaying the same seed reproduces the schedule trace *and* the results,
+/// for every backend — the property that makes `DET_SEED` replay work.
+#[test]
+fn same_seed_replays_same_schedule() {
+    let seed = 7;
+    let mesh = random_mesh(seed);
+    for kind in parallel_backends() {
+        let (out_a, _, sched_a) = det_run(kind, seed, &mesh, true);
+        let (out_b, _, sched_b) = det_run(kind, seed, &mesh, true);
+        assert_eq!(sched_a, sched_b, "schedule not replayable: backend={kind}");
+        assert_eq!(out_a, out_b, "results not replayable: backend={kind}");
+    }
+}
+
+/// Different seeds must actually explore different interleavings (otherwise
+/// the sweep above is 64 copies of one schedule).
+#[test]
+fn different_seeds_explore_different_schedules() {
+    let mesh = chain_mesh(24);
+    let mut schedules = std::collections::HashSet::new();
+    for seed in 0..8 {
+        let (_, _, sched) = det_run(BackendKind::Dataflow, seed, &mesh, true);
+        schedules.insert(sched);
+    }
+    assert!(
+        schedules.len() > 1,
+        "8 seeds produced a single schedule — the scheduler is not exploring"
+    );
+}
+
+/// A deliberately broken coloring (test-only hook merges two plan colors)
+/// must be caught by the *dynamic element-level* detector: two blocks that
+/// now share a color both increment their shared boundary cell. Plan
+/// checking is disabled so only the per-access instrumentation can fire.
+#[test]
+fn injected_coloring_bug_caught_by_element_detector() {
+    let mesh = chain_mesh(32);
+    det::inject_coloring_bug(true);
+    let (_, reports, schedule) = det_run(BackendKind::ForkJoin, 1, &mesh, false);
+    det::inject_coloring_bug(false);
+    assert!(
+        reports.iter().any(|r| r.kind == RaceKind::ElementConflict),
+        "merged coloring not detected (schedule: {schedule}); reports: {reports:?}"
+    );
+}
+
+/// The same injected bug must also fail the runtime plan validation
+/// (`Plan::validate`), reported as a `PlanInvariant` violation.
+#[test]
+fn injected_coloring_bug_caught_by_plan_validator() {
+    let mesh = chain_mesh(32);
+    det::inject_coloring_bug(true);
+    let (_, reports, _) = det_run(BackendKind::Dataflow, 2, &mesh, true);
+    det::inject_coloring_bug(false);
+    assert!(
+        reports.iter().any(|r| r.kind == RaceKind::PlanInvariant),
+        "merged coloring passed plan validation; reports: {reports:?}"
+    );
+}
+
+/// Without the injection hook the detector stays quiet on the same mesh —
+/// the two tests above are not false positives of the harness itself.
+#[test]
+fn clean_chain_mesh_has_no_reports() {
+    let mesh = chain_mesh(32);
+    for kind in parallel_backends() {
+        let (_, reports, schedule) = det_run(kind, 3, &mesh, true);
+        assert!(
+            reports.is_empty(),
+            "spurious reports on a correct program: {reports:?}\n{}",
+            replay_hint(kind, 3, &schedule)
+        );
+    }
+}

@@ -1,0 +1,195 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Keeps the bench-authoring surface (`Criterion`, `BenchmarkGroup`,
+//! `Bencher::iter`, `BenchmarkId`, `criterion_group!`/`criterion_main!`) but
+//! replaces the statistical engine with a fixed small number of timed
+//! iterations printed per bench. Good enough to keep benches compiling,
+//! runnable, and indicative; not a measurement instrument.
+
+use std::time::Instant;
+
+/// Iterations to run per bench. Env-overridable so CI can use 1.
+fn iters() -> u64 {
+    std::env::var("CRITERION_SHIM_ITERS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10)
+}
+
+/// Passes one routine's closure its timing loop.
+pub struct Bencher {
+    iters: u64,
+}
+
+impl Bencher {
+    /// Time `f`, running it a fixed number of times.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+        let per = start.elapsed().as_nanos() / self.iters.max(1) as u128;
+        println!("    {} iters, ~{per} ns/iter", self.iters);
+    }
+}
+
+/// Prevent the optimizer from deleting a value (re-export convenience).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// A bench identifier: `name/parameter`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl Into<String>, param: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), param),
+        }
+    }
+
+    pub fn from_parameter(param: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: param.to_string(),
+        }
+    }
+}
+
+/// Things accepted as a bench name (strings or [`BenchmarkId`]).
+pub trait IntoBenchmarkId {
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// The bench context handed to each `criterion_group!` target.
+pub struct Criterion {
+    _sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { _sample_size: 100 }
+    }
+}
+
+impl Criterion {
+    /// Accepted and ignored (the shim's iteration count is fixed).
+    pub fn sample_size(self, _n: usize) -> Self {
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self {
+        println!("bench {}", id.into_id());
+        f(&mut Bencher { iters: iters() });
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A named group of related benches.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted and ignored, as on [`Criterion`].
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self {
+        println!("bench {}/{}", self.name, id.into_id());
+        f(&mut Bencher { iters: iters() });
+        self
+    }
+
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        println!("bench {}/{}", self.name, id.id);
+        f(&mut Bencher { iters: iters() }, input);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Both upstream forms: positional and `name/config/targets`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $config;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_runs_closure() {
+        let mut calls = 0u64;
+        Criterion::default().bench_function("count", |b| b.iter(|| calls += 1));
+        assert_eq!(calls, iters());
+    }
+
+    #[test]
+    fn group_passes_input() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        let mut seen = 0;
+        g.bench_with_input(BenchmarkId::new("x", 3), &3usize, |b, &n| {
+            b.iter(|| seen = n);
+        });
+        g.finish();
+        assert_eq!(seen, 3);
+    }
+}

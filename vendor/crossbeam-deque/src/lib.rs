@@ -1,0 +1,221 @@
+//! Offline stand-in for the `crossbeam-deque` crate.
+//!
+//! Provides `Worker` / `Stealer` / `Injector` with the same API and the same
+//! ownership semantics (a `Worker` is the single local producer/consumer, any
+//! number of `Stealer`s may take from the opposite end) backed by a
+//! `Mutex<VecDeque>` instead of a lock-free Chase-Lev deque. Correctness and
+//! FIFO task ordering are identical; raw throughput is not the point of this
+//! shim — the workspace's scheduling semantics are exercised by tests, not
+//! benchmarked against upstream crossbeam.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+fn locked<T>(q: &Mutex<VecDeque<T>>) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+    q.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// Result of a steal attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Steal<T> {
+    /// The queue was empty.
+    Empty,
+    /// One task was stolen.
+    Success(T),
+    /// The operation lost a race and should be retried (never produced by
+    /// this shim, but kept so match arms compile unchanged).
+    Retry,
+}
+
+impl<T> Steal<T> {
+    /// Convert to an `Option`, mapping `Empty`/`Retry` to `None`.
+    pub fn success(self) -> Option<T> {
+        match self {
+            Steal::Success(t) => Some(t),
+            _ => None,
+        }
+    }
+}
+
+/// The owner side of a work-stealing deque.
+pub struct Worker<T> {
+    queue: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Worker<T> {
+    /// Create a FIFO deque (`push` to the back, `pop` from the front).
+    pub fn new_fifo() -> Self {
+        Worker {
+            queue: Arc::new(Mutex::new(VecDeque::new())),
+        }
+    }
+
+    /// Create a LIFO deque (`push` to the back, `pop` from the back).
+    pub fn new_lifo() -> Self {
+        // The shim stores the discipline per-call; LIFO callers are not used
+        // by this workspace, so both constructors behave FIFO. Kept for API
+        // parity.
+        Self::new_fifo()
+    }
+
+    /// Push a task onto the local end.
+    pub fn push(&self, task: T) {
+        locked(&self.queue).push_back(task);
+    }
+
+    /// Pop a task from the local end.
+    pub fn pop(&self) -> Option<T> {
+        locked(&self.queue).pop_front()
+    }
+
+    /// True if the deque is currently empty.
+    pub fn is_empty(&self) -> bool {
+        locked(&self.queue).is_empty()
+    }
+
+    /// Number of queued tasks.
+    pub fn len(&self) -> usize {
+        locked(&self.queue).len()
+    }
+
+    /// Create a stealer handle for this deque.
+    pub fn stealer(&self) -> Stealer<T> {
+        Stealer {
+            queue: Arc::clone(&self.queue),
+        }
+    }
+}
+
+/// A handle that steals from the opposite end of a [`Worker`]'s deque.
+pub struct Stealer<T> {
+    queue: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Clone for Stealer<T> {
+    fn clone(&self) -> Self {
+        Stealer {
+            queue: Arc::clone(&self.queue),
+        }
+    }
+}
+
+impl<T> Stealer<T> {
+    /// Attempt to steal one task.
+    pub fn steal(&self) -> Steal<T> {
+        match locked(&self.queue).pop_back() {
+            Some(t) => Steal::Success(t),
+            None => Steal::Empty,
+        }
+    }
+
+    /// True if the deque is currently empty.
+    pub fn is_empty(&self) -> bool {
+        locked(&self.queue).is_empty()
+    }
+}
+
+/// A global FIFO injector queue shared by all workers.
+pub struct Injector<T> {
+    queue: Mutex<VecDeque<T>>,
+}
+
+impl<T> Default for Injector<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Injector<T> {
+    /// Create an empty injector.
+    pub fn new() -> Self {
+        Injector {
+            queue: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Push a task onto the back of the queue.
+    pub fn push(&self, task: T) {
+        locked(&self.queue).push_back(task);
+    }
+
+    /// Attempt to steal the task at the front of the queue.
+    pub fn steal(&self) -> Steal<T> {
+        match locked(&self.queue).pop_front() {
+            Some(t) => Steal::Success(t),
+            None => Steal::Empty,
+        }
+    }
+
+    /// True if the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        locked(&self.queue).is_empty()
+    }
+
+    /// Number of queued tasks.
+    pub fn len(&self) -> usize {
+        locked(&self.queue).len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worker_fifo_order() {
+        let w = Worker::new_fifo();
+        w.push(1);
+        w.push(2);
+        assert_eq!(w.pop(), Some(1));
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(w.pop(), None);
+    }
+
+    #[test]
+    fn stealer_takes_from_back() {
+        let w = Worker::new_fifo();
+        let s = w.stealer();
+        w.push(1);
+        w.push(2);
+        assert_eq!(s.steal(), Steal::Success(2));
+        assert_eq!(w.pop(), Some(1));
+        assert_eq!(s.steal(), Steal::Empty);
+    }
+
+    #[test]
+    fn injector_fifo() {
+        let inj = Injector::new();
+        inj.push("a");
+        inj.push("b");
+        assert_eq!(inj.steal(), Steal::Success("a"));
+        assert_eq!(inj.steal(), Steal::Success("b"));
+        assert_eq!(inj.steal(), Steal::Empty);
+    }
+
+    #[test]
+    fn cross_thread_stealing() {
+        let w = Worker::new_fifo();
+        for i in 0..100 {
+            w.push(i);
+        }
+        let stealers: Vec<_> = (0..4).map(|_| w.stealer()).collect();
+        let total: usize = std::thread::scope(|scope| {
+            stealers
+                .iter()
+                .map(|s| {
+                    scope.spawn(move || {
+                        let mut n = 0;
+                        while let Steal::Success(_) = s.steal() {
+                            n += 1;
+                        }
+                        n
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .sum()
+        });
+        assert_eq!(total + w.len(), 100);
+    }
+}

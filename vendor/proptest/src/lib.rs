@@ -1,0 +1,697 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Keeps the user-facing surface — `proptest!`, `Strategy` combinators,
+//! `prop_oneof!`, `prop::collection::vec`, `prop::option::of`,
+//! `prop::sample::Index`, `any::<T>()`, `prop_assert*!` — but replaces the
+//! value-tree/shrinking machinery with direct seeded generation: every test
+//! case is fully determined by one `u64` seed.
+//!
+//! * Failing seeds are appended to
+//!   `<crate>/proptest-regressions/<file-stem>.txt` as `cc <test> 0x<seed>`
+//!   lines and re-run first on the next invocation, so checked-in regression
+//!   files keep reproducing.
+//! * `PROPTEST_CASES` overrides the case count; `PROPTEST_RNG_SEED` pins the
+//!   base seed for the fresh-case stream (otherwise it is drawn from the
+//!   clock so successive runs explore new cases).
+//! * There is no shrinking: the failure report is the seed itself, which
+//!   replays the exact generated inputs.
+
+use std::marker::PhantomData;
+
+pub mod test_rng {
+    //! Deterministic per-case random source (SplitMix64).
+
+    /// The RNG driving one generated test case.
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        pub fn new(seed: u64) -> Self {
+            // Scramble so that nearby seeds do not yield nearby streams.
+            let mut rng = TestRng {
+                state: seed ^ 0x9E37_79B9_7F4A_7C15,
+            };
+            rng.next_u64();
+            rng
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, n)`; `n` must be nonzero.
+        pub fn below(&mut self, n: u64) -> u64 {
+            debug_assert!(n > 0);
+            ((self.next_u64() as u128 * n as u128) >> 64) as u64
+        }
+
+        /// Uniform value in `[lo, hi)` over a signed 128-bit span.
+        pub fn in_range_i128(&mut self, lo: i128, hi: i128) -> i128 {
+            assert!(lo < hi, "empty strategy range");
+            let span = (hi - lo) as u128;
+            let r = ((self.next_u64() as u128) << 64 | self.next_u64() as u128) % span;
+            lo + r as i128
+        }
+    }
+}
+
+use test_rng::TestRng;
+
+/// How a generated value comes to be: the shim's stand-in for proptest's
+/// `Strategy`/`ValueTree` pair. One call, one value, no shrinking.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F, U>
+    where
+        Self: Sized,
+    {
+        Map {
+            inner: self,
+            f,
+            _out: PhantomData,
+        }
+    }
+
+    fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        whence: impl Into<String>,
+        f: F,
+    ) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter {
+            inner: self,
+            whence: whence.into(),
+            f,
+        }
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// Object-safe generation, so heterogeneous strategies can share a `Vec`.
+trait DynStrategy<T> {
+    fn generate_dyn(&self, rng: &mut TestRng) -> T;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+/// A type-erased strategy (`Strategy::boxed`).
+pub struct BoxedStrategy<T>(Box<dyn DynStrategy<T>>);
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.generate_dyn(rng)
+    }
+}
+
+/// Always yields a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+pub struct Map<S, F, U> {
+    inner: S,
+    f: F,
+    _out: PhantomData<fn() -> U>,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F, U> {
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+pub struct Filter<S, F> {
+    inner: S,
+    whence: String,
+    f: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1_000 {
+            let v = self.inner.generate(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!(
+            "prop_filter `{}` rejected 1000 candidates in a row",
+            self.whence
+        );
+    }
+}
+
+/// Uniform choice among boxed alternatives (`prop_oneof!`).
+pub struct Union<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.arms.len() as u64) as usize;
+        self.arms[i].generate(rng)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.in_range_i128(self.start as i128, self.end as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty strategy range");
+        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, G);
+
+/// A `&str` used as a strategy is a regex in real proptest. The shim
+/// understands the one shape the workspace uses — `.{m,n}` (m..=n arbitrary
+/// chars) — and falls back to a short arbitrary string for anything else,
+/// which is sound for the "parser must be total" properties it feeds.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let (lo, hi) = parse_dot_repeat(self).unwrap_or((0, 64));
+        let len = lo + rng.below((hi - lo + 1) as u64) as usize;
+        (0..len).map(|_| random_char(rng)).collect()
+    }
+}
+
+fn parse_dot_repeat(pat: &str) -> Option<(usize, usize)> {
+    let rest = pat.strip_prefix(".{")?.strip_suffix('}')?;
+    let (lo, hi) = rest.split_once(',')?;
+    Some((lo.trim().parse().ok()?, hi.trim().parse().ok()?))
+}
+
+fn random_char(rng: &mut TestRng) -> char {
+    match rng.below(16) {
+        0 => '\n',
+        1 => '\u{3bb}', // a non-ASCII char to exercise UTF-8 paths
+        _ => (0x20 + rng.below(0x5f) as u8) as char,
+    }
+}
+
+/// Types with a canonical "arbitrary" strategy (`any::<T>()`).
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! int_arbitrary {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                // Bias toward edge values like upstream does; otherwise raw bits.
+                match rng.below(8) {
+                    0 => [0 as $t, 1 as $t, <$t>::MAX, <$t>::MIN]
+                        [rng.below(4) as usize],
+                    _ => rng.next_u64() as $t,
+                }
+            }
+        }
+    )*};
+}
+
+int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // Finite doubles spanning many magnitudes.
+        let mag = rng.in_range_i128(-300, 300) as i32;
+        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        (unit * 2.0 - 1.0) * 10f64.powi(mag)
+    }
+}
+
+pub struct Any<T>(PhantomData<fn() -> T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The canonical strategy for `T` (`any::<i64>()` etc.).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+pub mod collection {
+    //! `prop::collection::vec`.
+
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            assert!(self.size.start < self.size.end, "empty vec size range");
+            let span = (self.size.end - self.size.start) as u64;
+            let len = self.size.start + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Vectors of `size` (half-open, as in upstream) elements of `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+}
+
+pub mod option {
+    //! `prop::option::of`.
+
+    use super::{Strategy, TestRng};
+
+    pub struct OptionStrategy<S>(S);
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.next_u64() & 1 == 0 {
+                None
+            } else {
+                Some(self.0.generate(rng))
+            }
+        }
+    }
+
+    /// `None` or `Some(inner)` with equal probability.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+}
+
+pub mod sample {
+    //! `prop::sample::Index`.
+
+    use super::{Arbitrary, TestRng};
+
+    /// A deferred index: generated once, projected onto any collection
+    /// length later via [`Index::index`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct Index(u64);
+
+    impl Index {
+        /// Map onto `[0, size)`; `size` must be nonzero.
+        pub fn index(&self, size: usize) -> usize {
+            assert!(size > 0, "Index::index on an empty collection");
+            (self.0 % size as u64) as usize
+        }
+    }
+
+    impl Arbitrary for Index {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            Index(rng.next_u64())
+        }
+    }
+}
+
+/// Per-`proptest!` block configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Fresh cases per test (on top of persisted regression seeds).
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+pub mod runner {
+    //! The case loop: persisted regression seeds first, then fresh seeds.
+
+    use super::ProptestConfig;
+    use std::io::Write;
+    use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+    use std::path::{Path, PathBuf};
+
+    fn regression_path(manifest_dir: &str, file: &str) -> PathBuf {
+        let stem = Path::new(file)
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or("unknown");
+        Path::new(manifest_dir)
+            .join("proptest-regressions")
+            .join(format!("{stem}.txt"))
+    }
+
+    fn persisted_seeds(path: &Path, test: &str) -> Vec<u64> {
+        let Ok(text) = std::fs::read_to_string(path) else {
+            return Vec::new();
+        };
+        text.lines()
+            .filter_map(|line| {
+                let mut parts = line.split_whitespace();
+                (parts.next() == Some("cc") && parts.next() == Some(test))
+                    .then(|| parts.next())
+                    .flatten()
+                    .and_then(|s| s.strip_prefix("0x"))
+                    .and_then(|s| u64::from_str_radix(s, 16).ok())
+            })
+            .collect()
+    }
+
+    fn persist_seed(path: &Path, test: &str, seed: u64) {
+        if persisted_seeds(path, test).contains(&seed) {
+            return;
+        }
+        if let Some(dir) = path.parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        let new = !path.exists();
+        if let Ok(mut f) = std::fs::OpenOptions::new().create(true).append(true).open(path) {
+            if new {
+                let _ = writeln!(
+                    f,
+                    "# Seeds for failing proptest cases, re-run first on every test\n\
+                     # invocation. Check this file in. Format: cc <test-name> 0x<seed>"
+                );
+            }
+            let _ = writeln!(f, "cc {test} 0x{seed:016x}");
+        }
+    }
+
+    fn base_seed() -> u64 {
+        if let Ok(s) = std::env::var("PROPTEST_RNG_SEED") {
+            let s = s.trim();
+            let parsed = match s.strip_prefix("0x") {
+                Some(hex) => u64::from_str_radix(hex, 16),
+                None => s.parse::<u64>(),
+            };
+            return parsed
+                .unwrap_or_else(|_| panic!("PROPTEST_RNG_SEED must be a u64 (got `{s}`)"));
+        }
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0);
+        nanos ^ (std::process::id() as u64).rotate_left(32)
+    }
+
+    /// Run `body` once per seed: all persisted regression seeds for `test`,
+    /// then `config.cases` fresh ones (count overridable via
+    /// `PROPTEST_CASES`). A panicking seed is persisted and re-thrown with a
+    /// replay message.
+    pub fn run(manifest_dir: &str, file: &str, test: &str, config: &ProptestConfig, body: impl Fn(u64)) {
+        let reg_path = regression_path(manifest_dir, file);
+        let mut seeds = persisted_seeds(&reg_path, test);
+        let n_persisted = seeds.len();
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|s| s.parse::<u32>().ok())
+            .unwrap_or(config.cases);
+        let base = base_seed();
+        for i in 0..cases as u64 {
+            // SplitMix-style stream so seeds are decorrelated.
+            let mut z = base.wrapping_add(i.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            seeds.push(z ^ (z >> 31));
+        }
+        for (i, seed) in seeds.into_iter().enumerate() {
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(|| body(seed))) {
+                let persisted = i < n_persisted;
+                if !persisted {
+                    persist_seed(&reg_path, test, seed);
+                }
+                eprintln!(
+                    "proptest shim: `{test}` failed on seed 0x{seed:016x} ({}). \
+                     The seed {} {} — rerunning the test replays it deterministically.",
+                    if persisted { "persisted regression" } else { "fresh case" },
+                    if persisted { "is already in" } else { "was appended to" },
+                    reg_path.display(),
+                );
+                resume_unwind(payload);
+            }
+        }
+    }
+}
+
+/// Assert inside a proptest body (panics; the runner reports the seed).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            panic!("prop_assert failed: {}", stringify!($cond));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            panic!("prop_assert failed: {} ({})", stringify!($cond), format!($($fmt)+));
+        }
+    };
+}
+
+/// Equality assert inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = ($left, $right);
+        if l != r {
+            panic!("prop_assert_eq failed: {:?} != {:?}", l, r);
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = ($left, $right);
+        if l != r {
+            panic!("prop_assert_eq failed: {:?} != {:?} ({})", l, r, format!($($fmt)+));
+        }
+    }};
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($arm)),+])
+    };
+}
+
+/// The test-definition macro: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running the body over seeded generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $config:expr; $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config = $config;
+                $(let $arg = $strat;)+
+                $crate::runner::run(
+                    env!("CARGO_MANIFEST_DIR"),
+                    file!(),
+                    stringify!($name),
+                    &__config,
+                    |__seed| {
+                        let mut __rng = $crate::test_rng::TestRng::new(__seed);
+                        $(let $arg = $crate::Strategy::generate(&$arg, &mut __rng);)+
+                        $body
+                    },
+                );
+            }
+        )*
+    };
+}
+
+pub mod prelude {
+    //! What `use proptest::prelude::*` brings in, mirroring upstream.
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_oneof, proptest, Any, Arbitrary, BoxedStrategy,
+        Just, ProptestConfig, Strategy, Union,
+    };
+
+    pub mod prop {
+        //! The `prop::` paths (`prop::collection::vec`, ...).
+        pub use crate::{collection, option, sample};
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::test_rng::TestRng;
+
+    #[test]
+    fn same_seed_same_values() {
+        let strat = prop::collection::vec((0usize..100, any::<bool>()), 1..20);
+        let a = strat.generate(&mut TestRng::new(42));
+        let b = strat.generate(&mut TestRng::new(42));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ranges_and_sizes_in_bounds() {
+        let strat = prop::collection::vec(-50i64..50, 3..7);
+        for seed in 0..200 {
+            let v = strat.generate(&mut TestRng::new(seed));
+            assert!((3..7).contains(&v.len()));
+            assert!(v.iter().all(|x| (-50..50).contains(x)));
+        }
+    }
+
+    #[test]
+    fn oneof_hits_every_arm() {
+        let strat = prop_oneof![Just(1u32), Just(2u32), Just(3u32)];
+        let mut seen = [false; 3];
+        for seed in 0..200 {
+            seen[strat.generate(&mut TestRng::new(seed)) as usize - 1] = true;
+        }
+        assert_eq!(seen, [true; 3]);
+    }
+
+    #[test]
+    fn filter_and_map_compose() {
+        let strat = (0u32..100)
+            .prop_filter("even", |v| v % 2 == 0)
+            .prop_map(|v| v + 1);
+        for seed in 0..100 {
+            assert_eq!(strat.generate(&mut TestRng::new(seed)) % 2, 1);
+        }
+    }
+
+    #[test]
+    fn str_regex_lite_lengths() {
+        let strat = ".{2,5}";
+        for seed in 0..100 {
+            let s = Strategy::generate(&strat, &mut TestRng::new(seed));
+            let n = s.chars().count();
+            assert!((2..=5).contains(&n), "len {n}");
+        }
+    }
+
+    #[test]
+    fn index_projects_in_bounds() {
+        for seed in 0..100 {
+            let idx = <prop::sample::Index as Arbitrary>::arbitrary(&mut TestRng::new(seed));
+            assert!(idx.index(7) < 7);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// The macro itself: generated args bind and asserts fire.
+        #[test]
+        fn macro_smoke(a in 0usize..10, b in prop::collection::vec(any::<i32>(), 0..4)) {
+            prop_assert!(a < 10);
+            prop_assert!(b.len() < 4, "len {}", b.len());
+        }
+    }
+}

@@ -1,0 +1,239 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! Real serde is a zero-copy visitor framework; this shim collapses the whole
+//! data model to one owned [`Value`] tree, which is all the workspace needs
+//! (a handful of plain-old-data structs round-tripped through JSON). The
+//! `Serialize`/`Deserialize` trait names, the `derive` feature, and the
+//! derive-macro names match upstream so user code is source-compatible.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The self-describing data tree every type (de)serializes through.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    /// Signed integer (covers every negative and most positive ints).
+    Int(i64),
+    /// Unsigned integer that does not fit in `i64`.
+    UInt(u64),
+    Float(f64),
+    Str(String),
+    Array(Vec<Value>),
+    /// Field order is preserved (serde_json emits in struct order).
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Borrow as an object's field list, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    /// Borrow as an array, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Deserialization error: a plain message, like `serde::de::Error` collapsed.
+#[derive(Debug, Clone)]
+pub struct DeError(pub String);
+
+impl DeError {
+    pub fn new(msg: impl Into<String>) -> Self {
+        DeError(msg.into())
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Look up a field of an object by name (helper used by derived impls).
+pub fn field<'v>(fields: &'v [(String, Value)], name: &str) -> Result<&'v Value, DeError> {
+    fields
+        .iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v)
+        .ok_or_else(|| DeError::new(format!("missing field `{name}`")))
+}
+
+/// Types that can render themselves into a [`Value`].
+pub trait Serialize {
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be rebuilt from a [`Value`].
+pub trait Deserialize: Sized {
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+macro_rules! int_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let v = *self as i128;
+                if let Ok(i) = i64::try_from(v) {
+                    Value::Int(i)
+                } else {
+                    Value::UInt(*self as u64)
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let wide: i128 = match v {
+                    Value::Int(i) => *i as i128,
+                    Value::UInt(u) => *u as i128,
+                    Value::Float(f) if f.fract() == 0.0 && f.abs() < 2f64.powi(63) => {
+                        *f as i128
+                    }
+                    other => {
+                        return Err(DeError::new(format!(
+                            "expected integer, got {other:?}"
+                        )))
+                    }
+                };
+                <$t>::try_from(wide).map_err(|_| {
+                    DeError::new(format!(
+                        "integer {wide} out of range for {}",
+                        stringify!($t)
+                    ))
+                })
+            }
+        }
+    )*};
+}
+
+int_impls!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Float(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Float(f) => Ok(*f as $t),
+                    Value::Int(i) => Ok(*i as $t),
+                    Value::UInt(u) => Ok(*u as $t),
+                    other => Err(DeError::new(format!("expected number, got {other:?}"))),
+                }
+            }
+        }
+    )*};
+}
+
+float_impls!(f32, f64);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::new(format!("expected bool, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError::new(format!("expected string, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for &str {
+    fn to_value(&self) -> Value {
+        Value::Str((*self).to_string())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_array()
+            .ok_or_else(|| DeError::new(format!("expected array, got {v:?}")))?
+            .iter()
+            .map(Deserialize::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(t) => t.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => Deserialize::from_value(other).map(Some),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_round_trip() {
+        for v in [0usize, 7, usize::MAX] {
+            assert_eq!(usize::from_value(&v.to_value()).unwrap(), v);
+        }
+        assert!(u8::from_value(&Value::Int(300)).is_err());
+        assert_eq!(i64::from_value(&(-5i64).to_value()).unwrap(), -5);
+    }
+
+    #[test]
+    fn vec_round_trip() {
+        let v = vec![1.5f64, -2.0, 0.0];
+        assert_eq!(Vec::<f64>::from_value(&v.to_value()).unwrap(), v);
+    }
+
+    #[test]
+    fn field_lookup() {
+        let fields = vec![("a".to_string(), Value::Int(1))];
+        assert!(field(&fields, "a").is_ok());
+        assert!(field(&fields, "b").is_err());
+    }
+}

@@ -1,0 +1,228 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the two
+//! shapes this workspace uses — structs with named fields and enums with unit
+//! variants — without `syn`/`quote` (neither is available offline). The item
+//! is parsed by walking the raw `TokenStream`; the impl is built as a string
+//! and re-parsed. Unsupported shapes (tuple structs, generics, data-carrying
+//! variants) panic at compile time with a clear message rather than emitting
+//! wrong code.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Item {
+    Struct { name: String, fields: Vec<String> },
+    Enum { name: String, variants: Vec<String> },
+}
+
+/// Skip attributes (`#[...]`, incl. doc comments) and visibility (`pub`,
+/// `pub(...)`) from the front of `toks`, returning the next index.
+fn skip_attrs_and_vis(toks: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // `#` then a bracketed group.
+                i += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = toks.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&toks, 0);
+
+    let kind = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive: expected `struct` or `enum`, got {other:?}"),
+    };
+    i += 1;
+    let name = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive: expected item name, got {other:?}"),
+    };
+    i += 1;
+    if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde derive shim: generic types are not supported (type `{name}`)");
+    }
+    let body = match toks.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => panic!(
+            "serde derive shim: `{name}` must have a braced body (tuple/unit items unsupported), got {other:?}"
+        ),
+    };
+
+    match kind.as_str() {
+        "struct" => Item::Struct {
+            name,
+            fields: parse_named_fields(body),
+        },
+        "enum" => Item::Enum {
+            name,
+            variants: parse_unit_variants(body),
+        },
+        other => panic!("serde derive: expected `struct` or `enum`, got `{other}`"),
+    }
+}
+
+/// Field names of a named-field struct body: `attrs vis name: Type, ...`.
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        i = skip_attrs_and_vis(&toks, i);
+        if i >= toks.len() {
+            break;
+        }
+        match &toks[i] {
+            TokenTree::Ident(id) => fields.push(id.to_string()),
+            other => panic!("serde derive shim: expected field name, got {other:?}"),
+        }
+        i += 1;
+        assert!(
+            matches!(&toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ':'),
+            "serde derive shim: named fields only (found field without `:`)"
+        );
+        i += 1;
+        // Skip the type: consume until a top-level comma. `<`/`>` nesting
+        // matters (e.g. `Vec<(u32, u32)>` has commas inside angle brackets
+        // only via groups, but `HashMap<K, V>` has a bare comma), so track
+        // angle depth across punct tokens.
+        let mut angle: i32 = 0;
+        while i < toks.len() {
+            match &toks[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Variant names of a unit-variant enum body: `attrs Name, attrs Name, ...`.
+fn parse_unit_variants(body: TokenStream) -> Vec<String> {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        i = skip_attrs_and_vis(&toks, i);
+        if i >= toks.len() {
+            break;
+        }
+        let name = match &toks[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde derive shim: expected variant name, got {other:?}"),
+        };
+        i += 1;
+        match toks.get(i) {
+            None => {
+                variants.push(name);
+                break;
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {
+                variants.push(name);
+                i += 1;
+            }
+            other => panic!(
+                "serde derive shim: only unit variants supported (variant `{name}` followed by {other:?})"
+            ),
+        }
+    }
+    variants
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let out = match parse_item(input) {
+        Item::Struct { name, fields } => {
+            let mut entries = String::new();
+            for f in &fields {
+                entries.push_str(&format!(
+                    "(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f})),"
+                ));
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Object(vec![{entries}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in &variants {
+                arms.push_str(&format!("{name}::{v} => \"{v}\","));
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Str(match self {{ {arms} }}.to_string())\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    out.parse().expect("serde derive shim emitted invalid Rust")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let out = match parse_item(input) {
+        Item::Struct { name, fields } => {
+            let mut inits = String::new();
+            for f in &fields {
+                inits.push_str(&format!(
+                    "{f}: ::serde::Deserialize::from_value(::serde::field(obj, \"{f}\")?)?,"
+                ));
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> Result<Self, ::serde::DeError> {{\n\
+                         let obj = v.as_object().ok_or_else(|| ::serde::DeError::new(\n\
+                             format!(\"expected object for {name}, got {{v:?}}\")))?;\n\
+                         Ok({name} {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in &variants {
+                arms.push_str(&format!("\"{v}\" => Ok({name}::{v}),"));
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> Result<Self, ::serde::DeError> {{\n\
+                         match v {{\n\
+                             ::serde::Value::Str(s) => match s.as_str() {{\n\
+                                 {arms}\n\
+                                 other => Err(::serde::DeError::new(format!(\n\
+                                     \"unknown {name} variant `{{other}}`\"))),\n\
+                             }},\n\
+                             other => Err(::serde::DeError::new(format!(\n\
+                                 \"expected string for {name}, got {{other:?}}\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    out.parse().expect("serde derive shim emitted invalid Rust")
+}

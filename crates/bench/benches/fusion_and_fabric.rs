@@ -66,11 +66,11 @@ fn bench_fabric(c: &mut Criterion) {
             Fabric::run(2, |comm| {
                 for i in 0..1000u64 {
                     if comm.rank() == 0 {
-                        comm.send(1, i, vec![i as f64]);
-                        let _ = comm.recv(1, i);
+                        comm.send(1, i, vec![i as f64]).unwrap();
+                        let _ = comm.recv(1, i).unwrap();
                     } else {
-                        let v = comm.recv(0, i);
-                        comm.send(0, i, v);
+                        let v = comm.recv(0, i).unwrap();
+                        comm.send(0, i, v).unwrap();
                     }
                 }
             })
@@ -81,7 +81,7 @@ fn bench_fabric(c: &mut Criterion) {
             Fabric::run(4, |comm| {
                 let local = vec![comm.rank() as f64; 64];
                 for _ in 0..100 {
-                    let _ = comm.allreduce_sum(&local);
+                    let _ = comm.allreduce_sum(&local).unwrap();
                 }
             })
         })

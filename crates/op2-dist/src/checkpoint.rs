@@ -1,0 +1,181 @@
+//! Checkpointed recovery state for the distributed time-march.
+//!
+//! Each rank periodically commits its *owned-cell* state (global cell ids +
+//! the 4-component `q` per cell) to a shared [`CheckpointStore`] — the
+//! in-process stand-in for a parallel file system. A checkpoint at iteration
+//! `k` is **consistent** once the committed slices jointly cover every
+//! global cell; [`CheckpointStore::latest_consistent`] returns the newest
+//! such iteration with the assembled global state.
+//!
+//! Consistency is what makes recovery deterministic: a rank that races a few
+//! iterations ahead of a failure can only ever commit an *incomplete* entry
+//! (the dead rank never contributes), so every survivor resolves the same
+//! restore point no matter when it noticed the failure.
+
+use std::collections::BTreeMap;
+
+use parking_lot::Mutex;
+
+/// One rank's committed slice at some iteration.
+#[derive(Debug, Clone)]
+struct Slice {
+    /// Global ids of the cells covered.
+    cells: Vec<u32>,
+    /// `4 × cells.len()` state values, cell-major.
+    q: Vec<f64>,
+}
+
+/// Shared store of per-iteration checkpoints (stand-in for a parallel FS).
+pub struct CheckpointStore {
+    ncells: usize,
+    nranks: usize,
+    /// iteration → per-rank slot.
+    inner: Mutex<BTreeMap<usize, Vec<Option<Slice>>>>,
+}
+
+impl CheckpointStore {
+    /// A store for `nranks` ranks over a `ncells`-cell mesh.
+    pub fn new(nranks: usize, ncells: usize) -> CheckpointStore {
+        CheckpointStore {
+            ncells,
+            nranks,
+            inner: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Total global cell count the store covers.
+    pub fn ncells(&self) -> usize {
+        self.ncells
+    }
+
+    /// Commit rank `rank`'s owned slice at iteration `iter`. `q` holds 4
+    /// values per entry of `cells`, in the same order.
+    ///
+    /// # Panics
+    /// Panics if the lengths disagree or `rank` is out of range.
+    pub fn commit(&self, iter: usize, rank: usize, cells: &[u32], q: &[f64]) {
+        assert_eq!(q.len(), 4 * cells.len(), "checkpoint slice length mismatch");
+        assert!(rank < self.nranks, "rank {rank} out of range");
+        let mut inner = self.inner.lock();
+        let slot = inner
+            .entry(iter)
+            .or_insert_with(|| vec![None; self.nranks]);
+        slot[rank] = Some(Slice {
+            cells: cells.to_vec(),
+            q: q.to_vec(),
+        });
+    }
+
+    /// The newest iteration whose committed slices cover every cell, with
+    /// the assembled global `q` (length `4 × ncells`), or `None` if no
+    /// consistent checkpoint exists yet.
+    pub fn latest_consistent(&self) -> Option<(usize, Vec<f64>)> {
+        let inner = self.inner.lock();
+        for (&iter, slot) in inner.iter().rev() {
+            let covered: usize = slot
+                .iter()
+                .flatten()
+                .map(|s| s.cells.len())
+                .sum();
+            if covered != self.ncells {
+                continue;
+            }
+            let mut q = vec![0.0; 4 * self.ncells];
+            let mut seen = vec![false; self.ncells];
+            let mut distinct = true;
+            for s in slot.iter().flatten() {
+                for (i, &g) in s.cells.iter().enumerate() {
+                    let g = g as usize;
+                    if seen[g] {
+                        distinct = false;
+                        break;
+                    }
+                    seen[g] = true;
+                    q[4 * g..4 * g + 4].copy_from_slice(&s.q[4 * i..4 * i + 4]);
+                }
+            }
+            // Overlapping commits (possible only transiently while ranks
+            // with different partitions race a recovery) are not consistent.
+            if distinct {
+                return Some((iter, q));
+            }
+        }
+        None
+    }
+
+    /// Drop every checkpoint newer than `iter` (called after a restore so
+    /// later incomplete entries from pre-failure stragglers cannot shadow
+    /// post-recovery commits).
+    pub fn truncate_after(&self, iter: usize) {
+        self.inner.lock().retain(|&k, _| k <= iter);
+    }
+
+    /// Number of iterations with at least one committed slice.
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    /// True if nothing has been committed.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn consistent_only_when_all_cells_covered() {
+        let store = CheckpointStore::new(2, 4);
+        assert!(store.latest_consistent().is_none());
+        store.commit(0, 0, &[0, 1], &[1.0; 8]);
+        assert!(store.latest_consistent().is_none(), "half-covered");
+        store.commit(0, 1, &[2, 3], &[2.0; 8]);
+        let (iter, q) = store.latest_consistent().expect("complete now");
+        assert_eq!(iter, 0);
+        assert_eq!(&q[..8], &[1.0; 8]);
+        assert_eq!(&q[8..], &[2.0; 8]);
+    }
+
+    #[test]
+    fn latest_wins_and_incomplete_newer_is_ignored() {
+        let store = CheckpointStore::new(2, 2);
+        store.commit(2, 0, &[0], &[1.0; 4]);
+        store.commit(2, 1, &[1], &[2.0; 4]);
+        store.commit(4, 0, &[0], &[9.0; 4]); // rank 1 died before iter 4
+        let (iter, q) = store.latest_consistent().expect("iter 2 complete");
+        assert_eq!(iter, 2);
+        assert_eq!(q[0], 1.0);
+        assert_eq!(q[4], 2.0);
+    }
+
+    #[test]
+    fn recommit_overwrites_rank_slot() {
+        let store = CheckpointStore::new(1, 1);
+        store.commit(1, 0, &[0], &[1.0; 4]);
+        store.commit(1, 0, &[0], &[5.0; 4]);
+        let (_, q) = store.latest_consistent().expect("complete");
+        assert_eq!(q, vec![5.0; 4]);
+    }
+
+    #[test]
+    fn truncate_after_drops_newer_entries() {
+        let store = CheckpointStore::new(1, 1);
+        store.commit(2, 0, &[0], &[1.0; 4]);
+        store.commit(6, 0, &[0], &[2.0; 4]);
+        store.truncate_after(4);
+        let (iter, _) = store.latest_consistent().expect("iter 2 kept");
+        assert_eq!(iter, 2);
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn overlapping_cover_is_not_consistent() {
+        let store = CheckpointStore::new(2, 2);
+        store.commit(0, 0, &[0, 1], &[1.0; 8]);
+        store.commit(0, 1, &[1], &[2.0; 4]);
+        // 3 cell entries over 2 cells: covered != ncells, rejected.
+        assert!(store.latest_consistent().is_none());
+    }
+}

@@ -16,13 +16,42 @@
 //! With one rank there are no exchanges and the execution order equals the
 //! single-node *natural* order, so results match
 //! `op2_core::serial::execute_natural` bit-for-bit.
+//!
+//! ## Faults and recovery
+//!
+//! Every fabric operation returns a [`CommError`] instead of panicking, so
+//! the march reports failures as [`DistError`] values. With a
+//! [`FaultPlan`] installed ([`DistOptions::plan`]) the transport injects
+//! drops/duplicates/delays/replays, which the protocol masks — results stay
+//! bit-identical to the fault-free run as long as no retry budget is
+//! exhausted. With checkpointing enabled ([`DistOptions::checkpoint_every`])
+//! each rank commits its owned `q` to a shared [`CheckpointStore`]; when a
+//! rank dies (fault-plan kill, panic, or stale heartbeat) the survivors
+//! re-form the fabric, re-partition the mesh over the survivor set
+//! ([`Partition::strips_over`]), restore the newest *consistent* checkpoint,
+//! and march on. Each such event is recorded as a [`Recovery`] in the
+//! [`DistReport`].
 
 use op2_airfoil::kernels;
 use op2_airfoil::mesh::MeshData;
 use op2_airfoil::FlowConstants;
 
-use crate::fabric::{Comm, Fabric};
+use crate::checkpoint::CheckpointStore;
+use crate::fabric::{Comm, CommConfig, CommError, Fabric, FabricError};
+use crate::fault::{FaultPlan, FaultReport};
 use crate::partition::{build_local, LocalMesh, Partition};
+
+/// One fabric re-formation performed during a run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Recovery {
+    /// Ranks lost in this failure.
+    pub failed: Vec<usize>,
+    /// Surviving ranks that re-formed the fabric (ascending).
+    pub survivors: Vec<usize>,
+    /// Iteration of the checkpoint the survivors restored (0 = initial
+    /// state); the march resumed at `restored_iter + 1`.
+    pub restored_iter: usize,
+}
 
 /// Outcome of a distributed run.
 #[derive(Debug, Clone)]
@@ -31,6 +60,50 @@ pub struct DistReport {
     pub rms: Vec<(usize, f64)>,
     /// Final global state `q`, assembled in global cell order.
     pub final_q: Vec<f64>,
+    /// End-of-run fault/robustness counters (all zero for a clean run).
+    pub faults: FaultReport,
+    /// Checkpoint recoveries performed, in order.
+    pub recoveries: Vec<Recovery>,
+}
+
+/// Why a distributed run failed.
+#[derive(Debug)]
+pub enum DistError {
+    /// One or more ranks panicked (every failed rank listed).
+    Fabric(FabricError),
+    /// A rank's march hit an unrecoverable communication error (retry
+    /// budget exhausted, deadline expiry, failed recovery, no consistent
+    /// checkpoint, …).
+    Rank {
+        /// The failing rank.
+        rank: usize,
+        /// The error it stopped with.
+        error: CommError,
+    },
+}
+
+impl std::fmt::Display for DistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DistError::Fabric(e) => write!(f, "{e}"),
+            DistError::Rank { rank, error } => write!(f, "rank {rank} failed: {error}"),
+        }
+    }
+}
+
+impl std::error::Error for DistError {}
+
+/// Robustness knobs of a distributed run.
+#[derive(Debug, Clone, Default)]
+pub struct DistOptions {
+    /// Fabric deadlines and retry budgets.
+    pub config: CommConfig,
+    /// Fault injection plan (`None` = clean network).
+    pub plan: Option<FaultPlan>,
+    /// Commit an owned-cell checkpoint every this many iterations
+    /// (0 = only the initial state, and only when the plan contains a
+    /// kill directive).
+    pub checkpoint_every: usize,
 }
 
 /// Tags for the two exchange directions (stage parity baked in for safety).
@@ -41,6 +114,9 @@ const TAG_REVERSE: u64 = 200;
 ///
 /// `q0` is the global initial state (`4 × ncells`); reports are produced
 /// every `report_every` iterations (plus the final one).
+///
+/// # Errors
+/// See [`DistError`]; a clean network and panic-free kernels never fail.
 pub fn run_distributed(
     data: &MeshData,
     consts: &FlowConstants,
@@ -48,7 +124,7 @@ pub fn run_distributed(
     nranks: usize,
     niter: usize,
     report_every: usize,
-) -> DistReport {
+) -> Result<DistReport, DistError> {
     let ncells = data.cell_nodes.len() / 4;
     run_distributed_with(
         data,
@@ -61,6 +137,9 @@ pub fn run_distributed(
 }
 
 /// [`run_distributed`] with an explicit partition (e.g. [`Partition::rcb`]).
+///
+/// # Errors
+/// See [`DistError`].
 pub fn run_distributed_with(
     data: &MeshData,
     consts: &FlowConstants,
@@ -68,31 +147,150 @@ pub fn run_distributed_with(
     part: &Partition,
     niter: usize,
     report_every: usize,
-) -> DistReport {
+) -> Result<DistReport, DistError> {
+    run_distributed_opts(data, consts, q0, part, niter, report_every, &DistOptions::default())
+}
+
+/// [`run_distributed_with`] plus fault injection, deadline/retry tuning and
+/// checkpointed recovery ([`DistOptions`]).
+///
+/// # Errors
+/// See [`DistError`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_distributed_opts(
+    data: &MeshData,
+    consts: &FlowConstants,
+    q0: &[f64],
+    part: &Partition,
+    niter: usize,
+    report_every: usize,
+    opts: &DistOptions,
+) -> Result<DistReport, DistError> {
     let ncells = data.cell_nodes.len() / 4;
     assert_eq!(q0.len(), 4 * ncells, "q0 must cover every cell");
 
-    let results = Fabric::run(part.nranks, |comm| {
-        rank_main(comm, data, consts, q0, part, niter, report_every)
-    });
+    let checkpoints = CheckpointStore::new(part.nranks, ncells);
+    let mut builder = Fabric::builder(part.nranks).config(opts.config.clone());
+    if let Some(plan) = &opts.plan {
+        builder = builder.faults(plan.clone());
+    }
+    let run = builder
+        .launch(|comm| {
+            rank_main(
+                comm,
+                data,
+                consts,
+                q0,
+                part,
+                niter,
+                report_every,
+                &checkpoints,
+                opts.checkpoint_every,
+            )
+        })
+        .map_err(DistError::Fabric)?;
 
-    // Scatter each rank's owned state back to global cell order; rank 0's
-    // rms history is identical everywhere by allreduce.
+    // Scatter each surviving rank's owned state back to global cell order
+    // (post-recovery ownership covers every cell); the rms history and
+    // recovery log are identical on every survivor — take the first.
+    let kill = opts.plan.as_ref().and_then(|p| p.kill);
     let mut final_q = vec![0.0; 4 * ncells];
     let mut rms = Vec::new();
-    for (r, (owned_q, history)) in results.into_iter().enumerate() {
-        for (i, &g) in part.owned_cells(r).iter().enumerate() {
-            final_q[4 * g as usize..4 * g as usize + 4]
-                .copy_from_slice(&owned_q[4 * i..4 * i + 4]);
-        }
-        if r == 0 {
-            rms = history;
+    let mut recoveries = Vec::new();
+    let mut first_survivor = true;
+    let mut errors: Vec<(usize, CommError)> = Vec::new();
+    for (r, out) in run.results.into_iter().enumerate() {
+        match out {
+            Ok(out) => {
+                for (i, &g) in out.owned_g.iter().enumerate() {
+                    final_q[4 * g as usize..4 * g as usize + 4]
+                        .copy_from_slice(&out.owned_q[4 * i..4 * i + 4]);
+                }
+                if first_survivor {
+                    rms = out.history;
+                    recoveries = out.recoveries;
+                    first_survivor = false;
+                }
+            }
+            // The planned kill victim dying is the *expected* outcome.
+            Err(CommError::Fenced { .. }) if kill.is_some_and(|k| k.rank == r) => {}
+            Err(error) => errors.push((r, error)),
         }
     }
-    DistReport { rms, final_q }
+    if let Some((rank, error)) = root_cause(errors) {
+        return Err(DistError::Rank { rank, error });
+    }
+    Ok(DistReport { rms, final_q, faults: run.faults, recoveries })
+}
+
+/// Pick the most informative rank error to surface. Deadline timeouts and
+/// failure notifications are usually *cascades* from a root cause on some
+/// other rank (a sender exhausting its retry budget fails one rank; its
+/// peers then time out waiting on it), so any other error class wins.
+pub(crate) fn root_cause(mut errors: Vec<(usize, CommError)>) -> Option<(usize, CommError)> {
+    if errors.is_empty() {
+        return None;
+    }
+    let cascade = |e: &CommError| {
+        matches!(
+            e,
+            CommError::Timeout { .. } | CommError::RankFailed { .. } | CommError::Fenced { .. }
+        )
+    };
+    let idx = errors.iter().position(|(_, e)| !cascade(e)).unwrap_or(0);
+    Some(errors.remove(idx))
+}
+
+/// One rank's march state: its mesh slice plus the working arrays, rebuilt
+/// wholesale when a recovery re-partitions the mesh.
+struct MarchState {
+    local: LocalMesh,
+    q: Vec<f64>,
+    qold: Vec<f64>,
+    adt: Vec<f64>,
+    res: Vec<f64>,
+}
+
+impl MarchState {
+    fn new(data: &MeshData, part: &Partition, rank: usize, qg: &[f64]) -> MarchState {
+        let local = build_local(data, part, rank);
+        let nlocal = local.ncells_local();
+        let mut q = vec![0.0f64; 4 * nlocal];
+        for (l, &g) in local.cell_l2g.iter().enumerate() {
+            q[4 * l..4 * l + 4].copy_from_slice(&qg[4 * g as usize..4 * g as usize + 4]);
+        }
+        MarchState {
+            q,
+            qold: vec![0.0f64; 4 * nlocal],
+            adt: vec![0.0f64; nlocal],
+            res: vec![0.0f64; 4 * nlocal],
+            local,
+        }
+    }
+
+    fn owned_cells(&self) -> &[u32] {
+        &self.local.cell_l2g[..self.local.nowned]
+    }
+
+    fn owned_q(&self) -> &[f64] {
+        &self.q[..4 * self.local.nowned]
+    }
+}
+
+/// A surviving rank's result.
+struct RankOut {
+    /// Final owned global cells (post-recovery ownership).
+    owned_g: Vec<u32>,
+    /// Their state, cell-major.
+    owned_q: Vec<f64>,
+    /// `(iteration, rms)` history.
+    history: Vec<(usize, f64)>,
+    /// Recoveries this rank participated in.
+    recoveries: Vec<Recovery>,
 }
 
 /// Per-rank state and march.
+#[allow(clippy::too_many_arguments)]
 fn rank_main(
     comm: Comm,
     data: &MeshData,
@@ -101,145 +299,260 @@ fn rank_main(
     part: &Partition,
     niter: usize,
     report_every: usize,
-) -> (Vec<f64>, Vec<(usize, f64)>) {
-    let local = build_local(data, part, comm.rank());
-    let nlocal = local.ncells_local();
+    checkpoints: &CheckpointStore,
+    checkpoint_every: usize,
+) -> Result<RankOut, CommError> {
+    let me = comm.rank();
     let ncells_global = data.cell_nodes.len() / 4;
+    let kill = comm.plan().and_then(|p| p.kill);
+    let ckpt_active = checkpoint_every > 0 || kill.is_some();
 
-    // Local state arrays (owned + halo).
-    let mut q = vec![0.0f64; 4 * nlocal];
-    for (l, &g) in local.cell_l2g.iter().enumerate() {
-        q[4 * l..4 * l + 4].copy_from_slice(&q0[4 * g as usize..4 * g as usize + 4]);
+    let mut part_cur = part.clone();
+    let mut st = MarchState::new(data, &part_cur, me, q0);
+    if ckpt_active {
+        checkpoints.commit(0, me, st.owned_cells(), st.owned_q());
     }
-    let mut qold = vec![0.0f64; 4 * nlocal];
-    let mut adt = vec![0.0f64; nlocal];
-    let mut res = vec![0.0f64; 4 * nlocal];
-    let coords = &data.coords;
 
+    let mut reports: Vec<(usize, f64)> = Vec::new();
+    let mut recoveries: Vec<Recovery> = Vec::new();
+    let mut iter = 1;
+    while iter <= niter {
+        if let Some(k) = kill {
+            if k.rank == me && k.at_iter == iter {
+                return Err(comm.kill_self());
+            }
+        }
+        comm.beat();
+        let outcome = if comm.recovery_pending() {
+            // A failure was flagged between iterations — join the
+            // re-formation without touching the fabric first.
+            Err(CommError::RankFailed { rank: me, failed: me })
+        } else {
+            march_one_iter(
+                &comm,
+                data,
+                consts,
+                &mut st,
+                iter,
+                niter,
+                report_every,
+                ncells_global,
+                &mut reports,
+            )
+            .and_then(|()| {
+                if ckpt_active && checkpoint_every > 0 && iter % checkpoint_every == 0 {
+                    checkpoints.commit(iter, me, st.owned_cells(), st.owned_q());
+                    // Coordinated checkpoint: barrier after the commit so no
+                    // rank (in particular a planned kill victim) can race
+                    // ahead — and fail — before every peer's slice for this
+                    // boundary has landed. This pins the restore point to
+                    // the newest boundary before the failure, making
+                    // recovery deterministic rather than timing-dependent.
+                    comm.barrier()?;
+                }
+                Ok(())
+            })
+        };
+        match outcome {
+            Ok(()) => {
+                iter += 1;
+            }
+            Err(CommError::RankFailed { .. }) => {
+                let restored = recover_and_restore(
+                    &comm,
+                    data,
+                    checkpoints,
+                    &mut part_cur,
+                    &mut st,
+                    &mut reports,
+                    &mut recoveries,
+                )?;
+                iter = restored + 1;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+
+    Ok(RankOut {
+        owned_g: st.owned_cells().to_vec(),
+        owned_q: st.owned_q().to_vec(),
+        history: reports,
+        recoveries,
+    })
+}
+
+/// Re-form the fabric with the survivors, re-partition the mesh over them,
+/// and restore march state from the newest consistent checkpoint. Returns
+/// the restored iteration (resume at `+ 1`).
+fn recover_and_restore(
+    comm: &Comm,
+    data: &MeshData,
+    checkpoints: &CheckpointStore,
+    part_cur: &mut Partition,
+    st: &mut MarchState,
+    reports: &mut Vec<(usize, f64)>,
+    recoveries: &mut Vec<Recovery>,
+) -> Result<usize, CommError> {
+    let old_group = comm.group();
+    let survivors = comm.recover()?;
+    let failed: Vec<usize> = old_group
+        .into_iter()
+        .filter(|r| !survivors.contains(r))
+        .collect();
+    let Some((restored_iter, qg)) = checkpoints.latest_consistent() else {
+        return Err(CommError::NoCheckpoint);
+    };
+    // Stragglers may have committed incomplete entries past the restore
+    // point; drop them so they cannot shadow post-recovery checkpoints.
+    checkpoints.truncate_after(restored_iter);
+    *part_cur = Partition::strips_over(checkpoints.ncells(), &survivors, comm.nranks());
+    *st = MarchState::new(data, part_cur, comm.rank(), &qg);
+    reports.retain(|(it, _)| *it <= restored_iter);
+    recoveries.push(Recovery {
+        failed,
+        survivors,
+        restored_iter,
+    });
+    Ok(restored_iter)
+}
+
+/// One full iteration (save, two flux stages with exchanges, update, and —
+/// at report points — the RMS allreduce).
+#[allow(clippy::too_many_arguments)]
+fn march_one_iter(
+    comm: &Comm,
+    data: &MeshData,
+    consts: &FlowConstants,
+    st: &mut MarchState,
+    iter: usize,
+    niter: usize,
+    report_every: usize,
+    ncells_global: usize,
+    reports: &mut Vec<(usize, f64)>,
+) -> Result<(), CommError> {
+    let local = &st.local;
+    let nlocal = local.ncells_local();
+    let coords = &data.coords;
     let xslice = |n: u32| -> &[f64] { &coords[2 * n as usize..2 * n as usize + 2] };
 
-    let mut reports = Vec::new();
-    for iter in 1..=niter {
-        // save_soln over owned cells.
-        for c in 0..local.nowned {
-            let (qs, qolds) = (&q[4 * c..4 * c + 4], &mut qold[4 * c..4 * c + 4]);
-            kernels::save_soln(qs, qolds);
-        }
-
-        let mut rms_local = 0.0;
-        for _stage in 0..2 {
-            // Per-stage partial, added to the iteration total afterwards —
-            // the same association order as the per-loop reductions of the
-            // single-node driver, keeping 1-rank runs bitwise identical.
-            let mut stage_rms = 0.0;
-            forward_exchange(&comm, &local, &mut q);
-
-            // adt_calc over owned + halo (redundant execution).
-            for c in 0..nlocal {
-                let n = &local.cell_nodes[4 * c..4 * c + 4];
-                let mut a = [0.0f64];
-                kernels::adt_calc(
-                    xslice(n[0]),
-                    xslice(n[1]),
-                    xslice(n[2]),
-                    xslice(n[3]),
-                    &q[4 * c..4 * c + 4],
-                    &mut a,
-                    consts,
-                );
-                adt[c] = a[0];
-            }
-
-            // res_calc over assigned edges.
-            for (e, &(c1, c2)) in local.edge_cells.iter().enumerate() {
-                let (n1, n2) = local.edge_nodes[e];
-                let (r1, r2) = two_cells_mut(&mut res, c1 as usize, c2 as usize);
-                kernels::res_calc(
-                    xslice(n1),
-                    xslice(n2),
-                    &q[4 * c1 as usize..4 * c1 as usize + 4],
-                    &q[4 * c2 as usize..4 * c2 as usize + 4],
-                    adt[c1 as usize],
-                    adt[c2 as usize],
-                    r1,
-                    r2,
-                    consts,
-                );
-            }
-            // bres_calc over assigned boundary edges.
-            for &(n1, n2, c1, bound) in &local.bedges {
-                let c1 = c1 as usize;
-                kernels::bres_calc(
-                    xslice(n1),
-                    xslice(n2),
-                    &q[4 * c1..4 * c1 + 4],
-                    adt[c1],
-                    &mut res[4 * c1..4 * c1 + 4],
-                    bound,
-                    consts,
-                );
-            }
-
-            reverse_exchange(&comm, &local, &mut res);
-
-            // update over owned cells.
-            for c in 0..local.nowned {
-                let (qold_c, rest) = (&qold[4 * c..4 * c + 4], ());
-                let _ = rest;
-                let mut qc = [0.0f64; 4];
-                qc.copy_from_slice(&q[4 * c..4 * c + 4]);
-                let mut rc = [0.0f64; 4];
-                rc.copy_from_slice(&res[4 * c..4 * c + 4]);
-                kernels::update(qold_c, &mut qc, &mut rc, adt[c], &mut stage_rms);
-                q[4 * c..4 * c + 4].copy_from_slice(&qc);
-                res[4 * c..4 * c + 4].copy_from_slice(&rc);
-            }
-            rms_local += stage_rms;
-        }
-
-        let report_now = iter % report_every.max(1) == 0 || iter == niter;
-        if report_now {
-            let total = comm.allreduce_sum(&[rms_local])[0];
-            reports.push((iter, (total / ncells_global as f64).sqrt()));
-        }
+    // save_soln over owned cells.
+    for c in 0..local.nowned {
+        let (qs, qolds) = (&st.q[4 * c..4 * c + 4], &mut st.qold[4 * c..4 * c + 4]);
+        kernels::save_soln(qs, qolds);
     }
 
-    (q[..4 * local.nowned].to_vec(), reports)
+    let mut rms_local = 0.0;
+    for _stage in 0..2 {
+        // Per-stage partial, added to the iteration total afterwards —
+        // the same association order as the per-loop reductions of the
+        // single-node driver, keeping 1-rank runs bitwise identical.
+        let mut stage_rms = 0.0;
+        forward_exchange(comm, local, &mut st.q)?;
+
+        // adt_calc over owned + halo (redundant execution).
+        for c in 0..nlocal {
+            let n = &local.cell_nodes[4 * c..4 * c + 4];
+            let mut a = [0.0f64];
+            kernels::adt_calc(
+                xslice(n[0]),
+                xslice(n[1]),
+                xslice(n[2]),
+                xslice(n[3]),
+                &st.q[4 * c..4 * c + 4],
+                &mut a,
+                consts,
+            );
+            st.adt[c] = a[0];
+        }
+
+        // res_calc over assigned edges.
+        for (e, &(c1, c2)) in local.edge_cells.iter().enumerate() {
+            let (n1, n2) = local.edge_nodes[e];
+            let (r1, r2) = two_cells_mut(&mut st.res, c1 as usize, c2 as usize);
+            kernels::res_calc(
+                xslice(n1),
+                xslice(n2),
+                &st.q[4 * c1 as usize..4 * c1 as usize + 4],
+                &st.q[4 * c2 as usize..4 * c2 as usize + 4],
+                st.adt[c1 as usize],
+                st.adt[c2 as usize],
+                r1,
+                r2,
+                consts,
+            );
+        }
+        // bres_calc over assigned boundary edges.
+        for &(n1, n2, c1, bound) in &local.bedges {
+            let c1 = c1 as usize;
+            kernels::bres_calc(
+                xslice(n1),
+                xslice(n2),
+                &st.q[4 * c1..4 * c1 + 4],
+                st.adt[c1],
+                &mut st.res[4 * c1..4 * c1 + 4],
+                bound,
+                consts,
+            );
+        }
+
+        reverse_exchange(comm, local, &mut st.res)?;
+
+        // update over owned cells.
+        for c in 0..local.nowned {
+            let qold_c = &st.qold[4 * c..4 * c + 4];
+            let mut qc = [0.0f64; 4];
+            qc.copy_from_slice(&st.q[4 * c..4 * c + 4]);
+            let mut rc = [0.0f64; 4];
+            rc.copy_from_slice(&st.res[4 * c..4 * c + 4]);
+            kernels::update(qold_c, &mut qc, &mut rc, st.adt[c], &mut stage_rms);
+            st.q[4 * c..4 * c + 4].copy_from_slice(&qc);
+            st.res[4 * c..4 * c + 4].copy_from_slice(&rc);
+        }
+        rms_local += stage_rms;
+    }
+
+    let report_now = iter % report_every.max(1) == 0 || iter == niter;
+    if report_now {
+        let total = comm.allreduce_sum(&[rms_local])?[0];
+        reports.push((iter, (total / ncells_global as f64).sqrt()));
+    }
+    Ok(())
 }
 
 /// Owners push fresh `q` to importing ranks; halo copies are refreshed.
-fn forward_exchange(comm: &Comm, local: &LocalMesh, q: &mut [f64]) {
+fn forward_exchange(comm: &Comm, local: &LocalMesh, q: &mut [f64]) -> Result<(), CommError> {
     for (peer, owned_locals) in &local.exports {
         let mut payload = Vec::with_capacity(owned_locals.len() * 4);
         for &l in owned_locals {
             payload.extend_from_slice(&q[4 * l as usize..4 * l as usize + 4]);
         }
-        comm.send(*peer, TAG_FORWARD, payload);
+        comm.send(*peer, TAG_FORWARD, payload)?;
     }
     for (peer, halo_locals) in &local.imports {
-        let payload = comm.recv(*peer, TAG_FORWARD);
+        let payload = comm.recv(*peer, TAG_FORWARD)?;
         assert_eq!(payload.len(), halo_locals.len() * 4);
         for (i, &l) in halo_locals.iter().enumerate() {
             q[4 * l as usize..4 * l as usize + 4].copy_from_slice(&payload[4 * i..4 * i + 4]);
         }
     }
+    Ok(())
 }
 
 /// Halo residual contributions flow back to owners and are *added* in
 /// ascending peer order; halo slots are zeroed afterwards.
-fn reverse_exchange(comm: &Comm, local: &LocalMesh, res: &mut [f64]) {
+fn reverse_exchange(comm: &Comm, local: &LocalMesh, res: &mut [f64]) -> Result<(), CommError> {
     for (peer, halo_locals) in &local.imports {
         let mut payload = Vec::with_capacity(halo_locals.len() * 4);
         for &l in halo_locals {
             payload.extend_from_slice(&res[4 * l as usize..4 * l as usize + 4]);
             res[4 * l as usize..4 * l as usize + 4].fill(0.0);
         }
-        comm.send(*peer, TAG_REVERSE, payload);
+        comm.send(*peer, TAG_REVERSE, payload)?;
     }
     // `imports`/`exports` are stored ascending by peer, so this addition
     // order is deterministic.
     for (peer, owned_locals) in &local.exports {
-        let payload = comm.recv(*peer, TAG_REVERSE);
+        let payload = comm.recv(*peer, TAG_REVERSE)?;
         assert_eq!(payload.len(), owned_locals.len() * 4);
         for (i, &l) in owned_locals.iter().enumerate() {
             for k in 0..4 {
@@ -247,6 +560,7 @@ fn reverse_exchange(comm: &Comm, local: &LocalMesh, res: &mut [f64]) {
             }
         }
     }
+    Ok(())
 }
 
 /// Two disjoint 4-wide mutable cell slices out of one residual array.
@@ -305,7 +619,7 @@ mod tests {
     fn one_rank_matches_natural_serial_bitwise() {
         let (data, consts, q0) = setup(true);
         let niter = 5;
-        let dist = run_distributed(&data, &consts, &q0, 1, niter, 1);
+        let dist = run_distributed(&data, &consts, &q0, 1, niter, 1).unwrap();
         let (q_ref, rms_ref) = natural_oracle(&data, &consts, &q0, niter);
         assert_eq!(
             dist.final_q.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
@@ -322,7 +636,7 @@ mod tests {
         let niter = 8;
         let (q_ref, rms_ref) = natural_oracle(&data, &consts, &q0, niter);
         for nranks in [2, 3, 5] {
-            let dist = run_distributed(&data, &consts, &q0, nranks, niter, 1);
+            let dist = run_distributed(&data, &consts, &q0, nranks, niter, 1).unwrap();
             for (a, b) in dist.final_q.iter().zip(&q_ref) {
                 assert!(
                     (a - b).abs() <= 1e-11 * b.abs().max(1.0),
@@ -338,8 +652,8 @@ mod tests {
     #[test]
     fn distributed_runs_are_deterministic() {
         let (data, consts, q0) = setup(true);
-        let a = run_distributed(&data, &consts, &q0, 4, 4, 2);
-        let b = run_distributed(&data, &consts, &q0, 4, 4, 2);
+        let a = run_distributed(&data, &consts, &q0, 4, 4, 2).unwrap();
+        let b = run_distributed(&data, &consts, &q0, 4, 4, 2).unwrap();
         assert_eq!(
             a.final_q.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
             b.final_q.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
@@ -350,7 +664,7 @@ mod tests {
     #[test]
     fn free_stream_preserved_distributed() {
         let (data, consts, q0) = setup(false);
-        let dist = run_distributed(&data, &consts, &q0, 3, 5, 1);
+        let dist = run_distributed(&data, &consts, &q0, 3, 5, 1).unwrap();
         for (_, rms) in dist.rms {
             assert!(rms < 1e-12, "free stream broken: {rms:e}");
         }
@@ -363,9 +677,67 @@ mod tests {
     fn more_ranks_than_rows_still_works() {
         let (data, consts, q0) = setup(true);
         // 24x12 mesh = 288 cells across 16 ranks (some strips tiny).
-        let dist = run_distributed(&data, &consts, &q0, 16, 3, 3);
+        let dist = run_distributed(&data, &consts, &q0, 16, 3, 3).unwrap();
         assert!(dist.rms.iter().all(|(_, r)| r.is_finite()));
         assert_eq!(dist.final_q.len(), 288 * 4);
+    }
+
+    #[test]
+    fn clean_run_reports_no_faults() {
+        let (data, consts, q0) = setup(true);
+        let dist = run_distributed(&data, &consts, &q0, 3, 2, 2).unwrap();
+        assert_eq!(dist.faults.dropped, 0);
+        assert_eq!(dist.faults.retries, 0);
+        assert_eq!(dist.faults.rank_failures, 0);
+        assert!(dist.recoveries.is_empty());
+        assert!(dist.faults.sent > 0, "exchanges happened");
+    }
+
+    #[test]
+    fn injected_drops_below_budget_leave_results_bit_identical() {
+        let (data, consts, q0) = setup(true);
+        let clean = run_distributed(&data, &consts, &q0, 3, 4, 2).unwrap();
+        // Every message loses its first `k` transmissions, for every k the
+        // default retry budget can absorb.
+        for k in [1, 3, 7] {
+            let opts = DistOptions {
+                plan: Some(FaultPlan::drop_first(k)),
+                ..DistOptions::default()
+            };
+            let part = Partition::strips(288, 3);
+            let faulty =
+                run_distributed_opts(&data, &consts, &q0, &part, 4, 2, &opts).unwrap();
+            assert_eq!(
+                faulty.final_q.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                clean.final_q.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "k = {k}"
+            );
+            assert_eq!(faulty.rms, clean.rms, "k = {k}");
+            assert!(faulty.faults.dropped > 0 && faulty.faults.retries == faulty.faults.dropped);
+        }
+    }
+
+    #[test]
+    fn kill_mid_march_recovers_from_checkpoint() {
+        let (data, consts, q0) = setup(true);
+        let niter = 8;
+        let opts = DistOptions {
+            plan: Some(FaultPlan::none().with_kill(1, 5)),
+            checkpoint_every: 2,
+            ..DistOptions::default()
+        };
+        let part = Partition::strips(288, 4);
+        let rep = run_distributed_opts(&data, &consts, &q0, &part, niter, niter, &opts)
+            .expect("march must survive the kill");
+        assert_eq!(rep.recoveries.len(), 1);
+        let rec = &rep.recoveries[0];
+        assert_eq!(rec.failed, vec![1]);
+        assert_eq!(rec.survivors, vec![0, 2, 3]);
+        assert_eq!(rec.restored_iter, 4, "newest checkpoint before the iter-5 kill");
+        assert_eq!(rep.faults.rank_failures, 1);
+        assert_eq!(rep.faults.recoveries, 1);
+        assert!(rep.rms.iter().all(|(_, r)| r.is_finite()));
+        assert_eq!(rep.final_q.len(), 288 * 4);
     }
 
     #[test]
@@ -396,9 +768,9 @@ mod rcb_tests {
         let q0 = mesh.p_q.to_vec();
         let data = builder.data();
 
-        let strips = run_distributed(&data, &consts, &q0, 4, 6, 6);
+        let strips = run_distributed(&data, &consts, &q0, 4, 6, 6).unwrap();
         let part = Partition::rcb(&cell_centroids(&data), 4);
-        let rcb = run_distributed_with(&data, &consts, &q0, &part, 6, 6);
+        let rcb = run_distributed_with(&data, &consts, &q0, &part, 6, 6).unwrap();
         for (a, b) in rcb.final_q.iter().zip(&strips.final_q) {
             assert!((a - b).abs() <= 1e-11 * b.abs().max(1.0), "{a} vs {b}");
         }
@@ -468,7 +840,7 @@ mod omesh_tests {
         let q_ref = mesh.p_q.to_vec();
 
         for nranks in [1, 3, 6] {
-            let dist = run_distributed(&data, &consts, &q0, nranks, niter, niter);
+            let dist = run_distributed(&data, &consts, &q0, nranks, niter, niter).unwrap();
             for (i, (a, b)) in dist.final_q.iter().zip(&q_ref).enumerate() {
                 assert!(
                     (a - b).abs() <= 1e-10 * b.abs().max(1.0),

@@ -1,0 +1,361 @@
+//! Seeded, deterministic fault injection for the message fabric.
+//!
+//! A [`FaultPlan`] sits between ranks (inside [`crate::fabric::Comm`]'s
+//! transport) and decides, per *transmission attempt*, whether a message is
+//! delivered, dropped, duplicated, delayed in the network, or shadowed by a
+//! stale replay of the previous message on the same link. Decisions are a
+//! pure function of `(seed, epoch, from, to, seq, attempt)` — the same seed
+//! replays the exact same fault schedule regardless of thread timing, the
+//! same discipline `DET_SEED` gives the deterministic scheduler.
+//!
+//! The plan can also direct a *rank kill*: at the start of a given
+//! time-march iteration the victim marks itself failed and exits, exercising
+//! the failure-detection + checkpoint-recovery path of [`crate::exec`].
+//!
+//! Counters live in [`FaultStats`] (shared atomics, one instance per
+//! fabric); [`FaultStats::report`] snapshots them into a plain
+//! [`FaultReport`] for end-of-run reporting.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// What to do with one transmission attempt of one message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Deliver normally.
+    Deliver,
+    /// Lose the message; the sender's retry loop must retransmit.
+    Drop,
+    /// Deliver two copies; the receiver must discard the duplicate.
+    Duplicate,
+    /// Park the message in the network; it arrives late (after newer
+    /// traffic on the link), forcing the receiver to reorder by sequence
+    /// number.
+    Delay,
+    /// Deliver, preceded by a stale copy of the *previous* message on the
+    /// link (a late retransmission arriving out of order).
+    Replay,
+}
+
+/// Kill directive: `rank` fails at the start of iteration `at_iter`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KillSpec {
+    /// The victim rank.
+    pub rank: usize,
+    /// 1-based time-march iteration at whose start the victim dies.
+    pub at_iter: usize,
+}
+
+/// A deterministic fault schedule for one run.
+///
+/// Probabilities are evaluated per transmission attempt from a hash of
+/// `(seed, epoch, from, to, seq, attempt)`; they are independent of wall
+/// clock and thread interleaving. `max_drops_per_message` caps consecutive
+/// drops of one message so a finite retry budget always gets through (set it
+/// at or below the fabric's `max_retries` for guaranteed progress).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for all per-attempt decisions (printed in reports for replay).
+    pub seed: u64,
+    /// Probability a transmission attempt is dropped.
+    pub drop_p: f64,
+    /// Probability a message is delivered twice.
+    pub dup_p: f64,
+    /// Probability a message is parked and arrives late (reordered).
+    pub delay_p: f64,
+    /// Probability a stale copy of the previous message precedes this one.
+    pub replay_p: f64,
+    /// Hard cap on drops of any single message (attempts beyond it always
+    /// deliver), guaranteeing progress under a bounded retry budget.
+    pub max_drops_per_message: u32,
+    /// Optional rank kill, driving the checkpoint-recovery path.
+    pub kill: Option<KillSpec>,
+}
+
+impl FaultPlan {
+    /// A plan with every fault class enabled at moderate rates — the
+    /// default mix used by the fault-determinism sweeps.
+    pub fn seeded(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            drop_p: 0.15,
+            dup_p: 0.10,
+            delay_p: 0.10,
+            replay_p: 0.05,
+            max_drops_per_message: 3,
+            kill: None,
+        }
+    }
+
+    /// A fault-free plan (useful as a base for [`FaultPlan::with_kill`]).
+    pub fn none() -> FaultPlan {
+        FaultPlan {
+            seed: 0,
+            drop_p: 0.0,
+            dup_p: 0.0,
+            delay_p: 0.0,
+            replay_p: 0.0,
+            max_drops_per_message: 0,
+            kill: None,
+        }
+    }
+
+    /// Deterministically drop the first `n` transmission attempts of *every*
+    /// message — the "message loss at every retry budget below exhaustion"
+    /// scenario: with `n <= max_retries` the protocol must fully mask it.
+    pub fn drop_first(n: u32) -> FaultPlan {
+        FaultPlan {
+            seed: 0,
+            drop_p: 1.0,
+            dup_p: 0.0,
+            delay_p: 0.0,
+            replay_p: 0.0,
+            max_drops_per_message: n,
+            kill: None,
+        }
+    }
+
+    /// Add a kill directive to this plan.
+    pub fn with_kill(mut self, rank: usize, at_iter: usize) -> FaultPlan {
+        self.kill = Some(KillSpec { rank, at_iter });
+        self
+    }
+
+    /// Decide the fate of transmission `attempt` (0-based) of message `seq`
+    /// on link `from → to` in `epoch`. Pure function of the arguments.
+    pub fn decide(&self, epoch: u64, from: usize, to: usize, seq: u64, attempt: u32) -> FaultAction {
+        // Drops are decided first so `drop_first`-style plans are exact.
+        if attempt < self.max_drops_per_message {
+            let u = unit(hash6(
+                self.seed,
+                epoch,
+                from as u64,
+                to as u64,
+                seq,
+                0x0d0d ^ u64::from(attempt),
+            ));
+            if u < self.drop_p {
+                return FaultAction::Drop;
+            }
+        }
+        // Shape faults (dup / delay / replay) are per message, not per
+        // attempt, so a retransmission replays the same shape decision.
+        let u = unit(hash6(
+            self.seed,
+            epoch,
+            from as u64,
+            to as u64,
+            seq,
+            0x5a5a,
+        ));
+        if u < self.dup_p {
+            FaultAction::Duplicate
+        } else if u < self.dup_p + self.delay_p {
+            FaultAction::Delay
+        } else if u < self.dup_p + self.delay_p + self.replay_p {
+            FaultAction::Replay
+        } else {
+            FaultAction::Deliver
+        }
+    }
+}
+
+/// splitmix64 finalizer.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn hash6(a: u64, b: u64, c: u64, d: u64, e: u64, f: u64) -> u64 {
+    let mut h = mix(a);
+    for v in [b, c, d, e, f] {
+        h = mix(h ^ v.wrapping_mul(0x2545_f491_4f6c_dd1d));
+    }
+    h
+}
+
+/// Map a hash to `[0, 1)` (53 uniform bits).
+fn unit(h: u64) -> f64 {
+    (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Shared fault/robustness counters for one fabric (all atomics).
+///
+/// The counters marked *deterministic* are pure functions of
+/// `(program, FaultPlan)`; the stale/late counters depend on thread timing
+/// around a recovery and are diagnostics only.
+#[derive(Debug, Default)]
+pub struct FaultStats {
+    /// Messages handed to the transport (per link send, not per attempt).
+    pub sent: AtomicU64,
+    /// Transmission attempts dropped by injection (deterministic).
+    pub dropped: AtomicU64,
+    /// Messages delivered twice (deterministic).
+    pub duplicated: AtomicU64,
+    /// Messages parked for late delivery (deterministic).
+    pub delayed: AtomicU64,
+    /// Stale replays injected ahead of a message (deterministic).
+    pub replayed: AtomicU64,
+    /// Retransmissions performed by senders (deterministic).
+    pub retries: AtomicU64,
+    /// Duplicate/stale envelopes discarded by receivers (deterministic).
+    pub dup_discarded: AtomicU64,
+    /// Old-epoch envelopes discarded after a re-formation (timing-dependent).
+    pub stale_discarded: AtomicU64,
+    /// Receive/barrier deadline expiries observed.
+    pub timeouts: AtomicU64,
+    /// Ranks that died (kill directives, panics, heartbeat losses).
+    pub rank_failures: AtomicU64,
+    /// Successful fabric re-formations (counted once per recovery).
+    pub recoveries: AtomicU64,
+}
+
+impl FaultStats {
+    fn get(a: &AtomicU64) -> u64 {
+        a.load(Ordering::Relaxed)
+    }
+
+    /// Bump a counter.
+    pub fn inc(a: &AtomicU64) {
+        a.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshot the counters.
+    pub fn report(&self) -> FaultReport {
+        FaultReport {
+            sent: Self::get(&self.sent),
+            dropped: Self::get(&self.dropped),
+            duplicated: Self::get(&self.duplicated),
+            delayed: Self::get(&self.delayed),
+            replayed: Self::get(&self.replayed),
+            retries: Self::get(&self.retries),
+            dup_discarded: Self::get(&self.dup_discarded),
+            stale_discarded: Self::get(&self.stale_discarded),
+            timeouts: Self::get(&self.timeouts),
+            rank_failures: Self::get(&self.rank_failures),
+            recoveries: Self::get(&self.recoveries),
+        }
+    }
+}
+
+/// Plain snapshot of [`FaultStats`] — the end-of-run fault report.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultReport {
+    /// Messages handed to the transport.
+    pub sent: u64,
+    /// Transmission attempts dropped by injection.
+    pub dropped: u64,
+    /// Messages delivered twice.
+    pub duplicated: u64,
+    /// Messages parked for late (reordered) delivery.
+    pub delayed: u64,
+    /// Stale replays injected.
+    pub replayed: u64,
+    /// Retransmissions performed by senders.
+    pub retries: u64,
+    /// Duplicate/stale envelopes discarded by receivers.
+    pub dup_discarded: u64,
+    /// Old-epoch envelopes discarded after a re-formation.
+    pub stale_discarded: u64,
+    /// Deadline expiries observed.
+    pub timeouts: u64,
+    /// Ranks that died.
+    pub rank_failures: u64,
+    /// Successful fabric re-formations.
+    pub recoveries: u64,
+}
+
+impl FaultReport {
+    /// The subset of counters that is a pure function of
+    /// `(program, FaultPlan)` — what the determinism sweeps compare.
+    pub fn deterministic_part(&self) -> (u64, u64, u64, u64, u64, u64) {
+        (
+            self.dropped,
+            self.duplicated,
+            self.delayed,
+            self.replayed,
+            self.retries,
+            self.dup_discarded,
+        )
+    }
+}
+
+impl std::fmt::Display for FaultReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "sent {} | injected: {} dropped, {} duplicated, {} delayed, {} replayed | \
+             protocol: {} retries, {} dup-discards, {} stale-discards, {} timeouts | \
+             {} rank failure(s), {} recovery(ies)",
+            self.sent,
+            self.dropped,
+            self.duplicated,
+            self.delayed,
+            self.replayed,
+            self.retries,
+            self.dup_discarded,
+            self.stale_discarded,
+            self.timeouts,
+            self.rank_failures,
+            self.recoveries,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decisions_are_deterministic() {
+        let p = FaultPlan::seeded(42);
+        for (from, to, seq, attempt) in [(0, 1, 0, 0), (1, 0, 7, 2), (3, 2, 100, 1)] {
+            let a = p.decide(0, from, to, seq, attempt);
+            let b = p.decide(0, from, to, seq, attempt);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ_somewhere() {
+        let a = FaultPlan::seeded(1);
+        let b = FaultPlan::seeded(2);
+        let differs = (0..200).any(|seq| a.decide(0, 0, 1, seq, 0) != b.decide(0, 0, 1, seq, 0));
+        assert!(differs, "seeds 1 and 2 produced identical schedules");
+    }
+
+    #[test]
+    fn drop_first_drops_exactly_n_attempts() {
+        let p = FaultPlan::drop_first(3);
+        for seq in 0..50 {
+            for attempt in 0..3 {
+                assert_eq!(p.decide(0, 0, 1, seq, attempt), FaultAction::Drop);
+            }
+            assert_eq!(p.decide(0, 0, 1, seq, 3), FaultAction::Deliver);
+        }
+    }
+
+    #[test]
+    fn probabilities_are_roughly_honored() {
+        let p = FaultPlan::seeded(7);
+        let n = 20_000;
+        let drops = (0..n)
+            .filter(|&seq| p.decide(0, 0, 1, seq, 0) == FaultAction::Drop)
+            .count();
+        let frac = drops as f64 / n as f64;
+        assert!(
+            (frac - p.drop_p).abs() < 0.02,
+            "drop fraction {frac} far from {}",
+            p.drop_p
+        );
+    }
+
+    #[test]
+    fn none_plan_never_faults() {
+        let p = FaultPlan::none();
+        for seq in 0..100 {
+            assert_eq!(p.decide(0, 1, 0, seq, 0), FaultAction::Deliver);
+        }
+    }
+}

@@ -13,6 +13,13 @@
 //! the full local set but early-return for halo ids — redundant-but-idempotent
 //! guards rather than sub-set iteration, mirroring how OP2 masks its
 //! exec-halo.
+//!
+//! Fault handling: all fabric errors surface as [`DistError`] values, and
+//! [`run_hybrid_opts`] accepts the same [`DistOptions`] as the flat
+//! executor for fault injection and deadline/retry tuning. Kill directives
+//! (and therefore checkpointed recovery) are **not** supported here — the
+//! per-rank OP2 runtime state cannot be re-partitioned mid-run; use
+//! [`crate::exec::run_distributed_opts`] for the recovery path.
 
 use std::sync::Arc;
 
@@ -22,12 +29,15 @@ use op2_airfoil::FlowConstants;
 use op2_core::{arg_direct, arg_indirect, Access, Dat, Map, ParLoop, Set};
 use op2_hpx::{make_executor, BackendKind, Op2Runtime};
 
-use crate::exec::DistReport;
-use crate::fabric::{Comm, Fabric};
+use crate::exec::{DistError, DistOptions, DistReport};
+use crate::fabric::{Comm, CommError, Fabric};
 use crate::partition::{build_local, LocalMesh, Partition};
 
 /// March `niter` iterations on `nranks` ranks, each executing its loops with
 /// `backend` on `threads_per_rank` workers.
+///
+/// # Errors
+/// See [`DistError`]; a clean network never fails.
 #[allow(clippy::too_many_arguments)]
 pub fn run_hybrid(
     data: &MeshData,
@@ -38,13 +48,16 @@ pub fn run_hybrid(
     backend: BackendKind,
     niter: usize,
     report_every: usize,
-) -> DistReport {
+) -> Result<DistReport, DistError> {
     let ncells = data.cell_nodes.len() / 4;
     let part = Partition::strips(ncells, nranks);
     run_hybrid_with(data, consts, q0, &part, threads_per_rank, backend, niter, report_every)
 }
 
 /// [`run_hybrid`] with an explicit partition (e.g. [`Partition::rcb`]).
+///
+/// # Errors
+/// See [`DistError`].
 #[allow(clippy::too_many_arguments)]
 pub fn run_hybrid_with(
     data: &MeshData,
@@ -55,27 +68,78 @@ pub fn run_hybrid_with(
     backend: BackendKind,
     niter: usize,
     report_every: usize,
-) -> DistReport {
+) -> Result<DistReport, DistError> {
+    run_hybrid_opts(
+        data,
+        consts,
+        q0,
+        part,
+        threads_per_rank,
+        backend,
+        niter,
+        report_every,
+        &DistOptions::default(),
+    )
+}
+
+/// [`run_hybrid_with`] plus fault injection and deadline/retry tuning.
+///
+/// # Errors
+/// See [`DistError`].
+///
+/// # Panics
+/// Panics if the plan contains a kill directive (no recovery path here —
+/// see the module docs).
+#[allow(clippy::too_many_arguments)]
+pub fn run_hybrid_opts(
+    data: &MeshData,
+    consts: &FlowConstants,
+    q0: &[f64],
+    part: &Partition,
+    threads_per_rank: usize,
+    backend: BackendKind,
+    niter: usize,
+    report_every: usize,
+    opts: &DistOptions,
+) -> Result<DistReport, DistError> {
     let ncells = data.cell_nodes.len() / 4;
     assert_eq!(q0.len(), 4 * ncells);
+    assert!(
+        opts.plan.as_ref().is_none_or(|p| p.kill.is_none()),
+        "kill directives require the flat executor's recovery path"
+    );
 
-    let results = Fabric::run(part.nranks, |comm| {
-        rank_main(
-            comm,
-            data,
-            consts,
-            q0,
-            part,
-            threads_per_rank,
-            backend,
-            niter,
-            report_every,
-        )
-    });
+    let mut builder = Fabric::builder(part.nranks).config(opts.config.clone());
+    if let Some(plan) = &opts.plan {
+        builder = builder.faults(plan.clone());
+    }
+    let run = builder
+        .launch(|comm| {
+            rank_main(
+                comm,
+                data,
+                consts,
+                q0,
+                part,
+                threads_per_rank,
+                backend,
+                niter,
+                report_every,
+            )
+        })
+        .map_err(DistError::Fabric)?;
 
     let mut final_q = vec![0.0; 4 * ncells];
     let mut rms = Vec::new();
-    for (r, (owned_q, history)) in results.into_iter().enumerate() {
+    let mut errors: Vec<(usize, CommError)> = Vec::new();
+    for (r, out) in run.results.into_iter().enumerate() {
+        let (owned_q, history) = match out {
+            Ok(v) => v,
+            Err(error) => {
+                errors.push((r, error));
+                continue;
+            }
+        };
         for (i, &g) in part.owned_cells(r).iter().enumerate() {
             final_q[4 * g as usize..4 * g as usize + 4]
                 .copy_from_slice(&owned_q[4 * i..4 * i + 4]);
@@ -84,7 +148,10 @@ pub fn run_hybrid_with(
             rms = history;
         }
     }
-    DistReport { rms, final_q }
+    if let Some((rank, error)) = crate::exec::root_cause(errors) {
+        return Err(DistError::Rank { rank, error });
+    }
+    Ok(DistReport { rms, final_q, faults: run.faults, recoveries: Vec::new() })
 }
 
 /// The per-rank OP2 declarations over the local mesh slice.
@@ -275,7 +342,7 @@ fn rank_main(
     backend: BackendKind,
     niter: usize,
     report_every: usize,
-) -> (Vec<f64>, Vec<(usize, f64)>) {
+) -> Result<(Vec<f64>, Vec<(usize, f64)>), CommError> {
     let app = build_rank_app(data, consts, q0, part, comm.rank());
     let rt = Arc::new(Op2Runtime::new(threads, 64));
     let exec = make_executor(backend, rt);
@@ -283,32 +350,37 @@ fn rank_main(
 
     let mut reports = Vec::new();
     for iter in 1..=niter {
+        comm.beat();
         // Exchanges touch the dats directly, so every issued loop must have
         // completed first (wait per loop; the halo exchange is the natural
         // synchronization point of the distributed configuration).
         exec.execute(&app.save_soln).wait();
         let mut rms_local = 0.0;
         for _stage in 0..2 {
-            hybrid_forward_exchange(&comm, &app.local, &app.q);
+            hybrid_forward_exchange(&comm, &app.local, &app.q)?;
             exec.execute(&app.adt_calc).wait();
             exec.execute(&app.res_calc).wait();
             exec.execute(&app.bres_calc).wait();
-            hybrid_reverse_exchange(&comm, &app.local, &app.res);
+            hybrid_reverse_exchange(&comm, &app.local, &app.res)?;
             let gbl = exec.execute(&app.update).get();
             rms_local += gbl[0];
         }
         if iter % report_every.max(1) == 0 || iter == niter {
-            let total = comm.allreduce_sum(&[rms_local])[0];
+            let total = comm.allreduce_sum(&[rms_local])?[0];
             reports.push((iter, (total / ncells_global as f64).sqrt()));
         }
     }
     exec.fence();
 
     let q = app.q.to_vec();
-    (q[..4 * app.local.nowned].to_vec(), reports)
+    Ok((q[..4 * app.local.nowned].to_vec(), reports))
 }
 
-fn hybrid_forward_exchange(comm: &Comm, local: &LocalMesh, q: &Dat<f64>) {
+fn hybrid_forward_exchange(
+    comm: &Comm,
+    local: &LocalMesh,
+    q: &Dat<f64>,
+) -> Result<(), CommError> {
     const TAG: u64 = 300;
     {
         let qd = q.data();
@@ -317,19 +389,24 @@ fn hybrid_forward_exchange(comm: &Comm, local: &LocalMesh, q: &Dat<f64>) {
             for &l in owned_locals {
                 payload.extend_from_slice(&qd[4 * l as usize..4 * l as usize + 4]);
             }
-            comm.send(*peer, TAG, payload);
+            comm.send(*peer, TAG, payload)?;
         }
     }
     let mut qd = q.data_mut();
     for (peer, halo_locals) in &local.imports {
-        let payload = comm.recv(*peer, TAG);
+        let payload = comm.recv(*peer, TAG)?;
         for (i, &l) in halo_locals.iter().enumerate() {
             qd[4 * l as usize..4 * l as usize + 4].copy_from_slice(&payload[4 * i..4 * i + 4]);
         }
     }
+    Ok(())
 }
 
-fn hybrid_reverse_exchange(comm: &Comm, local: &LocalMesh, res: &Dat<f64>) {
+fn hybrid_reverse_exchange(
+    comm: &Comm,
+    local: &LocalMesh,
+    res: &Dat<f64>,
+) -> Result<(), CommError> {
     const TAG: u64 = 400;
     let mut rd = res.data_mut();
     for (peer, halo_locals) in &local.imports {
@@ -338,23 +415,27 @@ fn hybrid_reverse_exchange(comm: &Comm, local: &LocalMesh, res: &Dat<f64>) {
             payload.extend_from_slice(&rd[4 * l as usize..4 * l as usize + 4]);
             rd[4 * l as usize..4 * l as usize + 4].fill(0.0);
         }
-        comm.send(*peer, TAG, payload);
+        comm.send(*peer, TAG, payload)?;
     }
     for (peer, owned_locals) in &local.exports {
-        let payload = comm.recv(*peer, TAG);
+        let payload = comm.recv(*peer, TAG)?;
         for (i, &l) in owned_locals.iter().enumerate() {
             for k in 0..4 {
                 rd[4 * l as usize + k] += payload[4 * i + k];
             }
         }
     }
+    Ok(())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::exec::run_distributed;
+    use crate::fabric::CommConfig;
+    use crate::fault::FaultPlan;
     use op2_airfoil::MeshBuilder;
+    use std::time::Duration;
 
     fn setup() -> (MeshData, FlowConstants, Vec<f64>) {
         let consts = FlowConstants::default();
@@ -367,9 +448,9 @@ mod tests {
     #[test]
     fn hybrid_matches_flat_distributed_within_rounding() {
         let (data, consts, q0) = setup();
-        let flat = run_distributed(&data, &consts, &q0, 3, 6, 2);
+        let flat = run_distributed(&data, &consts, &q0, 3, 6, 2).unwrap();
         for backend in [BackendKind::ForkJoin, BackendKind::Dataflow] {
-            let hyb = run_hybrid(&data, &consts, &q0, 3, 2, backend, 6, 2);
+            let hyb = run_hybrid(&data, &consts, &q0, 3, 2, backend, 6, 2).unwrap();
             for (a, b) in hyb.final_q.iter().zip(&flat.final_q) {
                 assert!(
                     (a - b).abs() <= 1e-11 * b.abs().max(1.0),
@@ -385,8 +466,8 @@ mod tests {
     #[test]
     fn hybrid_is_deterministic() {
         let (data, consts, q0) = setup();
-        let a = run_hybrid(&data, &consts, &q0, 2, 2, BackendKind::Dataflow, 4, 4);
-        let b = run_hybrid(&data, &consts, &q0, 2, 2, BackendKind::Dataflow, 4, 4);
+        let a = run_hybrid(&data, &consts, &q0, 2, 2, BackendKind::Dataflow, 4, 4).unwrap();
+        let b = run_hybrid(&data, &consts, &q0, 2, 2, BackendKind::Dataflow, 4, 4).unwrap();
         assert_eq!(
             a.final_q.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
             b.final_q.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
@@ -408,9 +489,70 @@ mod tests {
             BackendKind::ForkJoin,
             4,
             1,
-        );
+        )
+        .unwrap();
         for (_, rms) in rep.rms {
             assert!(rms < 1e-12);
+        }
+    }
+
+    #[test]
+    fn hybrid_masks_injected_drops_bit_identically() {
+        let (data, consts, q0) = setup();
+        let part = Partition::strips(200, 2);
+        let clean = run_hybrid_with(&data, &consts, &q0, &part, 2, BackendKind::ForkJoin, 4, 2)
+            .unwrap();
+        let opts = DistOptions {
+            plan: Some(FaultPlan::drop_first(2)),
+            ..DistOptions::default()
+        };
+        let faulty = run_hybrid_opts(
+            &data,
+            &consts,
+            &q0,
+            &part,
+            2,
+            BackendKind::ForkJoin,
+            4,
+            2,
+            &opts,
+        )
+        .unwrap();
+        assert_eq!(
+            faulty.final_q.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            clean.final_q.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+        assert!(faulty.faults.dropped > 0);
+        assert_eq!(faulty.faults.dropped, faulty.faults.retries);
+    }
+
+    /// A hybrid-path `recv` with no matching send must fail with a deadline
+    /// error, not hang (the flat-fabric twin lives in `fabric::tests`).
+    #[test]
+    fn hybrid_exchange_times_out_without_matching_send() {
+        let (data, consts, q0) = setup();
+        let part = Partition::strips(200, 2);
+        let cfg = CommConfig {
+            recv_deadline: Duration::from_millis(120),
+            ..CommConfig::default()
+        };
+        let run = Fabric::builder(2)
+            .config(cfg)
+            .launch(|comm| {
+                if comm.rank() == 0 {
+                    let app = build_rank_app(&data, &consts, &q0, &part, 0);
+                    // The peer never participates in the exchange, so the
+                    // import-side recv must hit its deadline.
+                    hybrid_forward_exchange(&comm, &app.local, &app.q)
+                } else {
+                    std::thread::sleep(Duration::from_millis(200));
+                    Ok(())
+                }
+            })
+            .unwrap();
+        match &run.results[0] {
+            Err(CommError::Timeout { rank: 0, from: 1, .. }) => {}
+            other => panic!("expected Timeout, got {other:?}"),
         }
     }
 }

@@ -26,15 +26,50 @@
 //! exactly. Across different rank counts, per-cell accumulation order
 //! changes, so agreement is to floating-point rounding — the same contract
 //! real OP2/MPI offers.
+//!
+//! ## Fault model & recovery
+//!
+//! The fabric is hardened against an adversarial network and against rank
+//! loss; the error-handling spine is the [`fabric::CommError`] result type
+//! threaded through every fabric operation and up through
+//! [`exec::run_distributed`] / [`hybrid::run_hybrid`]:
+//!
+//! * [`fault`] — a seeded, deterministic fault-injection shim
+//!   ([`fault::FaultPlan`]) that drops, duplicates, delays, reorders and
+//!   replays messages, and can kill a rank mid-march. Decisions are pure
+//!   functions of `(seed, epoch, from, to, seq, attempt)`, so a failing run
+//!   replays exactly from its printed seed (`FAULT_SEED`, the same
+//!   discipline as the deterministic scheduler's `DET_SEED`).
+//! * Protocol hardening in [`fabric`] — per-link sequence numbers with a
+//!   receive-side reorder buffer and duplicate/stale discard; synchronous
+//!   delivery as the ack with bounded retransmission + exponential backoff
+//!   on drops; deadlines on every blocking operation (a `recv` with no
+//!   matching send fails with [`fabric::CommError::Timeout`], never hangs);
+//!   heartbeat-based rank-failure detection.
+//! * [`checkpoint`] — periodic owned-cell snapshots
+//!   ([`checkpoint::CheckpointStore`]). On a detected rank loss the
+//!   survivors re-form the fabric ([`fabric::Comm::recover`]), re-partition
+//!   the mesh over the survivor set
+//!   ([`partition::Partition::strips_over`]), restore from the newest
+//!   *consistent* checkpoint, and continue the march; the run report counts
+//!   faults injected, retries taken, and recoveries performed
+//!   ([`fault::FaultReport`]).
 
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod exec;
 pub mod fabric;
+pub mod fault;
 pub mod hybrid;
 pub mod partition;
 
-pub use exec::{run_distributed, run_distributed_with, DistReport};
-pub use hybrid::{run_hybrid, run_hybrid_with};
-pub use fabric::{Comm, Fabric};
+pub use checkpoint::CheckpointStore;
+pub use exec::{
+    run_distributed, run_distributed_opts, run_distributed_with, DistError, DistOptions,
+    DistReport, Recovery,
+};
+pub use fabric::{Comm, CommConfig, CommError, Fabric, FabricError, COLLECTIVE_TAG_BIT};
+pub use fault::{FaultPlan, FaultReport, KillSpec};
+pub use hybrid::{run_hybrid, run_hybrid_opts, run_hybrid_with};
 pub use partition::{cell_centroids, total_halo_cells, LocalMesh, Partition};

@@ -60,6 +60,30 @@ impl Partition {
         Partition::from_owner(owner, nranks)
     }
 
+    /// Contiguous strips assigned to an explicit subset of ranks — the
+    /// re-partitioning used when the fabric re-forms after a rank failure.
+    /// Strip `i` (of `ranks.len()` equal strips) goes to `ranks[i]`; the
+    /// partition still spans `nranks_total` rank ids, so `owner` values
+    /// remain valid fabric ranks and dead ranks simply own nothing.
+    ///
+    /// With `ranks == [0, 1, …, n-1]` this equals
+    /// [`Partition::strips`]`(ncells, n)` exactly, and because survivor
+    /// ranks ascend with strip index, the recovered march's exchange and
+    /// reduction orders match a fresh `n`-rank run bit for bit.
+    pub fn strips_over(ncells: usize, ranks: &[usize], nranks_total: usize) -> Partition {
+        assert!(!ranks.is_empty(), "survivor set must be non-empty");
+        let n = ranks.len();
+        let base = ncells / n;
+        let extra = ncells % n;
+        let mut owner = Vec::with_capacity(ncells);
+        for (i, &r) in ranks.iter().enumerate() {
+            assert!(r < nranks_total, "rank {r} outside fabric of {nranks_total}");
+            let len = base + usize::from(i < extra);
+            owner.extend(std::iter::repeat_n(r as u32, len));
+        }
+        Partition::from_owner(owner, nranks_total)
+    }
+
     /// Recursive coordinate bisection over cell centroids: repeatedly split
     /// the largest-extent axis at the median. `nranks` need not be a power
     /// of two (splits are weighted by the rank counts of each half).
@@ -316,6 +340,32 @@ mod tests {
             }
             assert_eq!(covered, ncells);
         }
+    }
+
+    #[test]
+    fn strips_over_full_rank_set_equals_strips() {
+        for (ncells, nranks) in [(10, 3), (7, 7), (100, 4)] {
+            let all: Vec<usize> = (0..nranks).collect();
+            let a = Partition::strips(ncells, nranks);
+            let b = Partition::strips_over(ncells, &all, nranks);
+            for c in 0..ncells {
+                assert_eq!(a.owner(c), b.owner(c), "cell {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn strips_over_survivors_covers_all_cells_and_skips_dead_ranks() {
+        let survivors = [0usize, 2, 3];
+        let p = Partition::strips_over(10, &survivors, 4);
+        assert_eq!(p.nranks, 4, "partition spans the full fabric");
+        assert!(p.owned_cells(1).is_empty(), "dead rank owns nothing");
+        let total: usize = survivors.iter().map(|&r| p.owned_cells(r).len()).sum();
+        assert_eq!(total, 10);
+        // Survivor ranks ascend with strip index (10 = 4 + 3 + 3).
+        assert_eq!(p.owned_cells(0), (0..4).collect::<Vec<u32>>());
+        assert_eq!(p.owned_cells(2), (4..7).collect::<Vec<u32>>());
+        assert_eq!(p.owned_cells(3), (7..10).collect::<Vec<u32>>());
     }
 
     #[test]

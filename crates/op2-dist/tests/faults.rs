@@ -1,0 +1,331 @@
+//! Fault-injection and recovery integration tests for the distributed
+//! time-march.
+//!
+//! Mirrors the seed discipline of `tests/det_schedules.rs`: the sweep runs
+//! ≥16 seeds, every assertion message carries a `FAULT_SEED=<seed>` replay
+//! line, and setting `FAULT_SEED` narrows the sweep to that one seed.
+//!
+//! What must hold:
+//!
+//! * **Masking** — injected message loss at every retry budget below
+//!   exhaustion (plus duplicates, delays, reorders, replays) yields results
+//!   bit-identical to the fault-free run for the same `(mesh, nranks)`.
+//! * **Determinism under faults** — same `(mesh, nranks, FaultPlan seed)` ⇒
+//!   bit-identical results *and* identical deterministic fault counters
+//!   across independent runs.
+//! * **Recovery** — a forced kill of one rank mid-march restores the last
+//!   consistent checkpoint, re-partitions over the survivors, and finishes
+//!   with results matching a fresh survivors-only run.
+
+use op2_airfoil::mesh::MeshData;
+use op2_airfoil::{FlowConstants, MeshBuilder};
+use op2_dist::exec::{run_distributed_opts, DistError, DistOptions};
+use op2_dist::{CommConfig, CommError, Fabric, FaultPlan, Partition};
+
+/// Seeds swept (unless `FAULT_SEED` narrows the run to one).
+const NUM_SEEDS: u64 = 16;
+
+fn seeds_to_run() -> Vec<u64> {
+    match std::env::var("FAULT_SEED") {
+        Ok(s) => vec![s
+            .trim()
+            .parse()
+            .expect("FAULT_SEED must be an unsigned integer")],
+        Err(_) => (0..NUM_SEEDS).collect(),
+    }
+}
+
+fn replay_hint(seed: u64) -> String {
+    format!("replay: FAULT_SEED={seed} cargo test -p op2-dist --test faults")
+}
+
+fn setup(nx: usize, ny: usize) -> (MeshData, FlowConstants, Vec<f64>) {
+    let consts = FlowConstants::default();
+    let builder = MeshBuilder::channel(nx, ny);
+    let mesh = builder.build(&consts);
+    mesh.add_pulse(1.0, 0.5, 0.25, 0.2, &consts);
+    (builder.data(), consts, mesh.p_q.to_vec())
+}
+
+fn bits(q: &[f64]) -> Vec<u64> {
+    q.iter().map(|v| v.to_bits()).collect()
+}
+
+/// The tentpole sweep: for ≥16 seeds, a run under the seeded fault mix is
+/// (a) replayable bit-for-bit, (b) bit-identical to the fault-free run
+/// (every fault masked by the protocol), and (c) produces identical
+/// deterministic fault counters across replays.
+#[test]
+fn seeded_fault_runs_are_deterministic_and_masked() {
+    let (data, consts, q0) = setup(16, 8);
+    let nranks = 3;
+    let niter = 3;
+    let part = Partition::strips(16 * 8, nranks);
+    let clean = run_distributed_opts(
+        &data,
+        &consts,
+        &q0,
+        &part,
+        niter,
+        1,
+        &DistOptions::default(),
+    )
+    .expect("clean run");
+
+    for seed in seeds_to_run() {
+        let hint = replay_hint(seed);
+        let opts = DistOptions {
+            plan: Some(FaultPlan::seeded(seed)),
+            ..DistOptions::default()
+        };
+        let a = run_distributed_opts(&data, &consts, &q0, &part, niter, 1, &opts)
+            .unwrap_or_else(|e| panic!("faulty run failed: {e}\n{hint}"));
+        let b = run_distributed_opts(&data, &consts, &q0, &part, niter, 1, &opts)
+            .unwrap_or_else(|e| panic!("faulty replay failed: {e}\n{hint}"));
+
+        assert_eq!(bits(&a.final_q), bits(&b.final_q), "replay diverged\n{hint}");
+        assert_eq!(a.rms, b.rms, "replay rms diverged\n{hint}");
+        assert_eq!(
+            a.faults.deterministic_part(),
+            b.faults.deterministic_part(),
+            "fault schedule not replayable\n{hint}"
+        );
+        assert_eq!(
+            bits(&a.final_q),
+            bits(&clean.final_q),
+            "faults leaked into results\n{hint}"
+        );
+        assert_eq!(a.rms, clean.rms, "faults leaked into rms\n{hint}");
+    }
+}
+
+/// Different fault seeds must actually inject different schedules
+/// (otherwise the sweep above replays one scenario 16 times).
+#[test]
+fn different_fault_seeds_inject_different_schedules() {
+    let (data, consts, q0) = setup(16, 8);
+    let part = Partition::strips(16 * 8, 3);
+    let mut schedules = std::collections::HashSet::new();
+    for seed in 0..8 {
+        let opts = DistOptions {
+            plan: Some(FaultPlan::seeded(seed)),
+            ..DistOptions::default()
+        };
+        let rep = run_distributed_opts(&data, &consts, &q0, &part, 2, 2, &opts)
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}\n{}", replay_hint(seed)));
+        schedules.insert(rep.faults.deterministic_part());
+    }
+    assert!(
+        schedules.len() > 1,
+        "8 seeds produced a single fault schedule — injection is not exploring"
+    );
+}
+
+/// Message loss at *every* retry budget below exhaustion is fully masked:
+/// dropping the first `k` transmissions of every message leaves results
+/// bit-identical for all `k <= max_retries`, and the first budget beyond
+/// that fails loudly with `RetriesExhausted`.
+#[test]
+fn every_survivable_drop_budget_is_masked_and_one_beyond_fails() {
+    let (data, consts, q0) = setup(16, 8);
+    let nranks = 3;
+    let niter = 3;
+    let part = Partition::strips(16 * 8, nranks);
+    let config = CommConfig {
+        max_retries: 4,
+        ..CommConfig::default()
+    };
+    let clean = run_distributed_opts(
+        &data,
+        &consts,
+        &q0,
+        &part,
+        niter,
+        1,
+        &DistOptions { config: config.clone(), ..DistOptions::default() },
+    )
+    .expect("clean run");
+
+    for k in 0..=config.max_retries {
+        let opts = DistOptions {
+            config: config.clone(),
+            plan: Some(FaultPlan::drop_first(k)),
+            ..DistOptions::default()
+        };
+        let rep = run_distributed_opts(&data, &consts, &q0, &part, niter, 1, &opts)
+            .unwrap_or_else(|e| panic!("drop budget k={k} should be masked: {e}"));
+        assert_eq!(bits(&rep.final_q), bits(&clean.final_q), "k = {k}");
+        assert_eq!(rep.rms, clean.rms, "k = {k}");
+        if k > 0 {
+            assert_eq!(rep.faults.dropped, rep.faults.retries, "k = {k}");
+            assert!(rep.faults.dropped > 0, "k = {k} injected nothing");
+        }
+    }
+
+    // One drop beyond the budget: the sender must report exhaustion, not hang.
+    let opts = DistOptions {
+        config: config.clone(),
+        plan: Some(FaultPlan::drop_first(config.max_retries + 1)),
+        ..DistOptions::default()
+    };
+    match run_distributed_opts(&data, &consts, &q0, &part, niter, 1, &opts) {
+        Err(DistError::Rank {
+            error: CommError::RetriesExhausted { .. },
+            ..
+        }) => {}
+        other => panic!("expected RetriesExhausted, got {other:?}"),
+    }
+}
+
+/// The acceptance scenario: rank 1 of 4 is killed at the start of iteration
+/// 5 of 8 with checkpoints every 2 iterations. The survivors must restore
+/// the iteration-4 checkpoint, re-partition, and finish with exactly the
+/// state a fresh survivors-only run produces from that checkpoint.
+#[test]
+fn kill_mid_march_recovers_and_matches_survivors_only_run() {
+    let (data, consts, q0) = setup(24, 12);
+    let ncells = 24 * 12;
+    let niter = 8;
+    let kill_at = 5;
+    let ckpt_every = 2;
+    let seed_line = "replay: deterministic kill scenario (rank 1 @ iter 5, ckpt every 2)";
+
+    let part = Partition::strips(ncells, 4);
+    let opts = DistOptions {
+        plan: Some(FaultPlan::none().with_kill(1, kill_at)),
+        checkpoint_every: ckpt_every,
+        ..DistOptions::default()
+    };
+    let rep = run_distributed_opts(&data, &consts, &q0, &part, niter, niter, &opts)
+        .unwrap_or_else(|e| panic!("march did not survive the kill: {e}\n{seed_line}"));
+
+    assert_eq!(rep.recoveries.len(), 1, "{seed_line}");
+    let rec = &rep.recoveries[0];
+    assert_eq!(rec.failed, vec![1]);
+    assert_eq!(rec.survivors, vec![0, 2, 3]);
+    assert_eq!(rec.restored_iter, 4, "newest complete checkpoint before the kill");
+    assert_eq!(rep.faults.rank_failures, 1);
+    assert_eq!(rep.faults.recoveries, 1);
+
+    // Reference: the same march on a clean 4-rank fabric up to the restored
+    // checkpoint, then a *fresh survivors-only* run for the rest. The
+    // recovered fabric's strips-over-survivors partition marches in the
+    // same order as a fresh 3-rank run, so agreement is exact.
+    let pre = run_distributed_opts(
+        &data,
+        &consts,
+        &q0,
+        &part,
+        rec.restored_iter,
+        rec.restored_iter,
+        &DistOptions::default(),
+    )
+    .expect("reference prefix run");
+    let post = run_distributed_opts(
+        &data,
+        &consts,
+        &pre.final_q,
+        &Partition::strips(ncells, rec.survivors.len()),
+        niter - rec.restored_iter,
+        niter - rec.restored_iter,
+        &DistOptions::default(),
+    )
+    .expect("reference survivors-only run");
+
+    let mut sq = 0.0;
+    for (a, b) in rep.final_q.iter().zip(&post.final_q) {
+        sq += (a - b) * (a - b);
+    }
+    let rms_diff = (sq / post.final_q.len() as f64).sqrt();
+    assert!(
+        rms_diff <= 1e-12,
+        "recovered state differs from survivors-only run: RMS {rms_diff:e}\n{seed_line}"
+    );
+    assert_eq!(
+        bits(&rep.final_q),
+        bits(&post.final_q),
+        "recovered march not bit-identical to survivors-only run\n{seed_line}"
+    );
+}
+
+/// Kills swept across ranks and iterations: recovery must succeed and stay
+/// internally consistent everywhere, not just in the curated scenario.
+#[test]
+fn kills_across_ranks_and_iterations_all_recover() {
+    let (data, consts, q0) = setup(16, 8);
+    let ncells = 16 * 8;
+    let niter = 6;
+    let part = Partition::strips(ncells, 4);
+    for victim in [1, 2, 3] {
+        for kill_at in [2, 4, 6] {
+            let opts = DistOptions {
+                plan: Some(FaultPlan::none().with_kill(victim, kill_at)),
+                checkpoint_every: 2,
+                ..DistOptions::default()
+            };
+            let rep = run_distributed_opts(&data, &consts, &q0, &part, niter, niter, &opts)
+                .unwrap_or_else(|e| {
+                    panic!("kill rank {victim} @ iter {kill_at} not survived: {e}")
+                });
+            assert_eq!(rep.recoveries.len(), 1, "victim {victim} @ {kill_at}");
+            assert!(
+                !rep.recoveries[0].survivors.contains(&victim),
+                "victim {victim} still in survivor set"
+            );
+            assert!(
+                rep.rms.iter().all(|(_, r)| r.is_finite()),
+                "victim {victim} @ {kill_at}: non-finite rms"
+            );
+            assert_eq!(rep.final_q.len(), 4 * ncells);
+        }
+    }
+}
+
+/// Faults and a kill together: the fault schedule before and after the
+/// re-formation is still fully masked and the whole scenario replays
+/// bit-for-bit from its seed.
+#[test]
+fn kill_with_message_faults_still_replays_bitwise() {
+    let (data, consts, q0) = setup(16, 8);
+    let part = Partition::strips(16 * 8, 4);
+    for seed in [3u64, 11, 29] {
+        let hint = replay_hint(seed);
+        let opts = DistOptions {
+            plan: Some(FaultPlan::seeded(seed).with_kill(2, 3)),
+            checkpoint_every: 2,
+            ..DistOptions::default()
+        };
+        let a = run_distributed_opts(&data, &consts, &q0, &part, 5, 5, &opts)
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}\n{hint}"));
+        let b = run_distributed_opts(&data, &consts, &q0, &part, 5, 5, &opts)
+            .unwrap_or_else(|e| panic!("seed {seed} replay: {e}\n{hint}"));
+        assert_eq!(bits(&a.final_q), bits(&b.final_q), "seed {seed}\n{hint}");
+        assert_eq!(a.rms, b.rms, "seed {seed}\n{hint}");
+        assert_eq!(a.recoveries, b.recoveries, "seed {seed}\n{hint}");
+    }
+}
+
+/// Protocol-bug coverage at the public API: a lone rank receiving from a
+/// peer that never sends gets a deadline error, never a hang.
+#[test]
+fn recv_with_no_matching_send_fails_with_deadline_error() {
+    let cfg = CommConfig {
+        recv_deadline: std::time::Duration::from_millis(100),
+        ..CommConfig::default()
+    };
+    let run = Fabric::builder(2)
+        .config(cfg)
+        .launch(|comm| {
+            if comm.rank() == 0 {
+                comm.recv(1, 77).map(|_| ())
+            } else {
+                std::thread::sleep(std::time::Duration::from_millis(150));
+                Ok(())
+            }
+        })
+        .expect("no rank panicked");
+    match &run.results[0] {
+        Err(CommError::Timeout { from: 1, tag: 77, .. }) => {}
+        other => panic!("expected a deadline error, got {other:?}"),
+    }
+}

@@ -1,10 +1,21 @@
 //! Time breakdown at 32 workers: where does each method's makespan go?
 //! (kernel work, synchronization, probe, driver waits, and idle).
+//!
+//! Usage: `breakdown [--real]` — the default breaks down the deterministic
+//! machine-model simulation; `--real` measures the actual runtime with the
+//! op2-trace recorder and attributes barrier-wait vs dependency-wait time
+//! per loop (requires the `trace` feature, on by default here).
+use op2_bench::realtrace::{backend_label, run_real};
 use op2_bench::*;
+use op2_hpx::BackendKind;
 use op2_simsched::methods::build_graph;
 use op2_simsched::{airfoil_workload, simulate_traced, SimMethod};
 
 fn main() {
+    if std::env::args().any(|a| a == "--real") {
+        real_breakdown();
+        return;
+    }
     let (imax, jmax) = figure_mesh();
     let spec = airfoil_workload(imax, jmax, FIGURE_PART_SIZE);
     let m = machine();
@@ -30,4 +41,44 @@ fn main() {
         );
     }
     println!("\n(work/sync/probe/driver are total task time across workers; idle is per-worker average)");
+}
+
+/// Measured (not simulated) breakdown: one Airfoil iteration per backend on
+/// host threads, recorded by op2-trace.
+fn real_breakdown() {
+    if !op2_trace::COMPILED {
+        eprintln!("breakdown --real requires the `trace` feature (op2-trace/record)");
+        std::process::exit(1);
+    }
+    let threads = 2;
+    println!("# Measured breakdown @ {threads} host thread(s) (60x30, 1 iteration), µs");
+    println!(
+        "{:<16} {:>9} {:>9} {:>12} {:>12} {:>12} {:>8}",
+        "method", "wall", "cp", "barrier", "stalled", "depwait", "idle%"
+    );
+    let mut reports = Vec::new();
+    for kind in [
+        BackendKind::ForkJoin,
+        BackendKind::ForEachStatic(4),
+        BackendKind::Async,
+        BackendKind::Dataflow,
+    ] {
+        let run = run_real(kind, threads, (60, 30), 1, true);
+        let rep = &run.report;
+        println!(
+            "{:<16} {:>9} {:>9} {:>12} {:>12} {:>12} {:>8.1}",
+            backend_label(kind),
+            rep.wall_ns / 1000,
+            rep.critical_path_ns / 1000,
+            rep.barrier_wait_ns() / 1000,
+            rep.barrier_stalled_ns / 1000,
+            rep.dep_wait_ns / 1000,
+            rep.idle_fraction * 100.0,
+        );
+        reports.push((backend_label(kind), run.report));
+    }
+    for (label, report) in &reports {
+        println!("\n# per-loop report: {label}");
+        println!("{}", report.render());
+    }
 }

@@ -1,25 +1,36 @@
 //! Run the *real* Airfoil backends on host threads and report wall-clock
-//! times — the physical (non-simulated) check. On a 1-core host this mainly
-//! validates the 1-thread-parity claim; on a many-core machine it produces a
-//! genuine strong-scaling measurement.
+//! times plus the pool's performance counters — the physical (non-simulated)
+//! check. On a 1-core host this mainly validates the 1-thread-parity claim;
+//! on a many-core machine it produces a genuine strong-scaling measurement.
 //!
-//! Usage: realrun [THREADS ...]   (default: 1)
-use std::sync::Arc;
-use std::time::Instant;
-
-use op2_airfoil::{FlowConstants, MeshBuilder, Simulation, SyncStrategy};
-use op2_hpx::{make_executor, BackendKind, Op2Runtime};
+//! Usage: realrun [--trace] [THREADS ...]   (default: 1 thread)
+//!
+//! `--trace` additionally records each run with the op2-trace collector and
+//! prints the per-loop wall/barrier/dep-wait report (requires the `trace`
+//! feature, on by default for this crate).
+use op2_bench::realtrace::{backend_label, run_real};
+use op2_hpx::BackendKind;
 
 fn main() {
-    let threads: Vec<usize> = std::env::args()
-        .skip(1)
-        .map(|a| a.parse().expect("thread count"))
-        .collect();
-    let threads = if threads.is_empty() { vec![1] } else { threads };
+    let mut trace = false;
+    let mut threads: Vec<usize> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        if arg == "--trace" {
+            trace = true;
+        } else {
+            threads.push(arg.parse().expect("thread count"));
+        }
+    }
+    if threads.is_empty() {
+        threads.push(1);
+    }
+    if trace && !op2_trace::COMPILED {
+        eprintln!("warning: --trace requested but the `trace` feature is off; reports will be empty");
+    }
     let iters = 20;
-    let consts = FlowConstants::default();
 
-    println!("backend,threads,seconds,final_rms");
+    println!("backend,threads,seconds,final_rms,tasks_spawned,tasks_executed,steals,parks,barrier_waits,dep_waits");
+    let mut reports = Vec::new();
     for &t in &threads {
         for kind in [
             BackendKind::ForkJoin,
@@ -28,15 +39,33 @@ fn main() {
             BackendKind::Async,
             BackendKind::Dataflow,
         ] {
-            let mesh = MeshBuilder::channel(120, 60).build(&consts);
-            mesh.add_pulse(1.0, 0.5, 0.25, 0.2, &consts);
-            let rt = Arc::new(Op2Runtime::new(t, 128));
-            let exec = make_executor(kind, rt);
-            let sim = Simulation::new(mesh, &consts, exec, SyncStrategy::for_backend(kind));
-            let start = Instant::now();
-            let reports = sim.run(iters, iters);
-            let secs = start.elapsed().as_secs_f64();
-            println!("{kind},{t},{secs:.4},{:.6e}", reports.last().unwrap().1);
+            let run = run_real(kind, t, (120, 60), iters, trace);
+            let m = run.metrics.unwrap_or(hpx_rt::MetricsSnapshot {
+                tasks_spawned: 0,
+                tasks_executed: 0,
+                steals: 0,
+                parks: 0,
+                barrier_waits: 0,
+                dep_waits: 0,
+            });
+            println!(
+                "{kind},{t},{:.4},{:.6e},{},{},{},{},{},{}",
+                run.seconds,
+                run.final_rms,
+                m.tasks_spawned,
+                m.tasks_executed,
+                m.steals,
+                m.parks,
+                m.barrier_waits,
+                m.dep_waits,
+            );
+            if trace {
+                reports.push((backend_label(kind), t, run.report));
+            }
         }
+    }
+    for (label, t, report) in reports {
+        println!("\n# per-loop report: {label} @ {t} thread(s)");
+        println!("{}", report.render());
     }
 }

@@ -19,6 +19,7 @@
 //! model (this host does not have 32 hardware threads); `realrun` and the
 //! Criterion benches exercise the real runtime.
 
+pub mod realtrace;
 pub mod svg;
 
 use op2_simsched::{MachineParams, ScalePoint, SimMethod};

@@ -21,7 +21,7 @@ use parking_lot::Mutex;
 use crate::colored::{run_colored, run_colored_task};
 use crate::handle::LoopHandle;
 use crate::runtime::Op2Runtime;
-use crate::Executor;
+use crate::{tracehooks, Executor};
 
 /// Future-returning executor (`async` for direct loops,
 /// `for_each(par(task))` for indirect ones).
@@ -56,20 +56,42 @@ impl Executor for AsyncExecutor {
         let plan = self.rt.plan_for(loop_);
         let pool = Arc::clone(self.rt.pool());
         let chunk = self.chunk;
-        let fut = if loop_.is_direct() {
+        let instance = tracehooks::next_instance();
+        // This backend has no automatic ordering: the caller's explicit
+        // `.get()`/`wait()` placements *are* the dependency statements, so
+        // the measured graph edges run from every instance this thread
+        // synchronized on since its last issue to the new loop.
+        for synced in tracehooks::synced_drain() {
+            tracehooks::edge(synced, instance);
+        }
+        let direct = loop_.is_direct();
+        let fut = if direct {
             // Fig. 8: return async(launch::async, [=]{ for_each(par, …) }).
             let loop_ = loop_.clone();
             let pool2 = Arc::clone(&pool);
             async_spawn(&pool, move || {
-                run_colored(&pool2, &loop_, &plan, chunk)
+                tracehooks::loop_begin(loop_.name(), "async-foreach", instance);
+                let out = run_colored(&pool2, &loop_, &plan, chunk);
+                tracehooks::loop_end(instance);
+                out
             })
         } else {
             // Fig. 9: for_each(par(task)) — continuation-chained colors.
+            tracehooks::loop_begin(loop_.name(), "async-foreach", instance);
             run_colored_task(&pool, loop_, &plan, chunk)
         };
-        let shared = fut.share();
+        let mut shared = fut.share();
+        if !direct && op2_trace::enabled() {
+            // Close the loop span when the last color's continuation fires.
+            shared = shared
+                .then(&pool, move |gbl| {
+                    tracehooks::loop_end(instance);
+                    gbl
+                })
+                .share();
+        }
         self.outstanding.lock().push(shared.clone());
-        LoopHandle::pending(shared)
+        LoopHandle::pending(shared).with_instance(instance)
     }
 
     fn fence(&self) {
@@ -77,6 +99,9 @@ impl Executor for AsyncExecutor {
         for f in pending {
             let _ = f.get();
         }
+        // Everything is complete now: discard synced-with instances so they
+        // don't become spurious trace edges into a later program's loops.
+        let _ = tracehooks::synced_drain();
     }
 
     fn is_asynchronous(&self) -> bool {

@@ -30,15 +30,19 @@ use parking_lot::Mutex;
 use crate::colored::run_colored;
 use crate::handle::LoopHandle;
 use crate::runtime::Op2Runtime;
-use crate::Executor;
+use crate::{tracehooks, Executor};
 
 /// Readers-since-write lists longer than this are merged into one future.
 const READER_COMPACT_THRESHOLD: usize = 64;
 
+/// A dependency source: its completion future plus the trace loop-instance
+/// id of the producing loop (0 for compacted reader bundles).
+type Dep = (SharedFuture<()>, u64);
+
 #[derive(Default)]
 struct DatDeps {
-    last_writer: Option<SharedFuture<()>>,
-    readers_since_write: Vec<SharedFuture<()>>,
+    last_writer: Option<Dep>,
+    readers_since_write: Vec<Dep>,
 }
 
 /// Dataflow executor: automatic inter-loop dependency DAG from the declared
@@ -85,20 +89,27 @@ impl Executor for DataflowExecutor {
         // Gather dependency futures. Loops are issued in program order from
         // one thread; the table lock makes the read-modify-write atomic.
         let mut table = self.table.lock();
+        let instance = tracehooks::next_instance();
         let mut deps: Vec<SharedFuture<()>> = Vec::new();
+        let mut push_dep = |(fut, from): &Dep| {
+            deps.push(fut.clone());
+            tracehooks::edge(*from, instance);
+        };
         for id in &reads {
             if let Some(d) = table.get(id) {
                 if let Some(w) = &d.last_writer {
-                    deps.push(w.clone());
+                    push_dep(w); // read-after-write
                 }
             }
         }
         for id in &writes {
             if let Some(d) = table.get(id) {
                 if let Some(w) = &d.last_writer {
-                    deps.push(w.clone());
+                    push_dep(w); // write-after-write
                 }
-                deps.extend(d.readers_since_write.iter().cloned());
+                for r in &d.readers_since_write {
+                    push_dep(r); // write-after-read
+                }
             }
         }
 
@@ -116,7 +127,12 @@ impl Executor for DataflowExecutor {
         let body = join.then(&pool, move |_| {
             #[cfg(feature = "det")]
             op2_core::det::dataflow_begin(df_token);
+            // The loop span covers the body continuation only — from the
+            // last dependency resolving to completion — so there is never a
+            // barrier (or any caller-side blocking) inside it.
+            tracehooks::loop_begin(body_loop.name(), "dataflow", instance);
             let out = run_colored(&body_pool, &body_loop, &plan, chunk);
+            tracehooks::loop_end(instance);
             // Completion is recorded before the body's future resolves, so
             // any dependent that begins afterwards observes it as done.
             #[cfg(feature = "det")]
@@ -128,13 +144,13 @@ impl Executor for DataflowExecutor {
 
         for id in &writes {
             let entry = table.entry(*id).or_default();
-            entry.last_writer = Some(done.clone());
+            entry.last_writer = Some((done.clone(), instance));
             entry.readers_since_write.clear();
         }
         for id in &reads {
             if !writes.contains(id) {
                 let entry = table.entry(*id).or_default();
-                entry.readers_since_write.push(done.clone());
+                entry.readers_since_write.push((done.clone(), instance));
                 // A dat that is read every iteration but (almost) never
                 // written — e.g. mesh coordinates — would accumulate one
                 // reader per loop forever. Compact the list by merging it
@@ -142,16 +158,20 @@ impl Executor for DataflowExecutor {
                 if entry.readers_since_write.len() > READER_COMPACT_THRESHOLD {
                     let merged = when_all_shared_unit(
                         &pool,
-                        std::mem::take(&mut entry.readers_since_write),
+                        entry
+                            .readers_since_write
+                            .drain(..)
+                            .map(|(f, _)| f)
+                            .collect(),
                     )
                     .share();
-                    entry.readers_since_write.push(merged);
+                    entry.readers_since_write.push((merged, 0));
                 }
             }
         }
         drop(table);
 
-        LoopHandle::pending(rms)
+        LoopHandle::pending(rms).with_instance(instance)
     }
 
     fn fence(&self) {
@@ -165,8 +185,8 @@ impl Executor for DataflowExecutor {
                 .flat_map(|d| {
                     d.last_writer
                         .iter()
-                        .cloned()
-                        .chain(d.readers_since_write.iter().cloned())
+                        .chain(d.readers_since_write.iter())
+                        .map(|(f, _)| f.clone())
                 })
                 .collect()
         };

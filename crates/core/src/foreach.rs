@@ -7,21 +7,24 @@
 //! chunk from the measured per-iteration time) or a **static chunk size**,
 //! whose comparison is exactly Fig. 16 of the paper.
 
+use std::sync::atomic::AtomicU64;
 use std::sync::Arc;
 
 use hpx_rt::ChunkSize;
 use op2_core::ParLoop;
+use op2_trace::{EventKind, NO_NAME};
 
 use crate::colored::run_colored;
 use crate::handle::LoopHandle;
 use crate::runtime::Op2Runtime;
-use crate::Executor;
+use crate::{tracehooks, Executor};
 
 /// `for_each(par)` executor with configurable grain size.
 pub struct ForEachExecutor {
     rt: Arc<Op2Runtime>,
     chunk: ChunkSize,
     name: &'static str,
+    last_instance: AtomicU64,
 }
 
 impl ForEachExecutor {
@@ -31,6 +34,7 @@ impl ForEachExecutor {
             rt,
             chunk: ChunkSize::auto(),
             name: "foreach-auto",
+            last_instance: AtomicU64::new(0),
         }
     }
 
@@ -40,6 +44,7 @@ impl ForEachExecutor {
             rt,
             chunk: ChunkSize::Static(size.max(1)),
             name: "foreach-static",
+            last_instance: AtomicU64::new(0),
         }
     }
 
@@ -49,6 +54,7 @@ impl ForEachExecutor {
             rt,
             chunk,
             name: "foreach",
+            last_instance: AtomicU64::new(0),
         }
     }
 
@@ -65,8 +71,16 @@ impl Executor for ForEachExecutor {
 
     fn execute(&self, loop_: &ParLoop) -> LoopHandle {
         let plan = self.rt.plan_for(loop_);
+        let instance = tracehooks::next_instance();
+        tracehooks::chain(&self.last_instance, instance);
+        tracehooks::loop_begin(loop_.name(), self.name, instance);
+        // Still fork-join: the caller is held at the implicit barrier for
+        // the whole blocking call (work-helping netted out by the assembler).
+        let span = op2_trace::begin();
         let gbl = run_colored(self.rt.pool(), loop_, &plan, self.chunk);
-        LoopHandle::ready(gbl)
+        op2_trace::end(span, EventKind::BarrierWait, NO_NAME, instance, 0);
+        tracehooks::loop_end(instance);
+        LoopHandle::ready(gbl).with_instance(instance)
     }
 
     fn fence(&self) {}

@@ -8,25 +8,31 @@
 //! partitioned into exactly one contiguous chunk per worker, and `execute`
 //! blocks until the loop (and hence its barrier) is done.
 
+use std::sync::atomic::AtomicU64;
 use std::sync::Arc;
 
 use hpx_rt::ChunkSize;
 use op2_core::ParLoop;
+use op2_trace::{EventKind, NO_NAME};
 
 use crate::colored::run_colored;
 use crate::handle::LoopHandle;
 use crate::runtime::Op2Runtime;
-use crate::Executor;
+use crate::{tracehooks, Executor};
 
 /// OpenMP-style fork-join executor (the paper's baseline).
 pub struct ForkJoinExecutor {
     rt: Arc<Op2Runtime>,
+    last_instance: AtomicU64,
 }
 
 impl ForkJoinExecutor {
     /// Fork-join executor on `rt`.
     pub fn new(rt: Arc<Op2Runtime>) -> Self {
-        ForkJoinExecutor { rt }
+        ForkJoinExecutor {
+            rt,
+            last_instance: AtomicU64::new(0),
+        }
     }
 }
 
@@ -42,13 +48,22 @@ impl Executor for ForkJoinExecutor {
             .nblocks()
             .div_ceil(self.rt.num_threads())
             .max(1);
+        let instance = tracehooks::next_instance();
+        tracehooks::chain(&self.last_instance, instance);
+        tracehooks::loop_begin(loop_.name(), self.name(), instance);
+        // The whole blocking call is the implicit end-of-loop barrier from
+        // the caller's point of view: it is held here until every worker is
+        // done. The assembler nets out time the caller spent work-helping.
+        let span = op2_trace::begin();
         let gbl = run_colored(
             self.rt.pool(),
             loop_,
             &plan,
             ChunkSize::Static(per_thread),
         );
-        LoopHandle::ready(gbl)
+        op2_trace::end(span, EventKind::BarrierWait, NO_NAME, instance, 0);
+        tracehooks::loop_end(instance);
+        LoopHandle::ready(gbl).with_instance(instance)
     }
 
     fn fence(&self) {

@@ -1,6 +1,9 @@
 //! The result of issuing a parallel loop: ready now, or a future.
 
 use hpx_rt::SharedFuture;
+use op2_trace::{EventKind, NO_INSTANCE, NO_NAME};
+
+use crate::tracehooks;
 
 /// Handle to an issued loop.
 ///
@@ -10,6 +13,9 @@ use hpx_rt::SharedFuture;
 /// the loop's global reduction (empty when none was declared).
 pub struct LoopHandle {
     inner: HandleInner,
+    /// Trace loop-instance id ([`NO_INSTANCE`] when untraced), so waits on
+    /// this handle attribute their blocked time to the awaited loop.
+    instance: u64,
 }
 
 enum HandleInner {
@@ -22,6 +28,7 @@ impl LoopHandle {
     pub fn ready(gbl: Vec<f64>) -> Self {
         LoopHandle {
             inner: HandleInner::Ready(gbl),
+            instance: NO_INSTANCE,
         }
     }
 
@@ -29,7 +36,19 @@ impl LoopHandle {
     pub fn pending(fut: SharedFuture<Vec<f64>>) -> Self {
         LoopHandle {
             inner: HandleInner::Pending(fut),
+            instance: NO_INSTANCE,
         }
+    }
+
+    /// Tag the handle with its trace loop-instance id.
+    pub fn with_instance(mut self, instance: u64) -> Self {
+        self.instance = instance;
+        self
+    }
+
+    /// The trace loop-instance id ([`NO_INSTANCE`] when untraced).
+    pub fn instance(&self) -> u64 {
+        self.instance
     }
 
     /// Has the loop finished?
@@ -44,7 +63,10 @@ impl LoopHandle {
     /// `new_data.get()` used purely for synchronization).
     pub fn wait(&self) {
         if let HandleInner::Pending(f) = &self.inner {
+            let span = op2_trace::begin();
             let _ = f.get();
+            op2_trace::end(span, EventKind::DepWait, NO_NAME, self.instance, 0);
+            tracehooks::synced_push(self.instance);
         }
     }
 
@@ -52,7 +74,13 @@ impl LoopHandle {
     pub fn get(self) -> Vec<f64> {
         match self.inner {
             HandleInner::Ready(gbl) => gbl,
-            HandleInner::Pending(f) => f.get(),
+            HandleInner::Pending(f) => {
+                let span = op2_trace::begin();
+                let gbl = f.get();
+                op2_trace::end(span, EventKind::DepWait, NO_NAME, self.instance, 0);
+                tracehooks::synced_push(self.instance);
+                gbl
+            }
         }
     }
 

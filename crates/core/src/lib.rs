@@ -50,6 +50,7 @@ pub mod fusion;
 pub mod handle;
 pub mod runtime;
 pub mod serial;
+pub mod tracehooks;
 
 pub use async_fe::AsyncExecutor;
 pub use dataflow::DataflowExecutor;

@@ -1,23 +1,28 @@
 //! Serial reference backend.
 
+use std::sync::atomic::AtomicU64;
 use std::sync::Arc;
 
 use op2_core::ParLoop;
 
 use crate::handle::LoopHandle;
 use crate::runtime::Op2Runtime;
-use crate::Executor;
+use crate::{tracehooks, Executor};
 
 /// Executes loops sequentially in plan order — the oracle every parallel
 /// backend must match bitwise (see [`op2_core::serial`]).
 pub struct SerialExecutor {
     rt: Arc<Op2Runtime>,
+    last_instance: AtomicU64,
 }
 
 impl SerialExecutor {
     /// Serial executor sharing `rt`'s plan cache.
     pub fn new(rt: Arc<Op2Runtime>) -> Self {
-        SerialExecutor { rt }
+        SerialExecutor {
+            rt,
+            last_instance: AtomicU64::new(0),
+        }
     }
 }
 
@@ -28,7 +33,14 @@ impl Executor for SerialExecutor {
 
     fn execute(&self, loop_: &ParLoop) -> LoopHandle {
         let plan = self.rt.plan_for(loop_);
-        LoopHandle::ready(op2_core::serial::execute_plan_order(loop_, &plan))
+        // Loop span + program-order edge, but no BarrierWait: the caller
+        // runs the body itself, it is never held at a barrier.
+        let instance = tracehooks::next_instance();
+        tracehooks::chain(&self.last_instance, instance);
+        tracehooks::loop_begin(loop_.name(), self.name(), instance);
+        let gbl = op2_core::serial::execute_plan_order(loop_, &plan);
+        tracehooks::loop_end(instance);
+        LoopHandle::ready(gbl).with_instance(instance)
     }
 
     fn fence(&self) {}

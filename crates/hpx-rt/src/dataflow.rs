@@ -114,6 +114,7 @@ pub fn when_all_unit(pool: &(impl Pool + ?Sized), futures: Vec<Future<()>>) -> F
 /// version may be awaited by several subsequent loops.
 pub fn when_all_shared_unit(pool: &(impl Pool + ?Sized), deps: Vec<SharedFuture<()>>) -> Future<()> {
     let n = deps.len();
+    op2_trace::instant(op2_trace::EventKind::Mark, op2_trace::intern("when-all"), n as u64, 0);
     let (out_shared, out) = Future::<()>::new_pair(Some(pool.spawner()));
     if n == 0 {
         out_shared.complete(Ok(()));

@@ -109,6 +109,7 @@ fn below(rng: &mut u64, n: usize) -> usize {
 
 impl DetInner {
     pub(crate) fn enqueue(&self, task: Task) {
+        op2_trace::instant(op2_trace::EventKind::TaskSpawn, op2_trace::NO_NAME, 0, 0);
         let mut st = self.state.lock();
         let seq = st.next_seq;
         st.next_seq += 1;
@@ -163,7 +164,9 @@ impl DetInner {
 
     pub(crate) fn try_execute_one(&self) -> bool {
         if let Some(task) = self.pick() {
+            let span = op2_trace::begin();
             task();
+            op2_trace::end(span, op2_trace::EventKind::Task, op2_trace::NO_NAME, 0, 0);
             true
         } else {
             false

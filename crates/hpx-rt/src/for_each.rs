@@ -228,7 +228,15 @@ where
             // Blocking call: ParTask without a future degenerates to Par.
             let (start, per_iter) = match policy.chunk {
                 ChunkSize::Auto { probe_fraction, .. } => {
+                    let span = op2_trace::begin();
                     let (next, t) = auto_probe(&range, probe_fraction, &f);
+                    op2_trace::end(
+                        span,
+                        op2_trace::EventKind::Mark,
+                        op2_trace::intern("auto-probe"),
+                        (next - range.start) as u64,
+                        0,
+                    );
                     (next, Some(t))
                 }
                 _ => (range.start, None),
@@ -319,9 +327,17 @@ where
     pool.spawn_boxed(Box::new(move || {
         let (start, per_iter) = match chunk_policy {
             ChunkSize::Auto { probe_fraction, .. } => {
+                let span = op2_trace::begin();
                 let probe = catch_unwind(AssertUnwindSafe(|| {
                     auto_probe(&range, probe_fraction, f.as_ref())
                 }));
+                op2_trace::end(
+                    span,
+                    op2_trace::EventKind::Mark,
+                    op2_trace::intern("auto-probe"),
+                    0,
+                    0,
+                );
                 match probe {
                     Ok((next, t)) => (next, Some(t)),
                     Err(p) => {

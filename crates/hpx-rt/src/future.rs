@@ -203,11 +203,15 @@ impl<T: Send + 'static> Future<T> {
             return unwrap_result(v);
         }
         if let Some(sp) = self.shared.spawner.clone() {
+            sp.count_dep_wait();
+            let span = op2_trace::begin();
             let shared = Arc::clone(&self.shared);
             sp.help_until(move || shared.is_ready());
+            op2_trace::end(span, op2_trace::EventKind::DepWait, op2_trace::NO_NAME, 0, 0);
             return unwrap_result(self.shared.try_take().expect("future ready but empty"));
         }
         // Pool-less future: plain condvar wait.
+        let span = op2_trace::begin();
         let mut st = self.shared.state.lock();
         loop {
             match &*st {
@@ -217,7 +221,10 @@ impl<T: Send + 'static> Future<T> {
             }
         }
         match std::mem::replace(&mut *st, State::Consumed) {
-            State::Ready(v) => unwrap_result(v),
+            State::Ready(v) => {
+                op2_trace::end(span, op2_trace::EventKind::DepWait, op2_trace::NO_NAME, 0, 0);
+                unwrap_result(v)
+            }
             _ => unreachable!(),
         }
     }
@@ -436,15 +443,20 @@ impl<T: Clone + Send + 'static> SharedFuture<T> {
     /// Wait for the value and return a clone of it (work-helping when
     /// pool-bound).
     pub fn get(&self) -> T {
-        if let Some(sp) = self.inner.spawner.clone() {
-            let inner = Arc::clone(&self.inner);
-            sp.help_until(move || inner.is_ready());
-        } else {
-            let mut st = self.inner.state.lock();
-            while matches!(&*st, SharedState::Pending(_)) {
-                self.inner.cond.wait(&mut st);
+        if !self.is_ready() {
+            let span = op2_trace::begin();
+            if let Some(sp) = self.inner.spawner.clone() {
+                sp.count_dep_wait();
+                let inner = Arc::clone(&self.inner);
+                sp.help_until(move || inner.is_ready());
+            } else {
+                let mut st = self.inner.state.lock();
+                while matches!(&*st, SharedState::Pending(_)) {
+                    self.inner.cond.wait(&mut st);
+                }
+                drop(st);
             }
-            drop(st);
+            op2_trace::end(span, op2_trace::EventKind::DepWait, op2_trace::NO_NAME, 0, 0);
         }
         match &*self.inner.state.lock() {
             SharedState::Ready(Ok(v)) => v.clone(),

@@ -64,8 +64,10 @@ impl CountdownLatch {
         if self.is_open() {
             return;
         }
+        let span = op2_trace::begin();
         match &self.spawner {
             Some(sp) => {
+                sp.count_barrier_wait();
                 let inner = Arc::clone(&self.inner);
                 sp.help_until(move || inner.remaining.load(Ordering::Acquire) == 0);
             }
@@ -75,6 +77,7 @@ impl CountdownLatch {
                 }
             }
         }
+        op2_trace::end(span, op2_trace::EventKind::BarrierWait, op2_trace::NO_NAME, 0, 0);
     }
 }
 

@@ -69,7 +69,7 @@ pub use for_each::{
 };
 pub use future::{make_ready_future, Future, Promise, SharedFuture};
 pub use latch::CountdownLatch;
-pub use metrics::PoolMetrics;
+pub use metrics::{MetricsSnapshot, PoolMetrics};
 pub use pool::{Pool, PoolBuilder, Spawner, Task, ThreadPool};
 pub use scan::{exclusive_scan, inclusive_scan};
 pub use spawn::async_spawn;

@@ -20,6 +20,14 @@ pub struct PoolMetrics {
     pub steals: AtomicU64,
     /// Times a worker parked because no work was available.
     pub parks: AtomicU64,
+    /// Times a thread actually blocked at a barrier (latch wait that found
+    /// the latch still up, or an executor's implicit end-of-loop barrier).
+    /// Kept even without the `trace` feature: it is one relaxed increment on
+    /// a path that is already blocking.
+    pub barrier_waits: AtomicU64,
+    /// Times a thread actually blocked on an unready future / dataflow
+    /// dependency (`Future::get`, `SharedFuture::get`, handle waits).
+    pub dep_waits: AtomicU64,
 }
 
 impl PoolMetrics {
@@ -30,7 +38,19 @@ impl PoolMetrics {
             tasks_executed: self.tasks_executed.load(Ordering::Relaxed),
             steals: self.steals.load(Ordering::Relaxed),
             parks: self.parks.load(Ordering::Relaxed),
+            barrier_waits: self.barrier_waits.load(Ordering::Relaxed),
+            dep_waits: self.dep_waits.load(Ordering::Relaxed),
         }
+    }
+
+    /// Count one blocking barrier wait (relaxed).
+    pub fn count_barrier_wait(&self) {
+        self.barrier_waits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one blocking dependency wait (relaxed).
+    pub fn count_dep_wait(&self) {
+        self.dep_waits.fetch_add(1, Ordering::Relaxed);
     }
 }
 
@@ -45,6 +65,10 @@ pub struct MetricsSnapshot {
     pub steals: u64,
     /// Worker park events.
     pub parks: u64,
+    /// Blocking barrier waits.
+    pub barrier_waits: u64,
+    /// Blocking dependency waits.
+    pub dep_waits: u64,
 }
 
 impl MetricsSnapshot {
@@ -55,6 +79,8 @@ impl MetricsSnapshot {
             tasks_executed: later.tasks_executed - self.tasks_executed,
             steals: later.steals - self.steals,
             parks: later.parks - self.parks,
+            barrier_waits: later.barrier_waits - self.barrier_waits,
+            dep_waits: later.dep_waits - self.dep_waits,
         }
     }
 }

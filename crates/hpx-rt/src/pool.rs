@@ -45,6 +45,12 @@ pub trait Pool: Send + Sync {
     /// A cheap cloneable handle that futures and latches embed so they can
     /// schedule continuations and work-help without borrowing the pool.
     fn spawner(&self) -> Spawner;
+
+    /// This pool's execution counters, when it keeps any. The deterministic
+    /// pool returns `None`; the work-stealing pool always returns `Some`.
+    fn metrics(&self) -> Option<&PoolMetrics> {
+        None
+    }
 }
 
 struct Inner {
@@ -163,6 +169,7 @@ impl ThreadPool {
     /// deque; from any other thread it goes to the global injector.
     pub(crate) fn spawn_task(&self, task: Task) {
         self.inner.metrics.tasks_spawned.fetch_add(1, Ordering::Relaxed);
+        op2_trace::instant(op2_trace::EventKind::TaskSpawn, op2_trace::NO_NAME, 0, 0);
         let mut task = Some(task);
         CURRENT.with(|c| {
             if let Some(ctx) = c.borrow().as_ref() {
@@ -232,6 +239,10 @@ impl<P: Pool + ?Sized> Pool for Arc<P> {
     fn spawner(&self) -> Spawner {
         (**self).spawner()
     }
+
+    fn metrics(&self) -> Option<&PoolMetrics> {
+        (**self).metrics()
+    }
 }
 
 impl Pool for ThreadPool {
@@ -249,6 +260,10 @@ impl Pool for ThreadPool {
 
     fn spawner(&self) -> Spawner {
         ThreadPool::spawner(self)
+    }
+
+    fn metrics(&self) -> Option<&PoolMetrics> {
+        Some(ThreadPool::metrics(self))
     }
 }
 
@@ -281,6 +296,7 @@ impl Spawner {
             SpawnerKind::Threads(weak) => {
                 if let Some(inner) = weak.upgrade() {
                     inner.metrics.tasks_spawned.fetch_add(1, Ordering::Relaxed);
+                    op2_trace::instant(op2_trace::EventKind::TaskSpawn, op2_trace::NO_NAME, 0, 0);
                     let mut task = Some(task);
                     CURRENT.with(|c| {
                         if let Some(ctx) = c.borrow().as_ref() {
@@ -329,6 +345,25 @@ impl Spawner {
                         std::thread::yield_now();
                     }
                 }
+            }
+        }
+    }
+
+    /// Count one blocking barrier wait on the owning pool's metrics (no-op
+    /// when the pool is gone or keeps no metrics).
+    pub fn count_barrier_wait(&self) {
+        if let SpawnerKind::Threads(weak) = &self.kind {
+            if let Some(inner) = weak.upgrade() {
+                inner.metrics.count_barrier_wait();
+            }
+        }
+    }
+
+    /// Count one blocking dependency wait on the owning pool's metrics.
+    pub fn count_dep_wait(&self) {
+        if let SpawnerKind::Threads(weak) = &self.kind {
+            if let Some(inner) = weak.upgrade() {
+                inner.metrics.count_dep_wait();
             }
         }
     }
@@ -393,6 +428,12 @@ impl Inner {
                 match s.steal() {
                     Steal::Success(t) => {
                         self.metrics.steals.fetch_add(1, Ordering::Relaxed);
+                        op2_trace::instant(
+                            op2_trace::EventKind::Steal,
+                            op2_trace::NO_NAME,
+                            ((start + off) % n) as u64,
+                            0,
+                        );
                         return Some(t);
                     }
                     Steal::Empty => break,
@@ -406,7 +447,9 @@ impl Inner {
     fn try_execute_one(&self) -> bool {
         if let Some(task) = self.find_task() {
             self.metrics.tasks_executed.fetch_add(1, Ordering::Relaxed);
+            let span = op2_trace::begin();
             task();
+            op2_trace::end(span, op2_trace::EventKind::Task, op2_trace::NO_NAME, 0, 0);
             true
         } else {
             false
@@ -421,8 +464,10 @@ impl Inner {
                     return;
                 }
                 *sleepers += 1;
+                let span = op2_trace::begin();
                 self.wakeup
                     .wait_for(&mut sleepers, Duration::from_micros(200));
+                op2_trace::end(span, op2_trace::EventKind::Park, op2_trace::NO_NAME, 0, 0);
                 *sleepers -= 1;
             }
         }
@@ -446,7 +491,9 @@ fn worker_main(inner: Arc<Inner>, local: Worker<Task>) {
         inner.metrics.parks.fetch_add(1, Ordering::Relaxed);
         let mut sleepers = inner.sleepers.lock();
         *sleepers += 1;
+        let span = op2_trace::begin();
         inner.wakeup.wait_for(&mut sleepers, Duration::from_millis(5));
+        op2_trace::end(span, op2_trace::EventKind::Park, op2_trace::NO_NAME, 0, 0);
         *sleepers -= 1;
     }
     CURRENT.with(|c| {

@@ -36,6 +36,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use op2_trace::{pack2, EventKind, NO_NAME};
 use parking_lot::{Condvar, Mutex};
 
 use crate::fault::{FaultAction, FaultPlan, FaultReport, FaultStats};
@@ -396,7 +397,25 @@ impl Comm {
         self.send_raw(to, tag, payload)
     }
 
+    /// Trace-instrumented transport wrapper: records a
+    /// [`EventKind::FabricSend`] span with `a` = packed (from, to) ranks and
+    /// `b` = packed (epoch, seq), covering retries and backoff.
     fn send_raw(&self, to: usize, tag: u64, payload: Vec<f64>) -> Result<(), CommError> {
+        let span = op2_trace::begin();
+        let epoch = self.shared.rec_epoch.load(Ordering::SeqCst);
+        let r = self.send_impl(to, tag, payload);
+        let seq = *r.as_ref().unwrap_or(&u64::from(u32::MAX));
+        op2_trace::end(
+            span,
+            EventKind::FabricSend,
+            NO_NAME,
+            pack2(self.rank as u32, to as u32),
+            pack2(epoch as u32, seq as u32),
+        );
+        r.map(|_| ())
+    }
+
+    fn send_impl(&self, to: usize, tag: u64, payload: Vec<f64>) -> Result<u64, CommError> {
         self.check_self()?;
         assert!(to < self.shared.nranks, "send to out-of-range rank {to}");
         let sh = &self.shared;
@@ -457,7 +476,7 @@ impl Comm {
             st.last = Some(env);
             drop(st);
             link.cv.notify_all();
-            return Ok(());
+            return Ok(seq);
         }
     }
 
@@ -530,7 +549,25 @@ impl Comm {
         self.recv_raw(from, tag)
     }
 
+    /// Trace-instrumented transport wrapper: records a
+    /// [`EventKind::FabricRecv`] span with `a` = packed (from, to) ranks and
+    /// `b` = packed (epoch, seq), covering the blocking reorder-buffer wait.
     fn recv_raw(&self, from: usize, tag: u64) -> Result<Vec<f64>, CommError> {
+        let span = op2_trace::begin();
+        let epoch = self.shared.rec_epoch.load(Ordering::SeqCst);
+        let r = self.recv_impl(from, tag);
+        let seq = r.as_ref().map(|e| e.seq as u32).unwrap_or(u32::MAX);
+        op2_trace::end(
+            span,
+            EventKind::FabricRecv,
+            NO_NAME,
+            pack2(from as u32, self.rank as u32),
+            pack2(epoch as u32, seq),
+        );
+        r.map(|env| env.payload)
+    }
+
+    fn recv_impl(&self, from: usize, tag: u64) -> Result<Envelope, CommError> {
         let sh = &self.shared;
         let epoch = sh.rec_epoch.load(Ordering::SeqCst);
         let mut st = self.recv_state[from].borrow_mut();
@@ -546,7 +583,7 @@ impl Comm {
                         got: env.tag,
                     });
                 }
-                return Ok(env.payload);
+                return Ok(env);
             }
             let env = self.pull(from, tag)?;
             if env.epoch < epoch {
@@ -563,10 +600,27 @@ impl Comm {
 
     /// Block until every rank of the current group has reached the barrier.
     ///
+    /// Records a [`EventKind::FabricBarrier`] span with `a` = packed (rank,
+    /// group size) and `b` = packed (epoch, barrier generation).
+    ///
     /// # Errors
     /// [`CommError::RankFailed`] if a group member dies while waiting,
     /// [`CommError::Timeout`] if the deadline expires.
     pub fn barrier(&self) -> Result<(), CommError> {
+        let span = op2_trace::begin();
+        let epoch = self.shared.rec_epoch.load(Ordering::SeqCst);
+        let r = self.barrier_impl();
+        op2_trace::end(
+            span,
+            EventKind::FabricBarrier,
+            NO_NAME,
+            pack2(self.rank as u32, self.group.borrow().len() as u32),
+            pack2(epoch as u32, 0),
+        );
+        r
+    }
+
+    fn barrier_impl(&self) -> Result<(), CommError> {
         self.check_self()?;
         let sh = &self.shared;
         let group = self.group.borrow().clone();
@@ -610,10 +664,27 @@ impl Comm {
     /// member: the lowest surviving rank accumulates contributions in
     /// ascending rank order, then broadcasts.
     ///
+    /// Records a [`EventKind::FabricAllreduce`] span (the constituent
+    /// gather/broadcast sends and recvs record their own spans inside it).
+    ///
     /// # Errors
     /// Propagates transport errors; [`CommError::LengthMismatch`] if the
     /// contributions disagree in length.
     pub fn allreduce_sum(&self, local: &[f64]) -> Result<Vec<f64>, CommError> {
+        let span = op2_trace::begin();
+        let epoch = self.shared.rec_epoch.load(Ordering::SeqCst);
+        let r = self.allreduce_impl(local);
+        op2_trace::end(
+            span,
+            EventKind::FabricAllreduce,
+            NO_NAME,
+            pack2(self.rank as u32, self.group.borrow().len() as u32),
+            pack2(epoch as u32, 0),
+        );
+        r
+    }
+
+    fn allreduce_impl(&self, local: &[f64]) -> Result<Vec<f64>, CommError> {
         self.check_self()?;
         let group = self.group.borrow().clone();
         let root = *group.first().expect("non-empty group");

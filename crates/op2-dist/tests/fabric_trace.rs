@@ -1,0 +1,47 @@
+//! Fabric instrumentation: send/recv/barrier/allreduce record epoch- and
+//! seq-tagged spans into the op2-trace rings (only meaningful with the
+//! `trace` feature; without it the collector returns an empty timeline and
+//! the hooks are no-ops).
+
+#![cfg(feature = "trace")]
+
+use op2_dist::fabric::Fabric;
+use op2_trace::{unpack2, Collector, EventKind};
+
+#[test]
+fn fabric_ops_record_tagged_spans() {
+    let collector = Collector::start();
+    Fabric::run(2, |comm| {
+        if comm.rank() == 0 {
+            comm.send(1, 7, vec![1.0, 2.0]).unwrap();
+        } else {
+            assert_eq!(comm.recv(0, 7).unwrap(), vec![1.0, 2.0]);
+        }
+        comm.barrier().unwrap();
+        comm.allreduce_sum(&[comm.rank() as f64]).unwrap();
+    });
+    let timeline = collector.stop();
+
+    // The explicit send plus the allreduce's internal gather/broadcast.
+    let sends: Vec<_> = timeline.of_kind(EventKind::FabricSend).collect();
+    assert!(sends.len() >= 2, "got {} sends", sends.len());
+    // The user-level send is link 0→1, epoch 0, seq 0.
+    assert!(sends
+        .iter()
+        .any(|e| e.a == op2_trace::pack2(0, 1) && unpack2(e.b) == (0, 0)));
+    for e in &sends {
+        let (epoch, _seq) = unpack2(e.b);
+        assert_eq!(epoch, 0, "no recovery happened, epoch stays 0");
+        assert!(e.end_ns >= e.start_ns);
+    }
+
+    assert!(timeline.of_kind(EventKind::FabricRecv).count() >= 2);
+    // Both ranks record the barrier with the full group size.
+    let barriers: Vec<_> = timeline.of_kind(EventKind::FabricBarrier).collect();
+    assert_eq!(barriers.len(), 2);
+    for e in &barriers {
+        let (_rank, group) = unpack2(e.a);
+        assert_eq!(group, 2);
+    }
+    assert_eq!(timeline.of_kind(EventKind::FabricAllreduce).count(), 2);
+}

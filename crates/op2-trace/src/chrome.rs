@@ -1,0 +1,74 @@
+//! Chrome-trace (Perfetto) JSON export.
+//!
+//! Emits the same array-of-complete-events schema as
+//! `simsched::trace::Trace::to_chrome_json` — `name`/`cat`/`ph`/`ts`/`dur`/
+//! `pid`/`tid` with microsecond floats — so a real-runtime trace and a
+//! simulated one of the same method can be loaded side by side in Perfetto.
+//! Instant events (spawns, steals, dependency edges) use `ph: "i"` with
+//! thread scope.
+
+use crate::event::{EventKind, NO_NAME};
+use crate::Timeline;
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Serialize a [`Timeline`] as a Chrome tracing JSON array.
+///
+/// Spans become `ph: "X"` complete events; instants become `ph: "i"`
+/// thread-scoped marks. `cat` is the [`EventKind::label`]; `name` is the
+/// event's interned name when it has one, the kind label otherwise.
+/// Timestamps and durations are microseconds, matching the simulated
+/// exporter.
+pub fn to_chrome_json(timeline: &Timeline) -> String {
+    let mut out = String::from("[\n");
+    let n = timeline.events.len();
+    for (i, e) in timeline.events.iter().enumerate() {
+        let cat = e.kind.label();
+        let name = match timeline.name_of(e.name) {
+            Some(s) => escape(s),
+            None if e.kind == EventKind::Task => format!("t{}", e.a),
+            None => cat.to_string(),
+        };
+        let ts = e.start_ns as f64 / 1000.0;
+        let sep = if i + 1 == n { "" } else { "," };
+        if e.kind.is_instant() || e.start_ns == e.end_ns {
+            out.push_str(&format!(
+                "  {{\"name\": \"{name}\", \"cat\": \"{cat}\", \"ph\": \"i\", \
+                 \"ts\": {ts:.3}, \"s\": \"t\", \"pid\": 0, \"tid\": {}, \
+                 \"args\": {{\"a\": {}, \"b\": {}}}}}{sep}\n",
+                e.tid, e.a, e.b
+            ));
+        } else {
+            out.push_str(&format!(
+                "  {{\"name\": \"{name}\", \"cat\": \"{cat}\", \"ph\": \"X\", \
+                 \"ts\": {ts:.3}, \"dur\": {:.3}, \"pid\": 0, \"tid\": {}, \
+                 \"args\": {{\"a\": {}, \"b\": {}}}}}{sep}\n",
+                e.dur_ns() as f64 / 1000.0,
+                e.tid,
+                e.a,
+                e.b
+            ));
+        }
+    }
+    out.push(']');
+    out
+}
+
+/// True when the event would serialize without an interned-name lookup
+/// failure (used by exporters to sanity-check string tables).
+pub fn name_resolves(timeline: &Timeline, name: u32) -> bool {
+    name == NO_NAME || (name as usize) < timeline.strings.len()
+}

@@ -1,14 +1,20 @@
 //! The full Airfoil CFD benchmark, runnable under every backend.
 //!
 //! ```text
-//! cargo run --release --example airfoil_run -- [BACKEND] [IMAXxJMAX] [ITERS] [THREADS]
+//! cargo run --release --example airfoil_run -- [--trace[=PATH]] [BACKEND] [IMAXxJMAX] [ITERS] [THREADS]
 //! # e.g.
 //! cargo run --release --example airfoil_run -- dataflow 200x100 100 4
+//! cargo run --example airfoil_run -- --trace forkjoin 120x60 10 2
 //! ```
 //!
 //! BACKEND ∈ serial | omp | foreach | foreach-static | async | dataflow.
 //! Prints `sqrt(rms/ncells)` every 10% of the march, like the original
 //! `airfoil.cpp` prints every 100 iterations.
+//!
+//! `--trace` records the march with the op2-trace collector (requires the
+//! `trace` feature, on by default), prints the per-loop wall/barrier/dep-wait
+//! report, and writes a Chrome-trace JSON to
+//! `results/trace_real_<backend>.json` (or PATH if given).
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -17,7 +23,21 @@ use op2_airfoil::{FlowConstants, MeshBuilder, Simulation, SyncStrategy};
 use op2_hpx::{make_executor, BackendKind, Op2Runtime};
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut trace_out: Option<Option<String>> = None;
+    let args: Vec<String> = std::env::args()
+        .skip(1)
+        .filter(|a| {
+            if a == "--trace" {
+                trace_out = Some(None);
+                false
+            } else if let Some(path) = a.strip_prefix("--trace=") {
+                trace_out = Some(Some(path.to_string()));
+                false
+            } else {
+                true
+            }
+        })
+        .collect();
     let backend = args
         .first()
         .map(|s| BackendKind::parse(s).unwrap_or_else(|| panic!("unknown backend `{s}`")))
@@ -47,9 +67,32 @@ fn main() {
     let exec = make_executor(backend, rt);
     let sim = Simulation::new(mesh, &consts, exec, SyncStrategy::for_backend(backend));
 
+    if trace_out.is_some() && !op2_trace::COMPILED {
+        eprintln!("warning: --trace requested but the `trace` feature is off; report will be empty");
+    }
+    let collector = trace_out.as_ref().map(|_| op2_trace::Collector::start());
     let start = Instant::now();
     let reports = sim.run(iters, (iters / 10).max(1));
     let elapsed = start.elapsed();
+    if let (Some(collector), Some(path)) = (collector, trace_out) {
+        let timeline = collector.stop();
+        let report = op2_trace::report::analyze(&timeline);
+        println!("\n# per-loop report: {backend} @ {threads} thread(s)");
+        println!("{}", report.render());
+        let path = path.unwrap_or_else(|| {
+            let label: String = backend
+                .to_string()
+                .chars()
+                .filter(|c| *c != '(' && *c != ')')
+                .collect();
+            format!("results/trace_real_{label}.json")
+        });
+        if let Some(dir) = std::path::Path::new(&path).parent() {
+            std::fs::create_dir_all(dir).expect("create output dir");
+        }
+        std::fs::write(&path, op2_trace::chrome::to_chrome_json(&timeline)).expect("write trace");
+        println!("wrote {path} ({} events)", timeline.events.len());
+    }
 
     for (iter, rms) in &reports {
         println!("  iter {iter:>6}  rms {rms:.6e}");

@@ -41,6 +41,52 @@ impl Value {
             _ => None,
         }
     }
+
+    /// Borrow as a string, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// As an `f64`, if this is any numeric value.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::UInt(u) => Some(*u as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// As a `u64`, if this is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Int(i) if *i >= 0 => Some(*i as u64),
+            Value::UInt(u) => Some(*u),
+            _ => None,
+        }
+    }
+
+    /// Look up an object field by name.
+    pub fn get(&self, name: &str) -> Option<&Value> {
+        self.as_object()?.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+    }
+}
+
+// `Value` round-trips through itself, so generic JSON can be parsed into a
+// `Value` tree exactly like `serde_json::Value` upstream.
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
 }
 
 /// Deserialization error: a plain message, like `serde::de::Error` collapsed.

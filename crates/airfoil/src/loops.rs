@@ -53,6 +53,10 @@ impl AirfoilLoops {
             .arg(arg_indirect(&mesh.p_x, 3, &mesh.pcell, Access::Read))
             .arg(arg_direct(&mesh.p_q, Access::Read))
             .arg(arg_direct(&mesh.p_adt, Access::Write))
+            // adt divides the residual everywhere downstream: a NaN/Inf here
+            // (e.g. sqrt of a negative pressure from a blown-up state) would
+            // silently corrupt the whole march, so fail the loop instead.
+            .guard_finite()
             .kernel(move |e, _| unsafe {
                 kernels::adt_calc(
                     xv.slice(pcell.at(e, 0)),

@@ -14,21 +14,32 @@
 
 use std::sync::Arc;
 
-use hpx_rt::{async_spawn, ChunkSize, SharedFuture};
+use hpx_rt::{async_spawn, ChunkSize, Promise, SharedFuture};
 use op2_core::ParLoop;
 use parking_lot::Mutex;
 
 use crate::colored::{run_colored, run_colored_task};
 use crate::handle::LoopHandle;
+use crate::recover::{
+    check_finite, run_transaction, FailSlot, FailureKind, FenceReport, LoopError, WriteSet,
+};
 use crate::runtime::Op2Runtime;
 use crate::{tracehooks, Executor};
+
+/// One issued-and-unfenced loop: its future, the structured-failure slot the
+/// transactional wrapper fills, and the loop name for fallback provenance.
+struct Outstanding {
+    fut: SharedFuture<Vec<f64>>,
+    err: Arc<Mutex<Option<LoopError>>>,
+    loop_name: String,
+}
 
 /// Future-returning executor (`async` for direct loops,
 /// `for_each(par(task))` for indirect ones).
 pub struct AsyncExecutor {
     rt: Arc<Op2Runtime>,
     chunk: ChunkSize,
-    outstanding: Mutex<Vec<SharedFuture<Vec<f64>>>>,
+    outstanding: Mutex<Vec<Outstanding>>,
 }
 
 impl AsyncExecutor {
@@ -52,10 +63,15 @@ impl Executor for AsyncExecutor {
         "async-foreach"
     }
 
-    fn execute(&self, loop_: &ParLoop) -> LoopHandle {
+    fn try_execute(&self, loop_: &ParLoop) -> Result<LoopHandle, LoopError> {
         let plan = self.rt.plan_for(loop_);
+        plan.validate_cached(loop_.args()).map_err(|e| {
+            LoopError::new(loop_.name(), self.name(), FailureKind::Plan(e), false)
+        })?;
         let pool = Arc::clone(self.rt.pool());
         let chunk = self.chunk;
+        let cancel = self.rt.cancel_token().clone();
+        let err_slot: Arc<Mutex<Option<LoopError>>> = Arc::new(Mutex::new(None));
         let instance = tracehooks::next_instance();
         // This backend has no automatic ordering: the caller's explicit
         // `.get()`/`wait()` placements *are* the dependency statements, so
@@ -67,18 +83,76 @@ impl Executor for AsyncExecutor {
         let direct = loop_.is_direct();
         let fut = if direct {
             // Fig. 8: return async(launch::async, [=]{ for_each(par, …) }).
+            // The whole transaction (snapshot → run → rollback-on-failure)
+            // runs inside the spawned task, so the snapshot is taken when
+            // the task starts, not at issue time.
             let loop_ = loop_.clone();
             let pool2 = Arc::clone(&pool);
+            let slot = Arc::clone(&err_slot);
             async_spawn(&pool, move || {
                 tracehooks::loop_begin(loop_.name(), "async-foreach", instance);
-                let out = run_colored(&pool2, &loop_, &plan, chunk);
+                let result = run_transaction(&loop_, "async-foreach", || {
+                    run_colored(&pool2, &loop_, &plan, chunk, Some(&cancel))
+                });
                 tracehooks::loop_end(instance);
-                out
+                match result {
+                    Ok(out) => out,
+                    Err(e) => {
+                        *slot.lock() = Some(e.clone());
+                        e.rethrow()
+                    }
+                }
             })
         } else {
             // Fig. 9: for_each(par(task)) — continuation-chained colors.
+            // The first color launches before this call returns, so the
+            // write-set snapshot must be captured *now*; the backend's
+            // manual-synchronization contract (callers wait before issuing a
+            // conflicting loop) makes issue time a consistent point.
             tracehooks::loop_begin(loop_.name(), "async-foreach", instance);
-            run_colored_task(&pool, loop_, &plan, chunk)
+            let ws = WriteSet::capture(loop_);
+            let fail: FailSlot = Arc::new(Mutex::new(None));
+            let inner = run_colored_task(
+                &pool,
+                loop_,
+                &plan,
+                chunk,
+                Some(cancel),
+                Some(Arc::clone(&fail)),
+            );
+            let (promise, wrapped) = Promise::<Vec<f64>>::with_pool(&pool);
+            let guarded = loop_.clone();
+            let slot = Arc::clone(&err_slot);
+            inner.finally(move |res| {
+                let fail_with = |kind: FailureKind| {
+                    ws.restore();
+                    tracehooks::rollback(guarded.name(), ws.len() as u64);
+                    LoopError::new(guarded.name(), "async-foreach", kind, true)
+                };
+                match res {
+                    Ok(gbl) => {
+                        let bad = guarded.guard_finite().then(|| check_finite(&guarded)).flatten();
+                        match bad {
+                            Some(kind) => {
+                                let e = fail_with(kind);
+                                *slot.lock() = Some(e.clone());
+                                promise.set_panic(Box::new(e.to_string()));
+                            }
+                            None => promise.set_value(gbl),
+                        }
+                    }
+                    Err(msg) => {
+                        let kind = fail.lock().take().unwrap_or(FailureKind::KernelPanic {
+                            message: msg,
+                            element: None,
+                        });
+                        let e = fail_with(kind);
+                        *slot.lock() = Some(e.clone());
+                        promise.set_panic(Box::new(e.to_string()));
+                    }
+                }
+            });
+            wrapped
         };
         let mut shared = fut.share();
         if !direct && op2_trace::enabled() {
@@ -90,18 +164,42 @@ impl Executor for AsyncExecutor {
                 })
                 .share();
         }
-        self.outstanding.lock().push(shared.clone());
-        LoopHandle::pending(shared).with_instance(instance)
+        self.outstanding.lock().push(Outstanding {
+            fut: shared.clone(),
+            err: Arc::clone(&err_slot),
+            loop_name: loop_.name().to_owned(),
+        });
+        Ok(LoopHandle::pending(shared)
+            .with_instance(instance)
+            .with_failure(err_slot, loop_.name(), self.name()))
     }
 
-    fn fence(&self) {
+    fn try_fence(&self) -> Result<(), FenceReport> {
         let pending = std::mem::take(&mut *self.outstanding.lock());
-        for f in pending {
-            let _ = f.get();
+        let mut failures = Vec::new();
+        for o in pending {
+            if let Err(msg) = o.fut.try_get() {
+                failures.push(o.err.lock().clone().unwrap_or_else(|| {
+                    LoopError::new(
+                        &o.loop_name,
+                        "async-foreach",
+                        FailureKind::KernelPanic {
+                            message: msg,
+                            element: None,
+                        },
+                        false,
+                    )
+                }));
+            }
         }
         // Everything is complete now: discard synced-with instances so they
         // don't become spurious trace edges into a later program's loops.
         let _ = tracehooks::synced_drain();
+        if failures.is_empty() {
+            Ok(())
+        } else {
+            Err(FenceReport { failures })
+        }
     }
 
     fn is_asynchronous(&self) -> bool {

@@ -13,10 +13,76 @@
 //!   continuations and the whole loop completes a future
 //!   (what `for_each(par(task))` enables).
 
+use std::cell::Cell;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
-use hpx_rt::{for_each_index, for_each_index_task, par, par_task, ChunkSize, Pool, Promise};
-use op2_core::{GlobalAcc, ParLoop, Plan};
+use hpx_rt::{
+    for_each_index_cancel, for_each_index_task_cancel, par, par_task, CancelToken, Cancelled,
+    ChunkSize, Pool, Promise, TaskPanic,
+};
+use op2_core::{GlobalAcc, KernelFn, ParLoop, Plan};
+
+use crate::recover::{FailSlot, FailureKind};
+
+/// Run one plan block's elements, tracking the element under execution so a
+/// kernel panic is re-raised as a [`TaskPanic`] with loop/element provenance.
+/// When a `fail` slot is supplied (asynchronous color chains), the structured
+/// failure is also parked there — the future layer only transports strings.
+pub(crate) fn run_block(
+    loop_name: &str,
+    kernel: &KernelFn,
+    block: std::ops::Range<usize>,
+    scratch: &mut [f64],
+    fail: Option<&FailSlot>,
+) {
+    let current = Cell::new(block.start);
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        for e in block {
+            current.set(e);
+            kernel(e, scratch);
+        }
+    }));
+    if let Err(p) = result {
+        let tp = TaskPanic::wrap(p, current.get(), loop_name);
+        if let Some(slot) = fail {
+            let mut guard = slot.lock();
+            if guard.is_none() {
+                *guard = Some(FailureKind::KernelPanic {
+                    message: tp.message.clone(),
+                    element: tp.element,
+                });
+            }
+        }
+        resume_unwind(Box::new(tp));
+    }
+}
+
+/// Serial plan-order execution with element tracking — the transactional
+/// serial backend's body. Iteration order (colors ascending, blocks in color
+/// order, elements ascending, block-ordered reduction combine) is exactly
+/// [`op2_core::serial::execute_plan_order`]'s, so results are bitwise
+/// identical to the untracked oracle.
+pub(crate) fn run_plan_order_tracked(
+    loop_: &ParLoop,
+    plan: &Plan,
+    cancel: Option<&CancelToken>,
+) -> Vec<f64> {
+    let kernel = loop_.kernel();
+    let acc = GlobalAcc::with_op(loop_.gbl_dim(), plan.nblocks(), loop_.gbl_op());
+    for color in &plan.color_blocks {
+        if let Some(reason) = cancel.and_then(CancelToken::check) {
+            resume_unwind(Box::new(Cancelled(reason)));
+        }
+        for &b in color {
+            let b = b as usize;
+            let mut scratch = acc.scratch();
+            run_block(loop_.name(), kernel, plan.blocks[b].clone(), &mut scratch, None);
+            acc.store(b, scratch);
+        }
+    }
+    acc.combine()
+}
 
 /// Execute `loop_` under `plan`, blocking until every color has completed.
 /// Returns the global reduction (empty when none declared).
@@ -25,26 +91,31 @@ pub fn run_colored<P: Pool + ?Sized>(
     loop_: &ParLoop,
     plan: &Plan,
     chunk: ChunkSize,
+    cancel: Option<&CancelToken>,
 ) -> Vec<f64> {
     let kernel = loop_.kernel();
+    let name = loop_.name();
     let acc = GlobalAcc::with_op(loop_.gbl_dim(), plan.nblocks(), loop_.gbl_op());
     #[cfg(feature = "det")]
     op2_core::det::check_plan(plan, loop_.args(), loop_.name());
     for color in &plan.color_blocks {
+        // Cooperative cancellation between colors (the per-chunk checks
+        // inside for_each cover long colors).
+        if let Some(reason) = cancel.and_then(CancelToken::check) {
+            resume_unwind(Box::new(Cancelled(reason)));
+        }
         // One exclusivity epoch per color: blocks of the same color are the
         // concurrently-scheduled unit the detector checks against.
         #[cfg(feature = "det")]
         let epoch = op2_core::det::begin_epoch();
         // Implicit barrier here: for_each_index waits for all blocks of this
         // color before the next color starts.
-        for_each_index(pool, par().with_chunk(chunk), 0..color.len(), |i| {
+        for_each_index_cancel(pool, par().with_chunk(chunk), 0..color.len(), cancel, |i| {
             let b = color[i] as usize;
             #[cfg(feature = "det")]
             op2_core::det::enter_block(epoch, b as u32);
             let mut scratch = acc.scratch();
-            for e in plan.blocks[b].clone() {
-                kernel(e, &mut scratch);
-            }
+            run_block(name, kernel, plan.blocks[b].clone(), &mut scratch, None);
             acc.store(b, scratch);
             #[cfg(feature = "det")]
             op2_core::det::exit_block();
@@ -61,6 +132,8 @@ pub fn run_colored_task(
     loop_: &ParLoop,
     plan: &Arc<Plan>,
     chunk: ChunkSize,
+    cancel: Option<CancelToken>,
+    fail: Option<FailSlot>,
 ) -> hpx_rt::Future<Vec<f64>> {
     let (promise, future) = Promise::<Vec<f64>>::with_pool(pool);
     #[cfg(feature = "det")]
@@ -68,9 +141,12 @@ pub fn run_colored_task(
     let ctx = Arc::new(ChainCtx {
         pool: Arc::clone(pool),
         plan: Arc::clone(plan),
+        name: loop_.name().to_owned(),
         kernel: loop_.kernel().clone(),
         acc: GlobalAcc::with_op(loop_.gbl_dim(), plan.nblocks(), loop_.gbl_op()),
         chunk,
+        cancel,
+        fail,
     });
     launch_color(ctx, 0, promise);
     future
@@ -79,14 +155,35 @@ pub fn run_colored_task(
 struct ChainCtx {
     pool: Arc<dyn Pool>,
     plan: Arc<Plan>,
+    name: String,
     kernel: op2_core::KernelFn,
     acc: GlobalAcc,
     chunk: ChunkSize,
+    cancel: Option<CancelToken>,
+    fail: Option<FailSlot>,
+}
+
+impl ChainCtx {
+    /// Park `kind` in the fail slot (first failure wins).
+    fn record_failure(&self, kind: FailureKind) {
+        if let Some(slot) = &self.fail {
+            let mut guard = slot.lock();
+            if guard.is_none() {
+                *guard = Some(kind);
+            }
+        }
+    }
 }
 
 fn launch_color(ctx: Arc<ChainCtx>, color_idx: usize, promise: Promise<Vec<f64>>) {
     if color_idx == ctx.plan.color_blocks.len() {
         promise.set_value(ctx.acc.combine());
+        return;
+    }
+    // Cooperative cancellation between colors, mirroring the blocking path.
+    if let Some(reason) = ctx.cancel.as_ref().and_then(CancelToken::check) {
+        ctx.record_failure(FailureKind::Cancelled(reason));
+        promise.set_panic(Box::new(Cancelled(reason)));
         return;
     }
     // A fresh epoch as each color launches: the previous color's continuation
@@ -96,18 +193,23 @@ fn launch_color(ctx: Arc<ChainCtx>, color_idx: usize, promise: Promise<Vec<f64>>
     let epoch = op2_core::det::begin_epoch();
     let nblocks = ctx.plan.color_blocks[color_idx].len();
     let body_ctx = Arc::clone(&ctx);
-    let fut = for_each_index_task(
+    let fut = for_each_index_task_cancel(
         &ctx.pool,
         par_task().with_chunk(ctx.chunk),
         0..nblocks,
+        ctx.cancel.as_ref(),
         move |i| {
             let b = body_ctx.plan.color_blocks[color_idx][i] as usize;
             #[cfg(feature = "det")]
             op2_core::det::enter_block(epoch, b as u32);
             let mut scratch = body_ctx.acc.scratch();
-            for e in body_ctx.plan.blocks[b].clone() {
-                (body_ctx.kernel)(e, &mut scratch);
-            }
+            run_block(
+                &body_ctx.name,
+                &body_ctx.kernel,
+                body_ctx.plan.blocks[b].clone(),
+                &mut scratch,
+                body_ctx.fail.as_ref(),
+            );
             body_ctx.acc.store(b, scratch);
             #[cfg(feature = "det")]
             op2_core::det::exit_block();
@@ -115,7 +217,15 @@ fn launch_color(ctx: Arc<ChainCtx>, color_idx: usize, promise: Promise<Vec<f64>>
     );
     fut.finally(move |res| match res {
         Ok(()) => launch_color(ctx, color_idx + 1, promise),
-        Err(msg) => promise.set_panic(Box::new(msg)),
+        Err(msg) => {
+            // Chunk-level cancellation skips fill the slot here (kernel
+            // panics already parked their structured failure in run_block).
+            ctx.record_failure(FailureKind::KernelPanic {
+                message: msg.clone(),
+                element: None,
+            });
+            promise.set_panic(Box::new(msg));
+        }
     });
 }
 
@@ -156,7 +266,7 @@ mod tests {
         let plan = Arc::new(Plan::build(l.set(), l.args(), 16));
         plan.validate(l.args()).unwrap();
         let pool = ThreadPool::new(4);
-        let gbl = run_colored(&pool, &l, &plan, ChunkSize::Default);
+        let gbl = run_colored(&pool, &l, &plan, ChunkSize::Default, None);
         assert_eq!(gbl, vec![500.0]);
         let got = res.to_vec();
 
@@ -173,7 +283,7 @@ mod tests {
         let (l, res) = chain_loop(333);
         let plan = Arc::new(Plan::build(l.set(), l.args(), 8));
         let pool: Arc<dyn Pool> = Arc::new(ThreadPool::new(2));
-        let fut = run_colored_task(&pool, &l, &plan, ChunkSize::Default);
+        let fut = run_colored_task(&pool, &l, &plan, ChunkSize::Default, None, None);
         let gbl = fut.get();
         assert_eq!(gbl, vec![333.0]);
         let got = res.to_vec();
@@ -196,7 +306,7 @@ mod tests {
             });
         let plan = Plan::build(l.set(), l.args(), 10);
         let pool = ThreadPool::new(2);
-        run_colored(&pool, &l, &plan, ChunkSize::Static(2));
+        run_colored(&pool, &l, &plan, ChunkSize::Static(2), None);
         assert!(q.to_vec().iter().all(|&v| v == 3.0));
     }
 
@@ -210,7 +320,7 @@ mod tests {
         });
         let plan = Arc::new(Plan::build(l.set(), l.args(), 2));
         let pool: Arc<dyn Pool> = Arc::new(ThreadPool::new(1));
-        let fut = run_colored_task(&pool, &l, &plan, ChunkSize::Default);
+        let fut = run_colored_task(&pool, &l, &plan, ChunkSize::Default, None, None);
         assert!(std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| fut.get())).is_err());
     }
 }

@@ -23,12 +23,13 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use hpx_rt::{when_all_shared_unit, ChunkSize, SharedFuture};
+use hpx_rt::{when_all_shared_unit, ChunkSize, Promise, SharedFuture};
 use op2_core::ParLoop;
 use parking_lot::Mutex;
 
 use crate::colored::run_colored;
 use crate::handle::LoopHandle;
+use crate::recover::{run_transaction, FailureKind, FenceReport, LoopError};
 use crate::runtime::Op2Runtime;
 use crate::{tracehooks, Executor};
 
@@ -51,6 +52,9 @@ pub struct DataflowExecutor {
     rt: Arc<Op2Runtime>,
     chunk: ChunkSize,
     table: Mutex<HashMap<u64, DatDeps>>,
+    /// Every failure observed so far (failed nodes *and* the descendants
+    /// they poisoned), drained by [`Executor::try_fence`].
+    failures: Arc<Mutex<Vec<LoopError>>>,
 }
 
 impl DataflowExecutor {
@@ -65,7 +69,13 @@ impl DataflowExecutor {
             rt,
             chunk,
             table: Mutex::new(HashMap::new()),
+            failures: Arc::new(Mutex::new(Vec::new())),
         }
+    }
+
+    /// Failures recorded since the last fence (observability/tests).
+    pub fn failures_so_far(&self) -> usize {
+        self.failures.lock().len()
     }
 
     /// Number of dats currently tracked in the dependency table.
@@ -79,8 +89,11 @@ impl Executor for DataflowExecutor {
         "dataflow"
     }
 
-    fn execute(&self, loop_: &ParLoop) -> LoopHandle {
+    fn try_execute(&self, loop_: &ParLoop) -> Result<LoopHandle, LoopError> {
         let plan = self.rt.plan_for(loop_);
+        plan.validate_cached(loop_.args()).map_err(|e| {
+            LoopError::new(loop_.name(), self.name(), FailureKind::Plan(e), false)
+        })?;
         let pool = Arc::clone(self.rt.pool());
         let chunk = self.chunk;
         let reads = loop_.dat_reads();
@@ -121,25 +134,64 @@ impl Executor for DataflowExecutor {
 
         // Fig. 13: dataflow(unwrapped([&]{ for_each(par, …); return out; }),
         // arg0 … argN) — the body fires when the last dependency resolves.
+        // `finally` (not `then`) so an upstream failure reaches us: a failed
+        // dependency *poisons* this node — it never runs, its write-set is
+        // untouched, and its own completion future fails, poisoning exactly
+        // the RAW/WAW/WAR descendants while independent loops proceed.
         let join = when_all_shared_unit(&pool, deps);
+        let (promise, body_fut) = Promise::<Vec<f64>>::with_pool(&pool);
         let body_loop = loop_.clone();
         let body_pool = Arc::clone(&pool);
-        let body = join.then(&pool, move |_| {
-            #[cfg(feature = "det")]
-            op2_core::det::dataflow_begin(df_token);
-            // The loop span covers the body continuation only — from the
-            // last dependency resolving to completion — so there is never a
-            // barrier (or any caller-side blocking) inside it.
-            tracehooks::loop_begin(body_loop.name(), "dataflow", instance);
-            let out = run_colored(&body_pool, &body_loop, &plan, chunk);
-            tracehooks::loop_end(instance);
-            // Completion is recorded before the body's future resolves, so
-            // any dependent that begins afterwards observes it as done.
-            #[cfg(feature = "det")]
-            op2_core::det::dataflow_complete(df_token);
-            out
+        let spawn_pool = Arc::clone(&pool);
+        let cancel = self.rt.cancel_token().clone();
+        let failures = Arc::clone(&self.failures);
+        let err_slot: Arc<Mutex<Option<LoopError>>> = Arc::new(Mutex::new(None));
+        let slot = Arc::clone(&err_slot);
+        join.finally(move |res| match res {
+            Err(origin) => {
+                tracehooks::poison(body_loop.name(), instance);
+                let e = LoopError::new(
+                    body_loop.name(),
+                    "dataflow",
+                    FailureKind::Poisoned { origin },
+                    false,
+                );
+                failures.lock().push(e.clone());
+                *slot.lock() = Some(e.clone());
+                promise.set_panic(Box::new(e.to_string()));
+            }
+            Ok(()) => {
+                // `finally` may run inline on the thread that resolved the
+                // last dependency (possibly a caller holding locks) — spawn
+                // the body as a pool task, as `then` did.
+                spawn_pool.spawn_boxed(Box::new(move || {
+                    #[cfg(feature = "det")]
+                    op2_core::det::dataflow_begin(df_token);
+                    // The loop span covers the body continuation only — from
+                    // the last dependency resolving to completion — so there
+                    // is never a barrier (or caller-side blocking) inside it.
+                    tracehooks::loop_begin(body_loop.name(), "dataflow", instance);
+                    let result = run_transaction(&body_loop, "dataflow", || {
+                        run_colored(&body_pool, &body_loop, &plan, chunk, Some(&cancel))
+                    });
+                    tracehooks::loop_end(instance);
+                    // Completion is recorded before the body's future
+                    // resolves, so any dependent that begins afterwards
+                    // observes it as done.
+                    #[cfg(feature = "det")]
+                    op2_core::det::dataflow_complete(df_token);
+                    match result {
+                        Ok(out) => promise.set_value(out),
+                        Err(e) => {
+                            failures.lock().push(e.clone());
+                            *slot.lock() = Some(e.clone());
+                            promise.set_panic(Box::new(e.to_string()));
+                        }
+                    }
+                }));
+            }
         });
-        let rms = body.share();
+        let rms = body_fut.share();
         let done: SharedFuture<()> = rms.then(&pool, |_| ()).share();
 
         for id in &writes {
@@ -171,10 +223,12 @@ impl Executor for DataflowExecutor {
         }
         drop(table);
 
-        LoopHandle::pending(rms).with_instance(instance)
+        Ok(LoopHandle::pending(rms)
+            .with_instance(instance)
+            .with_failure(err_slot, loop_.name(), self.name()))
     }
 
-    fn fence(&self) {
+    fn try_fence(&self) -> Result<(), FenceReport> {
         // Snapshot, then wait outside the lock (waiters work-help and might
         // execute loop bodies that themselves never take this lock — but a
         // concurrent execute() from another thread must not deadlock on us).
@@ -191,7 +245,15 @@ impl Executor for DataflowExecutor {
                 .collect()
         };
         for f in pending {
-            f.get();
+            // Individual failures were already recorded with provenance at
+            // the failing (or poisoned) node; here we only drain the DAG.
+            let _ = f.try_get();
+        }
+        let failures = std::mem::take(&mut *self.failures.lock());
+        if failures.is_empty() {
+            Ok(())
+        } else {
+            Err(FenceReport { failures })
         }
     }
 

@@ -45,17 +45,53 @@ impl BackendKind {
     /// Parse a CLI-style name (`serial`, `omp`, `foreach`, `foreach-static`,
     /// `async`, `dataflow`).
     pub fn parse(s: &str) -> Option<BackendKind> {
-        Some(match s {
+        BackendKind::try_parse(s).ok()
+    }
+
+    /// [`BackendKind::parse`] with a typed error naming the unknown backend
+    /// and listing the valid spellings — for drivers that report rather than
+    /// silently fall back.
+    pub fn try_parse(s: &str) -> Result<BackendKind, FactoryError> {
+        Ok(match s {
             "serial" => BackendKind::Serial,
             "omp" | "forkjoin" | "openmp" => BackendKind::ForkJoin,
             "foreach" | "foreach-auto" => BackendKind::ForEachAuto,
             "foreach-static" => BackendKind::ForEachStatic(4),
             "async" => BackendKind::Async,
             "dataflow" => BackendKind::Dataflow,
-            _ => return None,
+            other => {
+                return Err(FactoryError::UnknownBackend {
+                    input: other.to_string(),
+                })
+            }
         })
     }
 }
+
+/// Typed error from [`BackendKind::try_parse`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FactoryError {
+    /// The requested backend name matches no known spelling.
+    UnknownBackend {
+        /// The rejected input.
+        input: String,
+    },
+}
+
+impl std::fmt::Display for FactoryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FactoryError::UnknownBackend { input } => write!(
+                f,
+                "unknown backend '{input}' (expected one of: serial, omp, \
+                 forkjoin, openmp, foreach, foreach-auto, foreach-static, \
+                 async, dataflow)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FactoryError {}
 
 impl std::fmt::Display for BackendKind {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -100,6 +136,9 @@ mod tests {
             );
         }
         assert!(BackendKind::parse("nonsense").is_none());
+        let err = BackendKind::try_parse("nonsense").unwrap_err();
+        assert!(err.to_string().contains("nonsense"));
+        assert!(err.to_string().contains("dataflow"));
     }
 
     #[test]

@@ -16,6 +16,7 @@ use op2_trace::{EventKind, NO_NAME};
 
 use crate::colored::run_colored;
 use crate::handle::LoopHandle;
+use crate::recover::{run_transaction, FailureKind, LoopError};
 use crate::runtime::Op2Runtime;
 use crate::{tracehooks, Executor};
 
@@ -69,21 +70,24 @@ impl Executor for ForEachExecutor {
         self.name
     }
 
-    fn execute(&self, loop_: &ParLoop) -> LoopHandle {
+    fn try_execute(&self, loop_: &ParLoop) -> Result<LoopHandle, LoopError> {
         let plan = self.rt.plan_for(loop_);
+        plan.validate_cached(loop_.args())
+            .map_err(|e| LoopError::new(loop_.name(), self.name, FailureKind::Plan(e), false))?;
         let instance = tracehooks::next_instance();
         tracehooks::chain(&self.last_instance, instance);
         tracehooks::loop_begin(loop_.name(), self.name, instance);
         // Still fork-join: the caller is held at the implicit barrier for
         // the whole blocking call (work-helping netted out by the assembler).
         let span = op2_trace::begin();
-        let gbl = run_colored(self.rt.pool(), loop_, &plan, self.chunk);
+        let cancel = self.rt.cancel_token().clone();
+        let result = run_transaction(loop_, self.name, || {
+            run_colored(self.rt.pool(), loop_, &plan, self.chunk, Some(&cancel))
+        });
         op2_trace::end(span, EventKind::BarrierWait, NO_NAME, instance, 0);
         tracehooks::loop_end(instance);
-        LoopHandle::ready(gbl).with_instance(instance)
+        result.map(|gbl| LoopHandle::ready(gbl).with_instance(instance))
     }
-
-    fn fence(&self) {}
 }
 
 #[cfg(test)]

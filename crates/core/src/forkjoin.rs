@@ -17,6 +17,7 @@ use op2_trace::{EventKind, NO_NAME};
 
 use crate::colored::run_colored;
 use crate::handle::LoopHandle;
+use crate::recover::{run_transaction, FailureKind, LoopError};
 use crate::runtime::Op2Runtime;
 use crate::{tracehooks, Executor};
 
@@ -41,8 +42,11 @@ impl Executor for ForkJoinExecutor {
         "omp-forkjoin"
     }
 
-    fn execute(&self, loop_: &ParLoop) -> LoopHandle {
+    fn try_execute(&self, loop_: &ParLoop) -> Result<LoopHandle, LoopError> {
         let plan = self.rt.plan_for(loop_);
+        plan.validate_cached(loop_.args()).map_err(|e| {
+            LoopError::new(loop_.name(), self.name(), FailureKind::Plan(e), false)
+        })?;
         // schedule(static): ceil(nblocks / nthreads) blocks per worker chunk.
         let per_thread = plan
             .nblocks()
@@ -55,19 +59,19 @@ impl Executor for ForkJoinExecutor {
         // the caller's point of view: it is held here until every worker is
         // done. The assembler nets out time the caller spent work-helping.
         let span = op2_trace::begin();
-        let gbl = run_colored(
-            self.rt.pool(),
-            loop_,
-            &plan,
-            ChunkSize::Static(per_thread),
-        );
+        let cancel = self.rt.cancel_token().clone();
+        let result = run_transaction(loop_, self.name(), || {
+            run_colored(
+                self.rt.pool(),
+                loop_,
+                &plan,
+                ChunkSize::Static(per_thread),
+                Some(&cancel),
+            )
+        });
         op2_trace::end(span, EventKind::BarrierWait, NO_NAME, instance, 0);
         tracehooks::loop_end(instance);
-        LoopHandle::ready(gbl).with_instance(instance)
-    }
-
-    fn fence(&self) {
-        // Every execute() already barriers — nothing outstanding.
+        result.map(|gbl| LoopHandle::ready(gbl).with_instance(instance))
     }
 }
 

@@ -8,7 +8,8 @@
 //! pass over memory. [`fuse_direct`] performs the transform and the
 //! equivalence tests verify bitwise agreement with unfused execution.
 //!
-//! Restrictions (returning `None`):
+//! Restrictions (reported as a typed [`FusionError`] by [`try_fuse_direct`],
+//! flattened to `None` by [`fuse_direct`]):
 //! * both loops must be direct (any map access breaks element alignment);
 //! * both loops must iterate the *same* set;
 //! * at most one loop may declare a global reduction, or both must use the
@@ -16,15 +17,65 @@
 
 use op2_core::{GblOp, ParLoop};
 
+/// Why two loops could not be fused ([`try_fuse_direct`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FusionError {
+    /// A loop uses an indirection map, breaking element alignment.
+    NotDirect {
+        /// Name of the offending (indirect) loop.
+        loop_name: String,
+    },
+    /// The loops iterate different sets.
+    DifferentSets {
+        /// First loop's iteration set.
+        set1: String,
+        /// Second loop's iteration set.
+        set2: String,
+    },
+    /// Both loops declare global reductions with different operators, which
+    /// cannot share one scratch slice.
+    MixedReductionOps,
+}
+
+impl std::fmt::Display for FusionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FusionError::NotDirect { loop_name } => {
+                write!(f, "loop '{loop_name}' is indirect and cannot be fused")
+            }
+            FusionError::DifferentSets { set1, set2 } => {
+                write!(f, "loops iterate different sets ('{set1}' vs '{set2}')")
+            }
+            FusionError::MixedReductionOps => {
+                write!(f, "loops declare global reductions with different operators")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FusionError {}
+
 /// Fuse two direct loops over the same set into one; `None` when the
 /// preconditions don't hold. The fused loop's global reduction is the
 /// concatenation `[gbl1, gbl2]`.
 pub fn fuse_direct(l1: &ParLoop, l2: &ParLoop) -> Option<ParLoop> {
-    if !l1.is_direct() || !l2.is_direct() {
-        return None;
+    try_fuse_direct(l1, l2).ok()
+}
+
+/// [`fuse_direct`] with a typed error naming the violated precondition.
+pub fn try_fuse_direct(l1: &ParLoop, l2: &ParLoop) -> Result<ParLoop, FusionError> {
+    for l in [l1, l2] {
+        if !l.is_direct() {
+            return Err(FusionError::NotDirect {
+                loop_name: l.name().to_string(),
+            });
+        }
     }
     if !l1.set().same(l2.set()) {
-        return None;
+        return Err(FusionError::DifferentSets {
+            set1: l1.set().name().to_string(),
+            set2: l2.set().name().to_string(),
+        });
     }
     let (d1, d2) = (l1.gbl_dim(), l2.gbl_dim());
     let op = match (d1, d2) {
@@ -32,7 +83,8 @@ pub fn fuse_direct(l1: &ParLoop, l2: &ParLoop) -> Option<ParLoop> {
         (_, 0) => l1.gbl_op(),
         (0, _) => l2.gbl_op(),
         (_, _) if l1.gbl_op() == l2.gbl_op() => l1.gbl_op(),
-        _ => return None, // mixed reduction operators cannot share one scratch
+        // Mixed reduction operators cannot share one scratch slice.
+        _ => return Err(FusionError::MixedReductionOps),
     };
 
     let mut builder = ParLoop::build(format!("{}+{}", l1.name(), l2.name()), l1.set());
@@ -44,10 +96,15 @@ pub fn fuse_direct(l1: &ParLoop, l2: &ParLoop) -> Option<ParLoop> {
         GblOp::Min => builder.gbl_min(d1 + d2),
         GblOp::Max => builder.gbl_max(d1 + d2),
     };
+    // A NaN guard on either original applies to the fusion: the fused loop
+    // writes both originals' write-sets, so either guard must still fire.
+    if l1.guard_finite() || l2.guard_finite() {
+        builder = builder.guard_finite();
+    }
 
     let k1 = l1.kernel().clone();
     let k2 = l2.kernel().clone();
-    Some(builder.kernel(move |e, gbl| {
+    Ok(builder.kernel(move |e, gbl| {
         let (g1, g2) = gbl.split_at_mut(d1);
         k1(e, g1);
         k2(e, g2);
@@ -158,6 +215,10 @@ mod tests {
         let direct = ParLoop::build("dir", &edges).kernel(|_, _| {});
         assert!(fuse_direct(&indirect, &direct).is_none());
         assert!(fuse_direct(&direct, &indirect).is_none());
+        assert!(matches!(
+            try_fuse_direct(&indirect, &direct),
+            Err(FusionError::NotDirect { ref loop_name }) if loop_name == "ind"
+        ));
     }
 
     #[test]
@@ -167,6 +228,10 @@ mod tests {
         let l1 = ParLoop::build("a", &s1).kernel(|_, _| {});
         let l2 = ParLoop::build("b", &s2).kernel(|_, _| {});
         assert!(fuse_direct(&l1, &l2).is_none());
+        assert!(matches!(
+            try_fuse_direct(&l1, &l2),
+            Err(FusionError::DifferentSets { .. })
+        ));
     }
 
     #[test]
@@ -175,6 +240,10 @@ mod tests {
         let lmin = ParLoop::build("a", &s).gbl_min(1).kernel(|_, _| {});
         let lsum = ParLoop::build("b", &s).gbl_inc(1).kernel(|_, _| {});
         assert!(fuse_direct(&lmin, &lsum).is_none());
+        assert_eq!(
+            try_fuse_direct(&lmin, &lsum).unwrap_err(),
+            FusionError::MixedReductionOps
+        );
         // Same op is fine.
         let lmin2 = ParLoop::build("c", &s).gbl_min(2).kernel(|_, _| {});
         let f = fuse_direct(&lmin, &lmin2).unwrap();

@@ -1,8 +1,12 @@
 //! The result of issuing a parallel loop: ready now, or a future.
 
+use std::sync::Arc;
+
 use hpx_rt::SharedFuture;
 use op2_trace::{EventKind, NO_INSTANCE, NO_NAME};
+use parking_lot::Mutex;
 
+use crate::recover::{FailureKind, LoopError};
 use crate::tracehooks;
 
 /// Handle to an issued loop.
@@ -16,6 +20,17 @@ pub struct LoopHandle {
     /// Trace loop-instance id ([`NO_INSTANCE`] when untraced), so waits on
     /// this handle attribute their blocked time to the awaited loop.
     instance: u64,
+    /// Typed-failure side channel for async handles: the issuing executor
+    /// parks the full [`LoopError`] here (the future itself can only carry a
+    /// flattened string payload), so [`LoopHandle::try_get`] can recover
+    /// provenance instead of re-parsing the panic message.
+    failure: Option<FailureHook>,
+}
+
+struct FailureHook {
+    slot: Arc<Mutex<Option<LoopError>>>,
+    loop_name: String,
+    backend: &'static str,
 }
 
 enum HandleInner {
@@ -29,6 +44,7 @@ impl LoopHandle {
         LoopHandle {
             inner: HandleInner::Ready(gbl),
             instance: NO_INSTANCE,
+            failure: None,
         }
     }
 
@@ -37,7 +53,49 @@ impl LoopHandle {
         LoopHandle {
             inner: HandleInner::Pending(fut),
             instance: NO_INSTANCE,
+            failure: None,
         }
+    }
+
+    /// Attach the executor's typed-failure slot (see [`FailureHook`] docs).
+    pub(crate) fn with_failure(
+        mut self,
+        slot: Arc<Mutex<Option<LoopError>>>,
+        loop_name: &str,
+        backend: &'static str,
+    ) -> Self {
+        self.failure = Some(FailureHook {
+            slot,
+            loop_name: loop_name.to_string(),
+            backend,
+        });
+        self
+    }
+
+    fn failure_for(&self, message: String) -> LoopError {
+        if let Some(hook) = &self.failure {
+            if let Some(e) = hook.slot.lock().clone() {
+                return e;
+            }
+            return LoopError::new(
+                &hook.loop_name,
+                hook.backend,
+                FailureKind::KernelPanic {
+                    message,
+                    element: None,
+                },
+                false,
+            );
+        }
+        LoopError::new(
+            "<unknown>",
+            "unknown",
+            FailureKind::KernelPanic {
+                message,
+                element: None,
+            },
+            false,
+        )
     }
 
     /// Tag the handle with its trace loop-instance id.
@@ -80,6 +138,34 @@ impl LoopHandle {
                 op2_trace::end(span, EventKind::DepWait, NO_NAME, self.instance, 0);
                 tracehooks::synced_push(self.instance);
                 gbl
+            }
+        }
+    }
+
+    /// Wait for completion without consuming the handle, surfacing the
+    /// loop's failure (if any) as a typed [`LoopError`] instead of a panic.
+    pub fn try_wait(&self) -> Result<(), LoopError> {
+        if let HandleInner::Pending(f) = &self.inner {
+            let span = op2_trace::begin();
+            let res = f.try_get();
+            op2_trace::end(span, EventKind::DepWait, NO_NAME, self.instance, 0);
+            tracehooks::synced_push(self.instance);
+            res.map(|_| ()).map_err(|msg| self.failure_for(msg))?;
+        }
+        Ok(())
+    }
+
+    /// Wait for completion and return the global reduction, surfacing the
+    /// loop's failure (if any) as a typed [`LoopError`] instead of a panic.
+    pub fn try_get(self) -> Result<Vec<f64>, LoopError> {
+        match &self.inner {
+            HandleInner::Ready(gbl) => Ok(gbl.clone()),
+            HandleInner::Pending(f) => {
+                let span = op2_trace::begin();
+                let res = f.try_get();
+                op2_trace::end(span, EventKind::DepWait, NO_NAME, self.instance, 0);
+                tracehooks::synced_push(self.instance);
+                res.map_err(|msg| self.failure_for(msg))
             }
         }
     }

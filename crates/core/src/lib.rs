@@ -48,34 +48,67 @@ pub mod foreach;
 pub mod forkjoin;
 pub mod fusion;
 pub mod handle;
+pub mod recover;
 pub mod runtime;
 pub mod serial;
 pub mod tracehooks;
 
 pub use async_fe::AsyncExecutor;
 pub use dataflow::DataflowExecutor;
-pub use factory::{make_executor, BackendKind};
+pub use factory::{make_executor, BackendKind, FactoryError};
 pub use foreach::ForEachExecutor;
-pub use fusion::{fuse_direct, split_gbl};
+pub use fusion::{fuse_direct, split_gbl, try_fuse_direct, FusionError};
 pub use forkjoin::ForkJoinExecutor;
 pub use handle::LoopHandle;
+pub use recover::{FailureKind, FenceReport, LoopError, RetryPolicy, Supervisor, WriteSet};
 pub use runtime::Op2Runtime;
 pub use serial::SerialExecutor;
 
 /// A strategy for executing OP2 parallel loops.
 ///
-/// `execute` may return before the loop has run (asynchronous backends);
-/// [`LoopHandle::get`] waits for (and returns) the loop's global reduction,
-/// and [`Executor::fence`] waits for *all* outstanding loops.
+/// [`Executor::try_execute`] is the fallible, **transactional** surface:
+/// every backend snapshots the loop's declared write-set first; a kernel
+/// panic (or a failed validation guard) rolls the data back bit-identically
+/// and returns a typed [`LoopError`] with provenance. [`Executor::execute`]
+/// keeps the legacy rethrow semantics as a thin wrapper.
+///
+/// `try_execute`/`execute` may return before the loop has run (asynchronous
+/// backends); [`LoopHandle::get`]/[`LoopHandle::try_get`] wait for (and
+/// return) the loop's global reduction, and [`Executor::fence`] /
+/// [`Executor::try_fence`] wait for *all* outstanding loops —
+/// `try_fence` aggregating **every** pending failure into a [`FenceReport`]
+/// instead of rethrowing the first.
 pub trait Executor: Send + Sync {
     /// Stable, human-readable backend name (used in benches/reports).
     fn name(&self) -> &'static str;
 
-    /// Execute or schedule `loop_`.
-    fn execute(&self, loop_: &op2_core::ParLoop) -> LoopHandle;
+    /// Execute or schedule `loop_` transactionally. A synchronous failure
+    /// (plan validation, kernel panic, finite-guard) is returned here;
+    /// asynchronous backends surface late failures through
+    /// [`LoopHandle::try_get`]/[`LoopHandle::try_wait`] and
+    /// [`Executor::try_fence`]. In every failure case the declared write-set
+    /// has been restored before the error becomes observable.
+    fn try_execute(&self, loop_: &op2_core::ParLoop) -> Result<LoopHandle, LoopError>;
 
-    /// Block until every loop issued so far has completed.
-    fn fence(&self);
+    /// Execute or schedule `loop_`; a synchronous failure panics with the
+    /// original kernel provenance (data already rolled back).
+    fn execute(&self, loop_: &op2_core::ParLoop) -> LoopHandle {
+        self.try_execute(loop_).unwrap_or_else(|e| e.rethrow())
+    }
+
+    /// Block until every loop issued so far has completed; collect **all**
+    /// failures (with provenance) instead of rethrowing the first.
+    fn try_fence(&self) -> Result<(), FenceReport> {
+        Ok(())
+    }
+
+    /// Block until every loop issued so far has completed, panicking if any
+    /// failed (legacy surface over [`Executor::try_fence`]).
+    fn fence(&self) {
+        if let Err(report) = self.try_fence() {
+            std::panic::resume_unwind(Box::new(report.to_string()));
+        }
+    }
 
     /// Does `execute` return before the loop finished? (Asynchronous
     /// backends require either explicit `get()` placement or automatic

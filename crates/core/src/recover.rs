@@ -1,0 +1,444 @@
+//! Transactional loop execution and supervised recovery.
+//!
+//! Every OP2 loop declares its write-set exactly (each `OP_WRITE` / `OP_RW` /
+//! `OP_INC` argument names a dat), which makes parallel loops *natural
+//! transactions*: before a loop runs, [`WriteSet::capture`] snapshots
+//! precisely the dats it may modify; if the kernel panics — or a validation
+//! guard trips afterwards — the snapshot is restored **bit-identically** and
+//! the failure surfaces as a typed [`LoopError`] carrying full provenance
+//! (loop name, backend, element, kernel message) instead of a raw panic.
+//!
+//! Layered on top, a [`Supervisor`] implements the recovery ladder:
+//!
+//! 1. **rollback** — the transactional executor already restored the data;
+//! 2. **retry** — re-run on the same backend, bounded attempts with backoff;
+//! 3. **degrade** — walk down the backend ladder (e.g. dataflow → fork-join
+//!    → serial) and retry on simpler, more deterministic execution;
+//! 4. **escalate** — give up locally once the circuit-breaker quota is
+//!    exhausted and return the last [`LoopError`] (a distributed driver then
+//!    escalates to fabric-level checkpoint recovery, see `op2-dist`).
+//!
+//! Because every attempt starts from the restored pre-loop state, a
+//! successful retry — even on a different backend — produces results
+//! bit-identical to a run that never failed (all backends share plan-ordered
+//! accumulation semantics).
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use hpx_rt::future::PanicPayload;
+use hpx_rt::{CancelReason, Cancelled, TaskPanic};
+use op2_core::{DatSnapshot, ParLoop, PlanError};
+use parking_lot::Mutex;
+
+use crate::factory::{make_executor, BackendKind};
+use crate::runtime::Op2Runtime;
+use crate::tracehooks;
+
+/// Why a loop failed, with as much provenance as the failure path preserves.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FailureKind {
+    /// The kernel panicked.
+    KernelPanic {
+        /// Rendering of the kernel's panic payload.
+        message: String,
+        /// Iteration-set element being processed, when the executor tracked
+        /// it (per-block element tracking; lost across some async seams).
+        element: Option<usize>,
+    },
+    /// The loop ran to completion but the [`ParLoop::guard_finite`] scan
+    /// found a NaN/Inf in a written dat.
+    NonFinite {
+        /// Name of the offending dat.
+        dat: String,
+        /// Element holding the first non-finite value.
+        element: usize,
+        /// Component within the element.
+        component: usize,
+    },
+    /// The execution plan failed validation for this loop's arguments.
+    Plan(PlanError),
+    /// The loop was abandoned cooperatively (supervisor cancel or deadline).
+    Cancelled(CancelReason),
+    /// A dataflow node never ran because an upstream dependency failed.
+    Poisoned {
+        /// Failure message of the upstream node.
+        origin: String,
+    },
+    /// The supervisor's circuit breaker is open: its failure quota was
+    /// already exhausted, so no further execution was attempted.
+    CircuitOpen,
+}
+
+impl std::fmt::Display for FailureKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FailureKind::KernelPanic { message, element } => {
+                write!(f, "kernel panicked")?;
+                if let Some(e) = element {
+                    write!(f, " at element {e}")?;
+                }
+                write!(f, ": {message}")
+            }
+            FailureKind::NonFinite {
+                dat,
+                element,
+                component,
+            } => write!(
+                f,
+                "non-finite value in written dat '{dat}' at element {element}[{component}]"
+            ),
+            FailureKind::Plan(e) => write!(f, "invalid plan: {e}"),
+            FailureKind::Cancelled(r) => write!(f, "abandoned: {r}"),
+            FailureKind::Poisoned { origin } => {
+                write!(f, "poisoned by failed dependency: {origin}")
+            }
+            FailureKind::CircuitOpen => {
+                write!(f, "circuit breaker open: failure quota exhausted")
+            }
+        }
+    }
+}
+
+/// A failed parallel loop, with provenance and rollback status — the typed
+/// error of [`crate::Executor::try_execute`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoopError {
+    /// Name of the failed loop.
+    pub loop_name: String,
+    /// Backend that executed (or refused) it.
+    pub backend: &'static str,
+    /// What went wrong.
+    pub kind: FailureKind,
+    /// Was the declared write-set restored to its pre-loop contents?
+    /// (`false` only for failures that never ran the kernel: plan errors,
+    /// poisoned dataflow nodes, an open circuit breaker.)
+    pub rolled_back: bool,
+}
+
+impl LoopError {
+    pub(crate) fn new(
+        loop_name: &str,
+        backend: &'static str,
+        kind: FailureKind,
+        rolled_back: bool,
+    ) -> Self {
+        LoopError {
+            loop_name: loop_name.to_owned(),
+            backend,
+            kind,
+            rolled_back,
+        }
+    }
+
+    /// The element the failure is attributed to, when known.
+    pub fn element(&self) -> Option<usize> {
+        match &self.kind {
+            FailureKind::KernelPanic { element, .. } => *element,
+            FailureKind::NonFinite { element, .. } => Some(*element),
+            _ => None,
+        }
+    }
+
+    /// Re-raise this error as a panic — the legacy [`crate::Executor::execute`]
+    /// surface. The payload is a [`TaskPanic`] so catchers keep the
+    /// provenance; `resume_unwind` skips the panic hook (no spurious
+    /// backtrace for an error that is being deliberately rethrown).
+    pub fn rethrow(&self) -> ! {
+        let message = match &self.kind {
+            FailureKind::KernelPanic { message, .. } => message.clone(),
+            other => other.to_string(),
+        };
+        std::panic::resume_unwind(Box::new(TaskPanic {
+            message,
+            element: self.element(),
+            context: Some(self.loop_name.clone()),
+        }))
+    }
+}
+
+impl std::fmt::Display for LoopError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "loop '{}' [{}]: {}", self.loop_name, self.backend, self.kind)?;
+        if self.rolled_back {
+            write!(f, " (write-set rolled back)")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for LoopError {}
+
+/// The declared write-set of a loop, captured as type-erased snapshots.
+pub struct WriteSet {
+    snaps: Vec<Box<dyn DatSnapshot>>,
+}
+
+impl WriteSet {
+    /// Snapshot every dat `loop_` declares it may modify (deduplicated —
+    /// a dat written through several map slots is captured once).
+    pub fn capture(loop_: &ParLoop) -> WriteSet {
+        let mut snaps: Vec<Box<dyn DatSnapshot>> = Vec::new();
+        for a in loop_.args() {
+            if a.access.writes() && !snaps.iter().any(|s| s.dat_id() == a.dat_id) {
+                snaps.push(a.raw().snapshot());
+            }
+        }
+        WriteSet { snaps }
+    }
+
+    /// Restore every captured dat to its snapshotted contents,
+    /// bit-identically.
+    pub fn restore(&self) {
+        for s in &self.snaps {
+            s.restore();
+        }
+    }
+
+    /// Number of dats captured.
+    pub fn len(&self) -> usize {
+        self.snaps.len()
+    }
+
+    /// Was there nothing to capture (a pure-reduction loop)?
+    pub fn is_empty(&self) -> bool {
+        self.snaps.is_empty()
+    }
+}
+
+/// First non-finite value across the loop's written `f64` dats.
+pub(crate) fn check_finite(loop_: &ParLoop) -> Option<FailureKind> {
+    let mut seen: Vec<u64> = Vec::new();
+    for a in loop_.args() {
+        if a.access.writes() && !seen.contains(&a.dat_id) {
+            seen.push(a.dat_id);
+            if let Some((element, component)) = a.raw().find_nonfinite() {
+                return Some(FailureKind::NonFinite {
+                    dat: a.dat_name.clone(),
+                    element,
+                    component,
+                });
+            }
+        }
+    }
+    None
+}
+
+/// Slot the asynchronous color chain uses to hand the structured failure
+/// back across the future boundary (whose error channel is a plain string).
+pub(crate) type FailSlot = Arc<Mutex<Option<FailureKind>>>;
+
+/// Map a caught panic payload to a [`FailureKind`], preserving the
+/// provenance that [`TaskPanic`] / [`Cancelled`] payloads carry.
+pub(crate) fn classify_payload(p: PanicPayload) -> FailureKind {
+    let p = match p.downcast::<TaskPanic>() {
+        Ok(tp) => {
+            return FailureKind::KernelPanic {
+                message: tp.message,
+                element: tp.element,
+            }
+        }
+        Err(p) => p,
+    };
+    match p.downcast::<Cancelled>() {
+        Ok(c) => FailureKind::Cancelled(c.0),
+        Err(p) => FailureKind::KernelPanic {
+            message: hpx_rt::panic_message(&p),
+            element: None,
+        },
+    }
+}
+
+/// Run `body` as a transaction on `loop_`'s declared write-set: snapshot
+/// first; on panic (or a failed finite-guard scan afterwards) restore the
+/// snapshot bit-identically and return a typed error.
+pub(crate) fn run_transaction(
+    loop_: &ParLoop,
+    backend: &'static str,
+    body: impl FnOnce() -> Vec<f64>,
+) -> Result<Vec<f64>, LoopError> {
+    let ws = WriteSet::capture(loop_);
+    match catch_unwind(AssertUnwindSafe(body)) {
+        Ok(gbl) => {
+            if loop_.guard_finite() {
+                if let Some(kind) = check_finite(loop_) {
+                    ws.restore();
+                    tracehooks::rollback(loop_.name(), ws.len() as u64);
+                    return Err(LoopError::new(loop_.name(), backend, kind, true));
+                }
+            }
+            Ok(gbl)
+        }
+        Err(p) => {
+            ws.restore();
+            tracehooks::rollback(loop_.name(), ws.len() as u64);
+            Err(LoopError::new(loop_.name(), backend, classify_payload(p), true))
+        }
+    }
+}
+
+/// Every failure a fence observed, in completion order — the aggregate error
+/// of [`crate::Executor::try_fence`]. Asynchronous executors report *all*
+/// pending failures here, not just the first.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FenceReport {
+    /// The failed loops, each with full provenance.
+    pub failures: Vec<LoopError>,
+}
+
+impl std::fmt::Display for FenceReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} loop(s) failed at fence:", self.failures.len())?;
+        for e in &self.failures {
+            write!(f, "\n  {e}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for FenceReport {}
+
+/// Retry/degradation policy for a [`Supervisor`].
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Additional attempts per ladder rung after the first (so each rung
+    /// executes at most `1 + max_retries` times).
+    pub max_retries: usize,
+    /// Backoff slept before retry `n` is `backoff * n` (linear).
+    pub backoff: Duration,
+    /// Circuit breaker: total failures tolerated across the supervisor's
+    /// lifetime. Once spent, [`Supervisor::run`] fails fast with
+    /// [`FailureKind::CircuitOpen`] without executing anything.
+    pub quota: usize,
+    /// Per-attempt deadline armed on the runtime's [`hpx_rt::CancelToken`];
+    /// loops abandon cooperatively between chunks/colors when it expires.
+    pub deadline: Option<Duration>,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 1,
+            backoff: Duration::ZERO,
+            quota: 8,
+            deadline: None,
+        }
+    }
+}
+
+/// Policy wrapper executing loops with bounded retries and backend
+/// degradation (see the module docs for the full ladder).
+///
+/// Each attempt runs on a **fresh** executor of the rung's kind: a failed
+/// dataflow attempt leaves no poisoned dependency table behind, and the
+/// transactional rollback guarantees each attempt starts from pristine
+/// pre-loop data.
+pub struct Supervisor {
+    rt: Arc<Op2Runtime>,
+    ladder: Vec<BackendKind>,
+    policy: RetryPolicy,
+    quota: AtomicUsize,
+}
+
+impl Supervisor {
+    /// Supervisor whose ladder starts at `primary` and degrades through
+    /// fork-join to serial (duplicates removed).
+    pub fn new(rt: Arc<Op2Runtime>, primary: BackendKind, policy: RetryPolicy) -> Self {
+        let mut ladder = vec![primary];
+        for fallback in [BackendKind::ForkJoin, BackendKind::Serial] {
+            if !ladder.contains(&fallback) {
+                ladder.push(fallback);
+            }
+        }
+        Self::with_ladder(rt, ladder, policy)
+    }
+
+    /// Supervisor with an explicit degradation ladder (tried left to right).
+    pub fn with_ladder(
+        rt: Arc<Op2Runtime>,
+        ladder: Vec<BackendKind>,
+        policy: RetryPolicy,
+    ) -> Self {
+        assert!(!ladder.is_empty(), "supervisor needs at least one backend");
+        let quota = AtomicUsize::new(policy.quota);
+        Supervisor {
+            rt,
+            ladder,
+            policy,
+            quota,
+        }
+    }
+
+    /// The degradation ladder, most-preferred first.
+    pub fn ladder(&self) -> &[BackendKind] {
+        &self.ladder
+    }
+
+    /// Failures still tolerated before the circuit breaker opens.
+    pub fn quota_remaining(&self) -> usize {
+        self.quota.load(Ordering::Relaxed)
+    }
+
+    /// Spend one unit of quota; false if already exhausted.
+    fn spend_quota(&self) -> bool {
+        self.quota
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |q| q.checked_sub(1))
+            .is_ok()
+    }
+
+    /// Execute `loop_` under the recovery ladder; returns the global
+    /// reduction of the first successful attempt, or the last failure once
+    /// retries, degradation, and quota are exhausted.
+    pub fn run(&self, loop_: &ParLoop) -> Result<Vec<f64>, LoopError> {
+        let mut last: Option<LoopError> = None;
+        let token = self.rt.cancel_token().clone();
+        for (rung, kind) in self.ladder.iter().enumerate() {
+            for attempt in 0..=self.policy.max_retries {
+                // A fresh executor per *attempt*: a failed async attempt must
+                // not leave its failure in the outstanding list (a successful
+                // retry would then be misreported at the fence), and a failed
+                // dataflow attempt must not leave a poisoned dependency table
+                // that would poison the retry itself.
+                let exec = make_executor(*kind, Arc::clone(&self.rt));
+                if self.quota_remaining() == 0 {
+                    return Err(last.unwrap_or_else(|| {
+                        LoopError::new(loop_.name(), "supervisor", FailureKind::CircuitOpen, false)
+                    }));
+                }
+                if rung > 0 || attempt > 0 {
+                    tracehooks::retry(loop_.name(), attempt as u64, rung as u64);
+                }
+                if attempt > 0 && !self.policy.backoff.is_zero() {
+                    std::thread::sleep(self.policy.backoff * attempt as u32);
+                }
+                token.clear();
+                if let Some(d) = self.policy.deadline {
+                    token.deadline_after(d);
+                }
+                let result = exec
+                    .try_execute(loop_)
+                    .and_then(|h| h.try_get())
+                    .and_then(|gbl| match exec.try_fence() {
+                        Ok(()) => Ok(gbl),
+                        Err(mut report) => Err(report.failures.pop().unwrap_or_else(|| {
+                            LoopError::new(loop_.name(), exec.name(), FailureKind::CircuitOpen, false)
+                        })),
+                    });
+                token.clear();
+                match result {
+                    Ok(gbl) => return Ok(gbl),
+                    Err(e) => {
+                        // Drain whatever the failed attempt left pending
+                        // before the executor is dropped.
+                        let _ = exec.try_fence();
+                        let _ = self.spend_quota();
+                        last = Some(e);
+                    }
+                }
+            }
+        }
+        Err(last.expect("ladder is non-empty, so at least one attempt ran"))
+    }
+}

@@ -2,7 +2,7 @@
 
 use std::sync::Arc;
 
-use hpx_rt::{DetPool, Pool, PoolBuilder, SchedulePolicy};
+use hpx_rt::{CancelToken, DetPool, Pool, PoolBuilder, SchedulePolicy};
 use op2_core::{ParLoop, Plan, PlanCache};
 
 /// Default mini-partition (block) size, matching OP2's common setting.
@@ -17,6 +17,7 @@ pub struct Op2Runtime {
     pool: Arc<dyn Pool>,
     plans: PlanCache,
     part_size: usize,
+    cancel: CancelToken,
 }
 
 impl Op2Runtime {
@@ -44,6 +45,7 @@ impl Op2Runtime {
             pool,
             plans: PlanCache::new(),
             part_size: part_size.max(1),
+            cancel: CancelToken::new(),
         }
     }
 
@@ -68,6 +70,14 @@ impl Op2Runtime {
     /// The underlying task pool.
     pub fn pool(&self) -> &Arc<dyn Pool> {
         &self.pool
+    }
+
+    /// The ambient cancellation token every backend threads into its loop
+    /// bodies: cancel it (or arm a deadline) to make in-flight loops abandon
+    /// cooperatively between chunks/colors. [`crate::Supervisor`] arms and
+    /// clears it around each attempt.
+    pub fn cancel_token(&self) -> &CancelToken {
+        &self.cancel
     }
 
     /// Worker count.

@@ -5,7 +5,9 @@ use std::sync::Arc;
 
 use op2_core::ParLoop;
 
+use crate::colored::run_plan_order_tracked;
 use crate::handle::LoopHandle;
+use crate::recover::{run_transaction, FailureKind, LoopError};
 use crate::runtime::Op2Runtime;
 use crate::{tracehooks, Executor};
 
@@ -31,19 +33,23 @@ impl Executor for SerialExecutor {
         "serial"
     }
 
-    fn execute(&self, loop_: &ParLoop) -> LoopHandle {
+    fn try_execute(&self, loop_: &ParLoop) -> Result<LoopHandle, LoopError> {
         let plan = self.rt.plan_for(loop_);
+        plan.validate_cached(loop_.args()).map_err(|e| {
+            LoopError::new(loop_.name(), self.name(), FailureKind::Plan(e), false)
+        })?;
         // Loop span + program-order edge, but no BarrierWait: the caller
         // runs the body itself, it is never held at a barrier.
         let instance = tracehooks::next_instance();
         tracehooks::chain(&self.last_instance, instance);
         tracehooks::loop_begin(loop_.name(), self.name(), instance);
-        let gbl = op2_core::serial::execute_plan_order(loop_, &plan);
+        let cancel = self.rt.cancel_token().clone();
+        let result = run_transaction(loop_, self.name(), || {
+            run_plan_order_tracked(loop_, &plan, Some(&cancel))
+        });
         tracehooks::loop_end(instance);
-        LoopHandle::ready(gbl).with_instance(instance)
+        result.map(|gbl| LoopHandle::ready(gbl).with_instance(instance))
     }
-
-    fn fence(&self) {}
 }
 
 #[cfg(test)]

@@ -72,6 +72,35 @@ pub fn chain(last: &AtomicU64, instance: u64) {
     edge(prev, instance);
 }
 
+/// Record that `loop_name` rolled its write-set back (`ndats` dats restored).
+#[inline]
+pub fn rollback(loop_name: &str, ndats: u64) {
+    if op2_trace::enabled() {
+        let name = op2_trace::intern(loop_name);
+        op2_trace::instant(EventKind::Rollback, name, ndats, 0);
+    }
+}
+
+/// Record a supervisor retry of `loop_name` (attempt number within the
+/// degradation-ladder rung).
+#[inline]
+pub fn retry(loop_name: &str, attempt: u64, rung: u64) {
+    if op2_trace::enabled() {
+        let name = op2_trace::intern(loop_name);
+        op2_trace::instant(EventKind::Retry, name, attempt, rung);
+    }
+}
+
+/// Record that dataflow node `instance` (loop `loop_name`) was poisoned by an
+/// upstream failure and never ran.
+#[inline]
+pub fn poison(loop_name: &str, instance: u64) {
+    if op2_trace::enabled() {
+        let name = op2_trace::intern(loop_name);
+        op2_trace::instant(EventKind::Poison, name, instance, 0);
+    }
+}
+
 thread_local! {
     /// Loop instances this thread has synchronized on (`LoopHandle::wait` /
     /// `get`) since it last issued a loop.

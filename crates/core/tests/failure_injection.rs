@@ -1,12 +1,18 @@
 //! Failure injection: kernels that panic must not poison the runtime —
 //! panics surface at well-defined points (handle `get`/`wait`, `fence`),
-//! the pool survives, and subsequent loops run normally.
+//! the pool survives, subsequent loops run normally, and — since loops are
+//! transactions — every failed loop's declared write-set is rolled back
+//! **bit-identically** to its pre-loop contents.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use op2_core::{arg_direct, Access, Dat, ParLoop, Set};
-use op2_hpx::{make_executor, BackendKind, DataflowExecutor, Executor, Op2Runtime};
+use op2_hpx::{make_executor, BackendKind, DataflowExecutor, Executor, FailureKind, Op2Runtime};
+
+fn bits(d: &Dat<f64>) -> Vec<u64> {
+    d.to_vec().into_iter().map(f64::to_bits).collect()
+}
 
 fn poison_loop(cells: &Set, q: &Dat<f64>, arm: Arc<AtomicBool>) -> ParLoop {
     let qv = q.view();
@@ -34,21 +40,116 @@ fn synchronous_backends_rethrow_and_recover() {
         let arm = Arc::new(AtomicBool::new(true));
         let l = poison_loop(&cells, &q, Arc::clone(&arm));
 
+        let before = bits(&q);
         let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             let _ = exec.execute(&l);
         }));
         assert!(panicked.is_err(), "{kind}: kernel panic must surface");
+        // Transactional rollback: even though other elements of the failed
+        // run were incremented before the panic, the write-set is restored
+        // bit-identically to its pre-loop contents.
+        assert_eq!(bits(&q), before, "{kind}: write-set not rolled back");
 
-        // Disarm and run again: the executor and pool must still work.
+        // Disarm and run again: the executor and pool must still work, and
+        // because the failed run left no trace, the result is exactly one
+        // increment everywhere.
         arm.store(false, Ordering::Relaxed);
         let h = exec.execute(&l);
         h.wait();
         exec.fence();
-        // Element 7 may or may not have been incremented during the failed
-        // run (other elements of its chunk raced the panic), but the second
-        // run must have incremented everything once more and be finite.
-        assert!(q.to_vec().iter().all(|v| v.is_finite()));
+        assert!(q.to_vec().iter().all(|&v| v == 1.0), "{kind}");
     }
+}
+
+#[test]
+fn typed_errors_carry_provenance_and_rollback_status() {
+    for kind in [
+        BackendKind::Serial,
+        BackendKind::ForkJoin,
+        BackendKind::ForEachStatic(2),
+    ] {
+        let rt = Arc::new(Op2Runtime::new(2, 8));
+        let exec = make_executor(kind, rt);
+        let cells = Set::new("cells", 64);
+        let q = Dat::filled("q", &cells, 1, 0.0f64);
+        let arm = Arc::new(AtomicBool::new(true));
+        let l = poison_loop(&cells, &q, arm);
+
+        let err = match exec.try_execute(&l) {
+            Err(e) => e,
+            Ok(_) => panic!("{kind}: failure must surface"),
+        };
+        assert_eq!(err.loop_name, "maybe_panic", "{kind}");
+        assert!(err.rolled_back, "{kind}: rollback must be reported");
+        match &err.kind {
+            FailureKind::KernelPanic { message, element } => {
+                assert!(message.contains("injected kernel failure"), "{kind}: {message}");
+                assert_eq!(*element, Some(7), "{kind}: element provenance lost");
+            }
+            other => panic!("{kind}: unexpected failure kind: {other:?}"),
+        }
+        assert!(q.to_vec().iter().all(|&v| v == 0.0), "{kind}");
+    }
+}
+
+#[test]
+fn nan_guard_rolls_back_and_reports_the_site() {
+    let rt = Arc::new(Op2Runtime::new(2, 8));
+    let exec = make_executor(BackendKind::ForkJoin, rt);
+    let cells = Set::new("cells", 32);
+    let q = Dat::filled("q", &cells, 2, 1.0f64);
+    let qv = q.view();
+    let l = ParLoop::build("blow_up", &cells)
+        .arg(arg_direct(&q, Access::ReadWrite))
+        .guard_finite()
+        .kernel(move |e, _| unsafe {
+            let s = qv.slice_mut(e);
+            s[0] += 1.0;
+            if e == 13 {
+                s[1] = f64::NAN;
+            }
+        });
+    let before = bits(&q);
+    let err = match exec.try_execute(&l) {
+        Err(e) => e,
+        Ok(_) => panic!("NaN must trip the guard"),
+    };
+    assert!(err.rolled_back);
+    match &err.kind {
+        FailureKind::NonFinite { dat, element, component } => {
+            assert_eq!(dat, "q");
+            assert_eq!((*element, *component), (13, 1));
+        }
+        other => panic!("unexpected failure kind: {other:?}"),
+    }
+    assert_eq!(bits(&q), before, "guard failure must roll the whole loop back");
+}
+
+#[test]
+fn preset_cancellation_abandons_with_typed_error() {
+    let rt = Arc::new(Op2Runtime::new(2, 8));
+    let exec = make_executor(BackendKind::ForkJoin, Arc::clone(&rt));
+    let cells = Set::new("cells", 64);
+    let q = Dat::filled("q", &cells, 1, 5.0f64);
+    let qv = q.view();
+    let l = ParLoop::build("never_runs", &cells)
+        .arg(arg_direct(&q, Access::ReadWrite))
+        .kernel(move |e, _| unsafe { qv.add(e, 0, 1.0) });
+    rt.cancel_token().cancel();
+    let err = match exec.try_execute(&l) {
+        Err(e) => e,
+        Ok(_) => panic!("cancelled loop must not complete"),
+    };
+    rt.cancel_token().clear();
+    assert!(
+        matches!(err.kind, FailureKind::Cancelled(_)),
+        "expected a cancellation, got: {err}"
+    );
+    assert!(err.rolled_back);
+    assert!(q.to_vec().iter().all(|&v| v == 5.0), "data must be untouched");
+    // Token cleared: the same executor runs the loop normally again.
+    exec.execute(&l).wait();
+    assert!(q.to_vec().iter().all(|&v| v == 6.0));
 }
 
 #[test]
@@ -61,9 +162,13 @@ fn async_backend_defers_panic_to_wait() {
     let l = poison_loop(&cells, &q, Arc::clone(&arm));
 
     // Issue succeeds; the panic surfaces at wait().
+    let before = bits(&q);
     let h = exec.execute(&l);
     let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| h.wait()));
     assert!(panicked.is_err(), "panic must surface at wait()");
+    // The transaction (including rollback) completed before the future
+    // resolved, so the write-set is already pristine here.
+    assert_eq!(bits(&q), before, "async write-set not rolled back");
 
     arm.store(false, Ordering::Relaxed);
     let h = exec.execute(&l);
@@ -73,6 +178,60 @@ fn async_backend_defers_panic_to_wait() {
     let fence_result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| exec.fence()));
     // The failed loop is still in the outstanding list → fence may rethrow.
     let _ = fence_result;
+}
+
+#[test]
+fn async_fence_surfaces_every_pending_failure() {
+    let rt = Arc::new(Op2Runtime::new(2, 8));
+    let exec = make_executor(BackendKind::Async, rt);
+    let cells = Set::new("cells", 64);
+    // Three failing loops on disjoint dats plus one healthy one.
+    let mut arms = Vec::new();
+    let mut dats = Vec::new();
+    for i in 0..3 {
+        let d = Dat::filled(format!("d{i}"), &cells, 1, 0.0f64);
+        let arm = Arc::new(AtomicBool::new(true));
+        let dv = d.view();
+        let arm2 = Arc::clone(&arm);
+        let l = ParLoop::build(format!("fail{i}"), &cells)
+            .arg(arg_direct(&d, Access::ReadWrite))
+            .kernel(move |e, _| unsafe {
+                if arm2.load(Ordering::Relaxed) && e == 7 {
+                    panic!("injected kernel failure at element {e}");
+                }
+                dv.add(e, 0, 1.0);
+            });
+        let _ = exec.try_execute(&l).expect("issue succeeds");
+        arms.push(arm);
+        dats.push(d);
+    }
+    let healthy = Dat::filled("healthy", &cells, 1, 0.0f64);
+    let hv = healthy.view();
+    let ok = ParLoop::build("ok", &cells)
+        .arg(arg_direct(&healthy, Access::Write))
+        .kernel(move |e, _| unsafe { hv.set(e, 0, 1.0) });
+    let _ = exec.try_execute(&ok).expect("issue succeeds");
+
+    let report = exec.try_fence().expect_err("fence must report failures");
+    assert_eq!(
+        report.failures.len(),
+        3,
+        "every pending failure must surface, got: {report}"
+    );
+    let mut failed: Vec<&str> = report.failures.iter().map(|e| e.loop_name.as_str()).collect();
+    failed.sort_unstable();
+    assert_eq!(failed, ["fail0", "fail1", "fail2"]);
+    for e in &report.failures {
+        assert!(e.rolled_back, "{e}");
+        assert_eq!(e.element(), Some(7), "element provenance lost: {e}");
+    }
+    // All three failed write-sets rolled back; the healthy loop completed.
+    for d in &dats {
+        assert!(d.to_vec().iter().all(|&v| v == 0.0));
+    }
+    assert!(healthy.to_vec().iter().all(|&v| v == 1.0));
+    // The fence drained everything: a second fence is clean.
+    exec.try_fence().expect("drained fence must be clean");
 }
 
 #[test]
@@ -105,10 +264,19 @@ fn dataflow_poisons_dependents_but_not_independents() {
     h_ind.wait();
     assert!(healthy.to_vec().iter().all(|&v| v == 1.0));
 
-    // The failed loop's handle rethrows.
-    assert!(std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| h_bad.wait())).is_err());
-    // The dependent is poisoned transitively (panic, not hang).
-    assert!(std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| h_dep.wait())).is_err());
+    // The failed loop's handle reports a typed kernel panic with rollback…
+    let err = h_bad.try_get().expect_err("failed loop must error");
+    assert!(matches!(err.kind, FailureKind::KernelPanic { element: Some(7), .. }), "{err}");
+    assert!(err.rolled_back, "{err}");
+    assert!(poisoned.to_vec().iter().all(|&v| v == 0.0), "rollback failed");
+    // …and the dependent reports poisoning (it never ran, nothing to roll
+    // back) rather than hanging.
+    let err = h_dep.try_get().expect_err("dependent must be poisoned");
+    assert!(matches!(err.kind, FailureKind::Poisoned { .. }), "{err}");
+    assert!(!err.rolled_back, "{err}");
+    // The fence aggregates both failures (the independent loop is absent).
+    let report = exec.try_fence().expect_err("fence must report failures");
+    assert_eq!(report.failures.len(), 2, "{report}");
 }
 
 #[test]

@@ -23,6 +23,7 @@ use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
+use crate::cancel::{CancelToken, Cancelled};
 use crate::future::{Future, PanicPayload};
 use crate::latch::CountdownLatch;
 use crate::pool::Pool;
@@ -215,6 +216,23 @@ where
     P: Pool + ?Sized,
     F: Fn(usize) + Sync,
 {
+    for_each_index_cancel(pool, policy, range, None, f)
+}
+
+/// [`for_each_index`] with cooperative cancellation: `cancel` is polled
+/// between chunks; once it fires, remaining chunks are skipped and the call
+/// rethrows a [`Cancelled`] payload after the in-flight chunks drain (the
+/// barrier still closes — no task is ever leaked).
+pub fn for_each_index_cancel<P, F>(
+    pool: &P,
+    policy: ExecutionPolicy,
+    range: Range<usize>,
+    cancel: Option<&CancelToken>,
+    f: F,
+) where
+    P: Pool + ?Sized,
+    F: Fn(usize) + Sync,
+{
     if range.is_empty() {
         return;
     }
@@ -246,14 +264,18 @@ where
                 return;
             }
             let chunks = plan_chunks(rest, pool.num_threads(), policy.chunk, per_iter);
-            run_chunks_blocking(pool, &chunks, &f);
+            run_chunks_blocking(pool, &chunks, &f, cancel);
         }
     }
 }
 
 /// Execute `chunks` of `f` on the pool and wait on a latch (work-helping).
-fn run_chunks_blocking<P, F>(pool: &P, chunks: &[Range<usize>], f: &F)
-where
+fn run_chunks_blocking<P, F>(
+    pool: &P,
+    chunks: &[Range<usize>],
+    f: &F,
+    cancel: Option<&CancelToken>,
+) where
     P: Pool + ?Sized,
     F: Fn(usize) + Sync,
 {
@@ -274,7 +296,19 @@ where
     for chunk in chunks {
         let chunk = chunk.clone();
         let counter = latch.counter();
+        let cancel = cancel.cloned();
         pool.spawn_boxed(Box::new(move || {
+            // Cooperative cancellation: checked once per chunk, before the
+            // chunk body runs. Skipped chunks still count the latch down so
+            // the barrier closes and nothing leaks.
+            if let Some(reason) = cancel.as_ref().and_then(CancelToken::check) {
+                let mut guard = panic_ptr.lock();
+                if guard.is_none() {
+                    *guard = Some(Box::new(Cancelled(reason)));
+                }
+                counter.count_down();
+                return;
+            }
             let result = catch_unwind(AssertUnwindSafe(|| {
                 for i in chunk {
                     f_static(i);
@@ -313,6 +347,24 @@ where
     P: Pool + ?Sized,
     F: Fn(usize) + Send + Sync + 'static,
 {
+    for_each_index_task_cancel(pool, policy, range, None, f)
+}
+
+/// [`for_each_index_task`] with cooperative cancellation, polled between
+/// chunks exactly as in [`for_each_index_cancel`]; the returned future then
+/// completes with a [`Cancelled`] payload.
+pub fn for_each_index_task_cancel<P, F>(
+    pool: &P,
+    policy: ExecutionPolicy,
+    range: Range<usize>,
+    cancel: Option<&CancelToken>,
+    f: F,
+) -> Future<()>
+where
+    P: Pool + ?Sized,
+    F: Fn(usize) + Send + Sync + 'static,
+{
+    let cancel = cancel.cloned();
     let (out_shared, out) = Future::<()>::new_pair(Some(pool.spawner()));
     if range.is_empty() {
         out_shared.complete(Ok(()));
@@ -362,12 +414,16 @@ where
             let remaining = Arc::clone(&remaining);
             let panic_slot = Arc::clone(&panic_slot);
             let out_shared = Arc::clone(&out_shared);
+            let cancel = cancel.clone();
             let task: crate::pool::Task = Box::new(move || {
-                let result = catch_unwind(AssertUnwindSafe(|| {
-                    for i in chunk {
-                        f(i);
-                    }
-                }));
+                let result = match cancel.as_ref().and_then(CancelToken::check) {
+                    Some(reason) => Err(Box::new(Cancelled(reason)) as PanicPayload),
+                    None => catch_unwind(AssertUnwindSafe(|| {
+                        for i in chunk {
+                            f(i);
+                        }
+                    })),
+                };
                 if let Err(p) = result {
                     let mut guard = panic_slot.lock();
                     if guard.is_none() {
@@ -439,7 +495,7 @@ where
                 }
                 *partials[ci].lock() = Some(acc);
             }
-        });
+        }, None);
     }
     let mut acc = identity;
     for p in partials {

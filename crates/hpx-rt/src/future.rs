@@ -27,7 +27,8 @@ use crate::pool::{Pool, Spawner};
 
 /// Result of a producing task: the value, or the payload of a panic.
 pub(crate) type FutureResult<T> = Result<T, PanicPayload>;
-pub(crate) type PanicPayload = Box<dyn Any + Send + 'static>;
+/// The payload a panicking task carries (what `catch_unwind` returns).
+pub type PanicPayload = Box<dyn Any + Send + 'static>;
 
 type Continuation<T> = Box<dyn FnOnce(FutureResult<T>) + Send + 'static>;
 
@@ -334,10 +335,63 @@ fn unwrap_result<T>(r: FutureResult<T>) -> T {
     }
 }
 
+/// A panic payload enriched with provenance: what parallel loop the task was
+/// executing and at which element it failed.
+///
+/// Loop runners wrap raw kernel panics in a `TaskPanic` so the same context
+/// reaches both the `set_panic` → `get()` rethrow path (via
+/// [`panic_message`]'s rendering) and any typed error the executor builds
+/// from the payload.
+#[derive(Debug, Clone)]
+pub struct TaskPanic {
+    /// Rendering of the original panic payload.
+    pub message: String,
+    /// Iteration-set element the kernel was processing, when known.
+    pub element: Option<usize>,
+    /// Context label, typically the parallel loop's name.
+    pub context: Option<String>,
+}
+
+impl TaskPanic {
+    /// Wrap a raw payload with provenance. An already-enriched [`TaskPanic`]
+    /// keeps its original (innermost) provenance.
+    pub fn wrap(p: PanicPayload, element: usize, context: &str) -> TaskPanic {
+        match p.downcast::<TaskPanic>() {
+            Ok(tp) => *tp,
+            Err(p) => TaskPanic {
+                message: panic_message(&p),
+                element: Some(element),
+                context: Some(context.to_owned()),
+            },
+        }
+    }
+}
+
+impl std::fmt::Display for TaskPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.message)?;
+        if let Some(ctx) = &self.context {
+            write!(f, " [in loop {ctx}")?;
+            if let Some(e) = self.element {
+                write!(f, " at element {e}")?;
+            }
+            write!(f, "]")?;
+        } else if let Some(e) = self.element {
+            write!(f, " [at element {e}]")?;
+        }
+        Ok(())
+    }
+}
+
 /// Best-effort textual rendering of a panic payload (shared futures cannot
-/// clone the original payload, so they store a message).
-pub(crate) fn panic_message(p: &PanicPayload) -> String {
-    if let Some(s) = p.downcast_ref::<&'static str>() {
+/// clone the original payload, so they store a message). Payloads wrapped in
+/// a [`TaskPanic`] render with their loop/element provenance.
+pub fn panic_message(p: &PanicPayload) -> String {
+    if let Some(tp) = p.downcast_ref::<TaskPanic>() {
+        tp.to_string()
+    } else if let Some(c) = p.downcast_ref::<crate::cancel::Cancelled>() {
+        format!("loop abandoned: {}", c.0)
+    } else if let Some(s) = p.downcast_ref::<&'static str>() {
         (*s).to_owned()
     } else if let Some(s) = p.downcast_ref::<String>() {
         s.clone()
@@ -463,6 +517,36 @@ impl<T: Clone + Send + 'static> SharedFuture<T> {
             SharedState::Ready(Err(msg)) => panic!("shared future producer panicked: {msg}"),
             SharedState::Pending(_) => unreachable!("waited until ready"),
         }
+    }
+
+    /// Wait for the result without rethrowing: `Err` carries the producer's
+    /// rendered panic message instead of panicking the caller. This is the
+    /// primitive fallible fences/supervisors build on.
+    pub fn try_get(&self) -> Result<T, String> {
+        if !self.is_ready() {
+            if let Some(sp) = self.inner.spawner.clone() {
+                sp.count_dep_wait();
+                let inner = Arc::clone(&self.inner);
+                sp.help_until(move || inner.is_ready());
+            } else {
+                let mut st = self.inner.state.lock();
+                while matches!(&*st, SharedState::Pending(_)) {
+                    self.inner.cond.wait(&mut st);
+                }
+            }
+        }
+        match &*self.inner.state.lock() {
+            SharedState::Ready(res) => res.clone(),
+            SharedState::Pending(_) => unreachable!("waited until ready"),
+        }
+    }
+
+    /// Register a callback invoked with the outcome (value, or the producer's
+    /// panic message) once available — the shared-future analogue of
+    /// [`Future::finally`]. May run immediately on the calling thread when
+    /// the value is already there.
+    pub fn finally(&self, f: impl FnOnce(Result<T, String>) + Send + 'static) {
+        self.on_ready(f);
     }
 
     /// Register a callback invoked (possibly immediately, on this thread) with

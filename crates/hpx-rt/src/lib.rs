@@ -49,6 +49,7 @@
 
 #![warn(missing_docs)]
 
+pub mod cancel;
 pub mod dataflow;
 pub mod det;
 pub mod for_each;
@@ -59,15 +60,18 @@ pub mod pool;
 pub mod scan;
 pub mod spawn;
 
+pub use cancel::{CancelReason, CancelToken, Cancelled};
 pub use dataflow::{
     dataflow1, dataflow2, dataflow3, dataflow4, when_all, when_all_shared_unit, when_all_unit,
 };
 pub use det::{DetPool, SchedulePolicy};
 pub use for_each::{
-    for_each_index, for_each_index_task, par, par_task, reduce_index, seq, ChunkSize,
-    ExecutionPolicy,
+    for_each_index, for_each_index_cancel, for_each_index_task, for_each_index_task_cancel, par,
+    par_task, reduce_index, seq, ChunkSize, ExecutionPolicy,
 };
-pub use future::{make_ready_future, Future, Promise, SharedFuture};
+pub use future::{
+    make_ready_future, panic_message, Future, PanicPayload, Promise, SharedFuture, TaskPanic,
+};
 pub use latch::CountdownLatch;
 pub use metrics::{MetricsSnapshot, PoolMetrics};
 pub use pool::{Pool, PoolBuilder, Spawner, Task, ThreadPool};

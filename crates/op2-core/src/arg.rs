@@ -6,6 +6,7 @@ use crate::access::Access;
 use crate::dat::Dat;
 use crate::map::Map;
 use crate::set::Set;
+use crate::snapshot::RawDat;
 
 /// How an argument reaches its data: directly (the iteration element itself)
 /// or through one slot of a map.
@@ -32,10 +33,12 @@ pub enum MapRef {
 /// analysis consume. Keeping both consistent is the application's contract,
 /// exactly as in OP2 (and what the `op2-codegen` translator automates).
 ///
-/// Every `ArgSpec` also holds a type-erased clone of its [`Dat`]: a loop
-/// whose arguments are declared correctly therefore **keeps its data
-/// alive**, so the raw views the kernel captured cannot dangle even if the
-/// application drops its own dat handles.
+/// Every `ArgSpec` also holds a type-erased clone of its [`Dat`] as an
+/// [`Arc<dyn RawDat>`]: a loop whose arguments are declared correctly
+/// therefore **keeps its data alive** (so the raw views the kernel captured
+/// cannot dangle even if the application drops its own dat handles), and
+/// executors can snapshot/restore the declared write-set for transactional
+/// rollback without knowing the element type.
 #[derive(Clone)]
 pub struct ArgSpec {
     /// Identity of the dat being accessed.
@@ -50,10 +53,9 @@ pub struct ArgSpec {
     pub map_ref: MapRef,
     /// Declared access mode.
     pub access: Access,
-    /// Keep-alive handle for the dat's storage (see struct docs). Never
-    /// read — its only job is owning an `Arc` strong count on the dat.
-    #[allow(dead_code)]
-    keepalive: Arc<dyn std::any::Any + Send + Sync>,
+    /// Type-erased handle to the dat: keep-alive + snapshot/restore (see
+    /// struct docs).
+    raw: Arc<dyn RawDat>,
 }
 
 impl std::fmt::Debug for ArgSpec {
@@ -73,6 +75,11 @@ impl ArgSpec {
     pub fn is_indirect(&self) -> bool {
         matches!(self.map_ref, MapRef::Indirect { .. })
     }
+
+    /// The type-erased storage handle (snapshot/restore, NaN scanning).
+    pub fn raw(&self) -> &Arc<dyn RawDat> {
+        &self.raw
+    }
 }
 
 /// Declare a direct argument (OP2's `op_arg_dat(dat, -1, OP_ID, …)`).
@@ -84,7 +91,7 @@ pub fn arg_direct<T: Copy + Send + Sync + 'static>(dat: &Dat<T>, access: Access)
         dat_dim: dat.dim(),
         map_ref: MapRef::Direct,
         access,
-        keepalive: Arc::new(dat.clone()),
+        raw: Arc::new(dat.clone()),
     }
 }
 
@@ -124,7 +131,7 @@ pub fn arg_indirect<T: Copy + Send + Sync + 'static>(
             idx,
         },
         access,
-        keepalive: Arc::new(dat.clone()),
+        raw: Arc::new(dat.clone()),
     }
 }
 

@@ -40,12 +40,14 @@ pub mod reduction;
 pub mod renumber;
 pub mod serial;
 pub mod set;
+pub mod snapshot;
 
 pub use access::Access;
 pub use arg::{arg_direct, arg_indirect, ArgSpec, MapRef};
 pub use dat::{Dat, DatView};
 pub use loops::{KernelFn, ParLoop, ParLoopBuilder};
 pub use map::Map;
-pub use plan::{Plan, PlanCache, PlanKey};
+pub use plan::{Plan, PlanCache, PlanError, PlanKey};
+pub use snapshot::{DatSnapshot, RawDat};
 pub use reduction::{GblOp, GlobalAcc};
 pub use set::Set;

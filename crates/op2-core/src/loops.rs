@@ -28,6 +28,7 @@ pub struct ParLoop {
     args: Vec<ArgSpec>,
     gbl_dim: usize,
     gbl_op: GblOp,
+    guard_finite: bool,
     kernel: KernelFn,
 }
 
@@ -38,6 +39,7 @@ pub struct ParLoopBuilder {
     args: Vec<ArgSpec>,
     gbl_dim: usize,
     gbl_op: GblOp,
+    guard_finite: bool,
 }
 
 impl ParLoop {
@@ -49,6 +51,7 @@ impl ParLoop {
             args: Vec::new(),
             gbl_dim: 0,
             gbl_op: GblOp::Sum,
+            guard_finite: false,
         }
     }
 
@@ -80,6 +83,12 @@ impl ParLoop {
     /// The kernel body.
     pub fn kernel(&self) -> &KernelFn {
         &self.kernel
+    }
+
+    /// Should transactional executors scan this loop's written `f64` dats
+    /// for NaN/Inf after it runs (and roll back on a hit)?
+    pub fn guard_finite(&self) -> bool {
+        self.guard_finite
     }
 
     /// Does any argument write through a map? (If so, execution needs a
@@ -193,6 +202,16 @@ impl ParLoopBuilder {
         self
     }
 
+    /// Ask transactional executors to validate that every written `f64` dat
+    /// is finite after the loop runs; a NaN/Inf rolls the write-set back and
+    /// surfaces a typed error. Opt-in because the scan is O(written values)
+    /// per execution — wire it on loops that can overflow/underflow (e.g.
+    /// `sqrt`/division kernels like Airfoil's `adt_calc`).
+    pub fn guard_finite(mut self) -> Self {
+        self.guard_finite = true;
+        self
+    }
+
     /// Attach the kernel and finish.
     pub fn kernel(self, kernel: impl Fn(usize, &mut [f64]) + Send + Sync + 'static) -> ParLoop {
         ParLoop {
@@ -201,6 +220,7 @@ impl ParLoopBuilder {
             args: self.args,
             gbl_dim: self.gbl_dim,
             gbl_op: self.gbl_op,
+            guard_finite: self.guard_finite,
             kernel: Arc::new(kernel),
         }
     }

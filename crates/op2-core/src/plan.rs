@@ -16,7 +16,7 @@
 
 use std::collections::HashMap;
 use std::ops::Range;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use parking_lot::Mutex;
 
@@ -25,6 +25,65 @@ use crate::set::Set;
 
 /// Default mini-partition size (elements per block). OP2's common default.
 pub const DEFAULT_PART_SIZE: usize = 256;
+
+/// Why a plan failed validation — typed so executors can surface a broken
+/// plan as a recoverable error instead of a panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanError {
+    /// Two same-colored blocks write the same indirect target.
+    ColorConflict {
+        /// First block writing the target.
+        block_a: usize,
+        /// Conflicting block of the same color.
+        block_b: usize,
+        /// The shared color.
+        color: u32,
+        /// The contested target element.
+        target: usize,
+        /// Name of the map both blocks write through.
+        map: String,
+    },
+    /// Block ranges are not contiguous.
+    BlockGap {
+        /// Element index the next block was expected to start at.
+        expected: usize,
+        /// Where it actually started.
+        got: usize,
+    },
+    /// Blocks do not cover the iteration set exactly.
+    Coverage {
+        /// Elements covered by the blocks.
+        covered: usize,
+        /// Size of the iteration set.
+        set_size: usize,
+    },
+}
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanError::ColorConflict {
+                block_a,
+                block_b,
+                color,
+                target,
+                map,
+            } => write!(
+                f,
+                "blocks {block_a} and {block_b} share color {color} but both write \
+                 target {target} of map {map}"
+            ),
+            PlanError::BlockGap { expected, got } => {
+                write!(f, "block gap: expected start {expected}, got {got}")
+            }
+            PlanError::Coverage { covered, set_size } => {
+                write!(f, "blocks cover {covered} elements, set has {set_size}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
 
 /// A colored block execution plan for one loop shape.
 #[derive(Debug)]
@@ -41,6 +100,8 @@ pub struct Plan {
     pub ncolors: u32,
     /// Block indices grouped by color (ascending within each color).
     pub color_blocks: Vec<Vec<u32>>,
+    /// Memoized result of [`Plan::validate_cached`].
+    validated: OnceLock<Option<PlanError>>,
 }
 
 impl Plan {
@@ -86,6 +147,7 @@ impl Plan {
                 block_colors,
                 ncolors,
                 color_blocks,
+                validated: OnceLock::new(),
             };
         }
 
@@ -156,6 +218,7 @@ impl Plan {
             block_colors,
             ncolors,
             color_blocks,
+            validated: OnceLock::new(),
         }
     }
 
@@ -167,7 +230,7 @@ impl Plan {
     /// Validate the coloring invariant against `args`: no two blocks of the
     /// same color may write the same target element. Used by tests and
     /// property checks; O(total indirect references).
-    pub fn validate(&self, args: &[ArgSpec]) -> Result<(), String> {
+    pub fn validate(&self, args: &[ArgSpec]) -> Result<(), PlanError> {
         let write_refs: Vec<(&crate::map::Map, usize)> = args
             .iter()
             .filter(|a| a.access.writes())
@@ -185,11 +248,13 @@ impl Plan {
                     let t = map.at(e, *idx);
                     match writer.get(&(map.id(), t, color)) {
                         Some(&b0) if b0 != b => {
-                            return Err(format!(
-                                "blocks {b0} and {b} share color {color} but both write \
-                                 target {t} of map {}",
-                                map.name()
-                            ));
+                            return Err(PlanError::ColorConflict {
+                                block_a: b0,
+                                block_b: b,
+                                color,
+                                target: t,
+                                map: map.name().to_owned(),
+                            });
                         }
                         _ => {
                             writer.insert((map.id(), t, color), b);
@@ -203,18 +268,31 @@ impl Plan {
         let mut expect_start = 0usize;
         for r in &self.blocks {
             if r.start != expect_start {
-                return Err(format!("block gap: expected start {expect_start}, got {}", r.start));
+                return Err(PlanError::BlockGap {
+                    expected: expect_start,
+                    got: r.start,
+                });
             }
             covered += r.len();
             expect_start = r.end;
         }
         if covered != self.set_size {
-            return Err(format!(
-                "blocks cover {covered} elements, set has {}",
-                self.set_size
-            ));
+            return Err(PlanError::Coverage {
+                covered,
+                set_size: self.set_size,
+            });
         }
         Ok(())
+    }
+
+    /// Memoized [`Plan::validate`]: plans are immutable once built and reused
+    /// across thousands of identical loop invocations, so the O(indirect
+    /// references) check runs at most once per plan.
+    pub fn validate_cached(&self, args: &[ArgSpec]) -> Result<(), PlanError> {
+        match self.validated.get_or_init(|| self.validate(args).err()) {
+            None => Ok(()),
+            Some(e) => Err(e.clone()),
+        }
     }
 }
 

@@ -1,0 +1,121 @@
+//! Type-erased dat snapshots — the storage layer of transactional loops.
+//!
+//! Every [`crate::ArgSpec`] holds an `Arc<dyn RawDat>` handle to its dat.
+//! The handle serves two purposes: it keeps the storage alive (the old
+//! keep-alive role), and it lets an executor capture/restore the dat's
+//! contents *without knowing the element type* — which is what makes
+//! per-loop write-set rollback possible from the type-erased loop
+//! descriptor alone.
+
+use std::any::TypeId;
+
+use crate::dat::Dat;
+
+/// Type-erased operations on a dat's storage.
+pub trait RawDat: Send + Sync {
+    /// Process-unique identity of the dat (same as [`Dat::id`]).
+    fn dat_id(&self) -> u64;
+
+    /// Dat name (diagnostics).
+    fn dat_name(&self) -> &str;
+
+    /// Capture the current contents; [`DatSnapshot::restore`] writes them
+    /// back bit-identically.
+    fn snapshot(&self) -> Box<dyn DatSnapshot>;
+
+    /// First non-finite value, as `(element, component)`, when the dat holds
+    /// `f64`s; `None` for other element types or when every value is finite.
+    fn find_nonfinite(&self) -> Option<(usize, usize)>;
+}
+
+/// A captured copy of one dat's storage.
+pub trait DatSnapshot: Send {
+    /// Write the captured bytes back over the live storage.
+    fn restore(&self);
+
+    /// Identity of the dat this snapshot belongs to.
+    fn dat_id(&self) -> u64;
+}
+
+impl<T: Copy + Send + Sync + 'static> RawDat for Dat<T> {
+    fn dat_id(&self) -> u64 {
+        self.id()
+    }
+
+    fn dat_name(&self) -> &str {
+        self.name()
+    }
+
+    fn snapshot(&self) -> Box<dyn DatSnapshot> {
+        Box::new(Snapshot {
+            dat: self.clone(),
+            saved: self.to_vec(),
+        })
+    }
+
+    fn find_nonfinite(&self) -> Option<(usize, usize)> {
+        if TypeId::of::<T>() != TypeId::of::<f64>() {
+            return None;
+        }
+        let guard = self.data();
+        // SAFETY: T == f64, checked by TypeId above; same layout, same length.
+        let vals =
+            unsafe { std::slice::from_raw_parts(guard.as_ptr() as *const f64, guard.len()) };
+        let dim = self.dim();
+        vals.iter()
+            .position(|v| !v.is_finite())
+            .map(|i| (i / dim, i % dim))
+    }
+}
+
+struct Snapshot<T> {
+    dat: Dat<T>,
+    saved: Vec<T>,
+}
+
+impl<T: Copy + Send + Sync + 'static> DatSnapshot for Snapshot<T> {
+    fn restore(&self) {
+        self.dat.data_mut().copy_from_slice(&self.saved);
+    }
+
+    fn dat_id(&self) -> u64 {
+        self.dat.id()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::set::Set;
+
+    #[test]
+    fn snapshot_restores_bit_identically() {
+        let cells = Set::new("cells", 4);
+        let d = Dat::new("q", &cells, 2, vec![1.0f64, -0.0, 2.5, 3.0, 4.0, 5.0, 6.0, 7.0]);
+        let raw: &dyn RawDat = &d;
+        let before: Vec<u64> = d.to_vec().iter().map(|v| v.to_bits()).collect();
+        let snap = raw.snapshot();
+        d.data_mut().iter_mut().for_each(|v| *v = f64::NAN);
+        snap.restore();
+        let after: Vec<u64> = d.to_vec().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn nonfinite_located_for_f64() {
+        let cells = Set::new("cells", 3);
+        let d = Dat::new("q", &cells, 2, vec![0.0f64, 1.0, 2.0, f64::INFINITY, 4.0, 5.0]);
+        let raw: &dyn RawDat = &d;
+        assert_eq!(raw.find_nonfinite(), Some((1, 1)));
+        d.data_mut()[3] = 3.0;
+        assert_eq!(raw.find_nonfinite(), None);
+    }
+
+    #[test]
+    fn nonfinite_ignores_non_f64() {
+        let cells = Set::new("cells", 2);
+        let d = Dat::new("ids", &cells, 1, vec![1i64, 2]);
+        let raw: &dyn RawDat = &d;
+        assert_eq!(raw.find_nonfinite(), None);
+    }
+}

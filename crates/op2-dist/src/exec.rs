@@ -64,6 +64,9 @@ pub struct DistReport {
     pub faults: FaultReport,
     /// Checkpoint recoveries performed, in order.
     pub recoveries: Vec<Recovery>,
+    /// Kernel-section rollbacks retried *locally* (summed over survivors) —
+    /// failures masked without any fabric-level recovery.
+    pub local_retries: usize,
 }
 
 /// Why a distributed run failed.
@@ -93,8 +96,23 @@ impl std::fmt::Display for DistError {
 
 impl std::error::Error for DistError {}
 
+/// Deterministic kernel-fault injection: on rank `rank`, during iteration
+/// `at_iter`, the pure-compute section panics on each of its first
+/// `failures` attempts (local retries count as attempts), then succeeds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KernelFaultSpec {
+    /// Rank whose kernels fail.
+    pub rank: usize,
+    /// Iteration (1-based) at which the failures fire.
+    pub at_iter: usize,
+    /// Consecutive failing attempts before the kernel recovers. When this
+    /// exceeds the local retry budget ([`DistOptions::kernel_retries`]), the
+    /// rank escalates to fabric-level checkpoint recovery.
+    pub failures: usize,
+}
+
 /// Robustness knobs of a distributed run.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct DistOptions {
     /// Fabric deadlines and retry budgets.
     pub config: CommConfig,
@@ -102,8 +120,29 @@ pub struct DistOptions {
     pub plan: Option<FaultPlan>,
     /// Commit an owned-cell checkpoint every this many iterations
     /// (0 = only the initial state, and only when the plan contains a
-    /// kill directive).
+    /// kill or kernel-fault directive).
     pub checkpoint_every: usize,
+    /// Kernel-fault injection (`None` = healthy kernels).
+    pub kernel_fault: Option<KernelFaultSpec>,
+    /// Local recovery budget: a panicked compute section is rolled back
+    /// (its written arrays restored bit-identically) and re-run up to this
+    /// many extra times *before* the rank gives up and escalates to
+    /// fabric-level recovery (`kill_self` → checkpoint restore). The first,
+    /// cheap rung of the recovery ladder — see `op2_hpx::Supervisor` for the
+    /// single-node analogue.
+    pub kernel_retries: usize,
+}
+
+impl Default for DistOptions {
+    fn default() -> Self {
+        DistOptions {
+            config: CommConfig::default(),
+            plan: None,
+            checkpoint_every: 0,
+            kernel_fault: None,
+            kernel_retries: 1,
+        }
+    }
 }
 
 /// Tags for the two exchange directions (stage parity baked in for safety).
@@ -186,6 +225,8 @@ pub fn run_distributed_opts(
                 report_every,
                 &checkpoints,
                 opts.checkpoint_every,
+                opts.kernel_fault,
+                opts.kernel_retries,
             )
         })
         .map_err(DistError::Fabric)?;
@@ -197,6 +238,7 @@ pub fn run_distributed_opts(
     let mut final_q = vec![0.0; 4 * ncells];
     let mut rms = Vec::new();
     let mut recoveries = Vec::new();
+    let mut local_retries = 0;
     let mut first_survivor = true;
     let mut errors: Vec<(usize, CommError)> = Vec::new();
     for (r, out) in run.results.into_iter().enumerate() {
@@ -206,21 +248,26 @@ pub fn run_distributed_opts(
                     final_q[4 * g as usize..4 * g as usize + 4]
                         .copy_from_slice(&out.owned_q[4 * i..4 * i + 4]);
                 }
+                local_retries += out.local_retries;
                 if first_survivor {
                     rms = out.history;
                     recoveries = out.recoveries;
                     first_survivor = false;
                 }
             }
-            // The planned kill victim dying is the *expected* outcome.
-            Err(CommError::Fenced { .. }) if kill.is_some_and(|k| k.rank == r) => {}
+            // The planned kill victim dying is the *expected* outcome, and
+            // so is a rank that exhausted its local kernel-retry budget and
+            // escalated to fabric-level recovery.
+            Err(CommError::Fenced { .. })
+                if kill.is_some_and(|k| k.rank == r)
+                    || opts.kernel_fault.is_some_and(|f| f.rank == r) => {}
             Err(error) => errors.push((r, error)),
         }
     }
     if let Some((rank, error)) = root_cause(errors) {
         return Err(DistError::Rank { rank, error });
     }
-    Ok(DistReport { rms, final_q, faults: run.faults, recoveries })
+    Ok(DistReport { rms, final_q, faults: run.faults, recoveries, local_retries })
 }
 
 /// Pick the most informative rank error to surface. Deadline timeouts and
@@ -287,6 +334,8 @@ struct RankOut {
     history: Vec<(usize, f64)>,
     /// Recoveries this rank participated in.
     recoveries: Vec<Recovery>,
+    /// Compute-section rollbacks retried locally on this rank.
+    local_retries: usize,
 }
 
 /// Per-rank state and march.
@@ -301,11 +350,18 @@ fn rank_main(
     report_every: usize,
     checkpoints: &CheckpointStore,
     checkpoint_every: usize,
+    kernel_fault: Option<KernelFaultSpec>,
+    kernel_retries: usize,
 ) -> Result<RankOut, CommError> {
     let me = comm.rank();
     let ncells_global = data.cell_nodes.len() / 4;
     let kill = comm.plan().and_then(|p| p.kill);
-    let ckpt_active = checkpoint_every > 0 || kill.is_some();
+    // Every rank must commit checkpoints whenever *any* rank might escalate
+    // (a consistent boundary needs every slice).
+    let ckpt_active = checkpoint_every > 0 || kill.is_some() || kernel_fault.is_some();
+    let my_fault = kernel_fault.filter(|f| f.rank == me);
+    let mut faults_left = my_fault.map_or(0, |f| f.failures);
+    let mut local_retries = 0usize;
 
     let mut part_cur = part.clone();
     let mut st = MarchState::new(data, &part_cur, me, q0);
@@ -338,6 +394,10 @@ fn rank_main(
                 report_every,
                 ncells_global,
                 &mut reports,
+                my_fault,
+                &mut faults_left,
+                kernel_retries,
+                &mut local_retries,
             )
             .and_then(|()| {
                 if ckpt_active && checkpoint_every > 0 && iter % checkpoint_every == 0 {
@@ -378,6 +438,7 @@ fn rank_main(
         owned_q: st.owned_q().to_vec(),
         history: reports,
         recoveries,
+        local_retries,
     })
 }
 
@@ -429,6 +490,10 @@ fn march_one_iter(
     report_every: usize,
     ncells_global: usize,
     reports: &mut Vec<(usize, f64)>,
+    fault: Option<KernelFaultSpec>,
+    faults_left: &mut usize,
+    kernel_retries: usize,
+    local_retries: &mut usize,
 ) -> Result<(), CommError> {
     let local = &st.local;
     let nlocal = local.ncells_local();
@@ -449,50 +514,81 @@ fn march_one_iter(
         let mut stage_rms = 0.0;
         forward_exchange(comm, local, &mut st.q)?;
 
-        // adt_calc over owned + halo (redundant execution).
-        for c in 0..nlocal {
-            let n = &local.cell_nodes[4 * c..4 * c + 4];
-            let mut a = [0.0f64];
-            kernels::adt_calc(
-                xslice(n[0]),
-                xslice(n[1]),
-                xslice(n[2]),
-                xslice(n[3]),
-                &st.q[4 * c..4 * c + 4],
-                &mut a,
-                consts,
-            );
-            st.adt[c] = a[0];
-        }
+        // The flux computation (adt_calc + res_calc + bres_calc) is pure
+        // compute between the two exchanges: it writes only `adt` and `res`,
+        // so a kernel panic can be rolled back *locally* — snapshot, restore
+        // bit-identically, retry — without involving the fabric. Only when
+        // the local budget is exhausted does the rank escalate to
+        // fabric-level checkpoint recovery via `kill_self`.
+        let mut attempt = 0;
+        loop {
+            let snap_adt = st.adt.clone();
+            let snap_res = st.res.clone();
+            let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                if *faults_left > 0 && fault.is_some_and(|f| f.at_iter == iter) {
+                    *faults_left -= 1;
+                    panic!("injected kernel fault at iter {iter}");
+                }
+                // adt_calc over owned + halo (redundant execution).
+                for c in 0..nlocal {
+                    let n = &local.cell_nodes[4 * c..4 * c + 4];
+                    let mut a = [0.0f64];
+                    kernels::adt_calc(
+                        xslice(n[0]),
+                        xslice(n[1]),
+                        xslice(n[2]),
+                        xslice(n[3]),
+                        &st.q[4 * c..4 * c + 4],
+                        &mut a,
+                        consts,
+                    );
+                    st.adt[c] = a[0];
+                }
 
-        // res_calc over assigned edges.
-        for (e, &(c1, c2)) in local.edge_cells.iter().enumerate() {
-            let (n1, n2) = local.edge_nodes[e];
-            let (r1, r2) = two_cells_mut(&mut st.res, c1 as usize, c2 as usize);
-            kernels::res_calc(
-                xslice(n1),
-                xslice(n2),
-                &st.q[4 * c1 as usize..4 * c1 as usize + 4],
-                &st.q[4 * c2 as usize..4 * c2 as usize + 4],
-                st.adt[c1 as usize],
-                st.adt[c2 as usize],
-                r1,
-                r2,
-                consts,
-            );
-        }
-        // bres_calc over assigned boundary edges.
-        for &(n1, n2, c1, bound) in &local.bedges {
-            let c1 = c1 as usize;
-            kernels::bres_calc(
-                xslice(n1),
-                xslice(n2),
-                &st.q[4 * c1..4 * c1 + 4],
-                st.adt[c1],
-                &mut st.res[4 * c1..4 * c1 + 4],
-                bound,
-                consts,
-            );
+                // res_calc over assigned edges.
+                for (e, &(c1, c2)) in local.edge_cells.iter().enumerate() {
+                    let (n1, n2) = local.edge_nodes[e];
+                    let (r1, r2) = two_cells_mut(&mut st.res, c1 as usize, c2 as usize);
+                    kernels::res_calc(
+                        xslice(n1),
+                        xslice(n2),
+                        &st.q[4 * c1 as usize..4 * c1 as usize + 4],
+                        &st.q[4 * c2 as usize..4 * c2 as usize + 4],
+                        st.adt[c1 as usize],
+                        st.adt[c2 as usize],
+                        r1,
+                        r2,
+                        consts,
+                    );
+                }
+                // bres_calc over assigned boundary edges.
+                for &(n1, n2, c1, bound) in &local.bedges {
+                    let c1 = c1 as usize;
+                    kernels::bres_calc(
+                        xslice(n1),
+                        xslice(n2),
+                        &st.q[4 * c1..4 * c1 + 4],
+                        st.adt[c1],
+                        &mut st.res[4 * c1..4 * c1 + 4],
+                        bound,
+                        consts,
+                    );
+                }
+            }));
+            match run {
+                Ok(()) => break,
+                Err(_) => {
+                    st.adt.copy_from_slice(&snap_adt);
+                    st.res.copy_from_slice(&snap_res);
+                    if attempt >= kernel_retries {
+                        // Local budget exhausted — escalate: peers detect
+                        // the death and restore the newest checkpoint.
+                        return Err(comm.kill_self());
+                    }
+                    attempt += 1;
+                    *local_retries += 1;
+                }
+            }
         }
 
         reverse_exchange(comm, local, &mut st.res)?;

@@ -151,7 +151,7 @@ pub fn run_hybrid_opts(
     if let Some((rank, error)) = crate::exec::root_cause(errors) {
         return Err(DistError::Rank { rank, error });
     }
-    Ok(DistReport { rms, final_q, faults: run.faults, recoveries: Vec::new() })
+    Ok(DistReport { rms, final_q, faults: run.faults, recoveries: Vec::new(), local_retries: 0 })
 }
 
 /// The per-rank OP2 declarations over the local mesh slice.

@@ -67,7 +67,7 @@ pub mod partition;
 pub use checkpoint::CheckpointStore;
 pub use exec::{
     run_distributed, run_distributed_opts, run_distributed_with, DistError, DistOptions,
-    DistReport, Recovery,
+    DistReport, KernelFaultSpec, Recovery,
 };
 pub use fabric::{Comm, CommConfig, CommError, Fabric, FabricError, COLLECTIVE_TAG_BIT};
 pub use fault::{FaultPlan, FaultReport, KillSpec};

@@ -19,7 +19,7 @@
 
 use op2_airfoil::mesh::MeshData;
 use op2_airfoil::{FlowConstants, MeshBuilder};
-use op2_dist::exec::{run_distributed_opts, DistError, DistOptions};
+use op2_dist::exec::{run_distributed_opts, DistError, DistOptions, KernelFaultSpec};
 use op2_dist::{CommConfig, CommError, Fabric, FaultPlan, Partition};
 
 /// Seeds swept (unless `FAULT_SEED` narrows the run to one).
@@ -328,4 +328,106 @@ fn recv_with_no_matching_send_fails_with_deadline_error() {
         Err(CommError::Timeout { from: 1, tag: 77, .. }) => {}
         other => panic!("expected a deadline error, got {other:?}"),
     }
+}
+
+/// Local recovery ladder, rung 1: a kernel panic whose failure count fits
+/// inside the local retry budget is rolled back and retried *on the rank* —
+/// no fabric-level recovery, and results bit-identical to the clean run.
+#[test]
+fn kernel_fault_masked_by_local_retry_is_bit_identical() {
+    let (data, consts, q0) = setup(16, 8);
+    let nranks = 3;
+    let niter = 3;
+    let part = Partition::strips(16 * 8, nranks);
+    let clean = run_distributed_opts(
+        &data,
+        &consts,
+        &q0,
+        &part,
+        niter,
+        1,
+        &DistOptions::default(),
+    )
+    .expect("clean run");
+    for seed in seeds_to_run() {
+        let hint = replay_hint(seed);
+        let opts = DistOptions {
+            kernel_fault: Some(KernelFaultSpec {
+                rank: seed as usize % nranks,
+                at_iter: 1 + seed as usize % niter,
+                failures: 1,
+            }),
+            ..DistOptions::default()
+        };
+        let rep = run_distributed_opts(&data, &consts, &q0, &part, niter, 1, &opts)
+            .unwrap_or_else(|e| panic!("masked kernel fault failed the run: {e}\n{hint}"));
+        assert_eq!(rep.local_retries, 1, "one local rollback+retry\n{hint}");
+        assert!(rep.recoveries.is_empty(), "must not escalate to the fabric\n{hint}");
+        assert_eq!(
+            bits(&rep.final_q),
+            bits(&clean.final_q),
+            "local rollback+retry must be bit-invisible\n{hint}"
+        );
+        assert_eq!(rep.rms, clean.rms, "{hint}");
+    }
+}
+
+/// Local recovery ladder, rung 2: a kernel fault that outlives the local
+/// retry budget escalates — the rank kills itself, and the survivors restore
+/// the newest checkpoint exactly as for a process kill.
+#[test]
+fn kernel_fault_exhausting_local_budget_escalates_to_checkpoint_recovery() {
+    let (data, consts, q0) = setup(24, 12);
+    let ncells = 24 * 12;
+    let niter = 8;
+    let ckpt_every = 2;
+    let seed_line =
+        "replay: deterministic kernel-fault scenario (rank 1 @ iter 5, 2 failures, 1 retry)";
+
+    let part = Partition::strips(ncells, 4);
+    let opts = DistOptions {
+        kernel_fault: Some(KernelFaultSpec { rank: 1, at_iter: 5, failures: 2 }),
+        kernel_retries: 1,
+        checkpoint_every: ckpt_every,
+        ..DistOptions::default()
+    };
+    let rep = run_distributed_opts(&data, &consts, &q0, &part, niter, niter, &opts)
+        .unwrap_or_else(|e| panic!("march did not survive the escalation: {e}\n{seed_line}"));
+
+    assert_eq!(rep.recoveries.len(), 1, "{seed_line}");
+    let rec = &rep.recoveries[0];
+    assert_eq!(rec.failed, vec![1], "{seed_line}");
+    assert_eq!(rec.survivors, vec![0, 2, 3], "{seed_line}");
+    assert_eq!(rec.restored_iter, 4, "newest complete checkpoint\n{seed_line}");
+    // The dying rank burned its one local retry before giving up, but it did
+    // not survive to report it.
+    assert_eq!(rep.local_retries, 0, "{seed_line}");
+
+    // Reference: clean prefix to the restored checkpoint, then a fresh
+    // survivors-only run (same agreement argument as the kill scenario).
+    let pre = run_distributed_opts(
+        &data,
+        &consts,
+        &q0,
+        &part,
+        rec.restored_iter,
+        rec.restored_iter,
+        &DistOptions::default(),
+    )
+    .expect("reference prefix run");
+    let post = run_distributed_opts(
+        &data,
+        &consts,
+        &pre.final_q,
+        &Partition::strips(ncells, rec.survivors.len()),
+        niter - rec.restored_iter,
+        niter - rec.restored_iter,
+        &DistOptions::default(),
+    )
+    .expect("reference survivors-only run");
+    assert_eq!(
+        bits(&rep.final_q),
+        bits(&post.final_q),
+        "recovered march must match the survivors-only reference\n{seed_line}"
+    );
 }

@@ -54,6 +54,16 @@ pub enum EventKind {
     FabricAllreduce = 12,
     /// Free-form marker (auto-partitioner probe, when_all joins, …).
     Mark = 13,
+    /// A transactional loop rolled its write-set back; `name` = loop name,
+    /// `a` = number of dats restored (instant).
+    Rollback = 14,
+    /// A supervisor re-attempted a failed loop; `name` = loop name, `a` =
+    /// attempt number within the rung, `b` = degradation-ladder rung index
+    /// (instant).
+    Retry = 15,
+    /// A dataflow node was poisoned by an upstream failure without running;
+    /// `name` = loop name, `a` = loop instance id (instant).
+    Poison = 16,
 }
 
 impl EventKind {
@@ -74,6 +84,9 @@ impl EventKind {
             EventKind::FabricBarrier => "fabric-barrier",
             EventKind::FabricAllreduce => "fabric-allreduce",
             EventKind::Mark => "mark",
+            EventKind::Rollback => "rollback",
+            EventKind::Retry => "retry",
+            EventKind::Poison => "poison",
         }
     }
 
@@ -95,6 +108,9 @@ impl EventKind {
             11 => EventKind::FabricBarrier,
             12 => EventKind::FabricAllreduce,
             13 => EventKind::Mark,
+            14 => EventKind::Rollback,
+            15 => EventKind::Retry,
+            16 => EventKind::Poison,
             _ => return None,
         })
     }
@@ -108,6 +124,9 @@ impl EventKind {
                 | EventKind::LoopBegin
                 | EventKind::LoopEnd
                 | EventKind::DepEdge
+                | EventKind::Rollback
+                | EventKind::Retry
+                | EventKind::Poison
         )
     }
 }

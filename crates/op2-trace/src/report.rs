@@ -85,6 +85,12 @@ pub struct RunReport {
     pub parks: u64,
     /// Fabric operations recorded (send + recv + barrier + allreduce).
     pub fabric_ops: u64,
+    /// Transactional write-set rollbacks recorded.
+    pub rollbacks: u64,
+    /// Supervisor retry attempts recorded.
+    pub retries: u64,
+    /// Dataflow nodes poisoned by upstream failures.
+    pub poisons: u64,
     /// Threads that executed or slept for tasks (pool workers + helpers).
     pub workers: usize,
     /// Mean fraction of wall time those threads spent *not* running tasks.
@@ -239,6 +245,9 @@ pub fn analyze(t: &Timeline) -> RunReport {
             | EventKind::FabricRecv
             | EventKind::FabricBarrier
             | EventKind::FabricAllreduce => report.fabric_ops += 1,
+            EventKind::Rollback => report.rollbacks += 1,
+            EventKind::Retry => report.retries += 1,
+            EventKind::Poison => report.poisons += 1,
             _ => {}
         }
     }
@@ -340,6 +349,12 @@ impl RunReport {
             self.fabric_ops,
             self.dropped
         ));
+        if self.rollbacks + self.retries + self.poisons > 0 {
+            out.push_str(&format!(
+                "recovery: rollbacks {} | retries {} | poisoned nodes {}\n",
+                self.rollbacks, self.retries, self.poisons
+            ));
+        }
         out.push_str(&format!(
             "{:<20} {:>10} {:>6} {:>12} {:>12} {:>12} {:>12}\n",
             "loop", "executor", "count", "total ms", "barrier ms", "stalled ms", "dep-wait ms"

@@ -270,30 +270,72 @@ fn different_seeds_explore_different_schedules() {
 /// must be caught by the *dynamic element-level* detector: two blocks that
 /// now share a color both increment their shared boundary cell. Plan
 /// checking is disabled so only the per-access instrumentation can fire.
+/// The executors refuse to run an invalid plan (see the test below), so the
+/// loop body runs through `run_colored` directly, as a backend would.
 #[test]
 fn injected_coloring_bug_caught_by_element_detector() {
     let mesh = chain_mesh(32);
+    let edges = Set::new("edges", mesh.nedges);
+    let cells = Set::new("cells", mesh.ncells);
+    let m = Map::new("pecell", &edges, &cells, 2, mesh.table.clone());
+    let res = Dat::filled("res", &cells, 1, 0.0f64);
+    let rv = res.view();
+    let mv = m.clone();
+    let gather = ParLoop::build("gather", &edges)
+        .arg(arg_indirect(&res, 0, &m, Access::Inc))
+        .arg(arg_indirect(&res, 1, &m, Access::Inc))
+        .kernel(move |e, _| unsafe {
+            rv.add(mv.at(e, 0), 0, 1.0);
+            rv.add(mv.at(e, 1), 0, 1.0);
+        });
     det::inject_coloring_bug(true);
-    let (_, reports, schedule) = det_run(BackendKind::ForkJoin, 1, &mesh, false);
+    let plan = op2_core::Plan::build(gather.set(), gather.args(), PART_SIZE);
     det::inject_coloring_bug(false);
+    assert!(plan.validate(gather.args()).is_err(), "injection had no effect");
+    let pool = DetPool::with_policy(1, policy_for(1));
+    det::enable_with(false);
+    op2_hpx::colored::run_colored(&pool, &gather, &plan, hpx_rt::ChunkSize::Default, None);
+    let reports = det::disable();
     assert!(
         reports.iter().any(|r| r.kind == RaceKind::ElementConflict),
-        "merged coloring not detected (schedule: {schedule}); reports: {reports:?}"
+        "merged coloring not detected; reports: {reports:?}"
     );
 }
 
-/// The same injected bug must also fail the runtime plan validation
-/// (`Plan::validate`), reported as a `PlanInvariant` violation.
+/// The same injected bug must be rejected by the runtime plan validator
+/// before the loop runs: every executor validates the (cached) plan in
+/// `try_execute` and reports a typed `FailureKind::Plan` error — the
+/// write-set is never touched, so there is nothing to roll back.
 #[test]
 fn injected_coloring_bug_caught_by_plan_validator() {
     let mesh = chain_mesh(32);
+    let edges = Set::new("edges", mesh.nedges);
+    let cells = Set::new("cells", mesh.ncells);
+    let m = Map::new("pecell", &edges, &cells, 2, mesh.table.clone());
+    let res = Dat::filled("res", &cells, 1, 0.0f64);
+    let rv = res.view();
+    let mv = m.clone();
+    let gather = ParLoop::build("gather", &edges)
+        .arg(arg_indirect(&res, 0, &m, Access::Inc))
+        .arg(arg_indirect(&res, 1, &m, Access::Inc))
+        .kernel(move |e, _| unsafe {
+            rv.add(mv.at(e, 0), 0, 1.0);
+            rv.add(mv.at(e, 1), 0, 1.0);
+        });
+    let rt = Arc::new(Op2Runtime::deterministic(2, PART_SIZE));
+    let exec = make_executor(BackendKind::Dataflow, rt);
     det::inject_coloring_bug(true);
-    let (_, reports, _) = det_run(BackendKind::Dataflow, 2, &mesh, true);
+    let err = match exec.try_execute(&gather) {
+        Err(e) => e,
+        Ok(_) => panic!("invalid plan was accepted"),
+    };
     det::inject_coloring_bug(false);
     assert!(
-        reports.iter().any(|r| r.kind == RaceKind::PlanInvariant),
-        "merged coloring passed plan validation; reports: {reports:?}"
+        matches!(err.kind, op2_hpx::FailureKind::Plan(_)),
+        "expected a plan-validation failure, got: {err}"
     );
+    assert!(!err.rolled_back, "nothing ran, so nothing was rolled back");
+    assert!(res.to_vec().iter().all(|&v| v == 0.0), "write-set touched");
 }
 
 /// Without the injection hook the detector stays quiet on the same mesh —

@@ -1,21 +1,50 @@
-//! The distributed Airfoil time-march.
+//! The distributed Airfoil time-march — bulk-synchronous or
+//! comm/compute-overlapped, bit-identical either way.
 //!
-//! Per stage, each rank performs:
+//! Per stage, each rank performs (in *canonical* arithmetic order):
 //!
-//! 1. **forward exchange** — owners push fresh `q` values to every rank that
-//!    imports them (halo update);
-//! 2. `adt_calc` over owned *and* halo cells (redundant execution instead of
-//!    a second exchange — OP2's import-exec halo);
-//! 3. `res_calc` over the rank's assigned edges and `bres_calc` over its
-//!    boundary edges, accumulating into local residuals (halo slots
-//!    included);
-//! 4. **reverse exchange** — halo residual contributions are shipped back
-//!    and added at the owners in ascending-rank order (deterministic);
-//! 5. `update` over owned cells; the RMS is an `allreduce`.
+//! 1. **forward sends** — owners push fresh `q` values to every rank that
+//!    imports them (halo update), before touching any kernel;
+//! 2. `adt_calc` over owned cells (the stage *prologue*, locally retryable);
+//! 3. interior `res_calc` (edges with no halo endpoint) and `bres_calc`,
+//!    accumulating straight into local residuals, plus one gated **halo
+//!    group** per import peer: copy the peer's payload into the halo slots,
+//!    redundant `adt_calc` over those halo cells, `res_calc` over the
+//!    group's edges into a per-group *scratch* buffer, and the **reverse
+//!    send** of the halo-side scratch back to the owner;
+//! 4. **merge** — group scratch is added into `res` in ascending-group,
+//!    first-touch order (canonical regardless of arrival order);
+//! 5. **reverse receives** — halo residual contributions are added at the
+//!    owners in ascending-rank order (deterministic);
+//! 6. `update` over owned cells; the RMS is an `allreduce`.
 //!
-//! With one rank there are no exchanges and the execution order equals the
-//! single-node *natural* order, so results match
+//! With one rank there are no exchanges and no groups, so the execution
+//! order equals the single-node *natural* order and results match
 //! `op2_core::serial::execute_natural` bit-for-bit.
+//!
+//! ## Overlapped march ([`DistOptions::overlap`])
+//!
+//! The bulk march performs step 3 in a fixed schedule: blocking forward
+//! receives, then all interior compute, then every halo group — reverse
+//! sends go out *last*, so peers idle in their reverse receives while this
+//! rank grinds through interior work. The overlapped march runs the same
+//! step 3 as an event loop instead: interior chunks execute while forward
+//! receives are outstanding ([`Comm::try_recv`]), and each halo group fires
+//! the moment its message lands — its reverse send leaves *early*. Because
+//! group contributions route through scratch in **both** marches and are
+//! merged in canonical order, overlap changes *when* work happens but never
+//! *what* is computed: `adt`/`res`/`q`/rms are bit-identical (see
+//! `tests/overlap_det.rs`). A rank that drains all compute while halos are
+//! still outstanding records a `halo-wait` trace span
+//! ([`op2_trace::EventKind::HaloWait`]) — attributed separately from
+//! barrier-wait so the overlap win is measurable.
+//!
+//! The residual reduction is also pipelined under overlap: report-point RMS
+//! values use the fabric's non-blocking [`Comm::iallreduce_sum`], harvested
+//! one iteration later (or at the next checkpoint boundary / end of march),
+//! so step *k*'s reduction overlaps step *k+1*'s interior compute. The
+//! deferred completion performs the same ascending-rank combine, so reported
+//! values stay bit-identical to the blocking path.
 //!
 //! ## Faults and recovery
 //!
@@ -30,16 +59,21 @@
 //! re-form the fabric, re-partition the mesh over the survivor set
 //! ([`Partition::strips_over`]), restore the newest *consistent* checkpoint,
 //! and march on. Each such event is recorded as a [`Recovery`] in the
-//! [`DistReport`].
+//! [`DistReport`]. Pending (non-blocking) reductions are *dropped* across a
+//! recovery — the fabric's epoch guard refuses to complete them — and the
+//! re-run iterations regenerate their reports.
+
+use std::time::{Duration, Instant};
 
 use op2_airfoil::kernels;
 use op2_airfoil::mesh::MeshData;
 use op2_airfoil::FlowConstants;
+use op2_trace::{pack2, EventKind, NO_NAME};
 
 use crate::checkpoint::CheckpointStore;
-use crate::fabric::{Comm, CommConfig, CommError, Fabric, FabricError};
+use crate::fabric::{Comm, CommConfig, CommError, Fabric, FabricError, PendingReduce};
 use crate::fault::{FaultPlan, FaultReport};
-use crate::partition::{build_local, LocalMesh, Partition};
+use crate::partition::{build_local, HaloGroup, HaloPlan, LocalMesh, Partition};
 
 /// One fabric re-formation performed during a run.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -67,6 +101,13 @@ pub struct DistReport {
     /// Kernel-section rollbacks retried *locally* (summed over survivors) —
     /// failures masked without any fabric-level recovery.
     pub local_retries: usize,
+    /// Order-free digest over every owned-cell `adt` value of every stage
+    /// since the last recovery (whole run when clean), combined across
+    /// survivors. Bulk and overlapped marches of the same run produce the
+    /// same digest iff every intermediate `adt` is bit-identical.
+    pub adt_digest: u64,
+    /// As [`DistReport::adt_digest`], over post-exchange owned-cell `res`.
+    pub res_digest: u64,
 }
 
 /// Why a distributed run failed.
@@ -97,7 +138,7 @@ impl std::fmt::Display for DistError {
 impl std::error::Error for DistError {}
 
 /// Deterministic kernel-fault injection: on rank `rank`, during iteration
-/// `at_iter`, the pure-compute section panics on each of its first
+/// `at_iter`, the stage's compute prologue panics on each of its first
 /// `failures` attempts (local retries count as attempts), then succeeds.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct KernelFaultSpec {
@@ -109,6 +150,23 @@ pub struct KernelFaultSpec {
     /// exceeds the local retry budget ([`DistOptions::kernel_retries`]), the
     /// rank escalates to fabric-level checkpoint recovery.
     pub failures: usize,
+}
+
+/// Deterministic per-chunk compute jitter: before each interior chunk (and
+/// the boundary-edge pseudo-chunk) the rank sleeps a pseudo-random duration
+/// in `0..=max_us` microseconds derived from
+/// `(seed, rank, iter, stage, chunk)`. Applied *identically* by the bulk and
+/// overlapped marches, it skews compute finish times without touching
+/// arithmetic — the bulk march pays it before its late reverse sends (peers
+/// blocked in reverse receives), the overlapped march hides it behind
+/// already-fired groups. Used by the seed sweeps to scramble arrival order
+/// and by the trace tests to make the wait gap robust.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JitterSpec {
+    /// Seed of the per-chunk hash.
+    pub seed: u64,
+    /// Upper bound of each sleep, microseconds (0 = no sleeping).
+    pub max_us: u32,
 }
 
 /// Robustness knobs of a distributed run.
@@ -131,6 +189,12 @@ pub struct DistOptions {
     /// cheap rung of the recovery ladder — see `op2_hpx::Supervisor` for the
     /// single-node analogue.
     pub kernel_retries: usize,
+    /// March with communication/computation overlap (event-loop halo groups
+    /// + pipelined RMS reduction) instead of the bulk-synchronous schedule.
+    /// Results are bit-identical either way; see the module docs.
+    pub overlap: bool,
+    /// Deterministic compute jitter (`None` = no artificial skew).
+    pub jitter: Option<JitterSpec>,
 }
 
 impl Default for DistOptions {
@@ -141,6 +205,8 @@ impl Default for DistOptions {
             checkpoint_every: 0,
             kernel_fault: None,
             kernel_retries: 1,
+            overlap: false,
+            jitter: None,
         }
     }
 }
@@ -148,6 +214,56 @@ impl Default for DistOptions {
 /// Tags for the two exchange directions (stage parity baked in for safety).
 const TAG_FORWARD: u64 = 100;
 const TAG_REVERSE: u64 = 200;
+
+/// Interior edges per overlap-march chunk (the granularity at which the
+/// event loop polls for arrived halo messages).
+pub(crate) const INTERIOR_CHUNK: usize = 256;
+
+/// splitmix64 finalizer — the digest/jitter hash.
+pub(crate) fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Sentinel chunk id for the pre-send jitter point (distinct from every
+/// real interior chunk index). Draws from an 8× larger range than compute
+/// chunks: the skew being modelled there is message injection/network
+/// latency, which dominates per-chunk compute noise — and it is what makes
+/// halo arrival genuinely trail a fast peer's compute in the jittered
+/// overlap sweeps.
+pub(crate) const SEND_JITTER_CHUNK: usize = usize::MAX;
+
+/// The deterministic pre-chunk sleep of [`JitterSpec`].
+pub(crate) fn jitter_sleep(
+    jitter: Option<JitterSpec>,
+    rank: usize,
+    iter: usize,
+    stage: usize,
+    chunk: usize,
+) {
+    let Some(j) = jitter else { return };
+    if j.max_us == 0 {
+        return;
+    }
+    let key = mix64(
+        j.seed
+            ^ ((rank as u64) << 48)
+            ^ ((iter as u64) << 32)
+            ^ ((stage as u64) << 24)
+            ^ chunk as u64,
+    );
+    let cap = if chunk == SEND_JITTER_CHUNK {
+        u64::from(j.max_us).saturating_mul(8)
+    } else {
+        u64::from(j.max_us)
+    };
+    let us = key % (cap + 1);
+    if us > 0 {
+        std::thread::sleep(Duration::from_micros(us));
+    }
+}
 
 /// March `niter` iterations of Airfoil on `nranks` ranks.
 ///
@@ -190,8 +306,8 @@ pub fn run_distributed_with(
     run_distributed_opts(data, consts, q0, part, niter, report_every, &DistOptions::default())
 }
 
-/// [`run_distributed_with`] plus fault injection, deadline/retry tuning and
-/// checkpointed recovery ([`DistOptions`]).
+/// [`run_distributed_with`] plus fault injection, deadline/retry tuning,
+/// checkpointed recovery and comm/compute overlap ([`DistOptions`]).
 ///
 /// # Errors
 /// See [`DistError`].
@@ -215,19 +331,7 @@ pub fn run_distributed_opts(
     }
     let run = builder
         .launch(|comm| {
-            rank_main(
-                comm,
-                data,
-                consts,
-                q0,
-                part,
-                niter,
-                report_every,
-                &checkpoints,
-                opts.checkpoint_every,
-                opts.kernel_fault,
-                opts.kernel_retries,
-            )
+            rank_main(comm, data, consts, q0, part, niter, report_every, &checkpoints, opts)
         })
         .map_err(DistError::Fabric)?;
 
@@ -239,6 +343,8 @@ pub fn run_distributed_opts(
     let mut rms = Vec::new();
     let mut recoveries = Vec::new();
     let mut local_retries = 0;
+    let mut adt_digest = 0u64;
+    let mut res_digest = 0u64;
     let mut first_survivor = true;
     let mut errors: Vec<(usize, CommError)> = Vec::new();
     for (r, out) in run.results.into_iter().enumerate() {
@@ -249,6 +355,10 @@ pub fn run_distributed_opts(
                         .copy_from_slice(&out.owned_q[4 * i..4 * i + 4]);
                 }
                 local_retries += out.local_retries;
+                // Per-cell digest terms are position-independent hashes, so
+                // a wrapping sum combines ranks without ordering concerns.
+                adt_digest = adt_digest.wrapping_add(out.adt_digest);
+                res_digest = res_digest.wrapping_add(out.res_digest);
                 if first_survivor {
                     rms = out.history;
                     recoveries = out.recoveries;
@@ -267,7 +377,15 @@ pub fn run_distributed_opts(
     if let Some((rank, error)) = root_cause(errors) {
         return Err(DistError::Rank { rank, error });
     }
-    Ok(DistReport { rms, final_q, faults: run.faults, recoveries, local_retries })
+    Ok(DistReport {
+        rms,
+        final_q,
+        faults: run.faults,
+        recoveries,
+        local_retries,
+        adt_digest,
+        res_digest,
+    })
 }
 
 /// Pick the most informative rank error to surface. Deadline timeouts and
@@ -288,19 +406,30 @@ pub(crate) fn root_cause(mut errors: Vec<(usize, CommError)>) -> Option<(usize, 
     Some(errors.remove(idx))
 }
 
-/// One rank's march state: its mesh slice plus the working arrays, rebuilt
-/// wholesale when a recovery re-partitions the mesh.
+/// One rank's march state: its mesh slice, the interior/boundary schedule,
+/// per-group scratch, and the working arrays — rebuilt wholesale (digests
+/// included) when a recovery re-partitions the mesh.
 struct MarchState {
     local: LocalMesh,
+    plan: HaloPlan,
     q: Vec<f64>,
     qold: Vec<f64>,
     adt: Vec<f64>,
     res: Vec<f64>,
+    /// Per halo group: `4 × nslots` residual scratch (see
+    /// [`crate::partition::HaloGroup`]).
+    scratch: Vec<Vec<f64>>,
+    /// Running digests over owned-cell `adt`/`res`, see
+    /// [`DistReport::adt_digest`].
+    adt_digest: u64,
+    res_digest: u64,
 }
 
 impl MarchState {
     fn new(data: &MeshData, part: &Partition, rank: usize, qg: &[f64]) -> MarchState {
         let local = build_local(data, part, rank);
+        let plan = HaloPlan::build(&local);
+        let scratch = plan.groups.iter().map(|g| vec![0.0f64; 4 * g.nslots]).collect();
         let nlocal = local.ncells_local();
         let mut q = vec![0.0f64; 4 * nlocal];
         for (l, &g) in local.cell_l2g.iter().enumerate() {
@@ -311,7 +440,11 @@ impl MarchState {
             qold: vec![0.0f64; 4 * nlocal],
             adt: vec![0.0f64; nlocal],
             res: vec![0.0f64; 4 * nlocal],
+            scratch,
+            adt_digest: 0,
+            res_digest: 0,
             local,
+            plan,
         }
     }
 
@@ -336,6 +469,25 @@ struct RankOut {
     recoveries: Vec<Recovery>,
     /// Compute-section rollbacks retried locally on this rank.
     local_retries: usize,
+    /// Owned-cell digests since the last recovery.
+    adt_digest: u64,
+    res_digest: u64,
+}
+
+/// Complete an outstanding pipelined RMS reduction, if any, and push its
+/// report. Collective: every rank holds the same pending state at the same
+/// march point, so the deferred gather/bcast pairs up.
+fn harvest_rms(
+    comm: &Comm,
+    pending: &mut Option<(usize, PendingReduce)>,
+    ncells_global: usize,
+    reports: &mut Vec<(usize, f64)>,
+) -> Result<(), CommError> {
+    if let Some((iter, p)) = pending.take() {
+        let total = comm.complete_reduce(p)?[0];
+        reports.push((iter, (total / ncells_global as f64).sqrt()));
+    }
+    Ok(())
 }
 
 /// Per-rank state and march.
@@ -349,17 +501,15 @@ fn rank_main(
     niter: usize,
     report_every: usize,
     checkpoints: &CheckpointStore,
-    checkpoint_every: usize,
-    kernel_fault: Option<KernelFaultSpec>,
-    kernel_retries: usize,
+    opts: &DistOptions,
 ) -> Result<RankOut, CommError> {
     let me = comm.rank();
     let ncells_global = data.cell_nodes.len() / 4;
     let kill = comm.plan().and_then(|p| p.kill);
     // Every rank must commit checkpoints whenever *any* rank might escalate
     // (a consistent boundary needs every slice).
-    let ckpt_active = checkpoint_every > 0 || kill.is_some() || kernel_fault.is_some();
-    let my_fault = kernel_fault.filter(|f| f.rank == me);
+    let ckpt_active = opts.checkpoint_every > 0 || kill.is_some() || opts.kernel_fault.is_some();
+    let my_fault = opts.kernel_fault.filter(|f| f.rank == me);
     let mut faults_left = my_fault.map_or(0, |f| f.failures);
     let mut local_retries = 0usize;
 
@@ -371,6 +521,8 @@ fn rank_main(
 
     let mut reports: Vec<(usize, f64)> = Vec::new();
     let mut recoveries: Vec<Recovery> = Vec::new();
+    // At most one outstanding pipelined reduction (overlap mode only).
+    let mut pending_rms: Option<(usize, PendingReduce)> = None;
     let mut iter = 1;
     while iter <= niter {
         if let Some(k) = kill {
@@ -394,13 +546,19 @@ fn rank_main(
                 report_every,
                 ncells_global,
                 &mut reports,
+                &mut pending_rms,
+                opts,
                 my_fault,
                 &mut faults_left,
-                kernel_retries,
                 &mut local_retries,
             )
             .and_then(|()| {
-                if ckpt_active && checkpoint_every > 0 && iter % checkpoint_every == 0 {
+                if ckpt_active && opts.checkpoint_every > 0 && iter % opts.checkpoint_every == 0 {
+                    // Drain the reduction pipeline first so every report for
+                    // an iteration at or before this boundary is already
+                    // recorded — a later restore to this boundary then never
+                    // loses a report to a dropped pending reduce.
+                    harvest_rms(&comm, &mut pending_rms, ncells_global, &mut reports)?;
                     checkpoints.commit(iter, me, st.owned_cells(), st.owned_q());
                     // Coordinated checkpoint: barrier after the commit so no
                     // rank (in particular a planned kill victim) can race
@@ -418,6 +576,10 @@ fn rank_main(
                 iter += 1;
             }
             Err(CommError::RankFailed { .. }) => {
+                // Any outstanding reduce belongs to the failed epoch; the
+                // fabric refuses to complete it, and the restored iteration
+                // range re-runs the report it carried.
+                pending_rms = None;
                 let restored = recover_and_restore(
                     &comm,
                     data,
@@ -432,6 +594,7 @@ fn rank_main(
             Err(e) => return Err(e),
         }
     }
+    harvest_rms(&comm, &mut pending_rms, ncells_global, &mut reports)?;
 
     Ok(RankOut {
         owned_g: st.owned_cells().to_vec(),
@@ -439,6 +602,8 @@ fn rank_main(
         history: reports,
         recoveries,
         local_retries,
+        adt_digest: st.adt_digest,
+        res_digest: st.res_digest,
     })
 }
 
@@ -478,7 +643,7 @@ fn recover_and_restore(
 }
 
 /// One full iteration (save, two flux stages with exchanges, update, and —
-/// at report points — the RMS allreduce).
+/// at report points — the RMS allreduce, blocking or pipelined).
 #[allow(clippy::too_many_arguments)]
 fn march_one_iter(
     comm: &Comm,
@@ -490,163 +655,266 @@ fn march_one_iter(
     report_every: usize,
     ncells_global: usize,
     reports: &mut Vec<(usize, f64)>,
+    pending_rms: &mut Option<(usize, PendingReduce)>,
+    opts: &DistOptions,
     fault: Option<KernelFaultSpec>,
     faults_left: &mut usize,
-    kernel_retries: usize,
     local_retries: &mut usize,
 ) -> Result<(), CommError> {
-    let local = &st.local;
-    let nlocal = local.ncells_local();
-    let coords = &data.coords;
-    let xslice = |n: u32| -> &[f64] { &coords[2 * n as usize..2 * n as usize + 2] };
-
     // save_soln over owned cells.
-    for c in 0..local.nowned {
+    for c in 0..st.local.nowned {
         let (qs, qolds) = (&st.q[4 * c..4 * c + 4], &mut st.qold[4 * c..4 * c + 4]);
         kernels::save_soln(qs, qolds);
     }
 
     let mut rms_local = 0.0;
-    for _stage in 0..2 {
+    for stage in 0..2 {
         // Per-stage partial, added to the iteration total afterwards —
         // the same association order as the per-loop reductions of the
         // single-node driver, keeping 1-rank runs bitwise identical.
-        let mut stage_rms = 0.0;
-        forward_exchange(comm, local, &mut st.q)?;
-
-        // The flux computation (adt_calc + res_calc + bres_calc) is pure
-        // compute between the two exchanges: it writes only `adt` and `res`,
-        // so a kernel panic can be rolled back *locally* — snapshot, restore
-        // bit-identically, retry — without involving the fabric. Only when
-        // the local budget is exhausted does the rank escalate to
-        // fabric-level checkpoint recovery via `kill_self`.
-        let mut attempt = 0;
-        loop {
-            let snap_adt = st.adt.clone();
-            let snap_res = st.res.clone();
-            let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                if *faults_left > 0 && fault.is_some_and(|f| f.at_iter == iter) {
-                    *faults_left -= 1;
-                    panic!("injected kernel fault at iter {iter}");
-                }
-                // adt_calc over owned + halo (redundant execution).
-                for c in 0..nlocal {
-                    let n = &local.cell_nodes[4 * c..4 * c + 4];
-                    let mut a = [0.0f64];
-                    kernels::adt_calc(
-                        xslice(n[0]),
-                        xslice(n[1]),
-                        xslice(n[2]),
-                        xslice(n[3]),
-                        &st.q[4 * c..4 * c + 4],
-                        &mut a,
-                        consts,
-                    );
-                    st.adt[c] = a[0];
-                }
-
-                // res_calc over assigned edges.
-                for (e, &(c1, c2)) in local.edge_cells.iter().enumerate() {
-                    let (n1, n2) = local.edge_nodes[e];
-                    let (r1, r2) = two_cells_mut(&mut st.res, c1 as usize, c2 as usize);
-                    kernels::res_calc(
-                        xslice(n1),
-                        xslice(n2),
-                        &st.q[4 * c1 as usize..4 * c1 as usize + 4],
-                        &st.q[4 * c2 as usize..4 * c2 as usize + 4],
-                        st.adt[c1 as usize],
-                        st.adt[c2 as usize],
-                        r1,
-                        r2,
-                        consts,
-                    );
-                }
-                // bres_calc over assigned boundary edges.
-                for &(n1, n2, c1, bound) in &local.bedges {
-                    let c1 = c1 as usize;
-                    kernels::bres_calc(
-                        xslice(n1),
-                        xslice(n2),
-                        &st.q[4 * c1..4 * c1 + 4],
-                        st.adt[c1],
-                        &mut st.res[4 * c1..4 * c1 + 4],
-                        bound,
-                        consts,
-                    );
-                }
-            }));
-            match run {
-                Ok(()) => break,
-                Err(_) => {
-                    st.adt.copy_from_slice(&snap_adt);
-                    st.res.copy_from_slice(&snap_res);
-                    if attempt >= kernel_retries {
-                        // Local budget exhausted — escalate: peers detect
-                        // the death and restore the newest checkpoint.
-                        return Err(comm.kill_self());
-                    }
-                    attempt += 1;
-                    *local_retries += 1;
-                }
-            }
-        }
-
-        reverse_exchange(comm, local, &mut st.res)?;
-
-        // update over owned cells.
-        for c in 0..local.nowned {
-            let qold_c = &st.qold[4 * c..4 * c + 4];
-            let mut qc = [0.0f64; 4];
-            qc.copy_from_slice(&st.q[4 * c..4 * c + 4]);
-            let mut rc = [0.0f64; 4];
-            rc.copy_from_slice(&st.res[4 * c..4 * c + 4]);
-            kernels::update(qold_c, &mut qc, &mut rc, st.adt[c], &mut stage_rms);
-            st.q[4 * c..4 * c + 4].copy_from_slice(&qc);
-            st.res[4 * c..4 * c + 4].copy_from_slice(&rc);
-        }
-        rms_local += stage_rms;
+        rms_local += run_stage(
+            comm,
+            data,
+            consts,
+            st,
+            iter,
+            stage,
+            opts,
+            fault,
+            faults_left,
+            local_retries,
+        )?;
     }
 
     let report_now = iter % report_every.max(1) == 0 || iter == niter;
     if report_now {
-        let total = comm.allreduce_sum(&[rms_local])?[0];
-        reports.push((iter, (total / ncells_global as f64).sqrt()));
+        if opts.overlap {
+            // Pipelined: finish the previous report's reduction, then post
+            // this one — it completes at the next harvest point, overlapping
+            // the next iteration's interior compute.
+            harvest_rms(comm, pending_rms, ncells_global, reports)?;
+            let p = comm.iallreduce_sum(&[rms_local])?;
+            *pending_rms = Some((iter, p));
+        } else {
+            let total = comm.allreduce_sum(&[rms_local])?[0];
+            reports.push((iter, (total / ncells_global as f64).sqrt()));
+        }
     }
     Ok(())
 }
 
-/// Owners push fresh `q` to importing ranks; halo copies are refreshed.
-fn forward_exchange(comm: &Comm, local: &LocalMesh, q: &mut [f64]) -> Result<(), CommError> {
-    for (peer, owned_locals) in &local.exports {
+/// One flux stage in canonical order (see the module docs); returns the
+/// stage's RMS partial.
+#[allow(clippy::too_many_arguments)]
+fn run_stage(
+    comm: &Comm,
+    data: &MeshData,
+    consts: &FlowConstants,
+    st: &mut MarchState,
+    iter: usize,
+    stage: usize,
+    opts: &DistOptions,
+    fault: Option<KernelFaultSpec>,
+    faults_left: &mut usize,
+    local_retries: &mut usize,
+) -> Result<f64, CommError> {
+    let coords = &data.coords;
+    let rank = comm.rank();
+
+    // 1. Forward sends: fresh owned q to every importing peer, before any
+    //    kernel work so no peer waits on this rank's compute. The jittered
+    //    sweeps perturb the send *instant* too (sentinel chunk id), so halo
+    //    arrival can genuinely trail a fast peer's compute — the scenario
+    //    the overlapped schedule exists to hide. Identical in both marches.
+    jitter_sleep(opts.jitter, rank, iter, stage, SEND_JITTER_CHUNK);
+    for (peer, owned_locals) in &st.local.exports {
         let mut payload = Vec::with_capacity(owned_locals.len() * 4);
         for &l in owned_locals {
-            payload.extend_from_slice(&q[4 * l as usize..4 * l as usize + 4]);
+            payload.extend_from_slice(&st.q[4 * l as usize..4 * l as usize + 4]);
         }
         comm.send(*peer, TAG_FORWARD, payload)?;
     }
-    for (peer, halo_locals) in &local.imports {
-        let payload = comm.recv(*peer, TAG_FORWARD)?;
-        assert_eq!(payload.len(), halo_locals.len() * 4);
-        for (i, &l) in halo_locals.iter().enumerate() {
-            q[4 * l as usize..4 * l as usize + 4].copy_from_slice(&payload[4 * i..4 * i + 4]);
-        }
-    }
-    Ok(())
-}
 
-/// Halo residual contributions flow back to owners and are *added* in
-/// ascending peer order; halo slots are zeroed afterwards.
-fn reverse_exchange(comm: &Comm, local: &LocalMesh, res: &mut [f64]) -> Result<(), CommError> {
-    for (peer, halo_locals) in &local.imports {
-        let mut payload = Vec::with_capacity(halo_locals.len() * 4);
-        for &l in halo_locals {
-            payload.extend_from_slice(&res[4 * l as usize..4 * l as usize + 4]);
-            res[4 * l as usize..4 * l as usize + 4].fill(0.0);
+    // 2. Stage prologue: fault injection + adt_calc over owned cells. Owned
+    //    adt must exist before any halo group can fire (group edges read
+    //    both endpoints' adt). The prologue is pure compute writing only
+    //    `adt`, so a panic is rolled back *locally* — snapshot, restore
+    //    bit-identically, retry — without involving the fabric; only when
+    //    the local budget is exhausted does the rank escalate to
+    //    fabric-level checkpoint recovery via `kill_self`.
+    let mut attempt = 0;
+    loop {
+        let snap_adt = st.adt.clone();
+        let snap_res = st.res.clone();
+        let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            if *faults_left > 0 && fault.is_some_and(|f| f.at_iter == iter) {
+                *faults_left -= 1;
+                panic!("injected kernel fault at iter {iter}");
+            }
+            for c in 0..st.local.nowned {
+                let n = &st.local.cell_nodes[4 * c..4 * c + 4];
+                let mut a = [0.0f64];
+                kernels::adt_calc(
+                    xs(coords, n[0]),
+                    xs(coords, n[1]),
+                    xs(coords, n[2]),
+                    xs(coords, n[3]),
+                    &st.q[4 * c..4 * c + 4],
+                    &mut a,
+                    consts,
+                );
+                st.adt[c] = a[0];
+            }
+        }));
+        match run {
+            Ok(()) => break,
+            Err(_) => {
+                st.adt.copy_from_slice(&snap_adt);
+                st.res.copy_from_slice(&snap_res);
+                if attempt >= opts.kernel_retries {
+                    // Local budget exhausted — escalate: peers detect the
+                    // death and restore the newest checkpoint.
+                    return Err(comm.kill_self());
+                }
+                attempt += 1;
+                *local_retries += 1;
+            }
         }
-        comm.send(*peer, TAG_REVERSE, payload)?;
     }
-    // `imports`/`exports` are stored ascending by peer, so this addition
-    // order is deterministic.
+
+    // 3. Interior + halo-group work. Group residuals go through per-group
+    //    scratch in BOTH schedules; interior edges write `res` directly in
+    //    plan order. The two schedules therefore perform identical
+    //    arithmetic — they differ only in when each piece runs.
+    let MarchState {
+        local,
+        plan,
+        q,
+        qold,
+        adt,
+        res,
+        scratch,
+        adt_digest,
+        res_digest,
+    } = st;
+    let ngroups = plan.groups.len();
+    let nchunks = plan.interior.len().div_ceil(INTERIOR_CHUNK);
+    let jit = opts.jitter;
+
+    if !opts.overlap {
+        // Bulk-synchronous schedule: blocking forward receives (ascending
+        // peer), all interior compute, then every group — reverse sends
+        // leave last, after the full interior phase (and its jitter).
+        let mut payloads: Vec<Vec<f64>> = Vec::with_capacity(ngroups);
+        for (peer, _halos) in &local.imports {
+            payloads.push(comm.recv(*peer, TAG_FORWARD)?);
+        }
+        for chunk in 0..=nchunks {
+            jitter_sleep(jit, rank, iter, stage, chunk);
+            run_chunk(local, plan, coords, consts, q, adt, res, chunk, nchunks);
+        }
+        for (gi, payload) in payloads.into_iter().enumerate() {
+            fire_group(
+                comm,
+                local,
+                &plan.groups[gi],
+                &local.imports[gi].1,
+                coords,
+                consts,
+                q,
+                adt,
+                &mut scratch[gi],
+                &payload,
+            )?;
+        }
+    } else {
+        // Overlapped schedule: an event loop that polls for arrived halo
+        // messages between interior chunks and fires each group — reverse
+        // send included — the moment its payload lands.
+        let mut got = vec![false; ngroups];
+        let mut ngot = 0usize;
+        let mut next_chunk = 0usize;
+        let mut last_progress = Instant::now();
+        while ngot < ngroups || next_chunk <= nchunks {
+            let mut progressed = false;
+            for gi in 0..ngroups {
+                if got[gi] {
+                    continue;
+                }
+                let (peer, halos) = &local.imports[gi];
+                if let Some(payload) = comm.try_recv(*peer, TAG_FORWARD)? {
+                    fire_group(
+                        comm,
+                        local,
+                        &plan.groups[gi],
+                        halos,
+                        coords,
+                        consts,
+                        q,
+                        adt,
+                        &mut scratch[gi],
+                        &payload,
+                    )?;
+                    got[gi] = true;
+                    ngot += 1;
+                    progressed = true;
+                }
+            }
+            if next_chunk <= nchunks {
+                jitter_sleep(jit, rank, iter, stage, next_chunk);
+                run_chunk(local, plan, coords, consts, q, adt, res, next_chunk, nchunks);
+                next_chunk += 1;
+                progressed = true;
+            }
+            if progressed {
+                last_progress = Instant::now();
+            } else {
+                // Compute is drained but halos are outstanding: attributed
+                // halo-wait, distinct from barrier-wait in the trace report.
+                let span = op2_trace::begin();
+                comm.beat();
+                std::thread::sleep(Duration::from_micros(100));
+                op2_trace::end(
+                    span,
+                    EventKind::HaloWait,
+                    NO_NAME,
+                    pack2(rank as u32, (ngroups - ngot) as u32),
+                    pack2(iter as u32, stage as u32),
+                );
+                let waited = last_progress.elapsed();
+                if waited > opts.config.recv_deadline {
+                    let from = local
+                        .imports
+                        .iter()
+                        .zip(&got)
+                        .find(|(_, g)| !**g)
+                        .map_or(0, |((p, _), _)| *p);
+                    return Err(CommError::Timeout {
+                        rank,
+                        from,
+                        tag: TAG_FORWARD,
+                        waited_ms: waited.as_millis() as u64,
+                    });
+                }
+            }
+        }
+    }
+
+    // 4. Merge: group scratch into owned residuals, ascending group then
+    //    first-touch order — canonical regardless of arrival order.
+    for (gi, group) in plan.groups.iter().enumerate() {
+        let sc = &scratch[gi];
+        for &(slot, c) in &group.merge {
+            let (c, s) = (4 * c as usize, 4 * slot as usize);
+            for k in 0..4 {
+                res[c + k] += sc[s + k];
+            }
+        }
+    }
+
+    // 5. Reverse receives: halo residual contributions are added at the
+    //    owners in ascending peer order (deterministic). `imports`/`exports`
+    //    are stored ascending by peer.
     for (peer, owned_locals) in &local.exports {
         let payload = comm.recv(*peer, TAG_REVERSE)?;
         assert_eq!(payload.len(), owned_locals.len() * 4);
@@ -656,7 +924,152 @@ fn reverse_exchange(comm: &Comm, local: &LocalMesh, res: &mut [f64]) -> Result<(
             }
         }
     }
-    Ok(())
+
+    // Digest the stage's owned adt/res (res before update, which zeroes
+    // it). Keys are position-independent, so the running digest is
+    // schedule- and partition-order-free.
+    for c in 0..local.nowned {
+        let g = u64::from(local.cell_l2g[c]);
+        let key = mix64(g ^ ((iter as u64) << 32) ^ ((stage as u64) << 56));
+        *adt_digest = adt_digest.wrapping_add(mix64(key ^ adt[c].to_bits()));
+        let mut h = key;
+        for k in 0..4 {
+            h = mix64(h ^ res[4 * c + k].to_bits());
+        }
+        *res_digest = res_digest.wrapping_add(h);
+    }
+
+    // 6. update over owned cells.
+    let mut stage_rms = 0.0;
+    for c in 0..local.nowned {
+        let qold_c = &qold[4 * c..4 * c + 4];
+        let mut qc = [0.0f64; 4];
+        qc.copy_from_slice(&q[4 * c..4 * c + 4]);
+        let mut rc = [0.0f64; 4];
+        rc.copy_from_slice(&res[4 * c..4 * c + 4]);
+        kernels::update(qold_c, &mut qc, &mut rc, adt[c], &mut stage_rms);
+        q[4 * c..4 * c + 4].copy_from_slice(&qc);
+        res[4 * c..4 * c + 4].copy_from_slice(&rc);
+    }
+    Ok(stage_rms)
+}
+
+/// Node coordinate pair.
+#[inline]
+fn xs(coords: &[f64], n: u32) -> &[f64] {
+    &coords[2 * n as usize..2 * n as usize + 2]
+}
+
+/// One unit of remote-independent compute: interior-edge chunk `chunk`
+/// (`< nchunks`), or the boundary-edge pass (the `== nchunks`
+/// pseudo-chunk). Writes owned `res` only.
+#[allow(clippy::too_many_arguments)]
+fn run_chunk(
+    local: &LocalMesh,
+    plan: &HaloPlan,
+    coords: &[f64],
+    consts: &FlowConstants,
+    q: &[f64],
+    adt: &[f64],
+    res: &mut [f64],
+    chunk: usize,
+    nchunks: usize,
+) {
+    if chunk < nchunks {
+        let lo = chunk * INTERIOR_CHUNK;
+        let hi = (lo + INTERIOR_CHUNK).min(plan.interior.len());
+        for &e in &plan.interior[lo..hi] {
+            let (c1, c2) = local.edge_cells[e as usize];
+            let (n1, n2) = local.edge_nodes[e as usize];
+            let (r1, r2) = two_cells_mut(res, c1 as usize, c2 as usize);
+            kernels::res_calc(
+                xs(coords, n1),
+                xs(coords, n2),
+                &q[4 * c1 as usize..4 * c1 as usize + 4],
+                &q[4 * c2 as usize..4 * c2 as usize + 4],
+                adt[c1 as usize],
+                adt[c2 as usize],
+                r1,
+                r2,
+                consts,
+            );
+        }
+    } else {
+        // bres_calc over assigned boundary edges (all owned cells).
+        for &(n1, n2, c1, bound) in &local.bedges {
+            let c1 = c1 as usize;
+            kernels::bres_calc(
+                xs(coords, n1),
+                xs(coords, n2),
+                &q[4 * c1..4 * c1 + 4],
+                adt[c1],
+                &mut res[4 * c1..4 * c1 + 4],
+                bound,
+                consts,
+            );
+        }
+    }
+}
+
+/// Fire one halo group: install the peer's forward payload into the halo
+/// `q` slots, redundant `adt_calc` over those halo cells, flux the group's
+/// edges into its scratch buffer, and send the halo-side scratch back to
+/// the owner (the reverse exchange payload, in the peer's import order).
+#[allow(clippy::too_many_arguments)]
+fn fire_group(
+    comm: &Comm,
+    local: &LocalMesh,
+    group: &HaloGroup,
+    halos: &[u32],
+    coords: &[f64],
+    consts: &FlowConstants,
+    q: &mut [f64],
+    adt: &mut [f64],
+    scratch: &mut [f64],
+    payload: &[f64],
+) -> Result<(), CommError> {
+    assert_eq!(payload.len(), halos.len() * 4);
+    for (i, &l) in halos.iter().enumerate() {
+        q[4 * l as usize..4 * l as usize + 4].copy_from_slice(&payload[4 * i..4 * i + 4]);
+    }
+    for &l in halos {
+        let c = l as usize;
+        let n = &local.cell_nodes[4 * c..4 * c + 4];
+        let mut a = [0.0f64];
+        kernels::adt_calc(
+            xs(coords, n[0]),
+            xs(coords, n[1]),
+            xs(coords, n[2]),
+            xs(coords, n[3]),
+            &q[4 * c..4 * c + 4],
+            &mut a,
+            consts,
+        );
+        adt[c] = a[0];
+    }
+    scratch.fill(0.0);
+    for (i, &e) in group.edges.iter().enumerate() {
+        let (c1, c2) = local.edge_cells[e as usize];
+        let (n1, n2) = local.edge_nodes[e as usize];
+        let (s1, s2) = group.slots[i];
+        let (r1, r2) = two_cells_mut(scratch, s1 as usize, s2 as usize);
+        kernels::res_calc(
+            xs(coords, n1),
+            xs(coords, n2),
+            &q[4 * c1 as usize..4 * c1 as usize + 4],
+            &q[4 * c2 as usize..4 * c2 as usize + 4],
+            adt[c1 as usize],
+            adt[c2 as usize],
+            r1,
+            r2,
+            consts,
+        );
+    }
+    let mut rev = Vec::with_capacity(group.send_slots.len() * 4);
+    for &s in &group.send_slots {
+        rev.extend_from_slice(&scratch[4 * s as usize..4 * s as usize + 4]);
+    }
+    comm.send(group.peer, TAG_REVERSE, rev)
 }
 
 /// Two disjoint 4-wide mutable cell slices out of one residual array.
@@ -755,6 +1168,33 @@ mod tests {
             b.final_q.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
         );
         assert_eq!(a.rms, b.rms);
+        assert_eq!(a.adt_digest, b.adt_digest);
+        assert_eq!(a.res_digest, b.res_digest);
+    }
+
+    #[test]
+    fn overlapped_march_matches_bulk_bitwise() {
+        let (data, consts, q0) = setup(true);
+        let part = Partition::strips(288, 3);
+        let bulk = run_distributed_opts(&data, &consts, &q0, &part, 5, 1, &DistOptions::default())
+            .unwrap();
+        let opts = DistOptions {
+            overlap: true,
+            jitter: Some(JitterSpec { seed: 42, max_us: 80 }),
+            ..DistOptions::default()
+        };
+        let over = run_distributed_opts(&data, &consts, &q0, &part, 5, 1, &opts).unwrap();
+        assert_eq!(
+            over.final_q.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            bulk.final_q.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+        assert_eq!(over.rms.len(), bulk.rms.len());
+        for ((ia, a), (ib, b)) in over.rms.iter().zip(&bulk.rms) {
+            assert_eq!(ia, ib);
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(over.adt_digest, bulk.adt_digest, "adt trajectory diverged");
+        assert_eq!(over.res_digest, bulk.res_digest, "res trajectory diverged");
     }
 
     #[test]

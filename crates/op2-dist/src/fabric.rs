@@ -29,6 +29,27 @@
 //! Tags with the top bit set ([`COLLECTIVE_TAG_BIT`]) are reserved for
 //! collectives; user sends/recvs into that namespace are rejected with
 //! [`CommError::ReservedTag`].
+//!
+//! ## Overlap support
+//!
+//! Two additions serve the comm/compute-overlapped march (see
+//! [`crate::exec`]):
+//!
+//! * each link carries **two independent sequence channels** — user
+//!   point-to-point traffic and collective traffic (selected by
+//!   [`COLLECTIVE_TAG_BIT`]). A deferred collective (below) parks its gather
+//!   contributions on the same links the next iteration's halo messages use;
+//!   separate channels let the receiver drain halo traffic ahead of queued
+//!   collective envelopes without tripping the in-sequence tag check.
+//! * **non-blocking primitives**: [`Comm::try_recv`] polls a link without
+//!   blocking (so interior compute can proceed while boundary receives are
+//!   outstanding), and [`Comm::iallreduce_sum`] / [`Comm::iallreduce_max`]
+//!   split an allreduce into a start ([`PendingReduce`]) and a
+//!   [`Comm::complete_reduce`] harvest, pipelining step *k*'s reduction
+//!   under step *k+1*'s compute. The completed result is bitwise identical
+//!   to the blocking collective (same ascending gather order at the same
+//!   root); a pending reduce that crosses a recovery epoch refuses to
+//!   complete, so stale contributions can never leak into a reduction.
 
 use std::cell::RefCell;
 use std::collections::{BTreeMap, VecDeque};
@@ -193,6 +214,31 @@ impl Default for CommConfig {
     }
 }
 
+/// Reduction operator of an allreduce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ReduceOp {
+    /// Element-wise sum, accumulated in ascending group order.
+    Sum,
+    /// Element-wise max (order-independent).
+    Max,
+}
+
+/// An allreduce in flight, returned by [`Comm::iallreduce_sum`] /
+/// [`Comm::iallreduce_max`] and harvested by [`Comm::complete_reduce`].
+/// Holds the group and epoch snapshot from start time: completing after a
+/// recovery bumped the epoch is refused, because the purge of dead-epoch
+/// traffic discarded the gather contributions.
+#[derive(Debug)]
+#[must_use = "a pending reduce must be harvested with complete_reduce"]
+pub struct PendingReduce {
+    op: ReduceOp,
+    root: usize,
+    group: Vec<usize>,
+    epoch: u64,
+    /// This rank's contribution (the root folds it in at harvest time).
+    local: Vec<f64>,
+}
+
 /// A sequenced, epoch-stamped message on one link.
 #[derive(Debug, Clone)]
 struct Envelope {
@@ -200,6 +246,15 @@ struct Envelope {
     epoch: u64,
     tag: u64,
     payload: Vec<f64>,
+}
+
+/// Sequence channel of a tag: user point-to-point traffic (0) and
+/// collective traffic (1) are sequenced independently per link, so a
+/// deferred collective's queued envelopes never stall or mis-order the next
+/// iteration's user messages on the same link.
+#[inline]
+fn chan_of(tag: u64) -> usize {
+    usize::from(tag & COLLECTIVE_TAG_BIT != 0)
 }
 
 /// Shared state of one directed link `from → to`.
@@ -210,10 +265,12 @@ struct LinkState {
     /// Envelopes parked "in the network" by a Delay fault; they arrive when
     /// newer traffic flushes past them or the receiver drains the queue.
     held: Vec<Envelope>,
-    /// Sender-side: next sequence number to assign.
-    next_seq: u64,
-    /// Sender-side: last transmitted envelope (source of Replay faults).
-    last: Option<Envelope>,
+    /// Sender-side: next sequence number to assign, per channel
+    /// (user, collective).
+    next_seq: [u64; 2],
+    /// Sender-side: last transmitted envelope per channel (source of Replay
+    /// faults).
+    last: [Option<Envelope>; 2],
 }
 
 struct Link {
@@ -264,13 +321,47 @@ impl Shared {
     }
 }
 
-/// Per-peer receive-side protocol state.
+/// Receive-side protocol state of one sequence channel.
 #[derive(Default)]
-struct RecvState {
+struct RecvChan {
     /// Next expected sequence number.
     next: u64,
     /// Out-of-order envelopes awaiting their turn.
     reorder: BTreeMap<u64, Envelope>,
+}
+
+/// Per-peer receive-side protocol state: one [`RecvChan`] per sequence
+/// channel (user, collective). Envelopes pulled off the link are filed into
+/// the channel their tag selects, so receiving on one channel buffers — not
+/// discards or mis-matches — traffic of the other.
+#[derive(Default)]
+struct RecvState {
+    chans: [RecvChan; 2],
+}
+
+impl RecvState {
+    /// Take the head-of-line envelope of `chan` if it has arrived.
+    fn take_next(&mut self, chan: usize) -> Option<Envelope> {
+        let c = &mut self.chans[chan];
+        let env = c.reorder.remove(&c.next)?;
+        c.next += 1;
+        Some(env)
+    }
+
+    /// File a pulled envelope into its channel's reorder buffer, discarding
+    /// stale-epoch traffic and duplicates.
+    fn file(&mut self, env: Envelope, epoch: u64, stats: &FaultStats) {
+        if env.epoch < epoch {
+            FaultStats::inc(&stats.stale_discarded);
+            return;
+        }
+        let c = &mut self.chans[chan_of(env.tag)];
+        if env.seq < c.next || c.reorder.contains_key(&env.seq) {
+            FaultStats::inc(&stats.dup_discarded);
+            return;
+        }
+        c.reorder.insert(env.seq, env);
+    }
 }
 
 /// Per-rank communicator handle (the `MPI_COMM_WORLD` analogue).
@@ -422,10 +513,11 @@ impl Comm {
         let link = &sh.links[self.rank * sh.nranks + to];
         let epoch = sh.rec_epoch.load(Ordering::SeqCst);
         FaultStats::inc(&sh.stats.sent);
+        let chan = chan_of(tag);
         let seq = {
             let mut st = link.state.lock();
-            let s = st.next_seq;
-            st.next_seq += 1;
+            let s = st.next_seq[chan];
+            st.next_seq[chan] += 1;
             s
         };
         let env = Envelope { seq, epoch, tag, payload };
@@ -464,7 +556,7 @@ impl Comm {
                     FaultStats::inc(&sh.stats.delayed);
                 }
                 FaultAction::Replay => {
-                    if let Some(last) = st.last.clone() {
+                    if let Some(last) = st.last[chan].clone() {
                         st.queue.push_back(last);
                         FaultStats::inc(&sh.stats.replayed);
                     }
@@ -473,7 +565,7 @@ impl Comm {
                 FaultAction::Deliver => st.queue.push_back(env.clone()),
                 FaultAction::Drop => unreachable!("handled above"),
             }
-            st.last = Some(env);
+            st.last[chan] = Some(env);
             drop(st);
             link.cv.notify_all();
             return Ok(seq);
@@ -570,11 +662,10 @@ impl Comm {
     fn recv_impl(&self, from: usize, tag: u64) -> Result<Envelope, CommError> {
         let sh = &self.shared;
         let epoch = sh.rec_epoch.load(Ordering::SeqCst);
+        let chan = chan_of(tag);
         let mut st = self.recv_state[from].borrow_mut();
         loop {
-            let next = st.next;
-            if let Some(env) = st.reorder.remove(&next) {
-                st.next += 1;
+            if let Some(env) = st.take_next(chan) {
                 if env.tag != tag {
                     return Err(CommError::TagMismatch {
                         rank: self.rank,
@@ -586,16 +677,100 @@ impl Comm {
                 return Ok(env);
             }
             let env = self.pull(from, tag)?;
-            if env.epoch < epoch {
-                FaultStats::inc(&sh.stats.stale_discarded);
-                continue;
-            }
-            if env.seq < st.next || st.reorder.contains_key(&env.seq) {
-                FaultStats::inc(&sh.stats.dup_discarded);
-                continue;
-            }
-            st.reorder.insert(env.seq, env);
+            st.file(env, epoch, &sh.stats);
         }
+    }
+
+    /// Poll for the next in-sequence message from rank `from` without
+    /// blocking: `Ok(Some(payload))` if the head-of-line message has
+    /// arrived, `Ok(None)` if nothing is deliverable yet. The overlapped
+    /// march calls this between interior-compute chunks to fire boundary
+    /// blocks the moment their halo data lands.
+    ///
+    /// Failure detection stays prompt even though the call never waits: a
+    /// dead or fenced peer, a pending recovery, or a stale heartbeat surface
+    /// as the same errors [`Comm::recv`] would return, and a cleanly-exited
+    /// peer that can no longer send reports [`CommError::Timeout`]
+    /// immediately.
+    pub fn try_recv(&self, from: usize, tag: u64) -> Result<Option<Vec<f64>>, CommError> {
+        if tag & COLLECTIVE_TAG_BIT != 0 {
+            return Err(CommError::ReservedTag { tag });
+        }
+        let span = op2_trace::begin();
+        let sh = &self.shared;
+        let epoch = sh.rec_epoch.load(Ordering::SeqCst);
+        let chan = chan_of(tag);
+        let mut st = self.recv_state[from].borrow_mut();
+        loop {
+            if let Some(env) = st.take_next(chan) {
+                if env.tag != tag {
+                    return Err(CommError::TagMismatch {
+                        rank: self.rank,
+                        from,
+                        expected: tag,
+                        got: env.tag,
+                    });
+                }
+                op2_trace::end(
+                    span,
+                    EventKind::FabricRecv,
+                    NO_NAME,
+                    pack2(from as u32, self.rank as u32),
+                    pack2(epoch as u32, env.seq as u32),
+                );
+                return Ok(Some(env.payload));
+            }
+            match self.try_pull(from, tag)? {
+                Some(env) => st.file(env, epoch, &sh.stats),
+                None => return Ok(None),
+            }
+        }
+    }
+
+    /// Non-blocking variant of [`Comm::pull`]: drain one envelope if the
+    /// link has one, otherwise run the same failure checks and return
+    /// `Ok(None)`.
+    fn try_pull(&self, from: usize, tag: u64) -> Result<Option<Envelope>, CommError> {
+        let sh = &self.shared;
+        if !sh.alive[self.rank].load(Ordering::SeqCst) {
+            return Err(CommError::Fenced { rank: self.rank });
+        }
+        let link = &sh.links[from * sh.nranks + self.rank];
+        {
+            let mut st = link.state.lock();
+            if let Some(env) = st.queue.pop_front() {
+                return Ok(Some(env));
+            }
+            if !st.held.is_empty() {
+                let i = st
+                    .held
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, e)| e.seq)
+                    .map(|(i, _)| i)
+                    .expect("non-empty");
+                return Ok(Some(st.held.remove(i)));
+            }
+        }
+        if !sh.alive[from].load(Ordering::SeqCst) {
+            return Err(CommError::RankFailed { rank: self.rank, failed: from });
+        }
+        if sh.rec_flag.load(Ordering::SeqCst) {
+            if let Some(d) = self.first_dead() {
+                return Err(CommError::RankFailed { rank: self.rank, failed: d });
+            }
+        }
+        if self.stale_check(from) {
+            return Err(CommError::RankFailed { rank: self.rank, failed: from });
+        }
+        if sh.done[from].load(Ordering::SeqCst) {
+            // A cleanly-exited peer will never send again: the missing
+            // head-of-line message can't arrive, so fail fast as a blocking
+            // recv would.
+            FaultStats::inc(&sh.stats.timeouts);
+            return Err(CommError::Timeout { rank: self.rank, from, tag, waited_ms: 0 });
+        }
+        Ok(None)
     }
 
     /// Block until every rank of the current group has reached the barrier.
@@ -671,9 +846,23 @@ impl Comm {
     /// Propagates transport errors; [`CommError::LengthMismatch`] if the
     /// contributions disagree in length.
     pub fn allreduce_sum(&self, local: &[f64]) -> Result<Vec<f64>, CommError> {
+        self.allreduce(local, ReduceOp::Sum)
+    }
+
+    /// Element-wise max across the current group (same gather/broadcast
+    /// shape as [`Comm::allreduce_sum`]; max is order-independent, so the
+    /// result is exact).
+    ///
+    /// # Errors
+    /// As [`Comm::allreduce_sum`].
+    pub fn allreduce_max(&self, local: &[f64]) -> Result<Vec<f64>, CommError> {
+        self.allreduce(local, ReduceOp::Max)
+    }
+
+    fn allreduce(&self, local: &[f64], op: ReduceOp) -> Result<Vec<f64>, CommError> {
         let span = op2_trace::begin();
         let epoch = self.shared.rec_epoch.load(Ordering::SeqCst);
-        let r = self.allreduce_impl(local);
+        let r = self.ireduce_start(local, op).and_then(|p| self.complete_impl(p));
         op2_trace::end(
             span,
             EventKind::FabricAllreduce,
@@ -684,12 +873,75 @@ impl Comm {
         r
     }
 
-    fn allreduce_impl(&self, local: &[f64]) -> Result<Vec<f64>, CommError> {
+    /// Start a non-blocking sum-allreduce: this rank's contribution is
+    /// dispatched (non-roots send their gather message immediately; the root
+    /// holds its own part), and the returned [`PendingReduce`] is harvested
+    /// later with [`Comm::complete_reduce`]. The completed result is bitwise
+    /// identical to [`Comm::allreduce_sum`] of the same contributions.
+    ///
+    /// # Errors
+    /// Transport errors from the eager gather send.
+    pub fn iallreduce_sum(&self, local: &[f64]) -> Result<PendingReduce, CommError> {
+        self.ireduce_start(local, ReduceOp::Sum)
+    }
+
+    /// Start a non-blocking max-allreduce (see [`Comm::iallreduce_sum`]).
+    ///
+    /// # Errors
+    /// Transport errors from the eager gather send.
+    pub fn iallreduce_max(&self, local: &[f64]) -> Result<PendingReduce, CommError> {
+        self.ireduce_start(local, ReduceOp::Max)
+    }
+
+    fn ireduce_start(&self, local: &[f64], op: ReduceOp) -> Result<PendingReduce, CommError> {
         self.check_self()?;
         let group = self.group.borrow().clone();
         let root = *group.first().expect("non-empty group");
+        let epoch = self.shared.rec_epoch.load(Ordering::SeqCst);
+        if self.rank != root {
+            self.send_raw(root, TAG_GATHER, local.to_vec())?;
+        }
+        Ok(PendingReduce { op, root, group, epoch, local: local.to_vec() })
+    }
+
+    /// Finish a reduction started by [`Comm::iallreduce_sum`] /
+    /// [`Comm::iallreduce_max`]: the root drains the gather contributions in
+    /// ascending group order and broadcasts; non-roots block on the
+    /// broadcast. Records a [`EventKind::FabricAllreduce`] span covering the
+    /// harvest only — the overlap win is precisely the compute that ran
+    /// between start and harvest.
+    ///
+    /// # Errors
+    /// [`CommError::RecoveryFailed`] if a recovery bumped the epoch since
+    /// the reduce started (its contributions were purged with the dead
+    /// epoch's traffic, so completing would hang or mix epochs); otherwise
+    /// as [`Comm::allreduce_sum`].
+    pub fn complete_reduce(&self, pending: PendingReduce) -> Result<Vec<f64>, CommError> {
+        let span = op2_trace::begin();
+        let epoch = pending.epoch;
+        let group_len = pending.group.len();
+        let r = self.complete_impl(pending);
+        op2_trace::end(
+            span,
+            EventKind::FabricAllreduce,
+            NO_NAME,
+            pack2(self.rank as u32, group_len as u32),
+            pack2(epoch as u32, 0),
+        );
+        r
+    }
+
+    fn complete_impl(&self, pending: PendingReduce) -> Result<Vec<f64>, CommError> {
+        self.check_self()?;
+        if pending.epoch != self.shared.rec_epoch.load(Ordering::SeqCst) {
+            return Err(CommError::RecoveryFailed {
+                rank: self.rank,
+                reason: "pending reduce crosses a recovery epoch",
+            });
+        }
+        let PendingReduce { op, root, group, local, .. } = pending;
         if self.rank == root {
-            let mut acc = local.to_vec();
+            let mut acc = local;
             for &from in group.iter().filter(|&&r| r != root) {
                 let part = self.recv_raw(from, TAG_GATHER)?;
                 if part.len() != acc.len() {
@@ -701,7 +953,10 @@ impl Comm {
                     });
                 }
                 for (a, v) in acc.iter_mut().zip(part) {
-                    *a += v;
+                    match op {
+                        ReduceOp::Sum => *a += v,
+                        ReduceOp::Max => *a = a.max(v),
+                    }
                 }
             }
             for &to in group.iter().filter(|&&r| r != root) {
@@ -709,7 +964,6 @@ impl Comm {
             }
             Ok(acc)
         } else {
-            self.send_raw(root, TAG_GATHER, local.to_vec())?;
             self.recv_raw(root, TAG_BCAST)
         }
     }
@@ -764,13 +1018,11 @@ impl Comm {
             let mut st = sh.links[from * n + me].state.lock();
             st.queue.clear();
             st.held.clear();
-            st.next_seq = 0;
-            st.last = None;
+            st.next_seq = [0; 2];
+            st.last = [None, None];
         }
         for rs in &self.recv_state {
-            let mut rs = rs.borrow_mut();
-            rs.next = 0;
-            rs.reorder.clear();
+            *rs.borrow_mut() = RecvState::default();
         }
         {
             let mut c = sh.coord.lock();
@@ -1345,6 +1597,149 @@ mod tests {
         assert!(matches!(run.results[1], Err(CommError::Fenced { rank: 1 })));
         assert_eq!(run.faults.rank_failures, 1);
         assert_eq!(run.faults.recoveries, 1);
+    }
+
+    #[test]
+    fn try_recv_polls_without_blocking() {
+        let out = Fabric::run(2, |comm| {
+            if comm.rank() == 0 {
+                std::thread::sleep(Duration::from_millis(30));
+                comm.send(1, 3, vec![7.5]).unwrap();
+                0.0
+            } else {
+                // The first polls find nothing (sender is asleep) but must
+                // return immediately instead of blocking.
+                let mut polls = 0u32;
+                loop {
+                    match comm.try_recv(0, 3).unwrap() {
+                        Some(payload) => {
+                            assert!(polls > 0, "first poll should miss");
+                            return payload[0];
+                        }
+                        None => {
+                            polls += 1;
+                            std::thread::sleep(Duration::from_millis(1));
+                        }
+                    }
+                }
+            }
+        });
+        assert_eq!(out[1], 7.5);
+    }
+
+    #[test]
+    fn try_recv_delivers_in_sequence_despite_shape_faults() {
+        let plan = FaultPlan {
+            seed: 23,
+            drop_p: 0.0,
+            dup_p: 0.4,
+            delay_p: 0.3,
+            replay_p: 0.2,
+            max_drops_per_message: 0,
+            kill: None,
+        };
+        let run = Fabric::builder(2)
+            .faults(plan)
+            .launch(|comm| {
+                if comm.rank() == 0 {
+                    for i in 0..50u64 {
+                        comm.send(1, 5, vec![i as f64]).unwrap();
+                    }
+                    Vec::new()
+                } else {
+                    let mut got = Vec::new();
+                    while got.len() < 50 {
+                        match comm.try_recv(0, 5).unwrap() {
+                            Some(p) => got.push(p[0]),
+                            None => std::thread::sleep(Duration::from_micros(200)),
+                        }
+                    }
+                    got
+                }
+            })
+            .unwrap();
+        let expect: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        assert_eq!(run.results[1], expect, "polled stream corrupted");
+    }
+
+    #[test]
+    fn user_and_collective_channels_interleave() {
+        // Start a deferred reduce (queuing gather envelopes on the links),
+        // then run a ring of user traffic on the *same* links before the
+        // harvest. With a single sequence channel the ring recv would trip
+        // TagMismatch on the queued gather; separate channels must mask it.
+        let n = 3;
+        let out = Fabric::run(n, |comm| {
+            let p = comm.iallreduce_sum(&[comm.rank() as f64]).unwrap();
+            let next = (comm.rank() + 1) % n;
+            let prev = (comm.rank() + n - 1) % n;
+            comm.send(next, 5, vec![comm.rank() as f64]).unwrap();
+            let got = comm.recv(prev, 5).unwrap();
+            assert_eq!(got, vec![prev as f64]);
+            comm.complete_reduce(p).unwrap()[0]
+        });
+        assert_eq!(out, vec![3.0; 3]);
+    }
+
+    #[test]
+    fn iallreduce_matches_blocking_bitwise() {
+        // Values chosen so different summation orders give different bits.
+        let vals = [0.1, 0.2, 0.3, 0.7, 1e-17, -0.3];
+        let blocking = Fabric::run(vals.len(), |comm| {
+            comm.allreduce_sum(&[vals[comm.rank()]]).unwrap()[0]
+        });
+        let deferred = Fabric::run(vals.len(), |comm| {
+            let p = comm.iallreduce_sum(&[vals[comm.rank()]]).unwrap();
+            comm.complete_reduce(p).unwrap()[0]
+        });
+        for (b, d) in blocking.iter().zip(&deferred) {
+            assert_eq!(b.to_bits(), d.to_bits(), "deferred reduce diverged");
+        }
+    }
+
+    #[test]
+    fn allreduce_max_is_exact_across_ranks() {
+        let vals = [0.3, -1.5, 2.25, 0.7];
+        let out = Fabric::run(vals.len(), |comm| {
+            comm.allreduce_max(&[vals[comm.rank()]]).unwrap()[0]
+        });
+        for v in out {
+            assert_eq!(v.to_bits(), 2.25f64.to_bits());
+        }
+    }
+
+    #[test]
+    fn pending_reduce_does_not_cross_recovery_epochs() {
+        let cfg = CommConfig {
+            recv_deadline: Duration::from_millis(500),
+            ..CommConfig::default()
+        };
+        let run = Fabric::builder(3)
+            .config(cfg)
+            .launch(|comm| {
+                if comm.rank() == 1 {
+                    let _ = comm.kill_self();
+                    return Err(CommError::Fenced { rank: 1 });
+                }
+                let p = comm.iallreduce_sum(&[1.0])?;
+                while !comm.recovery_pending() {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                comm.recover()?;
+                // The pre-recovery reduce must refuse to complete: its
+                // gather traffic was purged with the dead epoch.
+                match comm.complete_reduce(p) {
+                    Err(CommError::RecoveryFailed { reason, .. }) => {
+                        assert!(reason.contains("epoch"), "{reason}");
+                    }
+                    other => panic!("stale reduce completed: {other:?}"),
+                }
+                // A fresh reduce over the shrunken group works.
+                Ok(comm.allreduce_sum(&[1.0])?[0])
+            })
+            .unwrap();
+        assert_eq!(run.results[0], Ok(2.0));
+        assert_eq!(run.results[2], Ok(2.0));
     }
 
     #[test]

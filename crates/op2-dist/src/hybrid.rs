@@ -14,6 +14,19 @@
 //! guards rather than sub-set iteration, mirroring how OP2 masks its
 //! exec-halo.
 //!
+//! With [`DistOptions::overlap`] the halo exchange is futurized like the
+//! flat executor's: `adt_calc` splits into an owned-cell loop and a
+//! halo-cell loop, the owned loop is *issued* (not waited) while the rank
+//! thread polls forward receives ([`Comm::try_recv`]) and installs each
+//! peer's block the moment it lands — arrivals write halo `q` slots, the
+//! in-flight loop reads only owned `q`, so the two proceed concurrently.
+//! A drained poll pass records a `halo-wait` trace span, attributed
+//! separately from barrier-wait. The report-point RMS reduction is
+//! pipelined through [`Comm::iallreduce_sum`], harvested at the next
+//! report point or the end of the march. Every per-cell value is computed
+//! once from the same inputs in both schedules, so overlap is bit-identical
+//! to bulk for a fixed backend.
+//!
 //! Fault handling: all fabric errors surface as [`DistError`] values, and
 //! [`run_hybrid_opts`] accepts the same [`DistOptions`] as the flat
 //! executor for fault injection and deadline/retry tuning. Kill directives
@@ -22,15 +35,17 @@
 //! [`crate::exec::run_distributed_opts`] for the recovery path.
 
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use op2_airfoil::kernels;
 use op2_airfoil::mesh::MeshData;
 use op2_airfoil::FlowConstants;
 use op2_core::{arg_direct, arg_indirect, Access, Dat, Map, ParLoop, Set};
 use op2_hpx::{make_executor, BackendKind, Op2Runtime};
+use op2_trace::{pack2, EventKind, NO_NAME};
 
 use crate::exec::{DistError, DistOptions, DistReport};
-use crate::fabric::{Comm, CommError, Fabric};
+use crate::fabric::{Comm, CommError, Fabric, PendingReduce};
 use crate::partition::{build_local, LocalMesh, Partition};
 
 /// March `niter` iterations on `nranks` ranks, each executing its loops with
@@ -125,6 +140,7 @@ pub fn run_hybrid_opts(
                 backend,
                 niter,
                 report_every,
+                opts,
             )
         })
         .map_err(DistError::Fabric)?;
@@ -151,7 +167,15 @@ pub fn run_hybrid_opts(
     if let Some((rank, error)) = crate::exec::root_cause(errors) {
         return Err(DistError::Rank { rank, error });
     }
-    Ok(DistReport { rms, final_q, faults: run.faults, recoveries: Vec::new(), local_retries: 0 })
+    Ok(DistReport {
+        rms,
+        final_q,
+        faults: run.faults,
+        recoveries: Vec::new(),
+        local_retries: 0,
+        adt_digest: 0,
+        res_digest: 0,
+    })
 }
 
 /// The per-rank OP2 declarations over the local mesh slice.
@@ -165,6 +189,11 @@ struct RankApp {
     _adt: Dat<f64>,
     save_soln: ParLoop,
     adt_calc: ParLoop,
+    /// Owned-only / halo-only halves of `adt_calc` for the overlapped
+    /// schedule (bitwise equivalent to the monolithic loop — each cell's
+    /// `adt` is a pure function of coordinates and its own `q`).
+    adt_calc_owned: ParLoop,
+    adt_calc_halo: ParLoop,
     res_calc: ParLoop,
     bres_calc: ParLoop,
     update: ParLoop,
@@ -229,19 +258,30 @@ fn build_rank_app(
             }
         });
 
-    // adt over ALL local cells (redundant halo execution).
-    let pc = pcell.clone();
-    let xs = Arc::clone(&coords);
+    // adt over ALL local cells (redundant halo execution). The owned/halo
+    // halves exist for the overlapped schedule; `[lo, hi)` guards mirror the
+    // nowned guard on save_soln/update rather than sub-set iteration.
     // Note: node coordinates are replicated read-only data outside the dat
     // system here, so the only declared accesses are the per-cell ones.
-    let adt_calc = ParLoop::build("adt_calc", &cells)
-        .arg(arg_direct(&q, Access::Read))
-        .arg(arg_direct(&adt, Access::Write))
-        .kernel(move |e, _| unsafe {
-            let n = [pc.at(e, 0), pc.at(e, 1), pc.at(e, 2), pc.at(e, 3)];
-            let x = |k: usize| &xs[2 * n[k]..2 * n[k] + 2];
-            kernels::adt_calc(x(0), x(1), x(2), x(3), qv.slice(e), adtv.slice_mut(e), &c);
-        });
+    let make_adt = |name: &str, lo: usize, hi: usize| {
+        let pc = pcell.clone();
+        let xs = Arc::clone(&coords);
+        let (qv, adtv) = (q.view(), adt.view());
+        ParLoop::build(name, &cells)
+            .arg(arg_direct(&q, Access::Read))
+            .arg(arg_direct(&adt, Access::Write))
+            .kernel(move |e, _| unsafe {
+                if e < lo || e >= hi {
+                    return;
+                }
+                let n = [pc.at(e, 0), pc.at(e, 1), pc.at(e, 2), pc.at(e, 3)];
+                let x = |k: usize| &xs[2 * n[k]..2 * n[k] + 2];
+                kernels::adt_calc(x(0), x(1), x(2), x(3), qv.slice(e), adtv.slice_mut(e), &c);
+            })
+    };
+    let adt_calc = make_adt("adt_calc", 0, usize::MAX);
+    let adt_calc_owned = make_adt("adt_calc_owned", 0, nowned);
+    let adt_calc_halo = make_adt("adt_calc_halo", nowned, usize::MAX);
 
     // res over local edges.
     let pe = pecell.clone();
@@ -325,6 +365,8 @@ fn build_rank_app(
         _adt: adt,
         save_soln,
         adt_calc,
+        adt_calc_owned,
+        adt_calc_halo,
         res_calc,
         bres_calc,
         update,
@@ -342,6 +384,7 @@ fn rank_main(
     backend: BackendKind,
     niter: usize,
     report_every: usize,
+    opts: &DistOptions,
 ) -> Result<(Vec<f64>, Vec<(usize, f64)>), CommError> {
     let app = build_rank_app(data, consts, q0, part, comm.rank());
     let rt = Arc::new(Op2Runtime::new(threads, 64));
@@ -349,16 +392,27 @@ fn rank_main(
     let ncells_global = data.cell_nodes.len() / 4;
 
     let mut reports = Vec::new();
+    let mut pending_rms: Option<(usize, PendingReduce)> = None;
     for iter in 1..=niter {
         comm.beat();
         // Exchanges touch the dats directly, so every issued loop must have
         // completed first (wait per loop; the halo exchange is the natural
-        // synchronization point of the distributed configuration).
+        // synchronization point of the distributed configuration). The one
+        // deliberate exception is the overlapped owned-adt loop below, whose
+        // reads are disjoint from the halo slots the poll installs into.
         exec.execute(&app.save_soln).wait();
         let mut rms_local = 0.0;
-        for _stage in 0..2 {
-            hybrid_forward_exchange(&comm, &app.local, &app.q)?;
-            exec.execute(&app.adt_calc).wait();
+        for stage in 0..2 {
+            if opts.overlap {
+                hybrid_forward_send(&comm, &app.local, &app.q)?;
+                let owned = exec.execute(&app.adt_calc_owned);
+                hybrid_forward_poll(&comm, &app.local, &app.q, iter, stage, opts)?;
+                owned.wait();
+                exec.execute(&app.adt_calc_halo).wait();
+            } else {
+                hybrid_forward_exchange(&comm, &app.local, &app.q)?;
+                exec.execute(&app.adt_calc).wait();
+            }
             exec.execute(&app.res_calc).wait();
             exec.execute(&app.bres_calc).wait();
             hybrid_reverse_exchange(&comm, &app.local, &app.res)?;
@@ -366,37 +420,134 @@ fn rank_main(
             rms_local += gbl[0];
         }
         if iter % report_every.max(1) == 0 || iter == niter {
-            let total = comm.allreduce_sum(&[rms_local])?[0];
-            reports.push((iter, (total / ncells_global as f64).sqrt()));
+            if opts.overlap {
+                // Pipelined: harvest the previous report's reduction, post
+                // this one non-blocking. Completion order must follow post
+                // order (the collective channel is FIFO), and here the rms
+                // sum is the only collective in flight.
+                harvest_rms(&comm, &mut pending_rms, ncells_global, &mut reports)?;
+                let p = comm.iallreduce_sum(&[rms_local])?;
+                pending_rms = Some((iter, p));
+            } else {
+                let total = comm.allreduce_sum(&[rms_local])?[0];
+                reports.push((iter, (total / ncells_global as f64).sqrt()));
+            }
         }
     }
+    harvest_rms(&comm, &mut pending_rms, ncells_global, &mut reports)?;
     exec.fence();
 
     let q = app.q.to_vec();
     Ok((q[..4 * app.local.nowned].to_vec(), reports))
 }
 
+fn harvest_rms(
+    comm: &Comm,
+    pending: &mut Option<(usize, PendingReduce)>,
+    ncells_global: usize,
+    reports: &mut Vec<(usize, f64)>,
+) -> Result<(), CommError> {
+    if let Some((iter, p)) = pending.take() {
+        let total = comm.complete_reduce(p)?[0];
+        reports.push((iter, (total / ncells_global as f64).sqrt()));
+    }
+    Ok(())
+}
+
+const TAG_HYB_FORWARD: u64 = 300;
+
 fn hybrid_forward_exchange(
     comm: &Comm,
     local: &LocalMesh,
     q: &Dat<f64>,
 ) -> Result<(), CommError> {
-    const TAG: u64 = 300;
-    {
-        let qd = q.data();
-        for (peer, owned_locals) in &local.exports {
-            let mut payload = Vec::with_capacity(owned_locals.len() * 4);
-            for &l in owned_locals {
-                payload.extend_from_slice(&qd[4 * l as usize..4 * l as usize + 4]);
-            }
-            comm.send(*peer, TAG, payload)?;
-        }
-    }
+    hybrid_forward_send(comm, local, q)?;
     let mut qd = q.data_mut();
     for (peer, halo_locals) in &local.imports {
-        let payload = comm.recv(*peer, TAG)?;
-        for (i, &l) in halo_locals.iter().enumerate() {
-            qd[4 * l as usize..4 * l as usize + 4].copy_from_slice(&payload[4 * i..4 * i + 4]);
+        let payload = comm.recv(*peer, TAG_HYB_FORWARD)?;
+        install_halo(&mut qd, halo_locals, &payload);
+    }
+    Ok(())
+}
+
+fn hybrid_forward_send(comm: &Comm, local: &LocalMesh, q: &Dat<f64>) -> Result<(), CommError> {
+    let qd = q.data();
+    for (peer, owned_locals) in &local.exports {
+        let mut payload = Vec::with_capacity(owned_locals.len() * 4);
+        for &l in owned_locals {
+            payload.extend_from_slice(&qd[4 * l as usize..4 * l as usize + 4]);
+        }
+        comm.send(*peer, TAG_HYB_FORWARD, payload)?;
+    }
+    Ok(())
+}
+
+fn install_halo(qd: &mut [f64], halo_locals: &[u32], payload: &[f64]) {
+    for (i, &l) in halo_locals.iter().enumerate() {
+        qd[4 * l as usize..4 * l as usize + 4].copy_from_slice(&payload[4 * i..4 * i + 4]);
+    }
+}
+
+/// Poll forward receives, installing each peer's halo block on arrival.
+///
+/// Runs on the rank thread while the owned-adt loop executes on the pool:
+/// installs write only halo `q` slots, the loop reads only owned `q`, so
+/// the overlap is race-free. A pass with no arrivals records a `halo-wait`
+/// span; a quiet period longer than the receive deadline synthesizes the
+/// same [`CommError::Timeout`] a blocking `recv` would have produced.
+fn hybrid_forward_poll(
+    comm: &Comm,
+    local: &LocalMesh,
+    q: &Dat<f64>,
+    iter: usize,
+    stage: usize,
+    opts: &DistOptions,
+) -> Result<(), CommError> {
+    let npeers = local.imports.len();
+    let mut got = vec![false; npeers];
+    let mut ngot = 0usize;
+    let mut last_progress = Instant::now();
+    while ngot < npeers {
+        let mut progressed = false;
+        for (gi, (peer, halo_locals)) in local.imports.iter().enumerate() {
+            if got[gi] {
+                continue;
+            }
+            if let Some(payload) = comm.try_recv(*peer, TAG_HYB_FORWARD)? {
+                install_halo(&mut q.data_mut(), halo_locals, &payload);
+                got[gi] = true;
+                ngot += 1;
+                progressed = true;
+            }
+        }
+        if progressed {
+            last_progress = Instant::now();
+        } else {
+            let span = op2_trace::begin();
+            comm.beat();
+            std::thread::sleep(Duration::from_micros(100));
+            op2_trace::end(
+                span,
+                EventKind::HaloWait,
+                NO_NAME,
+                pack2(comm.rank() as u32, (npeers - ngot) as u32),
+                pack2(iter as u32, stage as u32),
+            );
+            let waited = last_progress.elapsed();
+            if waited > opts.config.recv_deadline {
+                let from = local
+                    .imports
+                    .iter()
+                    .zip(&got)
+                    .find(|(_, g)| !**g)
+                    .map_or(0, |((p, _), _)| *p);
+                return Err(CommError::Timeout {
+                    rank: comm.rank(),
+                    from,
+                    tag: TAG_HYB_FORWARD,
+                    waited_ms: waited.as_millis() as u64,
+                });
+            }
         }
     }
     Ok(())
@@ -524,6 +675,79 @@ mod tests {
         );
         assert!(faulty.faults.dropped > 0);
         assert_eq!(faulty.faults.dropped, faulty.faults.retries);
+    }
+
+    /// The futurized hybrid schedule (owned-adt overlapping polled halo
+    /// receives, pipelined rms) must be bit-identical to bulk-synchronous
+    /// for a fixed backend: every per-cell value is computed once from the
+    /// same inputs, and the deferred reduction combines in the same
+    /// rank-ascending order as the blocking one.
+    #[test]
+    fn hybrid_overlap_matches_bulk_bitwise() {
+        let (data, consts, q0) = setup();
+        let part = Partition::strips(200, 3);
+        for backend in [BackendKind::ForkJoin, BackendKind::Dataflow] {
+            let bulk = run_hybrid_opts(
+                &data,
+                &consts,
+                &q0,
+                &part,
+                2,
+                backend,
+                6,
+                2,
+                &DistOptions::default(),
+            )
+            .unwrap();
+            let opts = DistOptions { overlap: true, ..DistOptions::default() };
+            let lap = run_hybrid_opts(&data, &consts, &q0, &part, 2, backend, 6, 2, &opts)
+                .unwrap();
+            assert_eq!(
+                lap.final_q.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                bulk.final_q.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "{backend}: overlapped final_q diverged from bulk"
+            );
+            assert_eq!(lap.rms.len(), bulk.rms.len());
+            for ((ia, ra), (ib, rb)) in lap.rms.iter().zip(&bulk.rms) {
+                assert_eq!(ia, ib);
+                assert_eq!(ra.to_bits(), rb.to_bits(), "{backend}: rms at iter {ia}");
+            }
+        }
+    }
+
+    /// Injected drops must be masked bit-identically under the overlapped
+    /// schedule too: `try_recv` rides the same sequenced, retransmitting
+    /// links as blocking `recv`.
+    #[test]
+    fn hybrid_overlap_masks_injected_drops_bit_identically() {
+        let (data, consts, q0) = setup();
+        let part = Partition::strips(200, 2);
+        let overlap = DistOptions { overlap: true, ..DistOptions::default() };
+        let clean =
+            run_hybrid_opts(&data, &consts, &q0, &part, 2, BackendKind::ForkJoin, 4, 2, &overlap)
+                .unwrap();
+        let faulty_opts = DistOptions {
+            plan: Some(FaultPlan::drop_first(2)),
+            overlap: true,
+            ..DistOptions::default()
+        };
+        let faulty = run_hybrid_opts(
+            &data,
+            &consts,
+            &q0,
+            &part,
+            2,
+            BackendKind::ForkJoin,
+            4,
+            2,
+            &faulty_opts,
+        )
+        .unwrap();
+        assert_eq!(
+            faulty.final_q.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            clean.final_q.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+        assert!(faulty.faults.dropped > 0);
     }
 
     /// A hybrid-path `recv` with no matching send must fail with a deadline

@@ -18,7 +18,17 @@
 //!   `adt` computation over owned+halo cells, local flux accumulation, a
 //!   **reverse exchange** (halo `res` contributions flow back to owners and
 //!   are added in ascending-rank order, keeping runs deterministic), the
-//!   owned-cell update, and an `allreduce` of the RMS.
+//!   owned-cell update, and an `allreduce` of the RMS. With
+//!   [`exec::DistOptions::overlap`] the march is **futurized**: interior
+//!   edges execute while halo receives are outstanding, each per-peer halo
+//!   block fires as its message lands (reverse sends leave early), and the
+//!   RMS reduction is pipelined through the fabric's non-blocking
+//!   `iallreduce` — bit-identical to the bulk-synchronous schedule because
+//!   halo-edge contributions route through per-group scratch merged in
+//!   canonical order either way.
+//! * [`swe`] — the same split applied to the shallow-water application
+//!   (3-component state, adaptive `dt` via an overlap-safe pipelined
+//!   max-reduction): the halo machinery is app-agnostic.
 //!
 //! Determinism: a given `(mesh, nranks)` always produces bit-identical
 //! results; with `nranks = 1` the execution order equals the single-node
@@ -63,13 +73,19 @@ pub mod fabric;
 pub mod fault;
 pub mod hybrid;
 pub mod partition;
+pub mod swe;
 
 pub use checkpoint::CheckpointStore;
 pub use exec::{
     run_distributed, run_distributed_opts, run_distributed_with, DistError, DistOptions,
-    DistReport, KernelFaultSpec, Recovery,
+    DistReport, JitterSpec, KernelFaultSpec, Recovery,
 };
-pub use fabric::{Comm, CommConfig, CommError, Fabric, FabricError, COLLECTIVE_TAG_BIT};
+pub use fabric::{
+    Comm, CommConfig, CommError, Fabric, FabricError, PendingReduce, COLLECTIVE_TAG_BIT,
+};
 pub use fault::{FaultPlan, FaultReport, KillSpec};
 pub use hybrid::{run_hybrid, run_hybrid_opts, run_hybrid_with};
-pub use partition::{cell_centroids, total_halo_cells, LocalMesh, Partition};
+pub use partition::{
+    cell_centroids, total_halo_cells, HaloGroup, HaloPlan, LocalMesh, Partition,
+};
+pub use swe::{run_swe_distributed, run_swe_distributed_opts, SweDistReport};

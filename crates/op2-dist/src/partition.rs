@@ -318,6 +318,117 @@ pub fn build_local(data: &MeshData, part: &Partition, rank: usize) -> LocalMesh 
     }
 }
 
+/// One boundary block of the overlapped march: the edges of a rank that
+/// touch halo cells imported from a single peer. The block becomes runnable
+/// the moment that peer's forward halo message lands — independently of the
+/// other peers and of the interior edges.
+///
+/// Flux contributions of group edges go into a private **scratch** vector
+/// (one slot per touched cell, both owned and halo side) instead of directly
+/// into `res`. That makes the merge into `res` a separate, canonically
+/// ordered pass: the bulk-synchronous and overlapped marches perform the
+/// same additions in the same order regardless of *when* each group fired,
+/// which is what makes the two marches bit-identical.
+#[derive(Debug)]
+pub struct HaloGroup {
+    /// The peer whose forward message gates this block.
+    pub peer: usize,
+    /// Indices into [`LocalMesh::edge_cells`], original (assignment) order.
+    pub edges: Vec<u32>,
+    /// Per edge (parallel to `edges`): scratch slots of its two cells.
+    pub slots: Vec<(u32, u32)>,
+    /// Scratch slot count (slots are assigned first-touch over `edges`).
+    pub nslots: usize,
+    /// `(slot, owned local cell)` in first-touch order: the owned-side
+    /// contributions merged into `res` by the canonical merge pass.
+    pub merge: Vec<(u32, u32)>,
+    /// Scratch slot of each halo cell in this peer's import-list order —
+    /// the layout of the reverse (halo-residual) payload sent back.
+    pub send_slots: Vec<u32>,
+}
+
+/// Interior/boundary split of one rank's assigned edges, the static schedule
+/// of the comm/compute-overlapped march (see [`crate::exec`]).
+#[derive(Debug)]
+pub struct HaloPlan {
+    /// Edges touching only owned cells (indices into
+    /// [`LocalMesh::edge_cells`], original order): runnable with no remote
+    /// dependency, i.e. while halo receives are still outstanding.
+    pub interior: Vec<u32>,
+    /// One gated block per import peer, ascending peer order (parallel to
+    /// [`LocalMesh::imports`]).
+    pub groups: Vec<HaloGroup>,
+}
+
+impl HaloPlan {
+    /// Classify `local`'s edges. Every assigned edge has an owned first
+    /// endpoint, so an edge depends on at most one peer (via its second
+    /// endpoint) and lands in exactly one group — or in `interior`.
+    pub fn build(local: &LocalMesh) -> HaloPlan {
+        let nowned = local.nowned as u32;
+        // Halo local id → index of the group (= import entry) it belongs to.
+        let mut group_of: HashMap<u32, usize> = HashMap::new();
+        for (gi, (_, halos)) in local.imports.iter().enumerate() {
+            for &h in halos {
+                group_of.insert(h, gi);
+            }
+        }
+        let mut interior: Vec<u32> = Vec::new();
+        let mut group_edges: Vec<Vec<u32>> = vec![Vec::new(); local.imports.len()];
+        for (e, &(c1, c2)) in local.edge_cells.iter().enumerate() {
+            assert!(c1 < nowned, "assigned edge with non-owned first endpoint");
+            if c2 < nowned {
+                interior.push(e as u32);
+            } else {
+                let gi = group_of[&c2];
+                group_edges[gi].push(e as u32);
+            }
+        }
+        let groups = local
+            .imports
+            .iter()
+            .zip(group_edges)
+            .map(|((peer, halos), edges)| {
+                let mut slot_of: HashMap<u32, u32> = HashMap::new();
+                let mut merge: Vec<(u32, u32)> = Vec::new();
+                let mut slots: Vec<(u32, u32)> = Vec::with_capacity(edges.len());
+                let mut next = 0u32;
+                let mut slot = |c: u32| {
+                    *slot_of.entry(c).or_insert_with(|| {
+                        let s = next;
+                        next += 1;
+                        if c < nowned {
+                            merge.push((s, c));
+                        }
+                        s
+                    })
+                };
+                for &e in &edges {
+                    let (c1, c2) = local.edge_cells[e as usize];
+                    slots.push((slot(c1), slot(c2)));
+                }
+                let send_slots: Vec<u32> = halos
+                    .iter()
+                    .map(|h| {
+                        *slot_of
+                            .get(h)
+                            .expect("every imported halo cell is touched by a group edge")
+                    })
+                    .collect();
+                HaloGroup {
+                    peer: *peer,
+                    edges,
+                    slots,
+                    nslots: next as usize,
+                    merge,
+                    send_slots,
+                }
+            })
+            .collect();
+        HaloPlan { interior, groups }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -442,6 +553,77 @@ mod tests {
         assert_eq!(l.imports[0].0, 2);
         assert_eq!(l.exports.len(), 1);
         assert_eq!(l.exports[0].0, 0);
+    }
+
+    #[test]
+    fn halo_plan_partitions_edges_and_covers_imports() {
+        let data = mesh_data();
+        for nranks in [2, 3, 4] {
+            let p = Partition::strips(72, nranks);
+            for r in 0..nranks {
+                let l = build_local(&data, &p, r);
+                let plan = HaloPlan::build(&l);
+                // Every assigned edge is in exactly one bucket, order kept.
+                let mut all: Vec<u32> = plan.interior.clone();
+                for g in &plan.groups {
+                    all.extend_from_slice(&g.edges);
+                }
+                all.sort_unstable();
+                assert_eq!(all, (0..l.edge_cells.len() as u32).collect::<Vec<_>>());
+                // Interior edges touch no halo cell.
+                for &e in &plan.interior {
+                    let (c1, c2) = l.edge_cells[e as usize];
+                    assert!((c1 as usize) < l.nowned && (c2 as usize) < l.nowned);
+                }
+                // Groups parallel the import lists and cover every halo cell.
+                assert_eq!(plan.groups.len(), l.imports.len());
+                for (g, (peer, halos)) in plan.groups.iter().zip(&l.imports) {
+                    assert_eq!(g.peer, *peer);
+                    assert_eq!(g.send_slots.len(), halos.len());
+                    for &e in &g.edges {
+                        let c2 = l.edge_cells[e as usize].1;
+                        assert!(halos.contains(&c2), "group edge crosses peers");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn halo_plan_scratch_slots_are_consistent() {
+        let data = mesh_data();
+        let p = Partition::strips(72, 3);
+        for r in 0..3 {
+            let l = build_local(&data, &p, r);
+            let plan = HaloPlan::build(&l);
+            for g in &plan.groups {
+                // Slot per touched cell, stable across the group.
+                let mut cell_of_slot: Vec<Option<u32>> = vec![None; g.nslots];
+                for (&e, &(s1, s2)) in g.edges.iter().zip(&g.slots) {
+                    let (c1, c2) = l.edge_cells[e as usize];
+                    for (s, c) in [(s1, c1), (s2, c2)] {
+                        match cell_of_slot[s as usize] {
+                            None => cell_of_slot[s as usize] = Some(c),
+                            Some(prev) => assert_eq!(prev, c, "slot reused across cells"),
+                        }
+                    }
+                }
+                assert!(cell_of_slot.iter().all(|c| c.is_some()), "unused slot");
+                // Merge entries are exactly the owned-side slots.
+                for &(s, c) in &g.merge {
+                    assert_eq!(cell_of_slot[s as usize], Some(c));
+                    assert!((c as usize) < l.nowned);
+                }
+                let owned_slots =
+                    cell_of_slot.iter().flatten().filter(|&&c| (c as usize) < l.nowned).count();
+                assert_eq!(g.merge.len(), owned_slots);
+                // Send slots point at the halo cells in import order.
+                let halos = &l.imports.iter().find(|(p, _)| *p == g.peer).unwrap().1;
+                for (&s, &h) in g.send_slots.iter().zip(halos.iter()) {
+                    assert_eq!(cell_of_slot[s as usize], Some(h));
+                }
+            }
+        }
     }
 
     #[test]

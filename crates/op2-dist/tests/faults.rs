@@ -16,6 +16,10 @@
 //! * **Recovery** — a forced kill of one rank mid-march restores the last
 //!   consistent checkpoint, re-partitions over the survivors, and finishes
 //!   with results matching a fresh survivors-only run.
+//! * **Overlap under fire** — the futurized march (`DistOptions::overlap`)
+//!   must mask the same fault classes bit-identically, survive a kill that
+//!   lands mid-overlap, and never let a stale-epoch halo payload fire a
+//!   boundary block after recovery.
 
 use op2_airfoil::mesh::MeshData;
 use op2_airfoil::{FlowConstants, MeshBuilder};
@@ -302,6 +306,152 @@ fn kill_with_message_faults_still_replays_bitwise() {
         assert_eq!(bits(&a.final_q), bits(&b.final_q), "seed {seed}\n{hint}");
         assert_eq!(a.rms, b.rms, "seed {seed}\n{hint}");
         assert_eq!(a.recoveries, b.recoveries, "seed {seed}\n{hint}");
+    }
+}
+
+/// Overlap × fault matrix: the seeded drop/duplicate/delay/replay mix must
+/// be masked bit-identically by the *overlapped* march too — `try_recv`
+/// rides the same sequenced, retransmitting links as blocking `recv`, and
+/// boundary blocks fire in whatever order masked messages land without
+/// moving a single bit.
+#[test]
+fn overlapped_march_masks_seeded_faults_bitwise() {
+    let (data, consts, q0) = setup(16, 8);
+    let nranks = 4;
+    let niter = 3;
+    let part = Partition::strips(16 * 8, nranks);
+    let clean = run_distributed_opts(
+        &data,
+        &consts,
+        &q0,
+        &part,
+        niter,
+        1,
+        &DistOptions::default(),
+    )
+    .expect("clean bulk run");
+
+    for seed in seeds_to_run() {
+        let hint = replay_hint(seed);
+        let opts = DistOptions {
+            overlap: true,
+            plan: Some(FaultPlan::seeded(seed)),
+            ..DistOptions::default()
+        };
+        let a = run_distributed_opts(&data, &consts, &q0, &part, niter, 1, &opts)
+            .unwrap_or_else(|e| panic!("overlapped faulty run failed: {e}\n{hint}"));
+        let b = run_distributed_opts(&data, &consts, &q0, &part, niter, 1, &opts)
+            .unwrap_or_else(|e| panic!("overlapped faulty replay failed: {e}\n{hint}"));
+
+        assert_eq!(bits(&a.final_q), bits(&b.final_q), "replay diverged\n{hint}");
+        assert_eq!(
+            a.faults.deterministic_part(),
+            b.faults.deterministic_part(),
+            "fault schedule not replayable under overlap\n{hint}"
+        );
+        assert_eq!(
+            bits(&a.final_q),
+            bits(&clean.final_q),
+            "faults leaked into the overlapped march\n{hint}"
+        );
+        assert_eq!(a.rms, clean.rms, "faults leaked into rms\n{hint}");
+        assert_eq!(a.adt_digest, clean.adt_digest, "adt digest moved\n{hint}");
+        assert_eq!(a.res_digest, clean.res_digest, "res digest moved\n{hint}");
+    }
+}
+
+/// A kill that lands mid-overlap (halo futures outstanding, a pipelined
+/// reduction in flight): the survivors must drop the in-flight state,
+/// restore the newest checkpoint, and finish bit-identical to the
+/// survivors-only reference — same contract as the bulk kill scenario.
+#[test]
+fn kill_mid_overlap_recovers_and_matches_survivors_only_run() {
+    let (data, consts, q0) = setup(24, 12);
+    let ncells = 24 * 12;
+    let niter = 8;
+    let seed_line = "replay: deterministic mid-overlap kill (rank 1 @ iter 5, ckpt every 2)";
+
+    let part = Partition::strips(ncells, 4);
+    let opts = DistOptions {
+        overlap: true,
+        plan: Some(FaultPlan::none().with_kill(1, 5)),
+        checkpoint_every: 2,
+        ..DistOptions::default()
+    };
+    let rep = run_distributed_opts(&data, &consts, &q0, &part, niter, niter, &opts)
+        .unwrap_or_else(|e| panic!("overlapped march did not survive the kill: {e}\n{seed_line}"));
+
+    assert_eq!(rep.recoveries.len(), 1, "{seed_line}");
+    let rec = &rep.recoveries[0];
+    assert_eq!(rec.failed, vec![1], "{seed_line}");
+    assert_eq!(rec.restored_iter, 4, "{seed_line}");
+
+    let pre = run_distributed_opts(
+        &data,
+        &consts,
+        &q0,
+        &part,
+        rec.restored_iter,
+        rec.restored_iter,
+        &DistOptions::default(),
+    )
+    .expect("reference prefix run");
+    let post = run_distributed_opts(
+        &data,
+        &consts,
+        &pre.final_q,
+        &Partition::strips(ncells, rec.survivors.len()),
+        niter - rec.restored_iter,
+        niter - rec.restored_iter,
+        &DistOptions::default(),
+    )
+    .expect("reference survivors-only run");
+    assert_eq!(
+        bits(&rep.final_q),
+        bits(&post.final_q),
+        "overlapped recovery not bit-identical to survivors-only run\n{seed_line}"
+    );
+}
+
+/// Stale-epoch guard at the transport: a halo payload sent *before* a
+/// recovery must never be delivered *after* it — the epoch bump discards
+/// in-flight traffic, so a boundary block can only ever fire on
+/// current-epoch data. The receiver here polls exactly the way the
+/// overlapped march does.
+#[test]
+fn pre_recovery_halo_payload_never_delivered_after_epoch_bump() {
+    use std::time::Duration;
+    let run = Fabric::builder(3)
+        .launch(|comm| match comm.rank() {
+            2 => Err(comm.kill_self()),
+            0 => {
+                // Lands in rank 1's link queue in the pre-recovery epoch.
+                comm.send(1, 9, vec![1.0])?;
+                std::thread::sleep(Duration::from_millis(50));
+                comm.recover()?;
+                comm.send(1, 9, vec![2.0])?;
+                Ok(0.0)
+            }
+            _ => {
+                // Give the stale payload time to land, then re-form without
+                // ever draining it.
+                std::thread::sleep(Duration::from_millis(50));
+                comm.recover()?;
+                loop {
+                    if let Some(p) = comm.try_recv(0, 9)? {
+                        return Ok(p[0]);
+                    }
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            }
+        })
+        .expect("no rank panicked");
+    match &run.results[1] {
+        Ok(v) => assert_eq!(
+            *v, 2.0,
+            "receiver saw the pre-recovery payload after the epoch bump"
+        ),
+        Err(e) => panic!("receiver failed: {e}"),
     }
 }
 

@@ -64,6 +64,11 @@ pub enum EventKind {
     /// A dataflow node was poisoned by an upstream failure without running;
     /// `name` = loop name, `a` = loop instance id (instant).
     Poison = 16,
+    /// A rank idled waiting for halo traffic while overlapped boundary work
+    /// was still gated on outstanding receives; `a` = packed (rank, pending
+    /// peers) (span). Attributed separately from barrier-wait so the
+    /// comm/compute-overlap win is measurable.
+    HaloWait = 17,
 }
 
 impl EventKind {
@@ -87,6 +92,7 @@ impl EventKind {
             EventKind::Rollback => "rollback",
             EventKind::Retry => "retry",
             EventKind::Poison => "poison",
+            EventKind::HaloWait => "halo-wait",
         }
     }
 
@@ -111,6 +117,7 @@ impl EventKind {
             14 => EventKind::Rollback,
             15 => EventKind::Retry,
             16 => EventKind::Poison,
+            17 => EventKind::HaloWait,
             _ => return None,
         })
     }

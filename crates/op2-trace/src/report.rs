@@ -85,6 +85,18 @@ pub struct RunReport {
     pub parks: u64,
     /// Fabric operations recorded (send + recv + barrier + allreduce).
     pub fabric_ops: u64,
+    /// Total time inside fabric send spans (including retry backoff), ns.
+    pub fabric_send_ns: u64,
+    /// Total time blocked inside fabric receive spans, ns.
+    pub fabric_recv_ns: u64,
+    /// Total time held at fabric barriers, ns.
+    pub fabric_barrier_ns: u64,
+    /// Total time inside fabric allreduce spans (gather recvs nest their own
+    /// [`RunReport::fabric_recv_ns`] spans, so don't add the two), ns.
+    pub fabric_allreduce_ns: u64,
+    /// Total time ranks idled polling for halo traffic while overlapped
+    /// boundary work was gated on outstanding receives, ns.
+    pub halo_wait_ns: u64,
     /// Transactional write-set rollbacks recorded.
     pub rollbacks: u64,
     /// Supervisor retry attempts recorded.
@@ -241,10 +253,23 @@ pub fn analyze(t: &Timeline) -> RunReport {
             EventKind::Task => report.tasks += 1,
             EventKind::Steal => report.steals += 1,
             EventKind::Park => report.parks += 1,
-            EventKind::FabricSend
-            | EventKind::FabricRecv
-            | EventKind::FabricBarrier
-            | EventKind::FabricAllreduce => report.fabric_ops += 1,
+            EventKind::FabricSend => {
+                report.fabric_ops += 1;
+                report.fabric_send_ns += e.dur_ns();
+            }
+            EventKind::FabricRecv => {
+                report.fabric_ops += 1;
+                report.fabric_recv_ns += e.dur_ns();
+            }
+            EventKind::FabricBarrier => {
+                report.fabric_ops += 1;
+                report.fabric_barrier_ns += e.dur_ns();
+            }
+            EventKind::FabricAllreduce => {
+                report.fabric_ops += 1;
+                report.fabric_allreduce_ns += e.dur_ns();
+            }
+            EventKind::HaloWait => report.halo_wait_ns += e.dur_ns(),
             EventKind::Rollback => report.rollbacks += 1,
             EventKind::Retry => report.retries += 1,
             EventKind::Poison => report.poisons += 1,
@@ -320,6 +345,15 @@ impl RunReport {
         self.barrier_blocked_ns
     }
 
+    /// Distributed communication wait: blocking receive + barrier + halo
+    /// polling time across all ranks. Allreduce spans are excluded because a
+    /// blocking allreduce nests its gather receives, which are already
+    /// counted in [`RunReport::fabric_recv_ns`] — adding both would double
+    /// count. This is the number the overlapped march must shrink.
+    pub fn comm_wait_ns(&self) -> u64 {
+        self.fabric_recv_ns + self.fabric_barrier_ns + self.halo_wait_ns
+    }
+
     /// Plain-text per-loop report.
     pub fn render(&self) -> String {
         let mut out = String::new();
@@ -349,6 +383,16 @@ impl RunReport {
             self.fabric_ops,
             self.dropped
         ));
+        if self.fabric_ops > 0 || self.halo_wait_ns > 0 {
+            out.push_str(&format!(
+                "fabric wait: recv {:.3} ms | barrier {:.3} ms | halo {:.3} ms | send {:.3} ms | allreduce {:.3} ms\n",
+                ms(self.fabric_recv_ns),
+                ms(self.fabric_barrier_ns),
+                ms(self.halo_wait_ns),
+                ms(self.fabric_send_ns),
+                ms(self.fabric_allreduce_ns)
+            ));
+        }
         if self.rollbacks + self.retries + self.poisons > 0 {
             out.push_str(&format!(
                 "recovery: rollbacks {} | retries {} | poisoned nodes {}\n",

@@ -261,6 +261,30 @@ impl SweApp {
         reports
     }
 
+    /// [`SweApp::run`] in single-threaded *natural* iteration order
+    /// (`op2_core::serial::execute_natural`): every loop visits its set in
+    /// ascending index order, no coloring. This is the order the 1-rank
+    /// distributed march uses, so it serves as the bitwise oracle for
+    /// `op2-dist`'s shallow-water driver.
+    pub fn run_natural(&self, steps: usize, report_every: usize) -> Vec<(usize, f64, f64)> {
+        use op2_core::serial::execute_natural;
+        let ncells = self.mesh.ncells() as f64;
+        let mut reports = Vec::new();
+        for step in 1..=steps {
+            execute_natural(&self.save);
+            let smax = execute_natural(&self.dt_calc)[0];
+            let dt = self.cfl * self.min_len / smax.max(1e-12);
+            self.dt_bits.store(dt.to_bits(), Ordering::Release);
+            execute_natural(&self.flux);
+            execute_natural(&self.bflux);
+            let rms = execute_natural(&self.update)[0];
+            if step % report_every.max(1) == 0 || step == steps {
+                reports.push((step, dt, (rms / ncells).sqrt()));
+            }
+        }
+        reports
+    }
+
     /// Gravity in use.
     pub fn gravity(&self) -> f64 {
         self.g

@@ -17,7 +17,7 @@
 //!   dependency DAG orders everything and the driver only synchronizes when
 //!   it *reads* the RMS at report points.
 
-use op2_hpx::{BackendKind, Executor, LoopHandle};
+use op2_hpx::{BackendKind, Executor, LoopError, LoopHandle, Supervisor};
 
 use crate::constants::FlowConstants;
 use crate::loops::AirfoilLoops;
@@ -111,6 +111,38 @@ impl Simulation {
         }
         self.exec.fence();
         reports
+    }
+
+    /// [`Simulation::run`] as a *submittable job*: every loop executes
+    /// through the recovery [`Supervisor`] (rollback → retry → backend
+    /// degradation → circuit breaker), and the first unrecovered failure —
+    /// including a job-level cancellation or deadline armed on the
+    /// supervisor's runtime token — surfaces as a typed [`LoopError`]
+    /// instead of a panic. Synchronization is blocking, so the reports are
+    /// bit-identical to [`SyncStrategy::Blocking`] on any backend.
+    pub fn run_supervised(
+        &self,
+        sup: &Supervisor,
+        niter: usize,
+        report_every: usize,
+    ) -> Result<Vec<(usize, f64)>, LoopError> {
+        let l = &self.loops;
+        let ncells = self.mesh.ncells() as f64;
+        let mut reports = Vec::new();
+        for iter in 1..=niter {
+            sup.run(&l.save_soln)?;
+            let mut rms = 0.0;
+            for _k in 0..2 {
+                sup.run(&l.adt_calc)?;
+                sup.run(&l.res_calc)?;
+                sup.run(&l.bres_calc)?;
+                rms += sup.run(&l.update)?[0];
+            }
+            if iter % report_every.max(1) == 0 || iter == niter {
+                reports.push((iter, (rms / ncells).sqrt()));
+            }
+        }
+        Ok(reports)
     }
 
     /// One iteration, waiting on every loop (the unchanged OP2 program).

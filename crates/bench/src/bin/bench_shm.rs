@@ -1,0 +1,146 @@
+//! Shared-memory baseline: per-backend airfoil wall time plus the service
+//! layer's job-latency distribution under a fixed mixed workload, exported
+//! as `results/BENCH_shm.json` (the checked-in seed baseline; see
+//! EXPERIMENTS.md for the schema).
+//!
+//! Usage: `bench_shm [OUT_DIR]` (default: `results/`). The two halves
+//! answer different questions: the solo sweep measures what one tenant
+//! costs on each backend, the service run measures what that tenant pays
+//! (p50/p95/p99) when it shares the pool with a fixed, reproducible mix of
+//! co-tenants — the uncontended-vs-contended comparison the overload tests
+//! assert bounds on.
+
+use std::time::Instant;
+
+use op2_hpx::{BackendKind, RetryPolicy};
+use op2_serve::{apps, JobSpec, PoolMode, Priority, ServeOptions, Service};
+use serde::Value;
+
+/// Airfoil configuration for the solo sweep (matches dist_overlap's mesh).
+const SOLO: (usize, usize, usize) = (48, 24, 4);
+const SOLO_THREADS: usize = 4;
+const PART_SIZE: usize = 64;
+const REPEATS: usize = 3;
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Object(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+/// Best-of-`REPEATS` wall time for one solo airfoil march on `kind`.
+fn solo_backend(kind: BackendKind) -> Value {
+    let (imax, jmax, niter) = SOLO;
+    let mut best_ns = u64::MAX;
+    let mut digest = 0u64;
+    for _ in 0..REPEATS {
+        let t0 = Instant::now();
+        let out = apps::run_solo(
+            apps::airfoil_program(imax, jmax, niter),
+            SOLO_THREADS,
+            PART_SIZE,
+            kind,
+            RetryPolicy::default(),
+        )
+        .expect("solo airfoil march");
+        best_ns = best_ns.min(t0.elapsed().as_nanos() as u64);
+        digest = out.digest;
+    }
+    println!("{:<18} best {:>9.3} ms (digest {digest:#018x})", kind.to_string(), best_ns as f64 / 1e6);
+    obj(vec![
+        ("backend", Value::Str(kind.to_string())),
+        ("wall_ns", Value::UInt(best_ns)),
+        ("digest", Value::Str(format!("{digest:#018x}"))),
+    ])
+}
+
+/// The fixed mixed workload: three tenants with different weights,
+/// priorities, and programs, interleaved round-robin. Deterministic by
+/// construction — no clocks or RNG decide what gets submitted.
+fn service_mixed() -> Value {
+    let svc = Service::start(
+        ServeOptions::default()
+            .workers(4)
+            .pool(PoolMode::Shared { threads: 4 })
+            .part_size(PART_SIZE)
+            .max_queue(256)
+            .backend(BackendKind::Dataflow)
+            .tenant_weight("alpha", 2),
+    );
+    let mut handles = Vec::new();
+    for round in 0..12 {
+        handles.push(svc.submit(
+            JobSpec::new(format!("air-a-{round}"), apps::airfoil_program(24, 12, 3))
+                .tenant("alpha")
+                .priority(Priority::High)
+                .cost(2.0),
+        ));
+        handles.push(svc.submit(
+            JobSpec::new(format!("swe-b-{round}"), apps::swe_program(24, 12, 4))
+                .tenant("beta")
+                .priority(Priority::Normal),
+        ));
+        handles.push(svc.submit(
+            JobSpec::new(format!("air-c-{round}"), apps::airfoil_program(16, 8, 2))
+                .tenant("gamma")
+                .priority(Priority::Low),
+        ));
+    }
+    for h in &handles {
+        assert!(h.wait().is_completed(), "mixed workload job failed: {}", h.name());
+    }
+    let rep = svc.drain();
+    assert!(rep.is_conserved(), "{rep:?}");
+    println!(
+        "service mixed     p50 {:>7.3} ms | p95 {:>7.3} ms | p99 {:>7.3} ms | {:.1} jobs/s | plans {} built / {} topo hits",
+        rep.latency.p50_ms,
+        rep.latency.p95_ms,
+        rep.latency.p99_ms,
+        rep.throughput_jps,
+        rep.plan_builds,
+        rep.plan_topo_hits,
+    );
+    obj(vec![
+        ("jobs", Value::UInt(rep.accepted)),
+        ("completed", Value::UInt(rep.completed)),
+        ("shed", Value::UInt(rep.shed)),
+        ("queue_peak", Value::UInt(rep.queue_peak as u64)),
+        ("p50_ms", Value::Float(rep.latency.p50_ms)),
+        ("p95_ms", Value::Float(rep.latency.p95_ms)),
+        ("p99_ms", Value::Float(rep.latency.p99_ms)),
+        ("mean_ms", Value::Float(rep.latency.mean_ms)),
+        ("max_ms", Value::Float(rep.latency.max_ms)),
+        ("throughput_jps", Value::Float(rep.throughput_jps)),
+        ("plan_builds", Value::UInt(rep.plan_builds as u64)),
+        ("plan_topo_hits", Value::UInt(rep.plan_topo_hits as u64)),
+    ])
+}
+
+fn main() {
+    let out_dir = std::env::args().nth(1).unwrap_or_else(|| "results".into());
+    std::fs::create_dir_all(&out_dir).expect("create output dir");
+
+    let (imax, jmax, niter) = SOLO;
+    println!("# airfoil {imax}x{jmax}, {niter} iters, {SOLO_THREADS} threads, best of {REPEATS}");
+    let backends: Vec<Value> = BackendKind::all().into_iter().map(solo_backend).collect();
+
+    println!("# service: 36 mixed jobs, 3 tenants, 4 workers on 4 shared threads");
+    let service = service_mixed();
+
+    let doc = obj(vec![
+        ("bench", Value::Str("bench_shm".into())),
+        (
+            "solo_airfoil",
+            obj(vec![
+                ("mesh", Value::Str(format!("{imax}x{jmax}"))),
+                ("iters", Value::UInt(niter as u64)),
+                ("threads", Value::UInt(SOLO_THREADS as u64)),
+                ("repeats", Value::UInt(REPEATS as u64)),
+                ("runs", Value::Array(backends)),
+            ]),
+        ),
+        ("service_mixed", service),
+    ]);
+    let path = format!("{out_dir}/BENCH_shm.json");
+    std::fs::write(&path, serde_json::to_string(&doc).expect("serialize"))
+        .expect("write BENCH_shm.json");
+    println!("-> {path}");
+}

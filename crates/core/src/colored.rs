@@ -261,10 +261,10 @@ mod tests {
     }
 
     #[test]
-    fn blocking_matches_serial_plan_order() {
+    fn blocking_matches_serial_plan_order() -> Result<(), op2_core::PlanError> {
         let (l, res) = chain_loop(500);
         let plan = Arc::new(Plan::build(l.set(), l.args(), 16));
-        plan.validate(l.args()).unwrap();
+        plan.validate(l.args())?;
         let pool = ThreadPool::new(4);
         let gbl = run_colored(&pool, &l, &plan, ChunkSize::Default, None);
         assert_eq!(gbl, vec![500.0]);
@@ -276,6 +276,7 @@ mod tests {
         let gbl2 = serial::execute_plan_order(&l2, &plan2);
         assert_eq!(gbl2, vec![500.0]);
         assert_eq!(got, res2.to_vec());
+        Ok(())
     }
 
     #[test]
@@ -313,14 +314,41 @@ mod tests {
     #[test]
     fn task_variant_panic_propagates() {
         let cells = Set::new("cells", 10);
+        // Raise a *typed* failure payload rather than a bare string panic:
+        // this is what kernels that want provenance preserved should do,
+        // and what every catcher (supervisor, handles) downcasts for.
         let l = ParLoop::build("bad", &cells).kernel(|e, _| {
             if e == 5 {
-                panic!("kernel panic");
+                std::panic::panic_any(hpx_rt::TaskPanic {
+                    message: "injected kernel failure".into(),
+                    element: Some(e),
+                    context: Some("bad".into()),
+                });
             }
         });
         let plan = Arc::new(Plan::build(l.set(), l.args(), 2));
         let pool: Arc<dyn Pool> = Arc::new(ThreadPool::new(1));
-        let fut = run_colored_task(&pool, &l, &plan, ChunkSize::Default, None, None);
-        assert!(std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| fut.get())).is_err());
+        let fail = FailSlot::default();
+        let fut = run_colored_task(&pool, &l, &plan, ChunkSize::Default, None, Some(fail.clone()));
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| fut.get())) {
+            Ok(gbl) => panic!("kernel panic must propagate, got {gbl:?}"),
+            Err(payload) => {
+                // The future layer transports a rendered message; the typed
+                // provenance rides the fail slot (what the supervisor reads).
+                let msg = payload
+                    .downcast_ref::<String>()
+                    .unwrap_or_else(|| panic!("future payload must be the rendered message"));
+                assert!(msg.contains("injected kernel failure"), "{msg}");
+                assert!(msg.contains("element 5"), "{msg}");
+            }
+        }
+        let parked = fail.lock().take();
+        match parked {
+            Some(FailureKind::KernelPanic { message, element }) => {
+                assert_eq!(element, Some(5));
+                assert!(message.contains("injected kernel failure"), "{message}");
+            }
+            other => panic!("fail slot must hold the typed failure, got {other:?}"),
+        }
     }
 }

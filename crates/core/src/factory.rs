@@ -123,11 +123,11 @@ mod tests {
     use super::*;
 
     #[test]
-    fn parse_roundtrip() {
+    fn parse_roundtrip() -> Result<(), FactoryError> {
         for kind in BackendKind::all() {
             let shown = kind.to_string();
-            let base = shown.split('(').next().unwrap();
-            let parsed = BackendKind::parse(base).unwrap();
+            let base = shown.split('(').next().unwrap_or(shown.as_str());
+            let parsed = BackendKind::try_parse(base)?;
             // ForEachStatic loses its parameter through Display; kinds match
             // up to parameters.
             assert_eq!(
@@ -136,9 +136,14 @@ mod tests {
             );
         }
         assert!(BackendKind::parse("nonsense").is_none());
-        let err = BackendKind::try_parse("nonsense").unwrap_err();
-        assert!(err.to_string().contains("nonsense"));
-        assert!(err.to_string().contains("dataflow"));
+        match BackendKind::try_parse("nonsense") {
+            Err(err) => {
+                assert!(err.to_string().contains("nonsense"));
+                assert!(err.to_string().contains("dataflow"));
+            }
+            Ok(kind) => panic!("'nonsense' must not parse, got {kind}"),
+        }
+        Ok(())
     }
 
     #[test]

@@ -154,7 +154,7 @@ mod tests {
     }
 
     #[test]
-    fn fused_matches_sequential_bitwise() {
+    fn fused_matches_sequential_bitwise() -> Result<(), FusionError> {
         // Unfused reference.
         let (_s, a_ref, b_ref, l1, l2) = fixture();
         let rt = Arc::new(Op2Runtime::new(2, 32));
@@ -164,7 +164,7 @@ mod tests {
 
         // Fused run on fresh data.
         let (_s, a_f, b_f, f1, f2) = fixture();
-        let fused = fuse_direct(&f1, &f2).expect("fusible");
+        let fused = try_fuse_direct(&f1, &f2)?;
         assert_eq!(fused.gbl_dim(), 2);
         let exec = make_executor(BackendKind::ForkJoin, rt);
         let g = exec.execute(&fused).get();
@@ -175,10 +175,11 @@ mod tests {
         let bits = |d: &Dat<f64>| d.to_vec().into_iter().map(f64::to_bits).collect::<Vec<_>>();
         assert_eq!(bits(&a_f), bits(&a_ref));
         assert_eq!(bits(&b_f), bits(&b_ref));
+        Ok(())
     }
 
     #[test]
-    fn fused_works_on_every_backend() {
+    fn fused_works_on_every_backend() -> Result<(), FusionError> {
         let reference = {
             let (_s, a, _b, l1, l2) = fixture();
             let rt = Arc::new(Op2Runtime::new(1, 32));
@@ -189,7 +190,7 @@ mod tests {
         };
         for kind in [BackendKind::ForkJoin, BackendKind::Async, BackendKind::Dataflow] {
             let (_s, a, _b, l1, l2) = fixture();
-            let fused = fuse_direct(&l1, &l2).unwrap();
+            let fused = try_fuse_direct(&l1, &l2)?;
             let rt = Arc::new(Op2Runtime::new(3, 32));
             let exec = make_executor(kind, rt);
             let h = exec.execute(&fused);
@@ -201,6 +202,7 @@ mod tests {
                 "{kind}"
             );
         }
+        Ok(())
     }
 
     #[test]
@@ -235,20 +237,21 @@ mod tests {
     }
 
     #[test]
-    fn refuses_mixed_reduction_ops() {
+    fn refuses_mixed_reduction_ops() -> Result<(), FusionError> {
         let s = Set::new("s", 10);
         let lmin = ParLoop::build("a", &s).gbl_min(1).kernel(|_, _| {});
         let lsum = ParLoop::build("b", &s).gbl_inc(1).kernel(|_, _| {});
         assert!(fuse_direct(&lmin, &lsum).is_none());
-        assert_eq!(
-            try_fuse_direct(&lmin, &lsum).unwrap_err(),
-            FusionError::MixedReductionOps
-        );
+        assert!(matches!(
+            try_fuse_direct(&lmin, &lsum),
+            Err(FusionError::MixedReductionOps)
+        ));
         // Same op is fine.
         let lmin2 = ParLoop::build("c", &s).gbl_min(2).kernel(|_, _| {});
-        let f = fuse_direct(&lmin, &lmin2).unwrap();
+        let f = try_fuse_direct(&lmin, &lmin2)?;
         assert_eq!(f.gbl_dim(), 3);
         assert_eq!(f.gbl_op(), GblOp::Min);
+        Ok(())
     }
 
     #[test]

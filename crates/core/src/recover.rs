@@ -26,7 +26,7 @@
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use hpx_rt::future::PanicPayload;
 use hpx_rt::{CancelReason, Cancelled, TaskPanic};
@@ -300,6 +300,14 @@ impl std::fmt::Display for FenceReport {
 
 impl std::error::Error for FenceReport {}
 
+/// The tighter of two optional deadlines.
+fn min_deadline(a: Option<Instant>, b: Option<Instant>) -> Option<Instant> {
+    match (a, b) {
+        (Some(a), Some(b)) => Some(a.min(b)),
+        (a, b) => a.or(b),
+    }
+}
+
 /// Retry/degradation policy for a [`Supervisor`].
 #[derive(Debug, Clone)]
 pub struct RetryPolicy {
@@ -394,6 +402,11 @@ impl Supervisor {
     pub fn run(&self, loop_: &ParLoop) -> Result<Vec<f64>, LoopError> {
         let mut last: Option<LoopError> = None;
         let token = self.rt.cancel_token().clone();
+        // The runtime token may carry *job-level* state armed by a service
+        // (a cancel flag from `try_cancel`, a deadline from the job budget).
+        // Both are sticky: an explicit cancel terminates the ladder, and the
+        // job deadline is restored after every attempt tightens it.
+        let job_deadline = token.deadline();
         for (rung, kind) in self.ladder.iter().enumerate() {
             for attempt in 0..=self.policy.max_retries {
                 // A fresh executor per *attempt*: a failed async attempt must
@@ -407,16 +420,17 @@ impl Supervisor {
                         LoopError::new(loop_.name(), "supervisor", FailureKind::CircuitOpen, false)
                     }));
                 }
+                if let Some(e) = self.job_abandoned(loop_, &token, job_deadline) {
+                    return Err(e);
+                }
                 if rung > 0 || attempt > 0 {
                     tracehooks::retry(loop_.name(), attempt as u64, rung as u64);
                 }
                 if attempt > 0 && !self.policy.backoff.is_zero() {
                     std::thread::sleep(self.policy.backoff * attempt as u32);
                 }
-                token.clear();
-                if let Some(d) = self.policy.deadline {
-                    token.deadline_after(d);
-                }
+                let attempt_deadline = self.policy.deadline.map(|d| Instant::now() + d);
+                token.set_deadline_opt(min_deadline(job_deadline, attempt_deadline));
                 let result = exec
                     .try_execute(loop_)
                     .and_then(|h| h.try_get())
@@ -426,7 +440,7 @@ impl Supervisor {
                             LoopError::new(loop_.name(), exec.name(), FailureKind::CircuitOpen, false)
                         })),
                     });
-                token.clear();
+                token.set_deadline_opt(job_deadline);
                 match result {
                     Ok(gbl) => return Ok(gbl),
                     Err(e) => {
@@ -435,10 +449,38 @@ impl Supervisor {
                         let _ = exec.try_fence();
                         let _ = self.spend_quota();
                         last = Some(e);
+                        // Retrying past the *job's* cancel/deadline is
+                        // pointless: surface the abandonment now.
+                        if let Some(e) = self.job_abandoned(loop_, &token, job_deadline) {
+                            return Err(e);
+                        }
                     }
                 }
             }
         }
         Err(last.expect("ladder is non-empty, so at least one attempt ran"))
+    }
+
+    /// Terminal job-level abandonment: an external cancel, or an expired
+    /// *job* deadline (per-attempt deadline expiry, by contrast, is retried).
+    fn job_abandoned(
+        &self,
+        loop_: &ParLoop,
+        token: &hpx_rt::CancelToken,
+        job_deadline: Option<Instant>,
+    ) -> Option<LoopError> {
+        let reason = if token.is_cancelled() {
+            CancelReason::Cancelled
+        } else if job_deadline.is_some_and(|d| Instant::now() >= d) {
+            CancelReason::DeadlineExpired
+        } else {
+            return None;
+        };
+        Some(LoopError::new(
+            loop_.name(),
+            "supervisor",
+            FailureKind::Cancelled(reason),
+            false,
+        ))
     }
 }

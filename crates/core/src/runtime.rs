@@ -15,7 +15,7 @@ pub use op2_core::plan::DEFAULT_PART_SIZE;
 /// caches `op_plan`s).
 pub struct Op2Runtime {
     pool: Arc<dyn Pool>,
-    plans: PlanCache,
+    plans: Arc<PlanCache>,
     part_size: usize,
     cancel: CancelToken,
 }
@@ -41,9 +41,23 @@ impl Op2Runtime {
 
     /// Runtime over an explicit pool (e.g. a shared or custom-built one).
     pub fn from_pool(pool: Arc<dyn Pool>, part_size: usize) -> Self {
+        Self::from_pool_with_cache(pool, Arc::new(PlanCache::new()), part_size)
+    }
+
+    /// Runtime over an explicit pool **and** a shared plan cache. A
+    /// multi-tenant service hands every job's runtime the same cache, so
+    /// repeated jobs over structurally-identical meshes skip plan
+    /// construction entirely (content-addressed, single-flight — see
+    /// [`PlanCache`]); each runtime still gets its own [`CancelToken`], so
+    /// cancellation stays per-job.
+    pub fn from_pool_with_cache(
+        pool: Arc<dyn Pool>,
+        plans: Arc<PlanCache>,
+        part_size: usize,
+    ) -> Self {
         Op2Runtime {
             pool,
-            plans: PlanCache::new(),
+            plans,
             part_size: part_size.max(1),
             cancel: CancelToken::new(),
         }
@@ -98,6 +112,12 @@ impl Op2Runtime {
     /// Number of distinct plans built so far (observability/tests).
     pub fn plans_built(&self) -> usize {
         self.plans.len()
+    }
+
+    /// The plan cache backing this runtime (shared across runtimes when
+    /// constructed via [`Op2Runtime::from_pool_with_cache`]).
+    pub fn plan_cache(&self) -> &Arc<PlanCache> {
+        &self.plans
     }
 }
 

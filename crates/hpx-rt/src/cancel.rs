@@ -81,6 +81,19 @@ impl CancelToken {
         self.set_deadline(Instant::now() + d);
     }
 
+    /// The currently-armed deadline, if any. A supervisor snapshots this
+    /// before tightening the deadline for one attempt, then restores it —
+    /// composing a job-level deadline with per-attempt ones.
+    pub fn deadline(&self) -> Option<Instant> {
+        *self.inner.deadline.lock()
+    }
+
+    /// Set or clear the deadline (the `Option` form of
+    /// [`CancelToken::set_deadline`]); the cancel flag is untouched.
+    pub fn set_deadline_opt(&self, deadline: Option<Instant>) {
+        *self.inner.deadline.lock() = deadline;
+    }
+
     /// Reset the token: clears both the cancel flag and any deadline, so the
     /// token can be reused for the next attempt.
     pub fn clear(&self) {

@@ -88,6 +88,12 @@ impl Map {
         &self.inner.table[e * d..(e + 1) * d]
     }
 
+    /// The full row-major connectivity table (entry `e * dim + j` is the
+    /// `j`-th target of element `e`) — content addressing for plan caches.
+    pub fn table(&self) -> &[u32] {
+        &self.inner.table
+    }
+
     /// Arity of the map.
     pub fn dim(&self) -> usize {
         self.inner.dim

@@ -15,7 +15,9 @@
 //! [`PlanKey`] — OP2 does exactly the same across time-march iterations.
 
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 
 use parking_lot::Mutex;
@@ -346,10 +348,63 @@ impl PlanKey {
     }
 }
 
-/// Thread-safe memoization of plans across loop invocations.
+/// Content hash of the *topology* a plan depends on: the iteration-set size,
+/// the block size, and — per argument — the access mode, map slot, and the
+/// full **contents** of any indirection table. Two loops on distinct mesh
+/// objects with identical connectivity hash identically, so a service that
+/// runs many jobs over copies of the same mesh builds each plan once.
+///
+/// Dat identities are deliberately excluded: a [`Plan`] is pure index data
+/// (blocks + colors) derived from the indirect-write footprint, never from
+/// the values or identity of the dats flowing through it.
+pub fn topology_hash(
+    set: &Set,
+    args: &[ArgSpec],
+    part_size: usize,
+    map_hash: &mut impl FnMut(&crate::map::Map) -> u64,
+) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    set.size().hash(&mut h);
+    part_size.hash(&mut h);
+    args.len().hash(&mut h);
+    for a in args {
+        a.access.op2_name().hash(&mut h);
+        match &a.map_ref {
+            MapRef::Direct => u64::MAX.hash(&mut h),
+            MapRef::Indirect { map, idx } => {
+                idx.hash(&mut h);
+                map_hash(map).hash(&mut h);
+            }
+        }
+    }
+    h.finish()
+}
+
+/// One memoization slot: racing callers share the slot and block in
+/// [`OnceLock::get_or_init`] while the first builds — **single-flight**
+/// construction, no thundering-herd rebuilds.
+type PlanSlot = Arc<OnceLock<Arc<Plan>>>;
+
+/// Thread-safe memoization of plans across loop invocations, in two tiers:
+///
+/// * **identity tier** — keyed by [`PlanKey`] (set/map object ids): the fast
+///   path for the thousands of identical invocations of one time-march;
+/// * **topology tier** — keyed by [`topology_hash`] (content hash of set
+///   size, block size, access shape, and map tables): repeated *jobs* over
+///   structurally-identical meshes reuse each other's plans even though
+///   every job declared fresh set/map objects.
+///
+/// Construction is single-flight: concurrent misses on the same topology
+/// block on one builder instead of all building ([`PlanCache::builds`]
+/// counts actual constructions, which tests pin to 1 under races).
 #[derive(Default)]
 pub struct PlanCache {
     plans: Mutex<HashMap<PlanKey, Arc<Plan>>>,
+    topo: Mutex<HashMap<u64, PlanSlot>>,
+    /// Memoized content hash per map identity (tables are immutable).
+    map_hashes: Mutex<HashMap<u64, u64>>,
+    builds: AtomicUsize,
+    topo_hits: AtomicUsize,
 }
 
 impl PlanCache {
@@ -364,14 +419,38 @@ impl PlanCache {
         if let Some(p) = self.plans.lock().get(&key) {
             return Arc::clone(p);
         }
-        // Build outside the lock (plans can be slow); racing builders agree
-        // on the result, last insert wins.
-        let plan = Arc::new(Plan::build(set, args, part_size));
+        // Identity miss: fall through to the content-addressed tier.
+        let topo = topology_hash(set, args, part_size, &mut |m| self.hash_map_table(m));
+        let slot = Arc::clone(self.topo.lock().entry(topo).or_default());
+        let mut built_here = false;
+        let plan = Arc::clone(slot.get_or_init(|| {
+            built_here = true;
+            self.builds.fetch_add(1, Ordering::Relaxed);
+            Arc::new(Plan::build(set, args, part_size))
+        }));
+        if !built_here {
+            self.topo_hits.fetch_add(1, Ordering::Relaxed);
+        }
         self.plans.lock().insert(key, Arc::clone(&plan));
         plan
     }
 
-    /// Number of distinct plans built so far.
+    /// Content hash of `map`'s table, memoized by map identity.
+    fn hash_map_table(&self, map: &crate::map::Map) -> u64 {
+        if let Some(h) = self.map_hashes.lock().get(&map.id()) {
+            return *h;
+        }
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        map.dim().hash(&mut h);
+        map.from_set().size().hash(&mut h);
+        map.to_set().size().hash(&mut h);
+        map.table().hash(&mut h);
+        let digest = h.finish();
+        self.map_hashes.lock().insert(map.id(), digest);
+        digest
+    }
+
+    /// Number of distinct loop shapes seen so far (identity tier).
     pub fn len(&self) -> usize {
         self.plans.lock().len()
     }
@@ -379,6 +458,18 @@ impl PlanCache {
     /// True if no plan has been cached yet.
     pub fn is_empty(&self) -> bool {
         self.plans.lock().is_empty()
+    }
+
+    /// Number of plans actually constructed (≤ [`PlanCache::len`] when
+    /// topology sharing or single-flight collapsing kicked in).
+    pub fn builds(&self) -> usize {
+        self.builds.load(Ordering::Relaxed)
+    }
+
+    /// Identity-tier misses served from the topology tier (a warm service
+    /// reports these as plan-cache hits).
+    pub fn topo_hits(&self) -> usize {
+        self.topo_hits.load(Ordering::Relaxed)
     }
 }
 

@@ -1,0 +1,170 @@
+//! Plan-cache correctness: a cached (content-addressed) plan must be
+//! **bit-identical** to cold construction — same blocks, same coloring,
+//! same color schedule — and the single-flight gate must build a given
+//! topology exactly once even when jobs race for it.
+//!
+//! Meshes are generated from `DET_SEED`-style seeds (16 by default, one
+//! specific seed with `DET_SEED=n`), so a failing seed reproduces exactly.
+
+use std::sync::{Arc, Barrier};
+
+use op2_core::{arg_direct, arg_indirect, Access, Dat, Map, Plan, PlanCache, Set};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// The seeds under test: `DET_SEED` pins one, otherwise 16 defaults.
+fn seeds() -> Vec<u64> {
+    match std::env::var("DET_SEED").ok().and_then(|s| s.parse().ok()) {
+        Some(s) => vec![s],
+        None => (0..16).map(|i| 0xC0FFEE + 7 * i).collect(),
+    }
+}
+
+/// A random edges→cells topology: sizes, map table, and part size are all
+/// functions of `seed`. Returns structurally identical but *identity
+/// distinct* objects on every call — exactly what two independent jobs
+/// building "the same" mesh look like to the cache.
+struct Topo {
+    edges: Set,
+    map: Map,
+    res: Dat<f64>,
+    x: Dat<f64>,
+    part_size: usize,
+}
+
+fn build_topo(seed: u64) -> Topo {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let ncells = rng.gen_range(20..200);
+    let nedges = rng.gen_range(30..400);
+    let cells = Set::new("cells", ncells);
+    let edges = Set::new("edges", nedges);
+    let table: Vec<u32> = (0..nedges * 2)
+        .map(|_| rng.gen_range(0..ncells as u32))
+        .collect();
+    let map = Map::new("e2c", &edges, &cells, 2, table);
+    let res = Dat::filled("res", &cells, 1, 0.0f64);
+    let x = Dat::filled("x", &edges, 1, 1.0f64);
+    let part_size = rng.gen_range(4..64);
+    Topo {
+        edges,
+        map,
+        res,
+        x,
+        part_size,
+    }
+}
+
+fn args_of(t: &Topo) -> Vec<op2_core::ArgSpec> {
+    vec![
+        arg_direct(&t.x, Access::Read),
+        arg_indirect(&t.res, 0, &t.map, Access::Inc),
+        arg_indirect(&t.res, 1, &t.map, Access::Inc),
+    ]
+}
+
+fn assert_plans_identical(a: &Plan, b: &Plan, seed: u64) {
+    assert_eq!(a.set_size, b.set_size, "seed {seed}: set_size");
+    assert_eq!(a.part_size, b.part_size, "seed {seed}: part_size");
+    assert_eq!(a.blocks, b.blocks, "seed {seed}: block ranges");
+    assert_eq!(a.block_colors, b.block_colors, "seed {seed}: coloring");
+    assert_eq!(a.ncolors, b.ncolors, "seed {seed}: ncolors");
+    assert_eq!(a.color_blocks, b.color_blocks, "seed {seed}: color schedule");
+}
+
+#[test]
+fn cached_plan_bit_identical_to_cold_construction() {
+    for seed in seeds() {
+        // Cold: direct construction, no cache involved.
+        let t_cold = build_topo(seed);
+        let cold = Plan::build(&t_cold.edges, &args_of(&t_cold), t_cold.part_size);
+
+        // Warm the cache with one structurally identical mesh...
+        let cache = PlanCache::new();
+        let t1 = build_topo(seed);
+        let p1 = cache.get(&t1.edges, &args_of(&t1), t1.part_size);
+        assert_eq!(cache.builds(), 1, "seed {seed}: first get must build");
+
+        // ...then hit it from a second, identity-distinct mesh.
+        let t2 = build_topo(seed);
+        let p2 = cache.get(&t2.edges, &args_of(&t2), t2.part_size);
+        assert_eq!(
+            cache.builds(),
+            1,
+            "seed {seed}: topologically identical mesh must not rebuild"
+        );
+        assert!(cache.topo_hits() >= 1, "seed {seed}: expected a topo hit");
+        assert!(
+            Arc::ptr_eq(&p1, &p2),
+            "seed {seed}: topo hit must share the same Arc"
+        );
+
+        assert_plans_identical(&cold, &p1, seed);
+        assert_plans_identical(&cold, &p2, seed);
+    }
+}
+
+#[test]
+fn identity_tier_still_hits_without_topo_rehash() {
+    for seed in seeds().into_iter().take(4) {
+        let cache = PlanCache::new();
+        let t = build_topo(seed);
+        let args = args_of(&t);
+        let p1 = cache.get(&t.edges, &args, t.part_size);
+        let hits_after_first = cache.topo_hits();
+        let p2 = cache.get(&t.edges, &args, t.part_size);
+        assert!(Arc::ptr_eq(&p1, &p2));
+        // The repeat went through the identity tier: no extra topo hit.
+        assert_eq!(cache.topo_hits(), hits_after_first, "seed {seed}");
+        assert_eq!(cache.builds(), 1, "seed {seed}");
+    }
+}
+
+#[test]
+fn different_part_size_is_a_different_plan() {
+    let t = build_topo(1);
+    let cache = PlanCache::new();
+    let p1 = cache.get(&t.edges, &args_of(&t), 8);
+    let p2 = cache.get(&t.edges, &args_of(&t), 16);
+    assert!(!Arc::ptr_eq(&p1, &p2));
+    assert_eq!(cache.builds(), 2);
+}
+
+/// Two jobs racing to build the same topology: the single-flight gate must
+/// run construction exactly once, and both racers must observe the same
+/// plan (bit-identical by Arc identity).
+#[test]
+fn racing_jobs_single_flight_build() {
+    for seed in seeds() {
+        let cache = Arc::new(PlanCache::new());
+        let barrier = Arc::new(Barrier::new(2));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let cache = Arc::clone(&cache);
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    // Each "job" builds its own identity-distinct mesh of
+                    // the same topology, then races into the cache.
+                    let t = build_topo(seed);
+                    let args = args_of(&t);
+                    barrier.wait();
+                    cache.get(&t.edges, &args, t.part_size)
+                })
+            })
+            .collect();
+        let plans: Vec<Arc<Plan>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert_eq!(
+            cache.builds(),
+            1,
+            "seed {seed}: racing gets must single-flight into one build"
+        );
+        assert!(
+            Arc::ptr_eq(&plans[0], &plans[1]),
+            "seed {seed}: racers must share the built plan"
+        );
+
+        // And the winner matches cold construction bit for bit.
+        let t_cold = build_topo(seed);
+        let cold = Plan::build(&t_cold.edges, &args_of(&t_cold), t_cold.part_size);
+        assert_plans_identical(&cold, &plans[0], seed);
+    }
+}

@@ -1,0 +1,502 @@
+//! Jobs, handles, and terminal outcomes.
+//!
+//! The service's client surface is deliberately **no-panic**: a submitted
+//! job is observed only through its [`JobHandle`], whose every method
+//! returns rather than throws — `try_wait` polls, `wait` blocks,
+//! `wait_timeout` bounds the block, `try_cancel` requests cooperative
+//! cancellation — and every job, however it ends (success, typed rejection
+//! at admission, cancellation, deadline, or an unrecovered failure after
+//! the full supervisor ladder), reaches exactly one terminal
+//! [`JobOutcome`]. This mirrors the futurized error contract of the HPX
+//! port: errors travel *in* the future, never across it as unwinds.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use hpx_rt::{CancelReason, CancelToken};
+use op2_hpx::{BackendKind, LoopError, Op2Runtime, RetryPolicy, Supervisor};
+use parking_lot::{Condvar, Mutex};
+
+use crate::admission::AdmissionError;
+
+/// The work a job performs, handed the per-job context (runtime +
+/// supervisor). Programs report failure through the `Result` — a panic that
+/// escapes is still caught by the service worker and classified, but typed
+/// errors preserve provenance.
+pub type Program = Box<dyn FnOnce(&JobCtx) -> Result<JobOutput, JobError> + Send + 'static>;
+
+/// Scheduling priority, mapped to a weight factor in the fair queue
+/// (priorities bias share, they never starve: a `Low` job still drains at
+/// 1/4 the rate of a `High` one rather than waiting forever).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Priority {
+    Low,
+    Normal,
+    High,
+}
+
+impl Priority {
+    /// Multiplier applied to the tenant weight in the fair queue.
+    pub fn factor(self) -> u64 {
+        match self {
+            Priority::Low => 1,
+            Priority::Normal => 2,
+            Priority::High => 4,
+        }
+    }
+}
+
+/// A job submission: what to run, for whom, and under what budget.
+pub struct JobSpec {
+    /// Human-readable job name (trace span label).
+    pub name: String,
+    /// Tenant for fair-share accounting and quotas.
+    pub tenant: String,
+    /// Scheduling priority within the tenant's share.
+    pub priority: Priority,
+    /// Cost in quota tokens / fair-share units (≥ a small epsilon; 1.0 is
+    /// a "standard" job).
+    pub cost: f64,
+    /// Total budget from *submission* (queueing included). When it expires
+    /// the job's cancel token fires and the outcome is
+    /// [`JobOutcome::DeadlineExceeded`].
+    pub deadline: Option<Duration>,
+    /// The work itself.
+    pub program: Program,
+}
+
+impl JobSpec {
+    /// A `Normal`-priority, unit-cost, undeadlined job for tenant
+    /// `"default"`.
+    pub fn new(name: impl Into<String>, program: Program) -> JobSpec {
+        JobSpec {
+            name: name.into(),
+            tenant: "default".into(),
+            priority: Priority::Normal,
+            cost: 1.0,
+            deadline: None,
+            program,
+        }
+    }
+
+    pub fn tenant(mut self, tenant: impl Into<String>) -> JobSpec {
+        self.tenant = tenant.into();
+        self
+    }
+
+    pub fn priority(mut self, priority: Priority) -> JobSpec {
+        self.priority = priority;
+        self
+    }
+
+    pub fn cost(mut self, cost: f64) -> JobSpec {
+        self.cost = cost;
+        self
+    }
+
+    pub fn deadline(mut self, deadline: Duration) -> JobSpec {
+        self.deadline = Some(deadline);
+        self
+    }
+}
+
+/// What a completed program hands back: its report values plus an FNV-1a
+/// digest over their bit patterns, so bulkhead tests can compare runs
+/// bit-exactly without holding full outputs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobOutput {
+    /// Flattened report values (e.g. per-report RMS residuals).
+    pub values: Vec<f64>,
+    /// FNV-1a over `values`' IEEE-754 bit patterns.
+    pub digest: u64,
+}
+
+impl JobOutput {
+    /// Wrap `values`, computing the digest.
+    pub fn from_values(values: Vec<f64>) -> JobOutput {
+        let digest = digest_bits(values.iter().map(|v| v.to_bits()));
+        JobOutput { values, digest }
+    }
+
+    pub fn empty() -> JobOutput {
+        JobOutput::from_values(Vec::new())
+    }
+}
+
+/// FNV-1a over a stream of u64 bit patterns (little-endian bytes).
+pub fn digest_bits(bits: impl Iterator<Item = u64>) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in bits {
+        for byte in b.to_le_bytes() {
+            h ^= byte as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+/// Why a program failed (after the supervisor ladder was exhausted).
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobError {
+    /// A parallel loop failed unrecoverably; full provenance inside.
+    Loop(LoopError),
+    /// The program observed its cancel token and bailed cooperatively.
+    Interrupted(CancelReason),
+    /// The program panicked outside any supervised loop.
+    Panic(String),
+    /// Application-level failure (program-defined).
+    App(String),
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JobError::Loop(e) => write!(f, "{e}"),
+            JobError::Interrupted(r) => write!(f, "interrupted: {r}"),
+            JobError::Panic(m) => write!(f, "program panicked: {m}"),
+            JobError::App(m) => write!(f, "application error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for JobError {}
+
+impl From<LoopError> for JobError {
+    fn from(e: LoopError) -> JobError {
+        JobError::Loop(e)
+    }
+}
+
+/// The single terminal state every job reaches.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobOutcome {
+    /// Ran to completion.
+    Completed(JobOutput),
+    /// Shed at admission (never ran).
+    Rejected(AdmissionError),
+    /// Cancelled via [`JobHandle::try_cancel`] or service shutdown.
+    Cancelled,
+    /// The job's deadline expired (while queued or mid-run).
+    DeadlineExceeded,
+    /// The program failed after the full recovery ladder.
+    Failed(JobError),
+}
+
+impl JobOutcome {
+    /// The output, if completed.
+    pub fn output(&self) -> Option<&JobOutput> {
+        match self {
+            JobOutcome::Completed(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    pub fn is_completed(&self) -> bool {
+        matches!(self, JobOutcome::Completed(_))
+    }
+
+    /// Short stable label (reports, tests).
+    pub fn label(&self) -> &'static str {
+        match self {
+            JobOutcome::Completed(_) => "completed",
+            JobOutcome::Rejected(_) => "rejected",
+            JobOutcome::Cancelled => "cancelled",
+            JobOutcome::DeadlineExceeded => "deadline-exceeded",
+            JobOutcome::Failed(_) => "failed",
+        }
+    }
+}
+
+/// Job lifecycle as the handle observes it.
+enum JobState {
+    Queued,
+    Running,
+    Done(JobOutcome),
+}
+
+struct JobShared {
+    id: u64,
+    name: String,
+    tenant: String,
+    state: Mutex<JobState>,
+    cv: Condvar,
+    /// Cancellation requested (set before or during the run; sticky).
+    cancel: AtomicBool,
+    /// The running job's cancel token, while one is attached.
+    token: Mutex<Option<CancelToken>>,
+}
+
+/// Client-side view of a submitted job. Cheap to clone; all methods are
+/// non-panicking and safe from any thread.
+#[derive(Clone)]
+pub struct JobHandle {
+    shared: Arc<JobShared>,
+}
+
+impl JobHandle {
+    pub(crate) fn queued(id: u64, name: &str, tenant: &str) -> JobHandle {
+        JobHandle {
+            shared: Arc::new(JobShared {
+                id,
+                name: name.to_owned(),
+                tenant: tenant.to_owned(),
+                state: Mutex::new(JobState::Queued),
+                cv: Condvar::new(),
+                cancel: AtomicBool::new(false),
+                token: Mutex::new(None),
+            }),
+        }
+    }
+
+    /// A handle born terminal: the job was shed at admission.
+    pub(crate) fn rejected(id: u64, name: &str, tenant: &str, err: AdmissionError) -> JobHandle {
+        let h = JobHandle::queued(id, name, tenant);
+        *h.shared.state.lock() = JobState::Done(JobOutcome::Rejected(err));
+        h
+    }
+
+    pub fn id(&self) -> u64 {
+        self.shared.id
+    }
+
+    pub fn name(&self) -> &str {
+        &self.shared.name
+    }
+
+    pub fn tenant(&self) -> &str {
+        &self.shared.tenant
+    }
+
+    /// Has the job reached its terminal outcome?
+    pub fn is_ready(&self) -> bool {
+        matches!(&*self.shared.state.lock(), JobState::Done(_))
+    }
+
+    /// The terminal outcome, if reached (non-blocking).
+    pub fn try_wait(&self) -> Option<JobOutcome> {
+        match &*self.shared.state.lock() {
+            JobState::Done(o) => Some(o.clone()),
+            _ => None,
+        }
+    }
+
+    /// Block until the job is terminal.
+    pub fn wait(&self) -> JobOutcome {
+        let mut st = self.shared.state.lock();
+        loop {
+            if let JobState::Done(o) = &*st {
+                return o.clone();
+            }
+            self.shared.cv.wait(&mut st);
+        }
+    }
+
+    /// Block until terminal or `timeout` elapses (`None` on timeout — the
+    /// job is still in flight, the handle stays valid).
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<JobOutcome> {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.shared.state.lock();
+        loop {
+            if let JobState::Done(o) = &*st {
+                return Some(o.clone());
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            self.shared.cv.wait_for(&mut st, deadline - now);
+        }
+    }
+
+    /// Request cooperative cancellation. Returns `true` if the request was
+    /// registered while the job was still live (it will reach
+    /// [`JobOutcome::Cancelled`]); `false` if it was already terminal.
+    /// Never panics, idempotent.
+    pub fn try_cancel(&self) -> bool {
+        let st = self.shared.state.lock();
+        if matches!(&*st, JobState::Done(_)) {
+            return false;
+        }
+        self.shared.cancel.store(true, Ordering::Release);
+        if let Some(tok) = self.shared.token.lock().as_ref() {
+            tok.cancel();
+        }
+        true
+    }
+
+    /// Was cancellation requested (regardless of current state)?
+    pub(crate) fn cancel_requested(&self) -> bool {
+        self.shared.cancel.load(Ordering::Acquire)
+    }
+
+    /// Worker-side: the job is now running on a runtime whose cancel token
+    /// is `tok`; wire late `try_cancel` calls through to it (and honor an
+    /// early one immediately).
+    pub(crate) fn attach_token(&self, tok: CancelToken) {
+        {
+            let mut st = self.shared.state.lock();
+            *st = JobState::Running;
+            *self.shared.token.lock() = Some(tok.clone());
+        }
+        if self.cancel_requested() {
+            tok.cancel();
+        }
+    }
+
+    /// Worker-side: resolve the job. Idempotent — the first outcome wins
+    /// (so a hard shutdown racing a finishing worker stays single-terminal).
+    pub(crate) fn finish(&self, outcome: JobOutcome) -> bool {
+        let mut st = self.shared.state.lock();
+        if matches!(&*st, JobState::Done(_)) {
+            return false;
+        }
+        *st = JobState::Done(outcome);
+        *self.shared.token.lock() = None;
+        self.shared.cv.notify_all();
+        true
+    }
+}
+
+impl std::fmt::Debug for JobHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let state = match &*self.shared.state.lock() {
+            JobState::Queued => "queued".to_owned(),
+            JobState::Running => "running".to_owned(),
+            JobState::Done(o) => format!("done:{}", o.label()),
+        };
+        f.debug_struct("JobHandle")
+            .field("id", &self.shared.id)
+            .field("name", &self.shared.name)
+            .field("tenant", &self.shared.tenant)
+            .field("state", &state)
+            .finish()
+    }
+}
+
+/// Per-job execution context handed to the program: a runtime bound to the
+/// service pool (with the shared plan cache) and a supervisor implementing
+/// the recovery ladder. One per job — the bulkhead boundary.
+pub struct JobCtx {
+    rt: Arc<Op2Runtime>,
+    sup: Supervisor,
+    id: u64,
+    tenant: String,
+    name: String,
+}
+
+impl JobCtx {
+    pub(crate) fn new(
+        rt: Arc<Op2Runtime>,
+        sup: Supervisor,
+        id: u64,
+        tenant: &str,
+        name: &str,
+    ) -> JobCtx {
+        JobCtx {
+            rt,
+            sup,
+            id,
+            tenant: tenant.to_owned(),
+            name: name.to_owned(),
+        }
+    }
+
+    /// A context outside any service (reference/solo runs — the oracle the
+    /// bulkhead tests compare service-run jobs against).
+    pub fn standalone(rt: Arc<Op2Runtime>, backend: BackendKind, retry: RetryPolicy) -> JobCtx {
+        let sup = Supervisor::new(Arc::clone(&rt), backend, retry);
+        JobCtx::new(rt, sup, 0, "solo", "solo")
+    }
+
+    /// The job's runtime (pool + shared plan cache + cancel token).
+    pub fn runtime(&self) -> &Arc<Op2Runtime> {
+        &self.rt
+    }
+
+    /// The job's recovery supervisor; run every loop through it.
+    pub fn supervisor(&self) -> &Supervisor {
+        &self.sup
+    }
+
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    pub fn tenant(&self) -> &str {
+        &self.tenant
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Cooperative cancellation point for long program sections between
+    /// loops (loops themselves poll the token internally).
+    pub fn check_cancelled(&self) -> Result<(), JobError> {
+        match self.rt.cancel_token().check() {
+            None => Ok(()),
+            Some(reason) => Err(JobError::Interrupted(reason)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digest_is_bit_sensitive() {
+        let a = JobOutput::from_values(vec![1.0, 2.0]);
+        let b = JobOutput::from_values(vec![1.0, f64::from_bits(2.0f64.to_bits() + 1)]);
+        let c = JobOutput::from_values(vec![1.0, 2.0]);
+        assert_eq!(a.digest, c.digest);
+        assert_ne!(a.values, b.values);
+        assert_ne!(a.digest, b.digest);
+    }
+
+    #[test]
+    fn rejected_handle_is_born_terminal() {
+        let h = JobHandle::rejected(
+            7,
+            "j",
+            "t",
+            AdmissionError::QueueFull { depth: 1, limit: 1 },
+        );
+        assert!(h.is_ready());
+        assert!(matches!(h.try_wait(), Some(JobOutcome::Rejected(_))));
+        // Cancelling a terminal job is a no-op, not a panic.
+        assert!(!h.try_cancel());
+        assert!(matches!(h.wait(), JobOutcome::Rejected(_)));
+    }
+
+    #[test]
+    fn cancel_before_attach_fires_token_on_attach() {
+        let h = JobHandle::queued(1, "j", "t");
+        assert!(h.try_cancel());
+        let tok = CancelToken::new();
+        h.attach_token(tok.clone());
+        assert!(tok.is_cancelled());
+    }
+
+    #[test]
+    fn finish_is_idempotent_first_wins() {
+        let h = JobHandle::queued(1, "j", "t");
+        assert!(h.finish(JobOutcome::Cancelled));
+        assert!(!h.finish(JobOutcome::DeadlineExceeded));
+        assert_eq!(h.wait(), JobOutcome::Cancelled);
+    }
+
+    #[test]
+    fn wait_timeout_times_out_then_resolves() {
+        let h = JobHandle::queued(1, "j", "t");
+        assert!(h.wait_timeout(Duration::from_millis(10)).is_none());
+        let h2 = h.clone();
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            h2.finish(JobOutcome::Completed(JobOutput::empty()));
+        });
+        let got = h.wait_timeout(Duration::from_secs(5));
+        assert!(matches!(got, Some(JobOutcome::Completed(_))));
+    }
+}

@@ -1,0 +1,58 @@
+//! # op2-serve — a multi-tenant simulation job service
+//!
+//! The paper's runtime work (futurized loops, dataflow dependencies,
+//! overlap) makes *one* simulation scale; this crate makes *many* coexist.
+//! It turns the single-program runtime into a shared service: multiple
+//! tenants submit airfoil marches, shallow-water runs, or arbitrary
+//! programs, and the service multiplexes them onto one HPX-style pool with
+//!
+//! * **bounded admission** — a depth-limited queue and optional token-bucket
+//!   quotas; overload sheds with a typed [`AdmissionError`], never a panic
+//!   and never an unbounded queue ([`admission`]);
+//! * **weighted fair-share scheduling** — start-time fair queueing over
+//!   tenant weights × job priorities ([`fair`]);
+//! * **per-job bulkheads** — each job runs under its own supervisor
+//!   (transactional rollback → retry → backend degradation → circuit
+//!   breaker) with its own cancel token and deadline; a failing or
+//!   cancelled tenant cannot perturb a co-tenant's bits ([`job`],
+//!   [`service`]);
+//! * **shared plan cache** — coloring/chunking is content-addressed by mesh
+//!   topology and built single-flight, so a thousand jobs over the same
+//!   mesh shape pay for one plan construction (`op2_core::PlanCache`);
+//! * **a no-panic async surface** — `submit` returns a [`JobHandle`] whose
+//!   `try_wait`/`wait`/`wait_timeout`/`try_cancel` never throw, and every
+//!   job reaches exactly one terminal [`JobOutcome`];
+//! * **service-level observability** — throughput, queue depth, latency
+//!   percentiles, shed counts, plan-cache hit rates ([`report`]), plus
+//!   per-job `op2-trace` spans when tracing is on.
+//!
+//! ```
+//! use op2_serve::{apps, JobSpec, Priority, ServeOptions, Service};
+//!
+//! let svc = Service::start(ServeOptions::default());
+//! let h = svc.submit(
+//!     JobSpec::new("airfoil-demo", apps::airfoil_program(12, 6, 2))
+//!         .tenant("team-a")
+//!         .priority(Priority::High),
+//! );
+//! let outcome = h.wait(); // terminal, typed — never panics
+//! assert!(outcome.is_completed());
+//! let report = svc.drain();
+//! assert!(report.is_conserved());
+//! ```
+
+pub mod admission;
+pub mod apps;
+pub mod fair;
+pub mod job;
+pub mod report;
+pub mod service;
+mod tracehooks;
+
+pub use admission::{AdmissionError, QuotaSpec, TokenBucket};
+pub use fair::FairQueue;
+pub use job::{
+    digest_bits, JobCtx, JobError, JobHandle, JobOutcome, JobOutput, JobSpec, Priority, Program,
+};
+pub use report::{LatencyStats, ServiceReport};
+pub use service::{PoolMode, ServeOptions, Service};

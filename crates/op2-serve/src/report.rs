@@ -1,0 +1,157 @@
+//! Service-level observability: counters, latency distribution, shedding.
+//!
+//! The per-loop story (wait attribution, critical path) lives in
+//! `op2-trace`; this report is one level up — the *service* view the paper's
+//! scaling question ultimately cares about: how many jobs flowed through,
+//! how long they queued+ran end to end (p50/p95/p99), how much was shed
+//! under overload, and how well the shared plan cache amortized coloring
+//! across tenants.
+
+use std::time::Duration;
+
+/// Latency distribution over accepted jobs that ran to completion,
+/// submission → terminal outcome (queueing included), in milliseconds.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LatencyStats {
+    pub p50_ms: f64,
+    pub p95_ms: f64,
+    pub p99_ms: f64,
+    pub mean_ms: f64,
+    pub max_ms: f64,
+}
+
+impl LatencyStats {
+    /// Nearest-rank percentiles over `samples_us` (unsorted, microseconds).
+    pub fn from_us(samples_us: &[u64]) -> LatencyStats {
+        if samples_us.is_empty() {
+            return LatencyStats::default();
+        }
+        let mut sorted = samples_us.to_vec();
+        sorted.sort_unstable();
+        let pct = |p: f64| -> f64 {
+            let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+            sorted[rank.clamp(1, sorted.len()) - 1] as f64 / 1000.0
+        };
+        let sum: u64 = sorted.iter().sum();
+        LatencyStats {
+            p50_ms: pct(50.0),
+            p95_ms: pct(95.0),
+            p99_ms: pct(99.0),
+            mean_ms: sum as f64 / sorted.len() as f64 / 1000.0,
+            max_ms: *sorted.last().unwrap_or(&0) as f64 / 1000.0,
+        }
+    }
+}
+
+/// Snapshot of a service's lifetime statistics (see [`crate::Service::report`]).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ServiceReport {
+    /// Every submission attempt, accepted or shed.
+    pub submitted: u64,
+    /// Admitted past the queue/quota gate.
+    pub accepted: u64,
+    /// Terminal outcome counts over admitted jobs.
+    pub completed: u64,
+    pub failed: u64,
+    pub cancelled: u64,
+    pub deadline_exceeded: u64,
+    /// Rejected at admission (load shedding).
+    pub shed: u64,
+    /// Deepest the admission queue ever got.
+    pub queue_peak: usize,
+    /// Latency distribution over completed jobs.
+    pub latency: LatencyStats,
+    /// Completed jobs per second of service lifetime.
+    pub throughput_jps: f64,
+    /// Plans actually colored (cold constructions).
+    pub plan_builds: usize,
+    /// Plan requests served by the content-addressed topology tier
+    /// (construction skipped entirely).
+    pub plan_topo_hits: usize,
+    /// Service lifetime covered by this snapshot.
+    pub elapsed: Duration,
+}
+
+impl ServiceReport {
+    /// Every admitted job accounted for? (Terminal-outcome conservation —
+    /// the stress tests assert this.)
+    pub fn is_conserved(&self) -> bool {
+        self.accepted == self.completed + self.failed + self.cancelled + self.deadline_exceeded
+            && self.submitted == self.accepted + self.shed
+    }
+
+    /// Human-readable rendering.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!(
+            "service: {} submitted = {} accepted + {} shed ({:.1}s)\n",
+            self.submitted,
+            self.accepted,
+            self.shed,
+            self.elapsed.as_secs_f64()
+        ));
+        s.push_str(&format!(
+            "  outcomes: {} completed, {} failed, {} cancelled, {} deadline-exceeded\n",
+            self.completed, self.failed, self.cancelled, self.deadline_exceeded
+        ));
+        s.push_str(&format!(
+            "  latency: p50 {:.2} ms, p95 {:.2} ms, p99 {:.2} ms, mean {:.2} ms, max {:.2} ms\n",
+            self.latency.p50_ms,
+            self.latency.p95_ms,
+            self.latency.p99_ms,
+            self.latency.mean_ms,
+            self.latency.max_ms
+        ));
+        s.push_str(&format!(
+            "  throughput: {:.2} jobs/s; queue peak {}; plans: {} built, {} topology hits\n",
+            self.throughput_jps, self.queue_peak, self.plan_builds, self.plan_topo_hits
+        ));
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        // 1..=100 ms in microseconds.
+        let us: Vec<u64> = (1..=100u64).map(|ms| ms * 1000).collect();
+        let l = LatencyStats::from_us(&us);
+        assert_eq!(l.p50_ms, 50.0);
+        assert_eq!(l.p95_ms, 95.0);
+        assert_eq!(l.p99_ms, 99.0);
+        assert_eq!(l.max_ms, 100.0);
+        assert!((l.mean_ms - 50.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_samples_are_zero() {
+        assert_eq!(LatencyStats::from_us(&[]), LatencyStats::default());
+    }
+
+    #[test]
+    fn single_sample() {
+        let l = LatencyStats::from_us(&[2500]);
+        assert_eq!(l.p50_ms, 2.5);
+        assert_eq!(l.p99_ms, 2.5);
+    }
+
+    #[test]
+    fn conservation() {
+        let mut r = ServiceReport {
+            submitted: 10,
+            accepted: 8,
+            shed: 2,
+            completed: 5,
+            failed: 1,
+            cancelled: 1,
+            deadline_exceeded: 1,
+            ..Default::default()
+        };
+        assert!(r.is_conserved());
+        r.failed = 0;
+        assert!(!r.is_conserved());
+    }
+}

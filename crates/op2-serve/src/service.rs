@@ -1,0 +1,584 @@
+//! The multi-tenant job service.
+//!
+//! One [`Service`] owns a fixed set of dispatcher threads over one shared
+//! task pool and admits many concurrent simulation jobs:
+//!
+//! ```text
+//! submit ──▶ admission gate ──▶ weighted fair queue ──▶ dispatcher ──▶ per-job
+//!            (bounded depth,     (tenant weight ×       threads        runtime +
+//!             token-bucket        priority, virtual                    supervisor
+//!             quota → typed       finish time)                         (bulkhead)
+//!             shed)
+//! ```
+//!
+//! **Bulkheads.** Each dispatched job gets its *own* `Op2Runtime` (own
+//! cancel token) and its *own* [`Supervisor`] (own retry quota / circuit
+//! breaker) over the *shared* pool and the *shared* plan cache. A tenant
+//! whose kernels panic burns only its own supervisor quota; its failures
+//! roll back transactionally and can never corrupt a co-tenant — the stress
+//! tests assert co-tenant outputs are **bitwise identical** to solo runs,
+//! which the schedule-independent accumulation semantics of every backend
+//! make possible even under a contended pool.
+//!
+//! **Overload.** Admission never blocks and never panics: past the queue
+//! bound or the quota the job is shed with a typed
+//! [`AdmissionError`] (and a `Shed` trace instant).
+//! Accepted jobs therefore see bounded queueing, keeping their tail latency
+//! within a constant factor of an uncontended run.
+
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use hpx_rt::{DetPool, Pool, PoolBuilder};
+use op2_core::PlanCache;
+use op2_hpx::{BackendKind, FailureKind, Op2Runtime, RetryPolicy, Supervisor};
+use parking_lot::{Condvar, Mutex};
+
+use crate::admission::{AdmissionError, QuotaSpec, TokenBucket};
+use crate::fair::FairQueue;
+use crate::job::{JobCtx, JobError, JobHandle, JobOutcome, JobSpec, Program};
+use crate::report::{LatencyStats, ServiceReport};
+use crate::tracehooks;
+
+/// Where jobs execute.
+#[derive(Debug, Clone, Copy)]
+pub enum PoolMode {
+    /// One shared work-stealing [`hpx_rt::ThreadPool`] with `threads`
+    /// workers — the production shape (jobs contend, results stay bitwise
+    /// schedule-independent).
+    Shared { threads: usize },
+    /// A fresh single-threaded deterministic [`hpx_rt::DetPool`] per job,
+    /// seeded `seed ^ job_id` — the stress-test shape (fully reproducible
+    /// interleaving per job).
+    DetPerJob { seed: u64 },
+}
+
+/// Service configuration (builder-style).
+pub struct ServeOptions {
+    /// Dispatcher threads = maximum concurrently-running jobs.
+    pub workers: usize,
+    /// Execution pool shape.
+    pub pool: PoolMode,
+    /// Mini-partition size for plans.
+    pub part_size: usize,
+    /// Admission queue bound; submissions past it are shed.
+    pub max_queue: usize,
+    /// Optional token-bucket rate quota.
+    pub quota: Option<QuotaSpec>,
+    /// Deadline applied to jobs that don't carry their own.
+    pub default_deadline: Option<Duration>,
+    /// Primary backend for every job's supervisor ladder.
+    pub backend: BackendKind,
+    /// Retry/degradation policy cloned into every job's supervisor.
+    pub retry: RetryPolicy,
+    weights: HashMap<String, u64>,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            workers: 2,
+            pool: PoolMode::Shared { threads: 2 },
+            part_size: 64,
+            max_queue: 64,
+            quota: None,
+            default_deadline: None,
+            backend: BackendKind::Dataflow,
+            retry: RetryPolicy::default(),
+            weights: HashMap::new(),
+        }
+    }
+}
+
+impl ServeOptions {
+    pub fn workers(mut self, n: usize) -> Self {
+        self.workers = n.max(1);
+        self
+    }
+
+    pub fn pool(mut self, mode: PoolMode) -> Self {
+        self.pool = mode;
+        self
+    }
+
+    pub fn part_size(mut self, n: usize) -> Self {
+        self.part_size = n.max(1);
+        self
+    }
+
+    pub fn max_queue(mut self, n: usize) -> Self {
+        self.max_queue = n;
+        self
+    }
+
+    pub fn quota(mut self, q: QuotaSpec) -> Self {
+        self.quota = Some(q);
+        self
+    }
+
+    pub fn default_deadline(mut self, d: Duration) -> Self {
+        self.default_deadline = Some(d);
+        self
+    }
+
+    pub fn backend(mut self, kind: BackendKind) -> Self {
+        self.backend = kind;
+        self
+    }
+
+    pub fn retry(mut self, policy: RetryPolicy) -> Self {
+        self.retry = policy;
+        self
+    }
+
+    /// Fair-share weight for `tenant` (default 1).
+    pub fn tenant_weight(mut self, tenant: impl Into<String>, weight: u64) -> Self {
+        self.weights.insert(tenant.into(), weight.max(1));
+        self
+    }
+}
+
+/// Admission/lifecycle phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// Accepting and running.
+    Open,
+    /// No new admissions; the queue drains, then dispatchers exit.
+    Draining,
+    /// No new admissions; queued jobs are cancelled, dispatchers exit.
+    Closed,
+}
+
+/// A job that passed admission and waits for a dispatcher.
+struct QueuedJob {
+    handle: JobHandle,
+    program: Program,
+    /// Absolute deadline (admission time + spec/default deadline).
+    deadline: Option<Instant>,
+    submitted: Instant,
+}
+
+#[derive(Default)]
+struct Stats {
+    submitted: u64,
+    accepted: u64,
+    completed: u64,
+    failed: u64,
+    cancelled: u64,
+    deadline_exceeded: u64,
+    shed: u64,
+    queue_peak: usize,
+    latencies_us: Vec<u64>,
+}
+
+struct State {
+    queue: FairQueue<QueuedJob>,
+    phase: Phase,
+    /// Token buckets — keyed by tenant (per-tenant quota) or "" (global).
+    buckets: HashMap<String, TokenBucket>,
+    /// Handles of jobs currently on a dispatcher (for hard shutdown).
+    running: Vec<JobHandle>,
+}
+
+struct Inner {
+    state: Mutex<State>,
+    /// Signals dispatchers: work queued or phase changed.
+    cv: Condvar,
+    stats: Mutex<Stats>,
+    /// Content-addressed plan cache shared by every job's runtime.
+    plans: Arc<PlanCache>,
+    /// The shared pool (`PoolMode::Shared`), else per-job DetPools.
+    pool: Option<Arc<dyn Pool>>,
+    det_seed: Option<u64>,
+    part_size: usize,
+    backend: BackendKind,
+    retry: RetryPolicy,
+    max_queue: usize,
+    default_deadline: Option<Duration>,
+    quota: Option<QuotaSpec>,
+    weights: HashMap<String, u64>,
+    next_id: AtomicU64,
+    started: Instant,
+}
+
+/// The running service. Dropping it hard-stops (cancels queued jobs, joins
+/// dispatchers); prefer [`Service::drain`] for a graceful end.
+pub struct Service {
+    inner: Arc<Inner>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Service {
+    /// Start a service with `opts`. Dispatcher threads are spawned
+    /// immediately and park until work arrives.
+    pub fn start(opts: ServeOptions) -> Service {
+        let (pool, det_seed): (Option<Arc<dyn Pool>>, Option<u64>) = match opts.pool {
+            PoolMode::Shared { threads } => (
+                Some(Arc::new(
+                    PoolBuilder::new()
+                        .num_threads(threads.max(1))
+                        .thread_name("op2-serve")
+                        .build(),
+                )),
+                None,
+            ),
+            PoolMode::DetPerJob { seed } => (None, Some(seed)),
+        };
+        let inner = Arc::new(Inner {
+            state: Mutex::new(State {
+                queue: FairQueue::new(),
+                phase: Phase::Open,
+                buckets: HashMap::new(),
+                running: Vec::new(),
+            }),
+            cv: Condvar::new(),
+            stats: Mutex::new(Stats::default()),
+            plans: Arc::new(PlanCache::new()),
+            pool,
+            det_seed,
+            part_size: opts.part_size,
+            backend: opts.backend,
+            retry: opts.retry,
+            max_queue: opts.max_queue,
+            default_deadline: opts.default_deadline,
+            quota: opts.quota,
+            weights: opts.weights,
+            next_id: AtomicU64::new(1),
+            started: Instant::now(),
+        });
+        let workers = (0..opts.workers.max(1))
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("op2-serve-disp-{i}"))
+                    .spawn(move || dispatcher(inner))
+                    .expect("spawn dispatcher thread")
+            })
+            .collect();
+        Service { inner, workers }
+    }
+
+    /// Submit a job, or shed it with a typed error. Never blocks on
+    /// execution (admission holds the state lock briefly), never panics.
+    pub fn try_submit(&self, spec: JobSpec) -> Result<JobHandle, AdmissionError> {
+        let id = self.inner.next_id.fetch_add(1, Ordering::Relaxed);
+        self.inner.stats.lock().submitted += 1;
+        let admit = || -> Result<JobHandle, AdmissionError> {
+            let mut st = self.inner.state.lock();
+            if st.phase != Phase::Open {
+                return Err(AdmissionError::ShuttingDown);
+            }
+            let depth = st.queue.len();
+            if depth >= self.inner.max_queue {
+                return Err(AdmissionError::QueueFull {
+                    depth,
+                    limit: self.inner.max_queue,
+                });
+            }
+            if let Some(q) = self.inner.quota {
+                let key = if q.per_tenant {
+                    spec.tenant.clone()
+                } else {
+                    String::new()
+                };
+                let now = Instant::now();
+                let bucket = st
+                    .buckets
+                    .entry(key)
+                    .or_insert_with(|| TokenBucket::new(q, now));
+                if let Err(available) = bucket.try_take(spec.cost, now) {
+                    return Err(AdmissionError::QuotaExhausted {
+                        tenant: spec.tenant.clone(),
+                        available,
+                        cost: spec.cost,
+                    });
+                }
+            }
+            let handle = JobHandle::queued(id, &spec.name, &spec.tenant);
+            let weight =
+                self.inner.weights.get(&spec.tenant).copied().unwrap_or(1) * spec.priority.factor();
+            let cost_units = (spec.cost.max(1e-3) * 1024.0) as u64;
+            let deadline = spec
+                .deadline
+                .or(self.inner.default_deadline)
+                .map(|d| Instant::now() + d);
+            st.queue.push(
+                &spec.tenant,
+                weight,
+                cost_units,
+                QueuedJob {
+                    handle: handle.clone(),
+                    program: spec.program,
+                    deadline,
+                    submitted: Instant::now(),
+                },
+            );
+            let depth = st.queue.len();
+            drop(st);
+            let mut stats = self.inner.stats.lock();
+            stats.accepted += 1;
+            stats.queue_peak = stats.queue_peak.max(depth);
+            drop(stats);
+            self.inner.cv.notify_one();
+            Ok(handle)
+        };
+        admit().map_err(|e| {
+            self.inner.stats.lock().shed += 1;
+            let depth = match &e {
+                AdmissionError::QueueFull { depth, .. } => *depth as u64,
+                _ => 0,
+            };
+            tracehooks::shed(&spec_tenant_of(&e), e.code(), depth);
+            e
+        })
+    }
+
+    /// Submit, folding a shed into the handle itself: a rejected job comes
+    /// back as a handle already terminal with [`JobOutcome::Rejected`].
+    pub fn submit(&self, spec: JobSpec) -> JobHandle {
+        let name = spec.name.clone();
+        let tenant = spec.tenant.clone();
+        match self.try_submit(spec) {
+            Ok(h) => h,
+            Err(e) => JobHandle::rejected(0, &name, &tenant, e),
+        }
+    }
+
+    /// Current queue depth.
+    pub fn queue_depth(&self) -> usize {
+        self.inner.state.lock().queue.len()
+    }
+
+    /// Snapshot the service statistics.
+    pub fn report(&self) -> ServiceReport {
+        let stats = self.inner.stats.lock();
+        let elapsed = self.inner.started.elapsed();
+        ServiceReport {
+            submitted: stats.submitted,
+            accepted: stats.accepted,
+            completed: stats.completed,
+            failed: stats.failed,
+            cancelled: stats.cancelled,
+            deadline_exceeded: stats.deadline_exceeded,
+            shed: stats.shed,
+            queue_peak: stats.queue_peak,
+            latency: LatencyStats::from_us(&stats.latencies_us),
+            throughput_jps: if elapsed.as_secs_f64() > 0.0 {
+                stats.completed as f64 / elapsed.as_secs_f64()
+            } else {
+                0.0
+            },
+            plan_builds: self.inner.plans.builds(),
+            plan_topo_hits: self.inner.plans.topo_hits(),
+            elapsed,
+        }
+    }
+
+    /// Stop admissions, run the queue dry, join dispatchers, and return the
+    /// final report. Every accepted job reaches its terminal outcome.
+    pub fn drain(mut self) -> ServiceReport {
+        {
+            let mut st = self.inner.state.lock();
+            if st.phase == Phase::Open {
+                st.phase = Phase::Draining;
+            }
+        }
+        self.inner.cv.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        self.report()
+    }
+
+    /// Hard stop: shed the queue (each queued job resolves `Cancelled`),
+    /// fire the cancel token of every running job, join dispatchers.
+    pub fn shutdown_now(mut self) -> ServiceReport {
+        let drained = {
+            let mut st = self.inner.state.lock();
+            st.phase = Phase::Closed;
+            for h in &st.running {
+                h.try_cancel();
+            }
+            st.queue.drain()
+        };
+        self.inner.cv.notify_all();
+        let mut n_cancelled = 0u64;
+        for job in drained {
+            if job.handle.finish(JobOutcome::Cancelled) {
+                n_cancelled += 1;
+            }
+        }
+        self.inner.stats.lock().cancelled += n_cancelled;
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        self.report()
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        if self.workers.is_empty() {
+            return;
+        }
+        let drained = {
+            let mut st = self.inner.state.lock();
+            st.phase = Phase::Closed;
+            for h in &st.running {
+                h.try_cancel();
+            }
+            st.queue.drain()
+        };
+        self.inner.cv.notify_all();
+        let mut n_cancelled = 0u64;
+        for job in drained {
+            if job.handle.finish(JobOutcome::Cancelled) {
+                n_cancelled += 1;
+            }
+        }
+        self.inner.stats.lock().cancelled += n_cancelled;
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// Tenant string for a shed trace instant.
+fn spec_tenant_of(e: &AdmissionError) -> String {
+    match e {
+        AdmissionError::QuotaExhausted { tenant, .. } => tenant.clone(),
+        _ => String::new(),
+    }
+}
+
+/// Dispatcher thread: pop fair-queue jobs and run each to a terminal
+/// outcome. Exits when the phase leaves `Open` and the queue is dry (or
+/// immediately on `Closed`).
+fn dispatcher(inner: Arc<Inner>) {
+    loop {
+        let job = {
+            let mut st = inner.state.lock();
+            loop {
+                if st.phase == Phase::Closed {
+                    break None;
+                }
+                if let Some(job) = st.queue.pop() {
+                    st.running.push(job.handle.clone());
+                    break Some(job);
+                }
+                if st.phase == Phase::Draining {
+                    break None;
+                }
+                inner.cv.wait(&mut st);
+            }
+        };
+        let Some(job) = job else { return };
+        let id = job.handle.id();
+        run_job(&inner, job);
+        inner.state.lock().running.retain(|h| h.id() != id);
+    }
+}
+
+/// Run one admitted job to its terminal outcome. Never panics: program
+/// panics are caught and classified, and the handle is always resolved.
+fn run_job(inner: &Arc<Inner>, job: QueuedJob) {
+    let QueuedJob {
+        handle,
+        program,
+        deadline,
+        submitted,
+    } = job;
+
+    // Resolve without running if the job was cancelled or timed out while
+    // queued — precisely the load-shedding a deadline is for.
+    if handle.cancel_requested() {
+        if handle.finish(JobOutcome::Cancelled) {
+            inner.stats.lock().cancelled += 1;
+        }
+        return;
+    }
+    if deadline.is_some_and(|d| Instant::now() >= d) {
+        if handle.finish(JobOutcome::DeadlineExceeded) {
+            inner.stats.lock().deadline_exceeded += 1;
+        }
+        return;
+    }
+
+    // Per-job runtime over the shared pool (or a per-job deterministic
+    // pool) and the shared plan cache; its cancel token is the job's.
+    let rt = match (&inner.pool, inner.det_seed) {
+        (Some(pool), _) => Arc::new(Op2Runtime::from_pool_with_cache(
+            Arc::clone(pool),
+            Arc::clone(&inner.plans),
+            inner.part_size,
+        )),
+        (None, seed) => Arc::new(Op2Runtime::from_pool_with_cache(
+            Arc::new(DetPool::new(seed.unwrap_or(0) ^ handle.id())),
+            Arc::clone(&inner.plans),
+            inner.part_size,
+        )),
+    };
+    let token = rt.cancel_token().clone();
+    token.set_deadline_opt(deadline);
+    handle.attach_token(token.clone());
+
+    let sup = Supervisor::new(Arc::clone(&rt), inner.backend, inner.retry.clone());
+    let ctx = JobCtx::new(rt, sup, handle.id(), handle.tenant(), handle.name());
+
+    let span = tracehooks::job_begin();
+    let result = catch_unwind(AssertUnwindSafe(|| program(&ctx)));
+    tracehooks::job_end(span, handle.name(), handle.id(), handle.tenant());
+
+    let expired = deadline.is_some_and(|d| Instant::now() >= d);
+    let outcome = match result {
+        Ok(Ok(output)) => JobOutcome::Completed(output),
+        Ok(Err(err)) => interrupted_outcome(&handle, expired, err),
+        Err(payload) => interrupted_outcome(
+            &handle,
+            expired,
+            JobError::Panic(hpx_rt::panic_message(&payload)),
+        ),
+    };
+
+    let mut stats = inner.stats.lock();
+    match &outcome {
+        JobOutcome::Completed(_) => {
+            stats.completed += 1;
+            stats
+                .latencies_us
+                .push(submitted.elapsed().as_micros() as u64);
+        }
+        JobOutcome::Failed(_) => stats.failed += 1,
+        JobOutcome::Cancelled => stats.cancelled += 1,
+        JobOutcome::DeadlineExceeded => stats.deadline_exceeded += 1,
+        JobOutcome::Rejected(_) => {}
+    }
+    drop(stats);
+    handle.finish(outcome);
+}
+
+/// Classify a program failure into its terminal outcome: an external
+/// cancel or expired job deadline takes precedence over the error it
+/// surfaced as (a cancelled loop reports `FailureKind::Cancelled`, a
+/// cancelled non-loop section may surface as `Interrupted` or even a
+/// panic payload — the *cause* is what the client asked for).
+fn interrupted_outcome(handle: &JobHandle, deadline_expired: bool, err: JobError) -> JobOutcome {
+    let cancel_like = matches!(
+        &err,
+        JobError::Interrupted(_)
+            | JobError::Loop(op2_hpx::LoopError {
+                kind: FailureKind::Cancelled(_),
+                ..
+            })
+    );
+    if cancel_like && handle.cancel_requested() {
+        JobOutcome::Cancelled
+    } else if cancel_like && deadline_expired {
+        JobOutcome::DeadlineExceeded
+    } else {
+        JobOutcome::Failed(err)
+    }
+}

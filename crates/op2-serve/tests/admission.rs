@@ -1,0 +1,261 @@
+//! Admission-control behavior under load: typed shedding (queue depth and
+//! quota), graceful rejection handles, deadlines and cancellation for
+//! queued and running jobs, and the overload acceptance bar: at 2× the
+//! sustainable rate the service sheds rather than queues without bound,
+//! **no** submission panics or hangs, and the jobs it *does* accept keep a
+//! p99 latency within ~2× of the uncontended baseline.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use op2_serve::{
+    AdmissionError, JobOutcome, JobOutput, JobSpec, PoolMode, Program, QuotaSpec, ServeOptions,
+    Service,
+};
+
+/// A cooperative sleep: yields to `check_cancelled` every millisecond, so
+/// deadlines and cancels take effect promptly. Sets `started` (when given)
+/// the moment it begins running.
+fn sleep_program(ms: u64, started: Option<Arc<AtomicBool>>) -> Program {
+    Box::new(move |ctx| {
+        if let Some(flag) = &started {
+            flag.store(true, Ordering::Release);
+        }
+        let t0 = Instant::now();
+        while t0.elapsed() < Duration::from_millis(ms) {
+            ctx.check_cancelled()?;
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        Ok(JobOutput::from_values(vec![ms as f64]))
+    })
+}
+
+fn wait_flag(flag: &AtomicBool) {
+    let t0 = Instant::now();
+    while !flag.load(Ordering::Acquire) {
+        assert!(t0.elapsed() < Duration::from_secs(10), "job never started");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+}
+
+#[test]
+fn queue_full_sheds_with_typed_rejection() {
+    let svc = Service::start(
+        ServeOptions::default()
+            .workers(1)
+            .pool(PoolMode::Shared { threads: 1 })
+            .max_queue(2),
+    );
+    // Occupy the single dispatcher...
+    let started = Arc::new(AtomicBool::new(false));
+    let blocker = svc
+        .try_submit(JobSpec::new("blocker", sleep_program(150, Some(started.clone()))))
+        .expect("blocker admitted");
+    wait_flag(&started);
+    // ...fill the queue...
+    let q1 = svc.try_submit(JobSpec::new("q1", sleep_program(1, None))).expect("q1");
+    let q2 = svc.try_submit(JobSpec::new("q2", sleep_program(1, None))).expect("q2");
+    // ...and the next submission is shed with a typed error, no panic.
+    match svc.try_submit(JobSpec::new("q3", sleep_program(1, None))) {
+        Err(AdmissionError::QueueFull { depth, limit }) => {
+            assert_eq!(limit, 2);
+            assert!(depth >= 2);
+        }
+        other => panic!("expected QueueFull, got {other:?}"),
+    }
+    for h in [&blocker, &q1, &q2] {
+        assert!(matches!(
+            h.wait_timeout(Duration::from_secs(30)),
+            Some(JobOutcome::Completed(_))
+        ));
+    }
+    let report = svc.drain();
+    assert_eq!(report.shed, 1);
+    assert_eq!(report.completed, 3);
+    assert!(report.is_conserved(), "{report:?}");
+}
+
+#[test]
+fn quota_exhaustion_is_per_tenant() {
+    let svc = Service::start(
+        ServeOptions::default()
+            .workers(2)
+            .pool(PoolMode::Shared { threads: 2 })
+            .max_queue(64)
+            .quota(QuotaSpec {
+                capacity: 2.0,
+                refill_per_sec: 0.0, // hard budget
+                per_tenant: true,
+            }),
+    );
+    let a1 = svc.try_submit(JobSpec::new("a1", sleep_program(1, None)).tenant("a"));
+    let a2 = svc.try_submit(JobSpec::new("a2", sleep_program(1, None)).tenant("a"));
+    assert!(a1.is_ok() && a2.is_ok());
+    match svc.try_submit(JobSpec::new("a3", sleep_program(1, None)).tenant("a")) {
+        Err(AdmissionError::QuotaExhausted { tenant, cost, .. }) => {
+            assert_eq!(tenant, "a");
+            assert_eq!(cost, 1.0);
+        }
+        other => panic!("expected QuotaExhausted, got {other:?}"),
+    }
+    // Tenant b has its own bucket.
+    let b1 = svc.try_submit(JobSpec::new("b1", sleep_program(1, None)).tenant("b"));
+    assert!(b1.is_ok(), "co-tenant must not be throttled: {b1:?}");
+    let report = svc.drain();
+    assert_eq!(report.shed, 1);
+    assert!(report.is_conserved());
+}
+
+#[test]
+fn submit_folds_rejection_into_terminal_handle() {
+    // max_queue 0: everything is shed — through `submit` that must come
+    // back as an already-terminal handle, never a panic or a hang.
+    let svc = Service::start(
+        ServeOptions::default()
+            .workers(1)
+            .pool(PoolMode::Shared { threads: 1 })
+            .max_queue(0),
+    );
+    let h = svc.submit(JobSpec::new("doomed", sleep_program(1, None)));
+    assert!(h.is_ready());
+    match h.wait() {
+        JobOutcome::Rejected(AdmissionError::QueueFull { limit: 0, .. }) => {}
+        other => panic!("expected queue-full rejection, got {other:?}"),
+    }
+    assert!(!h.try_cancel(), "terminal handle cannot be cancelled");
+    let report = svc.drain();
+    assert_eq!(report.shed, 1);
+    assert_eq!(report.accepted, 0);
+}
+
+#[test]
+fn deadline_exceeded_while_running_and_while_queued() {
+    let svc = Service::start(
+        ServeOptions::default()
+            .workers(1)
+            .pool(PoolMode::Shared { threads: 1 })
+            .max_queue(8),
+    );
+    // Running: the program would sleep 5s, but its 30 ms budget fires the
+    // cancel token and the outcome is DeadlineExceeded.
+    let h_run = svc
+        .try_submit(
+            JobSpec::new("slow", sleep_program(5_000, None)).deadline(Duration::from_millis(30)),
+        )
+        .expect("admitted");
+    // Queued: stuck behind `slow` (which burns ~30 ms) with a 5 ms budget;
+    // it must resolve DeadlineExceeded *without ever running*.
+    let ran = Arc::new(AtomicBool::new(false));
+    let h_queued = svc
+        .try_submit(
+            JobSpec::new("late", sleep_program(1, Some(ran.clone())))
+                .deadline(Duration::from_millis(5)),
+        )
+        .expect("admitted");
+    assert_eq!(
+        h_run.wait_timeout(Duration::from_secs(30)),
+        Some(JobOutcome::DeadlineExceeded)
+    );
+    assert_eq!(
+        h_queued.wait_timeout(Duration::from_secs(30)),
+        Some(JobOutcome::DeadlineExceeded)
+    );
+    assert!(!ran.load(Ordering::Acquire), "expired job must not run");
+    let report = svc.drain();
+    assert_eq!(report.deadline_exceeded, 2);
+    assert!(report.is_conserved());
+}
+
+#[test]
+fn cancel_queued_and_running_jobs() {
+    let svc = Service::start(
+        ServeOptions::default()
+            .workers(1)
+            .pool(PoolMode::Shared { threads: 1 })
+            .max_queue(8),
+    );
+    let started = Arc::new(AtomicBool::new(false));
+    let h_run = svc
+        .try_submit(JobSpec::new("runner", sleep_program(5_000, Some(started.clone()))))
+        .expect("admitted");
+    let ran = Arc::new(AtomicBool::new(false));
+    let h_queued = svc
+        .try_submit(JobSpec::new("waiter", sleep_program(1, Some(ran.clone()))))
+        .expect("admitted");
+    wait_flag(&started);
+    assert!(h_run.try_cancel());
+    assert!(h_queued.try_cancel());
+    assert_eq!(
+        h_run.wait_timeout(Duration::from_secs(30)),
+        Some(JobOutcome::Cancelled)
+    );
+    assert_eq!(
+        h_queued.wait_timeout(Duration::from_secs(30)),
+        Some(JobOutcome::Cancelled)
+    );
+    assert!(!ran.load(Ordering::Acquire), "cancelled queued job must not run");
+    let report = svc.drain();
+    assert_eq!(report.cancelled, 2);
+    assert!(report.is_conserved());
+}
+
+/// The overload acceptance bar (see module docs). Sustainable rate here is
+/// `workers / job_time` = 4 / 20ms = 200 jobs/s; we offer ~2× that for a
+/// few hundred milliseconds against a queue bounded at the worker count.
+#[test]
+fn overload_at_2x_sheds_and_keeps_accepted_tail_bounded() {
+    let job_ms = 20u64;
+    let options = || {
+        ServeOptions::default()
+            .workers(4)
+            .pool(PoolMode::Shared { threads: 4 })
+            .max_queue(4)
+    };
+
+    // Uncontended baseline: one job at a time.
+    let svc = Service::start(options());
+    for i in 0..10 {
+        let h = svc
+            .try_submit(JobSpec::new(format!("base-{i}"), sleep_program(job_ms, None)))
+            .expect("uncontended submit");
+        assert!(matches!(
+            h.wait_timeout(Duration::from_secs(30)),
+            Some(JobOutcome::Completed(_))
+        ));
+    }
+    let base = svc.drain();
+    assert_eq!(base.completed, 10);
+    let base_p99 = base.latency.p99_ms.max(job_ms as f64);
+
+    // Overload: ~400 jobs/s offered for ~250 ms.
+    let svc = Service::start(options());
+    let mut handles = Vec::new();
+    for i in 0..100 {
+        handles.push(svc.submit(JobSpec::new(format!("ovl-{i}"), sleep_program(job_ms, None))));
+        std::thread::sleep(Duration::from_micros(2_500));
+    }
+    // Zero hung handles: every one reaches a terminal outcome.
+    for h in &handles {
+        let outcome = h.wait_timeout(Duration::from_secs(60));
+        assert!(outcome.is_some(), "hung handle: {h:?}");
+        assert!(matches!(
+            outcome.unwrap(),
+            JobOutcome::Completed(_) | JobOutcome::Rejected(_)
+        ));
+    }
+    let over = svc.drain();
+    assert!(over.is_conserved(), "{over:?}");
+    assert!(over.shed > 0, "2x overload must shed: {over:?}");
+    assert_eq!(over.completed, over.accepted, "accepted jobs all complete");
+    assert!(over.queue_peak <= 4, "queue bound respected: {over:?}");
+    // The accepted jobs' tail: bounded queueing (≤ max_queue jobs ahead of
+    // 4 workers ≈ one extra job-time) keeps p99 within ~2× the uncontended
+    // baseline; the absolute slack absorbs CI scheduling jitter.
+    assert!(
+        over.latency.p99_ms <= 2.0 * base_p99 + 100.0,
+        "accepted p99 {:.2} ms vs uncontended p99 {:.2} ms",
+        over.latency.p99_ms,
+        base_p99
+    );
+}

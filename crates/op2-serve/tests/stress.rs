@@ -1,0 +1,338 @@
+//! Deterministic multi-tenant stress: hundreds of interleaved airfoil and
+//! shallow-water jobs under mixed priorities, with a chaos tenant whose
+//! kernels always panic (exhausting the full recovery ladder), deadline
+//! victims, and mid-flight cancellations — all generated from a seed
+//! (`DET_SEED` pins one; 16 defaults otherwise).
+//!
+//! The two invariants this file pins:
+//!
+//! 1. **Terminal outcomes**: every submitted job resolves to exactly one
+//!    terminal `JobOutcome`; nothing hangs, nothing panics the service.
+//! 2. **Bulkhead isolation**: healthy tenants' outputs are **bitwise
+//!    identical** to solo (service-free) runs of the same programs, even
+//!    though they shared a pool, a plan cache, and dispatchers with the
+//!    chaos tenant. This leans on the repo-wide guarantee that results are
+//!    schedule-independent (plan-ordered accumulation), which makes bit
+//!    equality a meaningful assertion on a real contended thread pool.
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use op2_core::{arg_direct, Access, Dat, ParLoop, Set};
+use op2_hpx::{BackendKind, RetryPolicy};
+use op2_serve::{
+    apps, JobError, JobOutcome, JobOutput, JobSpec, PoolMode, Priority, Program, ServeOptions,
+    Service,
+};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+fn seeds() -> Vec<u64> {
+    match std::env::var("DET_SEED").ok().and_then(|s| s.parse().ok()) {
+        Some(s) => vec![s],
+        None => (0..16).map(|i| 0xD15EA5E + 13 * i).collect(),
+    }
+}
+
+/// The healthy job catalogue: (label, program-builder). Small meshes so a
+/// stress run stays fast; few enough shapes that the shared plan cache
+/// gets real cross-job reuse.
+type Params = (&'static str, usize, usize, usize);
+
+const CATALOGUE: &[Params] = &[
+    ("airfoil", 12, 6, 2),
+    ("airfoil", 16, 8, 2),
+    ("airfoil", 12, 6, 3),
+    ("swe", 16, 8, 2),
+    ("swe", 12, 12, 2),
+    ("swe", 16, 8, 3),
+];
+
+fn program_for(p: Params) -> Program {
+    let (kind, imax, jmax, steps) = p;
+    match kind {
+        "airfoil" => apps::airfoil_program(imax, jmax, steps),
+        "swe" => apps::swe_program(imax, jmax, steps),
+        other => unreachable!("unknown program kind {other}"),
+    }
+}
+
+/// A program whose kernel panics on every attempt, at every rung of the
+/// recovery ladder — the chaos tenant. Its loop still declares a write, so
+/// each failed attempt exercises transactional rollback too.
+fn chaos_program() -> Program {
+    Box::new(|ctx| {
+        let cells = Set::new("chaos_cells", 64);
+        let q = Dat::filled("q", &cells, 1, 0.0f64);
+        let qv = q.view();
+        let l = ParLoop::build("chaos", &cells)
+            .arg(arg_direct(&q, Access::ReadWrite))
+            .kernel(move |e, _| unsafe {
+                qv.add(e, 0, 1.0);
+                if e == 3 {
+                    panic!("chaos tenant kernel failure");
+                }
+            });
+        let vals = ctx.supervisor().run(&l).map_err(JobError::Loop)?;
+        Ok(JobOutput::from_values(vals))
+    })
+}
+
+/// Solo (service-free) reference digests, computed once per catalogue
+/// entry. Backend choice is irrelevant to the bits — every backend agrees —
+/// so the oracle runs fork-join.
+fn solo_digests() -> HashMap<Params, u64> {
+    CATALOGUE
+        .iter()
+        .map(|&p| {
+            let out = apps::run_solo(
+                program_for(p),
+                2,
+                64,
+                BackendKind::ForkJoin,
+                RetryPolicy::default(),
+            )
+            .unwrap_or_else(|e| panic!("solo {p:?} failed: {e}"));
+            (p, out.digest)
+        })
+        .collect()
+}
+
+fn priority_for(r: u32) -> Priority {
+    match r % 3 {
+        0 => Priority::Low,
+        1 => Priority::Normal,
+        _ => Priority::High,
+    }
+}
+
+/// One continuously-failing tenant sharing the pool with healthy tenants,
+/// across ≥16 seeds: co-tenants must complete with digests bit-identical
+/// to their solo runs (bulkhead isolation), the chaos jobs must fail
+/// *typed* after the full ladder, and every job must reach a terminal
+/// outcome.
+#[test]
+fn bulkhead_chaos_tenant_cannot_perturb_cotenants() {
+    let oracle = solo_digests();
+    for seed in seeds() {
+        let svc = Service::start(
+            ServeOptions::default()
+                .workers(3)
+                .pool(PoolMode::Shared { threads: 3 })
+                .max_queue(512)
+                .backend(BackendKind::Dataflow)
+                .tenant_weight("alpha", 2),
+        );
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut healthy = Vec::new();
+        let mut chaos = Vec::new();
+        for i in 0..16 {
+            // Interleave: every 4th submission is the chaos tenant.
+            if i % 4 == 3 {
+                chaos.push(svc.submit(
+                    JobSpec::new(format!("chaos-{i}"), chaos_program())
+                        .tenant("chaos")
+                        .priority(priority_for(rng.gen_range(0..3u32))),
+                ));
+            } else {
+                let p = CATALOGUE[rng.gen_range(0..CATALOGUE.len())];
+                let tenant = if rng.gen_range(0..2) == 0 { "alpha" } else { "beta" };
+                healthy.push((
+                    p,
+                    svc.submit(
+                        JobSpec::new(format!("{}-{i}", p.0), program_for(p))
+                            .tenant(tenant)
+                            .priority(priority_for(rng.gen_range(0..3u32))),
+                    ),
+                ));
+            }
+        }
+        for (p, h) in &healthy {
+            match h.wait_timeout(Duration::from_secs(120)) {
+                Some(JobOutcome::Completed(out)) => assert_eq!(
+                    out.digest, oracle[p],
+                    "seed {seed}: healthy job {p:?} diverged from its solo run"
+                ),
+                other => panic!("seed {seed}: healthy job {p:?} not completed: {other:?}"),
+            }
+        }
+        for h in &chaos {
+            match h.wait_timeout(Duration::from_secs(120)) {
+                Some(JobOutcome::Failed(JobError::Loop(e))) => {
+                    assert!(
+                        matches!(e.kind, op2_hpx::FailureKind::KernelPanic { .. }),
+                        "seed {seed}: chaos failure kind: {e:?}"
+                    );
+                    assert!(e.rolled_back, "seed {seed}: chaos write-set must roll back");
+                }
+                other => panic!("seed {seed}: chaos job must fail typed, got {other:?}"),
+            }
+        }
+        let report = svc.drain();
+        assert!(report.is_conserved(), "seed {seed}: {report:?}");
+        assert_eq!(report.failed, chaos.len() as u64, "seed {seed}");
+        assert_eq!(
+            report.completed,
+            healthy.len() as u64,
+            "seed {seed}: every healthy job completes"
+        );
+    }
+}
+
+/// Hundreds of interleaved jobs under one seed: mixed apps, priorities,
+/// tenants, chaos failures, deadline victims, and mid-flight cancels. All
+/// of them must reach terminal outcomes, healthy completions must match
+/// the solo oracle bitwise, and the shared plan cache must have amortized
+/// plan construction across jobs.
+#[test]
+fn hundreds_of_interleaved_jobs_reach_terminal_outcomes() {
+    let seed = std::env::var("DET_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42u64);
+    let oracle = solo_digests();
+    let svc = Service::start(
+        ServeOptions::default()
+            .workers(4)
+            .pool(PoolMode::Shared { threads: 4 })
+            .max_queue(1024)
+            .backend(BackendKind::Dataflow)
+            .tenant_weight("alpha", 3)
+            .tenant_weight("beta", 1),
+    );
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut healthy = Vec::new();
+    let mut chaos = Vec::new();
+    let mut doomed = Vec::new(); // zero-ish deadline: must not complete
+    let mut cancelled = Vec::new();
+    let total = 240;
+    for i in 0..total {
+        let tenant = ["alpha", "beta", "gamma"][rng.gen_range(0..3usize)];
+        let prio = priority_for(rng.gen_range(0..3u32));
+        match rng.gen_range(0..20) {
+            0 | 1 => chaos.push(svc.submit(
+                JobSpec::new(format!("chaos-{i}"), chaos_program())
+                    .tenant("chaos")
+                    .priority(prio),
+            )),
+            2 => doomed.push(svc.submit(
+                JobSpec::new(format!("doomed-{i}"), program_for(CATALOGUE[0]))
+                    .tenant(tenant)
+                    .priority(prio)
+                    .deadline(Duration::from_nanos(1)),
+            )),
+            3 => {
+                let h = svc.submit(
+                    JobSpec::new(format!("cancel-{i}"), program_for(CATALOGUE[1]))
+                        .tenant(tenant)
+                        .priority(prio),
+                );
+                h.try_cancel();
+                cancelled.push(h);
+            }
+            _ => {
+                let p = CATALOGUE[rng.gen_range(0..CATALOGUE.len())];
+                healthy.push((
+                    p,
+                    svc.submit(
+                        JobSpec::new(format!("{}-{i}", p.0), program_for(p))
+                            .tenant(tenant)
+                            .priority(prio),
+                    ),
+                ));
+            }
+        }
+    }
+    // 1. Terminal outcomes for every single job.
+    for (p, h) in &healthy {
+        match h.wait_timeout(Duration::from_secs(300)) {
+            Some(JobOutcome::Completed(out)) => assert_eq!(
+                out.digest, oracle[p],
+                "seed {seed}: healthy {p:?} diverged from solo"
+            ),
+            other => panic!("seed {seed}: healthy {p:?}: {other:?}"),
+        }
+    }
+    for h in &chaos {
+        assert!(
+            matches!(
+                h.wait_timeout(Duration::from_secs(300)),
+                Some(JobOutcome::Failed(_))
+            ),
+            "seed {seed}: chaos must fail typed"
+        );
+    }
+    for h in &doomed {
+        assert_eq!(
+            h.wait_timeout(Duration::from_secs(300)),
+            Some(JobOutcome::DeadlineExceeded),
+            "seed {seed}: doomed job must hit its deadline"
+        );
+    }
+    for h in &cancelled {
+        // The cancel raced dispatch; either it landed (Cancelled) or the
+        // job had already finished — both are legal, hanging is not.
+        let outcome = h.wait_timeout(Duration::from_secs(300));
+        assert!(
+            matches!(
+                outcome,
+                Some(JobOutcome::Cancelled) | Some(JobOutcome::Completed(_))
+            ),
+            "seed {seed}: cancelled job: {outcome:?}"
+        );
+    }
+    // 2. Service-level accounting adds up.
+    let report = svc.drain();
+    assert!(report.is_conserved(), "seed {seed}: {report:?}");
+    assert_eq!(report.submitted, total as u64);
+    assert_eq!(report.shed, 0, "queue bound was never hit");
+    // 3. The content-addressed plan cache amortized construction: ~6 mesh
+    //    shapes × ~5 loops each, across ~200 jobs.
+    assert!(
+        report.plan_builds < 50,
+        "plan cache failed to amortize: {} builds",
+        report.plan_builds
+    );
+    assert!(
+        report.plan_topo_hits > report.plan_builds,
+        "expected cross-job topology hits: {report:?}"
+    );
+}
+
+/// `DetPerJob` mode: each job on its own seeded deterministic pool. Two
+/// identical submission sets must produce identical digests (and they must
+/// equal the shared-pool digests — schedule independence, again).
+#[test]
+fn det_per_job_mode_is_reproducible() {
+    let run = |pool_seed: u64| -> Vec<u64> {
+        let svc = Service::start(
+            ServeOptions::default()
+                .workers(2)
+                .pool(PoolMode::DetPerJob { seed: pool_seed })
+                .max_queue(64),
+        );
+        let handles: Vec<_> = CATALOGUE
+            .iter()
+            .map(|&p| (p, svc.submit(JobSpec::new(p.0, program_for(p)))))
+            .collect();
+        let digests = handles
+            .iter()
+            .map(|(p, h)| match h.wait_timeout(Duration::from_secs(120)) {
+                Some(JobOutcome::Completed(out)) => out.digest,
+                other => panic!("{p:?}: {other:?}"),
+            })
+            .collect();
+        let report = svc.drain();
+        assert!(report.is_conserved());
+        digests
+    };
+    let a = run(7);
+    let b = run(7);
+    let c = run(8);
+    assert_eq!(a, b, "same pool seed must reproduce bitwise");
+    assert_eq!(a, c, "digests are schedule-independent across pool seeds");
+    let oracle = solo_digests();
+    for (p, d) in CATALOGUE.iter().zip(&a) {
+        assert_eq!(*d, oracle[p], "{p:?}: det service run must match solo");
+    }
+}

@@ -69,6 +69,14 @@ pub enum EventKind {
     /// peers) (span). Attributed separately from barrier-wait so the
     /// comm/compute-overlap win is measurable.
     HaloWait = 17,
+    /// A service job executed; `name` = job name, `a` = job id, `b` =
+    /// interned tenant name (span). Every loop/rollback/retry event inside
+    /// the span belongs to that job — the per-job scope `op2-serve` reports.
+    Job = 18,
+    /// A service shed a submission under overload; `name` = tenant, `a` =
+    /// rejection code (0 queue-full, 1 quota, 2 shutdown), `b` = queue depth
+    /// at rejection (instant).
+    Shed = 19,
 }
 
 impl EventKind {
@@ -93,6 +101,8 @@ impl EventKind {
             EventKind::Retry => "retry",
             EventKind::Poison => "poison",
             EventKind::HaloWait => "halo-wait",
+            EventKind::Job => "job",
+            EventKind::Shed => "shed",
         }
     }
 
@@ -118,6 +128,8 @@ impl EventKind {
             15 => EventKind::Retry,
             16 => EventKind::Poison,
             17 => EventKind::HaloWait,
+            18 => EventKind::Job,
+            19 => EventKind::Shed,
             _ => return None,
         })
     }
@@ -134,6 +146,7 @@ impl EventKind {
                 | EventKind::Rollback
                 | EventKind::Retry
                 | EventKind::Poison
+                | EventKind::Shed
         )
     }
 }

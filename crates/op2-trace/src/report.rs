@@ -103,6 +103,12 @@ pub struct RunReport {
     pub retries: u64,
     /// Dataflow nodes poisoned by upstream failures.
     pub poisons: u64,
+    /// Service jobs executed (`op2-serve` job spans).
+    pub jobs: u64,
+    /// Total time inside service job spans (admission→terminal work), ns.
+    pub job_ns: u64,
+    /// Service submissions shed under overload.
+    pub sheds: u64,
     /// Threads that executed or slept for tasks (pool workers + helpers).
     pub workers: usize,
     /// Mean fraction of wall time those threads spent *not* running tasks.
@@ -273,6 +279,11 @@ pub fn analyze(t: &Timeline) -> RunReport {
             EventKind::Rollback => report.rollbacks += 1,
             EventKind::Retry => report.retries += 1,
             EventKind::Poison => report.poisons += 1,
+            EventKind::Job => {
+                report.jobs += 1;
+                report.job_ns += e.dur_ns();
+            }
+            EventKind::Shed => report.sheds += 1,
             _ => {}
         }
     }

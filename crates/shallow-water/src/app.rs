@@ -261,6 +261,35 @@ impl SweApp {
         reports
     }
 
+    /// [`SweApp::run`] as a *submittable job*: every loop executes through
+    /// the recovery [`op2_hpx::Supervisor`] ladder, and the first
+    /// unrecovered failure — including a job-level cancellation or deadline
+    /// armed on the supervisor's runtime token — surfaces as a typed
+    /// [`op2_hpx::LoopError`] instead of a panic. Reports are bit-identical
+    /// to [`SweApp::run`] on any backend.
+    pub fn run_supervised(
+        &self,
+        sup: &op2_hpx::Supervisor,
+        steps: usize,
+        report_every: usize,
+    ) -> Result<Vec<(usize, f64, f64)>, op2_hpx::LoopError> {
+        let ncells = self.mesh.ncells() as f64;
+        let mut reports = Vec::new();
+        for step in 1..=steps {
+            sup.run(&self.save)?;
+            let smax = sup.run(&self.dt_calc)?[0];
+            let dt = self.cfl * self.min_len / smax.max(1e-12);
+            self.dt_bits.store(dt.to_bits(), Ordering::Release);
+            sup.run(&self.flux)?;
+            sup.run(&self.bflux)?;
+            let rms = sup.run(&self.update)?[0];
+            if step % report_every.max(1) == 0 || step == steps {
+                reports.push((step, dt, (rms / ncells).sqrt()));
+            }
+        }
+        Ok(reports)
+    }
+
     /// [`SweApp::run`] in single-threaded *natural* iteration order
     /// (`op2_core::serial::execute_natural`): every loop visits its set in
     /// ascending index order, no coloring. This is the order the 1-rank

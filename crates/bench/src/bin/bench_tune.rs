@@ -1,0 +1,386 @@
+//! Autotuner closed-loop benchmark: cold convergence trajectory, warm-store
+//! start, and the untuned ablation sweep the tuned runs are judged against,
+//! exported as `results/BENCH_tune.json` (see EXPERIMENTS.md for the
+//! schema).
+//!
+//! Usage: `bench_tune [OUT_DIR]` (default: `results/`).
+//!
+//! Three questions, per application (airfoil + shallow water):
+//!
+//! 1. **Ablation** — what does every fixed `(backend, part_size)` config
+//!    cost untuned? The sweep's minimum is the target the tuner is supposed
+//!    to find on its own.
+//! 2. **Cold** — attach a fresh tuner and march repeatedly: how many runs
+//!    (and loop executions) until every decision key exploits, and does the
+//!    exploit-phase wall time land within 10% of the best fixed config?
+//! 3. **Warm** — round-trip the converged model through a [`TuneStore`]
+//!    file into a fresh tuner (different seed — irrelevant when warm) and
+//!    run once more: within 5% of the best fixed config, with zero
+//!    exploration?
+//!
+//! The 10%/5% bands are judged against a **contemporaneous reference**: the
+//! best ablation config at the default part size, re-measured adjacent to
+//! (cold) or interleaved with (warm) the tuned runs. On a shared box the
+//! clock drifts several percent between benchmark phases; re-measuring the
+//! target config in the same noise regime keeps the bands about tuner
+//! overhead rather than machine weather. The phase-ordered ablation numbers
+//! are still exported for the absolute picture.
+//!
+//! Tuned runs execute through the supervisor (the production path): the
+//! ladder head is the paper's dataflow backend, and the tuner may move each
+//! loop to fork-join or serial as measurement dictates. Bit-identity is
+//! asserted, not assumed: every tuned digest must equal the untuned digest
+//! at the same part size.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use op2_hpx::{BackendKind, Op2Runtime, RetryPolicy};
+use op2_serve::{apps, JobCtx, Program};
+use op2_tune::{TuneOptions, Tuner};
+use serde::Value;
+
+const THREADS: usize = 4;
+const PART_DEFAULT: usize = 64;
+const PARTS: [usize; 3] = [32, 64, 128];
+const REPEATS: usize = 5;
+/// Cold-run budget: the trajectory must converge well inside this.
+const MAX_COLD_RUNS: usize = 40;
+/// Exploit-phase runs appended after convergence (the "converged cost").
+const EXPLOIT_TAIL: usize = 8;
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Object(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+fn seed() -> u64 {
+    std::env::var("DET_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0)
+}
+
+/// `BENCH_TUNE_VERBOSE=1`: print every individual run's wall time.
+fn verbose() -> bool {
+    std::env::var("BENCH_TUNE_VERBOSE").is_ok_and(|v| v == "1")
+}
+
+/// One application: a name and a factory for fresh job programs.
+struct App {
+    name: &'static str,
+    mesh: String,
+    iters: usize,
+    make: Box<dyn Fn() -> Program>,
+}
+
+fn apps_under_test() -> Vec<App> {
+    vec![
+        // Meshes sized so one loop execution is ≳100 µs: the per-execution
+        // tuner overhead (decide/observe under a lock, resolved-runtime
+        // construction) then amortizes below the acceptance bands instead
+        // of dominating them, which is also the regime autotuning targets.
+        App {
+            name: "airfoil",
+            mesh: "128x64".into(),
+            iters: 4,
+            make: Box::new(|| apps::airfoil_program(128, 64, 4)),
+        },
+        App {
+            name: "shallow-water",
+            mesh: "96x48".into(),
+            iters: 5,
+            make: Box::new(|| apps::swe_program(96, 48, 5)),
+        },
+    ]
+}
+
+/// One solo march on `rt` through the supervisor with ladder head
+/// `backend`; returns `(wall_ns, digest)`.
+fn run_once(rt: &Arc<Op2Runtime>, backend: BackendKind, program: Program) -> (u64, u64) {
+    let ctx = JobCtx::standalone(Arc::clone(rt), backend, RetryPolicy::default());
+    let t0 = Instant::now();
+    let out = program(&ctx).expect("solo march");
+    (t0.elapsed().as_nanos() as u64, out.digest)
+}
+
+struct AblationBest {
+    backend: BackendKind,
+    part_size: usize,
+    wall_ns: u64,
+    /// Best config among those at `PART_DEFAULT` — the space a bit-identity
+    /// preserving tuner actually searches. Part-size changes reorder Inc
+    /// loops (different bits), so the 5%/10% acceptance bands are judged
+    /// against this, with the unconstrained best reported alongside.
+    default_backend: BackendKind,
+    default_wall_ns: u64,
+    /// Digest of the untuned run at `PART_DEFAULT` (the tuned comparison
+    /// target — plan order, and hence bits, are a function of part size).
+    digest_at_default: u64,
+}
+
+/// Untuned sweep over backend × part size, best-of-`REPEATS` each.
+fn ablation(app: &App) -> (Value, AblationBest) {
+    let mut runs = Vec::new();
+    let mut overall: Option<(BackendKind, usize, u64)> = None;
+    let mut at_default: Option<(BackendKind, u64)> = None;
+    let mut digest_at_default = None;
+    for kind in BackendKind::all() {
+        for part in PARTS {
+            let rt = Arc::new(Op2Runtime::new(THREADS, part));
+            let mut wall = u64::MAX;
+            let mut digest = 0;
+            for _ in 0..REPEATS {
+                let (ns, d) = run_once(&rt, kind, (app.make)());
+                wall = wall.min(ns);
+                digest = d;
+            }
+            if part == PART_DEFAULT {
+                // Same part size ⇒ same plan order ⇒ same bits, whatever
+                // the backend: record once, verify always.
+                match digest_at_default {
+                    None => digest_at_default = Some(digest),
+                    Some(expect) => assert_eq!(
+                        digest, expect,
+                        "{}: backend {kind} diverged from the part-{PART_DEFAULT} digest",
+                        app.name
+                    ),
+                }
+                if at_default.is_none_or(|(_, w)| wall < w) {
+                    at_default = Some((kind, wall));
+                }
+            }
+            runs.push(obj(vec![
+                ("backend", Value::Str(kind.to_string())),
+                ("part_size", Value::UInt(part as u64)),
+                ("wall_ns", Value::UInt(wall)),
+            ]));
+            if overall.is_none_or(|(_, _, w)| wall < w) {
+                overall = Some((kind, part, wall));
+            }
+        }
+    }
+    let (backend, part_size, wall_ns) = overall.expect("non-empty sweep");
+    let (default_backend, default_wall_ns) = at_default.expect("PART_DEFAULT swept");
+    let best = AblationBest {
+        backend,
+        part_size,
+        wall_ns,
+        default_backend,
+        default_wall_ns,
+        digest_at_default: digest_at_default.expect("PART_DEFAULT swept"),
+    };
+    println!(
+        "{:<14} ablation best: {} @ part {} = {:.3} ms (best at default part: {} = {:.3} ms)",
+        app.name,
+        best.backend,
+        best.part_size,
+        best.wall_ns as f64 / 1e6,
+        best.default_backend,
+        best.default_wall_ns as f64 / 1e6
+    );
+    let json = obj(vec![
+        ("runs", Value::Array(runs)),
+        ("best_backend", Value::Str(best.backend.to_string())),
+        ("best_part_size", Value::UInt(best.part_size as u64)),
+        ("best_wall_ns", Value::UInt(best.wall_ns)),
+        (
+            "best_at_default_backend",
+            Value::Str(best.default_backend.to_string()),
+        ),
+        ("best_at_default_wall_ns", Value::UInt(best.default_wall_ns)),
+    ]);
+    (json, best)
+}
+
+/// Cold start: fresh tuner, march until converged (+ exploit tail).
+fn cold(app: &App, best: &AblationBest) -> (Value, Arc<Tuner>) {
+    let tuner = Arc::new(Tuner::new(TuneOptions {
+        seed: seed(),
+        // Min-of-5 per candidate: on a shared/noisy box the default two
+        // samples let one scheduler spike crown the wrong backend.
+        explore_samples: 5,
+        // Pin the exploit phase once reached: this benchmark reads the
+        // converged config; drift re-exploration is a production concern.
+        drift_limit: 0,
+        ..TuneOptions::default()
+    }));
+    let rt = Arc::new(Op2Runtime::new(THREADS, PART_DEFAULT).with_tuner(Arc::clone(&tuner)));
+    let mut trajectory = Vec::new();
+    let mut runs_to_converge = None;
+    for run in 0..MAX_COLD_RUNS {
+        let (ns, digest) = run_once(&rt, BackendKind::Dataflow, (app.make)());
+        assert_eq!(
+            digest, best.digest_at_default,
+            "{}: tuned cold run {run} changed the bits",
+            app.name
+        );
+        trajectory.push(ns);
+        if tuner.converged() {
+            runs_to_converge = Some(run + 1);
+            break;
+        }
+    }
+    // Exploit tail, interleaved with the best fixed config so the band
+    // compares minima taken under the same machine weather.
+    let ref_rt = Arc::new(Op2Runtime::new(THREADS, PART_DEFAULT));
+    let mut exploit_best = u64::MAX;
+    let mut reference = u64::MAX;
+    for _ in 0..EXPLOIT_TAIL {
+        let (ns, digest) = run_once(&rt, BackendKind::Dataflow, (app.make)());
+        assert_eq!(digest, best.digest_at_default);
+        trajectory.push(ns);
+        exploit_best = exploit_best.min(ns);
+        let (ref_ns, ref_digest) = run_once(&ref_rt, best.default_backend, (app.make)());
+        assert_eq!(ref_digest, best.digest_at_default);
+        reference = reference.min(ref_ns);
+    }
+    let executions: u64 = tuner.snapshot().iter().map(|(_, _, _, n)| n).sum();
+    let within = exploit_best as f64 <= reference as f64 * 1.10;
+    println!(
+        "{:<14} cold: converged in {} runs ({executions} loop executions), \
+         exploit best {:.3} ms ({}10% of best fixed config, ref {:.3} ms)",
+        app.name,
+        runs_to_converge.map_or_else(|| "∞".into(), |c| c.to_string()),
+        exploit_best as f64 / 1e6,
+        if within { "within " } else { "OUTSIDE " },
+        reference as f64 / 1e6,
+    );
+    let json = obj(vec![
+        ("runs", Value::UInt(trajectory.len() as u64)),
+        (
+            "runs_to_converge",
+            runs_to_converge.map_or(Value::Null, |c| Value::UInt(c as u64)),
+        ),
+        ("loop_executions", Value::UInt(executions)),
+        (
+            "trajectory_ns",
+            Value::Array(trajectory.iter().map(|&n| Value::UInt(n)).collect()),
+        ),
+        ("exploit_best_ns", Value::UInt(exploit_best)),
+        ("reference_wall_ns", Value::UInt(reference)),
+        ("within_10pct_of_best", Value::Bool(within)),
+    ]);
+    (json, tuner)
+}
+
+/// Warm start: persist the cold model, load it into a fresh tuner, run
+/// best-of-`REPEATS` with zero exploration.
+fn warm(app: &App, best: &AblationBest, cold_tuner: &Tuner) -> Value {
+    let path = std::env::temp_dir().join(format!(
+        "bench-tune-{}-{}.store",
+        app.name,
+        std::process::id()
+    ));
+    cold_tuner.save(&path).expect("save tune store");
+    // Different seed (irrelevant once warm); drift re-exploration pinned off
+    // like cold's — a load burst re-exploring mid-measurement would fold
+    // exploration runs into the "zero exploration" number.
+    let tuner = Arc::new(Tuner::new(TuneOptions {
+        seed: seed().wrapping_add(1),
+        drift_limit: 0,
+        ..TuneOptions::default()
+    }));
+    tuner.load(&path).expect("load tune store");
+    std::fs::remove_file(&path).ok();
+    assert!(tuner.converged(), "imported store must start warm");
+
+    let rt = Arc::new(Op2Runtime::new(THREADS, PART_DEFAULT).with_tuner(Arc::clone(&tuner)));
+    // Interleave tuned runs with untuned runs of the best fixed config so
+    // both see the same machine weather; the band compares their minima.
+    let ref_rt = Arc::new(Op2Runtime::new(THREADS, PART_DEFAULT));
+    let mut wall = u64::MAX;
+    let mut reference = u64::MAX;
+    // More pairs than `REPEATS`: interleaving defeats slow drift, extra
+    // pairs defeat periodic load aliasing onto one side of the pair.
+    for _ in 0..EXPLOIT_TAIL {
+        let (ns, digest) = run_once(&rt, BackendKind::Dataflow, (app.make)());
+        assert_eq!(digest, best.digest_at_default, "{}: warm run changed the bits", app.name);
+        wall = wall.min(ns);
+        let (ref_ns, ref_digest) = run_once(&ref_rt, best.default_backend, (app.make)());
+        assert_eq!(ref_digest, best.digest_at_default);
+        reference = reference.min(ref_ns);
+        if verbose() {
+            eprintln!(
+                "  warm pair: tuned {:.3} ms / ref {:.3} ms",
+                ns as f64 / 1e6,
+                ref_ns as f64 / 1e6
+            );
+        }
+    }
+    let within = wall as f64 <= reference as f64 * 1.05;
+    println!(
+        "{:<14} warm: {:.3} ms ({}5% of best fixed config, ref {:.3} ms)",
+        app.name,
+        wall as f64 / 1e6,
+        if within { "within " } else { "OUTSIDE " },
+        reference as f64 / 1e6,
+    );
+    let keys: Vec<Value> = tuner
+        .snapshot()
+        .into_iter()
+        .map(|(k, config, _, execs)| {
+            obj(vec![
+                (
+                    "key",
+                    Value::Str(format!(
+                        "{}[n={},{}] @{:016x}",
+                        k.loop_name,
+                        k.set_size,
+                        k.pattern.name(),
+                        k.topo
+                    )),
+                ),
+                ("config", Value::Str(config)),
+                ("executions", Value::UInt(execs)),
+            ])
+        })
+        .collect();
+    obj(vec![
+        ("wall_ns", Value::UInt(wall)),
+        ("reference_wall_ns", Value::UInt(reference)),
+        ("within_5pct_of_best", Value::Bool(within)),
+        ("keys", Value::Array(keys)),
+    ])
+}
+
+fn main() {
+    let out_dir = std::env::args().nth(1).unwrap_or_else(|| "results".into());
+    std::fs::create_dir_all(&out_dir).expect("create output dir");
+
+    println!(
+        "# bench_tune: {THREADS} threads, default part {PART_DEFAULT}, seed {}, best of {REPEATS}",
+        seed()
+    );
+    // `BENCH_TUNE_APP=<name>`: restrict to one application (debug aid).
+    let only = std::env::var("BENCH_TUNE_APP").ok();
+    let mut app_docs = Vec::new();
+    for app in apps_under_test()
+        .into_iter()
+        .filter(|a| only.as_deref().is_none_or(|o| o == a.name))
+    {
+        let (ablation_json, best) = ablation(&app);
+        let (cold_json, cold_tuner) = cold(&app, &best);
+        let warm_json = warm(&app, &best, &cold_tuner);
+        app_docs.push(obj(vec![
+            ("app", Value::Str(app.name.into())),
+            ("mesh", Value::Str(app.mesh.clone())),
+            ("iters", Value::UInt(app.iters as u64)),
+            ("ablation", ablation_json),
+            ("cold", cold_json),
+            ("warm", warm_json),
+        ]));
+    }
+
+    let doc = obj(vec![
+        ("bench", Value::Str("bench_tune".into())),
+        ("seed", Value::UInt(seed())),
+        ("threads", Value::UInt(THREADS as u64)),
+        ("part_default", Value::UInt(PART_DEFAULT as u64)),
+        ("repeats", Value::UInt(REPEATS as u64)),
+        ("apps", Value::Array(app_docs)),
+    ]);
+    let path = format!("{out_dir}/BENCH_tune.json");
+    std::fs::write(&path, serde_json::to_string(&doc).expect("serialize"))
+        .expect("write BENCH_tune.json");
+    println!("-> {path}");
+}

@@ -24,7 +24,7 @@ use crate::recover::{
     check_finite, run_transaction, FailSlot, FailureKind, FenceReport, LoopError, WriteSet,
 };
 use crate::runtime::Op2Runtime;
-use crate::{tracehooks, Executor};
+use crate::{tune, tracehooks, Executor};
 
 /// One issued-and-unfenced loop: its future, the structured-failure slot the
 /// transactional wrapper fills, and the loop name for fallback provenance.
@@ -64,12 +64,17 @@ impl Executor for AsyncExecutor {
     }
 
     fn try_execute(&self, loop_: &ParLoop) -> Result<LoopHandle, LoopError> {
-        let plan = self.rt.plan_for(loop_);
+        let trial = tune::begin(&self.rt, loop_, &[]);
+        let plan = self.rt.plan_with(loop_, trial.as_ref().and_then(|t| t.plan()));
         plan.validate_cached(loop_.args()).map_err(|e| {
             LoopError::new(loop_.name(), self.name(), FailureKind::Plan(e), false)
         })?;
         let pool = Arc::clone(self.rt.pool());
-        let chunk = self.chunk;
+        let chunk = trial
+            .as_ref()
+            .and_then(|t| t.chunk_blocks(plan.part_size))
+            .map(hpx_rt::ChunkSize::Tuned)
+            .unwrap_or(self.chunk);
         let cancel = self.rt.cancel_token().clone();
         let err_slot: Arc<Mutex<Option<LoopError>>> = Arc::new(Mutex::new(None));
         let instance = tracehooks::next_instance();
@@ -91,12 +96,20 @@ impl Executor for AsyncExecutor {
             let slot = Arc::clone(&err_slot);
             async_spawn(&pool, move || {
                 tracehooks::loop_begin(loop_.name(), "async-foreach", instance);
+                let body_start = std::time::Instant::now();
                 let result = run_transaction(&loop_, "async-foreach", || {
                     run_colored(&pool2, &loop_, &plan, chunk, Some(&cancel))
                 });
                 tracehooks::loop_end(instance);
                 match result {
-                    Ok(out) => out,
+                    Ok(out) => {
+                        // Credit the body only — queueing before the task
+                        // started is scheduler noise, not this config's cost.
+                        if let Some(t) = trial {
+                            t.finish_with(body_start.elapsed().as_nanos() as u64);
+                        }
+                        out
+                    }
                     Err(e) => {
                         *slot.lock() = Some(e.clone());
                         e.rethrow()
@@ -138,7 +151,14 @@ impl Executor for AsyncExecutor {
                                 *slot.lock() = Some(e.clone());
                                 promise.set_panic(Box::new(e.to_string()));
                             }
-                            None => promise.set_value(gbl),
+                            None => {
+                                // The first color launched at issue, so
+                                // issue→completion is the body's wall time.
+                                if let Some(t) = trial {
+                                    t.finish();
+                                }
+                                promise.set_value(gbl);
+                            }
                         }
                     }
                     Err(msg) => {

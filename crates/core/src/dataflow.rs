@@ -31,7 +31,7 @@ use crate::colored::run_colored;
 use crate::handle::LoopHandle;
 use crate::recover::{run_transaction, FailureKind, FenceReport, LoopError};
 use crate::runtime::Op2Runtime;
-use crate::{tracehooks, Executor};
+use crate::{tune, tracehooks, Executor};
 
 /// Readers-since-write lists longer than this are merged into one future.
 const READER_COMPACT_THRESHOLD: usize = 64;
@@ -90,12 +90,17 @@ impl Executor for DataflowExecutor {
     }
 
     fn try_execute(&self, loop_: &ParLoop) -> Result<LoopHandle, LoopError> {
-        let plan = self.rt.plan_for(loop_);
+        let trial = tune::begin(&self.rt, loop_, &[]);
+        let plan = self.rt.plan_with(loop_, trial.as_ref().and_then(|t| t.plan()));
         plan.validate_cached(loop_.args()).map_err(|e| {
             LoopError::new(loop_.name(), self.name(), FailureKind::Plan(e), false)
         })?;
         let pool = Arc::clone(self.rt.pool());
-        let chunk = self.chunk;
+        let chunk = trial
+            .as_ref()
+            .and_then(|t| t.chunk_blocks(plan.part_size))
+            .map(ChunkSize::Tuned)
+            .unwrap_or(self.chunk);
         let reads = loop_.dat_reads();
         let writes = loop_.dat_writes();
 
@@ -171,6 +176,7 @@ impl Executor for DataflowExecutor {
                     // the last dependency resolving to completion — so there
                     // is never a barrier (or caller-side blocking) inside it.
                     tracehooks::loop_begin(body_loop.name(), "dataflow", instance);
+                    let body_start = std::time::Instant::now();
                     let result = run_transaction(&body_loop, "dataflow", || {
                         run_colored(&body_pool, &body_loop, &plan, chunk, Some(&cancel))
                     });
@@ -181,7 +187,14 @@ impl Executor for DataflowExecutor {
                     #[cfg(feature = "det")]
                     op2_core::det::dataflow_complete(df_token);
                     match result {
-                        Ok(out) => promise.set_value(out),
+                        Ok(out) => {
+                            // Credit the body only, not the dependency wait
+                            // the DAG imposed before it could start.
+                            if let Some(t) = trial {
+                                t.finish_with(body_start.elapsed().as_nanos() as u64);
+                            }
+                            promise.set_value(out);
+                        }
                         Err(e) => {
                             failures.lock().push(e.clone());
                             *slot.lock() = Some(e.clone());

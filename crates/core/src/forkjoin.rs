@@ -19,7 +19,7 @@ use crate::colored::run_colored;
 use crate::handle::LoopHandle;
 use crate::recover::{run_transaction, FailureKind, LoopError};
 use crate::runtime::Op2Runtime;
-use crate::{tracehooks, Executor};
+use crate::{tune, tracehooks, Executor};
 
 /// OpenMP-style fork-join executor (the paper's baseline).
 pub struct ForkJoinExecutor {
@@ -43,7 +43,11 @@ impl Executor for ForkJoinExecutor {
     }
 
     fn try_execute(&self, loop_: &ParLoop) -> Result<LoopHandle, LoopError> {
-        let plan = self.rt.plan_for(loop_);
+        // Plan-parameter tuning only: the static schedule (one contiguous
+        // chunk per worker) *is* this backend's semantics, so the tuner's
+        // chunk knob does not apply here.
+        let trial = tune::begin(&self.rt, loop_, &[]);
+        let plan = self.rt.plan_with(loop_, trial.as_ref().and_then(|t| t.plan()));
         plan.validate_cached(loop_.args()).map_err(|e| {
             LoopError::new(loop_.name(), self.name(), FailureKind::Plan(e), false)
         })?;
@@ -71,6 +75,11 @@ impl Executor for ForkJoinExecutor {
         });
         op2_trace::end(span, EventKind::BarrierWait, NO_NAME, instance, 0);
         tracehooks::loop_end(instance);
+        if result.is_ok() {
+            if let Some(t) = trial {
+                t.finish();
+            }
+        }
         result.map(|gbl| LoopHandle::ready(gbl).with_instance(instance))
     }
 }

@@ -52,6 +52,8 @@ pub mod recover;
 pub mod runtime;
 pub mod serial;
 pub mod tracehooks;
+pub mod tune;
+pub mod tuned;
 
 pub use async_fe::AsyncExecutor;
 pub use dataflow::DataflowExecutor;
@@ -63,6 +65,8 @@ pub use handle::LoopHandle;
 pub use recover::{FailureKind, FenceReport, LoopError, RetryPolicy, Supervisor, WriteSet};
 pub use runtime::Op2Runtime;
 pub use serial::SerialExecutor;
+pub use tune::{choice_to_kind, kind_to_choice, key_for, plan_order_invariant};
+pub use tuned::{TunedExecutor, TUNABLE_BACKENDS};
 
 /// A strategy for executing OP2 parallel loops.
 ///

@@ -33,8 +33,10 @@ use hpx_rt::{CancelReason, Cancelled, TaskPanic};
 use op2_core::{DatSnapshot, ParLoop, PlanError};
 use parking_lot::Mutex;
 
-use crate::factory::{make_executor, BackendKind};
+use crate::factory::BackendKind;
 use crate::runtime::Op2Runtime;
+use crate::tune::{self, choice_to_kind, kind_to_choice};
+use crate::tuned::make_tuned_executor;
 use crate::tracehooks;
 
 /// Why a loop failed, with as much provenance as the failure path preserves.
@@ -407,14 +409,41 @@ impl Supervisor {
         // Both are sticky: an explicit cancel terminates the ladder, and the
         // job deadline is restored after every attempt tightens it.
         let job_deadline = token.deadline();
-        for (rung, kind) in self.ladder.iter().enumerate() {
+        // Feedback-directed first rung: with a tuner on the runtime, offer it
+        // the ladder's backends and promote its pick; the degradation order
+        // behind it is unchanged. Attempts then run on a tuning-resolved
+        // runtime so the inner executor does not decide a second time.
+        let choices: Vec<op2_tune::BackendChoice> =
+            self.ladder.iter().copied().map(kind_to_choice).collect();
+        let mut trial = tune::begin(&self.rt, loop_, &choices);
+        let (ladder, attempt_rt, chunk_blocks) = match &trial {
+            Some(t) => {
+                let config = t.config();
+                let mut ladder = self.ladder.clone();
+                if let Some(kind) = config.backend.map(choice_to_kind) {
+                    ladder.retain(|k| *k != kind);
+                    ladder.insert(0, kind);
+                }
+                let part = config
+                    .plan
+                    .map(|p| p.part_size)
+                    .unwrap_or_else(|| self.rt.part_size());
+                (
+                    ladder,
+                    Arc::new(self.rt.resolve_tuned(config.plan)),
+                    t.chunk_blocks(part),
+                )
+            }
+            None => (self.ladder.clone(), Arc::clone(&self.rt), None),
+        };
+        for (rung, kind) in ladder.iter().enumerate() {
             for attempt in 0..=self.policy.max_retries {
                 // A fresh executor per *attempt*: a failed async attempt must
                 // not leave its failure in the outstanding list (a successful
                 // retry would then be misreported at the fence), and a failed
                 // dataflow attempt must not leave a poisoned dependency table
                 // that would poison the retry itself.
-                let exec = make_executor(*kind, Arc::clone(&self.rt));
+                let exec = make_tuned_executor(*kind, Arc::clone(&attempt_rt), chunk_blocks);
                 if self.quota_remaining() == 0 {
                     return Err(last.unwrap_or_else(|| {
                         LoopError::new(loop_.name(), "supervisor", FailureKind::CircuitOpen, false)
@@ -442,7 +471,17 @@ impl Supervisor {
                     });
                 token.set_deadline_opt(job_deadline);
                 match result {
-                    Ok(gbl) => return Ok(gbl),
+                    Ok(gbl) => {
+                        // Only a first-try success measures the decided
+                        // config; retries and fallback rungs ran something
+                        // else, so their trial yields no observation.
+                        if rung == 0 && attempt == 0 {
+                            if let Some(t) = trial.take() {
+                                t.finish();
+                            }
+                        }
+                        return Ok(gbl);
+                    }
                     Err(e) => {
                         // Drain whatever the failed attempt left pending
                         // before the executor is dropped.

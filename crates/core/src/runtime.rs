@@ -3,7 +3,9 @@
 use std::sync::Arc;
 
 use hpx_rt::{CancelToken, DetPool, Pool, PoolBuilder, SchedulePolicy};
+use op2_core::plan::PlanParams;
 use op2_core::{ParLoop, Plan, PlanCache};
+use op2_tune::Tuner;
 
 /// Default mini-partition (block) size, matching OP2's common setting.
 pub use op2_core::plan::DEFAULT_PART_SIZE;
@@ -18,6 +20,11 @@ pub struct Op2Runtime {
     plans: Arc<PlanCache>,
     part_size: usize,
     cancel: CancelToken,
+    /// Online autotuner consulted by the executors; `None` = untuned run.
+    tuner: Option<Arc<Tuner>>,
+    /// Fixed plan-parameter override (set on the derived runtimes the tuned
+    /// executor hands its inner backends; wins over the tuner).
+    plan_override: Option<PlanParams>,
 }
 
 impl Op2Runtime {
@@ -60,6 +67,37 @@ impl Op2Runtime {
             plans,
             part_size: part_size.max(1),
             cancel: CancelToken::new(),
+            tuner: None,
+            plan_override: None,
+        }
+    }
+
+    /// Attach an online [`Tuner`]: executors created over this runtime
+    /// consult it for chunk sizes and plan parameters and feed wall-time
+    /// observations back. Share one `Arc<Tuner>` across runtimes (e.g. all
+    /// jobs of a service) to pool their measurements.
+    pub fn with_tuner(mut self, tuner: Arc<Tuner>) -> Self {
+        self.tuner = Some(tuner);
+        self
+    }
+
+    /// The attached tuner, if any.
+    pub fn tuner(&self) -> Option<&Arc<Tuner>> {
+        self.tuner.as_ref()
+    }
+
+    /// A derived runtime sharing this one's pool, plan cache, and cancel
+    /// token, but with tuning *resolved*: no tuner (inner executors must not
+    /// re-decide) and a fixed plan-parameter override. Used by the tuned
+    /// executor to hand a decided configuration to a concrete backend.
+    pub(crate) fn resolve_tuned(&self, plan: Option<PlanParams>) -> Op2Runtime {
+        Op2Runtime {
+            pool: Arc::clone(&self.pool),
+            plans: Arc::clone(&self.plans),
+            part_size: self.part_size,
+            cancel: self.cancel.clone(),
+            tuner: None,
+            plan_override: plan,
         }
     }
 
@@ -106,7 +144,18 @@ impl Op2Runtime {
 
     /// The memoized plan for `loop_`'s shape.
     pub fn plan_for(&self, loop_: &ParLoop) -> Arc<Plan> {
-        self.plans.get(loop_.set(), loop_.args(), self.part_size)
+        self.plan_with(loop_, None)
+    }
+
+    /// [`Op2Runtime::plan_for`] with tuner-decided plan parameters. The
+    /// runtime's fixed override (see [`Op2Runtime::resolve_tuned`]) wins,
+    /// then `tuned`, then the default `(part_size, greedy)`.
+    pub fn plan_with(&self, loop_: &ParLoop, tuned: Option<PlanParams>) -> Arc<Plan> {
+        let params = self
+            .plan_override
+            .or(tuned)
+            .unwrap_or_else(|| PlanParams::with_part_size(self.part_size));
+        self.plans.get_with(loop_.set(), loop_.args(), params)
     }
 
     /// Number of distinct plans built so far (observability/tests).

@@ -9,7 +9,7 @@ use crate::colored::run_plan_order_tracked;
 use crate::handle::LoopHandle;
 use crate::recover::{run_transaction, FailureKind, LoopError};
 use crate::runtime::Op2Runtime;
-use crate::{tracehooks, Executor};
+use crate::{tune, tracehooks, Executor};
 
 /// Executes loops sequentially in plan order — the oracle every parallel
 /// backend must match bitwise (see [`op2_core::serial`]).
@@ -34,7 +34,10 @@ impl Executor for SerialExecutor {
     }
 
     fn try_execute(&self, loop_: &ParLoop) -> Result<LoopHandle, LoopError> {
-        let plan = self.rt.plan_for(loop_);
+        // Serial runs still train the tuner: its wall times are what tiny
+        // sets are compared against when backend choice is on the table.
+        let trial = tune::begin(&self.rt, loop_, &[]);
+        let plan = self.rt.plan_with(loop_, trial.as_ref().and_then(|t| t.plan()));
         plan.validate_cached(loop_.args()).map_err(|e| {
             LoopError::new(loop_.name(), self.name(), FailureKind::Plan(e), false)
         })?;
@@ -48,6 +51,11 @@ impl Executor for SerialExecutor {
             run_plan_order_tracked(loop_, &plan, Some(&cancel))
         });
         tracehooks::loop_end(instance);
+        if result.is_ok() {
+            if let Some(t) = trial {
+                t.finish();
+            }
+        }
         result.map(|gbl| LoopHandle::ready(gbl).with_instance(instance))
     }
 }

@@ -51,6 +51,12 @@ pub enum ChunkSize {
         /// Smallest chunk the schedule will emit.
         min: usize,
     },
+    /// Tuner-supplied fixed chunk derived from *measured* throughput of prior
+    /// executions of the same loop (no probe is run — the measurement already
+    /// happened). Semantically identical to [`ChunkSize::Static`]; the
+    /// distinct variant lets executors and traces tell a hand-pinned chunk
+    /// from a feedback-directed one.
+    Tuned(usize),
 }
 
 impl ChunkSize {
@@ -158,7 +164,7 @@ fn plan_chunks(
             size = size.clamp(1, n.div_ceil(workers.max(1)).max(1));
             push_fixed(&mut chunks, range, size);
         }
-        ChunkSize::Static(size) => {
+        ChunkSize::Static(size) | ChunkSize::Tuned(size) => {
             push_fixed(&mut chunks, range, size.max(1));
         }
         ChunkSize::Guided { min } => {
@@ -578,11 +584,25 @@ mod tests {
     }
 
     #[test]
+    fn tuned_matches_static_and_survives_zero() {
+        // Tuned(n) is a measured Static(n): same partition, and a degenerate
+        // tuned size of 0 is clamped to 1 instead of looping forever.
+        assert_eq!(
+            plan_chunks(0..100, 4, ChunkSize::Tuned(8), None),
+            plan_chunks(0..100, 4, ChunkSize::Static(8), None),
+        );
+        let chunks = plan_chunks(0..5, 4, ChunkSize::Tuned(0), None);
+        assert_partitions(&chunks, 0..5);
+        assert!(chunks.iter().all(|c| c.len() == 1));
+    }
+
+    #[test]
     fn all_policies_partition_exactly() {
         for chunk in [
             ChunkSize::Default,
             auto(200),
             ChunkSize::Static(3),
+            ChunkSize::Tuned(7),
             ChunkSize::Guided { min: 2 },
         ] {
             for n in [0usize, 1, 5, 17, 100] {

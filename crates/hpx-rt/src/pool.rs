@@ -505,8 +505,16 @@ impl Drop for ThreadPool {
     fn drop(&mut self) {
         self.inner.shutdown.store(true, Ordering::Release);
         self.inner.notify_all();
+        // The last owner of the pool may be a task closure dropped *on a
+        // worker* (e.g. a dataflow body whose caller already observed the
+        // promise and released its runtime). That worker cannot join itself
+        // — pthread_join would return EDEADLK and std panics — so it is
+        // skipped and exits on its own via the shutdown flag above.
+        let me = std::thread::current().id();
         for h in self.handles.drain(..) {
-            let _ = h.join();
+            if h.thread().id() != me {
+                let _ = h.join();
+            }
         }
     }
 }

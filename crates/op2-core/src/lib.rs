@@ -47,7 +47,7 @@ pub use arg::{arg_direct, arg_indirect, ArgSpec, MapRef};
 pub use dat::{Dat, DatView};
 pub use loops::{KernelFn, ParLoop, ParLoopBuilder};
 pub use map::Map;
-pub use plan::{Plan, PlanCache, PlanError, PlanKey};
+pub use plan::{ColoringStrategy, Plan, PlanCache, PlanError, PlanKey, PlanParams};
 pub use snapshot::{DatSnapshot, RawDat};
 pub use reduction::{GblOp, GlobalAcc};
 pub use set::Set;

@@ -28,6 +28,73 @@ use crate::set::Set;
 /// Default mini-partition size (elements per block). OP2's common default.
 pub const DEFAULT_PART_SIZE: usize = 256;
 
+/// Block-coloring strategy.
+///
+/// Both strategies honor the same invariant (same-colored blocks have
+/// disjoint indirect-write footprints); they differ in *which* admissible
+/// color a block gets, which moves the color-population balance — and with it
+/// the per-color barrier cost — without affecting correctness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ColoringStrategy {
+    /// First-fit: lowest admissible color, ascending block order (OP2's
+    /// classic `op_plan` behavior; minimizes the number of colors).
+    #[default]
+    Greedy,
+    /// Least-loaded-fit: among admissible colors, pick the one with the
+    /// fewest blocks so far (ties break toward the lowest color). May use a
+    /// color or two more than first-fit, but the parallel width per color is
+    /// flatter — fewer straggler colors with one block each.
+    Balanced,
+}
+
+impl ColoringStrategy {
+    /// Stable short name (used in tune stores, reports, and hashes).
+    pub fn name(self) -> &'static str {
+        match self {
+            ColoringStrategy::Greedy => "greedy",
+            ColoringStrategy::Balanced => "balanced",
+        }
+    }
+
+    /// Parse [`ColoringStrategy::name`] back; `None` for unknown spellings.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "greedy" => Some(ColoringStrategy::Greedy),
+            "balanced" => Some(ColoringStrategy::Balanced),
+            _ => None,
+        }
+    }
+}
+
+/// The tunable knobs a plan is built from. Everything else a plan contains is
+/// a pure function of `(set, args)` and these parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PlanParams {
+    /// Mini-partition (block) size.
+    pub part_size: usize,
+    /// Block-coloring strategy.
+    pub coloring: ColoringStrategy,
+}
+
+impl Default for PlanParams {
+    fn default() -> Self {
+        PlanParams {
+            part_size: DEFAULT_PART_SIZE,
+            coloring: ColoringStrategy::Greedy,
+        }
+    }
+}
+
+impl PlanParams {
+    /// Default coloring with an explicit block size.
+    pub fn with_part_size(part_size: usize) -> Self {
+        PlanParams {
+            part_size,
+            coloring: ColoringStrategy::Greedy,
+        }
+    }
+}
+
 /// Why a plan failed validation — typed so executors can surface a broken
 /// plan as a recoverable error instead of a panic.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -94,6 +161,8 @@ pub struct Plan {
     pub set_size: usize,
     /// Mini-partition size used to build the blocks.
     pub part_size: usize,
+    /// Coloring strategy the plan was built with.
+    pub coloring: ColoringStrategy,
     /// Contiguous element ranges, one per block, in ascending order.
     pub blocks: Vec<Range<usize>>,
     /// Color of each block.
@@ -117,8 +186,14 @@ impl Plan {
     /// Panics if more than 64 colors would be required (never the case for
     /// meshes partitioned with sane block sizes).
     pub fn build(set: &Set, args: &[ArgSpec], part_size: usize) -> Plan {
+        Plan::build_with(set, args, PlanParams::with_part_size(part_size))
+    }
+
+    /// [`Plan::build`] with full [`PlanParams`] (block size *and* coloring
+    /// strategy).
+    pub fn build_with(set: &Set, args: &[ArgSpec], params: PlanParams) -> Plan {
         let n = set.size();
-        let part_size = part_size.max(1);
+        let part_size = params.part_size.max(1);
         let nblocks = n.div_ceil(part_size);
         let blocks: Vec<Range<usize>> = (0..nblocks)
             .map(|b| b * part_size..((b + 1) * part_size).min(n))
@@ -145,6 +220,7 @@ impl Plan {
             return Plan {
                 set_size: n,
                 part_size,
+                coloring: params.coloring,
                 blocks,
                 block_colors,
                 ncolors,
@@ -166,6 +242,9 @@ impl Plan {
 
         let mut block_colors = vec![0u32; nblocks];
         let mut ncolors = 0u32;
+        // Blocks assigned per color so far (Balanced picks the least-loaded
+        // admissible color instead of the lowest one).
+        let mut color_load: Vec<usize> = Vec::new();
         let mut forbidden: Vec<u64> = Vec::new();
         for (b, range) in blocks.iter().enumerate() {
             forbidden.clear();
@@ -179,7 +258,17 @@ impl Plan {
                     }
                 }
             }
-            let color = match first_zero_bit(&forbidden) {
+            let picked = match params.coloring {
+                ColoringStrategy::Greedy => first_zero_bit(&forbidden),
+                // Only colors already in use are candidates for balancing; a
+                // brand-new color (load 0) would always win and degenerate
+                // into one block per color.
+                ColoringStrategy::Balanced => (0..ncolors)
+                    .filter(|&c| forbidden[c as usize / 64] & (1u64 << (c % 64)) == 0)
+                    .min_by_key(|&c| color_load[c as usize])
+                    .or_else(|| first_zero_bit(&forbidden)),
+            };
+            let color = match picked {
                 Some(c) => c,
                 None => {
                     // All current words saturated: widen every mask by one
@@ -194,6 +283,8 @@ impl Plan {
             };
             block_colors[b] = color;
             ncolors = ncolors.max(color + 1);
+            color_load.resize(ncolors as usize, 0);
+            color_load[color as usize] += 1;
             let (word, bit) = (color as usize / 64, color as usize % 64);
             for (map, idx) in &write_refs {
                 let mask = masks.get_mut(&map.id()).expect("mask pre-inserted");
@@ -216,6 +307,7 @@ impl Plan {
         Plan {
             set_size: n,
             part_size,
+            coloring: params.coloring,
             blocks,
             block_colors,
             ncolors,
@@ -324,16 +416,23 @@ fn widen(mask: &[u64], words: usize) -> Vec<u64> {
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct PlanKey {
     set_id: u64,
-    part_size: usize,
+    params: PlanParams,
     args: Vec<(u64, u64, usize, &'static str)>,
 }
 
 impl PlanKey {
-    /// Build the key for `(set, args, part_size)`.
+    /// Build the key for `(set, args, part_size)` with default coloring.
     pub fn new(set: &Set, args: &[ArgSpec], part_size: usize) -> Self {
+        PlanKey::new_with(set, args, PlanParams::with_part_size(part_size))
+    }
+
+    /// Build the key for `(set, args, params)`. Every tunable plan parameter
+    /// is part of the key: two jobs tuned to different block sizes or
+    /// coloring strategies must never share a plan.
+    pub fn new_with(set: &Set, args: &[ArgSpec], params: PlanParams) -> Self {
         PlanKey {
             set_id: set.id(),
-            part_size,
+            params,
             args: args
                 .iter()
                 .map(|a| {
@@ -363,21 +462,61 @@ pub fn topology_hash(
     part_size: usize,
     map_hash: &mut impl FnMut(&crate::map::Map) -> u64,
 ) -> u64 {
+    topology_hash_with(
+        set,
+        args,
+        PlanParams::with_part_size(part_size),
+        map_hash,
+    )
+}
+
+/// [`topology_hash`] with full [`PlanParams`]: the coloring strategy is part
+/// of the content address, for the same reason it is part of [`PlanKey`].
+pub fn topology_hash_with(
+    set: &Set,
+    args: &[ArgSpec],
+    params: PlanParams,
+    map_hash: &mut impl FnMut(&crate::map::Map) -> u64,
+) -> u64 {
     let mut h = std::collections::hash_map::DefaultHasher::new();
-    set.size().hash(&mut h);
-    part_size.hash(&mut h);
-    args.len().hash(&mut h);
+    loop_shape_hash(set, args, map_hash, &mut h);
+    params.part_size.hash(&mut h);
+    params.coloring.name().hash(&mut h);
+    h.finish()
+}
+
+/// Content hash of the *loop shape alone* — set size, access pattern, and map
+/// contents, with **no plan parameters mixed in**. This is the mesh-topology
+/// half of a tuner decision key: all plan-parameter candidates for one loop
+/// share this hash, so a tune store addressed by it survives retuning.
+pub fn loop_topology(
+    set: &Set,
+    args: &[ArgSpec],
+    map_hash: &mut impl FnMut(&crate::map::Map) -> u64,
+) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    loop_shape_hash(set, args, map_hash, &mut h);
+    h.finish()
+}
+
+fn loop_shape_hash(
+    set: &Set,
+    args: &[ArgSpec],
+    map_hash: &mut impl FnMut(&crate::map::Map) -> u64,
+    h: &mut impl Hasher,
+) {
+    set.size().hash(h);
+    args.len().hash(h);
     for a in args {
-        a.access.op2_name().hash(&mut h);
+        a.access.op2_name().hash(h);
         match &a.map_ref {
-            MapRef::Direct => u64::MAX.hash(&mut h),
+            MapRef::Direct => u64::MAX.hash(h),
             MapRef::Indirect { map, idx } => {
-                idx.hash(&mut h);
-                map_hash(map).hash(&mut h);
+                idx.hash(h);
+                map_hash(map).hash(h);
             }
         }
     }
-    h.finish()
 }
 
 /// One memoization slot: racing callers share the slot and block in
@@ -413,26 +552,40 @@ impl PlanCache {
         Self::default()
     }
 
-    /// Get or build the plan for `(set, args, part_size)`.
+    /// Get or build the plan for `(set, args, part_size)` with default
+    /// coloring.
     pub fn get(&self, set: &Set, args: &[ArgSpec], part_size: usize) -> Arc<Plan> {
-        let key = PlanKey::new(set, args, part_size);
+        self.get_with(set, args, PlanParams::with_part_size(part_size))
+    }
+
+    /// Get or build the plan for `(set, args, params)`. Both cache tiers key
+    /// on the full parameter set, so jobs tuned to different block sizes or
+    /// coloring strategies get distinct plans.
+    pub fn get_with(&self, set: &Set, args: &[ArgSpec], params: PlanParams) -> Arc<Plan> {
+        let key = PlanKey::new_with(set, args, params);
         if let Some(p) = self.plans.lock().get(&key) {
             return Arc::clone(p);
         }
         // Identity miss: fall through to the content-addressed tier.
-        let topo = topology_hash(set, args, part_size, &mut |m| self.hash_map_table(m));
+        let topo = topology_hash_with(set, args, params, &mut |m| self.hash_map_table(m));
         let slot = Arc::clone(self.topo.lock().entry(topo).or_default());
         let mut built_here = false;
         let plan = Arc::clone(slot.get_or_init(|| {
             built_here = true;
             self.builds.fetch_add(1, Ordering::Relaxed);
-            Arc::new(Plan::build(set, args, part_size))
+            Arc::new(Plan::build_with(set, args, params))
         }));
         if !built_here {
             self.topo_hits.fetch_add(1, Ordering::Relaxed);
         }
         self.plans.lock().insert(key, Arc::clone(&plan));
         plan
+    }
+
+    /// Parameter-independent content hash of a loop's shape (see
+    /// [`loop_topology`]), using this cache's memoized map-table hashes.
+    pub fn loop_topology(&self, set: &Set, args: &[ArgSpec]) -> u64 {
+        loop_topology(set, args, &mut |m| self.hash_map_table(m))
     }
 
     /// Content hash of `map`'s table, memoized by map identity.
@@ -634,6 +787,105 @@ mod tests {
         let p3 = cache.get(&set, &args, 20);
         assert!(!Arc::ptr_eq(&p1, &p3));
         assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn balanced_coloring_valid_and_flatter() {
+        for part in [1, 3, 7, 50, 128] {
+            let edges = Set::new("edges", 1000);
+            let cells = Set::new("cells", 1001);
+            let mut table = Vec::with_capacity(2000);
+            for e in 0..1000u32 {
+                table.push(e);
+                table.push(e + 1);
+            }
+            let m = Map::new("pecell", &edges, &cells, 2, table);
+            let res = Dat::filled("res", &cells, 1, 0.0f64);
+            let args = vec![
+                arg_indirect(&res, 0, &m, Access::Inc),
+                arg_indirect(&res, 1, &m, Access::Inc),
+            ];
+            let params = PlanParams {
+                part_size: part,
+                coloring: ColoringStrategy::Balanced,
+            };
+            let plan = Plan::build_with(&edges, &args, params);
+            assert_eq!(plan.coloring, ColoringStrategy::Balanced);
+            plan.validate(&args)
+                .unwrap_or_else(|e| panic!("part={part}: {e}"));
+            // Balanced must not fragment: no more colors than blocks, and for
+            // the chain the color count stays small.
+            assert!(plan.ncolors as usize <= plan.nblocks().max(1));
+        }
+    }
+
+    /// Regression (tuning collision): two callers asking for the *same*
+    /// topology with different plan parameters must get different plans from
+    /// both cache tiers — before parameters entered the topology hash, the
+    /// content-addressed tier could serve a plan built for another job's
+    /// tuned block size.
+    #[test]
+    fn cache_keys_distinguish_plan_params() {
+        let (set, args, _plan) = chain(400, 16);
+        let cache = PlanCache::new();
+        let greedy = cache.get_with(
+            &set,
+            &args,
+            PlanParams {
+                part_size: 16,
+                coloring: ColoringStrategy::Greedy,
+            },
+        );
+        let balanced = cache.get_with(
+            &set,
+            &args,
+            PlanParams {
+                part_size: 16,
+                coloring: ColoringStrategy::Balanced,
+            },
+        );
+        let coarse = cache.get_with(
+            &set,
+            &args,
+            PlanParams {
+                part_size: 64,
+                coloring: ColoringStrategy::Greedy,
+            },
+        );
+        assert!(!Arc::ptr_eq(&greedy, &balanced), "coloring ignored by key");
+        assert!(!Arc::ptr_eq(&greedy, &coarse), "part_size ignored by key");
+        assert_eq!(cache.builds(), 3, "each parameter set built its own plan");
+        assert_eq!(greedy.part_size, 16);
+        assert_eq!(coarse.part_size, 64);
+        assert_eq!(balanced.coloring, ColoringStrategy::Balanced);
+
+        // And the content-addressed tier still dedupes across *identical*
+        // params on a structurally-equal fresh mesh.
+        let (set2, args2, _p) = chain(400, 16);
+        let again = cache.get_with(
+            &set2,
+            &args2,
+            PlanParams {
+                part_size: 16,
+                coloring: ColoringStrategy::Greedy,
+            },
+        );
+        assert!(Arc::ptr_eq(&greedy, &again));
+        assert_eq!(cache.builds(), 3);
+        assert_eq!(cache.topo_hits(), 1);
+    }
+
+    #[test]
+    fn loop_topology_ignores_plan_params() {
+        let (set, args, _plan) = chain(100, 10);
+        let cache = PlanCache::new();
+        let t = cache.loop_topology(&set, &args);
+        // Same loop shape re-declared on fresh objects → same hash.
+        let (set2, args2, _p) = chain(100, 10);
+        assert_eq!(t, cache.loop_topology(&set2, &args2));
+        // Different shape → different hash.
+        let (set3, args3, _p) = chain(101, 10);
+        assert_ne!(t, cache.loop_topology(&set3, &args3));
     }
 
     #[test]

@@ -68,6 +68,12 @@ pub struct ServiceReport {
     /// Plan requests served by the content-addressed topology tier
     /// (construction skipped entirely).
     pub plan_topo_hits: usize,
+    /// Decision keys the shared tuner has observed (0 when untuned).
+    pub tuned_keys: usize,
+    /// Every observed tuner key has finished exploring.
+    pub tuned_converged: bool,
+    /// `(tenant, job)` pairs with a measured admission cost on file.
+    pub measured_costs: usize,
     /// Service lifetime covered by this snapshot.
     pub elapsed: Duration,
 }
@@ -106,6 +112,18 @@ impl ServiceReport {
             "  throughput: {:.2} jobs/s; queue peak {}; plans: {} built, {} topology hits\n",
             self.throughput_jps, self.queue_peak, self.plan_builds, self.plan_topo_hits
         ));
+        if self.tuned_keys > 0 {
+            s.push_str(&format!(
+                "  tuning: {} keys ({}), {} measured job costs\n",
+                self.tuned_keys,
+                if self.tuned_converged {
+                    "converged"
+                } else {
+                    "exploring"
+                },
+                self.measured_costs
+            ));
+        }
         s
     }
 }

@@ -28,6 +28,7 @@
 
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -35,6 +36,7 @@ use std::time::{Duration, Instant};
 use hpx_rt::{DetPool, Pool, PoolBuilder};
 use op2_core::PlanCache;
 use op2_hpx::{BackendKind, FailureKind, Op2Runtime, RetryPolicy, Supervisor};
+use op2_tune::Tuner;
 use parking_lot::{Condvar, Mutex};
 
 use crate::admission::{AdmissionError, QuotaSpec, TokenBucket};
@@ -74,6 +76,19 @@ pub struct ServeOptions {
     pub backend: BackendKind,
     /// Retry/degradation policy cloned into every job's supervisor.
     pub retry: RetryPolicy,
+    /// One online tuner shared by every job's runtime (`None` = untuned).
+    /// Tenants pool their measurements: tenant B's airfoil march warm-starts
+    /// from what tenant A's already taught the tuner.
+    pub tuner: Option<Arc<Tuner>>,
+    /// Persist/warm-start path for the tuner's [`op2_tune::TuneStore`]:
+    /// loaded (best-effort) at start, saved at `drain`/`shutdown_now`.
+    pub tune_store: Option<PathBuf>,
+    /// Wall time worth one quota token: a completed job records
+    /// `wall / cost_unit` as its **measured** cost, and admission charges
+    /// `max(declared, measured)` for repeats — an under-declaring tenant
+    /// stops gaining share after its first job. Needs `tuner` (the cost
+    /// book lives there).
+    pub cost_unit: Duration,
     weights: HashMap<String, u64>,
 }
 
@@ -88,6 +103,9 @@ impl Default for ServeOptions {
             default_deadline: None,
             backend: BackendKind::Dataflow,
             retry: RetryPolicy::default(),
+            tuner: None,
+            tune_store: None,
+            cost_unit: Duration::from_millis(100),
             weights: HashMap::new(),
         }
     }
@@ -137,6 +155,29 @@ impl ServeOptions {
     /// Fair-share weight for `tenant` (default 1).
     pub fn tenant_weight(mut self, tenant: impl Into<String>, weight: u64) -> Self {
         self.weights.insert(tenant.into(), weight.max(1));
+        self
+    }
+
+    /// Turn on autotuning with a fresh deterministically-seeded tuner.
+    pub fn tuning(self, seed: u64) -> Self {
+        self.shared_tuner(Arc::new(Tuner::with_seed(seed)))
+    }
+
+    /// Share an existing tuner (e.g. across service restarts or services).
+    pub fn shared_tuner(mut self, tuner: Arc<Tuner>) -> Self {
+        self.tuner = Some(tuner);
+        self
+    }
+
+    /// Warm-start/persist the tuner store at `path`.
+    pub fn tune_store(mut self, path: impl Into<PathBuf>) -> Self {
+        self.tune_store = Some(path.into());
+        self
+    }
+
+    /// Wall time that counts as one quota token for measured-cost charging.
+    pub fn cost_unit(mut self, unit: Duration) -> Self {
+        self.cost_unit = unit.max(Duration::from_micros(1));
         self
     }
 }
@@ -196,6 +237,10 @@ struct Inner {
     part_size: usize,
     backend: BackendKind,
     retry: RetryPolicy,
+    /// Shared across every tenant's runtime (see [`ServeOptions::tuner`]).
+    tuner: Option<Arc<Tuner>>,
+    tune_store: Option<PathBuf>,
+    cost_unit: Duration,
     max_queue: usize,
     default_deadline: Option<Duration>,
     quota: Option<QuotaSpec>,
@@ -227,6 +272,11 @@ impl Service {
             ),
             PoolMode::DetPerJob { seed } => (None, Some(seed)),
         };
+        // Warm-start the tuner from a persisted store, best-effort: a
+        // missing or stale file means a cold start, never a failed start.
+        if let (Some(tuner), Some(path)) = (&opts.tuner, &opts.tune_store) {
+            let _ = tuner.load(path);
+        }
         let inner = Arc::new(Inner {
             state: Mutex::new(State {
                 queue: FairQueue::new(),
@@ -242,6 +292,9 @@ impl Service {
             part_size: opts.part_size,
             backend: opts.backend,
             retry: opts.retry,
+            tuner: opts.tuner,
+            tune_store: opts.tune_store,
+            cost_unit: opts.cost_unit,
             max_queue: opts.max_queue,
             default_deadline: opts.default_deadline,
             quota: opts.quota,
@@ -278,6 +331,14 @@ impl Service {
                     limit: self.inner.max_queue,
                 });
             }
+            // Charge the *chargeable* cost: the declared one, floored by the
+            // measured cost of this tenant's earlier runs of the same job
+            // (when a tuner is on). Under-declaring buys a tenant exactly one
+            // cheap admission; from then on the meter decides.
+            let charge = match &self.inner.tuner {
+                Some(t) => t.costs().chargeable(&spec.tenant, &spec.name, spec.cost),
+                None => spec.cost,
+            };
             if let Some(q) = self.inner.quota {
                 let key = if q.per_tenant {
                     spec.tenant.clone()
@@ -289,18 +350,20 @@ impl Service {
                     .buckets
                     .entry(key)
                     .or_insert_with(|| TokenBucket::new(q, now));
-                if let Err(available) = bucket.try_take(spec.cost, now) {
+                if let Err(available) = bucket.try_take(charge, now) {
                     return Err(AdmissionError::QuotaExhausted {
                         tenant: spec.tenant.clone(),
                         available,
-                        cost: spec.cost,
+                        cost: charge,
                     });
                 }
             }
             let handle = JobHandle::queued(id, &spec.name, &spec.tenant);
             let weight =
                 self.inner.weights.get(&spec.tenant).copied().unwrap_or(1) * spec.priority.factor();
-            let cost_units = (spec.cost.max(1e-3) * 1024.0) as u64;
+            // Fair-share accounting uses the same chargeable cost, so an
+            // under-declared job's *queueing share* is honest too.
+            let cost_units = (charge.max(1e-3) * 1024.0) as u64;
             let deadline = spec
                 .deadline
                 .or(self.inner.default_deadline)
@@ -373,7 +436,51 @@ impl Service {
             },
             plan_builds: self.inner.plans.builds(),
             plan_topo_hits: self.inner.plans.topo_hits(),
+            tuned_keys: self.inner.tuner.as_ref().map_or(0, |t| t.snapshot().len()),
+            tuned_converged: self.inner.tuner.as_ref().is_some_and(|t| t.converged()),
+            measured_costs: self.inner.tuner.as_ref().map_or(0, |t| t.costs().len()),
             elapsed,
+        }
+    }
+
+    /// The shared tuner, if tuning is on.
+    pub fn tuner(&self) -> Option<&Arc<Tuner>> {
+        self.inner.tuner.as_ref()
+    }
+
+    /// Per-key tuning provenance: `(loop key, chosen config, converged,
+    /// best observed ns)` for every decision key the tuner has seen —
+    /// which tenant job got which schedule, and why.
+    pub fn tune_snapshot(&self) -> Vec<(String, String, bool, u64)> {
+        self.inner
+            .tuner
+            .as_ref()
+            .map(|t| {
+                t.snapshot()
+                    .into_iter()
+                    .map(|(key, config, converged, best_ns)| {
+                        (
+                            format!(
+                                "{}[n={},{}] @{:016x}",
+                                key.loop_name,
+                                key.set_size,
+                                key.pattern.name(),
+                                key.topo
+                            ),
+                            config,
+                            converged,
+                            best_ns,
+                        )
+                    })
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Persist the tuner store if both a tuner and a store path are set.
+    fn persist_tuner(&self) {
+        if let (Some(tuner), Some(path)) = (&self.inner.tuner, &self.inner.tune_store) {
+            let _ = tuner.save(path);
         }
     }
 
@@ -390,6 +497,7 @@ impl Service {
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
+        self.persist_tuner();
         self.report()
     }
 
@@ -415,6 +523,7 @@ impl Service {
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
+        self.persist_tuner();
         self.report()
     }
 }
@@ -508,19 +617,25 @@ fn run_job(inner: &Arc<Inner>, job: QueuedJob) {
     }
 
     // Per-job runtime over the shared pool (or a per-job deterministic
-    // pool) and the shared plan cache; its cancel token is the job's.
-    let rt = match (&inner.pool, inner.det_seed) {
-        (Some(pool), _) => Arc::new(Op2Runtime::from_pool_with_cache(
+    // pool) and the shared plan cache; its cancel token is the job's. The
+    // *tuner* is shared too — that is the whole point of tuning a service:
+    // every tenant's loops train one model.
+    let mut rt = match (&inner.pool, inner.det_seed) {
+        (Some(pool), _) => Op2Runtime::from_pool_with_cache(
             Arc::clone(pool),
             Arc::clone(&inner.plans),
             inner.part_size,
-        )),
-        (None, seed) => Arc::new(Op2Runtime::from_pool_with_cache(
+        ),
+        (None, seed) => Op2Runtime::from_pool_with_cache(
             Arc::new(DetPool::new(seed.unwrap_or(0) ^ handle.id())),
             Arc::clone(&inner.plans),
             inner.part_size,
-        )),
+        ),
     };
+    if let Some(tuner) = &inner.tuner {
+        rt = rt.with_tuner(Arc::clone(tuner));
+    }
+    let rt = Arc::new(rt);
     let token = rt.cancel_token().clone();
     token.set_deadline_opt(deadline);
     handle.attach_token(token.clone());
@@ -529,7 +644,9 @@ fn run_job(inner: &Arc<Inner>, job: QueuedJob) {
     let ctx = JobCtx::new(rt, sup, handle.id(), handle.tenant(), handle.name());
 
     let span = tracehooks::job_begin();
+    let run_start = Instant::now();
     let result = catch_unwind(AssertUnwindSafe(|| program(&ctx)));
+    let run_wall = run_start.elapsed();
     tracehooks::job_end(span, handle.name(), handle.id(), handle.tenant());
 
     let expired = deadline.is_some_and(|d| Instant::now() >= d);
@@ -542,6 +659,16 @@ fn run_job(inner: &Arc<Inner>, job: QueuedJob) {
             JobError::Panic(hpx_rt::panic_message(&payload)),
         ),
     };
+
+    // Meter the completed run for measured-cost admission: what this
+    // (tenant, job) actually costs, in quota tokens.
+    if let (Some(tuner), JobOutcome::Completed(_)) = (&inner.tuner, &outcome) {
+        tuner.costs().record(
+            handle.tenant(),
+            handle.name(),
+            run_wall.as_secs_f64() / inner.cost_unit.as_secs_f64().max(1e-9),
+        );
+    }
 
     let mut stats = inner.stats.lock();
     match &outcome {

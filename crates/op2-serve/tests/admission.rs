@@ -200,6 +200,68 @@ fn cancel_queued_and_running_jobs() {
     assert!(report.is_conserved());
 }
 
+/// Measured-cost admission: a tenant that under-declares its job cost gets
+/// exactly one cheap admission. Once the service has metered the job, the
+/// bucket charges `max(declared, measured)` and the declaration stops
+/// buying share.
+#[test]
+fn under_declared_cost_is_floored_by_measured() {
+    let svc = Service::start(
+        ServeOptions::default()
+            .workers(1)
+            .pool(PoolMode::Shared { threads: 1 })
+            .max_queue(8)
+            .tuning(42)
+            .cost_unit(Duration::from_millis(10))
+            .quota(QuotaSpec {
+                capacity: 4.0,
+                refill_per_sec: 0.0, // hard budget
+                per_tenant: true,
+            }),
+    );
+    // "march" runs ~60 ms ≈ 6 tokens at the 10 ms cost unit, but the tenant
+    // declares 0.1. The first submission is charged as declared (nothing is
+    // metered yet)...
+    let h = svc
+        .try_submit(
+            JobSpec::new("march", sleep_program(60, None))
+                .tenant("cheat")
+                .cost(0.1),
+        )
+        .expect("first admission charges the declaration");
+    assert!(matches!(
+        h.wait_timeout(Duration::from_secs(30)),
+        Some(JobOutcome::Completed(_))
+    ));
+    // ...and its completion meters the real cost.
+    let measured = svc
+        .tuner()
+        .expect("tuning enabled")
+        .costs()
+        .measured("cheat", "march")
+        .expect("completed job was metered");
+    assert!(measured >= 5.0, "~60ms at 10ms/token, got {measured}");
+    // The repeat is charged max(0.1, measured) — past the 4-token budget.
+    // Without the meter this tenant had 39 more cheap admissions coming.
+    match svc.try_submit(
+        JobSpec::new("march", sleep_program(60, None))
+            .tenant("cheat")
+            .cost(0.1),
+    ) {
+        Err(AdmissionError::QuotaExhausted { tenant, cost, .. }) => {
+            assert_eq!(tenant, "cheat");
+            assert!(cost >= 5.0, "charged the measured cost, got {cost}");
+        }
+        other => panic!("expected QuotaExhausted, got {other:?}"),
+    }
+    // An honest co-tenant has its own bucket and its own meter.
+    let ok = svc.try_submit(JobSpec::new("march", sleep_program(1, None)).tenant("honest"));
+    assert!(ok.is_ok(), "co-tenant throttled: {ok:?}");
+    let report = svc.drain();
+    assert!(report.measured_costs >= 1, "{report:?}");
+    assert!(report.is_conserved(), "{report:?}");
+}
+
 /// The overload acceptance bar (see module docs). Sustainable rate here is
 /// `workers / job_time` = 4 / 20ms = 200 jobs/s; we offer ~2× that for a
 /// few hundred milliseconds against a queue bounded at the worker count.

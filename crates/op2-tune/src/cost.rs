@@ -1,0 +1,110 @@
+//! Measured per-job cost accounting.
+//!
+//! `op2-serve` admits jobs against token-bucket quotas charged at the
+//! tenant's *declared* cost — which a tenant can game by under-declaring.
+//! The tuner already times every loop, so the service can close that hole:
+//! it reports each finished job's measured cost here, and admission charges
+//! `max(declared, measured-so-far)` for repeat jobs. The book is keyed by
+//! `(tenant, job name)` so one tenant's heavy job does not inflate another's
+//! charges.
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+
+/// Exponentially-smoothed measured cost per `(tenant, job name)`.
+pub struct CostBook {
+    entries: Mutex<HashMap<(String, String), f64>>,
+}
+
+/// Smoothing factor: heavy enough that two honest runs converge, light
+/// enough that one outlier (cold caches) does not lock in a peak forever.
+const ALPHA: f64 = 0.5;
+
+impl CostBook {
+    /// An empty book.
+    pub fn new() -> Self {
+        CostBook {
+            entries: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Record a finished job's measured cost (same unit as declared costs —
+    /// the service decides the conversion from wall time).
+    pub fn record(&self, tenant: &str, job: &str, cost: f64) {
+        if !cost.is_finite() || cost < 0.0 {
+            return;
+        }
+        let mut g = self.entries.lock();
+        let e = g.entry((tenant.to_string(), job.to_string())).or_insert(cost);
+        *e = ALPHA * cost + (1.0 - ALPHA) * *e;
+    }
+
+    /// Smoothed measured cost for a `(tenant, job)`; `None` before the first
+    /// completion.
+    pub fn measured(&self, tenant: &str, job: &str) -> Option<f64> {
+        self.entries
+            .lock()
+            .get(&(tenant.to_string(), job.to_string()))
+            .copied()
+    }
+
+    /// What admission should charge: the declared cost, floored by the
+    /// measured one once known.
+    pub fn chargeable(&self, tenant: &str, job: &str, declared: f64) -> f64 {
+        match self.measured(tenant, job) {
+            Some(m) => declared.max(m),
+            None => declared,
+        }
+    }
+
+    /// Number of `(tenant, job)` pairs with measurements.
+    pub fn len(&self) -> usize {
+        self.entries.lock().len()
+    }
+
+    /// True when nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.lock().is_empty()
+    }
+}
+
+impl Default for CostBook {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chargeable_floors_declared_by_measured() {
+        let book = CostBook::new();
+        assert_eq!(book.chargeable("t", "job", 1.0), 1.0);
+        book.record("t", "job", 10.0);
+        assert_eq!(book.chargeable("t", "job", 1.0), 10.0);
+        // Over-declaring still charges the declaration.
+        assert_eq!(book.chargeable("t", "job", 25.0), 25.0);
+    }
+
+    #[test]
+    fn smoothing_converges_and_isolates_tenants() {
+        let book = CostBook::new();
+        for _ in 0..10 {
+            book.record("a", "job", 8.0);
+        }
+        let m = book.measured("a", "job").unwrap();
+        assert!((m - 8.0).abs() < 0.1, "{m}");
+        assert_eq!(book.measured("b", "job"), None);
+    }
+
+    #[test]
+    fn garbage_costs_ignored() {
+        let book = CostBook::new();
+        book.record("t", "j", f64::NAN);
+        book.record("t", "j", -3.0);
+        assert!(book.is_empty());
+    }
+}

@@ -1,0 +1,53 @@
+//! Deterministic pseudo-randomness for exploration ordering.
+//!
+//! Exploration order must be a pure function of `(seed, decision key)` so a
+//! tuned run replays bit-identically under `DET_SEED`. SplitMix64 is the
+//! standard small-state generator for exactly this job: full-period, passes
+//! BigCrush, two multiplies and three xor-shifts per draw.
+
+/// One SplitMix64 step: maps `x` to a well-mixed 64-bit value.
+pub fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Deterministic sequence generator over [`splitmix64`].
+#[derive(Debug, Clone)]
+pub struct DetRng {
+    state: u64,
+}
+
+impl DetRng {
+    /// A generator seeded by `seed` (zero is fine — the increment constant
+    /// breaks it out immediately).
+    pub fn new(seed: u64) -> Self {
+        DetRng { state: seed }
+    }
+
+    /// Next 64-bit draw.
+    pub fn next(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_seed_sensitive() {
+        let draw = |seed: u64| -> Vec<u64> {
+            let mut r = DetRng::new(seed);
+            (0..8).map(|_| r.next()).collect()
+        };
+        assert_eq!(draw(1), draw(1));
+        assert_ne!(draw(1), draw(2));
+        assert_ne!(draw(0)[0], draw(0)[1], "zero seed still mixes");
+    }
+}

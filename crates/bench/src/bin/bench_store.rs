@@ -1,0 +1,231 @@
+//! Durability overhead baseline: what the crash-consistent checkpoint log
+//! costs a distributed march relative to the in-memory store, plus raw WAL
+//! append throughput and a restart/fault-sweep correctness section,
+//! exported as `results/BENCH_store.json` (the checked-in seed baseline;
+//! see EXPERIMENTS.md for the schema).
+//!
+//! Usage: `bench_store [OUT_DIR]` (default: `results/`). Absolute wall
+//! times are machine-dependent; the gate (`scripts/bench_gate.py`) checks
+//! the durable/memory *ratio* and the structural facts — durable and
+//! in-memory marches agree bitwise, a killed march restarts bit-identical,
+//! every fault-sweep seed converges.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use op2_airfoil::mesh::MeshData;
+use op2_airfoil::{FlowConstants, MeshBuilder};
+use op2_dist::exec::{resume_distributed_opts, run_distributed_opts, DistError, DistOptions};
+use op2_dist::Partition;
+use op2_store::{StoreFaultPlan, Wal, WalOptions};
+use serde::Value;
+
+/// Airfoil configuration (matches bench_shm's solo mesh).
+const MESH: (usize, usize) = (48, 24);
+const NITER: usize = 6;
+const NRANKS: usize = 4;
+const CKPT_EVERY: usize = 1;
+const REPEATS: usize = 3;
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Object(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("op2-bench-store-{tag}-{}", std::process::id()))
+}
+
+fn setup() -> (MeshData, FlowConstants, Vec<f64>) {
+    let (nx, ny) = MESH;
+    let consts = FlowConstants::default();
+    let builder = MeshBuilder::channel(nx, ny);
+    let mesh = builder.build(&consts);
+    mesh.add_pulse(1.0, 0.5, 0.25, 0.2, &consts);
+    (builder.data(), consts, mesh.p_q.to_vec())
+}
+
+fn bits(q: &[f64]) -> Vec<u64> {
+    q.iter().map(|v| v.to_bits()).collect()
+}
+
+fn durable_opts(dir: &std::path::Path, every: usize) -> DistOptions {
+    DistOptions {
+        checkpoint_every: every,
+        store_dir: Some(dir.to_path_buf()),
+        ..DistOptions::default()
+    }
+}
+
+/// Checkpointed march, in-memory vs durable: best-of-`REPEATS` wall each,
+/// bitwise-compared final state, append volume from the durable leg.
+fn march(data: &MeshData, consts: &FlowConstants, q0: &[f64], part: &Partition) -> Value {
+    let mem_opts = DistOptions { checkpoint_every: CKPT_EVERY, ..DistOptions::default() };
+    let mut mem_ns = u64::MAX;
+    let mut mem_q = Vec::new();
+    for _ in 0..REPEATS {
+        let t0 = Instant::now();
+        let rep = run_distributed_opts(data, consts, q0, part, NITER, NITER, &mem_opts)
+            .expect("in-memory march");
+        mem_ns = mem_ns.min(t0.elapsed().as_nanos() as u64);
+        mem_q = rep.final_q;
+    }
+
+    let mut dur_ns = u64::MAX;
+    let mut dur_q = Vec::new();
+    let mut appends = 0u64;
+    let mut bytes = 0u64;
+    for i in 0..REPEATS {
+        // A fresh directory per repeat: reopening would replay the
+        // previous repeat's log and measure recovery, not commit cost.
+        let dir = tmpdir(&format!("march-{i}"));
+        let t0 = Instant::now();
+        let rep = run_distributed_opts(data, consts, q0, part, NITER, NITER, &durable_opts(&dir, CKPT_EVERY))
+            .expect("durable march");
+        dur_ns = dur_ns.min(t0.elapsed().as_nanos() as u64);
+        appends = rep.ckpt.appends;
+        bytes = rep.ckpt.bytes;
+        dur_q = rep.final_q;
+        std::fs::remove_dir_all(&dir).expect("clean bench dir");
+    }
+
+    let bitwise_equal = bits(&mem_q) == bits(&dur_q);
+    let ratio = dur_ns as f64 / mem_ns as f64;
+    println!(
+        "march             memory {:>9.3} ms | durable {:>9.3} ms | ratio {ratio:.3} | {appends} appends, {bytes} B",
+        mem_ns as f64 / 1e6,
+        dur_ns as f64 / 1e6,
+    );
+    assert!(bitwise_equal, "durable march must not perturb results");
+    obj(vec![
+        ("memory_wall_ns", Value::UInt(mem_ns)),
+        ("durable_wall_ns", Value::UInt(dur_ns)),
+        ("overhead_ratio", Value::Float(ratio)),
+        ("appends", Value::UInt(appends)),
+        ("payload_bytes", Value::UInt(bytes)),
+        ("bitwise_equal", Value::Bool(bitwise_equal)),
+    ])
+}
+
+/// Kill the march dead mid-run, resume from disk, compare bitwise against
+/// the uninterrupted run, and time the recovery (replay + remaining march).
+fn restart(data: &MeshData, consts: &FlowConstants, q0: &[f64], part: &Partition) -> Value {
+    let (every, die_at) = (2, NITER - 1);
+    let reference = run_distributed_opts(data, consts, q0, part, NITER, NITER, &DistOptions::default())
+        .expect("uninterrupted reference");
+
+    let dir = tmpdir("restart");
+    let mut opts = durable_opts(&dir, every);
+    opts.die_at = Some(die_at);
+    match run_distributed_opts(data, consts, q0, part, NITER, NITER, &opts) {
+        Err(DistError::Died { iter }) => assert_eq!(iter, die_at),
+        other => panic!("march must die at {die_at}, got {other:?}"),
+    }
+    let t0 = Instant::now();
+    let resumed = resume_distributed_opts(data, consts, q0, part, NITER, NITER, &durable_opts(&dir, every))
+        .expect("resume after kill");
+    let resume_ns = t0.elapsed().as_nanos() as u64;
+    std::fs::remove_dir_all(&dir).expect("clean bench dir");
+
+    let boundary = resumed.resumed_from.expect("resume reports its boundary");
+    let bit_identical = bits(&resumed.final_q) == bits(&reference.final_q);
+    println!(
+        "restart           died at {die_at}, resumed from {boundary} ({} records replayed) in {:>9.3} ms",
+        resumed.ckpt.recovered,
+        resume_ns as f64 / 1e6,
+    );
+    assert!(bit_identical, "restart must be bit-identical to the uninterrupted run");
+    obj(vec![
+        ("die_at", Value::UInt(die_at as u64)),
+        ("resumed_from", Value::UInt(boundary as u64)),
+        ("records_replayed", Value::UInt(resumed.ckpt.recovered)),
+        ("resume_wall_ns", Value::UInt(resume_ns)),
+        ("bit_identical", Value::Bool(bit_identical)),
+    ])
+}
+
+/// Seeded storage-fault matrix in miniature: every seed's killed-and-
+/// resumed march must converge bitwise on the clean reference.
+fn fault_sweep(data: &MeshData, consts: &FlowConstants, q0: &[f64], part: &Partition) -> Value {
+    let (every, die_at, seeds) = (2, NITER - 1, 8u64);
+    let reference = run_distributed_opts(data, consts, q0, part, NITER, NITER, &DistOptions::default())
+        .expect("uninterrupted reference");
+    let mut converged = 0u64;
+    for seed in 0..seeds {
+        let dir = tmpdir(&format!("sweep-{seed}"));
+        let mut opts = durable_opts(&dir, every);
+        opts.store_faults = Some(StoreFaultPlan::new(seed, 2_000));
+        opts.die_at = Some(die_at);
+        match run_distributed_opts(data, consts, q0, part, NITER, NITER, &opts) {
+            Err(DistError::Died { .. }) => {}
+            other => panic!("seed {seed}: march must die, got {other:?}"),
+        }
+        let resumed = resume_distributed_opts(data, consts, q0, part, NITER, NITER, &durable_opts(&dir, every))
+            .expect("resume over damaged store");
+        if bits(&resumed.final_q) == bits(&reference.final_q) {
+            converged += 1;
+        }
+        std::fs::remove_dir_all(&dir).expect("clean bench dir");
+    }
+    println!("fault sweep       {converged}/{seeds} seeds converged bitwise");
+    assert_eq!(converged, seeds, "every damaged store must still converge");
+    obj(vec![
+        ("seeds", Value::UInt(seeds)),
+        ("converged", Value::UInt(converged)),
+    ])
+}
+
+/// Raw WAL throughput: checksummed, fsynced appends of a fixed payload.
+fn wal_appends() -> Value {
+    let (n, payload_bytes) = (512u64, 4096usize);
+    let payload = vec![0xa5u8; payload_bytes];
+    let dir = tmpdir("wal");
+    let mut best_ns = u64::MAX;
+    for _ in 0..REPEATS {
+        std::fs::remove_dir_all(&dir).ok();
+        let (mut wal, _) = Wal::open(WalOptions::new(&dir)).expect("open wal");
+        let t0 = Instant::now();
+        for _ in 0..n {
+            wal.append(1, &payload).expect("append");
+        }
+        best_ns = best_ns.min(t0.elapsed().as_nanos() as u64);
+    }
+    std::fs::remove_dir_all(&dir).ok();
+    let mb_s = (n as f64 * payload_bytes as f64) / (best_ns as f64 / 1e9) / 1e6;
+    println!(
+        "wal append        {n} × {payload_bytes} B best {:>9.3} ms ({mb_s:.1} MB/s)",
+        best_ns as f64 / 1e6,
+    );
+    obj(vec![
+        ("appends", Value::UInt(n)),
+        ("payload_bytes", Value::UInt(payload_bytes as u64)),
+        ("wall_ns", Value::UInt(best_ns)),
+        ("mb_per_s", Value::Float(mb_s)),
+    ])
+}
+
+fn main() {
+    let out_dir = std::env::args().nth(1).unwrap_or_else(|| "results".into());
+    std::fs::create_dir_all(&out_dir).expect("create output dir");
+
+    let (nx, ny) = MESH;
+    let (data, consts, q0) = setup();
+    let part = Partition::strips(nx * ny, NRANKS);
+    println!("# airfoil {nx}x{ny}, {NITER} iters, {NRANKS} ranks, checkpoint every {CKPT_EVERY}, best of {REPEATS}");
+
+    let doc = obj(vec![
+        ("bench", Value::Str("bench_store".into())),
+        ("mesh", Value::Str(format!("{nx}x{ny}"))),
+        ("iters", Value::UInt(NITER as u64)),
+        ("ranks", Value::UInt(NRANKS as u64)),
+        ("checkpoint_every", Value::UInt(CKPT_EVERY as u64)),
+        ("repeats", Value::UInt(REPEATS as u64)),
+        ("march", march(&data, &consts, &q0, &part)),
+        ("restart", restart(&data, &consts, &q0, &part)),
+        ("fault_sweep", fault_sweep(&data, &consts, &q0, &part)),
+        ("wal", wal_appends()),
+    ]);
+    let path = format!("{out_dir}/BENCH_store.json");
+    std::fs::write(&path, serde_json::to_string(&doc).expect("serialize"))
+        .expect("write BENCH_store.json");
+    println!("-> {path}");
+}

@@ -13,7 +13,7 @@
 //! 2. **Cold** — attach a fresh tuner and march repeatedly: how many runs
 //!    (and loop executions) until every decision key exploits, and does the
 //!    exploit-phase wall time land within 10% of the best fixed config?
-//! 3. **Warm** — round-trip the converged model through a [`TuneStore`]
+//! 3. **Warm** — round-trip the converged model through a [`op2_tune::TuneStore`]
 //!    file into a fresh tuner (different seed — irrelevant when warm) and
 //!    run once more: within 5% of the best fixed config, with zero
 //!    exploration?

@@ -148,7 +148,7 @@ impl Op2Runtime {
     }
 
     /// [`Op2Runtime::plan_for`] with tuner-decided plan parameters. The
-    /// runtime's fixed override (see [`Op2Runtime::resolve_tuned`]) wins,
+    /// runtime's fixed override (see `Op2Runtime::resolve_tuned`) wins,
     /// then `tuned`, then the default `(part_size, greedy)`.
     pub fn plan_with(&self, loop_: &ParLoop, tuned: Option<PlanParams>) -> Arc<Plan> {
         let params = self

@@ -1,7 +1,7 @@
 //! The executor ↔ tuner bridge: decision keys, trial brackets, and the
 //! mapping between `op2_tune::BackendChoice` and this crate's `BackendKind`.
 //!
-//! Every executor opens a [`LoopTrial`] at its decision point (the top of
+//! Every executor opens a `LoopTrial` at its decision point (the top of
 //! `try_execute`) and closes it when the loop's work is done — immediately
 //! for blocking backends, in the completion continuation for futurized ones.
 //! Closing the trial feeds the measured wall time back into the tuner,

@@ -63,14 +63,16 @@
 //! recovery — the fabric's epoch guard refuses to complete them — and the
 //! re-run iterations regenerate their reports.
 
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 use op2_airfoil::kernels;
 use op2_airfoil::mesh::MeshData;
 use op2_airfoil::FlowConstants;
+use op2_store::StoreFaultPlan;
 use op2_trace::{pack2, EventKind, NO_NAME};
 
-use crate::checkpoint::CheckpointStore;
+use crate::checkpoint::{CheckpointError, CheckpointStore, CkptStats};
 use crate::fabric::{Comm, CommConfig, CommError, Fabric, FabricError, PendingReduce};
 use crate::fault::{FaultPlan, FaultReport};
 use crate::partition::{build_local, HaloGroup, HaloPlan, LocalMesh, Partition};
@@ -108,6 +110,13 @@ pub struct DistReport {
     pub adt_digest: u64,
     /// As [`DistReport::adt_digest`], over post-exchange owned-cell `res`.
     pub res_digest: u64,
+    /// Iteration the run resumed from (`Some(k)` only for
+    /// [`resume_distributed_opts`]: state restored from the durable store's
+    /// newest verified consistent boundary `k`, marched from `k + 1`).
+    pub resumed_from: Option<usize>,
+    /// Durable checkpoint-log counters (all zero without a
+    /// [`DistOptions::store_dir`]).
+    pub ckpt: CkptStats,
 }
 
 /// Why a distributed run failed.
@@ -124,6 +133,17 @@ pub enum DistError {
         /// The error it stopped with.
         error: CommError,
     },
+    /// The durable checkpoint store could not be opened or committed to
+    /// (dimension mismatch, unrecoverable IO failure, …).
+    Store(CheckpointError),
+    /// The simulated whole-process death of [`DistOptions::die_at`] fired:
+    /// every rank stopped dead at this iteration without committing it.
+    /// In-memory results are lost by construction — resume from the durable
+    /// store with [`resume_distributed_opts`].
+    Died {
+        /// The iteration at which the process died.
+        iter: usize,
+    },
 }
 
 impl std::fmt::Display for DistError {
@@ -131,6 +151,10 @@ impl std::fmt::Display for DistError {
         match self {
             DistError::Fabric(e) => write!(f, "{e}"),
             DistError::Rank { rank, error } => write!(f, "rank {rank} failed: {error}"),
+            DistError::Store(e) => write!(f, "durable checkpoint store failed: {e}"),
+            DistError::Died { iter } => {
+                write!(f, "process died at iteration {iter} (simulated whole-process crash)")
+            }
         }
     }
 }
@@ -195,6 +219,22 @@ pub struct DistOptions {
     pub overlap: bool,
     /// Deterministic compute jitter (`None` = no artificial skew).
     pub jitter: Option<JitterSpec>,
+    /// Back checkpoints with a crash-consistent on-disk log at this
+    /// directory (`None` = in-memory only, rank-death recovery but no
+    /// whole-process restart). The bottom rung of the recovery ladder.
+    pub store_dir: Option<PathBuf>,
+    /// Deterministic storage-fault plan applied to durable appends
+    /// (`STORE_FAULT_SEED` sweeps; `None` = clean disk).
+    pub store_faults: Option<StoreFaultPlan>,
+    /// Stop gracefully after completing this iteration: drain the reduction
+    /// pipeline, commit a checkpoint boundary at it, and return. Used to
+    /// build reference legs for crash-restart equivalence tests.
+    pub halt_after: Option<usize>,
+    /// Simulate whole-process death at this iteration: every rank stops
+    /// dead *before* marching it (nothing for it is committed), and the run
+    /// returns [`DistError::Died`]. Only what the durable store already
+    /// holds survives — the in-process stand-in for `kill -9`.
+    pub die_at: Option<usize>,
 }
 
 impl Default for DistOptions {
@@ -207,6 +247,10 @@ impl Default for DistOptions {
             kernel_retries: 1,
             overlap: false,
             jitter: None,
+            store_dir: None,
+            store_faults: None,
+            halt_after: None,
+            die_at: None,
         }
     }
 }
@@ -323,15 +367,108 @@ pub fn run_distributed_opts(
 ) -> Result<DistReport, DistError> {
     let ncells = data.cell_nodes.len() / 4;
     assert_eq!(q0.len(), 4 * ncells, "q0 must cover every cell");
+    let checkpoints = make_store(opts, part.nranks, ncells)?;
+    run_core(data, consts, q0, part, niter, report_every, opts, &checkpoints, 0, None)
+}
 
-    let checkpoints = CheckpointStore::new(part.nranks, ncells);
+/// Restart a march whose process died: reopen the durable store at
+/// [`DistOptions::store_dir`], replay its verified log, restore the newest
+/// consistent checkpoint boundary `k`, and march iterations `k+1..=niter`.
+/// If the log holds no consistent boundary (total loss — every slice was in
+/// the torn tail), the march cold-starts from `q0` — recovery is *total*:
+/// it always lands on the newest verified state, bottoming out at the
+/// initial condition.
+///
+/// Because the march is deterministic, the resumed run's final state is
+/// bit-identical to an uninterrupted run of the same `niter` iterations.
+///
+/// # Errors
+/// See [`DistError`]. [`DistReport::resumed_from`] carries the restored
+/// boundary.
+///
+/// # Panics
+/// Panics if `opts.store_dir` is `None` — there is nothing to resume from.
+#[allow(clippy::too_many_arguments)]
+pub fn resume_distributed_opts(
+    data: &MeshData,
+    consts: &FlowConstants,
+    q0: &[f64],
+    part: &Partition,
+    niter: usize,
+    report_every: usize,
+    opts: &DistOptions,
+) -> Result<DistReport, DistError> {
+    let ncells = data.cell_nodes.len() / 4;
+    assert_eq!(q0.len(), 4 * ncells, "q0 must cover every cell");
+    assert!(opts.store_dir.is_some(), "resume requires DistOptions::store_dir");
+    let checkpoints = make_store(opts, part.nranks, ncells)?;
+    let (start, qstart) = match checkpoints.latest_consistent() {
+        Some((k, qk)) => (k, qk),
+        None => (0, q0.to_vec()),
+    };
+    // Stragglers' incomplete entries past the restore point must not shadow
+    // post-restart commits (same rule as in-process recovery).
+    checkpoints.truncate_after(start);
+    run_core(
+        data,
+        consts,
+        &qstart,
+        part,
+        niter,
+        report_every,
+        opts,
+        &checkpoints,
+        start,
+        Some(start),
+    )
+}
+
+fn make_store(
+    opts: &DistOptions,
+    nranks: usize,
+    ncells: usize,
+) -> Result<CheckpointStore, DistError> {
+    match &opts.store_dir {
+        Some(dir) => {
+            CheckpointStore::open_durable(dir, nranks, ncells, 4, opts.store_faults.clone())
+                .map_err(DistError::Store)
+        }
+        None => Ok(CheckpointStore::new(nranks, ncells)),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_core(
+    data: &MeshData,
+    consts: &FlowConstants,
+    q0: &[f64],
+    part: &Partition,
+    niter: usize,
+    report_every: usize,
+    opts: &DistOptions,
+    checkpoints: &CheckpointStore,
+    start_iter: usize,
+    resumed_from: Option<usize>,
+) -> Result<DistReport, DistError> {
+    let ncells = data.cell_nodes.len() / 4;
     let mut builder = Fabric::builder(part.nranks).config(opts.config.clone());
     if let Some(plan) = &opts.plan {
         builder = builder.faults(plan.clone());
     }
     let run = builder
         .launch(|comm| {
-            rank_main(comm, data, consts, q0, part, niter, report_every, &checkpoints, opts)
+            rank_main(
+                comm,
+                data,
+                consts,
+                q0,
+                part,
+                niter,
+                report_every,
+                checkpoints,
+                opts,
+                start_iter,
+            )
         })
         .map_err(DistError::Fabric)?;
 
@@ -346,10 +483,12 @@ pub fn run_distributed_opts(
     let mut adt_digest = 0u64;
     let mut res_digest = 0u64;
     let mut first_survivor = true;
+    let mut died = false;
     let mut errors: Vec<(usize, CommError)> = Vec::new();
     for (r, out) in run.results.into_iter().enumerate() {
         match out {
             Ok(out) => {
+                died |= out.died;
                 for (i, &g) in out.owned_g.iter().enumerate() {
                     final_q[4 * g as usize..4 * g as usize + 4]
                         .copy_from_slice(&out.owned_q[4 * i..4 * i + 4]);
@@ -377,6 +516,13 @@ pub fn run_distributed_opts(
     if let Some((rank, error)) = root_cause(errors) {
         return Err(DistError::Rank { rank, error });
     }
+    if died {
+        // The simulated crash: whatever the ranks computed in memory is
+        // lost; only the durable store speaks for this run.
+        return Err(DistError::Died {
+            iter: opts.die_at.expect("died flag implies die_at"),
+        });
+    }
     Ok(DistReport {
         rms,
         final_q,
@@ -385,6 +531,8 @@ pub fn run_distributed_opts(
         local_retries,
         adt_digest,
         res_digest,
+        resumed_from,
+        ckpt: checkpoints.stats(),
     })
 }
 
@@ -472,6 +620,9 @@ struct RankOut {
     /// Owned-cell digests since the last recovery.
     adt_digest: u64,
     res_digest: u64,
+    /// True if the rank stopped at [`DistOptions::die_at`] (simulated
+    /// whole-process death): its in-memory results are void.
+    died: bool,
 }
 
 /// Complete an outstanding pipelined RMS reduction, if any, and push its
@@ -502,29 +653,50 @@ fn rank_main(
     report_every: usize,
     checkpoints: &CheckpointStore,
     opts: &DistOptions,
+    start_iter: usize,
 ) -> Result<RankOut, CommError> {
     let me = comm.rank();
     let ncells_global = data.cell_nodes.len() / 4;
     let kill = comm.plan().and_then(|p| p.kill);
     // Every rank must commit checkpoints whenever *any* rank might escalate
-    // (a consistent boundary needs every slice).
-    let ckpt_active = opts.checkpoint_every > 0 || kill.is_some() || opts.kernel_fault.is_some();
+    // (a consistent boundary needs every slice) — and always when the store
+    // is durable, since restartability needs the boundaries on disk.
+    let ckpt_active = opts.checkpoint_every > 0
+        || kill.is_some()
+        || opts.kernel_fault.is_some()
+        || checkpoints.is_durable();
+    let ckpt_err = |e: CheckpointError| CommError::Checkpoint {
+        rank: me,
+        detail: e.to_string(),
+    };
     let my_fault = opts.kernel_fault.filter(|f| f.rank == me);
     let mut faults_left = my_fault.map_or(0, |f| f.failures);
     let mut local_retries = 0usize;
+    let mut died = false;
 
     let mut part_cur = part.clone();
     let mut st = MarchState::new(data, &part_cur, me, q0);
-    if ckpt_active {
-        checkpoints.commit(0, me, st.owned_cells(), st.owned_q());
+    // On resume the restored boundary is already durable; recommitting it
+    // would be harmless but wasteful.
+    if ckpt_active && start_iter == 0 {
+        checkpoints
+            .commit(0, me, st.owned_cells(), st.owned_q())
+            .map_err(ckpt_err)?;
     }
 
     let mut reports: Vec<(usize, f64)> = Vec::new();
     let mut recoveries: Vec<Recovery> = Vec::new();
     // At most one outstanding pipelined reduction (overlap mode only).
     let mut pending_rms: Option<(usize, PendingReduce)> = None;
-    let mut iter = 1;
+    let mut iter = start_iter + 1;
     while iter <= niter {
+        if opts.die_at == Some(iter) {
+            // Simulated whole-process death: stop before touching iteration
+            // `iter`. No commit, no drain — the disk keeps exactly what was
+            // durable, everything in memory is void.
+            died = true;
+            break;
+        }
         if let Some(k) = kill {
             if k.rank == me && k.at_iter == iter {
                 return Err(comm.kill_self());
@@ -559,7 +731,9 @@ fn rank_main(
                     // recorded — a later restore to this boundary then never
                     // loses a report to a dropped pending reduce.
                     harvest_rms(&comm, &mut pending_rms, ncells_global, &mut reports)?;
-                    checkpoints.commit(iter, me, st.owned_cells(), st.owned_q());
+                    checkpoints
+                        .commit(iter, me, st.owned_cells(), st.owned_q())
+                        .map_err(ckpt_err)?;
                     // Coordinated checkpoint: barrier after the commit so no
                     // rank (in particular a planned kill victim) can race
                     // ahead — and fail — before every peer's slice for this
@@ -573,6 +747,17 @@ fn rank_main(
         };
         match outcome {
             Ok(()) => {
+                if opts.halt_after == Some(iter) {
+                    // Graceful stop: drain the pipeline, pin a durable
+                    // boundary at exactly this iteration, and leave. The
+                    // reference leg of crash-restart equivalence tests.
+                    harvest_rms(&comm, &mut pending_rms, ncells_global, &mut reports)?;
+                    checkpoints
+                        .commit(iter, me, st.owned_cells(), st.owned_q())
+                        .map_err(ckpt_err)?;
+                    comm.barrier()?;
+                    break;
+                }
                 iter += 1;
             }
             Err(CommError::RankFailed { .. }) => {
@@ -594,7 +779,9 @@ fn rank_main(
             Err(e) => return Err(e),
         }
     }
-    harvest_rms(&comm, &mut pending_rms, ncells_global, &mut reports)?;
+    if !died {
+        harvest_rms(&comm, &mut pending_rms, ncells_global, &mut reports)?;
+    }
 
     Ok(RankOut {
         owned_g: st.owned_cells().to_vec(),
@@ -604,6 +791,7 @@ fn rank_main(
         local_retries,
         adt_digest: st.adt_digest,
         res_digest: st.res_digest,
+        died,
     })
 }
 

@@ -151,6 +151,15 @@ pub enum CommError {
     },
     /// Recovery found no consistent checkpoint to restore from.
     NoCheckpoint,
+    /// A durable checkpoint commit failed in a way that cannot be degraded
+    /// (`ENOSPC` *is* degraded — this is for real IO/validation failures,
+    /// carried as text so `CommError` stays `Clone + PartialEq`).
+    Checkpoint {
+        /// The committing rank.
+        rank: usize,
+        /// Rendered [`crate::checkpoint::CheckpointError`].
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for CommError {
@@ -183,6 +192,9 @@ impl std::fmt::Display for CommError {
                 write!(f, "rank {rank}: recovery failed: {reason}")
             }
             CommError::NoCheckpoint => write!(f, "no consistent checkpoint to restore from"),
+            CommError::Checkpoint { rank, detail } => {
+                write!(f, "rank {rank}: durable checkpoint failed: {detail}")
+            }
         }
     }
 }

@@ -175,6 +175,8 @@ pub fn run_hybrid_opts(
         local_retries: 0,
         adt_digest: 0,
         res_digest: 0,
+        resumed_from: None,
+        ckpt: Default::default(),
     })
 }
 

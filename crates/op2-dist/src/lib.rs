@@ -64,6 +64,16 @@
 //!   *consistent* checkpoint, and continue the march; the run report counts
 //!   faults injected, retries taken, and recoveries performed
 //!   ([`fault::FaultReport`]).
+//! * Durable restart — [`checkpoint::CheckpointStore::open_durable`] backs
+//!   the snapshots with the crash-consistent `op2-store` write-ahead log,
+//!   adding the bottom rung of the recovery ladder: local kernel retry →
+//!   in-process checkpoint recovery (rank death) → **restart from disk**
+//!   (whole-process death, [`exec::resume_distributed_opts`] /
+//!   [`swe::resume_swe_distributed_opts`]). Storage faults (torn writes,
+//!   bit flips, `ENOSPC`) are injected deterministically from
+//!   `STORE_FAULT_SEED`; replay always restores the newest *verified*
+//!   consistent boundary, and the deterministic march makes the resumed
+//!   run bit-identical to an uninterrupted one.
 
 #![warn(missing_docs)]
 
@@ -75,10 +85,10 @@ pub mod hybrid;
 pub mod partition;
 pub mod swe;
 
-pub use checkpoint::CheckpointStore;
+pub use checkpoint::{CheckpointError, CheckpointStore, CkptStats};
 pub use exec::{
-    run_distributed, run_distributed_opts, run_distributed_with, DistError, DistOptions,
-    DistReport, JitterSpec, KernelFaultSpec, Recovery,
+    resume_distributed_opts, run_distributed, run_distributed_opts, run_distributed_with,
+    DistError, DistOptions, DistReport, JitterSpec, KernelFaultSpec, Recovery,
 };
 pub use fabric::{
     Comm, CommConfig, CommError, Fabric, FabricError, PendingReduce, COLLECTIVE_TAG_BIT,
@@ -88,4 +98,6 @@ pub use hybrid::{run_hybrid, run_hybrid_opts, run_hybrid_with};
 pub use partition::{
     cell_centroids, total_halo_cells, HaloGroup, HaloPlan, LocalMesh, Partition,
 };
-pub use swe::{run_swe_distributed, run_swe_distributed_opts, SweDistReport};
+pub use swe::{
+    resume_swe_distributed_opts, run_swe_distributed, run_swe_distributed_opts, SweDistReport,
+};

@@ -29,7 +29,11 @@
 //! march, but does not support kill-directive checkpoint recovery — the
 //! recovery ladder is exercised end-to-end by the Airfoil driver
 //! ([`crate::exec`]), and [`run_swe_distributed_opts`] rejects kill and
-//! kernel-fault plans up front.
+//! kernel-fault plans up front. It *does* support the durable bottom rung:
+//! with [`DistOptions::store_dir`] set, every checkpoint boundary lands in
+//! the crash-consistent `op2-store` log (3 components per cell), and
+//! [`resume_swe_distributed_opts`] restarts a dead process from the newest
+//! verified consistent boundary, bit-identical to an uninterrupted march.
 
 use std::time::{Duration, Instant};
 
@@ -37,6 +41,7 @@ use op2_airfoil::mesh::MeshData;
 use op2_swe::kernels;
 use op2_trace::{pack2, EventKind, NO_NAME};
 
+use crate::checkpoint::{CheckpointError, CheckpointStore, CkptStats};
 use crate::exec::{
     jitter_sleep, mix64, root_cause, DistError, DistOptions, INTERIOR_CHUNK,
 };
@@ -63,6 +68,12 @@ pub struct SweDistReport {
     /// step, combined across ranks — bulk and overlapped marches agree iff
     /// every intermediate residual is bit-identical.
     pub res_digest: u64,
+    /// Step the run resumed from (`Some(k)` only for
+    /// [`resume_swe_distributed_opts`]).
+    pub resumed_from: Option<usize>,
+    /// Durable checkpoint-log counters (all zero without a
+    /// [`DistOptions::store_dir`]).
+    pub ckpt: CkptStats,
 }
 
 /// March `steps` adaptive shallow-water steps on `nranks` ranks.
@@ -117,6 +128,86 @@ pub fn run_swe_distributed_opts(
 ) -> Result<SweDistReport, DistError> {
     let ncells = data.cell_nodes.len() / 4;
     assert_eq!(w0.len(), 3 * ncells, "w0 must cover every cell");
+    let checkpoints = make_swe_store(opts, part.nranks, ncells)?;
+    run_swe_core(
+        data, g, cfl, w0, part, steps, report_every, opts, &checkpoints, 0, None,
+    )
+}
+
+/// Restart a shallow-water march whose process died: reopen the durable
+/// store at [`DistOptions::store_dir`], restore the newest verified
+/// consistent boundary `k`, and march steps `k+1..=steps`. Falls back to
+/// `w0` (cold start) if no consistent boundary survived.
+///
+/// # Errors
+/// See [`DistError`].
+///
+/// # Panics
+/// Panics if `opts.store_dir` is `None`.
+#[allow(clippy::too_many_arguments)]
+pub fn resume_swe_distributed_opts(
+    data: &MeshData,
+    g: f64,
+    cfl: f64,
+    w0: &[f64],
+    part: &Partition,
+    steps: usize,
+    report_every: usize,
+    opts: &DistOptions,
+) -> Result<SweDistReport, DistError> {
+    let ncells = data.cell_nodes.len() / 4;
+    assert_eq!(w0.len(), 3 * ncells, "w0 must cover every cell");
+    assert!(opts.store_dir.is_some(), "resume requires DistOptions::store_dir");
+    let checkpoints = make_swe_store(opts, part.nranks, ncells)?;
+    let (start, wstart) = match checkpoints.latest_consistent() {
+        Some((k, wk)) => (k, wk),
+        None => (0, w0.to_vec()),
+    };
+    checkpoints.truncate_after(start);
+    run_swe_core(
+        data,
+        g,
+        cfl,
+        &wstart,
+        part,
+        steps,
+        report_every,
+        opts,
+        &checkpoints,
+        start,
+        Some(start),
+    )
+}
+
+fn make_swe_store(
+    opts: &DistOptions,
+    nranks: usize,
+    ncells: usize,
+) -> Result<CheckpointStore, DistError> {
+    match &opts.store_dir {
+        Some(dir) => {
+            CheckpointStore::open_durable(dir, nranks, ncells, 3, opts.store_faults.clone())
+                .map_err(DistError::Store)
+        }
+        None => Ok(CheckpointStore::with_comp(nranks, ncells, 3)),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_swe_core(
+    data: &MeshData,
+    g: f64,
+    cfl: f64,
+    w0: &[f64],
+    part: &Partition,
+    steps: usize,
+    report_every: usize,
+    opts: &DistOptions,
+    checkpoints: &CheckpointStore,
+    start_step: usize,
+    resumed_from: Option<usize>,
+) -> Result<SweDistReport, DistError> {
+    let ncells = data.cell_nodes.len() / 4;
     assert!(
         opts.plan.as_ref().is_none_or(|p| p.kill.is_none()) && opts.kernel_fault.is_none(),
         "kill/kernel-fault recovery requires the Airfoil march's checkpoint path"
@@ -127,12 +218,27 @@ pub fn run_swe_distributed_opts(
         builder = builder.faults(plan.clone());
     }
     let run = builder
-        .launch(|comm| rank_main(comm, data, g, cfl, w0, part, steps, report_every, opts))
+        .launch(|comm| {
+            rank_main(
+                comm,
+                data,
+                g,
+                cfl,
+                w0,
+                part,
+                steps,
+                report_every,
+                opts,
+                checkpoints,
+                start_step,
+            )
+        })
         .map_err(DistError::Fabric)?;
 
     let mut final_w = vec![0.0; 3 * ncells];
     let mut reports = Vec::new();
     let mut res_digest = 0u64;
+    let mut died = false;
     let mut errors: Vec<(usize, CommError)> = Vec::new();
     for (r, out) in run.results.into_iter().enumerate() {
         let out = match out {
@@ -142,6 +248,7 @@ pub fn run_swe_distributed_opts(
                 continue;
             }
         };
+        died |= out.died;
         for (i, &gcell) in part.owned_cells(r).iter().enumerate() {
             final_w[3 * gcell as usize..3 * gcell as usize + 3]
                 .copy_from_slice(&out.owned_w[3 * i..3 * i + 3]);
@@ -154,7 +261,19 @@ pub fn run_swe_distributed_opts(
     if let Some((rank, error)) = root_cause(errors) {
         return Err(DistError::Rank { rank, error });
     }
-    Ok(SweDistReport { reports, final_w, faults: run.faults, res_digest })
+    if died {
+        return Err(DistError::Died {
+            iter: opts.die_at.expect("died flag implies die_at"),
+        });
+    }
+    Ok(SweDistReport {
+        reports,
+        final_w,
+        faults: run.faults,
+        res_digest,
+        resumed_from,
+        ckpt: checkpoints.stats(),
+    })
 }
 
 /// A rank's result: owned state, report history, residual digest.
@@ -162,6 +281,7 @@ struct RankOut {
     owned_w: Vec<f64>,
     history: Vec<(usize, f64, f64)>,
     res_digest: u64,
+    died: bool,
 }
 
 /// Per-rank shallow-water march.
@@ -176,6 +296,8 @@ fn rank_main(
     steps: usize,
     report_every: usize,
     opts: &DistOptions,
+    checkpoints: &CheckpointStore,
+    start_step: usize,
 ) -> Result<RankOut, CommError> {
     let me = comm.rank();
     let ncells_global = data.cell_nodes.len() / 4;
@@ -224,11 +346,35 @@ fn rank_main(
     let mut scratch: Vec<Vec<f64>> = plan.groups.iter().map(|gr| vec![0.0f64; 3 * gr.nslots]).collect();
     let mut res_digest = 0u64;
 
+    // The SWE march has no rank-death recovery, but it does ride the
+    // durable bottom rung: every boundary lands in the crash-consistent
+    // store so a dead *process* can restart from disk.
+    let ckpt_active = opts.checkpoint_every > 0 || checkpoints.is_durable();
+    let ckpt_err = |e: CheckpointError| CommError::Checkpoint {
+        rank: me,
+        detail: e.to_string(),
+    };
+    let mut died = false;
+    // On resume the restored boundary is already durable; recommitting it
+    // would be harmless but wasteful.
+    if ckpt_active && start_step == 0 {
+        checkpoints
+            .commit(0, me, &local.cell_l2g[..nowned], &w[..3 * nowned])
+            .map_err(ckpt_err)?;
+    }
+
     let mut reports: Vec<(usize, f64, f64)> = Vec::new();
     // At most one outstanding pipelined RMS sum: `(step, dt, pending)`.
     let mut pending_sum: Option<(usize, f64, PendingReduce)> = None;
 
-    for step in 1..=steps {
+    for step in start_step + 1..=steps {
+        if opts.die_at == Some(step) {
+            // Simulated whole-process death: stop before touching this
+            // step. No commit, no drain — the disk keeps exactly what was
+            // durable, everything in memory is void.
+            died = true;
+            break;
+        }
         comm.beat();
 
         // 1. save + local CFL fold over owned cells.
@@ -413,6 +559,29 @@ fn rank_main(
                 reports.push((step, dt, (total / ncells_global as f64).sqrt()));
             }
         }
+
+        if ckpt_active && opts.checkpoint_every > 0 && step % opts.checkpoint_every == 0 {
+            // Drain the reduction pipeline first so no report crosses the
+            // boundary, then barrier so every rank's slice for this step
+            // has landed before anyone marches on (coordinated checkpoint,
+            // same discipline as the airfoil march).
+            harvest_sum(&comm, &mut pending_sum, ncells_global, &mut reports)?;
+            checkpoints
+                .commit(step, me, &local.cell_l2g[..nowned], &w[..3 * nowned])
+                .map_err(ckpt_err)?;
+            comm.barrier()?;
+        }
+        if opts.halt_after == Some(step) {
+            // Graceful stop: drain the pipeline, pin a durable boundary at
+            // exactly this step, and leave. The reference leg of
+            // crash-restart equivalence tests.
+            harvest_sum(&comm, &mut pending_sum, ncells_global, &mut reports)?;
+            checkpoints
+                .commit(step, me, &local.cell_l2g[..nowned], &w[..3 * nowned])
+                .map_err(ckpt_err)?;
+            comm.barrier()?;
+            break;
+        }
     }
     harvest_sum(&comm, &mut pending_sum, ncells_global, &mut reports)?;
 
@@ -420,6 +589,7 @@ fn rank_main(
         owned_w: w[..3 * nowned].to_vec(),
         history: reports,
         res_digest,
+        died,
     })
 }
 

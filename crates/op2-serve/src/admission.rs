@@ -35,16 +35,23 @@ pub enum AdmissionError {
     },
     /// The service is shutting down and accepts no further work.
     ShuttingDown,
+    /// A durable submission named a recipe no program factory is
+    /// registered for (see [`crate::ServeOptions::recipe`]).
+    UnknownRecipe {
+        /// The recipe name the submission asked for.
+        recipe: String,
+    },
 }
 
 impl AdmissionError {
     /// Stable numeric code for trace events (0 queue-full, 1 quota,
-    /// 2 shutdown).
+    /// 2 shutdown, 3 unknown-recipe).
     pub fn code(&self) -> u64 {
         match self {
             AdmissionError::QueueFull { .. } => 0,
             AdmissionError::QuotaExhausted { .. } => 1,
             AdmissionError::ShuttingDown => 2,
+            AdmissionError::UnknownRecipe { .. } => 3,
         }
     }
 }
@@ -64,6 +71,9 @@ impl std::fmt::Display for AdmissionError {
                 "quota exhausted for tenant '{tenant}' ({available:.2} tokens available, {cost:.2} needed)"
             ),
             AdmissionError::ShuttingDown => write!(f, "service is shutting down"),
+            AdmissionError::UnknownRecipe { recipe } => {
+                write!(f, "no program factory registered for recipe '{recipe}'")
+            }
         }
     }
 }

@@ -251,8 +251,14 @@ impl JobHandle {
 
     /// A handle born terminal: the job was shed at admission.
     pub(crate) fn rejected(id: u64, name: &str, tenant: &str, err: AdmissionError) -> JobHandle {
+        JobHandle::resolved(id, name, tenant, JobOutcome::Rejected(err))
+    }
+
+    /// A handle born terminal with an arbitrary outcome — a durable
+    /// resubmission deduped to the journal's recorded result.
+    pub(crate) fn resolved(id: u64, name: &str, tenant: &str, outcome: JobOutcome) -> JobHandle {
         let h = JobHandle::queued(id, name, tenant);
-        *h.shared.state.lock() = JobState::Done(JobOutcome::Rejected(err));
+        *h.shared.state.lock() = JobState::Done(outcome);
         h
     }
 

@@ -1,0 +1,514 @@
+//! Durable job journal: exactly-one-terminal-outcome across process death.
+//!
+//! The service's in-memory conservation law ("every admitted job reaches
+//! exactly one terminal [`JobOutcome`]") dies with the
+//! process. The journal extends it across restarts by appending three
+//! record kinds to an `op2-store` write-ahead log, keyed by a
+//! client-chosen **idempotency key**:
+//!
+//! ```text
+//! Admitted(key, recipe, tenant, priority, cost)   — passed the gate
+//! Started(key)                                    — a dispatcher picked it
+//! Terminal(key, outcome)                          — resolved (appended
+//!                                                   BEFORE the handle)
+//! ```
+//!
+//! The journal state machine per key is `admitted → started → terminal`,
+//! monotone and idempotent: duplicate appends of an already-recorded
+//! transition are suppressed, and a terminal record is final — later
+//! submissions of the same key *dedupe* to the recorded outcome instead of
+//! running again.
+//!
+//! On restart, [`JobJournal::open`] replays the log (op2-store verifies
+//! checksums and truncates any torn tail), and the service requeues every
+//! key that was admitted but never reached a terminal record — **bypassing
+//! the admission gate**, because those jobs already paid for admission
+//! before the crash. Because the terminal record is fsync'd before the
+//! in-memory handle resolves, a crash can lose an *unreported* completion
+//! (the job reruns — idempotent by key) but can never report an outcome
+//! and then rerun it: exactly-one-terminal-outcome, durably.
+//!
+//! Programs are closures and cannot be journaled; durable jobs therefore
+//! name a **recipe** from the service's registry
+//! ([`ServeOptions::recipe`](crate::ServeOptions::recipe)), which rebuilds
+//! the program on requeue.
+
+use std::collections::HashMap;
+use std::path::Path;
+
+use op2_store::{ByteReader, ByteWriter, StoreError, StoreFaultPlan, Wal, WalOptions};
+use parking_lot::Mutex;
+
+use crate::job::{JobError, JobOutcome, JobOutput, Priority};
+
+/// Record kinds in the journal WAL.
+const REC_ADMITTED: u16 = 1;
+const REC_STARTED: u16 = 2;
+const REC_TERMINAL: u16 = 3;
+
+/// Terminal outcome codes (`Rejected` is never journaled — a shed job was
+/// never admitted, so it has no journal entry at all).
+const OUT_COMPLETED: u32 = 0;
+const OUT_FAILED: u32 = 1;
+const OUT_CANCELLED: u32 = 2;
+const OUT_DEADLINE: u32 = 3;
+
+/// What the journal knows about one idempotency key.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JournalState {
+    /// Admitted (and possibly started), not yet terminal.
+    Pending {
+        /// A dispatcher picked it up before the record was written.
+        started: bool,
+    },
+    /// Resolved; the recorded outcome is final for this key.
+    Terminal(JobOutcome),
+}
+
+/// An admitted-but-unresolved entry to requeue after a restart.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PendingJob {
+    /// Idempotency key (doubles as the job name).
+    pub key: String,
+    /// Recipe name to rebuild the program from the registry.
+    pub recipe: String,
+    /// Tenant for fair-share accounting.
+    pub tenant: String,
+    /// Scheduling priority.
+    pub priority: Priority,
+    /// Declared admission cost.
+    pub cost: f64,
+    /// It had already started when the process died.
+    pub started: bool,
+}
+
+/// Journal throughput/degradation counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct JournalStats {
+    /// Records appended durably this process lifetime.
+    pub appends: usize,
+    /// Payload bytes appended.
+    pub bytes: usize,
+    /// Appends skipped because the disk was full (the job still runs; it
+    /// just loses restart coverage / outcome durability).
+    pub enospc_skips: usize,
+    /// Records recovered by replay at open.
+    pub recovered: usize,
+    /// Replay found and truncated a torn tail.
+    pub torn_tail: bool,
+}
+
+struct Entry {
+    state: JournalState,
+    pending: Option<PendingJob>,
+    /// Admission order, for deterministic requeue.
+    order: usize,
+}
+
+/// The durable job journal (see module docs). All methods take `&self`;
+/// the WAL handle and the replayed state map share one lock.
+pub struct JobJournal {
+    inner: Mutex<Inner>,
+}
+
+struct Inner {
+    wal: Wal,
+    entries: HashMap<String, Entry>,
+    next_order: usize,
+    stats: JournalStats,
+}
+
+impl JobJournal {
+    /// Open (or create) the journal at `dir`, replaying whatever survived.
+    /// Corrupt or torn tails are truncated by the store layer; only real
+    /// IO failures error.
+    pub fn open(dir: &Path, faults: Option<StoreFaultPlan>) -> Result<JobJournal, StoreError> {
+        let mut opts = WalOptions::new(dir);
+        if let Some(plan) = faults {
+            opts = opts.faults(plan);
+        }
+        let (wal, replay) = Wal::open(opts)?;
+        let mut entries: HashMap<String, Entry> = HashMap::new();
+        let mut next_order = 0usize;
+        for rec in &replay.records {
+            // A record that fails to decode despite a valid checksum can
+            // only come from a format drift; treat it like a torn tail
+            // would be — ignore it rather than poison the whole journal.
+            let _ = apply_record(rec.kind, &rec.payload, &mut entries, &mut next_order);
+        }
+        let stats = JournalStats {
+            recovered: replay.records.len(),
+            torn_tail: replay.torn_tail,
+            ..JournalStats::default()
+        };
+        Ok(JobJournal {
+            inner: Mutex::new(Inner {
+                wal,
+                entries,
+                next_order,
+                stats,
+            }),
+        })
+    }
+
+    /// The journal's verdict on `key`, if it has one.
+    pub fn state_of(&self, key: &str) -> Option<JournalState> {
+        self.inner.lock().entries.get(key).map(|e| e.state.clone())
+    }
+
+    /// The recorded terminal outcome for `key` (dedupe lookup).
+    pub fn terminal_of(&self, key: &str) -> Option<JobOutcome> {
+        match self.state_of(key) {
+            Some(JournalState::Terminal(o)) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// Every admitted-but-unresolved entry, in admission order.
+    pub fn pending(&self) -> Vec<PendingJob> {
+        let inner = self.inner.lock();
+        let mut jobs: Vec<(usize, PendingJob)> = inner
+            .entries
+            .values()
+            .filter_map(|e| e.pending.clone().map(|p| (e.order, p)))
+            .collect();
+        jobs.sort_by_key(|(order, _)| *order);
+        jobs.into_iter().map(|(_, p)| p).collect()
+    }
+
+    /// Snapshot the counters.
+    pub fn stats(&self) -> JournalStats {
+        self.inner.lock().stats
+    }
+
+    /// Journal an admission. Idempotent: a key already admitted (or
+    /// terminal) appends nothing. Returns `false` if the key is already
+    /// terminal — the caller must dedupe, not run.
+    pub fn admitted(&self, job: &PendingJob) -> bool {
+        let mut inner = self.inner.lock();
+        match inner.entries.get(&job.key) {
+            Some(e) if matches!(e.state, JournalState::Terminal(_)) => return false,
+            Some(_) => return true,
+            None => {}
+        }
+        let mut w = ByteWriter::new();
+        w.str(&job.key)
+            .str(&job.recipe)
+            .str(&job.tenant)
+            .u32(priority_code(job.priority))
+            .f64(job.cost);
+        let payload = w.finish();
+        inner.append(REC_ADMITTED, &payload, "journal-admit");
+        let order = inner.next_order;
+        inner.next_order += 1;
+        inner.entries.insert(
+            job.key.clone(),
+            Entry {
+                state: JournalState::Pending { started: false },
+                pending: Some(PendingJob {
+                    started: false,
+                    ..job.clone()
+                }),
+                order,
+            },
+        );
+        true
+    }
+
+    /// Journal that a dispatcher picked `key` up. Idempotent; a no-op for
+    /// unknown or terminal keys.
+    pub fn started(&self, key: &str) {
+        let mut inner = self.inner.lock();
+        match inner.entries.get(key) {
+            Some(e) if matches!(e.state, JournalState::Pending { started: false }) => {}
+            _ => return,
+        }
+        let mut w = ByteWriter::new();
+        w.str(key);
+        let payload = w.finish();
+        inner.append(REC_STARTED, &payload, "journal-start");
+        let e = inner.entries.get_mut(key).expect("checked above");
+        e.state = JournalState::Pending { started: true };
+        if let Some(p) = &mut e.pending {
+            p.started = true;
+        }
+    }
+
+    /// Journal the terminal outcome for `key`. **Call before resolving the
+    /// in-memory handle** — the disk must know the outcome before any
+    /// client can observe it. First terminal wins; later ones are no-ops
+    /// (mirroring `JobHandle::finish`). No-op for unknown keys.
+    pub fn terminal(&self, key: &str, outcome: &JobOutcome) {
+        let mut inner = self.inner.lock();
+        match inner.entries.get(key) {
+            Some(e) if !matches!(e.state, JournalState::Terminal(_)) => {}
+            _ => return,
+        }
+        let payload = encode_terminal(key, outcome);
+        inner.append(REC_TERMINAL, &payload, "journal-final");
+        let e = inner.entries.get_mut(key).expect("checked above");
+        e.state = JournalState::Terminal(outcome.clone());
+        e.pending = None;
+    }
+}
+
+impl Inner {
+    /// Append durably, degrading `ENOSPC` to a counted skip (the journal
+    /// is a durability add-on — a full disk must not take the service
+    /// down). Other store errors also degrade but are loud.
+    fn append(&mut self, kind: u16, payload: &[u8], what: &str) {
+        let span = op2_trace::begin();
+        let result = self.wal.append(kind, payload);
+        if op2_trace::enabled() {
+            let n = op2_trace::intern(what);
+            op2_trace::end(
+                span,
+                op2_trace::EventKind::JournalIo,
+                n,
+                u64::from(kind),
+                payload.len() as u64,
+            );
+        }
+        match result {
+            Ok(()) => {
+                self.stats.appends += 1;
+                self.stats.bytes += payload.len();
+            }
+            Err(StoreError::NoSpace) => self.stats.enospc_skips += 1,
+            Err(e) => {
+                self.stats.enospc_skips += 1;
+                eprintln!("op2-serve: journal append failed ({what}): {e}");
+            }
+        }
+    }
+}
+
+fn priority_code(p: Priority) -> u32 {
+    match p {
+        Priority::Low => 0,
+        Priority::Normal => 1,
+        Priority::High => 2,
+    }
+}
+
+fn priority_from(code: u32) -> Priority {
+    match code {
+        0 => Priority::Low,
+        2 => Priority::High,
+        _ => Priority::Normal,
+    }
+}
+
+fn encode_terminal(key: &str, outcome: &JobOutcome) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.str(key);
+    match outcome {
+        JobOutcome::Completed(out) => {
+            w.u32(OUT_COMPLETED).f64s(&out.values).u64(out.digest);
+        }
+        JobOutcome::Failed(e) => {
+            w.u32(OUT_FAILED).str(&e.to_string());
+        }
+        JobOutcome::Cancelled => {
+            w.u32(OUT_CANCELLED);
+        }
+        JobOutcome::DeadlineExceeded => {
+            w.u32(OUT_DEADLINE);
+        }
+        // Rejected jobs were never admitted; encode defensively as failed.
+        JobOutcome::Rejected(e) => {
+            w.u32(OUT_FAILED).str(&e.to_string());
+        }
+    }
+    w.finish()
+}
+
+/// Replay one verified record into the state map. Unknown kinds and keys
+/// are ignored (forward compatibility / lost-admission tails).
+fn apply_record(
+    kind: u16,
+    payload: &[u8],
+    entries: &mut HashMap<String, Entry>,
+    next_order: &mut usize,
+) -> Result<(), op2_store::CodecError> {
+    let mut r = ByteReader::new(payload);
+    match kind {
+        REC_ADMITTED => {
+            let key = r.str()?;
+            let recipe = r.str()?;
+            let tenant = r.str()?;
+            let priority = priority_from(r.u32()?);
+            let cost = r.f64()?;
+            let order = *next_order;
+            *next_order += 1;
+            entries.entry(key.clone()).or_insert(Entry {
+                state: JournalState::Pending { started: false },
+                pending: Some(PendingJob {
+                    key,
+                    recipe,
+                    tenant,
+                    priority,
+                    cost,
+                    started: false,
+                }),
+                order,
+            });
+        }
+        REC_STARTED => {
+            let key = r.str()?;
+            if let Some(e) = entries.get_mut(&key) {
+                if let JournalState::Pending { .. } = e.state {
+                    e.state = JournalState::Pending { started: true };
+                    if let Some(p) = &mut e.pending {
+                        p.started = true;
+                    }
+                }
+            }
+        }
+        REC_TERMINAL => {
+            let key = r.str()?;
+            let code = r.u32()?;
+            let outcome = match code {
+                OUT_COMPLETED => {
+                    let values = r.f64s()?;
+                    let digest = r.u64()?;
+                    // The digest rides in the record; recompute to catch
+                    // any drift between writer and reader encodings.
+                    let out = JobOutput::from_values(values);
+                    debug_assert_eq!(out.digest, digest);
+                    JobOutcome::Completed(out)
+                }
+                OUT_CANCELLED => JobOutcome::Cancelled,
+                OUT_DEADLINE => JobOutcome::DeadlineExceeded,
+                _ => JobOutcome::Failed(JobError::App(r.str().unwrap_or_default())),
+            };
+            if let Some(e) = entries.get_mut(&key) {
+                if !matches!(e.state, JournalState::Terminal(_)) {
+                    e.state = JournalState::Terminal(outcome);
+                    e.pending = None;
+                }
+            }
+        }
+        _ => {}
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        static N: AtomicU64 = AtomicU64::new(0);
+        let n = N.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!(
+            "op2-journal-{tag}-{}-{n}",
+            std::process::id()
+        ))
+    }
+
+    fn job(key: &str) -> PendingJob {
+        PendingJob {
+            key: key.into(),
+            recipe: "r".into(),
+            tenant: "t".into(),
+            priority: Priority::Normal,
+            cost: 1.0,
+            started: false,
+        }
+    }
+
+    #[test]
+    fn lifecycle_replays_across_reopen() {
+        let dir = tmpdir("life");
+        {
+            let j = JobJournal::open(&dir, None).unwrap();
+            assert!(j.admitted(&job("a")));
+            assert!(j.admitted(&job("b")));
+            j.started("a");
+            j.terminal(
+                "a",
+                &JobOutcome::Completed(JobOutput::from_values(vec![1.0, 2.0])),
+            );
+        }
+        let j = JobJournal::open(&dir, None).unwrap();
+        assert_eq!(
+            j.terminal_of("a"),
+            Some(JobOutcome::Completed(JobOutput::from_values(vec![1.0, 2.0])))
+        );
+        let pending = j.pending();
+        assert_eq!(pending.len(), 1);
+        assert_eq!(pending[0].key, "b");
+        assert!(!pending[0].started);
+        assert!(j.stats().recovered >= 4);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn terminal_is_final_and_dedupes_resubmission() {
+        let dir = tmpdir("final");
+        let j = JobJournal::open(&dir, None).unwrap();
+        assert!(j.admitted(&job("k")));
+        j.terminal("k", &JobOutcome::Cancelled);
+        // Second terminal loses; re-admission is refused.
+        j.terminal("k", &JobOutcome::DeadlineExceeded);
+        assert_eq!(j.terminal_of("k"), Some(JobOutcome::Cancelled));
+        assert!(!j.admitted(&job("k")));
+        assert!(j.pending().is_empty());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn admission_order_is_preserved_for_requeue() {
+        let dir = tmpdir("order");
+        {
+            let j = JobJournal::open(&dir, None).unwrap();
+            for key in ["z", "m", "a"] {
+                j.admitted(&job(key));
+            }
+            j.started("m");
+        }
+        let j = JobJournal::open(&dir, None).unwrap();
+        let keys: Vec<_> = j.pending().into_iter().map(|p| p.key).collect();
+        assert_eq!(keys, ["z", "m", "a"]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn enospc_degrades_to_counted_skip() {
+        let dir = tmpdir("enospc");
+        let plan = StoreFaultPlan::new(9, 1_000_000).max_faults(1);
+        let j = JobJournal::open(&dir, Some(plan)).unwrap();
+        // Burn appends until the single planned fault lands (if it is an
+        // ENOSPC the skip counter moves; any fault kind leaves the
+        // in-memory state machine intact either way).
+        for i in 0..32 {
+            j.admitted(&job(&format!("k{i}")));
+        }
+        assert_eq!(j.pending().len(), 32);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn failed_outcome_round_trips_as_app_error() {
+        let dir = tmpdir("fail");
+        {
+            let j = JobJournal::open(&dir, None).unwrap();
+            j.admitted(&job("k"));
+            j.terminal(
+                "k",
+                &JobOutcome::Failed(JobError::Panic("boom".into())),
+            );
+        }
+        let j = JobJournal::open(&dir, None).unwrap();
+        match j.terminal_of("k") {
+            Some(JobOutcome::Failed(JobError::App(msg))) => {
+                assert!(msg.contains("boom"), "{msg}");
+            }
+            other => panic!("unexpected replayed outcome: {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

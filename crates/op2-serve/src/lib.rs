@@ -45,6 +45,7 @@ pub mod admission;
 pub mod apps;
 pub mod fair;
 pub mod job;
+pub mod journal;
 pub mod report;
 pub mod service;
 mod tracehooks;
@@ -54,5 +55,6 @@ pub use fair::FairQueue;
 pub use job::{
     digest_bits, JobCtx, JobError, JobHandle, JobOutcome, JobOutput, JobSpec, Priority, Program,
 };
+pub use journal::{JobJournal, JournalState, JournalStats, PendingJob};
 pub use report::{LatencyStats, ServiceReport};
-pub use service::{PoolMode, ServeOptions, Service};
+pub use service::{PoolMode, Recipe, ServeOptions, Service};

@@ -74,6 +74,11 @@ pub struct ServiceReport {
     pub tuned_converged: bool,
     /// `(tenant, job)` pairs with a measured admission cost on file.
     pub measured_costs: usize,
+    /// Incomplete journaled jobs requeued at start (post-crash replay).
+    pub requeued: u64,
+    /// Durable submissions resolved from a recorded terminal outcome
+    /// without rerunning.
+    pub deduped: u64,
     /// Service lifetime covered by this snapshot.
     pub elapsed: Duration,
 }
@@ -112,6 +117,12 @@ impl ServiceReport {
             "  throughput: {:.2} jobs/s; queue peak {}; plans: {} built, {} topology hits\n",
             self.throughput_jps, self.queue_peak, self.plan_builds, self.plan_topo_hits
         ));
+        if self.requeued > 0 || self.deduped > 0 {
+            s.push_str(&format!(
+                "  journal: {} requeued after restart, {} deduped to recorded outcomes\n",
+                self.requeued, self.deduped
+            ));
+        }
         if self.tuned_keys > 0 {
             s.push_str(&format!(
                 "  tuning: {} keys ({}), {} measured job costs\n",

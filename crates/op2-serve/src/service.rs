@@ -41,9 +41,16 @@ use parking_lot::{Condvar, Mutex};
 
 use crate::admission::{AdmissionError, QuotaSpec, TokenBucket};
 use crate::fair::FairQueue;
-use crate::job::{JobCtx, JobError, JobHandle, JobOutcome, JobSpec, Program};
+use crate::job::{JobCtx, JobError, JobHandle, JobOutcome, JobSpec, Priority, Program};
+use crate::journal::{JobJournal, JournalStats, PendingJob};
 use crate::report::{LatencyStats, ServiceReport};
 use crate::tracehooks;
+use op2_store::StoreFaultPlan;
+
+/// A registered program factory: rebuilds a durable job's [`Program`] on
+/// submission and again on post-crash requeue (closures themselves cannot
+/// be journaled).
+pub type Recipe = Arc<dyn Fn() -> Program + Send + Sync + 'static>;
 
 /// Where jobs execute.
 #[derive(Debug, Clone, Copy)]
@@ -89,7 +96,16 @@ pub struct ServeOptions {
     /// stops gaining share after its first job. Needs `tuner` (the cost
     /// book lives there).
     pub cost_unit: Duration,
+    /// Durable job journal directory (`None` = in-memory service). With a
+    /// journal, [`Service::submit_durable`] survives whole-process death:
+    /// a restarted service requeues incomplete jobs and dedupes completed
+    /// ones to their recorded outcome.
+    pub journal: Option<PathBuf>,
+    /// Deterministic storage-fault plan for the journal WAL
+    /// (`STORE_FAULT_SEED` sweeps; `None` = clean disk).
+    pub journal_faults: Option<StoreFaultPlan>,
     weights: HashMap<String, u64>,
+    recipes: HashMap<String, Recipe>,
 }
 
 impl Default for ServeOptions {
@@ -106,7 +122,10 @@ impl Default for ServeOptions {
             tuner: None,
             tune_store: None,
             cost_unit: Duration::from_millis(100),
+            journal: None,
+            journal_faults: None,
             weights: HashMap::new(),
+            recipes: HashMap::new(),
         }
     }
 }
@@ -180,6 +199,28 @@ impl ServeOptions {
         self.cost_unit = unit.max(Duration::from_micros(1));
         self
     }
+
+    /// Journal durable jobs to the crash-consistent WAL at `dir`.
+    pub fn journal(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.journal = Some(dir.into());
+        self
+    }
+
+    /// Inject deterministic storage faults into journal appends.
+    pub fn journal_faults(mut self, plan: StoreFaultPlan) -> Self {
+        self.journal_faults = Some(plan);
+        self
+    }
+
+    /// Register a program factory under `name` for durable submissions.
+    pub fn recipe(
+        mut self,
+        name: impl Into<String>,
+        factory: impl Fn() -> Program + Send + Sync + 'static,
+    ) -> Self {
+        self.recipes.insert(name.into(), Arc::new(factory));
+        self
+    }
 }
 
 /// Admission/lifecycle phase.
@@ -200,6 +241,8 @@ struct QueuedJob {
     /// Absolute deadline (admission time + spec/default deadline).
     deadline: Option<Instant>,
     submitted: Instant,
+    /// Idempotency key of a journaled (durable) job.
+    journal_key: Option<String>,
 }
 
 #[derive(Default)]
@@ -213,6 +256,11 @@ struct Stats {
     shed: u64,
     queue_peak: usize,
     latencies_us: Vec<u64>,
+    /// Incomplete journaled jobs requeued at start (post-crash replay).
+    requeued: u64,
+    /// Durable submissions resolved from a recorded terminal outcome
+    /// without rerunning.
+    deduped: u64,
 }
 
 struct State {
@@ -222,6 +270,9 @@ struct State {
     buckets: HashMap<String, TokenBucket>,
     /// Handles of jobs currently on a dispatcher (for hard shutdown).
     running: Vec<JobHandle>,
+    /// In-flight durable jobs by idempotency key: a resubmission of a live
+    /// key attaches to the existing handle instead of running twice.
+    live: HashMap<String, JobHandle>,
 }
 
 struct Inner {
@@ -247,6 +298,13 @@ struct Inner {
     weights: HashMap<String, u64>,
     next_id: AtomicU64,
     started: Instant,
+    /// Durable job journal (`None` = in-memory service).
+    journal: Option<JobJournal>,
+    /// Program factories for durable submissions and post-crash requeue.
+    recipes: HashMap<String, Recipe>,
+    /// Simulated process death: suppress journal terminal records so the
+    /// disk looks exactly like the process vanished mid-flight.
+    crashed: std::sync::atomic::AtomicBool,
 }
 
 /// The running service. Dropping it hard-stops (cancels queued jobs, joins
@@ -277,12 +335,22 @@ impl Service {
         if let (Some(tuner), Some(path)) = (&opts.tuner, &opts.tune_store) {
             let _ = tuner.load(path);
         }
+        // Open the durable journal before accepting anything: replay is
+        // what makes a restart honour pre-crash admissions. A journal that
+        // cannot even be opened (real IO failure — corruption is handled
+        // by truncation inside the store) is a misconfiguration worth
+        // failing loudly over, not running silently non-durable.
+        let journal = opts.journal.as_ref().map(|dir| {
+            JobJournal::open(dir, opts.journal_faults.clone())
+                .unwrap_or_else(|e| panic!("op2-serve: cannot open job journal at {dir:?}: {e}"))
+        });
         let inner = Arc::new(Inner {
             state: Mutex::new(State {
                 queue: FairQueue::new(),
                 phase: Phase::Open,
                 buckets: HashMap::new(),
                 running: Vec::new(),
+                live: HashMap::new(),
             }),
             cv: Condvar::new(),
             stats: Mutex::new(Stats::default()),
@@ -301,7 +369,49 @@ impl Service {
             weights: opts.weights,
             next_id: AtomicU64::new(1),
             started: Instant::now(),
+            journal,
+            recipes: opts.recipes,
+            crashed: std::sync::atomic::AtomicBool::new(false),
         });
+        // Requeue every journaled job that was admitted before a crash but
+        // never reached a terminal record. These already paid for
+        // admission, so they bypass the queue bound and the quota.
+        if let Some(journal) = &inner.journal {
+            let mut st = inner.state.lock();
+            let mut stats = inner.stats.lock();
+            for p in journal.pending() {
+                let Some(recipe) = inner.recipes.get(&p.recipe) else {
+                    eprintln!(
+                        "op2-serve: journaled job {:?} names unregistered recipe {:?}; \
+                         left pending for a future restart",
+                        p.key, p.recipe
+                    );
+                    continue;
+                };
+                let id = inner.next_id.fetch_add(1, Ordering::Relaxed);
+                let handle = JobHandle::queued(id, &p.key, &p.tenant);
+                let weight =
+                    inner.weights.get(&p.tenant).copied().unwrap_or(1) * p.priority.factor();
+                let cost_units = (p.cost.max(1e-3) * 1024.0) as u64;
+                st.queue.push(
+                    &p.tenant,
+                    weight,
+                    cost_units,
+                    QueuedJob {
+                        handle: handle.clone(),
+                        program: recipe(),
+                        deadline: None,
+                        submitted: Instant::now(),
+                        journal_key: Some(p.key.clone()),
+                    },
+                );
+                st.live.insert(p.key, handle);
+                stats.submitted += 1;
+                stats.accepted += 1;
+                stats.requeued += 1;
+            }
+            stats.queue_peak = stats.queue_peak.max(st.queue.len());
+        }
         let workers = (0..opts.workers.max(1))
             .map(|i| {
                 let inner = Arc::clone(&inner);
@@ -317,6 +427,81 @@ impl Service {
     /// Submit a job, or shed it with a typed error. Never blocks on
     /// execution (admission holds the state lock briefly), never panics.
     pub fn try_submit(&self, spec: JobSpec) -> Result<JobHandle, AdmissionError> {
+        self.try_submit_inner(spec, None)
+    }
+
+    /// Submit a **durable** job, or shed it. `key` is the idempotency key
+    /// (doubling as the job name and trace label); `recipe` names a
+    /// program factory registered with [`ServeOptions::recipe`]. The
+    /// admission is journaled before the job can run, the terminal outcome
+    /// is journaled before the handle resolves, and across a restart:
+    ///
+    /// * a key whose terminal outcome is on disk **dedupes** — the handle
+    ///   comes back born terminal with the recorded outcome, nothing
+    ///   reruns;
+    /// * a key admitted but unresolved at the crash is **requeued** by
+    ///   [`Service::start`]; resubmitting it attaches to the live run.
+    ///
+    /// # Panics
+    /// Panics if the service was started without
+    /// [`ServeOptions::journal`] — durable submission needs the journal.
+    pub fn try_submit_durable(
+        &self,
+        key: &str,
+        recipe: &str,
+        tenant: &str,
+        priority: Priority,
+        cost: f64,
+    ) -> Result<JobHandle, AdmissionError> {
+        let journal = self
+            .inner
+            .journal
+            .as_ref()
+            .expect("durable submission requires ServeOptions::journal");
+        // Dedupe a completed key to its recorded outcome, without
+        // re-running and without touching admission at all.
+        if let Some(outcome) = journal.terminal_of(key) {
+            self.inner.stats.lock().deduped += 1;
+            return Ok(JobHandle::resolved(0, key, tenant, outcome));
+        }
+        // A key already in flight in this process attaches to the live
+        // handle: exactly one run, however many submissions.
+        if let Some(h) = self.inner.state.lock().live.get(key) {
+            self.inner.stats.lock().deduped += 1;
+            return Ok(h.clone());
+        }
+        let Some(factory) = self.inner.recipes.get(recipe) else {
+            return Err(AdmissionError::UnknownRecipe {
+                recipe: recipe.to_owned(),
+            });
+        };
+        let program = factory();
+        let spec = JobSpec::new(key, program)
+            .tenant(tenant)
+            .priority(priority)
+            .cost(cost);
+        self.try_submit_inner(spec, Some((key.to_owned(), recipe.to_owned())))
+    }
+
+    /// [`Service::try_submit_durable`] with the shed folded into the
+    /// handle (like [`Service::submit`]).
+    pub fn submit_durable(&self, key: &str, recipe: &str) -> JobHandle {
+        match self.try_submit_durable(key, recipe, "default", Priority::Normal, 1.0) {
+            Ok(h) => h,
+            Err(e) => JobHandle::rejected(0, key, "default", e),
+        }
+    }
+
+    /// The journal's counters, if the service is durable.
+    pub fn journal_stats(&self) -> Option<JournalStats> {
+        self.inner.journal.as_ref().map(|j| j.stats())
+    }
+
+    fn try_submit_inner(
+        &self,
+        spec: JobSpec,
+        durable: Option<(String, String)>,
+    ) -> Result<JobHandle, AdmissionError> {
         let id = self.inner.next_id.fetch_add(1, Ordering::Relaxed);
         self.inner.stats.lock().submitted += 1;
         let admit = || -> Result<JobHandle, AdmissionError> {
@@ -368,6 +553,22 @@ impl Service {
                 .deadline
                 .or(self.inner.default_deadline)
                 .map(|d| Instant::now() + d);
+            // Journal the admission *before* the job becomes visible to a
+            // dispatcher (still under the state lock): once anyone can run
+            // it, the disk must already know it was admitted.
+            let journal_key = durable.as_ref().map(|(key, recipe)| {
+                let journal = self.inner.journal.as_ref().expect("durable implies journal");
+                journal.admitted(&PendingJob {
+                    key: key.clone(),
+                    recipe: recipe.clone(),
+                    tenant: spec.tenant.clone(),
+                    priority: spec.priority,
+                    cost: spec.cost,
+                    started: false,
+                });
+                st.live.insert(key.clone(), handle.clone());
+                key.clone()
+            });
             st.queue.push(
                 &spec.tenant,
                 weight,
@@ -377,6 +578,7 @@ impl Service {
                     program: spec.program,
                     deadline,
                     submitted: Instant::now(),
+                    journal_key,
                 },
             );
             let depth = st.queue.len();
@@ -439,6 +641,8 @@ impl Service {
             tuned_keys: self.inner.tuner.as_ref().map_or(0, |t| t.snapshot().len()),
             tuned_converged: self.inner.tuner.as_ref().is_some_and(|t| t.converged()),
             measured_costs: self.inner.tuner.as_ref().map_or(0, |t| t.costs().len()),
+            requeued: stats.requeued,
+            deduped: stats.deduped,
             elapsed,
         }
     }
@@ -515,7 +719,8 @@ impl Service {
         self.inner.cv.notify_all();
         let mut n_cancelled = 0u64;
         for job in drained {
-            if job.handle.finish(JobOutcome::Cancelled) {
+            if finish_journaled(&self.inner, &job.journal_key, &job.handle, JobOutcome::Cancelled)
+            {
                 n_cancelled += 1;
             }
         }
@@ -525,6 +730,35 @@ impl Service {
         }
         self.persist_tuner();
         self.report()
+    }
+
+    /// Simulate whole-process death: stop dispatchers and vanish *without*
+    /// journaling any further record — queued and running durable jobs stay
+    /// **incomplete** on disk, exactly as a `kill -9` would leave them, so
+    /// the next [`Service::start`] over the same journal requeues them.
+    /// In-memory handles of unfinished jobs resolve `Cancelled` (so test
+    /// waiters do not hang), but that resolution is deliberately *not*
+    /// written to the journal — a dead process reports nothing.
+    pub fn kill(mut self) {
+        self.inner
+            .crashed
+            .store(true, std::sync::atomic::Ordering::SeqCst);
+        let drained = {
+            let mut st = self.inner.state.lock();
+            st.phase = Phase::Closed;
+            for h in &st.running {
+                h.try_cancel();
+            }
+            st.queue.drain()
+        };
+        self.inner.cv.notify_all();
+        for job in drained {
+            job.handle.finish(JobOutcome::Cancelled);
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        // No tuner persist, no journal terminals: the process is "dead".
     }
 }
 
@@ -544,7 +778,8 @@ impl Drop for Service {
         self.inner.cv.notify_all();
         let mut n_cancelled = 0u64;
         for job in drained {
-            if job.handle.finish(JobOutcome::Cancelled) {
+            if finish_journaled(&self.inner, &job.journal_key, &job.handle, JobOutcome::Cancelled)
+            {
                 n_cancelled += 1;
             }
         }
@@ -585,10 +820,35 @@ fn dispatcher(inner: Arc<Inner>) {
             }
         };
         let Some(job) = job else { return };
+        if let (Some(journal), Some(key)) = (&inner.journal, &job.journal_key) {
+            journal.started(key);
+        }
         let id = job.handle.id();
+        let key = job.journal_key.clone();
         run_job(&inner, job);
-        inner.state.lock().running.retain(|h| h.id() != id);
+        let mut st = inner.state.lock();
+        st.running.retain(|h| h.id() != id);
+        if let Some(key) = key {
+            st.live.remove(&key);
+        }
     }
+}
+
+/// Journal the terminal outcome (unless a crash is being simulated), then
+/// resolve the in-memory handle: the disk learns the outcome strictly
+/// before any client can observe it.
+fn finish_journaled(
+    inner: &Inner,
+    key: &Option<String>,
+    handle: &JobHandle,
+    outcome: JobOutcome,
+) -> bool {
+    if let (Some(journal), Some(key)) = (&inner.journal, key) {
+        if !inner.crashed.load(Ordering::Acquire) {
+            journal.terminal(key, &outcome);
+        }
+    }
+    handle.finish(outcome)
 }
 
 /// Run one admitted job to its terminal outcome. Never panics: program
@@ -599,18 +859,19 @@ fn run_job(inner: &Arc<Inner>, job: QueuedJob) {
         program,
         deadline,
         submitted,
+        journal_key,
     } = job;
 
     // Resolve without running if the job was cancelled or timed out while
     // queued — precisely the load-shedding a deadline is for.
     if handle.cancel_requested() {
-        if handle.finish(JobOutcome::Cancelled) {
+        if finish_journaled(inner, &journal_key, &handle, JobOutcome::Cancelled) {
             inner.stats.lock().cancelled += 1;
         }
         return;
     }
     if deadline.is_some_and(|d| Instant::now() >= d) {
-        if handle.finish(JobOutcome::DeadlineExceeded) {
+        if finish_journaled(inner, &journal_key, &handle, JobOutcome::DeadlineExceeded) {
             inner.stats.lock().deadline_exceeded += 1;
         }
         return;
@@ -684,7 +945,7 @@ fn run_job(inner: &Arc<Inner>, job: QueuedJob) {
         JobOutcome::Rejected(_) => {}
     }
     drop(stats);
-    handle.finish(outcome);
+    finish_journaled(inner, &journal_key, &handle, outcome);
 }
 
 /// Classify a program failure into its terminal outcome: an external

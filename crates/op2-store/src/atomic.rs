@@ -1,0 +1,236 @@
+//! Atomic whole-file commits with sealed, checksummed envelopes.
+//!
+//! The commit protocol is write-temp → `fsync` file → rename over the
+//! target → `fsync` directory, so the target path only ever names a file
+//! that was fully written and durable at rename time. The envelope
+//! ([`seal`]/[`unseal`]) makes the *reader* able to prove that:
+//!
+//! ```text
+//! magic "OP2SEAL\0" (8) | version u16 | rsv u16 | len u32 | xxh64 u64 | payload
+//! ```
+//!
+//! A damaged file fails [`unseal`] with a [`StoreError`] whose
+//! [`is_corruption`](StoreError::is_corruption) is true — consumers with a
+//! regeneration path (the autotuner's `TuneStore`) degrade to a cold start
+//! instead of refusing to run.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::Write;
+use std::path::Path;
+
+use crate::fault::{self, FaultKind, StoreFaultPlan};
+use crate::hash::xxhash64;
+use crate::StoreError;
+
+const MAGIC: [u8; 8] = *b"OP2SEAL\0";
+const VERSION: u16 = 1;
+const HEADER: usize = 24;
+
+/// Wrap `payload` in a checksummed, versioned envelope. The checksum
+/// covers the header prefix (magic, version, reserved, length) as well as
+/// the payload, so no writable byte of the file escapes verification.
+pub fn seal(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER + payload.len());
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(&0u16.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    let mut hashed = out.clone();
+    hashed.extend_from_slice(payload);
+    out.extend_from_slice(&xxhash64(&hashed, payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Verify an envelope and return the payload.
+pub fn unseal(bytes: &[u8]) -> Result<Vec<u8>, StoreError> {
+    if bytes.len() < HEADER || bytes[..8] != MAGIC {
+        return Err(StoreError::BadHeader {
+            expected: String::from_utf8_lossy(&MAGIC).into_owned(),
+            found: String::from_utf8_lossy(&bytes[..bytes.len().min(8)]).into_owned(),
+        });
+    }
+    let version = u16::from_le_bytes(bytes[8..10].try_into().unwrap());
+    if version != VERSION {
+        return Err(StoreError::BadHeader {
+            expected: format!("version {VERSION}"),
+            found: format!("version {version}"),
+        });
+    }
+    let len = u32::from_le_bytes(bytes[12..16].try_into().unwrap()) as usize;
+    let recorded = u64::from_le_bytes(bytes[16..24].try_into().unwrap());
+    let body = &bytes[HEADER..];
+    if body.len() != len {
+        return Err(StoreError::Truncated {
+            expected: len,
+            found: body.len(),
+        });
+    }
+    let mut hashed = Vec::with_capacity(16 + body.len());
+    hashed.extend_from_slice(&bytes[..16]);
+    hashed.extend_from_slice(body);
+    let computed = xxhash64(&hashed, len as u64);
+    if computed != recorded {
+        return Err(StoreError::ChecksumMismatch { recorded, computed });
+    }
+    Ok(body.to_vec())
+}
+
+/// Atomically replace `path` with a sealed copy of `payload`.
+///
+/// With a fault plan, the injected damage lands on the temp file *before*
+/// the rename — exactly what a mid-commit crash or media error produces —
+/// so the target either keeps its old contents (`ENOSPC`: the rename never
+/// happens) or names a file the next [`read_sealed`] will reject.
+pub fn write_sealed(
+    path: &Path,
+    payload: &[u8],
+    faults: Option<&StoreFaultPlan>,
+) -> Result<(), StoreError> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            fs::create_dir_all(parent)?;
+        }
+    }
+    let sealed = seal(payload);
+    let written = match faults {
+        Some(plan) => {
+            let decision = plan.decide(sealed.len());
+            if decision.kind == FaultKind::Enospc {
+                return Err(StoreError::NoSpace);
+            }
+            fault::mangle(decision, HEADER, &sealed).expect("non-ENOSPC mangle")
+        }
+        None => sealed,
+    };
+
+    let tmp = tmp_path(path);
+    {
+        let mut f = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&tmp)?;
+        f.write_all(&written)?;
+        f.sync_all()?;
+    }
+    fs::rename(&tmp, path)?;
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            if let Ok(d) = File::open(parent) {
+                let _ = d.sync_all();
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Read and verify a sealed file.
+pub fn read_sealed(path: &Path) -> Result<Vec<u8>, StoreError> {
+    let bytes = fs::read(path)?;
+    unseal(&bytes)
+}
+
+fn tmp_path(path: &Path) -> std::path::PathBuf {
+    let mut name = path.file_name().unwrap_or_default().to_os_string();
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tmpfile(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "op2-store-atomic-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&d);
+        fs::create_dir_all(&d).unwrap();
+        d.join("sealed.bin")
+    }
+
+    #[test]
+    fn seal_round_trip() {
+        let payload = b"the newest verified consistent state";
+        assert_eq!(unseal(&seal(payload)).unwrap(), payload);
+        assert_eq!(unseal(&seal(b"")).unwrap(), b"");
+    }
+
+    #[test]
+    fn write_read_round_trip() {
+        let path = tmpfile("rt");
+        write_sealed(&path, b"hello durable world", None).unwrap();
+        assert_eq!(read_sealed(&path).unwrap(), b"hello durable world");
+        // Overwrite is atomic: the new payload fully replaces the old.
+        write_sealed(&path, b"second commit", None).unwrap();
+        assert_eq!(read_sealed(&path).unwrap(), b"second commit");
+        fs::remove_dir_all(path.parent().unwrap()).unwrap();
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_detected() {
+        let sealed = seal(b"short payload");
+        for bit in 0..sealed.len() * 8 {
+            let mut damaged = sealed.clone();
+            damaged[bit / 8] ^= 1 << (bit % 8);
+            let err = unseal(&damaged).expect_err("flip undetected");
+            assert!(err.is_corruption(), "bit {bit}: {err} not classified as corruption");
+        }
+    }
+
+    #[test]
+    fn truncation_and_bad_magic_are_typed() {
+        let sealed = seal(b"0123456789");
+        assert!(matches!(
+            unseal(&sealed[..sealed.len() - 3]),
+            Err(StoreError::Truncated { expected: 10, found: 7 })
+        ));
+        // Cut mid-header: too short to even carry the envelope.
+        assert!(unseal(&sealed[..10]).unwrap_err().is_corruption());
+        let mut wrong = sealed.clone();
+        wrong[0] = b'X';
+        assert!(matches!(unseal(&wrong), Err(StoreError::BadHeader { .. })));
+        assert!(matches!(unseal(b"abc"), Err(StoreError::BadHeader { .. })));
+    }
+
+    #[test]
+    fn unsupported_version_is_bad_header() {
+        let mut sealed = seal(b"payload");
+        sealed[8] = 0xFF;
+        sealed[9] = 0xFF;
+        assert!(matches!(unseal(&sealed), Err(StoreError::BadHeader { .. })));
+    }
+
+    #[test]
+    fn faulted_commit_never_yields_a_wrong_payload() {
+        // Under every seed, a commit either (a) errors with NoSpace leaving
+        // the previous contents intact, or (b) leaves a file that reads back
+        // as the new payload or fails as corruption — never a third state.
+        for seed in 0..20u64 {
+            let path = tmpfile(&format!("fault{seed}"));
+            write_sealed(&path, b"old", None).unwrap();
+            let plan = StoreFaultPlan::new(seed, 7_500);
+            match write_sealed(&path, b"new", Some(&plan)) {
+                Err(StoreError::NoSpace) => {
+                    assert_eq!(
+                        read_sealed(&path).unwrap(),
+                        b"old",
+                        "seed {seed}: ENOSPC commit must not touch the target"
+                    );
+                }
+                Err(e) => panic!("seed {seed}: unexpected error {e}"),
+                Ok(()) => match read_sealed(&path) {
+                    Ok(p) => assert_eq!(p, b"new", "seed {seed}: committed but wrong bytes"),
+                    Err(e) => assert!(
+                        e.is_corruption(),
+                        "seed {seed}: damaged file must classify as corruption, got {e}"
+                    ),
+                },
+            }
+            fs::remove_dir_all(path.parent().unwrap()).unwrap();
+        }
+    }
+}

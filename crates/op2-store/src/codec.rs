@@ -1,0 +1,235 @@
+//! Little-endian payload framing shared by every record type in the
+//! workspace (checkpoint slices, journal entries). Deliberately boring:
+//! fixed-width integers, bit-pattern `f64`s (durability must be *bitwise*
+//! — a state value that round-trips through decimal is a silent
+//! divergence), and length-prefixed byte strings.
+
+/// Why a payload failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The payload ended before the field being read.
+    ShortPayload {
+        /// Bytes still needed.
+        needed: usize,
+        /// Bytes remaining.
+        remaining: usize,
+    },
+    /// A length prefix or tag field carries an impossible value.
+    BadField(&'static str),
+    /// A byte-string field is not valid UTF-8.
+    BadUtf8,
+    /// Decoding finished with bytes left over — a framing mismatch between
+    /// writer and reader versions.
+    TrailingBytes(usize),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::ShortPayload { needed, remaining } => {
+                write!(f, "payload too short: needed {needed} bytes, {remaining} remain")
+            }
+            CodecError::BadField(what) => write!(f, "bad field: {what}"),
+            CodecError::BadUtf8 => write!(f, "byte string is not valid UTF-8"),
+            CodecError::TrailingBytes(n) => write!(f, "{n} undecoded trailing bytes"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Append-only payload builder.
+#[derive(Debug, Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// An empty writer.
+    pub fn new() -> ByteWriter {
+        ByteWriter { buf: Vec::new() }
+    }
+
+    /// The accumulated payload.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Append a `u32`.
+    pub fn u32(&mut self, v: u32) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Append a `u64`.
+    pub fn u64(&mut self, v: u64) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Append an `f64` as its IEEE-754 bit pattern.
+    pub fn f64(&mut self, v: f64) -> &mut Self {
+        self.u64(v.to_bits())
+    }
+
+    /// Append a `u32`-length-prefixed UTF-8 string.
+    pub fn str(&mut self, s: &str) -> &mut Self {
+        self.u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+        self
+    }
+
+    /// Append a `u32`-count-prefixed slice of `u32`s.
+    pub fn u32s(&mut self, vs: &[u32]) -> &mut Self {
+        self.u32(vs.len() as u32);
+        for &v in vs {
+            self.u32(v);
+        }
+        self
+    }
+
+    /// Append a `u32`-count-prefixed slice of `f64` bit patterns.
+    pub fn f64s(&mut self, vs: &[f64]) -> &mut Self {
+        self.u32(vs.len() as u32);
+        for &v in vs {
+            self.f64(v);
+        }
+        self
+    }
+}
+
+/// Sequential payload reader; every accessor returns a typed error instead
+/// of panicking, because the bytes may be attacker-shaped (a torn or
+/// bit-flipped record that happened to pass... no — checksums catch those;
+/// what this really guards is version skew between writer and reader).
+#[derive(Debug)]
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> ByteReader<'a> {
+    /// Read from `buf`.
+    pub fn new(buf: &'a [u8]) -> ByteReader<'a> {
+        ByteReader { buf }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.buf.len() < n {
+            return Err(CodecError::ShortPayload {
+                needed: n,
+                remaining: self.buf.len(),
+            });
+        }
+        let (head, rest) = self.buf.split_at(n);
+        self.buf = rest;
+        Ok(head)
+    }
+
+    /// Read a `u32`.
+    pub fn u32(&mut self) -> Result<u32, CodecError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Read a `u64`.
+    pub fn u64(&mut self) -> Result<u64, CodecError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Read an `f64` bit pattern.
+    pub fn f64(&mut self) -> Result<f64, CodecError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Read a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<String, CodecError> {
+        let n = self.u32()? as usize;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| CodecError::BadUtf8)
+    }
+
+    /// Read a count-prefixed slice of `u32`s.
+    pub fn u32s(&mut self) -> Result<Vec<u32>, CodecError> {
+        let n = self.u32()? as usize;
+        let mut out = Vec::with_capacity(n.min(self.buf.len() / 4));
+        for _ in 0..n {
+            out.push(self.u32()?);
+        }
+        Ok(out)
+    }
+
+    /// Read a count-prefixed slice of `f64` bit patterns.
+    pub fn f64s(&mut self) -> Result<Vec<f64>, CodecError> {
+        let n = self.u32()? as usize;
+        let mut out = Vec::with_capacity(n.min(self.buf.len() / 8));
+        for _ in 0..n {
+            out.push(self.f64()?);
+        }
+        Ok(out)
+    }
+
+    /// Assert the payload is fully consumed.
+    pub fn done(&self) -> Result<(), CodecError> {
+        if self.buf.is_empty() {
+            Ok(())
+        } else {
+            Err(CodecError::TrailingBytes(self.buf.len()))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_all_field_kinds() {
+        let mut w = ByteWriter::new();
+        w.u32(7)
+            .u64(u64::MAX)
+            .f64(-0.0)
+            .str("halo ∆")
+            .u32s(&[1, 2, 3])
+            .f64s(&[1.5, f64::NAN]);
+        let bytes = w.finish();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.u32().unwrap(), 7);
+        assert_eq!(r.u64().unwrap(), u64::MAX);
+        assert_eq!(r.f64().unwrap().to_bits(), (-0.0f64).to_bits());
+        assert_eq!(r.str().unwrap(), "halo ∆");
+        assert_eq!(r.u32s().unwrap(), vec![1, 2, 3]);
+        let fs = r.f64s().unwrap();
+        assert_eq!(fs[0], 1.5);
+        assert!(fs[1].is_nan(), "NaN bit pattern survives");
+        r.done().unwrap();
+    }
+
+    #[test]
+    fn short_payload_is_typed_not_a_panic() {
+        let mut r = ByteReader::new(&[1, 2]);
+        assert!(matches!(
+            r.u32(),
+            Err(CodecError::ShortPayload { needed: 4, remaining: 2 })
+        ));
+    }
+
+    #[test]
+    fn huge_count_prefix_cannot_oom() {
+        // A corrupt count prefix claims 4 billion entries over a 4-byte
+        // buffer: the reader must fail fast, not reserve terabytes.
+        let mut w = ByteWriter::new();
+        w.u32(u32::MAX);
+        let bytes = w.finish();
+        let mut r = ByteReader::new(&bytes);
+        assert!(r.u32s().is_err());
+    }
+
+    #[test]
+    fn trailing_bytes_detected() {
+        let mut w = ByteWriter::new();
+        w.u32(1).u32(2);
+        let bytes = w.finish();
+        let mut r = ByteReader::new(&bytes);
+        r.u32().unwrap();
+        assert_eq!(r.done(), Err(CodecError::TrailingBytes(4)));
+    }
+}

@@ -1,0 +1,131 @@
+//! xxhash64 — the record checksum.
+//!
+//! A faithful implementation of the XXH64 algorithm (Yann Collet), chosen
+//! over CRC for the same reason real WAL implementations choose it: it is
+//! a few times faster than table-driven CRC64 at equal error-detection
+//! strength for this use (whole-record verification, not streaming error
+//! correction), and the reference vectors below pin the implementation so
+//! a future refactor cannot silently change every checksum on disk.
+
+const PRIME1: u64 = 0x9E37_79B1_85EB_CA87;
+const PRIME2: u64 = 0xC2B2_AE3D_27D4_EB4F;
+const PRIME3: u64 = 0x1656_67B1_9E37_79F9;
+const PRIME4: u64 = 0x85EB_CA77_C2B2_AE63;
+const PRIME5: u64 = 0x27D4_EB2F_1656_67C5;
+
+#[inline]
+fn round(acc: u64, input: u64) -> u64 {
+    acc.wrapping_add(input.wrapping_mul(PRIME2))
+        .rotate_left(31)
+        .wrapping_mul(PRIME1)
+}
+
+#[inline]
+fn merge_round(acc: u64, val: u64) -> u64 {
+    (acc ^ round(0, val)).wrapping_mul(PRIME1).wrapping_add(PRIME4)
+}
+
+#[inline]
+fn read_u64(b: &[u8]) -> u64 {
+    u64::from_le_bytes(b[..8].try_into().unwrap())
+}
+
+#[inline]
+fn read_u32(b: &[u8]) -> u32 {
+    u32::from_le_bytes(b[..4].try_into().unwrap())
+}
+
+/// XXH64 of `data` under `seed`.
+pub fn xxhash64(data: &[u8], seed: u64) -> u64 {
+    let len = data.len();
+    let mut h: u64;
+    let mut rest = data;
+
+    if len >= 32 {
+        let mut v1 = seed.wrapping_add(PRIME1).wrapping_add(PRIME2);
+        let mut v2 = seed.wrapping_add(PRIME2);
+        let mut v3 = seed;
+        let mut v4 = seed.wrapping_sub(PRIME1);
+        while rest.len() >= 32 {
+            v1 = round(v1, read_u64(&rest[0..]));
+            v2 = round(v2, read_u64(&rest[8..]));
+            v3 = round(v3, read_u64(&rest[16..]));
+            v4 = round(v4, read_u64(&rest[24..]));
+            rest = &rest[32..];
+        }
+        h = v1
+            .rotate_left(1)
+            .wrapping_add(v2.rotate_left(7))
+            .wrapping_add(v3.rotate_left(12))
+            .wrapping_add(v4.rotate_left(18));
+        h = merge_round(h, v1);
+        h = merge_round(h, v2);
+        h = merge_round(h, v3);
+        h = merge_round(h, v4);
+    } else {
+        h = seed.wrapping_add(PRIME5);
+    }
+
+    h = h.wrapping_add(len as u64);
+
+    while rest.len() >= 8 {
+        h = (h ^ round(0, read_u64(rest)))
+            .rotate_left(27)
+            .wrapping_mul(PRIME1)
+            .wrapping_add(PRIME4);
+        rest = &rest[8..];
+    }
+    if rest.len() >= 4 {
+        h = (h ^ u64::from(read_u32(rest)).wrapping_mul(PRIME1))
+            .rotate_left(23)
+            .wrapping_mul(PRIME2)
+            .wrapping_add(PRIME3);
+        rest = &rest[4..];
+    }
+    for &byte in rest {
+        h = (h ^ u64::from(byte).wrapping_mul(PRIME5))
+            .rotate_left(11)
+            .wrapping_mul(PRIME1);
+    }
+
+    h ^= h >> 33;
+    h = h.wrapping_mul(PRIME2);
+    h ^= h >> 29;
+    h = h.wrapping_mul(PRIME3);
+    h ^= h >> 32;
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference vectors from the canonical xxHash test suite — these pin
+    /// the implementation to the real XXH64, so checksums written today
+    /// stay readable by any future (or external) implementation.
+    #[test]
+    fn reference_vectors() {
+        assert_eq!(xxhash64(b"", 0), 0xEF46_DB37_51D8_E999);
+        assert_eq!(xxhash64(b"a", 0), 0xD24E_C4F1_A98C_6E5B);
+        assert_eq!(xxhash64(b"abc", 0), 0x44BC_2CF5_AD77_0999);
+        assert_eq!(
+            xxhash64(b"Nobody inspects the spammish repetition", 0),
+            0xFBCE_A83C_8A37_8BF1
+        );
+    }
+
+    #[test]
+    fn seed_and_length_sensitivity() {
+        let data = [7u8; 100];
+        assert_ne!(xxhash64(&data, 0), xxhash64(&data, 1));
+        assert_ne!(xxhash64(&data[..99], 0), xxhash64(&data, 0));
+        // Single-bit sensitivity at every byte position of a 40-byte record.
+        let base = [0u8; 40];
+        let h0 = xxhash64(&base, 42);
+        for i in 0..40 {
+            let mut flipped = base;
+            flipped[i] ^= 1;
+            assert_ne!(xxhash64(&flipped, 42), h0, "flip at {i} undetected");
+        }
+    }
+}

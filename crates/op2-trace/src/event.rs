@@ -77,6 +77,15 @@ pub enum EventKind {
     /// rejection code (0 queue-full, 1 quota, 2 shutdown), `b` = queue depth
     /// at rejection (instant).
     Shed = 19,
+    /// A durable checkpoint commit hit the store; `name` = store label,
+    /// `a` = packed (rank, iteration), `b` = bytes appended (span covering
+    /// serialization + WAL append + fsync). IO wait attributed separately
+    /// from comm wait so durability overhead is measurable.
+    CkptIo = 20,
+    /// A service journal record was made durable; `name` = job name, `a` =
+    /// journal record kind (0 admitted, 1 started, 2 terminal), `b` = bytes
+    /// appended (span).
+    JournalIo = 21,
 }
 
 impl EventKind {
@@ -103,6 +112,8 @@ impl EventKind {
             EventKind::HaloWait => "halo-wait",
             EventKind::Job => "job",
             EventKind::Shed => "shed",
+            EventKind::CkptIo => "ckpt-io",
+            EventKind::JournalIo => "journal-io",
         }
     }
 
@@ -130,6 +141,8 @@ impl EventKind {
             17 => EventKind::HaloWait,
             18 => EventKind::Job,
             19 => EventKind::Shed,
+            20 => EventKind::CkptIo,
+            21 => EventKind::JournalIo,
             _ => return None,
         })
     }

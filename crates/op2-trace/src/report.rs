@@ -109,6 +109,16 @@ pub struct RunReport {
     pub job_ns: u64,
     /// Service submissions shed under overload.
     pub sheds: u64,
+    /// Durable checkpoint commits recorded (`CkptIo` spans).
+    pub ckpt_ops: u64,
+    /// Total time inside durable checkpoint IO (serialize + append +
+    /// fsync), ns. Attributed separately from comm wait so the durability
+    /// overhead of restart-capable runs is measurable.
+    pub ckpt_io_ns: u64,
+    /// Service journal appends recorded (`JournalIo` spans).
+    pub journal_ops: u64,
+    /// Total time inside journal IO, ns.
+    pub journal_io_ns: u64,
     /// Threads that executed or slept for tasks (pool workers + helpers).
     pub workers: usize,
     /// Mean fraction of wall time those threads spent *not* running tasks.
@@ -284,6 +294,14 @@ pub fn analyze(t: &Timeline) -> RunReport {
                 report.job_ns += e.dur_ns();
             }
             EventKind::Shed => report.sheds += 1,
+            EventKind::CkptIo => {
+                report.ckpt_ops += 1;
+                report.ckpt_io_ns += e.dur_ns();
+            }
+            EventKind::JournalIo => {
+                report.journal_ops += 1;
+                report.journal_io_ns += e.dur_ns();
+            }
             _ => {}
         }
     }
@@ -408,6 +426,15 @@ impl RunReport {
             out.push_str(&format!(
                 "recovery: rollbacks {} | retries {} | poisoned nodes {}\n",
                 self.rollbacks, self.retries, self.poisons
+            ));
+        }
+        if self.ckpt_ops + self.journal_ops > 0 {
+            out.push_str(&format!(
+                "store io: ckpt {} ops {:.3} ms | journal {} ops {:.3} ms\n",
+                self.ckpt_ops,
+                ms(self.ckpt_io_ns),
+                self.journal_ops,
+                ms(self.journal_io_ns)
             ));
         }
         out.push_str(&format!(

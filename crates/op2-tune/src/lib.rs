@@ -566,16 +566,34 @@ impl Tuner {
         }
     }
 
-    /// [`Tuner::export`] straight to a file (atomic: write + rename).
+    /// [`Tuner::export`] straight to a file (sealed + checksummed, atomic
+    /// commit: write-temp → fsync → rename → fsync-dir).
     pub fn save(&self, path: &std::path::Path) -> std::io::Result<()> {
         self.export().save(path)
     }
 
     /// [`Tuner::import`] straight from a file.
+    ///
+    /// Degrades a corrupt, truncated, or version-skewed store to a **cold
+    /// start**: the damage is logged and the tuner simply re-explores,
+    /// because a warm start is an optimization and must never take the run
+    /// down. A *missing* file still errors (callers treat that as the
+    /// ordinary first-run signal), as do real IO failures.
     pub fn load(&self, path: &std::path::Path) -> std::io::Result<()> {
-        let store = TuneStore::load(path)?;
-        self.import(&store);
-        Ok(())
+        match TuneStore::load(path) {
+            Ok(store) => {
+                self.import(&store);
+                Ok(())
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
+                eprintln!(
+                    "op2-tune: store at {} is corrupt or stale ({e}); starting cold",
+                    path.display()
+                );
+                Ok(())
+            }
+            Err(e) => Err(e),
+        }
     }
 
     /// Build the deterministic candidate list for a fresh key.
@@ -881,6 +899,35 @@ mod tests {
         let d = warm.decide(&k, &c);
         assert_eq!(d.trial, None, "warm start skips exploration");
         assert_eq!(d.config.backend, best.backend);
+    }
+
+    #[test]
+    fn corrupt_store_degrades_to_cold_start() {
+        let dir = std::env::temp_dir().join("op2-tune-cold");
+        let path = dir.join("store.json");
+        let t = Tuner::with_seed(4);
+        let k = key(100_000);
+        let c = ctx();
+        converge(&t, &k, &c, |_| 1_000);
+        t.save(&path).unwrap();
+
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff;
+        std::fs::write(&path, &bytes).unwrap();
+
+        // Corruption is a logged cold start, not an error...
+        let cold = Tuner::with_seed(4);
+        cold.load(&path).unwrap();
+        assert!(cold.decide(&k, &c).trial.is_some(), "cold start re-explores");
+
+        // ...but a missing file still surfaces as an ordinary IO error.
+        let missing = dir.join("nope.json");
+        assert_eq!(
+            Tuner::with_seed(4).load(&missing).unwrap_err().kind(),
+            std::io::ErrorKind::NotFound
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -4,8 +4,11 @@
 //! the same mesh-topology hash the plan cache uses (`loop_topology`): a warm
 //! run recognizes a mesh by its *contents*, not by object identity or file
 //! name, so re-declaring the same mesh next process still hits. Files are
-//! written atomically (temp + rename) so a crashed run never leaves a torn
-//! store for the next one to trip over.
+//! written through `op2-store`'s sealed-envelope commit (checksummed
+//! payload; write-temp → fsync → rename → fsync-dir) so a crashed run
+//! never leaves a torn store for the next one to trip over, and a
+//! bit-flipped one is *detected* rather than silently misread — the tuner
+//! degrades either case to a cold start (see [`crate::Tuner::load`]).
 
 use std::io;
 use std::path::Path;
@@ -134,21 +137,46 @@ impl TuneStore {
         Ok(store)
     }
 
-    /// Write atomically: temp file in the same directory, then rename over
-    /// the target.
+    /// Write atomically and durably: the JSON payload goes into a sealed,
+    /// checksummed envelope committed via write-temp → fsync → rename →
+    /// fsync-dir, so a crash mid-save leaves either the old store or the
+    /// new one — never a torn hybrid.
     pub fn save(&self, path: &Path) -> io::Result<()> {
-        let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
-        if let Some(dir) = dir {
-            std::fs::create_dir_all(dir)?;
-        }
-        let tmp = path.with_extension("tmp");
-        std::fs::write(&tmp, self.to_json())?;
-        std::fs::rename(&tmp, path)
+        op2_store::write_sealed(path, self.to_json().as_bytes(), None).map_err(store_to_io)
     }
 
-    /// Read and parse a store file.
+    /// Read, verify, and parse a store file. A store from before the
+    /// sealed format (bare JSON) is still accepted; a sealed store with a
+    /// bad checksum, bad length, or unknown version is `InvalidData`.
     pub fn load(path: &Path) -> io::Result<TuneStore> {
-        TuneStore::from_json(&std::fs::read_to_string(path)?)
+        let bytes = std::fs::read(path)?;
+        match op2_store::unseal(&bytes) {
+            Ok(payload) => {
+                let json = String::from_utf8(payload)
+                    .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "store is not UTF-8"))?;
+                TuneStore::from_json(&json)
+            }
+            // Legacy pre-seal stores were bare JSON documents.
+            Err(_) if bytes.first() == Some(&b'{') => {
+                let json = String::from_utf8(bytes)
+                    .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "store is not UTF-8"))?;
+                TuneStore::from_json(&json)
+            }
+            Err(e) => Err(store_to_io(e)),
+        }
+    }
+}
+
+/// Map a store-layer failure onto `io::Error`, keeping corruption
+/// distinguishable (`InvalidData`) so [`crate::Tuner::load`] can degrade
+/// it to a cold start rather than a hard error.
+fn store_to_io(e: op2_store::StoreError) -> io::Error {
+    match e {
+        op2_store::StoreError::Io(e) => e,
+        other if other.is_corruption() => {
+            io::Error::new(io::ErrorKind::InvalidData, other.to_string())
+        }
+        other => io::Error::other(other.to_string()),
     }
 }
 
@@ -226,7 +254,40 @@ mod tests {
         let path = dir.join("store.json");
         let s = sample();
         s.save(&path).unwrap();
-        assert!(!path.with_extension("tmp").exists(), "temp cleaned up");
+        for leftover in ["store.tmp", "store.json.tmp"] {
+            assert!(!dir.join(leftover).exists(), "temp cleaned up");
+        }
+        assert_eq!(TuneStore::load(&path).unwrap(), s);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corruption_is_detected_not_misread() {
+        let dir = std::env::temp_dir().join("op2-tune-corrupt");
+        let path = dir.join("store.json");
+        let s = sample();
+        s.save(&path).unwrap();
+        // Flip one bit somewhere in the payload region.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x10;
+        std::fs::write(&path, &bytes).unwrap();
+        let err = TuneStore::load(&path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        // Truncation too.
+        std::fs::write(&path, &bytes[..bytes.len() / 3]).unwrap();
+        let err = TuneStore::load(&path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn legacy_bare_json_store_still_loads() {
+        let dir = std::env::temp_dir().join("op2-tune-legacy");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("store.json");
+        let s = sample();
+        std::fs::write(&path, s.to_json()).unwrap();
         assert_eq!(TuneStore::load(&path).unwrap(), s);
         std::fs::remove_dir_all(&dir).ok();
     }

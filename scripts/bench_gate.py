@@ -13,8 +13,9 @@ across files. It checks two kinds of properties instead:
     tail-latency spread) within ``(1 + tolerance)`` of the baseline's own
     value for the same metric.
 
-Supports ``BENCH_tune.json`` (bench_tune) and ``BENCH_shm.json`` (bench_shm);
-the schema is detected from the artifact's ``bench`` field.
+Supports ``BENCH_tune.json`` (bench_tune), ``BENCH_shm.json`` (bench_shm),
+and ``BENCH_store.json`` (bench_store); the schema is detected from the
+artifact's ``bench`` field.
 """
 
 import json
@@ -113,6 +114,41 @@ def gate_shm(gate, fresh, base):
     gate.tolerance = saved
 
 
+def gate_store(gate, fresh, base):
+    m, bm = fresh["march"], base["march"]
+    gate.check(m["bitwise_equal"], "durable march agrees with in-memory bitwise")
+    gate.check(m["appends"] == bm["appends"], "same append count", f"{m['appends']} vs {bm['appends']}")
+    gate.check(
+        m["payload_bytes"] == bm["payload_bytes"],
+        "same payload volume",
+        f"{m['payload_bytes']} vs {bm['payload_bytes']}",
+    )
+    # fsync cost varies more across filesystems than compute does — double
+    # headroom on the durable/memory ratio, like gate_shm's tail spread.
+    gate.tolerance, saved = gate.tolerance * 2, gate.tolerance
+    gate.within(m["overhead_ratio"], bm["overhead_ratio"], "durable/memory overhead ratio")
+    gate.tolerance = saved
+    r, br = fresh["restart"], base["restart"]
+    gate.check(r["bit_identical"], "killed march restarts bit-identical")
+    gate.check(
+        r["resumed_from"] == br["resumed_from"],
+        "restored boundary unchanged",
+        f"{r['resumed_from']} vs {br['resumed_from']}",
+    )
+    gate.check(r["records_replayed"] > 0, "replay recovered records", f"{r['records_replayed']}")
+    s = fresh["fault_sweep"]
+    gate.check(
+        s["converged"] == s["seeds"],
+        "every fault-sweep seed converged",
+        f"{s['converged']}/{s['seeds']}",
+    )
+    w, bw = fresh["wal"], base["wal"]
+    gate.check(
+        w["appends"] == bw["appends"] and w["payload_bytes"] == bw["payload_bytes"],
+        "same WAL workload",
+    )
+
+
 def main():
     args = [a for a in sys.argv[1:] if not a.startswith("--")]
     tolerance = 0.25
@@ -132,6 +168,8 @@ def main():
         gate_tune(gate, fresh, base)
     elif kind == "bench_shm":
         gate_shm(gate, fresh, base)
+    elif kind == "bench_store":
+        gate_store(gate, fresh, base)
     else:
         sys.exit(f"unknown artifact kind {kind!r}")
     if gate.failures:

@@ -279,6 +279,36 @@ mod tests {
         }
     }
 
+    /// The RCM pass is a pure relabelling: marching the renumbered mesh and
+    /// mapping the state back through the inverse permutation reproduces the
+    /// original march to rounding (summation orders change, bits may not).
+    #[test]
+    fn renumbered_march_matches_original_within_tolerance() {
+        use crate::mesh::MeshOptions;
+        let consts = FlowConstants::default();
+        let run = |opts: MeshOptions| {
+            let mesh = MeshBuilder::channel(20, 10).build_with(&consts, &opts);
+            mesh.add_pulse(1.0, 0.5, 0.25, 0.2, &consts);
+            let rt = Arc::new(Op2Runtime::new(2, 64));
+            let exec = make_executor(BackendKind::Serial, rt);
+            let sim = Simulation::new(mesh, &consts, exec, SyncStrategy::Blocking);
+            sim.run(10, 5);
+            sim.mesh().unrenumbered_q()
+        };
+        let reference = run(MeshOptions::default());
+        let renumbered = run(MeshOptions {
+            renumber: true,
+            ..Default::default()
+        });
+        assert_eq!(reference.len(), renumbered.len());
+        for (i, (a, b)) in reference.iter().zip(&renumbered).enumerate() {
+            assert!(
+                (a - b).abs() <= 1e-12 * a.abs().max(1.0),
+                "component {i}: {a} vs {b}"
+            );
+        }
+    }
+
     #[test]
     fn final_state_identical_across_backends() {
         let runf = |kind| {

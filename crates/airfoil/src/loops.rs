@@ -2,12 +2,139 @@
 //! paper: every data access the kernels perform is declared as an `ArgSpec`,
 //! which is what the planner (coloring) and the dataflow dependency analysis
 //! consume.
+//!
+//! Every loop carries **two kernel bodies** (see
+//! [`op2_core::ParLoopBuilder::kernel_chunked`]):
+//!
+//! * a per-element scalar reference body — the `#[cfg]`-selectable path
+//!   (`scalar-kernels` feature) that tests pin bitwise identity against;
+//! * a chunked body that runs a whole plan-block span per dynamic dispatch,
+//!   with branch-minimized inner loops; order-independent bodies
+//!   (`save_soln`'s copy) additionally take contiguous/component-slice fast
+//!   paths that the autovectorizer turns into vector moves.
+//!
+//! Both bodies reach their dats only through layout-agnostic [`DatView`]
+//! accessors (`load`/`store`/`add_vec`/`span`/`comp`), so the same wiring
+//! serves AoS, SoA, and AoSoA meshes unchanged — and produces bitwise
+//! identical results for each (the arithmetic per element never depends on
+//! the layout, only the addresses do).
 
-use op2_core::{arg_direct, arg_indirect, Access, Dat, ParLoop};
+use op2_core::{arg_direct, arg_indirect, Access, Dat, DatView, Map, ParLoop};
 
 use crate::constants::FlowConstants;
 use crate::kernels;
 use crate::mesh::Mesh;
+
+/// One `save_soln` element: `qold[e] ← q[e]` (pure copy — bitwise
+/// order-independent).
+#[inline(always)]
+unsafe fn save_one(qv: &DatView<f64>, qoldv: &DatView<f64>, e: usize) {
+    let q: [f64; 4] = qv.load(e);
+    qoldv.store(e, q);
+}
+
+/// One `adt_calc` element (writes only `adt[e]` — element-independent).
+#[inline(always)]
+unsafe fn adt_one(
+    xv: &DatView<f64>,
+    qv: &DatView<f64>,
+    adtv: &DatView<f64>,
+    pcell: &Map,
+    c: &FlowConstants,
+    e: usize,
+) {
+    let x1: [f64; 2] = xv.load(pcell.at(e, 0));
+    let x2: [f64; 2] = xv.load(pcell.at(e, 1));
+    let x3: [f64; 2] = xv.load(pcell.at(e, 2));
+    let x4: [f64; 2] = xv.load(pcell.at(e, 3));
+    let q: [f64; 4] = qv.load(e);
+    let mut adt = [0.0f64];
+    kernels::adt_calc(&x1, &x2, &x3, &x4, &q, &mut adt, c);
+    adtv.set(e, 0, adt[0]);
+}
+
+/// One `res_calc` element. The flux lands in local zero-initialized
+/// accumulators and is applied with `add_vec`; since each component receives
+/// exactly one `+= f`, the applied increment is `0.0 + f`, bit-identical to
+/// incrementing the live residual directly (the residual never holds `-0.0`:
+/// it is zeroed to `+0.0` and `+0.0 + x` cannot produce `-0.0`).
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+unsafe fn res_one(
+    xv: &DatView<f64>,
+    qv: &DatView<f64>,
+    adtv: &DatView<f64>,
+    resv: &DatView<f64>,
+    pedge: &Map,
+    pecell: &Map,
+    c: &FlowConstants,
+    e: usize,
+) {
+    let c1 = pecell.at(e, 0);
+    let c2 = pecell.at(e, 1);
+    let x1: [f64; 2] = xv.load(pedge.at(e, 0));
+    let x2: [f64; 2] = xv.load(pedge.at(e, 1));
+    let q1: [f64; 4] = qv.load(c1);
+    let q2: [f64; 4] = qv.load(c2);
+    let mut r1 = [0.0f64; 4];
+    let mut r2 = [0.0f64; 4];
+    kernels::res_calc(
+        &x1,
+        &x2,
+        &q1,
+        &q2,
+        adtv.get(c1, 0),
+        adtv.get(c2, 0),
+        &mut r1,
+        &mut r2,
+        c,
+    );
+    resv.add_vec(c1, r1);
+    resv.add_vec(c2, r2);
+}
+
+/// One `bres_calc` element (same local-accumulator argument as [`res_one`]).
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+unsafe fn bres_one(
+    xv: &DatView<f64>,
+    qv: &DatView<f64>,
+    adtv: &DatView<f64>,
+    resv: &DatView<f64>,
+    boundv: &DatView<i32>,
+    pbedge: &Map,
+    pbecell: &Map,
+    c: &FlowConstants,
+    e: usize,
+) {
+    let c1 = pbecell.at(e, 0);
+    let x1: [f64; 2] = xv.load(pbedge.at(e, 0));
+    let x2: [f64; 2] = xv.load(pbedge.at(e, 1));
+    let q1: [f64; 4] = qv.load(c1);
+    let mut r1 = [0.0f64; 4];
+    kernels::bres_calc(&x1, &x2, &q1, adtv.get(c1, 0), &mut r1, boundv.get(e, 0), c);
+    resv.add_vec(c1, r1);
+}
+
+/// One `update` element. Element-outer, component-inner order is load-bearing:
+/// the RMS partial sum accumulates in exactly this order, so the chunked body
+/// must (and does) iterate elements ascending.
+#[inline(always)]
+unsafe fn update_one(
+    qoldv: &DatView<f64>,
+    qv: &DatView<f64>,
+    resv: &DatView<f64>,
+    adtv: &DatView<f64>,
+    e: usize,
+    rms: &mut f64,
+) {
+    let qold: [f64; 4] = qoldv.load(e);
+    let mut q = [0.0f64; 4];
+    let mut res: [f64; 4] = resv.load(e);
+    kernels::update(&qold, &mut q, &mut res, adtv.get(e, 0), rms);
+    qv.store(e, q);
+    resv.store(e, res);
+}
 
 /// The five loops of one Airfoil stage, ready to hand to any executor.
 pub struct AirfoilLoops {
@@ -38,14 +165,45 @@ impl AirfoilLoops {
         let save_soln = ParLoop::build("save_soln", &mesh.cells)
             .arg(arg_direct(&mesh.p_q, Access::Read))
             .arg(arg_direct(&mesh.p_qold, Access::Write))
-            .kernel(move |e, _| unsafe {
-                kernels::save_soln(qv.slice(e), qoldv.slice_mut(e));
-            });
+            .kernel_chunked(
+                move |e, _| unsafe {
+                    save_one(&qv, &qoldv, e);
+                },
+                move |span, _| unsafe {
+                    // A copy is bitwise order-independent, so take whatever
+                    // contiguous shape the layouts offer: whole-span memcpy
+                    // (AoS/AoS), per-component memcpy (SoA/SoA), else the
+                    // element loop.
+                    if let (Some(src), Some(dst)) =
+                        (qv.span(span.clone()), qoldv.span_mut(span.clone()))
+                    {
+                        dst.copy_from_slice(src);
+                        return;
+                    }
+                    let all_comps = (0..4).all(|j| {
+                        qv.comp(j).unit_stride(&span) && qoldv.comp(j).unit_stride(&span)
+                    });
+                    if all_comps {
+                        for j in 0..4 {
+                            let qc = qv.comp(j);
+                            let qoldc = qoldv.comp(j);
+                            let src = qc.contiguous(span.clone()).unwrap();
+                            let dst = qoldc.contiguous_mut(span.clone()).unwrap();
+                            dst.copy_from_slice(src);
+                        }
+                        return;
+                    }
+                    for e in span {
+                        save_one(&qv, &qoldv, e);
+                    }
+                },
+            );
 
         // adt_calc ---------------------------------------------------------
         let xv = mesh.p_x.view();
         let adtv = mesh.p_adt.view();
         let pcell = mesh.pcell.clone();
+        let pcell2 = mesh.pcell.clone();
         let adt_calc = ParLoop::build("adt_calc", &mesh.cells)
             .arg(arg_indirect(&mesh.p_x, 0, &mesh.pcell, Access::Read))
             .arg(arg_indirect(&mesh.p_x, 1, &mesh.pcell, Access::Read))
@@ -57,22 +215,23 @@ impl AirfoilLoops {
             // (e.g. sqrt of a negative pressure from a blown-up state) would
             // silently corrupt the whole march, so fail the loop instead.
             .guard_finite()
-            .kernel(move |e, _| unsafe {
-                kernels::adt_calc(
-                    xv.slice(pcell.at(e, 0)),
-                    xv.slice(pcell.at(e, 1)),
-                    xv.slice(pcell.at(e, 2)),
-                    xv.slice(pcell.at(e, 3)),
-                    qv.slice(e),
-                    adtv.slice_mut(e),
-                    &c,
-                );
-            });
+            .kernel_chunked(
+                move |e, _| unsafe {
+                    adt_one(&xv, &qv, &adtv, &pcell, &c, e);
+                },
+                move |span, _| unsafe {
+                    for e in span {
+                        adt_one(&xv, &qv, &adtv, &pcell2, &c, e);
+                    }
+                },
+            );
 
         // res_calc ---------------------------------------------------------
         let resv = mesh.p_res.view();
         let pedge = mesh.pedge.clone();
         let pecell = mesh.pecell.clone();
+        let pedge2 = mesh.pedge.clone();
+        let pecell2 = mesh.pecell.clone();
         let res_calc = ParLoop::build("res_calc", &mesh.edges)
             .arg(arg_indirect(&mesh.p_x, 0, &mesh.pedge, Access::Read))
             .arg(arg_indirect(&mesh.p_x, 1, &mesh.pedge, Access::Read))
@@ -82,26 +241,25 @@ impl AirfoilLoops {
             .arg(arg_indirect(&mesh.p_adt, 1, &mesh.pecell, Access::Read))
             .arg(arg_indirect(&mesh.p_res, 0, &mesh.pecell, Access::Inc))
             .arg(arg_indirect(&mesh.p_res, 1, &mesh.pecell, Access::Inc))
-            .kernel(move |e, _| unsafe {
-                let c1 = pecell.at(e, 0);
-                let c2 = pecell.at(e, 1);
-                kernels::res_calc(
-                    xv.slice(pedge.at(e, 0)),
-                    xv.slice(pedge.at(e, 1)),
-                    qv.slice(c1),
-                    qv.slice(c2),
-                    adtv.get(c1, 0),
-                    adtv.get(c2, 0),
-                    resv.slice_mut(c1),
-                    resv.slice_mut(c2),
-                    &c,
-                );
-            });
+            .kernel_chunked(
+                move |e, _| unsafe {
+                    res_one(&xv, &qv, &adtv, &resv, &pedge, &pecell, &c, e);
+                },
+                move |span, _| unsafe {
+                    // Ascending order is load-bearing: two edges of one block
+                    // may increment the same cell.
+                    for e in span {
+                        res_one(&xv, &qv, &adtv, &resv, &pedge2, &pecell2, &c, e);
+                    }
+                },
+            );
 
         // bres_calc --------------------------------------------------------
         let boundv = mesh.p_bound.view();
         let pbedge = mesh.pbedge.clone();
         let pbecell = mesh.pbecell.clone();
+        let pbedge2 = mesh.pbedge.clone();
+        let pbecell2 = mesh.pbecell.clone();
         let bres_calc = ParLoop::build("bres_calc", &mesh.bedges)
             .arg(arg_indirect(&mesh.p_x, 0, &mesh.pbedge, Access::Read))
             .arg(arg_indirect(&mesh.p_x, 1, &mesh.pbedge, Access::Read))
@@ -109,18 +267,16 @@ impl AirfoilLoops {
             .arg(arg_indirect(&mesh.p_adt, 0, &mesh.pbecell, Access::Read))
             .arg(arg_indirect(&mesh.p_res, 0, &mesh.pbecell, Access::Inc))
             .arg(arg_direct(&mesh.p_bound, Access::Read))
-            .kernel(move |e, _| unsafe {
-                let c1 = pbecell.at(e, 0);
-                kernels::bres_calc(
-                    xv.slice(pbedge.at(e, 0)),
-                    xv.slice(pbedge.at(e, 1)),
-                    qv.slice(c1),
-                    adtv.get(c1, 0),
-                    resv.slice_mut(c1),
-                    boundv.get(e, 0),
-                    &c,
-                );
-            });
+            .kernel_chunked(
+                move |e, _| unsafe {
+                    bres_one(&xv, &qv, &adtv, &resv, &boundv, &pbedge, &pbecell, &c, e);
+                },
+                move |span, _| unsafe {
+                    for e in span {
+                        bres_one(&xv, &qv, &adtv, &resv, &boundv, &pbedge2, &pbecell2, &c, e);
+                    }
+                },
+            );
 
         // update -----------------------------------------------------------
         let update = ParLoop::build("update", &mesh.cells)
@@ -129,15 +285,85 @@ impl AirfoilLoops {
             .arg(arg_direct(&mesh.p_res, Access::ReadWrite))
             .arg(arg_direct(&mesh.p_adt, Access::Read))
             .gbl_inc(1)
-            .kernel(move |e, gbl| unsafe {
-                kernels::update(
-                    qoldv.slice(e),
-                    qv.slice_mut(e),
-                    resv.slice_mut(e),
-                    adtv.get(e, 0),
-                    &mut gbl[0],
-                );
-            });
+            .kernel_chunked(
+                move |e, gbl| unsafe {
+                    update_one(&qoldv, &qv, &resv, &adtv, e, &mut gbl[0]);
+                },
+                move |span, gbl| unsafe {
+                    // Component-slice fast path (SoA): the state update of
+                    // each element depends only on that element, so it may
+                    // run plane-by-plane — `(1.0 / adt) * res` is the exact
+                    // expression the scalar kernel evaluates, so the bits
+                    // match. Only the RMS accumulation is order-sensitive;
+                    // it replays the saved deltas in the pinned
+                    // element-outer, component-inner order afterwards.
+                    let n = span.len();
+                    let planes = n > 1
+                        && adtv.comp(0).unit_stride(&span)
+                        && (0..4).all(|j| {
+                            qoldv.comp(j).unit_stride(&span)
+                                && qv.comp(j).unit_stride(&span)
+                                && resv.comp(j).unit_stride(&span)
+                        });
+                    if planes {
+                        // Fixed-size stack buffers: no allocation in the hot
+                        // path, and the delta replay stays L1-resident.
+                        const B: usize = 16;
+                        let adtc = adtv.comp(0);
+                        let adt = adtc.contiguous(span.clone()).unwrap();
+                        let qoc: [_; 4] = std::array::from_fn(|j| qoldv.comp(j));
+                        let qc: [_; 4] = std::array::from_fn(|j| qv.comp(j));
+                        let rc: [_; 4] = std::array::from_fn(|j| resv.comp(j));
+                        let qold: [&[f64]; 4] =
+                            std::array::from_fn(|j| qoc[j].contiguous(span.clone()).unwrap());
+                        let q: [&mut [f64]; 4] =
+                            std::array::from_fn(|j| qc[j].contiguous_mut(span.clone()).unwrap());
+                        let res: [&mut [f64]; 4] =
+                            std::array::from_fn(|j| rc[j].contiguous_mut(span.clone()).unwrap());
+                        let mut recip = [0.0f64; B];
+                        let mut dels = [0.0f64; 4 * B];
+                        let mut rms = gbl[0];
+                        let mut at = 0usize;
+                        while at < n {
+                            let m = B.min(n - at);
+                            let a = &adt[at..at + m];
+                            for i in 0..m {
+                                recip[i] = 1.0 / a[i];
+                            }
+                            for j in 0..4 {
+                                let qold = &qold[j][at..at + m];
+                                let q = &mut q[j][at..at + m];
+                                let res = &mut res[j][at..at + m];
+                                let d = &mut dels[j * B..j * B + m];
+                                for i in 0..m {
+                                    let del = recip[i] * res[i];
+                                    q[i] = qold[i] - del;
+                                    res[i] = 0.0;
+                                    d[i] = del;
+                                }
+                            }
+                            for i in 0..m {
+                                let d0 = dels[i];
+                                let d1 = dels[B + i];
+                                let d2 = dels[2 * B + i];
+                                let d3 = dels[3 * B + i];
+                                rms += d0 * d0;
+                                rms += d1 * d1;
+                                rms += d2 * d2;
+                                rms += d3 * d3;
+                            }
+                            at += m;
+                        }
+                        gbl[0] = rms;
+                        return;
+                    }
+                    // Element-outer keeps the RMS accumulation order pinned
+                    // to the scalar reference path.
+                    for e in span {
+                        update_one(&qoldv, &qv, &resv, &adtv, e, &mut gbl[0]);
+                    }
+                },
+            );
 
         AirfoilLoops {
             save_soln,
@@ -194,6 +420,75 @@ mod tests {
                 .unwrap_or_else(|e| panic!("part={part}: {e}"));
             if part <= 8 {
                 assert!(plan.ncolors > 1, "shared cells must force multiple colors");
+            }
+        }
+    }
+
+    /// The chunked bodies must be bit-identical to the per-element reference
+    /// path over arbitrary spans — this is the contract every executor and
+    /// det sweep relies on.
+    #[test]
+    fn chunked_bodies_match_scalar_reference() {
+        let consts = FlowConstants::default();
+        for layout in [
+            op2_core::Layout::Aos,
+            op2_core::Layout::Soa,
+            op2_core::Layout::AoSoA { block: 4 },
+        ] {
+            let opts = crate::mesh::MeshOptions {
+                layout,
+                ..Default::default()
+            };
+            let mesh = MeshBuilder::channel(12, 6).build_with(&consts, &opts);
+            mesh.add_pulse(2.0, 0.5, 0.4, 0.2, &consts);
+            let mesh2 = MeshBuilder::channel(12, 6).build_with(&consts, &opts);
+            mesh2.add_pulse(2.0, 0.5, 0.4, 0.2, &consts);
+            let a = AirfoilLoops::new(&mesh, &consts);
+            let b = AirfoilLoops::new(&mesh2, &consts);
+            for (la, lb) in [
+                (&a.save_soln, &b.save_soln),
+                (&a.adt_calc, &b.adt_calc),
+                (&a.res_calc, &b.res_calc),
+                (&a.bres_calc, &b.bres_calc),
+                (&a.update, &b.update),
+            ] {
+                let n = la.set().size();
+                // Uneven spans force the fast paths through their edge cases.
+                let mut gbl_a = vec![0.0f64; la.gbl_dim()];
+                let mut gbl_b = vec![0.0f64; lb.gbl_dim()];
+                // Under the scalar-kernels feature no chunked body exists —
+                // nothing to compare.
+                let Some(ck) = la.chunk_kernel() else { continue };
+                let mut at = 0usize;
+                for (i, w) in [7usize, 1, 13, 64, 3].iter().cycle().enumerate() {
+                    if at >= n {
+                        break;
+                    }
+                    let hi = (at + w + i % 2).min(n);
+                    ck(at..hi, &mut gbl_a);
+                    for e in at..hi {
+                        lb.kernel()(e, &mut gbl_b);
+                    }
+                    at = hi;
+                }
+                assert_eq!(
+                    gbl_a.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    gbl_b.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    "{} ({layout:?}): reduction differs",
+                    la.name()
+                );
+            }
+            for (da, db) in [
+                (&mesh.p_q, &mesh2.p_q),
+                (&mesh.p_qold, &mesh2.p_qold),
+                (&mesh.p_res, &mesh2.p_res),
+                (&mesh.p_adt, &mesh2.p_adt),
+            ] {
+                let bits_a: Vec<u64> =
+                    da.to_aos_vec().iter().map(|v| v.to_bits()).collect();
+                let bits_b: Vec<u64> =
+                    db.to_aos_vec().iter().map(|v| v.to_bits()).collect();
+                assert_eq!(bits_a, bits_b, "{} ({layout:?}) differs", da.name());
             }
         }
     }

@@ -13,11 +13,38 @@
 //! `(y1−y2, −(x1−x2))` is the outward normal of `pecell[0]`; for a boundary
 //! edge it points out of the domain.
 
-use op2_core::{Dat, Map, Set};
+use op2_core::{Dat, Layout, Map, MeshPermutation, Set};
 use serde::{Deserialize, Serialize};
 
 use crate::constants::FlowConstants;
 use crate::kernels::{BOUND_FARFIELD, BOUND_WALL};
+
+/// Mesh construction knobs: the storage [`Layout`] for the dats and whether
+/// to run the RCM renumbering preprocessing pass.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MeshOptions {
+    /// Storage layout for every mesh dat (state, coordinates, residuals).
+    pub layout: Layout,
+    /// Renumber cells with RCM (and nodes/edges/bedges to follow) before
+    /// declaring sets and maps. The applied permutations are kept on
+    /// [`Mesh::renumbering`] so results can be mapped back to original ids.
+    pub renumber: bool,
+}
+
+/// The permutations applied by the renumbering pass, one per mesh set
+/// (`perm[new] = old` convention throughout — see
+/// [`op2_core::MeshPermutation`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MeshRenumbering {
+    /// Cell permutation (RCM over the cell-adjacency graph).
+    pub cells: MeshPermutation,
+    /// Node permutation (first touch by the new cell order).
+    pub nodes: MeshPermutation,
+    /// Interior-edge permutation (sorted by lowest adjacent new cell).
+    pub edges: MeshPermutation,
+    /// Boundary-edge permutation (sorted by adjacent new cell).
+    pub bedges: MeshPermutation,
+}
 
 /// Raw mesh tables — the serializable on-disk form (the `new_grid.dat`
 /// analogue).
@@ -41,6 +68,145 @@ pub struct MeshData {
     pub bound: Vec<i32>,
     /// Cell → corner nodes (4 per cell, counter-clockwise).
     pub cell_nodes: Vec<u32>,
+}
+
+impl MeshData {
+    /// Number of nodes.
+    pub fn nnodes(&self) -> usize {
+        self.coords.len() / 2
+    }
+
+    /// Number of cells.
+    pub fn ncells(&self) -> usize {
+        self.cell_nodes.len() / 4
+    }
+
+    /// Number of interior edges.
+    pub fn nedges(&self) -> usize {
+        self.edge_nodes.len() / 2
+    }
+
+    /// Number of boundary edges.
+    pub fn nbedges(&self) -> usize {
+        self.bedge_nodes.len() / 2
+    }
+
+    /// Cell-adjacency lists induced by the interior edges (two cells are
+    /// adjacent iff an edge connects them); sorted, deduplicated.
+    pub fn cell_adjacency(&self) -> Vec<Vec<u32>> {
+        let mut adj: Vec<Vec<u32>> = vec![Vec::new(); self.ncells()];
+        for pair in self.edge_cells.chunks_exact(2) {
+            let (a, b) = (pair[0], pair[1]);
+            if a != b {
+                adj[a as usize].push(b);
+                adj[b as usize].push(a);
+            }
+        }
+        for list in &mut adj {
+            list.sort_unstable();
+            list.dedup();
+        }
+        adj
+    }
+
+    /// Apply an explicit per-set renumbering: rows of every table move to
+    /// their set's new order and every stored id is relabelled into the
+    /// target set's new ids. The mesh this returns is topologically
+    /// identical — only names changed.
+    pub fn permuted(&self, ren: &MeshRenumbering) -> MeshData {
+        MeshData {
+            imax: self.imax,
+            jmax: self.jmax,
+            coords: ren.nodes.permute_rows(&self.coords, 2),
+            edge_nodes: ren.nodes.relabel(&ren.edges.permute_rows(&self.edge_nodes, 2)),
+            edge_cells: ren.cells.relabel(&ren.edges.permute_rows(&self.edge_cells, 2)),
+            bedge_nodes: ren.nodes.relabel(&ren.bedges.permute_rows(&self.bedge_nodes, 2)),
+            bedge_cells: ren.cells.relabel(&ren.bedges.permute_rows(&self.bedge_cells, 1)),
+            bound: ren.bedges.permute_rows(&self.bound, 1),
+            cell_nodes: ren.nodes.relabel(&ren.cells.permute_rows(&self.cell_nodes, 4)),
+        }
+    }
+
+    /// The RCM preprocessing pass: reorder cells by reverse Cuthill-McKee
+    /// over the cell-adjacency graph, then renumber nodes by first touch in
+    /// the new cell order and sort interior/boundary edges by their lowest
+    /// adjacent new cell (original id breaks every tie, so the pass is
+    /// deterministic). Returns the renumbered mesh and the applied
+    /// permutations.
+    pub fn renumber_rcm(&self) -> (MeshData, MeshRenumbering) {
+        let cells = MeshPermutation::rcm(&self.cell_adjacency());
+
+        // Nodes: first touch by the new cell order (corner order preserved),
+        // untouched nodes appended in original order.
+        let nnodes = self.nnodes();
+        let mut node_new = vec![u32::MAX; nnodes];
+        let mut node_perm = Vec::with_capacity(nnodes);
+        for new_c in 0..cells.len() {
+            let old_c = cells.old_of(new_c);
+            for k in 0..4 {
+                let nd = self.cell_nodes[old_c * 4 + k];
+                if node_new[nd as usize] == u32::MAX {
+                    node_new[nd as usize] = node_perm.len() as u32;
+                    node_perm.push(nd);
+                }
+            }
+        }
+        for nd in 0..nnodes as u32 {
+            if node_new[nd as usize] == u32::MAX {
+                node_new[nd as usize] = node_perm.len() as u32;
+                node_perm.push(nd);
+            }
+        }
+        let nodes = MeshPermutation::from_perm(node_perm);
+
+        // Edges follow their lowest-ranked adjacent cell; bedges their cell.
+        let mut edge_ids: Vec<u32> = (0..self.nedges() as u32).collect();
+        edge_ids.sort_by_key(|&e| {
+            let a = cells.new_of(self.edge_cells[e as usize * 2] as usize);
+            let b = cells.new_of(self.edge_cells[e as usize * 2 + 1] as usize);
+            (a.min(b), e)
+        });
+        let edges = MeshPermutation::from_perm(edge_ids);
+
+        let mut bedge_ids: Vec<u32> = (0..self.nbedges() as u32).collect();
+        bedge_ids.sort_by_key(|&be| {
+            (cells.new_of(self.bedge_cells[be as usize] as usize), be)
+        });
+        let bedges = MeshPermutation::from_perm(bedge_ids);
+
+        let ren = MeshRenumbering {
+            cells,
+            nodes,
+            edges,
+            bedges,
+        };
+        (self.permuted(&ren), ren)
+    }
+
+    /// Deterministically shuffle every set's numbering (seeded LCG
+    /// Fisher-Yates). Mesh generators emit artificially well-ordered
+    /// numberings; benchmarks use this to recreate the badly-ordered
+    /// numbering a real mesh file or partitioner hands OP2, which is what
+    /// the RCM pass exists to repair.
+    pub fn shuffled(&self, seed: u64) -> (MeshData, MeshRenumbering) {
+        fn shuffle_perm(n: usize, state: &mut u64) -> MeshPermutation {
+            let mut perm: Vec<u32> = (0..n as u32).collect();
+            for i in (1..n).rev() {
+                *state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let j = (*state >> 33) as usize % (i + 1);
+                perm.swap(i, j);
+            }
+            MeshPermutation::from_perm(perm)
+        }
+        let mut state = seed ^ 0x9e3779b97f4a7c15;
+        let ren = MeshRenumbering {
+            cells: shuffle_perm(self.ncells(), &mut state),
+            nodes: shuffle_perm(self.nnodes(), &mut state),
+            edges: shuffle_perm(self.nedges(), &mut state),
+            bedges: shuffle_perm(self.nbedges(), &mut state),
+        };
+        (self.permuted(&ren), ren)
+    }
 }
 
 /// Generator for channel meshes.
@@ -164,6 +330,12 @@ impl MeshBuilder {
     pub fn build(&self, consts: &FlowConstants) -> Mesh {
         Mesh::from_data(self.data(), consts)
     }
+
+    /// Like [`MeshBuilder::build`], but with explicit data-layout and
+    /// renumbering options.
+    pub fn build_with(&self, consts: &FlowConstants, opts: &MeshOptions) -> Mesh {
+        Mesh::from_data_opts(self.data(), consts, opts)
+    }
 }
 
 /// The Airfoil mesh as OP2 sets/maps/dats, with the flow state dats.
@@ -200,16 +372,38 @@ pub struct Mesh {
     pub p_adt: Dat<f64>,
     /// Cell residual (dim 4).
     pub p_res: Dat<f64>,
+    /// Data layout all `f64` dats were declared with.
+    pub layout: Layout,
+    /// Permutations applied by the RCM preprocessing pass, when enabled.
+    /// `None` means the mesh keeps its original numbering.
+    pub renumbering: Option<MeshRenumbering>,
 }
 
 impl Mesh {
     /// Wrap raw tables into OP2 declarations; flow state starts at the free
-    /// stream.
+    /// stream. AoS layout, original numbering.
     pub fn from_data(data: MeshData, consts: &FlowConstants) -> Mesh {
-        let nnodes = data.coords.len() / 2;
-        let nedges = data.edge_nodes.len() / 2;
-        let nbedges = data.bedge_nodes.len() / 2;
-        let ncells = data.cell_nodes.len() / 4;
+        Mesh::from_data_opts(data, consts, &MeshOptions::default())
+    }
+
+    /// Wrap raw tables into OP2 declarations with explicit layout and
+    /// renumbering options. When `opts.renumber` is set the RCM
+    /// preprocessing pass runs first and the returned mesh (sets, maps,
+    /// dats) lives entirely in the renumbered id space; the applied
+    /// permutations are kept in [`Mesh::renumbering`] so results can be
+    /// mapped back to the original numbering.
+    pub fn from_data_opts(data: MeshData, consts: &FlowConstants, opts: &MeshOptions) -> Mesh {
+        let (data, renumbering) = if opts.renumber {
+            let (renumbered, ren) = data.renumber_rcm();
+            (renumbered, Some(ren))
+        } else {
+            (data, None)
+        };
+
+        let nnodes = data.nnodes();
+        let nedges = data.nedges();
+        let nbedges = data.nbedges();
+        let ncells = data.ncells();
 
         let nodes = Set::new("nodes", nnodes);
         let edges = Set::new("edges", nedges);
@@ -222,17 +416,18 @@ impl Mesh {
         let pbecell = Map::new("pbecell", &bedges, &cells, 1, data.bedge_cells.clone());
         let pcell = Map::new("pcell", &cells, &nodes, 4, data.cell_nodes.clone());
 
-        let p_x = Dat::new("p_x", &nodes, 2, data.coords.clone());
+        let layout = opts.layout;
+        let p_x = Dat::with_layout("p_x", &nodes, 2, layout, data.coords.clone());
         let p_bound = Dat::new("p_bound", &bedges, 1, data.bound.clone());
 
         let mut q0 = Vec::with_capacity(ncells * 4);
         for _ in 0..ncells {
             q0.extend_from_slice(&consts.qinf);
         }
-        let p_q = Dat::new("p_q", &cells, 4, q0);
-        let p_qold = Dat::filled("p_qold", &cells, 4, 0.0);
-        let p_adt = Dat::filled("p_adt", &cells, 1, 0.0);
-        let p_res = Dat::filled("p_res", &cells, 4, 0.0);
+        let p_q = Dat::with_layout("p_q", &cells, 4, layout, q0);
+        let p_qold = Dat::filled_with_layout("p_qold", &cells, 4, layout, 0.0);
+        let p_adt = Dat::filled_with_layout("p_adt", &cells, 1, layout, 0.0);
+        let p_res = Dat::filled_with_layout("p_res", &cells, 4, layout, 0.0);
 
         Mesh {
             data,
@@ -251,6 +446,8 @@ impl Mesh {
             p_qold,
             p_adt,
             p_res,
+            layout,
+            renumbering,
         }
     }
 
@@ -263,8 +460,10 @@ impl Mesh {
     /// radius `r` and relative amplitude `amp` — a dynamic initial condition
     /// so the march actually does work.
     pub fn add_pulse(&self, cx: f64, cy: f64, r: f64, amp: f64, consts: &FlowConstants) {
-        let mut q = self.p_q.data_mut();
-        let coords = self.p_x.data();
+        // Work in canonical AoS order regardless of the declared layout so
+        // the produced state is bitwise independent of `self.layout`.
+        let mut q = self.p_q.to_aos_vec();
+        let coords = self.p_x.to_aos_vec();
         for c in 0..self.ncells() {
             // Cell centroid from its four corner nodes.
             let mut x = 0.0;
@@ -285,6 +484,18 @@ impl Mesh {
             q[4 * c + 1] = rho * u;
             q[4 * c + 2] = rho * v;
             q[4 * c + 3] = p / consts.gm1 + 0.5 * rho * (u * u + v * v);
+        }
+        self.p_q.write_aos(&q);
+    }
+
+    /// The cell state in canonical AoS order and — when the mesh was
+    /// renumbered — mapped back to the *original* cell numbering, so runs
+    /// with different `MeshOptions` can be compared element-for-element.
+    pub fn unrenumbered_q(&self) -> Vec<f64> {
+        let q = self.p_q.to_aos_vec();
+        match &self.renumbering {
+            Some(ren) => ren.cells.unpermute_rows(&q, 4),
+            None => q,
         }
     }
 
@@ -425,5 +636,109 @@ mod tests {
         let centre = 8 * 16 / 2 + 8; // roughly the middle cell row
         assert!(q[4 * centre] > consts.qinf[0] * 1.01);
         assert!((q[0] - consts.qinf[0]).abs() < 1e-3);
+    }
+
+    /// Geometric invariant under any renumbering: the multiset of cell
+    /// areas (shoelace over corner nodes) is preserved, and every table
+    /// entry stays in range.
+    fn cell_areas(d: &MeshData) -> Vec<f64> {
+        let mut areas: Vec<f64> = (0..d.ncells())
+            .map(|c| {
+                let mut a = 0.0;
+                for k in 0..4 {
+                    let i = d.cell_nodes[c * 4 + k] as usize;
+                    let j = d.cell_nodes[c * 4 + (k + 1) % 4] as usize;
+                    a += d.coords[2 * i] * d.coords[2 * j + 1]
+                        - d.coords[2 * j] * d.coords[2 * i + 1];
+                }
+                a / 2.0
+            })
+            .collect();
+        areas.sort_by(f64::total_cmp);
+        areas
+    }
+
+    #[test]
+    fn renumber_rcm_preserves_topology_and_reduces_bandwidth() {
+        let data = MeshBuilder::channel(20, 10).data();
+        // Start from a deterministically shuffled numbering so RCM has real
+        // work to do (the generator's numbering is already banded).
+        let (shuffled, _) = data.shuffled(7);
+        let (ren_data, ren) = shuffled.renumber_rcm();
+
+        assert_eq!(ren_data.ncells(), data.ncells());
+        assert_eq!(ren_data.nnodes(), data.nnodes());
+        assert_eq!(ren_data.nedges(), data.nedges());
+        assert_eq!(ren_data.nbedges(), data.nbedges());
+        assert_eq!(cell_areas(&ren_data), cell_areas(&data), "geometry changed");
+        for &c in ren_data.edge_cells.iter().chain(&ren_data.bedge_cells) {
+            assert!((c as usize) < ren_data.ncells());
+        }
+        for &n in ren_data.cell_nodes.iter().chain(&ren_data.edge_nodes) {
+            assert!((n as usize) < ren_data.nnodes());
+        }
+        assert!(!ren.cells.is_identity(), "shuffled mesh must get reordered");
+
+        // The point of the pass: the cell-graph bandwidth shrinks.
+        let bw = |d: &MeshData| {
+            let mut m = 0usize;
+            for pair in d.edge_cells.chunks_exact(2) {
+                m = m.max((pair[0] as isize - pair[1] as isize).unsigned_abs());
+            }
+            m
+        };
+        assert!(
+            bw(&ren_data) < bw(&shuffled) / 2,
+            "RCM should at least halve the shuffled bandwidth: {} -> {}",
+            bw(&shuffled),
+            bw(&ren_data)
+        );
+
+        // Determinism: the pass is a pure function of the tables.
+        let (again, ren2) = shuffled.renumber_rcm();
+        assert_eq!(again, ren_data);
+        assert_eq!(ren2, ren);
+    }
+
+    /// A renumbered mesh is *different content* to the planner and tuner:
+    /// its map tables differ, so the content-addressed topology hash must
+    /// differ too — renumbered and original plans never alias in the cache.
+    #[test]
+    fn renumbering_changes_plan_cache_topology_hash() {
+        use crate::loops::AirfoilLoops;
+        use op2_core::PlanCache;
+
+        let consts = FlowConstants::default();
+        let base = MeshBuilder::channel(12, 6);
+        let orig = base.build(&consts);
+        let ren = base.build_with(
+            &consts,
+            &MeshOptions {
+                renumber: true,
+                ..Default::default()
+            },
+        );
+        assert!(ren.renumbering.is_some());
+
+        let cache = PlanCache::new();
+        let lo = AirfoilLoops::new(&orig, &consts);
+        let lr = AirfoilLoops::new(&ren, &consts);
+        let to = cache.loop_topology(lo.res_calc.set(), lo.res_calc.args());
+        let tr = cache.loop_topology(lr.res_calc.set(), lr.res_calc.args());
+        assert_ne!(to, tr, "renumbered res_calc must not alias the original plan");
+
+        // While two builds of the *same* renumbered mesh do alias.
+        let ren2 = base.build_with(
+            &consts,
+            &MeshOptions {
+                renumber: true,
+                ..Default::default()
+            },
+        );
+        let lr2 = AirfoilLoops::new(&ren2, &consts);
+        assert_eq!(
+            tr,
+            cache.loop_topology(lr2.res_calc.set(), lr2.res_calc.args())
+        );
     }
 }

@@ -21,7 +21,7 @@ use hpx_rt::{
     for_each_index_cancel, for_each_index_task_cancel, par, par_task, CancelToken, Cancelled,
     ChunkSize, Pool, Promise, TaskPanic,
 };
-use op2_core::{GlobalAcc, KernelFn, ParLoop, Plan};
+use op2_core::{ChunkKernelFn, GlobalAcc, KernelFn, ParLoop, Plan};
 
 use crate::recover::{FailSlot, FailureKind};
 
@@ -29,18 +29,28 @@ use crate::recover::{FailSlot, FailureKind};
 /// kernel panic is re-raised as a [`TaskPanic`] with loop/element provenance.
 /// When a `fail` slot is supplied (asynchronous color chains), the structured
 /// failure is also parked there — the future layer only transports strings.
+///
+/// When the loop carries a chunked kernel body it runs over the whole block
+/// span (bit-identical to the per-element path by contract); panic
+/// provenance then resolves to the block's first element rather than the
+/// exact one.
 pub(crate) fn run_block(
     loop_name: &str,
     kernel: &KernelFn,
+    chunk_kernel: Option<&ChunkKernelFn>,
     block: std::ops::Range<usize>,
     scratch: &mut [f64],
     fail: Option<&FailSlot>,
 ) {
     let current = Cell::new(block.start);
     let result = catch_unwind(AssertUnwindSafe(|| {
-        for e in block {
-            current.set(e);
-            kernel(e, scratch);
+        if let Some(ck) = chunk_kernel {
+            ck(block, scratch);
+        } else {
+            for e in block {
+                current.set(e);
+                kernel(e, scratch);
+            }
         }
     }));
     if let Err(p) = result {
@@ -69,6 +79,7 @@ pub(crate) fn run_plan_order_tracked(
     cancel: Option<&CancelToken>,
 ) -> Vec<f64> {
     let kernel = loop_.kernel();
+    let chunk_kernel = loop_.chunk_kernel();
     let acc = GlobalAcc::with_op(loop_.gbl_dim(), plan.nblocks(), loop_.gbl_op());
     for color in &plan.color_blocks {
         if let Some(reason) = cancel.and_then(CancelToken::check) {
@@ -77,7 +88,14 @@ pub(crate) fn run_plan_order_tracked(
         for &b in color {
             let b = b as usize;
             let mut scratch = acc.scratch();
-            run_block(loop_.name(), kernel, plan.blocks[b].clone(), &mut scratch, None);
+            run_block(
+                loop_.name(),
+                kernel,
+                chunk_kernel,
+                plan.blocks[b].clone(),
+                &mut scratch,
+                None,
+            );
             acc.store(b, scratch);
         }
     }
@@ -94,6 +112,7 @@ pub fn run_colored<P: Pool + ?Sized>(
     cancel: Option<&CancelToken>,
 ) -> Vec<f64> {
     let kernel = loop_.kernel();
+    let chunk_kernel = loop_.chunk_kernel();
     let name = loop_.name();
     let acc = GlobalAcc::with_op(loop_.gbl_dim(), plan.nblocks(), loop_.gbl_op());
     #[cfg(feature = "det")]
@@ -115,7 +134,7 @@ pub fn run_colored<P: Pool + ?Sized>(
             #[cfg(feature = "det")]
             op2_core::det::enter_block(epoch, b as u32);
             let mut scratch = acc.scratch();
-            run_block(name, kernel, plan.blocks[b].clone(), &mut scratch, None);
+            run_block(name, kernel, chunk_kernel, plan.blocks[b].clone(), &mut scratch, None);
             acc.store(b, scratch);
             #[cfg(feature = "det")]
             op2_core::det::exit_block();
@@ -143,6 +162,7 @@ pub fn run_colored_task(
         plan: Arc::clone(plan),
         name: loop_.name().to_owned(),
         kernel: loop_.kernel().clone(),
+        chunk_kernel: loop_.chunk_kernel().cloned(),
         acc: GlobalAcc::with_op(loop_.gbl_dim(), plan.nblocks(), loop_.gbl_op()),
         chunk,
         cancel,
@@ -157,6 +177,7 @@ struct ChainCtx {
     plan: Arc<Plan>,
     name: String,
     kernel: op2_core::KernelFn,
+    chunk_kernel: Option<ChunkKernelFn>,
     acc: GlobalAcc,
     chunk: ChunkSize,
     cancel: Option<CancelToken>,
@@ -206,6 +227,7 @@ fn launch_color(ctx: Arc<ChainCtx>, color_idx: usize, promise: Promise<Vec<f64>>
             run_block(
                 &body_ctx.name,
                 &body_ctx.kernel,
+                body_ctx.chunk_kernel.as_ref(),
                 body_ctx.plan.blocks[b].clone(),
                 &mut scratch,
                 body_ctx.fail.as_ref(),

@@ -133,6 +133,11 @@ pub(crate) fn begin(
         default_part_size: rt.part_size(),
         backends: backends.to_vec(),
         plan_order_invariant: plan_order_invariant(loop_),
+        // Executors cannot re-declare dats mid-run (kernels hold views into
+        // the declared storage), so the layout axis is closed here; tuned
+        // layouts still flow in from a warm store and back out through it
+        // for construction-time callers.
+        layouts: Vec::new(),
     };
     let decision = tuner.decide(&key, &ctx);
     Some(LoopTrial {

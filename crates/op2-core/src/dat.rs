@@ -1,4 +1,12 @@
 //! Dats — data attached to the elements of a set.
+//!
+//! Storage is parameterized by a [`Layout`]: element-major AoS (the
+//! default, and OP2's native CPU layout), component-major SoA, or blocked
+//! AoSoA with a tunable lane width. The layout is fixed at construction and
+//! hidden behind the same `data`/`view` API, so kernels written against
+//! [`DatView`] accessors (`get`/`set`/`add`/`comp`) are layout-agnostic;
+//! only code that touches raw storage order (`data`, `to_vec`) sees the
+//! difference.
 
 use std::fmt;
 use std::sync::Arc;
@@ -8,14 +16,153 @@ use parking_lot::{RwLock, RwLockReadGuard, RwLockWriteGuard};
 use crate::ids::next_id;
 use crate::set::Set;
 
+/// Memory layout of a dat's per-element components.
+///
+/// For a dat of `n` elements × `dim` components, component `j` of element
+/// `e` lives at raw index:
+///
+/// * `Aos` — `e*dim + j` (element-major, OP2's default);
+/// * `Soa` — `j*n + e` (component-major; unit stride across elements, so
+///   direct loops over one component autovectorize);
+/// * `AoSoA { block: w }` — `(e/w)*dim*w + j*w + e%w` (blocks of `w`
+///   elements stored SoA-within-block; unit stride across a lane block,
+///   cache-local across components). Storage is padded to a whole number
+///   of blocks; pad lanes replicate the last real element so NaN guards
+///   stay quiet.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Layout {
+    /// Array-of-structures: `e*dim + j`.
+    Aos,
+    /// Structure-of-arrays: `j*n + e`.
+    Soa,
+    /// Blocked AoSoA with `block` lanes: `(e/block)*dim*block + j*block + e%block`.
+    AoSoA {
+        /// Lane-block width (must be > 0; 4–16 suit f64 SIMD widths).
+        block: usize,
+    },
+}
+
+impl Layout {
+    /// Raw storage length for `n` elements × `dim` components (includes
+    /// AoSoA tail padding).
+    pub fn storage_len(self, n: usize, dim: usize) -> usize {
+        match self {
+            Layout::Aos | Layout::Soa => n * dim,
+            Layout::AoSoA { block } => n.div_ceil(block.max(1)) * block.max(1) * dim,
+        }
+    }
+
+    /// Raw index of component `j` of element `e`.
+    #[inline(always)]
+    pub fn index(self, e: usize, j: usize, n: usize, dim: usize) -> usize {
+        match self {
+            Layout::Aos => e * dim + j,
+            Layout::Soa => j * n + e,
+            Layout::AoSoA { block } => (e / block) * (dim * block) + j * block + (e % block),
+        }
+    }
+
+    /// True when each element's components are contiguous in storage order
+    /// (so [`DatView::slice`] is valid): AoS always, any layout at `dim == 1`.
+    pub fn element_contiguous(self, dim: usize) -> bool {
+        dim == 1 || matches!(self, Layout::Aos)
+    }
+
+    /// Stable short label (`aos`, `soa`, `aosoa8`) for artifacts and the
+    /// tuner's persisted models.
+    pub fn label(self) -> String {
+        match self {
+            Layout::Aos => "aos".into(),
+            Layout::Soa => "soa".into(),
+            Layout::AoSoA { block } => format!("aosoa{block}"),
+        }
+    }
+
+    /// Inverse of [`Layout::label`].
+    pub fn parse(s: &str) -> Option<Layout> {
+        match s {
+            "aos" => Some(Layout::Aos),
+            "soa" => Some(Layout::Soa),
+            _ => {
+                let block: usize = s.strip_prefix("aosoa")?.parse().ok()?;
+                (block > 0).then_some(Layout::AoSoA { block })
+            }
+        }
+    }
+}
+
+impl Default for Layout {
+    fn default() -> Self {
+        Layout::Aos
+    }
+}
+
+impl fmt::Display for Layout {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+/// Typed construction failures for [`Dat::try_new`] and friends.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DatError {
+    /// `dim == 0`.
+    ZeroDim {
+        /// Declared dat name.
+        name: String,
+    },
+    /// Initial data length does not equal `set.size() * dim`.
+    LengthMismatch {
+        /// Declared dat name.
+        name: String,
+        /// Supplied data length.
+        len: usize,
+        /// Set size the dat was declared over.
+        set_size: usize,
+        /// Declared components per element.
+        dim: usize,
+    },
+    /// AoSoA lane-block width of 0.
+    ZeroBlock {
+        /// Declared dat name.
+        name: String,
+    },
+}
+
+impl fmt::Display for DatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatError::ZeroDim { name } => {
+                write!(f, "dat {name}: dimension must be positive")
+            }
+            DatError::LengthMismatch {
+                name,
+                len,
+                set_size,
+                dim,
+            } => write!(
+                f,
+                "dat {name}: data length {len} != set.size {set_size} * dim {dim}"
+            ),
+            DatError::ZeroBlock { name } => {
+                write!(f, "dat {name}: AoSoA block width must be positive")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DatError {}
+
 struct DatInner<T> {
     id: u64,
     name: String,
     set: Set,
     dim: usize,
-    /// Element-major storage: slot `e * dim + j`. The box is never resized,
-    /// so the payload address is stable and raw views stay valid for the
-    /// lifetime of the dat.
+    layout: Layout,
+    /// Storage in `layout` order (see [`Layout`] for the index formulas;
+    /// AoSoA includes tail padding). The box is never resized, so the
+    /// payload address is stable and raw views stay valid for the lifetime
+    /// of the dat.
     data: RwLock<Box<[T]>>,
 }
 
@@ -25,7 +172,8 @@ struct DatInner<T> {
 /// Cheap to clone (shared handle). Two access paths:
 ///
 /// * **safe, locked** — [`Dat::data`] / [`Dat::data_mut`] for setup,
-///   verification, and I/O;
+///   verification, and I/O (raw storage order; use [`Dat::to_aos_vec`] /
+///   [`Dat::get_at`] for layout-independent access);
 /// * **raw, unlocked** — [`Dat::view`] for kernels running inside a parallel
 ///   loop, where the framework (plan coloring + declared access modes) —
 ///   not the borrow checker — guarantees race freedom, exactly as in OP2.
@@ -43,50 +191,259 @@ impl<T> Clone for Dat<T> {
 
 impl<T: Copy + Send + Sync + 'static> Dat<T> {
     /// Declare a dat over `set` with `dim` values per element, initialized
-    /// from `data` (length must be `set.size() * dim`).
+    /// from `data` (element-major, length `set.size() * dim`), stored AoS.
     ///
     /// # Panics
-    /// Panics on a length mismatch or `dim == 0`.
+    /// Panics on a length mismatch or `dim == 0`; use [`Dat::try_new`] for
+    /// a typed error instead.
     pub fn new(name: impl Into<String>, set: &Set, dim: usize, data: Vec<T>) -> Self {
+        match Dat::try_new(name, set, dim, data) {
+            Ok(d) => d,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`Dat::new`].
+    pub fn try_new(
+        name: impl Into<String>,
+        set: &Set,
+        dim: usize,
+        data: Vec<T>,
+    ) -> Result<Self, DatError> {
+        Dat::try_with_layout(name, set, dim, Layout::Aos, data)
+    }
+
+    /// Declare a dat with an explicit storage [`Layout`]. `data` is always
+    /// supplied element-major (AoS canonical order) and is converted into
+    /// the requested layout; AoSoA tail padding replicates the last
+    /// element's components (so finite data stays finite through guards).
+    ///
+    /// # Panics
+    /// As [`Dat::new`]; use [`Dat::try_with_layout`] for a typed error.
+    pub fn with_layout(
+        name: impl Into<String>,
+        set: &Set,
+        dim: usize,
+        layout: Layout,
+        data: Vec<T>,
+    ) -> Self {
+        match Dat::try_with_layout(name, set, dim, layout, data) {
+            Ok(d) => d,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`Dat::with_layout`].
+    pub fn try_with_layout(
+        name: impl Into<String>,
+        set: &Set,
+        dim: usize,
+        layout: Layout,
+        data: Vec<T>,
+    ) -> Result<Self, DatError> {
         let name = name.into();
-        assert!(dim > 0, "dat {name}: dimension must be positive");
-        assert_eq!(
-            data.len(),
-            set.size() * dim,
-            "dat {name}: data length {} != set.size {} * dim {dim}",
-            data.len(),
-            set.size()
-        );
-        Dat {
+        if dim == 0 {
+            return Err(DatError::ZeroDim { name });
+        }
+        if let Layout::AoSoA { block: 0 } = layout {
+            return Err(DatError::ZeroBlock { name });
+        }
+        let n = set.size();
+        if data.len() != n * dim {
+            return Err(DatError::LengthMismatch {
+                name,
+                len: data.len(),
+                set_size: n,
+                dim,
+            });
+        }
+        let storage = match (layout, data.first().copied()) {
+            (Layout::Aos, _) | (_, None) => data,
+            (_, Some(fill)) => {
+                let mut out = vec![fill; layout.storage_len(n, dim)];
+                for e in 0..n {
+                    for j in 0..dim {
+                        out[layout.index(e, j, n, dim)] = data[e * dim + j];
+                    }
+                }
+                if let Layout::AoSoA { block } = layout {
+                    // Pad lanes replicate the last real element.
+                    for e in n..n.div_ceil(block) * block {
+                        for j in 0..dim {
+                            out[layout.index(e, j, n, dim)] = data[(n - 1) * dim + j];
+                        }
+                    }
+                }
+                out
+            }
+        };
+        Ok(Dat {
             inner: Arc::new(DatInner {
                 id: next_id(),
                 name,
                 set: set.clone(),
                 dim,
-                data: RwLock::new(data.into_boxed_slice()),
+                layout,
+                data: RwLock::new(storage.into_boxed_slice()),
             }),
-        }
+        })
     }
 
-    /// Declare a dat filled with `value`.
+    /// Declare a dat filled with `value` (AoS).
     pub fn filled(name: impl Into<String>, set: &Set, dim: usize, value: T) -> Self {
         Dat::new(name, set, dim, vec![value; set.size() * dim])
     }
 
-    /// Locked read access to the raw storage (setup/verification only —
-    /// do not call from inside a kernel).
+    /// Declare a dat filled with `value` in an explicit layout.
+    pub fn filled_with_layout(
+        name: impl Into<String>,
+        set: &Set,
+        dim: usize,
+        layout: Layout,
+        value: T,
+    ) -> Self {
+        Dat::with_layout(name, set, dim, layout, vec![value; set.size() * dim])
+    }
+
+    /// Locked read access to the raw storage in **layout order** (setup /
+    /// verification only — do not call from inside a kernel). For
+    /// layout-independent element access use [`Dat::get_at`] or
+    /// [`Dat::to_aos_vec`].
     pub fn data(&self) -> RwLockReadGuard<'_, Box<[T]>> {
         self.inner.data.read()
     }
 
-    /// Locked write access to the raw storage (setup only).
+    /// Locked write access to the raw storage in layout order (setup only).
     pub fn data_mut(&self) -> RwLockWriteGuard<'_, Box<[T]>> {
         self.inner.data.write()
     }
 
-    /// Snapshot the contents (tests, checkpointing).
+    /// Snapshot the raw storage (layout order — bit-stable for
+    /// checkpoint/rollback regardless of layout).
     pub fn to_vec(&self) -> Vec<T> {
         self.data().to_vec()
+    }
+
+    /// Snapshot the contents in canonical element-major (AoS) order,
+    /// independent of the storage layout. Use this for digests and
+    /// cross-layout comparisons.
+    pub fn to_aos_vec(&self) -> Vec<T> {
+        let n = self.inner.set.size();
+        let dim = self.inner.dim;
+        let guard = self.data();
+        match self.inner.layout {
+            Layout::Aos => guard.to_vec(),
+            layout => {
+                let mut out = Vec::with_capacity(n * dim);
+                for e in 0..n {
+                    for j in 0..dim {
+                        out.push(guard[layout.index(e, j, n, dim)]);
+                    }
+                }
+                out
+            }
+        }
+    }
+
+    /// Overwrite the contents from canonical element-major (AoS) data,
+    /// independent of the storage layout (setup / restore only).
+    ///
+    /// # Panics
+    /// Panics if `aos.len() != set.size() * dim`.
+    pub fn write_aos(&self, aos: &[T]) {
+        let n = self.inner.set.size();
+        let dim = self.inner.dim;
+        assert_eq!(
+            aos.len(),
+            n * dim,
+            "dat {}: write_aos length {} != {}",
+            self.inner.name,
+            aos.len(),
+            n * dim
+        );
+        let layout = self.inner.layout;
+        let mut guard = self.data_mut();
+        match layout {
+            Layout::Aos => guard.copy_from_slice(aos),
+            _ => {
+                for e in 0..n {
+                    for j in 0..dim {
+                        guard[layout.index(e, j, n, dim)] = aos[e * dim + j];
+                    }
+                }
+                if let Layout::AoSoA { block } = layout {
+                    if n > 0 {
+                        for e in n..n.div_ceil(block) * block {
+                            for j in 0..dim {
+                                guard[layout.index(e, j, n, dim)] = aos[(n - 1) * dim + j];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Layout-independent single-value read (locked; setup/verification
+    /// only).
+    pub fn get_at(&self, e: usize, j: usize) -> T {
+        let n = self.inner.set.size();
+        self.data()[self.inner.layout.index(e, j, n, self.inner.dim)]
+    }
+
+    /// Layout-independent single-value write (locked; setup only). Keeps
+    /// AoSoA pad lanes in sync when writing the last element.
+    pub fn set_at(&self, e: usize, j: usize, v: T) {
+        let n = self.inner.set.size();
+        let dim = self.inner.dim;
+        let layout = self.inner.layout;
+        let mut guard = self.data_mut();
+        guard[layout.index(e, j, n, dim)] = v;
+        if let Layout::AoSoA { block } = layout {
+            if e + 1 == n {
+                for pad in n..n.div_ceil(block) * block {
+                    guard[layout.index(pad, j, n, dim)] = v;
+                }
+            }
+        }
+    }
+
+    /// A copy of this dat converted to `layout` (fresh identity, same name,
+    /// set, dim, and contents).
+    pub fn relayout(&self, layout: Layout) -> Dat<T> {
+        Dat::with_layout(
+            self.inner.name.clone(),
+            &self.inner.set,
+            self.inner.dim,
+            layout,
+            self.to_aos_vec(),
+        )
+    }
+
+    /// Reorder elements in place under a permutation `old_of_new`
+    /// (`old_of_new[new] = old`, the convention of
+    /// [`crate::renumber::rcm_order`]). Contents move; layout, identity and
+    /// storage address stay.
+    ///
+    /// # Panics
+    /// Panics if `old_of_new.len() != set.size()`.
+    pub fn permute(&self, old_of_new: &[u32]) {
+        let n = self.inner.set.size();
+        assert_eq!(
+            old_of_new.len(),
+            n,
+            "dat {}: permutation length {} != set size {n}",
+            self.inner.name,
+            old_of_new.len()
+        );
+        let dim = self.inner.dim;
+        let aos = self.to_aos_vec();
+        let mut out = Vec::with_capacity(n * dim);
+        for &old in old_of_new {
+            let old = old as usize;
+            out.extend_from_slice(&aos[old * dim..(old + 1) * dim]);
+        }
+        self.write_aos(&out);
     }
 
     /// A raw, unlocked view for use inside parallel-loop kernels.
@@ -107,7 +464,9 @@ impl<T: Copy + Send + Sync + 'static> Dat<T> {
         DatView {
             ptr,
             len,
+            n: self.inner.set.size(),
             dim: self.inner.dim,
+            layout: self.inner.layout,
             #[cfg(feature = "det")]
             id: self.inner.id,
         }
@@ -116,6 +475,11 @@ impl<T: Copy + Send + Sync + 'static> Dat<T> {
     /// Values per element.
     pub fn dim(&self) -> usize {
         self.inner.dim
+    }
+
+    /// Storage layout.
+    pub fn layout(&self) -> Layout {
+        self.inner.layout
     }
 
     /// The set this dat lives on.
@@ -139,11 +503,12 @@ impl<T> fmt::Debug for Dat<T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "Dat({} #{} on {}, dim={})",
+            "Dat({} #{} on {}, dim={}, {})",
             self.inner.name,
             self.inner.id,
             self.inner.set.name(),
-            self.inner.dim
+            self.inner.dim,
+            self.inner.layout.label()
         )
     }
 }
@@ -152,10 +517,15 @@ impl<T> fmt::Debug for Dat<T> {
 ///
 /// `Copy` and sendable across threads; all accessors are `unsafe` because the
 /// framework, not the compiler, proves exclusivity (see [`Dat::view`]).
+/// `get`/`set`/`add`/`comp` work for every [`Layout`]; `slice`/`slice_mut`
+/// require element-contiguous storage (AoS, or any layout at `dim == 1`).
 pub struct DatView<T> {
     ptr: *mut T,
     len: usize,
+    /// Set size (needed for SoA component strides).
+    n: usize,
     dim: usize,
+    layout: Layout,
     /// Identity of the owning dat, carried only when the race detector is
     /// compiled in (`det` feature) so accesses can be attributed.
     #[cfg(feature = "det")]
@@ -181,7 +551,28 @@ impl<T: Copy> DatView<T> {
         self.dim
     }
 
-    /// Read element `e`'s values.
+    /// Number of elements in the underlying set.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Storage layout.
+    #[inline]
+    pub fn layout(&self) -> Layout {
+        self.layout
+    }
+
+    /// Raw index of component `j` of element `e` under this view's layout.
+    #[inline(always)]
+    fn idx(&self, e: usize, j: usize) -> usize {
+        self.layout.index(e, j, self.n, self.dim)
+    }
+
+    /// Read element `e`'s values as a contiguous slice.
+    ///
+    /// Requires element-contiguous storage (AoS, or `dim == 1`); use
+    /// [`DatView::get`]/[`DatView::load`] for layout-agnostic reads.
     ///
     /// # Safety
     /// Must be called from a kernel whose loop declared (at least) read
@@ -189,13 +580,17 @@ impl<T: Copy> DatView<T> {
     /// (guaranteed by the plan when declarations are correct).
     #[inline]
     pub unsafe fn slice(&self, e: usize) -> &[T] {
-        debug_assert!((e + 1) * self.dim <= self.len);
+        debug_assert!(self.layout.element_contiguous(self.dim));
+        debug_assert!(self.idx(e, self.dim - 1) < self.len);
         #[cfg(feature = "det")]
         crate::det::record_access(self.id, e, crate::access::Access::Read);
-        std::slice::from_raw_parts(self.ptr.add(e * self.dim), self.dim)
+        std::slice::from_raw_parts(self.ptr.add(self.idx(e, 0)), self.dim)
     }
 
-    /// Mutably access element `e`'s values.
+    /// Mutably access element `e`'s values as a contiguous slice.
+    ///
+    /// Requires element-contiguous storage (AoS, or `dim == 1`); use
+    /// [`DatView::set`]/[`DatView::store`] for layout-agnostic writes.
     ///
     /// # Safety
     /// Must be called from a kernel whose loop declared write/rw/inc access
@@ -204,10 +599,11 @@ impl<T: Copy> DatView<T> {
     #[inline]
     #[allow(clippy::mut_from_ref)]
     pub unsafe fn slice_mut(&self, e: usize) -> &mut [T] {
-        debug_assert!((e + 1) * self.dim <= self.len);
+        debug_assert!(self.layout.element_contiguous(self.dim));
+        debug_assert!(self.idx(e, self.dim - 1) < self.len);
         #[cfg(feature = "det")]
         crate::det::record_access(self.id, e, crate::access::Access::ReadWrite);
-        std::slice::from_raw_parts_mut(self.ptr.add(e * self.dim), self.dim)
+        std::slice::from_raw_parts_mut(self.ptr.add(self.idx(e, 0)), self.dim)
     }
 
     /// Read a single value.
@@ -217,9 +613,10 @@ impl<T: Copy> DatView<T> {
     #[inline]
     pub unsafe fn get(&self, e: usize, j: usize) -> T {
         debug_assert!(j < self.dim);
+        debug_assert!(self.idx(e, j) < self.len);
         #[cfg(feature = "det")]
         crate::det::record_access(self.id, e, crate::access::Access::Read);
-        *self.ptr.add(e * self.dim + j)
+        *self.ptr.add(self.idx(e, j))
     }
 
     /// Write a single value.
@@ -229,9 +626,98 @@ impl<T: Copy> DatView<T> {
     #[inline]
     pub unsafe fn set(&self, e: usize, j: usize, v: T) {
         debug_assert!(j < self.dim);
+        debug_assert!(self.idx(e, j) < self.len);
         #[cfg(feature = "det")]
         crate::det::record_access(self.id, e, crate::access::Access::Write);
-        *self.ptr.add(e * self.dim + j) = v;
+        *self.ptr.add(self.idx(e, j)) = v;
+    }
+
+    /// Read element `e`'s `D` components into a stack array (layout-
+    /// agnostic; `D` must equal `dim`).
+    ///
+    /// # Safety
+    /// As [`DatView::slice`].
+    #[inline]
+    pub unsafe fn load<const D: usize>(&self, e: usize) -> [T; D] {
+        debug_assert_eq!(D, self.dim);
+        #[cfg(feature = "det")]
+        crate::det::record_access(self.id, e, crate::access::Access::Read);
+        let mut out = [*self.ptr.add(self.idx(e, 0)); D];
+        for (j, slot) in out.iter_mut().enumerate().skip(1) {
+            *slot = *self.ptr.add(self.idx(e, j));
+        }
+        out
+    }
+
+    /// Write element `e`'s `D` components from a stack array (layout-
+    /// agnostic; `D` must equal `dim`).
+    ///
+    /// # Safety
+    /// As [`DatView::slice_mut`].
+    #[inline]
+    pub unsafe fn store<const D: usize>(&self, e: usize, vals: [T; D]) {
+        debug_assert_eq!(D, self.dim);
+        #[cfg(feature = "det")]
+        crate::det::record_access(self.id, e, crate::access::Access::Write);
+        for (j, v) in vals.into_iter().enumerate() {
+            *self.ptr.add(self.idx(e, j)) = v;
+        }
+    }
+
+    /// The raw storage of elements `range` as one contiguous slice
+    /// (`range.len() * dim` values), when the layout stores whole elements
+    /// contiguously (AoS, or any layout at `dim == 1`); `None` otherwise.
+    /// The chunked-kernel fast path for order-independent bodies (copies,
+    /// fills).
+    ///
+    /// # Safety
+    /// As [`DatView::slice`], for every element in `range`.
+    pub unsafe fn span(&self, range: std::ops::Range<usize>) -> Option<&[T]> {
+        if !self.layout.element_contiguous(self.dim) || range.end > self.n {
+            return None;
+        }
+        #[cfg(feature = "det")]
+        for e in range.clone() {
+            crate::det::record_access(self.id, e, crate::access::Access::Read);
+        }
+        Some(std::slice::from_raw_parts(
+            self.ptr.add(self.idx(range.start, 0)),
+            range.len() * self.dim,
+        ))
+    }
+
+    /// Mutable [`DatView::span`].
+    ///
+    /// # Safety
+    /// As [`DatView::slice_mut`], for every element in `range`.
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn span_mut(&self, range: std::ops::Range<usize>) -> Option<&mut [T]> {
+        if !self.layout.element_contiguous(self.dim) || range.end > self.n {
+            return None;
+        }
+        #[cfg(feature = "det")]
+        for e in range.clone() {
+            crate::det::record_access(self.id, e, crate::access::Access::ReadWrite);
+        }
+        Some(std::slice::from_raw_parts_mut(
+            self.ptr.add(self.idx(range.start, 0)),
+            range.len() * self.dim,
+        ))
+    }
+
+    /// Typed strided accessor for component `j` across all elements.
+    pub fn comp(&self, j: usize) -> CompView<T> {
+        assert!(j < self.dim, "component {j} out of range (dim {})", self.dim);
+        CompView {
+            ptr: self.ptr,
+            len: self.len,
+            n: self.n,
+            dim: self.dim,
+            layout: self.layout,
+            j,
+            #[cfg(feature = "det")]
+            id: self.id,
+        }
     }
 }
 
@@ -244,9 +730,165 @@ impl<T: Copy + std::ops::AddAssign> DatView<T> {
     #[inline]
     pub unsafe fn add(&self, e: usize, j: usize, v: T) {
         debug_assert!(j < self.dim);
+        debug_assert!(self.idx(e, j) < self.len);
         #[cfg(feature = "det")]
         crate::det::record_access(self.id, e, crate::access::Access::Inc);
-        *self.ptr.add(e * self.dim + j) += v;
+        *self.ptr.add(self.idx(e, j)) += v;
+    }
+
+    /// Increment element `e`'s `D` components (layout-agnostic `OP_INC`).
+    ///
+    /// # Safety
+    /// As [`DatView::add`].
+    #[inline]
+    pub unsafe fn add_vec<const D: usize>(&self, e: usize, vals: [T; D]) {
+        debug_assert_eq!(D, self.dim);
+        #[cfg(feature = "det")]
+        crate::det::record_access(self.id, e, crate::access::Access::Inc);
+        for (j, v) in vals.into_iter().enumerate() {
+            *self.ptr.add(self.idx(e, j)) += v;
+        }
+    }
+}
+
+/// A single component of a dat viewed across elements — the strided-access
+/// companion to [`DatView`], for writing vectorizable per-component inner
+/// loops.
+///
+/// `stride()` gives the distance between consecutive elements' slots (1 for
+/// SoA and for AoSoA within a lane block, `dim` for AoS);
+/// [`CompView::contiguous`]/[`CompView::contiguous_mut`] hand out a plain
+/// slice whenever a requested element range is unit-stride in storage.
+pub struct CompView<T> {
+    ptr: *mut T,
+    len: usize,
+    n: usize,
+    dim: usize,
+    layout: Layout,
+    j: usize,
+    #[cfg(feature = "det")]
+    id: u64,
+}
+
+impl<T> Clone for CompView<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for CompView<T> {}
+
+// SAFETY: same justification as DatView.
+unsafe impl<T: Send + Sync> Send for CompView<T> {}
+unsafe impl<T: Send + Sync> Sync for CompView<T> {}
+
+impl<T: Copy> CompView<T> {
+    /// The component index this view selects.
+    #[inline]
+    pub fn component(&self) -> usize {
+        self.j
+    }
+
+    /// Number of elements.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Storage distance between consecutive elements' slots for this
+    /// component (valid within a contiguous run; see
+    /// [`CompView::contiguous`]).
+    #[inline]
+    pub fn stride(&self) -> usize {
+        match self.layout {
+            Layout::Aos => self.dim,
+            Layout::Soa => 1,
+            Layout::AoSoA { .. } => 1,
+        }
+    }
+
+    #[inline(always)]
+    fn idx(&self, e: usize) -> usize {
+        self.layout.index(e, self.j, self.n, self.dim)
+    }
+
+    /// Read this component of element `e`.
+    ///
+    /// # Safety
+    /// As [`DatView::get`].
+    #[inline]
+    pub unsafe fn get(&self, e: usize) -> T {
+        debug_assert!(self.idx(e) < self.len);
+        #[cfg(feature = "det")]
+        crate::det::record_access(self.id, e, crate::access::Access::Read);
+        *self.ptr.add(self.idx(e))
+    }
+
+    /// Write this component of element `e`.
+    ///
+    /// # Safety
+    /// As [`DatView::set`].
+    #[inline]
+    pub unsafe fn set(&self, e: usize, v: T) {
+        debug_assert!(self.idx(e) < self.len);
+        #[cfg(feature = "det")]
+        crate::det::record_access(self.id, e, crate::access::Access::Write);
+        *self.ptr.add(self.idx(e)) = v;
+    }
+
+    /// True when elements `range` occupy consecutive storage slots for this
+    /// component: SoA always; AoS only when `dim == 1`; AoSoA when the
+    /// range stays inside one lane block.
+    pub fn unit_stride(&self, range: &std::ops::Range<usize>) -> bool {
+        if range.len() <= 1 {
+            return true;
+        }
+        match self.layout {
+            Layout::Soa => true,
+            Layout::Aos => self.dim == 1,
+            Layout::AoSoA { block } => {
+                self.dim == 1 || range.start / block == (range.end - 1) / block
+            }
+        }
+    }
+
+    /// The elements of `range` as a contiguous slice, when the layout stores
+    /// them unit-stride (see [`CompView::unit_stride`]); `None` otherwise.
+    ///
+    /// # Safety
+    /// As [`DatView::slice`], for every element in `range`.
+    pub unsafe fn contiguous(&self, range: std::ops::Range<usize>) -> Option<&[T]> {
+        if !self.unit_stride(&range) || range.end > self.n {
+            return None;
+        }
+        #[cfg(feature = "det")]
+        for e in range.clone() {
+            crate::det::record_access(self.id, e, crate::access::Access::Read);
+        }
+        debug_assert!(range.is_empty() || self.idx(range.end - 1) < self.len);
+        Some(std::slice::from_raw_parts(
+            self.ptr.add(self.idx(range.start)),
+            range.len(),
+        ))
+    }
+
+    /// Mutable [`CompView::contiguous`].
+    ///
+    /// # Safety
+    /// As [`DatView::slice_mut`], for every element in `range`.
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn contiguous_mut(&self, range: std::ops::Range<usize>) -> Option<&mut [T]> {
+        if !self.unit_stride(&range) || range.end > self.n {
+            return None;
+        }
+        #[cfg(feature = "det")]
+        for e in range.clone() {
+            crate::det::record_access(self.id, e, crate::access::Access::ReadWrite);
+        }
+        debug_assert!(range.is_empty() || self.idx(range.end - 1) < self.len);
+        Some(std::slice::from_raw_parts_mut(
+            self.ptr.add(self.idx(range.start)),
+            range.len(),
+        ))
     }
 }
 
@@ -259,6 +901,7 @@ mod tests {
         let cells = Set::new("cells", 3);
         let d = Dat::new("q", &cells, 2, vec![1.0f64, 2.0, 3.0, 4.0, 5.0, 6.0]);
         assert_eq!(d.dim(), 2);
+        assert_eq!(d.layout(), Layout::Aos);
         assert_eq!(d.to_vec(), vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
         d.data_mut()[4] = 50.0;
         assert_eq!(d.data()[4], 50.0);
@@ -296,6 +939,25 @@ mod tests {
     }
 
     #[test]
+    fn dat_try_new_reports_typed_errors() {
+        let cells = Set::new("cells", 3);
+        match Dat::try_new("q", &cells, 2, vec![0.0f64; 5]) {
+            Err(DatError::LengthMismatch { len, set_size, dim, .. }) => {
+                assert_eq!((len, set_size, dim), (5, 3, 2));
+            }
+            other => panic!("expected LengthMismatch, got {other:?}"),
+        }
+        assert!(matches!(
+            Dat::try_new("q", &cells, 0, vec![0.0f64; 0]),
+            Err(DatError::ZeroDim { .. })
+        ));
+        assert!(matches!(
+            Dat::try_with_layout("q", &cells, 2, Layout::AoSoA { block: 0 }, vec![0.0f64; 6]),
+            Err(DatError::ZeroBlock { .. })
+        ));
+    }
+
+    #[test]
     fn dat_clone_shares_storage() {
         let cells = Set::new("cells", 2);
         let a = Dat::new("x", &cells, 1, vec![1, 2]);
@@ -303,5 +965,132 @@ mod tests {
         a.data_mut()[0] = 9;
         assert_eq!(b.to_vec(), vec![9, 2]);
         assert_eq!(a.id(), b.id());
+    }
+
+    #[test]
+    fn layout_index_formulas() {
+        // 5 elements × 3 components.
+        let (n, dim) = (5usize, 3usize);
+        assert_eq!(Layout::Aos.index(2, 1, n, dim), 7);
+        assert_eq!(Layout::Soa.index(2, 1, n, dim), 5 + 2);
+        let l = Layout::AoSoA { block: 4 };
+        // e=2 in block 0: j*4 + 2; e=4 in block 1: 12 + j*4 + 0.
+        assert_eq!(l.index(2, 1, n, dim), 6);
+        assert_eq!(l.index(4, 2, n, dim), 12 + 8);
+        assert_eq!(l.storage_len(n, dim), 2 * 4 * 3);
+        assert_eq!(Layout::Soa.storage_len(n, dim), 15);
+    }
+
+    #[test]
+    fn layout_labels_roundtrip() {
+        for l in [Layout::Aos, Layout::Soa, Layout::AoSoA { block: 8 }] {
+            assert_eq!(Layout::parse(&l.label()), Some(l));
+        }
+        assert_eq!(Layout::parse("aosoa0"), None);
+        assert_eq!(Layout::parse("garbage"), None);
+    }
+
+    #[test]
+    fn soa_dat_roundtrips_through_aos_canon() {
+        let cells = Set::new("cells", 3);
+        let aos = vec![1.0f64, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let d = Dat::with_layout("q", &cells, 2, Layout::Soa, aos.clone());
+        // Raw storage is component-major.
+        assert_eq!(d.to_vec(), vec![1.0, 3.0, 5.0, 2.0, 4.0, 6.0]);
+        // Canonical order is recovered.
+        assert_eq!(d.to_aos_vec(), aos);
+        assert_eq!(d.get_at(1, 1), 4.0);
+        d.set_at(1, 1, 40.0);
+        assert_eq!(d.to_aos_vec(), vec![1.0, 2.0, 3.0, 40.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn aosoa_pads_with_last_element() {
+        let cells = Set::new("cells", 5);
+        let aos: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let d = Dat::with_layout("q", &cells, 2, Layout::AoSoA { block: 4 }, aos.clone());
+        assert_eq!(d.to_vec().len(), 2 * 4 * 2);
+        assert_eq!(d.to_aos_vec(), aos);
+        // Pad lanes replicate element 4 = (8.0, 9.0): finite stays finite.
+        let raw = d.to_vec();
+        let l = Layout::AoSoA { block: 4 };
+        for pad in 5..8 {
+            assert_eq!(raw[l.index(pad, 0, 5, 2)], 8.0);
+            assert_eq!(raw[l.index(pad, 1, 5, 2)], 9.0);
+        }
+        // Writing the last element keeps pads in sync.
+        d.set_at(4, 0, -1.0);
+        let raw = d.to_vec();
+        assert_eq!(raw[l.index(6, 0, 5, 2)], -1.0);
+    }
+
+    #[test]
+    fn view_layout_agnostic_accessors_agree() {
+        let cells = Set::new("cells", 7);
+        let aos: Vec<f64> = (0..21).map(|i| i as f64 * 0.5).collect();
+        for layout in [Layout::Aos, Layout::Soa, Layout::AoSoA { block: 4 }] {
+            let d = Dat::with_layout("q", &cells, 3, layout, aos.clone());
+            let v = d.view();
+            unsafe {
+                for e in 0..7 {
+                    let arr: [f64; 3] = v.load(e);
+                    for j in 0..3 {
+                        assert_eq!(arr[j], aos[e * 3 + j], "{layout:?} e={e} j={j}");
+                        assert_eq!(v.get(e, j), aos[e * 3 + j]);
+                    }
+                }
+                v.store(2, [9.0, 8.0, 7.0]);
+                v.add_vec(2, [1.0, 1.0, 1.0]);
+                assert_eq!(v.load::<3>(2), [10.0, 9.0, 8.0]);
+            }
+        }
+    }
+
+    #[test]
+    fn comp_view_strides_and_contiguity() {
+        let cells = Set::new("cells", 6);
+        let aos: Vec<f64> = (0..12).map(|i| i as f64).collect();
+
+        let soa = Dat::with_layout("q", &cells, 2, Layout::Soa, aos.clone());
+        let c1 = soa.view().comp(1);
+        assert_eq!(c1.stride(), 1);
+        unsafe {
+            assert_eq!(c1.contiguous(0..6).unwrap(), &[1.0, 3.0, 5.0, 7.0, 9.0, 11.0]);
+            let s = c1.contiguous_mut(2..4).unwrap();
+            s[0] += 100.0;
+        }
+        assert_eq!(soa.get_at(2, 1), 105.0);
+
+        let aos_d = Dat::new("q", &cells, 2, aos.clone());
+        let c0 = aos_d.view().comp(0);
+        assert_eq!(c0.stride(), 2);
+        unsafe {
+            assert!(c0.contiguous(0..6).is_none()); // dim 2 AoS: never unit stride
+            assert_eq!(c0.get(3), 6.0);
+        }
+
+        let blocked = Dat::with_layout("q", &cells, 2, Layout::AoSoA { block: 4 }, aos.clone());
+        let b0 = blocked.view().comp(0);
+        unsafe {
+            // Within one lane block: contiguous.
+            assert_eq!(b0.contiguous(0..4).unwrap(), &[0.0, 2.0, 4.0, 6.0]);
+            // Straddling blocks: not contiguous.
+            assert!(b0.contiguous(2..6).is_none());
+        }
+    }
+
+    #[test]
+    fn relayout_and_permute() {
+        let cells = Set::new("cells", 4);
+        let aos: Vec<f64> = (0..8).map(|i| i as f64).collect();
+        let d = Dat::new("q", &cells, 2, aos.clone());
+        let s = d.relayout(Layout::Soa);
+        assert_eq!(s.layout(), Layout::Soa);
+        assert_eq!(s.to_aos_vec(), aos);
+        assert_ne!(s.id(), d.id());
+
+        // perm[new] = old: reverse the elements.
+        s.permute(&[3, 2, 1, 0]);
+        assert_eq!(s.to_aos_vec(), vec![6.0, 7.0, 4.0, 5.0, 2.0, 3.0, 0.0, 1.0]);
     }
 }

@@ -16,6 +16,18 @@ use crate::set::Set;
 /// what OP2's generated code does with raw pointers.
 pub type KernelFn = Arc<dyn Fn(usize, &mut [f64]) + Send + Sync>;
 
+/// An optional chunked kernel body: called once per contiguous element span
+/// instead of once per element, so the body can run a branch-minimized inner
+/// loop over component slices that the autovectorizer handles — and so the
+/// per-element dynamic dispatch is amortized over the whole span.
+///
+/// Must be *bit-identical* to iterating the per-element [`KernelFn`] over the
+/// same span in ascending order (same arithmetic, same scratch updates); the
+/// executors choose freely between the two, and det sweeps pin the
+/// equivalence. Compile with the `scalar-kernels` feature to force every
+/// executor onto the per-element reference path.
+pub type ChunkKernelFn = Arc<dyn Fn(std::ops::Range<usize>, &mut [f64]) + Send + Sync>;
+
 /// A parallel loop over a set: name, iteration set, argument declarations,
 /// optional global reduction, and the kernel.
 ///
@@ -30,6 +42,7 @@ pub struct ParLoop {
     gbl_op: GblOp,
     guard_finite: bool,
     kernel: KernelFn,
+    chunk_kernel: Option<ChunkKernelFn>,
 }
 
 /// Builder for [`ParLoop`]; validates argument/set consistency.
@@ -80,9 +93,38 @@ impl ParLoop {
         self.gbl_op
     }
 
-    /// The kernel body.
+    /// The per-element kernel body (the scalar reference path).
     pub fn kernel(&self) -> &KernelFn {
         &self.kernel
+    }
+
+    /// The chunked kernel body, when one was attached with
+    /// [`ParLoopBuilder::kernel_chunked`]. Returns `None` under the
+    /// `scalar-kernels` feature, which pins every executor to the
+    /// per-element reference path.
+    pub fn chunk_kernel(&self) -> Option<&ChunkKernelFn> {
+        #[cfg(feature = "scalar-kernels")]
+        {
+            None
+        }
+        #[cfg(not(feature = "scalar-kernels"))]
+        {
+            self.chunk_kernel.as_ref()
+        }
+    }
+
+    /// Run the kernel over a contiguous span of elements in ascending order,
+    /// using the chunked body when available — the single dispatch point
+    /// every executor funnels block execution through.
+    #[inline]
+    pub fn run_span(&self, span: std::ops::Range<usize>, scratch: &mut [f64]) {
+        if let Some(ck) = self.chunk_kernel() {
+            ck(span, scratch);
+        } else {
+            for e in span {
+                (self.kernel)(e, scratch);
+            }
+        }
     }
 
     /// Should transactional executors scan this loop's written `f64` dats
@@ -222,6 +264,28 @@ impl ParLoopBuilder {
             gbl_op: self.gbl_op,
             guard_finite: self.guard_finite,
             kernel: Arc::new(kernel),
+            chunk_kernel: None,
+        }
+    }
+
+    /// Attach both a per-element reference kernel and a chunked fast path
+    /// and finish. The two must be bit-identical over any ascending span
+    /// (see [`ChunkKernelFn`]); executors prefer the chunked body unless
+    /// compiled with the `scalar-kernels` feature.
+    pub fn kernel_chunked(
+        self,
+        kernel: impl Fn(usize, &mut [f64]) + Send + Sync + 'static,
+        chunked: impl Fn(std::ops::Range<usize>, &mut [f64]) + Send + Sync + 'static,
+    ) -> ParLoop {
+        ParLoop {
+            name: self.name,
+            set: self.set,
+            args: self.args,
+            gbl_dim: self.gbl_dim,
+            gbl_op: self.gbl_op,
+            guard_finite: self.guard_finite,
+            kernel: Arc::new(kernel),
+            chunk_kernel: Some(Arc::new(chunked)),
         }
     }
 }

@@ -12,6 +12,71 @@ use std::sync::Arc;
 use crate::ids::next_id;
 use crate::set::Set;
 
+/// Typed construction failures for [`Map::try_new`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MapError {
+    /// `dim == 0`.
+    ZeroDim {
+        /// Declared map name.
+        name: String,
+    },
+    /// Table length does not equal `from.size() * dim`.
+    LengthMismatch {
+        /// Declared map name.
+        name: String,
+        /// Supplied table length.
+        len: usize,
+        /// From-set size the map was declared over.
+        from_size: usize,
+        /// Declared arity.
+        dim: usize,
+    },
+    /// A table entry points outside the target set.
+    TargetOutOfRange {
+        /// Declared map name.
+        name: String,
+        /// Flat table index of the offending entry.
+        entry: usize,
+        /// The out-of-range value.
+        value: u32,
+        /// Target set name.
+        to: String,
+        /// Target set size.
+        to_size: usize,
+    },
+}
+
+impl fmt::Display for MapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MapError::ZeroDim { name } => {
+                write!(f, "map {name}: dimension must be positive")
+            }
+            MapError::LengthMismatch {
+                name,
+                len,
+                from_size,
+                dim,
+            } => write!(
+                f,
+                "map {name}: table length {len} != from.size {from_size} * dim {dim}"
+            ),
+            MapError::TargetOutOfRange {
+                name,
+                entry,
+                value,
+                to,
+                to_size,
+            } => write!(
+                f,
+                "map {name}: entry {entry} = {value} out of range for target set {to} (size {to_size})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MapError {}
+
 struct MapInner {
     id: u64,
     name: String,
@@ -37,7 +102,8 @@ impl Map {
     ///
     /// # Panics
     /// Panics if `table.len() != from.size() * dim`, if `dim == 0`, or if any
-    /// entry is out of range for `to`.
+    /// entry is out of range for `to`; use [`Map::try_new`] for a typed
+    /// error instead.
     pub fn new(
         name: impl Into<String>,
         from: &Set,
@@ -45,24 +111,45 @@ impl Map {
         dim: usize,
         table: Vec<u32>,
     ) -> Self {
+        match Map::try_new(name, from, to, dim, table) {
+            Ok(m) => m,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`Map::new`].
+    pub fn try_new(
+        name: impl Into<String>,
+        from: &Set,
+        to: &Set,
+        dim: usize,
+        table: Vec<u32>,
+    ) -> Result<Self, MapError> {
         let name = name.into();
-        assert!(dim > 0, "map {name}: dimension must be positive");
-        assert_eq!(
-            table.len(),
-            from.size() * dim,
-            "map {name}: table length {} != from.size {} * dim {dim}",
-            table.len(),
-            from.size()
-        );
+        if dim == 0 {
+            return Err(MapError::ZeroDim { name });
+        }
+        if table.len() != from.size() * dim {
+            return Err(MapError::LengthMismatch {
+                name,
+                len: table.len(),
+                from_size: from.size(),
+                dim,
+            });
+        }
         let to_size = to.size();
         for (i, &t) in table.iter().enumerate() {
-            assert!(
-                (t as usize) < to_size,
-                "map {name}: entry {i} = {t} out of range for target set {} (size {to_size})",
-                to.name()
-            );
+            if (t as usize) >= to_size {
+                return Err(MapError::TargetOutOfRange {
+                    name,
+                    entry: i,
+                    value: t,
+                    to: to.name().to_string(),
+                    to_size,
+                });
+            }
         }
-        Map {
+        Ok(Map {
             inner: Arc::new(MapInner {
                 id: next_id(),
                 name,
@@ -71,7 +158,7 @@ impl Map {
                 dim,
                 table: table.into_boxed_slice(),
             }),
-        }
+        })
     }
 
     /// The `j`-th target of element `e`.
@@ -164,5 +251,24 @@ mod tests {
     fn map_rejects_wrong_length() {
         let (edges, cells) = sets();
         let _ = Map::new("bad", &edges, &cells, 2, vec![0, 1, 1]);
+    }
+
+    #[test]
+    fn map_try_new_reports_typed_errors() {
+        let (edges, cells) = sets();
+        assert!(matches!(
+            Map::try_new("bad", &edges, &cells, 0, vec![]),
+            Err(MapError::ZeroDim { .. })
+        ));
+        assert!(matches!(
+            Map::try_new("bad", &edges, &cells, 2, vec![0, 1, 1]),
+            Err(MapError::LengthMismatch { len: 3, from_size: 3, dim: 2, .. })
+        ));
+        match Map::try_new("bad", &edges, &cells, 2, vec![0, 1, 1, 2, 2, 9]) {
+            Err(MapError::TargetOutOfRange { entry, value, to_size, .. }) => {
+                assert_eq!((entry, value, to_size), (5, 9, 4));
+            }
+            other => panic!("expected TargetOutOfRange, got {other:?}"),
+        }
     }
 }

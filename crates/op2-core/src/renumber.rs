@@ -31,18 +31,68 @@ pub fn adjacency_from_pair_map(map: &Map) -> Vec<Vec<u32>> {
     adj
 }
 
+/// One BFS from `start`: returns the eccentricity (deepest level) and the
+/// minimum-degree vertex of the deepest level (ties broken by lowest id —
+/// every choice here is deterministic).
+fn bfs_eccentricity(adj: &[Vec<u32>], start: usize) -> (usize, usize) {
+    let n = adj.len();
+    let mut dist = vec![u32::MAX; n];
+    dist[start] = 0;
+    let mut queue = std::collections::VecDeque::from([start as u32]);
+    let (mut ecc, mut far) = (0usize, start);
+    while let Some(v) = queue.pop_front() {
+        let d = dist[v as usize] + 1;
+        for &u in &adj[v as usize] {
+            if dist[u as usize] == u32::MAX {
+                dist[u as usize] = d;
+                queue.push_back(u);
+                let du = d as usize;
+                let better = du > ecc
+                    || (du == ecc
+                        && (adj[u as usize].len(), u as usize) < (adj[far].len(), far));
+                if better {
+                    ecc = du;
+                    far = u as usize;
+                }
+            }
+        }
+    }
+    (ecc, far)
+}
+
+/// Pseudo-peripheral vertex of `seed`'s component, by the George–Liu BFS
+/// double sweep: walk to a minimum-degree vertex of the deepest BFS level
+/// until the eccentricity stops growing. Deterministic (all ties break by
+/// degree, then id).
+fn pseudo_peripheral(adj: &[Vec<u32>], seed: usize) -> usize {
+    let (mut ecc, mut v) = bfs_eccentricity(adj, seed);
+    loop {
+        let (ecc_v, far) = bfs_eccentricity(adj, v);
+        if ecc_v > ecc {
+            ecc = ecc_v;
+            v = far;
+        } else {
+            return v;
+        }
+    }
+}
+
 /// Reverse Cuthill-McKee ordering.
 ///
-/// Returns a permutation `perm` with `perm[new_id] = old_id`. Disconnected
-/// components are each started from their minimum-degree vertex; the overall
-/// ordering covers every vertex exactly once.
+/// Returns a permutation `perm` with `perm[new_id] = old_id`. Each connected
+/// component is started from a **pseudo-peripheral vertex** (BFS double
+/// sweep from the component's minimum-degree vertex), which is what makes
+/// RCM's level structure long and thin and its bandwidth low; all
+/// tie-breaks are (degree, id), so the ordering is stable across runs. The
+/// overall ordering covers every vertex exactly once.
 pub fn rcm_order(adj: &[Vec<u32>]) -> Vec<u32> {
     let n = adj.len();
     let mut visited = vec![false; n];
     let mut order: Vec<u32> = Vec::with_capacity(n);
     let degree = |v: usize| adj[v].len();
 
-    // Component seeds in ascending degree (stable by id).
+    // Component seeds in ascending degree (stable by id); each seed is then
+    // upgraded to a pseudo-peripheral vertex of its component.
     let mut seeds: Vec<usize> = (0..n).collect();
     seeds.sort_by_key(|&v| (degree(v), v));
 
@@ -51,8 +101,9 @@ pub fn rcm_order(adj: &[Vec<u32>]) -> Vec<u32> {
         if visited[seed] {
             continue;
         }
-        visited[seed] = true;
-        queue.push_back(seed as u32);
+        let start = pseudo_peripheral(adj, seed);
+        visited[start] = true;
+        queue.push_back(start as u32);
         while let Some(v) = queue.pop_front() {
             order.push(v);
             // Neighbours in ascending degree (Cuthill-McKee rule).
@@ -95,6 +146,136 @@ pub fn invert_permutation(perm: &[u32]) -> Vec<u32> {
         inv[old as usize] = new as u32;
     }
     inv
+}
+
+/// A set renumbering held together with its inverse — the first-class
+/// preprocessing artifact that mesh construction, partitioning, and result
+/// verification all share.
+///
+/// Conventions (matching [`rcm_order`]):
+///
+/// * `perm[new] = old` — where each new slot's contents come *from*;
+/// * `inv[old] = new` — where each old element *went*.
+///
+/// Row-wise data (dat payloads, coordinate tables, partition owner arrays)
+/// moves with [`MeshPermutation::permute_rows`]; map *values* that name
+/// elements of the renumbered set are relabelled with
+/// [`MeshPermutation::relabel`]; results computed on a renumbered mesh map
+/// back to original ids with [`MeshPermutation::unpermute_rows`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MeshPermutation {
+    perm: Vec<u32>,
+    inv: Vec<u32>,
+}
+
+impl MeshPermutation {
+    /// The identity permutation on `n` elements.
+    pub fn identity(n: usize) -> Self {
+        let perm: Vec<u32> = (0..n as u32).collect();
+        MeshPermutation {
+            inv: perm.clone(),
+            perm,
+        }
+    }
+
+    /// Wrap an explicit permutation (`perm[new] = old`).
+    ///
+    /// # Panics
+    /// Panics if `perm` is not a permutation of `0..perm.len()`.
+    pub fn from_perm(perm: Vec<u32>) -> Self {
+        let n = perm.len();
+        let mut inv = vec![u32::MAX; n];
+        for (new, &old) in perm.iter().enumerate() {
+            assert!(
+                (old as usize) < n && inv[old as usize] == u32::MAX,
+                "not a permutation: slot {new} -> {old}"
+            );
+            inv[old as usize] = new as u32;
+        }
+        MeshPermutation { perm, inv }
+    }
+
+    /// RCM ordering of `adj` as a permutation (see [`rcm_order`]).
+    pub fn rcm(adj: &[Vec<u32>]) -> Self {
+        MeshPermutation::from_perm(rcm_order(adj))
+    }
+
+    /// Number of elements permuted.
+    pub fn len(&self) -> usize {
+        self.perm.len()
+    }
+
+    /// True for the empty permutation.
+    pub fn is_empty(&self) -> bool {
+        self.perm.is_empty()
+    }
+
+    /// True when this is the identity.
+    pub fn is_identity(&self) -> bool {
+        self.perm.iter().enumerate().all(|(new, &old)| new == old as usize)
+    }
+
+    /// `perm[new] = old` view.
+    pub fn perm(&self) -> &[u32] {
+        &self.perm
+    }
+
+    /// `inv[old] = new` view.
+    pub fn inverse(&self) -> &[u32] {
+        &self.inv
+    }
+
+    /// Where new slot `new`'s contents came from.
+    #[inline]
+    pub fn old_of(&self, new: usize) -> usize {
+        self.perm[new] as usize
+    }
+
+    /// Where old element `old` went.
+    #[inline]
+    pub fn new_of(&self, old: usize) -> usize {
+        self.inv[old] as usize
+    }
+
+    /// Reorder row-major data (`dim` values per element) into the new
+    /// ordering: `out[new] = rows[old_of(new)]`. Works for dat payloads,
+    /// coordinates, map *tables* (rows follow their from-set), partition
+    /// owner arrays (`dim == 1`) — any per-element rows.
+    pub fn permute_rows<T: Copy>(&self, rows: &[T], dim: usize) -> Vec<T> {
+        assert_eq!(rows.len(), self.perm.len() * dim, "row data length mismatch");
+        let mut out = Vec::with_capacity(rows.len());
+        for &old in &self.perm {
+            let o = old as usize * dim;
+            out.extend_from_slice(&rows[o..o + dim]);
+        }
+        out
+    }
+
+    /// Map row-major data computed on the *renumbered* mesh back to the
+    /// original ordering: `out[old] = rows[new_of(old)]` — the inverse of
+    /// [`MeshPermutation::permute_rows`], used to compare renumbered
+    /// results against an unrenumbered oracle.
+    pub fn unpermute_rows<T: Copy>(&self, rows: &[T], dim: usize) -> Vec<T> {
+        assert_eq!(rows.len(), self.inv.len() * dim, "row data length mismatch");
+        let mut out = Vec::with_capacity(rows.len());
+        for &new in &self.inv {
+            let o = new as usize * dim;
+            out.extend_from_slice(&rows[o..o + dim]);
+        }
+        out
+    }
+
+    /// Relabel map values that point *into* the renumbered set:
+    /// `out[i] = new_of(targets[i])`.
+    pub fn relabel(&self, targets: &[u32]) -> Vec<u32> {
+        targets.iter().map(|&t| self.inv[t as usize]).collect()
+    }
+
+    /// Permute a dat's elements in place (layout-aware, via
+    /// [`Dat::permute`]).
+    pub fn permute_dat<T: Copy + Send + Sync + 'static>(&self, dat: &crate::dat::Dat<T>) {
+        dat.permute(&self.perm);
+    }
 }
 
 #[cfg(test)]

@@ -22,25 +22,21 @@ use crate::reduction::GlobalAcc;
 
 /// Execute `loop_` sequentially in natural element order.
 pub fn execute_natural(loop_: &ParLoop) -> Vec<f64> {
-    let kernel = loop_.kernel();
     let mut gbl = vec![loop_.gbl_op().identity(); loop_.gbl_dim()];
-    for e in 0..loop_.set().size() {
-        kernel(e, &mut gbl);
-    }
+    loop_.run_span(0..loop_.set().size(), &mut gbl);
     gbl
 }
 
 /// Execute `loop_` sequentially in plan order (colors → blocks → elements),
-/// with the block-ordered deterministic reduction.
+/// with the block-ordered deterministic reduction. Dispatches through
+/// [`ParLoop::run_span`], so a chunked kernel body runs over exactly the
+/// plan's block spans — the same spans every parallel backend uses.
 pub fn execute_plan_order(loop_: &ParLoop, plan: &Plan) -> Vec<f64> {
-    let kernel = loop_.kernel();
     let acc = GlobalAcc::with_op(loop_.gbl_dim(), plan.nblocks(), loop_.gbl_op());
     for color in &plan.color_blocks {
         for &b in color {
             let mut scratch = acc.scratch();
-            for e in plan.blocks[b as usize].clone() {
-                kernel(e, &mut scratch);
-            }
+            loop_.run_span(plan.blocks[b as usize].clone(), &mut scratch);
             acc.store(b as usize, scratch);
         }
     }

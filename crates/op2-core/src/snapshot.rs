@@ -62,9 +62,25 @@ impl<T: Copy + Send + Sync + 'static> RawDat for Dat<T> {
         let vals =
             unsafe { std::slice::from_raw_parts(guard.as_ptr() as *const f64, guard.len()) };
         let dim = self.dim();
-        vals.iter()
-            .position(|v| !v.is_finite())
-            .map(|i| (i / dim, i % dim))
+        match self.layout() {
+            crate::dat::Layout::Aos => vals
+                .iter()
+                .position(|v| !v.is_finite())
+                .map(|i| (i / dim, i % dim)),
+            layout => {
+                // Walk elements in canonical order (skips AoSoA pad lanes,
+                // which merely replicate the last real element).
+                let n = self.set().size();
+                for e in 0..n {
+                    for j in 0..dim {
+                        if !vals[layout.index(e, j, n, dim)].is_finite() {
+                            return Some((e, j));
+                        }
+                    }
+                }
+                None
+            }
+        }
     }
 }
 

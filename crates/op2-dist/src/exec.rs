@@ -235,6 +235,13 @@ pub struct DistOptions {
     /// returns [`DistError::Died`]. Only what the durable store already
     /// holds survives — the in-process stand-in for `kill -9`.
     pub die_at: Option<usize>,
+    /// Run the RCM renumbering preprocessing pass before partitioned setup:
+    /// the mesh, the partition's ownership, and the initial state move into
+    /// the renumbered id space (ownership follows the cell, so the
+    /// communication structure is preserved), and the final state is mapped
+    /// back to the *original* numbering before it is returned. Checkpoints
+    /// live in the renumbered space; resume with the same flag.
+    pub renumber: bool,
 }
 
 impl Default for DistOptions {
@@ -251,8 +258,24 @@ impl Default for DistOptions {
             store_faults: None,
             halt_after: None,
             die_at: None,
+            renumber: false,
         }
     }
+}
+
+/// Inputs of a distributed march moved into the RCM-renumbered id space:
+/// `(mesh, partition, state, cell permutation)`. The permutation's
+/// `unpermute_rows` maps per-cell results back to the original numbering.
+pub(crate) fn renumbered_inputs(
+    data: &MeshData,
+    part: &Partition,
+    state: &[f64],
+    dim: usize,
+) -> (MeshData, Partition, Vec<f64>, op2_core::MeshPermutation) {
+    let (rdata, ren) = data.renumber_rcm();
+    let rpart = part.renumbered(&ren.cells);
+    let rstate = ren.cells.permute_rows(state, dim);
+    (rdata, rpart, rstate, ren.cells)
 }
 
 /// Tags for the two exchange directions (stage parity baked in for safety).
@@ -367,6 +390,17 @@ pub fn run_distributed_opts(
 ) -> Result<DistReport, DistError> {
     let ncells = data.cell_nodes.len() / 4;
     assert_eq!(q0.len(), 4 * ncells, "q0 must cover every cell");
+    if opts.renumber {
+        let (rdata, rpart, rq0, cells) = renumbered_inputs(data, part, q0, 4);
+        let inner = DistOptions {
+            renumber: false,
+            ..opts.clone()
+        };
+        let mut rep =
+            run_distributed_opts(&rdata, consts, &rq0, &rpart, niter, report_every, &inner)?;
+        rep.final_q = cells.unpermute_rows(&rep.final_q, 4);
+        return Ok(rep);
+    }
     let checkpoints = make_store(opts, part.nranks, ncells)?;
     run_core(data, consts, q0, part, niter, report_every, opts, &checkpoints, 0, None)
 }
@@ -401,6 +435,19 @@ pub fn resume_distributed_opts(
     let ncells = data.cell_nodes.len() / 4;
     assert_eq!(q0.len(), 4 * ncells, "q0 must cover every cell");
     assert!(opts.store_dir.is_some(), "resume requires DistOptions::store_dir");
+    if opts.renumber {
+        // The durable log holds renumbered states; re-derive the (bit-stable)
+        // permutation, resume in the renumbered space, map the result back.
+        let (rdata, rpart, rq0, cells) = renumbered_inputs(data, part, q0, 4);
+        let inner = DistOptions {
+            renumber: false,
+            ..opts.clone()
+        };
+        let mut rep =
+            resume_distributed_opts(&rdata, consts, &rq0, &rpart, niter, report_every, &inner)?;
+        rep.final_q = cells.unpermute_rows(&rep.final_q, 4);
+        return Ok(rep);
+    }
     let checkpoints = make_store(opts, part.nranks, ncells)?;
     let (start, qstart) = match checkpoints.latest_consistent() {
         Some((k, qk)) => (k, qk),

@@ -100,6 +100,15 @@ impl Partition {
         self.owner[c] as usize
     }
 
+    /// The same ownership assignment in a renumbered cell id space:
+    /// ownership follows the cell, so each rank owns exactly the cells it
+    /// owned before, under their new ids. `cells` is the cell permutation of
+    /// an RCM (or other) renumbering pass.
+    pub fn renumbered(&self, cells: &op2_core::MeshPermutation) -> Partition {
+        assert_eq!(cells.len(), self.owner.len(), "permutation covers every cell");
+        Partition::from_owner(cells.permute_rows(&self.owner, 1), self.nranks)
+    }
+
     /// Global cells owned by `rank`, ascending.
     pub fn owned_cells(&self, rank: usize) -> &[u32] {
         &self.owned[rank]

@@ -128,6 +128,17 @@ pub fn run_swe_distributed_opts(
 ) -> Result<SweDistReport, DistError> {
     let ncells = data.cell_nodes.len() / 4;
     assert_eq!(w0.len(), 3 * ncells, "w0 must cover every cell");
+    if opts.renumber {
+        let (rdata, rpart, rw0, cells) = crate::exec::renumbered_inputs(data, part, w0, 3);
+        let inner = DistOptions {
+            renumber: false,
+            ..opts.clone()
+        };
+        let mut rep =
+            run_swe_distributed_opts(&rdata, g, cfl, &rw0, &rpart, steps, report_every, &inner)?;
+        rep.final_w = cells.unpermute_rows(&rep.final_w, 3);
+        return Ok(rep);
+    }
     let checkpoints = make_swe_store(opts, part.nranks, ncells)?;
     run_swe_core(
         data, g, cfl, w0, part, steps, report_every, opts, &checkpoints, 0, None,
@@ -158,6 +169,18 @@ pub fn resume_swe_distributed_opts(
     let ncells = data.cell_nodes.len() / 4;
     assert_eq!(w0.len(), 3 * ncells, "w0 must cover every cell");
     assert!(opts.store_dir.is_some(), "resume requires DistOptions::store_dir");
+    if opts.renumber {
+        let (rdata, rpart, rw0, cells) = crate::exec::renumbered_inputs(data, part, w0, 3);
+        let inner = DistOptions {
+            renumber: false,
+            ..opts.clone()
+        };
+        let mut rep = resume_swe_distributed_opts(
+            &rdata, g, cfl, &rw0, &rpart, steps, report_every, &inner,
+        )?;
+        rep.final_w = cells.unpermute_rows(&rep.final_w, 3);
+        return Ok(rep);
+    }
     let checkpoints = make_swe_store(opts, part.nranks, ncells)?;
     let (start, wstart) = match checkpoints.latest_consistent() {
         Some((k, wk)) => (k, wk),

@@ -1,0 +1,106 @@
+//! The RCM renumbering pass (`DistOptions::renumber`) under the distributed
+//! marches: renumbering is a pure relabelling, so a renumbered run mapped
+//! back to the original numbering must reproduce the unrenumbered run to
+//! rounding — and must be deterministic (bitwise repeatable) in itself.
+
+use op2_airfoil::{FlowConstants, MeshBuilder};
+use op2_dist::exec::{run_distributed_opts, DistOptions};
+use op2_dist::swe::run_swe_distributed_opts;
+use op2_dist::Partition;
+use op2_swe::{SweApp, SweConfig};
+
+fn close(a: &[f64], b: &[f64], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: length");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert!(
+            (x - y).abs() <= 1e-12 * x.abs().max(1.0),
+            "{what}[{i}]: {x} vs {y}"
+        );
+    }
+}
+
+#[test]
+fn airfoil_renumbered_run_matches_original_numbering() {
+    let consts = FlowConstants::default();
+    let builder = MeshBuilder::channel(16, 8);
+    let mesh = builder.build(&consts);
+    mesh.add_pulse(1.0, 0.5, 0.25, 0.2, &consts);
+    let (data, q0) = (builder.data(), mesh.p_q.to_vec());
+
+    for nranks in [1, 2, 4] {
+        let part = Partition::strips(data.cell_nodes.len() / 4, nranks);
+        let plain = run_distributed_opts(
+            &data,
+            &consts,
+            &q0,
+            &part,
+            4,
+            2,
+            &DistOptions::default(),
+        )
+        .unwrap();
+        let ropts = DistOptions {
+            renumber: true,
+            ..DistOptions::default()
+        };
+        let ren = run_distributed_opts(&data, &consts, &q0, &part, 4, 2, &ropts).unwrap();
+        // final_q comes back in the original numbering.
+        close(&plain.final_q, &ren.final_q, &format!("final_q@{nranks}"));
+        for ((i1, r1), (i2, r2)) in plain.rms.iter().zip(&ren.rms) {
+            assert_eq!(i1, i2);
+            assert!((r1 - r2).abs() <= 1e-12 * r1.abs().max(1.0), "rms@{nranks}");
+        }
+        // Renumbered runs are themselves deterministic, bit for bit.
+        let again = run_distributed_opts(&data, &consts, &q0, &part, 4, 2, &ropts).unwrap();
+        let bits = |q: &[f64]| q.iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&again.final_q), bits(&ren.final_q), "repeat@{nranks}");
+    }
+}
+
+#[test]
+fn swe_renumbered_dist_matches_renumbered_single_node_bitwise() {
+    // The 1-rank distributed march iterates in natural (ascending) order, so
+    // it must agree *bitwise* with `SweApp::run_natural` configured with the
+    // same renumbering — both before and after mapping back.
+    let cfg = SweConfig {
+        imax: 16,
+        jmax: 8,
+        renumber: true,
+        ..SweConfig::default()
+    };
+    let app = SweApp::new(cfg);
+    app.dam_break(2.0, 1.5, 1.0);
+
+    // Same initial state in the original numbering for the dist run.
+    let plain_cfg = SweConfig {
+        renumber: false,
+        ..cfg
+    };
+    let plain = SweApp::new(plain_cfg);
+    plain.dam_break(2.0, 1.5, 1.0);
+    // The dist driver reads boundary codes from the raw tables, so mirror
+    // SweConfig::all_walls there (closed basin on both sides).
+    let mut data = MeshBuilder::channel(cfg.imax, cfg.jmax).data();
+    data.bound
+        .iter_mut()
+        .for_each(|b| *b = op2_swe::kernels::SWE_WALL);
+    let w0 = plain.w.to_vec();
+
+    let reports = app.run_natural(6, 3);
+    let part = Partition::strips(data.cell_nodes.len() / 4, 1);
+    let ropts = DistOptions {
+        renumber: true,
+        ..DistOptions::default()
+    };
+    let rep =
+        run_swe_distributed_opts(&data, app.gravity(), cfg.cfl, &w0, &part, 6, 3, &ropts).unwrap();
+
+    let bits = |q: &[f64]| q.iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+    assert_eq!(bits(&rep.final_w), bits(&app.unrenumbered_w()));
+    assert_eq!(reports.len(), rep.reports.len());
+    for ((s1, d1, r1), (s2, d2, r2)) in reports.iter().zip(&rep.reports) {
+        assert_eq!(s1, s2);
+        assert_eq!(d1.to_bits(), d2.to_bits(), "dt diverged at step {s1}");
+        assert_eq!(r1.to_bits(), r2.to_bits(), "rms diverged at step {s1}");
+    }
+}

@@ -48,6 +48,7 @@ use std::collections::HashMap;
 use parking_lot::Mutex;
 
 use op2_core::plan::{ColoringStrategy, PlanParams};
+use op2_core::Layout;
 
 /// Backend selection as plain data. Mirrors the executor factory's
 /// `BackendKind` in `op2-hpx` without depending on it (that crate depends on
@@ -155,6 +156,14 @@ pub struct TuneContext {
     /// writes, no global reduction): plan parameters may be explored without
     /// breaking bit-identity.
     pub plan_order_invariant: bool,
+    /// Data layouts the caller can *rebuild its dats in* beyond the declared
+    /// one (empty = layout is fixed). Layout is schedule-invariant — kernels
+    /// reach storage only through layout-agnostic views, so every candidate
+    /// produces bit-identical results — but it is a construction-time knob:
+    /// executors mid-run pass an empty list, while job-level callers that
+    /// declare fresh meshes per job (benchmarks, services) offer the full
+    /// set and apply the tuned layout at their next mesh construction.
+    pub layouts: Vec<Layout>,
 }
 
 /// One tuned configuration: the knob settings for a single loop execution.
@@ -167,6 +176,11 @@ pub struct TuneConfig {
     pub chunk: Option<usize>,
     /// Plan parameters; `None` = the runtime's default plan.
     pub plan: Option<PlanParams>,
+    /// Data layout to declare the loop's dats in; `None` = whatever the
+    /// caller declared. Schedule-invariant (results are bitwise independent
+    /// of layout) but applied at mesh-construction time — see
+    /// [`TuneContext::layouts`].
+    pub layout: Option<Layout>,
 }
 
 impl TuneConfig {
@@ -176,6 +190,7 @@ impl TuneConfig {
             backend: None,
             chunk: None,
             plan: None,
+            layout: None,
         }
     }
 
@@ -185,10 +200,13 @@ impl TuneConfig {
         let chunk = self
             .chunk
             .map_or_else(|| "auto".to_string(), |c| c.to_string());
+        let layout = self
+            .layout
+            .map_or_else(|| "declared".to_string(), |l| l.label());
         match self.plan {
-            None => format!("{backend}/chunk={chunk}/plan=default"),
+            None => format!("{backend}/chunk={chunk}/plan=default/layout={layout}"),
             Some(p) => format!(
-                "{backend}/chunk={chunk}/plan={}x{}",
+                "{backend}/chunk={chunk}/plan={}x{}/layout={layout}",
                 p.part_size,
                 p.coloring.name()
             ),
@@ -656,19 +674,39 @@ impl Tuner {
             }
         }
 
-        let mut cands = Vec::with_capacity(backends.len() * plans.len());
-        for &b in &backends {
-            for &p in &plans {
-                // Serial ignores chunking and barely feels the plan: one
-                // candidate is enough.
-                if b == Some(BackendChoice::Serial) && p.is_some() {
-                    continue;
+        // Layout is always schedule-invariant, so every offered layout is a
+        // candidate axis; `None` (the declared layout) leads so the baseline
+        // stays the true untuned config.
+        let mut layouts: Vec<Option<Layout>> = vec![None];
+        for &l in &ctx.layouts {
+            if !layouts.contains(&Some(l)) {
+                layouts.push(Some(l));
+            }
+        }
+
+        let mut cands = Vec::with_capacity(backends.len() * plans.len() * layouts.len());
+        for &l in &layouts {
+            for &b in &backends {
+                for &p in &plans {
+                    // Serial ignores chunking and barely feels the plan: one
+                    // candidate is enough.
+                    if b == Some(BackendChoice::Serial) && p.is_some() {
+                        continue;
+                    }
+                    // Non-default layouts explore against the default plan
+                    // only: the layout choice moves memory behavior, not the
+                    // coloring, so the full (plan × layout) product would
+                    // just slow convergence.
+                    if l.is_some() && p.is_some() {
+                        continue;
+                    }
+                    cands.push(TuneConfig {
+                        backend: b,
+                        chunk: None,
+                        plan: p,
+                        layout: l,
+                    });
                 }
-                cands.push(TuneConfig {
-                    backend: b,
-                    chunk: None,
-                    plan: p,
-                });
             }
         }
         // Deterministic order: baseline first, the rest shuffled by
@@ -726,6 +764,7 @@ mod tests {
             default_part_size: 256,
             backends: vec![BackendChoice::ForkJoin, BackendChoice::Dataflow],
             plan_order_invariant: true,
+            layouts: Vec::new(),
         }
     }
 
@@ -793,6 +832,34 @@ mod tests {
         });
         assert_eq!(best.backend, Some(BackendChoice::Dataflow));
         assert!(t.converged());
+    }
+
+    #[test]
+    fn layout_knob_explored_and_converges_when_offered() {
+        let t = Tuner::with_seed(9);
+        let k = key(100_000);
+        let mut c = ctx();
+        c.layouts = vec![Layout::Soa, Layout::AoSoA { block: 8 }];
+        let best = converge(&t, &k, &c, |cfg| match cfg.layout {
+            Some(Layout::Soa) => 300,
+            _ => 4_000,
+        });
+        assert_eq!(best.layout, Some(Layout::Soa));
+    }
+
+    #[test]
+    fn layout_axis_closed_without_offered_layouts() {
+        let t = Tuner::with_seed(4);
+        let k = key(50_000);
+        let c = ctx(); // layouts empty
+        for _ in 0..200 {
+            let d = t.decide(&k, &c);
+            assert_eq!(d.config.layout, None, "layout explored with closed axis");
+            t.observe(&k, d.trial, Observation { wall_ns: 1000, ..Default::default() });
+            if d.trial.is_none() {
+                break;
+            }
+        }
     }
 
     #[test]

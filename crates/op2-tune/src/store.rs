@@ -22,7 +22,9 @@ use crate::{BackendChoice, IndirectionPattern, TuneConfig, TuneKey};
 /// Current store schema version. Readers reject other versions (forward and
 /// backward) — a stale store is regenerated in one cold run, which is far
 /// cheaper than debugging a silently misread one.
-pub const STORE_VERSION: u64 = 1;
+///
+/// v2 added the `layout` column (data-layout knob).
+pub const STORE_VERSION: u64 = 2;
 
 /// One persisted `(decision key → best config)` row. Flat primitives only:
 /// the vendored serde derive handles named-field structs and unit enums, so
@@ -45,6 +47,8 @@ pub struct StoreEntry {
     pub part_size: u64,
     /// Coloring strategy name (meaningful only when `part_size > 0`).
     pub coloring: String,
+    /// [`op2_core::Layout::label`], or empty for "declared layout".
+    pub layout: String,
     /// Best (min-of-samples) wall time of the winning config when exported, ns.
     pub best_ns: u64,
     /// Smoothed per-element time when exported, ns.
@@ -66,6 +70,7 @@ impl StoreEntry {
                 .plan
                 .map_or("", |p| p.coloring.name())
                 .to_string(),
+            layout: config.layout.map_or_else(String::new, |l| l.label()),
             best_ns,
             per_elem_ns,
         }
@@ -88,6 +93,11 @@ impl StoreEntry {
                 coloring: ColoringStrategy::parse(&self.coloring)?,
             })
         };
+        let layout = if self.layout.is_empty() {
+            None
+        } else {
+            Some(op2_core::Layout::parse(&self.layout)?)
+        };
         Some((
             TuneKey {
                 loop_name: self.loop_name.clone(),
@@ -99,6 +109,7 @@ impl StoreEntry {
                 backend,
                 chunk: (self.chunk > 0).then_some(self.chunk as usize),
                 plan,
+                layout,
             },
         ))
     }
@@ -198,6 +209,7 @@ mod tests {
                     chunk: 128,
                     part_size: 0,
                     coloring: String::new(),
+                    layout: "soa".into(),
                     best_ns: 42_000,
                     per_elem_ns: 3.5,
                 },
@@ -210,8 +222,22 @@ mod tests {
                     chunk: 0,
                     part_size: 1024,
                     coloring: "greedy".into(),
+                    layout: String::new(),
                     best_ns: 9_000,
                     per_elem_ns: 1.0,
+                },
+                StoreEntry {
+                    topo: 11,
+                    loop_name: "update".into(),
+                    set_size: 9_000,
+                    pattern: "direct".into(),
+                    backend: String::new(),
+                    chunk: 0,
+                    part_size: 0,
+                    coloring: String::new(),
+                    layout: "aosoa8".into(),
+                    best_ns: 5_000,
+                    per_elem_ns: 0.6,
                 },
             ],
         }

@@ -4,9 +4,9 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use op2_airfoil::mesh::Mesh;
+use op2_airfoil::mesh::{Mesh, MeshOptions};
 use op2_airfoil::{FlowConstants, MeshBuilder};
-use op2_core::{arg_direct, arg_indirect, Access, Dat, ParLoop};
+use op2_core::{arg_direct, arg_indirect, Access, Dat, DatView, Layout, Map, ParLoop};
 use op2_hpx::Executor;
 
 use crate::kernels;
@@ -25,6 +25,10 @@ pub struct SweConfig {
     /// Replace the channel's open left/right boundaries with reflective
     /// walls (closed basin — exact mass conservation).
     pub all_walls: bool,
+    /// Data layout for all `f64` dats (mesh coordinates and flow state).
+    pub layout: Layout,
+    /// Run the RCM renumbering pass on the mesh before declaring sets.
+    pub renumber: bool,
 }
 
 impl Default for SweConfig {
@@ -35,6 +39,8 @@ impl Default for SweConfig {
             imax: 64,
             jmax: 32,
             all_walls: true,
+            layout: Layout::Aos,
+            renumber: false,
         }
     }
 }
@@ -69,20 +75,101 @@ pub struct SweApp {
     cfl: f64,
 }
 
+/// One `swe_save` element: `wold[e] ← w[e]` (pure copy).
+#[inline(always)]
+unsafe fn save_one(wv: &DatView<f64>, woldv: &DatView<f64>, e: usize) {
+    let w: [f64; 3] = wv.load(e);
+    woldv.store(e, w);
+}
+
+/// One `swe_flux` element. Flux lands in local zero-initialized accumulators
+/// applied with `add_vec` — bit-identical to incrementing the live residual
+/// (same `-0.0` argument as airfoil's `res_one`: each component receives
+/// exactly one `±f`, and the live residual never holds `-0.0`).
+#[inline(always)]
+unsafe fn flux_one(
+    xv: &DatView<f64>,
+    wv: &DatView<f64>,
+    resv: &DatView<f64>,
+    pedge: &Map,
+    pecell: &Map,
+    g: f64,
+    e: usize,
+) {
+    let (c1, c2) = (pecell.at(e, 0), pecell.at(e, 1));
+    let x1: [f64; 2] = xv.load(pedge.at(e, 0));
+    let x2: [f64; 2] = xv.load(pedge.at(e, 1));
+    let w1: [f64; 3] = wv.load(c1);
+    let w2: [f64; 3] = wv.load(c2);
+    let mut r1 = [0.0f64; 3];
+    let mut r2 = [0.0f64; 3];
+    kernels::flux(&x1, &x2, &w1, &w2, &mut r1, &mut r2, g);
+    resv.add_vec(c1, r1);
+    resv.add_vec(c2, r2);
+}
+
+/// One `swe_bflux` element (same local-accumulator argument as [`flux_one`]).
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+unsafe fn bflux_one(
+    xv: &DatView<f64>,
+    wv: &DatView<f64>,
+    resv: &DatView<f64>,
+    boundv: &DatView<i32>,
+    pbedge: &Map,
+    pbecell: &Map,
+    g: f64,
+    e: usize,
+) {
+    let c1 = pbecell.at(e, 0);
+    let x1: [f64; 2] = xv.load(pbedge.at(e, 0));
+    let x2: [f64; 2] = xv.load(pbedge.at(e, 1));
+    let w1: [f64; 3] = wv.load(c1);
+    let mut r1 = [0.0f64; 3];
+    kernels::bflux(&x1, &x2, &w1, &mut r1, boundv.get(e, 0), g);
+    resv.add_vec(c1, r1);
+}
+
+/// One `swe_update` element. Element-outer order is load-bearing for the RMS
+/// partial sum, so chunked bodies iterate elements ascending.
+#[inline(always)]
+unsafe fn update_one(
+    woldv: &DatView<f64>,
+    wv: &DatView<f64>,
+    resv: &DatView<f64>,
+    iav: &DatView<f64>,
+    dt: f64,
+    e: usize,
+    rms: &mut f64,
+) {
+    let wold: [f64; 3] = woldv.load(e);
+    let mut w = [0.0f64; 3];
+    let mut res: [f64; 3] = resv.load(e);
+    kernels::update(&wold, &mut w, &mut res, dt * iav.get(e, 0), rms);
+    wv.store(e, w);
+    resv.store(e, res);
+}
+
 impl SweApp {
     /// Build the application on a channel basin.
     pub fn new(cfg: SweConfig) -> SweApp {
         // The mesh module is solver-agnostic; FlowConstants only seeds the
         // (unused) airfoil state dats.
-        let mesh = MeshBuilder::channel(cfg.imax, cfg.jmax).build(&FlowConstants::default());
+        let opts = MeshOptions {
+            layout: cfg.layout,
+            renumber: cfg.renumber,
+        };
+        let mesh = MeshBuilder::channel(cfg.imax, cfg.jmax)
+            .build_with(&FlowConstants::default(), &opts);
         if cfg.all_walls {
             let mut bound = mesh.p_bound.data_mut();
             bound.iter_mut().for_each(|b| *b = kernels::SWE_WALL);
         }
 
         let ncells = mesh.ncells();
-        // Per-cell areas via the shoelace formula (works for any quad mesh).
-        let coords = mesh.p_x.data();
+        // Per-cell areas via the shoelace formula (works for any quad mesh);
+        // canonical AoS order keeps this independent of the declared layout.
+        let coords = mesh.p_x.to_aos_vec();
         let mut areas = Vec::with_capacity(ncells);
         for c in 0..ncells {
             let mut a = 0.0;
@@ -99,18 +186,20 @@ impl SweApp {
             .fold(f64::INFINITY, |m, &a| m.min(a))
             .sqrt();
 
-        let w = Dat::new(
+        let w = Dat::with_layout(
             "w",
             &mesh.cells,
             3,
+            cfg.layout,
             (0..ncells).flat_map(|_| [1.0, 0.0, 0.0]).collect(),
         );
-        let wold = Dat::filled("wold", &mesh.cells, 3, 0.0);
-        let res = Dat::filled("res", &mesh.cells, 3, 0.0);
-        let inv_area = Dat::new(
+        let wold = Dat::filled_with_layout("wold", &mesh.cells, 3, cfg.layout, 0.0);
+        let res = Dat::filled_with_layout("res", &mesh.cells, 3, cfg.layout, 0.0);
+        let inv_area = Dat::with_layout(
             "inv_area",
             &mesh.cells,
             1,
+            cfg.layout,
             areas.iter().map(|a| 1.0 / a).collect(),
         );
 
@@ -121,19 +210,60 @@ impl SweApp {
         let save = ParLoop::build("swe_save", &mesh.cells)
             .arg(arg_direct(&w, Access::Read))
             .arg(arg_direct(&wold, Access::Write))
-            .kernel(move |e, _| unsafe {
-                woldv.slice_mut(e).copy_from_slice(wv.slice(e));
-            });
+            .kernel_chunked(
+                move |e, _| unsafe {
+                    save_one(&wv, &woldv, e);
+                },
+                move |span, _| unsafe {
+                    // A copy is order-independent: take the widest contiguous
+                    // shape the layout offers before the element loop.
+                    if let (Some(src), Some(dst)) =
+                        (wv.span(span.clone()), woldv.span_mut(span.clone()))
+                    {
+                        dst.copy_from_slice(src);
+                        return;
+                    }
+                    let all_comps = (0..3).all(|j| {
+                        wv.comp(j).unit_stride(&span) && woldv.comp(j).unit_stride(&span)
+                    });
+                    if all_comps {
+                        for j in 0..3 {
+                            let wc = wv.comp(j);
+                            let woldc = woldv.comp(j);
+                            let src = wc.contiguous(span.clone()).unwrap();
+                            let dst = woldc.contiguous_mut(span.clone()).unwrap();
+                            dst.copy_from_slice(src);
+                        }
+                        return;
+                    }
+                    for e in span {
+                        save_one(&wv, &woldv, e);
+                    }
+                },
+            );
 
         let dt_calc = ParLoop::build("swe_dt", &mesh.cells)
             .arg(arg_direct(&w, Access::Read))
             .gbl_max(1)
-            .kernel(move |e, gbl| unsafe {
-                gbl[0] = gbl[0].max(kernels::wave_speed(wv.slice(e), g));
-            });
+            .kernel_chunked(
+                move |e, gbl| unsafe {
+                    let w: [f64; 3] = wv.load(e);
+                    gbl[0] = gbl[0].max(kernels::wave_speed(&w, g));
+                },
+                move |span, gbl| unsafe {
+                    let mut m = gbl[0];
+                    for e in span {
+                        let w: [f64; 3] = wv.load(e);
+                        m = m.max(kernels::wave_speed(&w, g));
+                    }
+                    gbl[0] = m;
+                },
+            );
 
         let pedge = mesh.pedge.clone();
+        let pedge2 = mesh.pedge.clone();
         let pecell = mesh.pecell.clone();
+        let pecell2 = mesh.pecell.clone();
         let flux = ParLoop::build("swe_flux", &mesh.edges)
             .arg(arg_indirect(&mesh.p_x, 0, &mesh.pedge, Access::Read))
             .arg(arg_indirect(&mesh.p_x, 1, &mesh.pedge, Access::Read))
@@ -141,21 +271,21 @@ impl SweApp {
             .arg(arg_indirect(&w, 1, &mesh.pecell, Access::Read))
             .arg(arg_indirect(&res, 0, &mesh.pecell, Access::Inc))
             .arg(arg_indirect(&res, 1, &mesh.pecell, Access::Inc))
-            .kernel(move |e, _| unsafe {
-                let (c1, c2) = (pecell.at(e, 0), pecell.at(e, 1));
-                kernels::flux(
-                    xv.slice(pedge.at(e, 0)),
-                    xv.slice(pedge.at(e, 1)),
-                    wv.slice(c1),
-                    wv.slice(c2),
-                    resv.slice_mut(c1),
-                    resv.slice_mut(c2),
-                    g,
-                );
-            });
+            .kernel_chunked(
+                move |e, _| unsafe {
+                    flux_one(&xv, &wv, &resv, &pedge, &pecell, g, e);
+                },
+                move |span, _| unsafe {
+                    for e in span {
+                        flux_one(&xv, &wv, &resv, &pedge2, &pecell2, g, e);
+                    }
+                },
+            );
 
         let pbedge = mesh.pbedge.clone();
+        let pbedge2 = mesh.pbedge.clone();
         let pbecell = mesh.pbecell.clone();
+        let pbecell2 = mesh.pbecell.clone();
         let boundv = mesh.p_bound.view();
         let bflux = ParLoop::build("swe_bflux", &mesh.bedges)
             .arg(arg_indirect(&mesh.p_x, 0, &mesh.pbedge, Access::Read))
@@ -163,33 +293,38 @@ impl SweApp {
             .arg(arg_indirect(&w, 0, &mesh.pbecell, Access::Read))
             .arg(arg_indirect(&res, 0, &mesh.pbecell, Access::Inc))
             .arg(arg_direct(&mesh.p_bound, Access::Read))
-            .kernel(move |e, _| unsafe {
-                let c1 = pbecell.at(e, 0);
-                kernels::bflux(
-                    xv.slice(pbedge.at(e, 0)),
-                    xv.slice(pbedge.at(e, 1)),
-                    wv.slice(c1),
-                    resv.slice_mut(c1),
-                    boundv.get(e, 0),
-                    g,
-                );
-            });
+            .kernel_chunked(
+                move |e, _| unsafe {
+                    bflux_one(&xv, &wv, &resv, &boundv, &pbedge, &pbecell, g, e);
+                },
+                move |span, _| unsafe {
+                    for e in span {
+                        bflux_one(&xv, &wv, &resv, &boundv, &pbedge2, &pbecell2, g, e);
+                    }
+                },
+            );
 
         let dt_bits = Arc::new(AtomicU64::new(0));
         let dt_for_kernel = Arc::clone(&dt_bits);
+        let dt_for_chunk = Arc::clone(&dt_bits);
         let update = ParLoop::build("swe_update", &mesh.cells)
             .arg(arg_direct(&wold, Access::Read))
             .arg(arg_direct(&w, Access::Write))
             .arg(arg_direct(&res, Access::ReadWrite))
             .arg(arg_direct(&inv_area, Access::Read))
             .gbl_inc(1)
-            .kernel(move |e, gbl| unsafe {
-                let dt = f64::from_bits(dt_for_kernel.load(Ordering::Acquire));
-                let wolds = woldv.slice(e);
-                let ws = wv.slice_mut(e);
-                let rs = resv.slice_mut(e);
-                kernels::update(wolds, ws, rs, dt * iav.get(e, 0), &mut gbl[0]);
-            });
+            .kernel_chunked(
+                move |e, gbl| unsafe {
+                    let dt = f64::from_bits(dt_for_kernel.load(Ordering::Acquire));
+                    update_one(&woldv, &wv, &resv, &iav, dt, e, &mut gbl[0]);
+                },
+                move |span, gbl| unsafe {
+                    let dt = f64::from_bits(dt_for_chunk.load(Ordering::Acquire));
+                    for e in span {
+                        update_one(&woldv, &wv, &resv, &iav, dt, e, &mut gbl[0]);
+                    }
+                },
+            );
 
         SweApp {
             mesh,
@@ -212,8 +347,9 @@ impl SweApp {
     /// A dam-break initial condition: depth `h_hi` for `x < x_split`, `h_lo`
     /// beyond, fluid at rest.
     pub fn dam_break(&self, x_split: f64, h_hi: f64, h_lo: f64) {
-        let coords = self.mesh.p_x.data();
-        let mut w = self.w.data_mut();
+        // Canonical AoS order — layout independent.
+        let coords = self.mesh.p_x.to_aos_vec();
+        let mut w = self.w.to_aos_vec();
         for c in 0..self.mesh.ncells() {
             let mut x = 0.0;
             for k in 0..4 {
@@ -224,15 +360,27 @@ impl SweApp {
             w[3 * c + 1] = 0.0;
             w[3 * c + 2] = 0.0;
         }
+        self.w.write_aos(&w);
     }
 
     /// Total mass `Σ h·area` (exact conservation oracle for closed basins).
     pub fn total_mass(&self) -> f64 {
-        let w = self.w.data();
-        let ia = self.inv_area.data();
+        let w = self.w.to_aos_vec();
+        let ia = self.inv_area.to_aos_vec();
         (0..self.mesh.ncells())
             .map(|c| w[3 * c] / ia[c])
             .sum()
+    }
+
+    /// The cell state in canonical AoS order and — when the mesh was
+    /// renumbered — mapped back to the *original* cell numbering, so runs
+    /// with different layout/renumbering options compare element-for-element.
+    pub fn unrenumbered_w(&self) -> Vec<f64> {
+        let w = self.w.to_aos_vec();
+        match &self.mesh.renumbering {
+            Some(ren) => ren.cells.unpermute_rows(&w, 3),
+            None => w,
+        }
     }
 
     /// March `steps` adaptive steps on `exec`; returns

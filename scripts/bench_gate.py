@@ -14,8 +14,8 @@ across files. It checks two kinds of properties instead:
     value for the same metric.
 
 Supports ``BENCH_tune.json`` (bench_tune), ``BENCH_shm.json`` (bench_shm),
-and ``BENCH_store.json`` (bench_store); the schema is detected from the
-artifact's ``bench`` field.
+``BENCH_store.json`` (bench_store), and ``BENCH_kernel.json``
+(bench_kernel); the schema is detected from the artifact's ``bench`` field.
 """
 
 import json
@@ -149,6 +149,69 @@ def gate_store(gate, fresh, base):
     )
 
 
+def gate_kernel(gate, fresh, base):
+    def key(a):
+        return (a["dispatch"], a["layout"], a["renumbered"])
+
+    fresh_arms = {key(a): a for a in fresh["arms"]}
+    base_arms = {key(a): a for a in base["arms"]}
+    gate.check(
+        set(fresh_arms) == set(base_arms),
+        "same arm set",
+        f"{sorted(fresh_arms)} vs {sorted(base_arms)}",
+    )
+    # Layout and dispatch never move floating-point bits; renumbering
+    # legitimately reorders the res_calc increments — so the arms must split
+    # into exactly one digest per renumber class.
+    for ren in (False, True):
+        digs = {a["digest"] for a in fresh["arms"] if a["renumbered"] == ren}
+        gate.check(
+            len(digs) == 1,
+            f"arms agree bitwise (renumbered={ren})",
+            f"{len(digs)} distinct digests",
+        )
+    # The headline claim: the best chunked SoA/AoSoA arm with RCM beats the
+    # pre-PR default (scalar dispatch, AoS, mesh numbering as handed to us)
+    # on the gated kernels — on this machine, in this fresh run.
+    default = fresh_arms[("scalar", "aos", False)]["kernels"]
+    bdefault = base_arms[("scalar", "aos", False)]["kernels"]
+    layouts = sorted({a["layout"] for a in fresh["arms"] if a["layout"] != "aos"})
+    for kernel in ("res_calc", "update"):
+        tuned = min(fresh_arms[("chunked", lay, True)]["kernels"][kernel] for lay in layouts)
+        btuned = min(base_arms[("chunked", lay, True)]["kernels"][kernel] for lay in layouts)
+        gate.check(
+            tuned < default[kernel],
+            f"SoA/AoSoA + RCM beats default on {kernel}",
+            f"{tuned} vs {default[kernel]} ns",
+        )
+        # And the speedup itself must not regress vs the checked-in baseline.
+        # Dispatch overhead and cache geometry vary more across machines than
+        # the tuner's min-of-N ratios do — double headroom, like gate_shm's
+        # tail spread.
+        gate.tolerance, saved = gate.tolerance * 2, gate.tolerance
+        gate.within(
+            tuned / default[kernel],
+            btuned / bdefault[kernel],
+            f"{kernel} tuned/default ratio",
+        )
+        gate.tolerance = saved
+    runs, bruns = fresh["backends"]["runs"], base["backends"]["runs"]
+    gate.check(
+        {(r["backend"], r["layout"], r["renumbered"]) for r in runs}
+        == {(r["backend"], r["layout"], r["renumbered"]) for r in bruns},
+        "same backend sweep",
+    )
+    for ren in (False, True):
+        digs = {r["digest"] for r in runs if r["renumbered"] == ren}
+        gate.check(
+            len(digs) == 1,
+            f"backends agree bitwise (renumbered={ren})",
+            f"{len(digs)} distinct digests",
+        )
+    # The kernel-arm digests and the backend-sweep digests hash the same
+    # final state only for matching march lengths, so they are not compared.
+
+
 def main():
     args = [a for a in sys.argv[1:] if not a.startswith("--")]
     tolerance = 0.25
@@ -170,6 +233,8 @@ def main():
         gate_shm(gate, fresh, base)
     elif kind == "bench_store":
         gate_store(gate, fresh, base)
+    elif kind == "bench_kernel":
+        gate_kernel(gate, fresh, base)
     else:
         sys.exit(f"unknown artifact kind {kind!r}")
     if gate.failures:
